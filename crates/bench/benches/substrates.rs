@@ -1,0 +1,75 @@
+//! Criterion benches for the substrates: the heaps the parametric
+//! algorithms depend on (Fibonacci vs indexed binary — the ablation
+//! behind the study's LEDA Fibonacci-heap choice), SCC decomposition,
+//! and the generators.
+//!
+//! `cargo bench -p mcr-bench --bench substrates`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcr_gen::circuit::{circuit_graph, CircuitConfig};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_graph::heap::{AddressableHeap, FibonacciHeap, IndexedBinaryHeap};
+use mcr_graph::SccDecomposition;
+use std::hint::black_box;
+
+fn heap_workload<H: AddressableHeap<i64>>(n: usize) -> usize {
+    // Dijkstra-like mix: n inserts, 3n decrease-keys, n pops.
+    let mut h = H::with_capacity(n);
+    for i in 0..n {
+        h.push(i, ((i * 2654435761) % (8 * n)) as i64);
+    }
+    for round in 1..=3 {
+        for i in 0..n {
+            let cur = *h.key(i).expect("present");
+            h.decrease_key(i, cur - round as i64);
+        }
+    }
+    let mut count = 0;
+    while let Some(_) = h.pop_min() {
+        count += 1;
+    }
+    count
+}
+
+fn bench_heaps(c: &mut Criterion) {
+    let mut group = c.benchmark_group("heaps");
+    group.sample_size(20);
+    for &n in &[1024usize, 8192] {
+        group.bench_with_input(BenchmarkId::new("fibonacci", n), &n, |b, &n| {
+            b.iter(|| black_box(heap_workload::<FibonacciHeap<i64>>(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("indexed_binary", n), &n, |b, &n| {
+            b.iter(|| black_box(heap_workload::<IndexedBinaryHeap<i64>>(n)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scc");
+    group.sample_size(20);
+    let sparse = sprand(&SprandConfig::new(8192, 16384).seed(0));
+    let circuit = circuit_graph(&CircuitConfig::new(8192).seed(0));
+    group.bench_function("sprand_8192", |b| {
+        b.iter(|| black_box(SccDecomposition::new(black_box(&sparse)).num_components()))
+    });
+    group.bench_function("circuit_8192", |b| {
+        b.iter(|| black_box(SccDecomposition::new(black_box(&circuit)).num_components()))
+    });
+    group.finish();
+}
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(20);
+    group.bench_function("sprand_8192x24576", |b| {
+        b.iter(|| black_box(sprand(&SprandConfig::new(8192, 24576).seed(1))))
+    });
+    group.bench_function("circuit_8192", |b| {
+        b.iter(|| black_box(circuit_graph(&CircuitConfig::new(8192).seed(1))))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_heaps, bench_scc, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! EXP-4.3 — iteration counts of the iterative algorithms.
+//!
+//! §4.3: Burns', KO, YTO and Howard's algorithms iterate until
+//! convergence; HO's "iteration count" is the level k it reaches. The
+//! paper observes: counts stay below n (around n/2 for Burns/KO/YTO on
+//! strongly connected random graphs unless m = n); Burns iterates less
+//! than KO; KO and YTO match exactly; Howard's count is drastically
+//! smaller than everyone else's and shrinks with density.
+//!
+//! `cargo run -p mcr-bench --release --bin iterations [--full]`
+
+use mcr_bench::{fits_in_memory, print_table, HarnessConfig};
+use mcr_core::Algorithm;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let algs = [
+        Algorithm::Burns,
+        Algorithm::Ko,
+        Algorithm::Yto,
+        Algorithm::Howard,
+        Algorithm::Ho,
+    ];
+    let mut header: Vec<String> = vec!["n".into(), "m".into()];
+    header.extend(algs.iter().map(|a| format!("{} iters", a.name())));
+    header.push("iters/n (KO)".into());
+
+    let mut rows = Vec::new();
+    for &(n, m) in &cfg.grid {
+        let mut row = vec![n.to_string(), m.to_string()];
+        let mut ko_iters = 0.0;
+        for alg in algs {
+            if !fits_in_memory(alg, n) {
+                row.push("N/A".into());
+                continue;
+            }
+            let mut total = 0u64;
+            for seed in 0..cfg.seeds {
+                let g = cfg.instance(n, m, seed);
+                total += alg.solve(&g).expect("cyclic").counters.iterations;
+            }
+            let avg = total as f64 / cfg.seeds as f64;
+            if alg == Algorithm::Ko {
+                ko_iters = avg;
+            }
+            row.push(format!("{avg:.1}"));
+        }
+        row.push(format!("{:.2}", ko_iters / n as f64));
+        rows.push(row);
+        eprintln!("done n={n} m={m}");
+    }
+    println!(
+        "EXP-4.3: mean iteration counts over {} seeds (HO column = final level k)",
+        cfg.seeds
+    );
+    print_table(&header, &rows);
+    println!("\nExpected shape (§4.3): all counts < n; Burns ≤ KO = YTO ≈ n/2 for m > n;");
+    println!("Howard's count is drastically smaller and tends to shrink with density.");
+}

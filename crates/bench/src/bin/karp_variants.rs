@@ -1,0 +1,100 @@
+//! EXP-4.4 — Karp's algorithm and its variants.
+//!
+//! §4.4 makes three claims this harness measures:
+//!
+//! 1. DG's improvement in *arcs visited* is small on random graphs
+//!    (the unfolding fills up immediately) but large on circuits;
+//! 2. Karp2 (the Θ(n)-space version) roughly doubles Karp's time;
+//! 3. HO's early termination is very effective (it ranks second overall
+//!    in Table 2).
+//!
+//! `cargo run -p mcr-bench --release --bin karp_variants [--full]`
+
+use mcr_bench::{fits_in_memory, fmt_ms, print_table, run_timed_lambda, HarnessConfig};
+use mcr_core::Algorithm;
+use mcr_gen::circuit::{circuit_graph, CircuitConfig};
+use std::time::Duration;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let algs = [
+        Algorithm::Karp,
+        Algorithm::Karp2,
+        Algorithm::Dg,
+        Algorithm::Ho,
+    ];
+    let mut header: Vec<String> = vec!["family".into(), "n".into(), "m".into()];
+    for a in algs {
+        header.push(format!("{} ms", a.name()));
+        header.push(format!("{} arcs", a.name()));
+    }
+    header.push("DG/Karp arcs".into());
+    header.push("Karp2/Karp time".into());
+
+    let mut rows = Vec::new();
+    let run_family =
+        |label: &str, graphs: Vec<mcr_graph::Graph>, rows: &mut Vec<Vec<String>>| {
+            let n = graphs[0].num_nodes();
+            let m = graphs[0].num_arcs();
+            let mut row = vec![label.to_string(), n.to_string(), m.to_string()];
+            let mut arcs = [0u64; 4];
+            let mut times = [Duration::ZERO; 4];
+            for (i, alg) in algs.iter().enumerate() {
+                if !fits_in_memory(*alg, n) {
+                    row.push("N/A".into());
+                    row.push("N/A".into());
+                    continue;
+                }
+                for g in &graphs {
+                    let (t, out) = run_timed_lambda(*alg, g);
+                    times[i] += t;
+                    arcs[i] += out.expect("cyclic").1.arcs_visited;
+                }
+                times[i] /= graphs.len() as u32;
+                arcs[i] /= graphs.len() as u64;
+                row.push(fmt_ms(times[i]));
+                row.push(arcs[i].to_string());
+            }
+            if arcs[0] == 0 {
+                row.push("N/A".into());
+            } else {
+                row.push(format!("{:.2}", arcs[2] as f64 / arcs[0] as f64));
+            }
+            if times[0].is_zero() {
+                row.push("N/A".into());
+            } else {
+                row.push(format!(
+                    "{:.2}",
+                    times[1].as_secs_f64() / times[0].as_secs_f64()
+                ));
+            }
+            rows.push(row);
+            eprintln!("done {label} n={n}");
+        };
+
+    for &(n, m) in &cfg.grid {
+        let graphs: Vec<_> = (0..cfg.seeds).map(|s| cfg.instance(n, m, s)).collect();
+        run_family("sprand", graphs, &mut rows);
+    }
+    // Circuit-like graphs (the LGSynth91 stand-in): sparse, shallow
+    // unfoldings.
+    let circuit_sizes: &[usize] = if cfg.quick {
+        &[512, 1024]
+    } else {
+        &[512, 1024, 2048, 4096]
+    };
+    for &size in circuit_sizes {
+        let graphs: Vec<_> = (0..cfg.seeds)
+            .map(|s| circuit_graph(&CircuitConfig::new(size).seed(s)))
+            .collect();
+        run_family("circuit", graphs, &mut rows);
+    }
+
+    println!(
+        "EXP-4.4: Karp family operation counts and times ({} seeds averaged)",
+        cfg.seeds
+    );
+    print_table(&header, &rows);
+    println!("\nExpected shape (§4.4): DG/Karp arc ratio near 1.0 on sprand rows but");
+    println!("far below 1.0 on circuit rows; Karp2/Karp time ratio around 2.0.");
+}

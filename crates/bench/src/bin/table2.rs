@@ -1,0 +1,89 @@
+//! EXP-T2 / EXP-4.5 — regenerates Table 2: running times (ms) of
+//! Burns, KO, YTO, Howard, HO, Karp, DG, Lawler, Karp2 and OA1 on
+//! SPRAND random graphs, averaged over seeds, plus the §4.5 ranking
+//! summary.
+//!
+//! `cargo run -p mcr-bench --release --bin table2 [--full] [--seeds k]`
+//!
+//! Quick mode (default) covers n ∈ {512, 1024}; `--full` reproduces the
+//! paper's n ∈ {512..8192} grid with 10 seeds. `N/A` marks the
+//! quadratic-space algorithms on inputs whose table would exceed the
+//! memory policy, mirroring the paper's N/A entries.
+
+use mcr_bench::{average_lambda_over_seeds, fits_in_memory, fmt_ms, print_table, HarnessConfig};
+use mcr_core::Algorithm;
+use std::collections::HashMap;
+use std::time::Duration;
+
+fn main() {
+    let cfg = HarnessConfig::from_args();
+    let algs = Algorithm::TABLE2;
+    let mut header: Vec<String> = vec!["n".into(), "m".into()];
+    header.extend(algs.iter().map(|a| a.name().to_string()));
+
+    let mut rows = Vec::new();
+    let mut total_time: HashMap<&str, Duration> = HashMap::new();
+    let mut covered: HashMap<&str, u32> = HashMap::new();
+    for &(n, m) in &cfg.grid {
+        let mut row = vec![n.to_string(), m.to_string()];
+        let mut lambda_check: Option<mcr_core::Ratio64> = None;
+        for alg in algs {
+            if !fits_in_memory(alg, n) {
+                row.push("N/A".into());
+                continue;
+            }
+            let (t, lams) = average_lambda_over_seeds(&cfg, alg, n, m);
+            *total_time.entry(alg.name()).or_default() += t;
+            *covered.entry(alg.name()).or_default() += 1;
+            // Exactness cross-check on the first seed.
+            let lam = lams[0];
+            if alg.is_approximate() {
+                if let Some(expected) = lambda_check { assert!(
+                    lam >= expected,
+                    "{} returned a value below the optimum at n={n} m={m}",
+                    alg.name()
+                ) }
+            } else {
+                match lambda_check {
+                    Some(expected) => assert_eq!(
+                        lam,
+                        expected,
+                        "{} disagrees at n={n} m={m}",
+                        alg.name()
+                    ),
+                    None => lambda_check = Some(lam),
+                }
+            }
+            row.push(fmt_ms(t));
+        }
+        rows.push(row);
+        eprintln!("done n={n} m={m}");
+    }
+
+    println!(
+        "Table 2 reproduction: mean running time (ms) over {} seeds, weights U[1,10000]",
+        cfg.seeds
+    );
+    println!("(lambda-only protocol, as in the paper: no witness extraction)");
+    print_table(&header, &rows);
+
+    // §4.5 ranking over the grid points every algorithm covered.
+    let mut ranking: Vec<(&str, Duration, u32)> = total_time
+        .iter()
+        .map(|(k, v)| (*k, *v, covered[k]))
+        .collect();
+    ranking.sort_by_key(|&(_, t, c)| t / c.max(1));
+    println!("\nRanking by mean time per covered grid point (§4.5):");
+    for (i, (name, t, c)) in ranking.iter().enumerate() {
+        println!(
+            "  {}. {:<8} {:>10} ms over {} grid points",
+            i + 1,
+            name,
+            fmt_ms(*t / *c),
+            c
+        );
+    }
+    println!(
+        "\nPaper's finding to compare against: Howard ≫ HO > (KO, YTO, Karp, DG) > Burns/Karp2 > OA1/Lawler."
+    );
+}

@@ -1,0 +1,198 @@
+//! Shared harness machinery for the experiment binaries.
+//!
+//! Every binary in this crate regenerates one of the paper's artifacts
+//! (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+//! paper-vs-measured record). They share the SPRAND grid of Table 2,
+//! seed-averaged timing, and plain-text table rendering, all
+//! implemented here.
+
+use mcr_core::{Algorithm, Solution};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_graph::Graph;
+use std::time::{Duration, Instant};
+
+/// Harness configuration parsed from the command line.
+#[derive(Clone, Debug)]
+pub struct HarnessConfig {
+    /// `(n, m)` grid to sweep.
+    pub grid: Vec<(usize, usize)>,
+    /// Random seeds per configuration (the paper averaged over 10).
+    pub seeds: u64,
+    /// Quick mode: CI-sized inputs.
+    pub quick: bool,
+}
+
+impl HarnessConfig {
+    /// Parses `--quick`, `--full`, and `--seeds <k>` from `args`.
+    ///
+    /// Full mode reproduces the exact Table 2 grid
+    /// (n ∈ {512..8192} × m/n ∈ {1..3}, 10 seeds); quick mode (default)
+    /// uses n ∈ {512, 1024} and 3 seeds so the whole suite terminates in
+    /// minutes.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        let full = args.iter().any(|a| a == "--full");
+        let mut seeds = if full { 10 } else { 3 };
+        if let Some(i) = args.iter().position(|a| a == "--seeds") {
+            if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                seeds = k;
+            }
+        }
+        let grid = if full {
+            mcr_gen::sprand::table2_grid()
+        } else {
+            let mut g = Vec::new();
+            for &n in &[512usize, 1024] {
+                for &num in &[2usize, 3, 4, 5, 6] {
+                    g.push((n, n * num / 2));
+                }
+            }
+            g
+        };
+        HarnessConfig {
+            grid,
+            seeds,
+            quick: !full,
+        }
+    }
+
+    /// The SPRAND instance for a grid point and seed (the paper's
+    /// default weight interval [1, 10000]).
+    pub fn instance(&self, n: usize, m: usize, seed: u64) -> Graph {
+        sprand(&SprandConfig::new(n, m).seed(seed))
+    }
+}
+
+/// Memory policy matching the paper's N/A entries: the Θ(n²)-space
+/// algorithms (Karp, DG, HO) are skipped when the table would exceed
+/// 512 MiB, which excludes exactly the paper's N/A row n = 8192. (The
+/// original machine had 64 MB and additionally gave up on HO at
+/// n = 4096; modern memory lets us fill that cell in.)
+pub fn fits_in_memory(alg: Algorithm, n: usize) -> bool {
+    if !alg.is_quadratic_space() {
+        return true;
+    }
+    // D table: (n+1)·n i64 entries; HO adds a parent table of u32.
+    let bytes = (n + 1) as u64 * n as u64 * 12;
+    bytes < 512 * 1024 * 1024
+}
+
+/// Runs `alg` on `g`, returning the wall time and the solution.
+pub fn run_timed(alg: Algorithm, g: &Graph) -> (Duration, Option<Solution>) {
+    let start = Instant::now();
+    let sol = alg.solve(g);
+    (start.elapsed(), sol)
+}
+
+/// Runs `alg` in λ-only mode (the paper's measurement protocol — no
+/// witness-cycle extraction), returning the wall time and the result.
+pub fn run_timed_lambda(
+    alg: Algorithm,
+    g: &Graph,
+) -> (Duration, Option<(mcr_core::Ratio64, mcr_core::Counters)>) {
+    let start = Instant::now();
+    let out = alg.solve_lambda_only(g);
+    (start.elapsed(), out)
+}
+
+/// Mean λ-only wall time of `alg` over the seeds of one grid point,
+/// with the per-seed λ values for cross-checking.
+pub fn average_lambda_over_seeds(
+    cfg: &HarnessConfig,
+    alg: Algorithm,
+    n: usize,
+    m: usize,
+) -> (Duration, Vec<mcr_core::Ratio64>) {
+    let mut total = Duration::ZERO;
+    let mut lams = Vec::new();
+    for seed in 0..cfg.seeds {
+        let g = cfg.instance(n, m, seed);
+        let (t, out) = run_timed_lambda(alg, &g);
+        total += t;
+        lams.push(out.expect("SPRAND graphs are cyclic").0);
+    }
+    (total / cfg.seeds as u32, lams)
+}
+
+/// Mean wall time and the per-seed solutions of `alg` over the seeds of
+/// one grid point.
+pub fn average_over_seeds(
+    cfg: &HarnessConfig,
+    alg: Algorithm,
+    n: usize,
+    m: usize,
+) -> (Duration, Vec<Solution>) {
+    let mut total = Duration::ZERO;
+    let mut sols = Vec::new();
+    for seed in 0..cfg.seeds {
+        let g = cfg.instance(n, m, seed);
+        let (t, sol) = run_timed(alg, &g);
+        total += t;
+        sols.push(sol.expect("SPRAND graphs are cyclic"));
+    }
+    (total / cfg.seeds as u32, sols)
+}
+
+/// Formats a duration in fractional milliseconds.
+pub fn fmt_ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Renders an aligned plain-text table.
+pub fn print_table(header: &[String], rows: &[Vec<String>]) {
+    let cols = header.len();
+    let mut width = vec![0usize; cols];
+    for (i, h) in header.iter().enumerate() {
+        width[i] = h.len();
+    }
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            width[i] = width[i].max(cell.len());
+        }
+    }
+    let line = |cells: &[String]| {
+        let body: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>w$}", c, w = width[i]))
+            .collect();
+        println!("{}", body.join("  "));
+    };
+    line(header);
+    let total: usize = width.iter().sum::<usize>() + 2 * (cols - 1);
+    println!("{}", "-".repeat(total));
+    for row in rows {
+        line(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_grid_is_small() {
+        // from_args reads real argv; construct directly instead.
+        let cfg = HarnessConfig {
+            grid: vec![(512, 1024)],
+            seeds: 2,
+            quick: true,
+        };
+        let (t, sols) = average_over_seeds(&cfg, Algorithm::HowardExact, 512, 1024);
+        assert_eq!(sols.len(), 2);
+        assert!(t > Duration::ZERO);
+    }
+
+    #[test]
+    fn memory_policy_matches_paper_shape() {
+        assert!(fits_in_memory(Algorithm::Karp, 4096));
+        assert!(!fits_in_memory(Algorithm::Karp, 8192));
+        assert!(fits_in_memory(Algorithm::Howard, 1 << 20));
+        assert!(fits_in_memory(Algorithm::Karp2, 1 << 20));
+    }
+
+    #[test]
+    fn fmt_ms_renders_fractions() {
+        assert_eq!(fmt_ms(Duration::from_micros(1500)), "1.50");
+    }
+}

@@ -1,0 +1,321 @@
+//! `mcr` — command-line optimum cycle mean / cycle ratio analysis.
+//!
+//! ```text
+//! mcr solve [FILE]      solve a DIMACS-style instance (stdin if omitted)
+//!     --algorithm NAME  one of: burns burns-exact ko yto howard
+//!                       howard-exact ho karp karp2 dg lawler
+//!                       lawler-exact oa1        (default: howard-exact)
+//!     --max             maximize instead of minimize
+//!     --ratio           cost-to-time ratio objective (needs transit times)
+//!     --epsilon X       precision for approximate algorithms
+//!     --critical        also print the critical subgraph
+//!     --counters        also print operation counts
+//!
+//! mcr gen sprand N M [--seed S] [--wmin A] [--wmax B] [--tmin A --tmax B]
+//! mcr gen circuit N   [--seed S]
+//!                       emit a DIMACS-style instance on stdout
+//!
+//! mcr bench [FILE]      run every algorithm on an instance and print a
+//!                       timing/operation-count table
+//!
+//! mcr dot [FILE]        convert an instance to Graphviz DOT
+//! ```
+
+use mcr_core::critical::critical_subgraph;
+use mcr_core::{ratio, Algorithm, Guarantee, Solution};
+use mcr_gen::circuit::{circuit_graph, CircuitConfig};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_gen::transit::with_random_transits;
+use mcr_graph::io::{read_dimacs, to_dot, write_dimacs};
+use mcr_graph::Graph;
+use std::io::Read;
+use std::process::ExitCode;
+
+struct Args {
+    positional: Vec<String>,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut positional = Vec::new();
+        let mut flags = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            if let Some(name) = raw[i].strip_prefix("--") {
+                let takes_value = ![
+                    "max", "ratio", "critical", "counters",
+                ]
+                .contains(&name);
+                if takes_value && i + 1 < raw.len() {
+                    flags.push((name.to_string(), Some(raw[i + 1].clone())));
+                    i += 2;
+                } else {
+                    flags.push((name.to_string(), None));
+                    i += 1;
+                }
+            } else {
+                positional.push(raw[i].clone());
+                i += 1;
+            }
+        }
+        Args { positional, flags }
+    }
+
+    fn flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    fn value(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    fn value_parsed<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Option<Algorithm> {
+    Algorithm::ALL
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(name))
+}
+
+fn load_graph(path: Option<&str>) -> Result<Graph, String> {
+    let mut text = String::new();
+    match path {
+        None | Some("-") => {
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+        }
+        Some(p) => {
+            text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        }
+    }
+    read_dimacs(&mut text.as_bytes()).map_err(|e| format!("parse error: {e}"))
+}
+
+fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
+    println!("lambda = {} (~ {:.6})", sol.lambda, sol.lambda.to_f64());
+    match sol.guarantee {
+        Guarantee::Exact => println!("guarantee: exact"),
+        Guarantee::Epsilon(e) => println!("guarantee: within {e} of the optimum"),
+    }
+    let nodes: Vec<String> = sol
+        .cycle_nodes(g)
+        .iter()
+        .map(|v| (v.index() + 1).to_string())
+        .collect();
+    println!("witness cycle ({} arcs): {}", sol.cycle.len(), nodes.join(" -> "));
+    if args.flag("counters") {
+        let c = &sol.counters;
+        println!(
+            "counters: iterations={} relaxations={} updates={} arcs_visited={} cycles={} oracle_calls={} heap_ops={}",
+            c.iterations,
+            c.relaxations,
+            c.distance_updates,
+            c.arcs_visited,
+            c.cycles_examined,
+            c.oracle_calls,
+            c.heap.total()
+        );
+    }
+    if args.flag("critical") {
+        let (graph, lambda) = if maximize {
+            (g.negated(), -sol.lambda)
+        } else {
+            (g.clone(), sol.lambda)
+        };
+        match critical_subgraph(&graph, lambda) {
+            Ok(cs) => {
+                println!("critical arcs ({}):", cs.arcs.len());
+                for a in cs.arcs {
+                    println!(
+                        "  {} -> {} (w={}, t={})",
+                        g.source(a).index() + 1,
+                        g.target(a).index() + 1,
+                        g.weight(a),
+                        g.transit(a)
+                    );
+                }
+            }
+            Err(_) => println!("critical subgraph: unavailable (approximate lambda)"),
+        }
+    }
+}
+
+fn cmd_solve(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
+    let alg_name = args.value("algorithm").unwrap_or("howard-exact");
+    let alg = algorithm_by_name(alg_name)
+        .ok_or_else(|| format!("unknown algorithm `{alg_name}` (see --help)"))?;
+    let maximize = args.flag("max");
+    let ratio_mode = args.flag("ratio");
+    let epsilon = args.value_parsed("epsilon", Algorithm::default_epsilon(&g))?;
+    if epsilon <= 0.0 {
+        return Err("epsilon must be positive".into());
+    }
+
+    let target = if maximize { g.negated() } else { g.clone() };
+    let sol = if ratio_mode {
+        if ratio::has_zero_transit_cycle(&target) {
+            return Err("instance has a zero-transit cycle: ratio undefined".into());
+        }
+        match alg {
+            Algorithm::Howard => ratio::howard_ratio(&target, epsilon),
+            Algorithm::HowardExact => ratio::howard_ratio_exact(&target),
+            Algorithm::Burns | Algorithm::BurnsExact => ratio::burns_ratio(&target),
+            Algorithm::Ko => ratio::parametric_ratio(&target, false),
+            Algorithm::Yto => ratio::parametric_ratio(&target, true),
+            Algorithm::Lawler => ratio::lawler_ratio(&target, epsilon),
+            Algorithm::LawlerExact => ratio::lawler_ratio_exact(&target),
+            Algorithm::Megiddo => ratio::megiddo_ratio(&target),
+            other => ratio::ratio_via_expansion(&target, other)?,
+        }
+    } else {
+        alg.solve_with_epsilon(&target, epsilon)
+    };
+    match sol {
+        None => {
+            println!("graph is acyclic: no cycle mean/ratio");
+            Ok(())
+        }
+        Some(mut sol) => {
+            if maximize {
+                sol.lambda = -sol.lambda;
+            }
+            println!(
+                "{} {} via {}",
+                if maximize { "maximum" } else { "minimum" },
+                if ratio_mode { "cycle ratio" } else { "cycle mean" },
+                alg.name()
+            );
+            print_solution(&g, &sol, maximize, args);
+            Ok(())
+        }
+    }
+}
+
+fn cmd_gen(args: &Args) -> Result<(), String> {
+    let family = args
+        .positional
+        .get(1)
+        .ok_or("usage: mcr gen <sprand|circuit> ...")?;
+    let seed: u64 = args.value_parsed("seed", 0)?;
+    let g = match family.as_str() {
+        "sprand" => {
+            let n: usize = args
+                .positional
+                .get(2)
+                .ok_or("usage: mcr gen sprand N M")?
+                .parse()
+                .map_err(|_| "invalid N")?;
+            let m: usize = args
+                .positional
+                .get(3)
+                .ok_or("usage: mcr gen sprand N M")?
+                .parse()
+                .map_err(|_| "invalid M")?;
+            let wmin: i64 = args.value_parsed("wmin", 1)?;
+            let wmax: i64 = args.value_parsed("wmax", 10_000)?;
+            let g = sprand(
+                &SprandConfig::new(n, m)
+                    .seed(seed)
+                    .weight_range(wmin, wmax),
+            );
+            match (args.value("tmin"), args.value("tmax")) {
+                (Some(_), _) | (_, Some(_)) => {
+                    let tmin: i64 = args.value_parsed("tmin", 1)?;
+                    let tmax: i64 = args.value_parsed("tmax", 10)?;
+                    with_random_transits(&g, tmin, tmax, seed ^ 0x7ea)
+                }
+                _ => g,
+            }
+        }
+        "circuit" => {
+            let n: usize = args
+                .positional
+                .get(2)
+                .ok_or("usage: mcr gen circuit N")?
+                .parse()
+                .map_err(|_| "invalid N")?;
+            circuit_graph(&CircuitConfig::new(n).seed(seed))
+        }
+        other => return Err(format!("unknown generator `{other}`")),
+    };
+    let mut out = Vec::new();
+    write_dimacs(&mut out, &g).map_err(|e| e.to_string())?;
+    print!("{}", String::from_utf8_lossy(&out));
+    Ok(())
+}
+
+fn cmd_dot(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
+    print!("{}", to_dot(&g, "mcr"));
+    Ok(())
+}
+
+fn cmd_bench(args: &Args) -> Result<(), String> {
+    let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
+    println!(
+        "instance: {} nodes, {} arcs, weights [{}, {}]",
+        g.num_nodes(),
+        g.num_arcs(),
+        g.min_weight().unwrap_or(0),
+        g.max_weight().unwrap_or(0)
+    );
+    println!(
+        "{:<14} {:>12} {:>14} {:>9} {:>12}",
+        "algorithm", "time", "lambda", "iters", "relaxations"
+    );
+    for alg in Algorithm::ALL {
+        let start = std::time::Instant::now();
+        match alg.solve_lambda_only(&g) {
+            None => {
+                println!("{:<14} graph is acyclic", alg.name());
+                break;
+            }
+            Some((lambda, counters)) => {
+                println!(
+                    "{:<14} {:>12} {:>14} {:>9} {:>12}",
+                    alg.name(),
+                    format!("{:.3?}", start.elapsed()),
+                    lambda.to_string(),
+                    counters.iterations,
+                    counters.relaxations
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: mcr <solve|gen|dot|bench> ...  (see crate docs for flags)";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = Args::parse(&raw);
+    let result = match args.positional.first().map(|s| s.as_str()) {
+        Some("solve") => cmd_solve(&args),
+        Some("gen") => cmd_gen(&args),
+        Some("dot") => cmd_dot(&args),
+        Some("bench") => cmd_bench(&args),
+        _ => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("mcr: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! End-to-end tests of the `mcr` command-line tool, driving the real
+//! binary through pipes.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+fn mcr() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_mcr"))
+}
+
+fn run_with_stdin(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = mcr()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn mcr");
+    child
+        .stdin
+        .as_mut()
+        .expect("stdin piped")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("wait");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+const TRIANGLE: &str = "p mcr 3 4\na 1 2 2\na 2 3 4\na 3 1 3\na 2 1 10\n";
+
+#[test]
+fn solve_reads_stdin_and_reports_exact_lambda() {
+    let (stdout, _, ok) = run_with_stdin(&["solve"], TRIANGLE);
+    assert!(ok);
+    assert!(stdout.contains("lambda = 3"), "{stdout}");
+    assert!(stdout.contains("guarantee: exact"));
+    assert!(stdout.contains("witness cycle (3 arcs)"));
+}
+
+#[test]
+fn solve_with_each_algorithm_flag() {
+    for name in [
+        "burns",
+        "burns-exact",
+        "ko",
+        "yto",
+        "howard",
+        "howard-exact",
+        "ho",
+        "karp",
+        "karp2",
+        "dg",
+        "lawler",
+        "lawler-exact",
+        "oa1",
+    ] {
+        let (stdout, stderr, ok) = run_with_stdin(&["solve", "--algorithm", name], TRIANGLE);
+        assert!(ok, "{name}: {stderr}");
+        assert!(stdout.contains("lambda = 3"), "{name}: {stdout}");
+    }
+}
+
+#[test]
+fn solve_max_negates_properly() {
+    let (stdout, _, ok) = run_with_stdin(&["solve", "--max"], TRIANGLE);
+    assert!(ok);
+    // Max mean cycle: 1->2->1 with (2+10)/2 = 6.
+    assert!(stdout.contains("lambda = 6"), "{stdout}");
+    assert!(stdout.contains("maximum cycle mean"));
+}
+
+#[test]
+fn solve_ratio_uses_transit_times() {
+    let input = "p mcr 2 2\na 1 2 4 1\na 2 1 6 3\n";
+    let (stdout, _, ok) = run_with_stdin(&["solve", "--ratio"], input);
+    assert!(ok);
+    assert!(stdout.contains("lambda = 5/2"), "{stdout}");
+}
+
+#[test]
+fn solve_rejects_zero_transit_cycles_in_ratio_mode() {
+    let input = "p mcr 2 2\na 1 2 4 0\na 2 1 6 0\n";
+    let (_, stderr, ok) = run_with_stdin(&["solve", "--ratio"], input);
+    assert!(!ok);
+    assert!(stderr.contains("zero-transit"), "{stderr}");
+}
+
+#[test]
+fn solve_critical_and_counters_flags() {
+    let (stdout, _, ok) =
+        run_with_stdin(&["solve", "--critical", "--counters"], TRIANGLE);
+    assert!(ok);
+    assert!(stdout.contains("critical arcs"));
+    assert!(stdout.contains("counters:"));
+}
+
+#[test]
+fn unknown_algorithm_is_a_clean_error() {
+    let (_, stderr, ok) = run_with_stdin(&["solve", "--algorithm", "dijkstra"], TRIANGLE);
+    assert!(!ok);
+    assert!(stderr.contains("unknown algorithm"));
+}
+
+#[test]
+fn malformed_input_is_a_clean_error() {
+    let (_, stderr, ok) = run_with_stdin(&["solve"], "p mcr nonsense\n");
+    assert!(!ok);
+    assert!(stderr.contains("parse error"), "{stderr}");
+}
+
+#[test]
+fn gen_sprand_pipes_into_solve() {
+    let out = mcr()
+        .args(["gen", "sprand", "30", "90", "--seed", "5"])
+        .output()
+        .expect("gen");
+    assert!(out.status.success());
+    let dimacs = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert!(dimacs.starts_with("p mcr 30 90"));
+    let (stdout, _, ok) = run_with_stdin(&["solve", "-"], &dimacs);
+    assert!(ok);
+    assert!(stdout.contains("lambda = "));
+}
+
+#[test]
+fn gen_circuit_and_dot_output() {
+    let out = mcr()
+        .args(["gen", "circuit", "40", "--seed", "2"])
+        .output()
+        .expect("gen");
+    assert!(out.status.success());
+    let dimacs = String::from_utf8_lossy(&out.stdout).into_owned();
+    let (dot, _, ok) = run_with_stdin(&["dot"], &dimacs);
+    assert!(ok);
+    assert!(dot.starts_with("digraph"));
+    assert!(dot.contains("->"));
+}
+
+#[test]
+fn gen_with_transit_range_produces_ratio_instances() {
+    let out = mcr()
+        .args(["gen", "sprand", "10", "20", "--tmin", "1", "--tmax", "5"])
+        .output()
+        .expect("gen");
+    assert!(out.status.success());
+    let dimacs = String::from_utf8_lossy(&out.stdout).into_owned();
+    // 5-field arc lines include transit times.
+    let arc_line = dimacs.lines().find(|l| l.starts_with('a')).expect("arcs");
+    assert_eq!(arc_line.split_whitespace().count(), 5, "{arc_line}");
+}
+
+#[test]
+fn acyclic_graph_reports_no_cycle() {
+    let input = "p mcr 2 1\na 1 2 5\n";
+    let (stdout, _, ok) = run_with_stdin(&["solve"], input);
+    assert!(ok);
+    assert!(stdout.contains("acyclic"));
+}
+
+#[test]
+fn bench_runs_every_algorithm() {
+    let (stdout, stderr, ok) = run_with_stdin(&["bench"], TRIANGLE);
+    assert!(ok, "{stderr}");
+    for name in ["Howard", "Karp", "YTO", "Lawler", "Megiddo"] {
+        assert!(stdout.contains(name), "missing {name}: {stdout}");
+    }
+}
+
+#[test]
+fn no_subcommand_prints_usage() {
+    let (_, stderr, ok) = run_with_stdin(&[], "");
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}

@@ -1,0 +1,339 @@
+//! Howard's algorithm (policy iteration), the study's overall winner.
+//!
+//! Two variants are provided:
+//!
+//! * [`solve_scc_fig1`] — the improved version of Figure 1 of the paper:
+//!   node distances persist across iterations (`f64`), only the basin of
+//!   the minimum policy cycle is refreshed by a reverse BFS, and the
+//!   loop exits when no distance improves by more than ε. The reported
+//!   λ is the exact rational mean of the final policy cycle.
+//! * [`solve_scc_exact`] — classical policy iteration with full value
+//!   determination per round in exact scaled-integer arithmetic
+//!   (distances scaled by the denominator of the current λ), terminating
+//!   only when no arc admits a strict improvement. Certified exact.
+//!
+//! Both versions work for the general cost-to-time-ratio problem; the
+//! cycle mean problem is the unit-transit special case. Each iteration
+//! costs `Θ(m)`; the only proven bounds on the iteration count are
+//! pseudopolynomial/exponential (`O(N·m)` for `N` the product of
+//! out-degrees), yet in practice the count is tiny — the very
+//! observation the paper popularized.
+
+use crate::driver::SccOutcome;
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use crate::solution::Guarantee;
+use mcr_graph::{ArcId, Graph};
+
+/// Iteration-cap safety net: policy iteration provably terminates, but a
+/// bug would otherwise loop forever. Generous enough never to fire on
+/// sane inputs.
+fn iteration_cap(n: usize) -> u64 {
+    200_000 + 200 * n as u64
+}
+
+/// Finds all cycles of the current policy graph and returns the one
+/// with the minimum ratio `w(C)/t(C)` (mean when transits are 1), as
+/// `(lambda, cycle_arcs, anchor_node)`.
+fn min_policy_cycle(
+    g: &Graph,
+    policy: &[ArcId],
+    counters: &mut Counters,
+) -> (Ratio64, Vec<ArcId>, usize) {
+    let n = g.num_nodes();
+    // 0 = unvisited, otherwise the 1-based walk id that first visited.
+    let mut visited_by = vec![0u32; n];
+    let mut pos_in_walk = vec![0u32; n];
+    let mut best: Option<(Ratio64, Vec<ArcId>, usize)> = None;
+    let mut walk: Vec<usize> = Vec::new();
+    for start in 0..n {
+        if visited_by[start] != 0 {
+            continue;
+        }
+        let walk_id = start as u32 + 1;
+        walk.clear();
+        let mut v = start;
+        while visited_by[v] == 0 {
+            visited_by[v] = walk_id;
+            pos_in_walk[v] = walk.len() as u32;
+            walk.push(v);
+            v = g.target(policy[v]).index();
+        }
+        if visited_by[v] == walk_id {
+            // New cycle: nodes walk[pos_in_walk[v]..].
+            counters.cycles_examined += 1;
+            let first = pos_in_walk[v] as usize;
+            let arcs: Vec<ArcId> = walk[first..].iter().map(|&u| policy[u]).collect();
+            let w: i64 = arcs.iter().map(|&a| g.weight(a)).sum();
+            let t: i64 = arcs.iter().map(|&a| g.transit(a)).sum();
+            assert!(
+                t > 0,
+                "policy cycle with zero transit time: the cycle ratio is undefined"
+            );
+            let lam = Ratio64::new(w, t);
+            if best.as_ref().is_none_or(|(b, _, _)| lam < *b) {
+                best = Some((lam, arcs, v));
+            }
+        }
+    }
+    best.expect("policy graph of a nonempty component always has a cycle")
+}
+
+/// Initial policy: each node's minimum-weight outgoing arc (lines 1–4 of
+/// Figure 1), along with the initial distances `d(u) = w(u, π(u))`.
+fn initial_policy(g: &Graph) -> (Vec<ArcId>, Vec<f64>) {
+    let n = g.num_nodes();
+    let mut policy = Vec::with_capacity(n);
+    let mut d = Vec::with_capacity(n);
+    for v in g.node_ids() {
+        let (best, weight) = g
+            .out_adj(v)
+            .map(|(a, _, w, _)| (a, w))
+            .min_by_key(|&(_, w)| w)
+            .expect("strongly connected component node has an out-arc");
+        policy.push(best);
+        d.push(weight as f64);
+    }
+    (policy, d)
+}
+
+/// The improved Howard's algorithm of Figure 1 (`f64` distances,
+/// ε-terminated).
+pub(crate) fn solve_scc_fig1(g: &Graph, counters: &mut Counters, epsilon: f64) -> SccOutcome {
+    let n = g.num_nodes();
+    let (mut policy, mut d) = initial_policy(g);
+    let cap = iteration_cap(n);
+    let mut rev_heads: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
+    loop {
+        counters.iterations += 1;
+        assert!(
+            counters.iterations <= cap,
+            "Howard (fig. 1) exceeded its iteration cap — epsilon too small?"
+        );
+        let (lam_exact, cycle, s) = min_policy_cycle(g, &policy, counters);
+        let lam = lam_exact.to_f64();
+
+        // Reverse BFS within the policy graph from s: refresh distances
+        // of every node with a policy path to s (line 11–12).
+        for list in rev_heads.iter_mut() {
+            list.clear();
+        }
+        for v in 0..n {
+            if v != s {
+                rev_heads[g.target(policy[v]).index()].push(v as u32);
+            }
+        }
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        let mut settled = vec![false; n];
+        settled[s] = true;
+        while head < queue.len() {
+            let x = queue[head] as usize;
+            head += 1;
+            for &vu in &rev_heads[x] {
+                let v = vu as usize;
+                if !settled[v] {
+                    settled[v] = true;
+                    d[v] = d[x] + g.weight(policy[v]) as f64
+                        - lam * g.transit(policy[v]) as f64;
+                    counters.distance_updates += 1;
+                    queue.push(vu);
+                }
+            }
+        }
+
+        // Improvement pass over all arcs (lines 13–18).
+        let mut improved = false;
+        for a in g.arc_ids() {
+            let u = g.source(a).index();
+            let v = g.target(a).index();
+            counters.relaxations += 1;
+            let cand = d[v] + g.weight(a) as f64 - lam * g.transit(a) as f64;
+            let delta = d[u] - cand;
+            if delta > 0.0 {
+                if delta > epsilon {
+                    improved = true;
+                }
+                d[u] = cand;
+                policy[u] = a;
+                counters.distance_updates += 1;
+            }
+        }
+        if !improved {
+            return SccOutcome {
+                lambda: lam_exact,
+                cycle,
+                guarantee: Guarantee::Epsilon(epsilon * n as f64),
+            };
+        }
+    }
+}
+
+/// Exact Howard: full value determination per round in scaled integers.
+pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome {
+    let n = g.num_nodes();
+    let (mut policy, _) = initial_policy(g);
+    const UNSET: i128 = i128::MAX / 4;
+    let mut d = vec![UNSET; n];
+    let cap = iteration_cap(n);
+    let mut rev_heads: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut queue: Vec<u32> = Vec::with_capacity(n);
+    loop {
+        counters.iterations += 1;
+        assert!(
+            counters.iterations <= cap,
+            "Howard (exact) exceeded its iteration cap"
+        );
+        let (lam, cycle, s) = min_policy_cycle(g, &policy, counters);
+        let p = lam.numer() as i128;
+        let q = lam.denom() as i128;
+
+        // Value determination: d scaled by q, anchored at d(s) = 0,
+        // propagated backward through the policy graph. Nodes that
+        // cannot reach s under the current policy stay UNSET this round.
+        d.fill(UNSET);
+        d[s] = 0;
+        for list in rev_heads.iter_mut() {
+            list.clear();
+        }
+        for v in 0..n {
+            if v != s {
+                rev_heads[g.target(policy[v]).index()].push(v as u32);
+            }
+        }
+        queue.clear();
+        queue.push(s as u32);
+        let mut head = 0;
+        while head < queue.len() {
+            let x = queue[head] as usize;
+            head += 1;
+            for &vu in &rev_heads[x] {
+                let v = vu as usize;
+                if d[v] >= UNSET {
+                    d[v] = d[x] + g.weight(policy[v]) as i128 * q
+                        - p * g.transit(policy[v]) as i128;
+                    counters.distance_updates += 1;
+                    queue.push(vu);
+                }
+            }
+        }
+
+        // Strict improvement pass.
+        let mut improved = false;
+        for a in g.arc_ids() {
+            let u = g.source(a).index();
+            let v = g.target(a).index();
+            counters.relaxations += 1;
+            if d[v] >= UNSET {
+                continue;
+            }
+            let cand = d[v] + g.weight(a) as i128 * q - p * g.transit(a) as i128;
+            if cand < d[u] {
+                d[u] = cand;
+                policy[u] = a;
+                improved = true;
+                counters.distance_updates += 1;
+            }
+        }
+        if !improved {
+            // No strict improvement and (by strong connectivity) no
+            // UNSET node remains: d certifies λ* = lam.
+            debug_assert!(d.iter().all(|&x| x < UNSET));
+            return SccOutcome {
+                lambda: lam,
+                cycle,
+                guarantee: Guarantee::Exact,
+            };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::graph::from_arc_list;
+
+    fn exact_lambda(g: &Graph) -> Ratio64 {
+        let mut c = Counters::new();
+        solve_scc_exact(g, &mut c).lambda
+    }
+
+    fn fig1_lambda(g: &Graph) -> Ratio64 {
+        let mut c = Counters::new();
+        solve_scc_fig1(g, &mut c, 1e-9).lambda
+    }
+
+    #[test]
+    fn single_ring() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 4)]);
+        assert_eq!(exact_lambda(&g), Ratio64::new(7, 3));
+        assert_eq!(fig1_lambda(&g), Ratio64::new(7, 3));
+    }
+
+    #[test]
+    fn self_loop_wins() {
+        let g = from_arc_list(2, &[(0, 1, 5), (1, 0, 5), (1, 1, 2)]);
+        assert_eq!(exact_lambda(&g), Ratio64::from(2));
+        assert_eq!(fig1_lambda(&g), Ratio64::from(2));
+    }
+
+    #[test]
+    fn both_variants_match_brute_force() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..60 {
+            let g = sprand(&SprandConfig::new(10, 28).seed(seed).weight_range(-50, 50));
+            let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
+            assert_eq!(exact_lambda(&g), expected, "exact seed {seed}");
+            assert_eq!(fig1_lambda(&g), expected, "fig1 seed {seed}");
+        }
+    }
+
+    #[test]
+    fn iteration_count_is_small_on_random_graphs() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        let g = sprand(&SprandConfig::new(200, 600).seed(7));
+        let mut c = Counters::new();
+        solve_scc_exact(&g, &mut c);
+        // §4.3: "drastically small compared to the other algorithms".
+        assert!(c.iterations < 60, "iterations {}", c.iterations);
+    }
+
+    #[test]
+    fn witness_cycle_mean_equals_lambda() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..10 {
+            let g = sprand(&SprandConfig::new(30, 90).seed(seed));
+            let mut c = Counters::new();
+            let s = solve_scc_exact(&g, &mut c);
+            let (w, len, _) = crate::solution::check_cycle(&g, &s.cycle).expect("valid");
+            assert_eq!(Ratio64::new(w, len as i64), s.lambda);
+        }
+    }
+
+    #[test]
+    fn ratio_problem_with_transits() {
+        // Two cycles with different (mean, ratio) orderings.
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 2, 5);
+        b.add_arc_with_transit(v[1], v[0], 2, 5); // ratio 4/10 = 2/5
+        b.add_arc_with_transit(v[0], v[0], 1, 1); // ratio 1
+        let g = b.build();
+        let mut c = Counters::new();
+        let s = solve_scc_exact(&g, &mut c);
+        assert_eq!(s.lambda, Ratio64::new(2, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero transit")]
+    fn zero_transit_policy_cycle_panics() {
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(1);
+        b.add_arc_with_transit(v[0], v[0], 3, 0);
+        let g = b.build();
+        let mut c = Counters::new();
+        solve_scc_exact(&g, &mut c);
+    }
+}

@@ -1,0 +1,135 @@
+//! Karp2: the space-efficient two-pass version of Karp's algorithm.
+//!
+//! Karp's algorithm stores the full `Θ(n²)` table of `D_k(v)` values.
+//! Karp2 (suggested to the original authors by S. Gaubert) reduces the
+//! space to `Θ(n)` at the cost of roughly doubling the running time:
+//! the first pass computes only `D_n(v)` with two rolling rows; the
+//! second pass recomputes each `D_k(v)` row in order while folding it
+//! into the running maximum of Karp's formula.
+
+use super::karp::INF;
+use crate::driver::SccOutcome;
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use crate::solution::Guarantee;
+use mcr_graph::Graph;
+
+fn relax_row(g: &Graph, prev: &[i64], cur: &mut [i64], counters: &mut Counters) {
+    cur.fill(INF);
+    counters.arcs_visited += g.num_arcs() as u64;
+    for a in g.arc_ids() {
+        let u = g.source(a).index();
+        if prev[u] < INF {
+            counters.relaxations += 1;
+            let cand = prev[u] + g.weight(a);
+            let v = g.target(a).index();
+            if cand < cur[v] {
+                cur[v] = cand;
+                counters.distance_updates += 1;
+            }
+        }
+    }
+}
+
+/// Karp2, λ only.
+pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
+    let n = g.num_nodes();
+    let mut prev = vec![INF; n];
+    let mut cur = vec![INF; n];
+    prev[0] = 0;
+
+    // Pass 1: D_n only.
+    for _k in 1..=n {
+        relax_row(g, &prev, &mut cur, counters);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let dn = prev.clone();
+
+    // Pass 2: recompute D_k for k = 0..n-1, folding the formula's inner
+    // maximum as we go (unreduced fractions, i128 cross-comparison).
+    let mut inner_max: Vec<Option<(i64, i64)>> = vec![None; n];
+    prev.fill(INF);
+    prev[0] = 0;
+    for k in 0..n {
+        if k > 0 {
+            relax_row(g, &cur, &mut prev, counters);
+        }
+        for v in 0..n {
+            if dn[v] >= INF || prev[v] >= INF {
+                continue;
+            }
+            let cand = (dn[v] - prev[v], (n - k) as i64);
+            let bigger = inner_max[v].is_none_or(|(bn, bd)| {
+                cand.0 as i128 * (bd as i128) > bn as i128 * (cand.1 as i128)
+            });
+            if bigger {
+                inner_max[v] = Some(cand);
+            }
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        // After the swap, `cur` holds row k (input of the next round).
+    }
+
+    (0..n)
+        .filter_map(|v| inner_max[v])
+        .map(|(num, den)| Ratio64::new(num, den))
+        .min()
+        .expect("strongly connected cyclic graph has a finite cycle mean")
+}
+
+/// Karp2 on one strongly connected, cyclic component.
+pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+    let lambda = lambda_scc(g, counters);
+    let cycle = crate::critical::critical_cycle(g, lambda);
+    SccOutcome {
+        lambda,
+        cycle,
+        guarantee: Guarantee::Exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::graph::from_arc_list;
+
+    fn lambda_of(g: &Graph) -> Ratio64 {
+        let mut c = Counters::new();
+        solve_scc(g, &mut c).lambda
+    }
+
+    #[test]
+    fn matches_karp_on_small_graphs() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..25 {
+            let g = sprand(&SprandConfig::new(10, 26).seed(seed).weight_range(-20, 20));
+            let mut c1 = Counters::new();
+            let karp = super::super::karp::solve_scc(&g, &mut c1).lambda;
+            assert_eq!(lambda_of(&g), karp, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn single_ring_fraction() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 2)]);
+        assert_eq!(lambda_of(&g), Ratio64::new(4, 3));
+    }
+
+    #[test]
+    fn does_double_the_arc_visits_of_karp() {
+        let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (1, 0, 9)]);
+        let mut c_karp = Counters::new();
+        super::super::karp::solve_scc(&g, &mut c_karp);
+        let mut c_karp2 = Counters::new();
+        solve_scc(&g, &mut c_karp2);
+        // Pass 1 visits n·m arcs, pass 2 visits (n-1)·m more.
+        assert!(c_karp2.arcs_visited > c_karp.arcs_visited);
+        assert!(c_karp2.arcs_visited <= 2 * c_karp.arcs_visited);
+    }
+
+    #[test]
+    fn self_loop() {
+        let g = from_arc_list(1, &[(0, 0, 5)]);
+        assert_eq!(lambda_of(&g), Ratio64::from(5));
+    }
+}

@@ -1,0 +1,161 @@
+//! Lawler's algorithm: binary search over λ with a negative-cycle
+//! oracle.
+//!
+//! λ* lies between the minimum and maximum arc weight. Lawler bisects
+//! that interval, testing each midpoint with Bellman–Ford on `G_λ`: a
+//! negative cycle means λ is too large, its absence means λ is too
+//! small. The paper's version stops when the interval is shorter than a
+//! user precision ε ([`solve_scc_eps`]); the study found it to be the
+//! slowest algorithm overall. [`solve_scc_exact`] sharpens it into an
+//! exact method: once the interval is shorter than `1/(n(n−1))` it
+//! contains exactly one rational with denominator ≤ n — the optimum —
+//! recovered by a Stern–Brocot descent.
+
+use crate::bellman::{cycle_at_or_below, has_cycle_below};
+use crate::driver::SccOutcome;
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use crate::solution::Guarantee;
+use mcr_graph::{ArcId, Graph};
+
+/// Weight bounds as rationals; equal bounds mean every arc has the same
+/// weight.
+fn weight_bounds(g: &Graph) -> (Ratio64, Ratio64) {
+    (
+        Ratio64::from(g.min_weight().expect("component has arcs")),
+        Ratio64::from(g.max_weight().expect("component has arcs")),
+    )
+}
+
+fn witness_at(g: &Graph, lambda: Ratio64, counters: &mut Counters) -> (Ratio64, Vec<ArcId>) {
+    let cycle = cycle_at_or_below(g, lambda, counters)
+        .expect("a cycle with mean at most the upper search bound exists");
+    let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
+    let mean = Ratio64::new(w, cycle.len() as i64);
+    (mean, cycle)
+}
+
+/// Lawler with the paper's ε-termination.
+pub(crate) fn solve_scc_eps(g: &Graph, counters: &mut Counters, epsilon: f64) -> SccOutcome {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    let (mut lo, mut hi) = weight_bounds(g);
+    // Invariants: λ* ≥ lo, λ* ≤ hi.
+    while (hi - lo).to_f64() > epsilon && hi.denom() < i64::MAX / 4 {
+        counters.iterations += 1;
+        let mid = lo.midpoint(hi);
+        if has_cycle_below(g, mid, counters).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let (mean, cycle) = witness_at(g, hi, counters);
+    SccOutcome {
+        lambda: mean,
+        cycle,
+        guarantee: Guarantee::Epsilon(epsilon),
+    }
+}
+
+/// Lawler sharpened to an exact algorithm by snapping the final interval
+/// to the unique cycle mean inside it.
+pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome {
+    let n = g.num_nodes() as i64;
+    let (mut lo, mut hi) = weight_bounds(g);
+    // Cycle means have denominator ≤ n; an open interval shorter than
+    // 1/(n(n−1)) contains at most one of them.
+    let target = Ratio64::new(1, (n * (n - 1)).max(1) + 1);
+    while hi - lo >= target {
+        counters.iterations += 1;
+        assert!(
+            hi.denom() < i64::MAX / 8,
+            "binary search denominators exhausted i64 range"
+        );
+        let mid = lo.midpoint(hi);
+        if has_cycle_below(g, mid, counters).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let lambda = Ratio64::simplest_in(lo, hi);
+    let (mean, cycle) = witness_at(g, lambda, counters);
+    debug_assert_eq!(mean, lambda);
+    SccOutcome {
+        lambda: mean,
+        cycle,
+        guarantee: Guarantee::Exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::graph::from_arc_list;
+
+    fn exact(g: &Graph) -> Ratio64 {
+        let mut c = Counters::new();
+        solve_scc_exact(g, &mut c).lambda
+    }
+
+    #[test]
+    fn single_ring_fraction() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 4)]);
+        assert_eq!(exact(&g), Ratio64::new(7, 3));
+    }
+
+    #[test]
+    fn uniform_weights_trivial_interval() {
+        let g = from_arc_list(2, &[(0, 1, 6), (1, 0, 6)]);
+        assert_eq!(exact(&g), Ratio64::from(6));
+        let mut c = Counters::new();
+        let s = solve_scc_eps(&g, &mut c, 1e-3);
+        assert_eq!(s.lambda, Ratio64::from(6));
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..40 {
+            let g = sprand(&SprandConfig::new(10, 26).seed(seed).weight_range(-40, 40));
+            let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
+            assert_eq!(exact(&g), expected, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn eps_mode_is_within_epsilon() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..20 {
+            let g = sprand(&SprandConfig::new(12, 36).seed(seed).weight_range(1, 100));
+            let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
+            let mut c = Counters::new();
+            let s = solve_scc_eps(&g, &mut c, 1e-4);
+            // Witness mean is never below the optimum and at most ε above.
+            assert!(s.lambda >= expected, "seed {seed}");
+            assert!(
+                (s.lambda.to_f64() - expected.to_f64()) <= 1e-4 + 1e-12,
+                "seed {seed}: {} vs {}",
+                s.lambda,
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn counts_oracle_calls() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        let mut c = Counters::new();
+        solve_scc_exact(&g, &mut c);
+        // log2(99 · n(n-1)) ≈ 8 bisections plus the witness extraction.
+        assert!(c.oracle_calls >= 8, "oracle calls {}", c.oracle_calls);
+        assert!(c.oracle_calls <= 40);
+    }
+
+    #[test]
+    fn negative_weights() {
+        let g = from_arc_list(3, &[(0, 1, -7), (1, 2, -3), (2, 0, -8), (0, 2, 5), (2, 0, 1)]);
+        let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
+        assert_eq!(exact(&g), expected);
+    }
+}

@@ -1,0 +1,494 @@
+//! Parametric shortest path algorithms: KO (Karp–Orlin) and YTO
+//! (Young–Tarjan–Orlin).
+//!
+//! Both exploit the fact that λ* is the largest λ for which `G_λ` (arc
+//! costs `w − λ·t`) has no negative cycle. Starting from λ = −∞ they
+//! maintain a tree of shortest paths from an artificial source and
+//! increase λ continuously; each tree-path distance is a linear function
+//! `a(v) − λ·k(v)` of λ (`a` = path weight, `k` = path transit), so the
+//! next λ at which some non-tree arc becomes tight is a rational *event*
+//!
+//! ```text
+//! λ_e = (a(u) + w(e) − a(v)) / (k(u) + t(e) − k(v))
+//! ```
+//!
+//! The minimum event over all arcs triggers a pivot that swaps one tree
+//! arc; when a pivot would create a cycle, that cycle has cost exactly
+//! zero in `G_λ`, so λ* has been reached and the cycle is a minimum
+//! mean (ratio) cycle.
+//!
+//! The two algorithms differ only in how events are queued — the very
+//! difference the paper measures in §4.2:
+//!
+//! * **KO** keeps one Fibonacci-heap entry *per arc*. After a pivot
+//!   moves subtree `T`, every arc with exactly one endpoint in `T` is
+//!   deleted and reinserted — many insertions.
+//! * **YTO** keeps one entry *per node* (the minimum event over its
+//!   incoming arcs). After a pivot only affected node keys are
+//!   recomputed and updated in place — far fewer heap operations,
+//!   "especially in the number of insertions".
+
+use crate::driver::SccOutcome;
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use crate::solution::Guarantee;
+use mcr_graph::heap::{AddressableHeap, FibonacciHeap};
+use mcr_graph::{ArcId, Graph, NodeId};
+
+const ROOT: u32 = u32::MAX;
+
+/// Which event-queue granularity to use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum HeapGranularity {
+    /// One heap entry per arc (KO).
+    PerArc,
+    /// One heap entry per node (YTO).
+    PerNode,
+}
+
+struct Tree<'g> {
+    g: &'g Graph,
+    parent_arc: Vec<Option<ArcId>>,
+    parent_node: Vec<u32>,
+    children: Vec<Vec<u32>>,
+    /// Tree-path weight from the artificial root.
+    a: Vec<i64>,
+    /// Tree-path transit from the artificial root.
+    k: Vec<i64>,
+    stamp: Vec<u32>,
+    epoch: u32,
+}
+
+impl<'g> Tree<'g> {
+    /// Builds the shortest path tree for λ → −∞: paths are compared by
+    /// `(transit, weight)` lexicographically. With strictly positive
+    /// transit times the artificial star (a = 0, k = 0) is already
+    /// optimal; zero-transit arcs require a lexicographic Bellman–Ford.
+    fn new(g: &'g Graph) -> Self {
+        let n = g.num_nodes();
+        let mut tree = Tree {
+            g,
+            parent_arc: vec![None; n],
+            parent_node: vec![ROOT; n],
+            children: vec![Vec::new(); n],
+            a: vec![0; n],
+            k: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+        };
+        if g.arc_ids().any(|e| g.transit(e) == 0) {
+            tree.lexicographic_init();
+        }
+        tree
+    }
+
+    fn lexicographic_init(&mut self) {
+        let g = self.g;
+        let n = g.num_nodes();
+        let mut changed = true;
+        let mut rounds = 0;
+        while changed {
+            changed = false;
+            rounds += 1;
+            assert!(
+                rounds <= n + 1,
+                "lexicographic initialization diverged: some cycle has zero total transit"
+            );
+            for e in g.arc_ids() {
+                let u = g.source(e).index();
+                let v = g.target(e).index();
+                let cand = (self.k[u] + g.transit(e), self.a[u] + g.weight(e));
+                if cand < (self.k[v], self.a[v]) {
+                    self.k[v] = cand.0;
+                    self.a[v] = cand.1;
+                    self.parent_arc[v] = Some(e);
+                    self.parent_node[v] = u as u32;
+                    changed = true;
+                }
+            }
+        }
+        for v in 0..n {
+            if self.parent_arc[v].is_some() {
+                self.children[self.parent_node[v] as usize].push(v as u32);
+            }
+        }
+    }
+
+    /// The event value of arc `e`, if increasing λ can ever make it
+    /// preferable to the current tree path of its target.
+    fn event(&self, e: ArcId) -> Option<Ratio64> {
+        self.event_parts(
+            self.g.source(e).index(),
+            self.g.target(e).index(),
+            self.g.weight(e),
+            self.g.transit(e),
+        )
+    }
+
+    /// [`Tree::event`] with the arc's endpoints/weight/transit already
+    /// at hand (the hot path reads them from the aligned adjacency).
+    #[inline]
+    fn event_parts(&self, u: usize, v: usize, w: i64, t: i64) -> Option<Ratio64> {
+        let den = self.k[u] + t - self.k[v];
+        if den <= 0 {
+            return None;
+        }
+        Some(Ratio64::new(self.a[u] + w - self.a[v], den))
+    }
+
+    /// Whether `anc` is `node` itself or one of its tree ancestors.
+    fn is_ancestor(&self, anc: usize, mut node: usize) -> bool {
+        loop {
+            if node == anc {
+                return true;
+            }
+            match self.parent_node[node] {
+                ROOT => return false,
+                p => node = p as usize,
+            }
+        }
+    }
+
+    /// Tree path from `anc` down to `node` (inclusive), as arcs.
+    fn path_arcs(&self, anc: usize, node: usize) -> Vec<ArcId> {
+        let mut arcs = Vec::new();
+        let mut v = node;
+        while v != anc {
+            let a = self.parent_arc[v].expect("path within the tree");
+            arcs.push(a);
+            v = self.parent_node[v] as usize;
+        }
+        arcs.reverse();
+        arcs
+    }
+
+    /// Collects the subtree rooted at `v` (including `v`), stamping
+    /// membership for O(1) queries until the next pivot.
+    fn collect_subtree(&mut self, v: usize) -> Vec<u32> {
+        self.epoch += 1;
+        let mut sub = vec![v as u32];
+        self.stamp[v] = self.epoch;
+        let mut head = 0;
+        while head < sub.len() {
+            let x = sub[head] as usize;
+            head += 1;
+            for &c in &self.children[x] {
+                self.stamp[c as usize] = self.epoch;
+                sub.push(c);
+            }
+        }
+        sub
+    }
+
+    #[inline]
+    fn in_subtree(&self, v: usize) -> bool {
+        self.stamp[v] == self.epoch
+    }
+
+    /// Re-hangs `v` under `u` via arc `e` and shifts the subtree's
+    /// linear coefficients. Returns the stamped subtree.
+    fn pivot(&mut self, e: ArcId) -> Vec<u32> {
+        let u = self.g.source(e).index();
+        let v = self.g.target(e).index();
+        let delta_a = self.a[u] + self.g.weight(e) - self.a[v];
+        let delta_k = self.k[u] + self.g.transit(e) - self.k[v];
+        debug_assert!(delta_k > 0, "pivot on an invalid crossing");
+        // Detach from the old parent.
+        match self.parent_node[v] {
+            ROOT => {}
+            p => {
+                let list = &mut self.children[p as usize];
+                let pos = list
+                    .iter()
+                    .position(|&c| c == v as u32)
+                    .expect("child list consistent");
+                list.swap_remove(pos);
+            }
+        }
+        self.parent_node[v] = u as u32;
+        self.parent_arc[v] = Some(e);
+        self.children[u].push(v as u32);
+        let sub = self.collect_subtree(v);
+        for &x in &sub {
+            self.a[x as usize] += delta_a;
+            self.k[x as usize] += delta_k;
+        }
+        sub
+    }
+}
+
+/// Runs the parametric algorithm on one strongly connected, cyclic
+/// component with the chosen heap granularity and LEDA's Fibonacci heap
+/// (the study's configuration).
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    granularity: HeapGranularity,
+) -> SccOutcome {
+    solve_scc_with::<FibonacciHeap<Ratio64>>(g, counters, granularity)
+}
+
+/// Heap-generic engine, for the Fibonacci-vs-binary ablation bench.
+pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
+    g: &Graph,
+    counters: &mut Counters,
+    granularity: HeapGranularity,
+) -> SccOutcome {
+    let n = g.num_nodes();
+    let m = g.num_arcs();
+    let mut tree = Tree::new(g);
+
+    match granularity {
+        HeapGranularity::PerArc => {
+            let mut heap: H = H::with_capacity(m);
+            for e in g.arc_ids() {
+                if let Some(ev) = tree.event(e) {
+                    heap.push(e.index(), ev);
+                }
+            }
+            let outcome = loop {
+                let (ei, lam) = heap
+                    .pop_min()
+                    .expect("cyclic component must produce a cycle event");
+                let e = ArcId::new(ei);
+                counters.iterations += 1;
+                let u = g.source(e).index();
+                let v = g.target(e).index();
+                if tree.is_ancestor(v, u) {
+                    let mut cycle = tree.path_arcs(v, u);
+                    cycle.push(e);
+                    break (lam, cycle);
+                }
+                let sub = tree.pivot(e);
+                // Refresh every arc with exactly one endpoint in the
+                // moved subtree (events with both endpoints inside are
+                // unchanged: both linear coefficients shift equally).
+                for &x in &sub {
+                    let xv = NodeId::new(x as usize);
+                    for (f, y, w, t) in g.out_adj(xv) {
+                        if !tree.in_subtree(y.index()) {
+                            refresh_arc(&tree, &mut heap, f, x as usize, y.index(), w, t);
+                        }
+                    }
+                    for (f, z, w, t) in g.in_adj(xv) {
+                        if !tree.in_subtree(z.index()) {
+                            refresh_arc(&tree, &mut heap, f, z.index(), x as usize, w, t);
+                        }
+                    }
+                }
+            };
+            counters.heap += heap.counters();
+            finish(g, outcome)
+        }
+        HeapGranularity::PerNode => {
+            let mut heap: H = H::with_capacity(n);
+            let mut best_arc: Vec<Option<ArcId>> = vec![None; n];
+            for v in 0..n {
+                recompute_node(&tree, &mut heap, &mut best_arc, v);
+            }
+            let outcome = loop {
+                let (vi, lam) = heap
+                    .pop_min()
+                    .expect("cyclic component must produce a cycle event");
+                let e = best_arc[vi].expect("queued node has a best arc");
+                counters.iterations += 1;
+                let u = g.source(e).index();
+                if tree.is_ancestor(vi, u) {
+                    let mut cycle = tree.path_arcs(vi, u);
+                    cycle.push(e);
+                    break (lam, cycle);
+                }
+                let sub = tree.pivot(e);
+                // Nodes whose key may change: everything in the subtree
+                // (their tree path moved) plus targets of arcs leaving
+                // the subtree (their candidate events moved).
+                for &x in &sub {
+                    recompute_node(&tree, &mut heap, &mut best_arc, x as usize);
+                }
+                for &x in &sub {
+                    for (_f, y, _w, _t) in g.out_adj(NodeId::new(x as usize)) {
+                        if !tree.in_subtree(y.index()) {
+                            recompute_node(&tree, &mut heap, &mut best_arc, y.index());
+                        }
+                    }
+                }
+            };
+            counters.heap += heap.counters();
+            finish(g, outcome)
+        }
+    }
+}
+
+fn refresh_arc<H: AddressableHeap<Ratio64>>(
+    tree: &Tree<'_>,
+    heap: &mut H,
+    f: ArcId,
+    u: usize,
+    v: usize,
+    w: i64,
+    t: i64,
+) {
+    heap.remove(f.index());
+    if let Some(ev) = tree.event_parts(u, v, w, t) {
+        heap.push(f.index(), ev);
+    }
+}
+
+fn recompute_node<H: AddressableHeap<Ratio64>>(
+    tree: &Tree<'_>,
+    heap: &mut H,
+    best_arc: &mut [Option<ArcId>],
+    v: usize,
+) {
+    let g = tree.g;
+    let mut best: Option<(Ratio64, ArcId)> = None;
+    for (f, u, w, t) in g.in_adj(NodeId::new(v)) {
+        if let Some(ev) = tree.event_parts(u.index(), v, w, t) {
+            if best.is_none_or(|(b, _)| ev < b) {
+                best = Some((ev, f));
+            }
+        }
+    }
+    match best {
+        Some((ev, f)) => {
+            best_arc[v] = Some(f);
+            heap.update_key(v, ev);
+        }
+        None => {
+            best_arc[v] = None;
+            heap.remove(v);
+        }
+    }
+}
+
+fn finish(g: &Graph, (lam, cycle): (Ratio64, Vec<ArcId>)) -> SccOutcome {
+    debug_assert!(crate::solution::check_cycle(g, &cycle).is_ok());
+    debug_assert_eq!(
+        {
+            let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
+            let t: i64 = cycle.iter().map(|&a| g.transit(a)).sum();
+            Ratio64::new(w, t)
+        },
+        lam,
+        "pivot cycle ratio must equal the event value"
+    );
+    SccOutcome {
+        lambda: lam,
+        cycle,
+        guarantee: Guarantee::Exact,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::graph::from_arc_list;
+
+    fn ko(g: &Graph) -> (Ratio64, Counters) {
+        let mut c = Counters::new();
+        let s = solve_scc(g, &mut c, HeapGranularity::PerArc);
+        (s.lambda, c)
+    }
+
+    fn yto(g: &Graph) -> (Ratio64, Counters) {
+        let mut c = Counters::new();
+        let s = solve_scc(g, &mut c, HeapGranularity::PerNode);
+        (s.lambda, c)
+    }
+
+    #[test]
+    fn single_ring() {
+        let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)]);
+        assert_eq!(ko(&g).0, Ratio64::new(10, 4));
+        assert_eq!(yto(&g).0, Ratio64::new(10, 4));
+    }
+
+    #[test]
+    fn self_loop() {
+        let g = from_arc_list(1, &[(0, 0, 3), (0, 0, 9)]);
+        assert_eq!(ko(&g).0, Ratio64::from(3));
+        assert_eq!(yto(&g).0, Ratio64::from(3));
+    }
+
+    #[test]
+    fn both_match_brute_force() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..60 {
+            let g = sprand(&SprandConfig::new(10, 26).seed(seed).weight_range(-30, 30));
+            let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
+            assert_eq!(ko(&g).0, expected, "KO seed {seed}");
+            assert_eq!(yto(&g).0, expected, "YTO seed {seed}");
+        }
+    }
+
+    #[test]
+    fn same_pivot_counts_but_fewer_yto_inserts() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        let g = sprand(&SprandConfig::new(80, 320).seed(3));
+        let (l1, c1) = ko(&g);
+        let (l2, c2) = yto(&g);
+        assert_eq!(l1, l2);
+        // §4.2/§4.3: same number of iterations, fewer YTO insertions.
+        assert_eq!(c1.iterations, c2.iterations);
+        assert!(
+            c2.heap.inserts < c1.heap.inserts,
+            "YTO {} vs KO {}",
+            c2.heap.inserts,
+            c1.heap.inserts
+        );
+    }
+
+    #[test]
+    fn ratio_with_general_transits() {
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_arc_with_transit(v[0], v[1], 3, 2);
+        b.add_arc_with_transit(v[1], v[2], 5, 1);
+        b.add_arc_with_transit(v[2], v[0], 2, 3); // cycle ratio 10/6 = 5/3
+        b.add_arc_with_transit(v[1], v[0], 9, 1); // cycle ratio 12/3 = 4
+        let g = b.build();
+        assert_eq!(ko(&g).0, Ratio64::new(5, 3));
+        assert_eq!(yto(&g).0, Ratio64::new(5, 3));
+    }
+
+    #[test]
+    fn ratio_with_zero_transit_arcs() {
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_arc_with_transit(v[0], v[1], -4, 0); // zero-transit shortcut
+        b.add_arc_with_transit(v[1], v[2], 1, 2);
+        b.add_arc_with_transit(v[2], v[0], 1, 1); // cycle ratio -2/3
+        b.add_arc_with_transit(v[0], v[0], 10, 4); // self-loop ratio 5/2
+        let g = b.build();
+        assert_eq!(ko(&g).0, Ratio64::new(-2, 3));
+        assert_eq!(yto(&g).0, Ratio64::new(-2, 3));
+    }
+
+    #[test]
+    fn binary_heap_engine_matches_fibonacci() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        use mcr_graph::heap::IndexedBinaryHeap;
+        for seed in 0..20 {
+            let g = sprand(&SprandConfig::new(30, 90).seed(seed).weight_range(-50, 50));
+            for granularity in [HeapGranularity::PerArc, HeapGranularity::PerNode] {
+                let mut c1 = Counters::new();
+                let mut c2 = Counters::new();
+                let fib = solve_scc(&g, &mut c1, granularity);
+                let bin =
+                    solve_scc_with::<IndexedBinaryHeap<Ratio64>>(&g, &mut c2, granularity);
+                assert_eq!(fib.lambda, bin.lambda, "seed {seed} {granularity:?}");
+                // Tie-breaking may differ between heaps, but both
+                // engines must do real work and agree on the optimum.
+                assert!(c1.iterations > 0 && c2.iterations > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn pathological_ladder_still_exact() {
+        let g = mcr_gen::structured::shortcut_ladder(30);
+        let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
+        assert_eq!(ko(&g).0, expected);
+        assert_eq!(yto(&g).0, expected);
+    }
+}

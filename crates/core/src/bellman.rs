@@ -1,0 +1,217 @@
+//! Shared Bellman–Ford oracle on the λ-shifted graph `G_λ`.
+//!
+//! Several algorithms in the study (Lawler, OA1, and the critical
+//! subgraph extraction every Karp-family algorithm uses for witness
+//! cycles) need the primitive "does `G_λ` contain a negative cycle, and
+//! if not, give me shortest-path potentials". To keep everything exact,
+//! arc costs are scaled integers: for `λ = p/q` and transit times `t`,
+//! the scaled cost of arc `e` is `w(e)·q − p·t(e)` (an `i128`), which is
+//! `q` times the real cost `w(e) − λ·t(e)`. With unit transit times this
+//! is the cycle *mean* shift; with general transit times it is the cycle
+//! *ratio* shift.
+
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use mcr_graph::{ArcId, Graph};
+
+/// Outcome of a negative-cycle test on `G_λ`.
+#[derive(Clone, Debug)]
+pub enum CycleCheck {
+    /// No (strictly) negative cycle: `G_λ` admits the returned
+    /// shortest-path potentials `d`, satisfying
+    /// `d[v] ≤ d[u] + cost(u→v)` for every arc (costs scaled by
+    /// `lambda.denom()`).
+    Feasible(Vec<i128>),
+    /// A witness cycle with negative (or, in non-strict mode,
+    /// non-positive) total scaled cost, in traversal order.
+    NegativeCycle(Vec<ArcId>),
+}
+
+/// Scaled arc costs of `G_λ`: `w(e)·q − p·t(e)` for `λ = p/q`.
+pub fn scaled_costs(g: &Graph, lambda: Ratio64) -> Vec<i128> {
+    let p = lambda.numer() as i128;
+    let q = lambda.denom() as i128;
+    g.arc_ids()
+        .map(|a| g.weight(a) as i128 * q - p * g.transit(a) as i128)
+        .collect()
+}
+
+/// Runs Bellman–Ford over integer costs `cost` (indexed by arc), from an
+/// implicit super-source connected to every node with cost 0.
+///
+/// In strict mode a cycle is reported only if its total cost is
+/// negative; in non-strict mode cycles with total cost zero are also
+/// reported (used to extract a witness cycle at `λ = λ*`, where minimum
+/// mean cycles have scaled cost exactly zero).
+///
+/// # Panics
+///
+/// Panics if `cost.len() != g.num_arcs()`.
+pub fn bellman_ford(g: &Graph, cost: &[i128], strict: bool, counters: &mut Counters) -> CycleCheck {
+    assert_eq!(cost.len(), g.num_arcs());
+    counters.oracle_calls += 1;
+    if !strict {
+        // Shift costs so that zero-cost cycles become negative:
+        // c'(e) = c(e)·(n+1) − 1. For a cycle C of length |C| ≤ n:
+        // c(C) ≤ 0  ⟺  c'(C) = c(C)(n+1) − |C| < 0.
+        let scale = g.num_nodes() as i128 + 1;
+        let shifted: Vec<i128> = cost.iter().map(|&c| c * scale - 1).collect();
+        return bellman_ford(g, &shifted, true, counters);
+    }
+
+    let n = g.num_nodes();
+    let m = g.num_arcs();
+    const NO_PARENT: u32 = u32::MAX;
+    let mut dist = vec![0i128; n];
+    let mut parent = vec![NO_PARENT; n];
+    let mut updated_node = None;
+    for _round in 0..n {
+        let mut any = false;
+        #[allow(clippy::needless_range_loop)] // hot loop indexes two arrays in step
+        for ai in 0..m {
+            let a = ArcId::new(ai);
+            let u = g.source(a).index();
+            let v = g.target(a).index();
+            counters.relaxations += 1;
+            let cand = dist[u] + cost[ai];
+            if cand < dist[v] {
+                dist[v] = cand;
+                parent[v] = ai as u32;
+                counters.distance_updates += 1;
+                any = true;
+                updated_node = Some(v);
+            }
+        }
+        if !any {
+            return CycleCheck::Feasible(dist);
+        }
+    }
+    // An update in round n certifies a negative cycle reachable through
+    // the parent pointers: walk n steps to land on the cycle, then
+    // collect it.
+    let mut v = updated_node.expect("update recorded in final round");
+    for _ in 0..n {
+        let a = ArcId::new(parent[v] as usize);
+        v = g.source(a).index();
+    }
+    let start = v;
+    let mut cycle_rev = Vec::new();
+    loop {
+        let a = ArcId::new(parent[v] as usize);
+        cycle_rev.push(a);
+        v = g.source(a).index();
+        if v == start {
+            break;
+        }
+    }
+    cycle_rev.reverse();
+    counters.cycles_examined += 1;
+    debug_assert!(
+        cycle_rev.iter().map(|&a| cost[a.index()]).sum::<i128>() < 0,
+        "extracted cycle is not negative"
+    );
+    CycleCheck::NegativeCycle(cycle_rev)
+}
+
+/// Tests whether `G_λ` (costs `w − λ·t`) has a strictly negative cycle,
+/// i.e. whether some cycle of `g` has ratio (mean, for unit transits)
+/// strictly below `lambda`.
+pub fn has_cycle_below(g: &Graph, lambda: Ratio64, counters: &mut Counters) -> Option<Vec<ArcId>> {
+    let cost = scaled_costs(g, lambda);
+    match bellman_ford(g, &cost, true, counters) {
+        CycleCheck::Feasible(_) => None,
+        CycleCheck::NegativeCycle(c) => Some(c),
+    }
+}
+
+/// Finds a cycle with ratio (mean) at most `lambda`, if any.
+pub fn cycle_at_or_below(
+    g: &Graph,
+    lambda: Ratio64,
+    counters: &mut Counters,
+) -> Option<Vec<ArcId>> {
+    let cost = scaled_costs(g, lambda);
+    match bellman_ford(g, &cost, false, counters) {
+        CycleCheck::Feasible(_) => None,
+        CycleCheck::NegativeCycle(c) => Some(c),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::graph::from_arc_list;
+
+    fn counters() -> Counters {
+        Counters::new()
+    }
+
+    #[test]
+    fn feasible_on_positive_shift() {
+        // Ring with mean 2; at λ = 1 no negative cycle.
+        let g = from_arc_list(3, &[(0, 1, 2), (1, 2, 2), (2, 0, 2)]);
+        let mut c = counters();
+        assert!(has_cycle_below(&g, Ratio64::from(1), &mut c).is_none());
+        assert_eq!(c.oracle_calls, 1);
+    }
+
+    #[test]
+    fn negative_cycle_found_and_valid() {
+        let g = from_arc_list(3, &[(0, 1, 2), (1, 2, 2), (2, 0, 2)]);
+        let mut c = counters();
+        let cyc = has_cycle_below(&g, Ratio64::from(3), &mut c).expect("mean 2 < 3");
+        let (w, len, _) = crate::solution::check_cycle(&g, &cyc).expect("well-formed");
+        assert_eq!(Ratio64::new(w, len as i64), Ratio64::from(2));
+    }
+
+    #[test]
+    fn strict_vs_nonstrict_at_exact_lambda() {
+        // Ring with mean exactly 5/2.
+        let g = from_arc_list(2, &[(0, 1, 2), (1, 0, 3)]);
+        let lam = Ratio64::new(5, 2);
+        let mut c = counters();
+        assert!(has_cycle_below(&g, lam, &mut c).is_none());
+        let cyc = cycle_at_or_below(&g, lam, &mut c).expect("zero-cost cycle");
+        let (w, len, _) = crate::solution::check_cycle(&g, &cyc).expect("well-formed");
+        assert_eq!(Ratio64::new(w, len as i64), lam);
+    }
+
+    #[test]
+    fn respects_transit_times_for_ratio() {
+        // One cycle: weight 10, transit 4 → ratio 5/2.
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 4, 1);
+        b.add_arc_with_transit(v[1], v[0], 6, 3);
+        let g = b.build();
+        let mut c = counters();
+        assert!(has_cycle_below(&g, Ratio64::new(5, 2), &mut c).is_none());
+        assert!(has_cycle_below(&g, Ratio64::new(26, 10), &mut c).is_some());
+    }
+
+    #[test]
+    fn picks_up_self_loop() {
+        let g = from_arc_list(2, &[(0, 1, 10), (1, 0, 10), (1, 1, 3)]);
+        let mut c = counters();
+        let cyc = has_cycle_below(&g, Ratio64::from(4), &mut c).expect("self loop mean 3");
+        assert_eq!(cyc.len(), 1);
+    }
+
+    #[test]
+    fn feasible_potentials_satisfy_constraints() {
+        let g = from_arc_list(4, &[(0, 1, 3), (1, 2, 1), (2, 0, 5), (2, 3, 1), (3, 1, 4)]);
+        let lam = Ratio64::new(2, 1);
+        let cost = scaled_costs(&g, lam);
+        let mut c = counters();
+        match bellman_ford(&g, &cost, true, &mut c) {
+            CycleCheck::Feasible(d) => {
+                for a in g.arc_ids() {
+                    let u = g.source(a).index();
+                    let v = g.target(a).index();
+                    assert!(d[v] <= d[u] + cost[a.index()]);
+                }
+            }
+            CycleCheck::NegativeCycle(_) => panic!("min mean is 7/3 > 2"),
+        }
+    }
+}

@@ -1,0 +1,208 @@
+//! Critical subgraph extraction.
+//!
+//! After λ* is known, the *critical subgraph* of `G_{λ*}` — the arcs
+//! satisfying `d(v) − d(u) = w(u,v) − λ*·t(u,v)` for shortest-path
+//! potentials `d` — "contains all the arcs and nodes that determine the
+//! performance of the system modeled by G" (§2). All minimum mean
+//! (ratio) cycles live inside it, so it also serves as the universal
+//! witness-cycle extractor for algorithms whose internal state does not
+//! directly yield a cycle (Karp, Karp2, DG).
+
+use crate::bellman::{bellman_ford, scaled_costs, CycleCheck};
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use mcr_graph::{ArcId, Graph, NodeId};
+
+/// The critical subgraph of `G_{λ}`.
+#[derive(Clone, Debug)]
+pub struct CriticalSubgraph {
+    /// Critical (tight) arcs.
+    pub arcs: Vec<ArcId>,
+    /// Per-node flag: adjacent to at least one critical arc.
+    pub node_is_critical: Vec<bool>,
+}
+
+impl CriticalSubgraph {
+    /// The critical nodes.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        self.node_is_critical
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c)
+            .map(|(i, _)| NodeId::new(i))
+            .collect()
+    }
+}
+
+/// Computes the critical subgraph of `G_λ`.
+///
+/// # Errors
+///
+/// Returns `Err` if `lambda` exceeds the optimum (then `G_λ` has a
+/// negative cycle and no shortest-path potentials exist).
+///
+/// ```
+/// use mcr_core::{critical::critical_subgraph, Ratio64};
+/// use mcr_graph::graph::from_arc_list;
+/// // Two 2-cycles: means 2 and 5. At λ* = 2 only the first is critical.
+/// let g = from_arc_list(3, &[(0, 1, 1), (1, 0, 3), (1, 2, 5), (2, 1, 5)]);
+/// let cs = critical_subgraph(&g, Ratio64::from(2)).unwrap();
+/// assert_eq!(cs.arcs.len(), 2);
+/// assert_eq!(cs.nodes().len(), 2);
+/// ```
+pub fn critical_subgraph(g: &Graph, lambda: Ratio64) -> Result<CriticalSubgraph, String> {
+    let cost = scaled_costs(g, lambda);
+    let mut counters = Counters::new();
+    let dist = match bellman_ford(g, &cost, true, &mut counters) {
+        CycleCheck::Feasible(d) => d,
+        CycleCheck::NegativeCycle(_) => {
+            return Err(format!("lambda {lambda} exceeds the optimum"));
+        }
+    };
+    let mut arcs = Vec::new();
+    let mut node_is_critical = vec![false; g.num_nodes()];
+    for a in g.arc_ids() {
+        let u = g.source(a).index();
+        let v = g.target(a).index();
+        if dist[u] + cost[a.index()] == dist[v] {
+            arcs.push(a);
+            node_is_critical[u] = true;
+            node_is_critical[v] = true;
+        }
+    }
+    Ok(CriticalSubgraph {
+        arcs,
+        node_is_critical,
+    })
+}
+
+/// Extracts one minimum mean (ratio) cycle, given the exact optimum
+/// `lambda`: finds a cycle inside the critical subgraph by iterative
+/// DFS over tight arcs.
+///
+/// # Panics
+///
+/// Panics if `lambda` is not the exact optimum of `g` (either `G_λ` has
+/// a negative cycle, or the critical subgraph is acyclic). Intended for
+/// internal use by exact solvers.
+pub fn critical_cycle(g: &Graph, lambda: Ratio64) -> Vec<ArcId> {
+    let cs = critical_subgraph(g, lambda)
+        .unwrap_or_else(|e| panic!("critical_cycle with non-optimal lambda: {e}"));
+    // Tight adjacency.
+    let n = g.num_nodes();
+    let mut tight_out: Vec<Vec<ArcId>> = vec![Vec::new(); n];
+    for &a in &cs.arcs {
+        tight_out[g.source(a).index()].push(a);
+    }
+    // Iterative three-color DFS looking for a back arc.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let mut color = vec![WHITE; n];
+    let mut arc_stack: Vec<ArcId> = Vec::new();
+    let mut on_path_pos = vec![usize::MAX; n];
+    for root in 0..n {
+        if color[root] != WHITE {
+            continue;
+        }
+        // (node, next out-arc index)
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        color[root] = GRAY;
+        on_path_pos[root] = 0;
+        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
+            if *idx < tight_out[v].len() {
+                let a = tight_out[v][*idx];
+                *idx += 1;
+                let w = g.target(a).index();
+                match color[w] {
+                    WHITE => {
+                        color[w] = GRAY;
+                        on_path_pos[w] = arc_stack.len() + 1;
+                        arc_stack.push(a);
+                        stack.push((w, 0));
+                    }
+                    GRAY => {
+                        // Found a cycle: arcs from w's position on the
+                        // path through a.
+                        let mut cycle: Vec<ArcId> =
+                            arc_stack[on_path_pos[w]..].to_vec();
+                        cycle.push(a);
+                        debug_assert!(
+                            crate::solution::check_cycle(g, &cycle).is_ok(),
+                            "critical cycle malformed"
+                        );
+                        return cycle;
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                stack.pop();
+                arc_stack.pop();
+            }
+        }
+    }
+    panic!("critical subgraph is acyclic: lambda {lambda} is not the optimum");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solution::check_cycle;
+    use mcr_graph::graph::from_arc_list;
+
+    #[test]
+    fn critical_cycle_of_single_ring() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+        let cyc = critical_cycle(&g, Ratio64::from(2));
+        let (w, len, _) = check_cycle(&g, &cyc).expect("valid");
+        assert_eq!(Ratio64::new(w, len as i64), Ratio64::from(2));
+        assert_eq!(len, 3);
+    }
+
+    #[test]
+    fn critical_cycle_picks_minimum() {
+        // Self-loop of weight 1 beats the 2-cycle of mean 5.
+        let g = from_arc_list(2, &[(0, 1, 5), (1, 0, 5), (0, 0, 1)]);
+        let cyc = critical_cycle(&g, Ratio64::from(1));
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(g.weight(cyc[0]), 1);
+    }
+
+    #[test]
+    fn subgraph_excludes_non_tight() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 0, 1), (1, 2, 100), (2, 1, 100)]);
+        let cs = critical_subgraph(&g, Ratio64::from(1)).expect("optimal lambda");
+        assert_eq!(cs.arcs.len(), 2);
+        assert!(cs.node_is_critical[0]);
+        assert!(cs.node_is_critical[1]);
+        assert!(!cs.node_is_critical[2]);
+    }
+
+    #[test]
+    fn above_optimum_is_error() {
+        let g = from_arc_list(2, &[(0, 1, 4), (1, 0, 4)]);
+        assert!(critical_subgraph(&g, Ratio64::from(5)).is_err());
+        assert!(critical_subgraph(&g, Ratio64::from(4)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "acyclic")]
+    fn below_optimum_panics_in_cycle_extraction() {
+        let g = from_arc_list(2, &[(0, 1, 4), (1, 0, 4)]);
+        // λ = 3 < λ* = 4: feasible but nothing is tight on a cycle.
+        critical_cycle(&g, Ratio64::from(3));
+    }
+
+    #[test]
+    fn fractional_lambda_with_transits() {
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 4, 1);
+        b.add_arc_with_transit(v[1], v[0], 6, 3);
+        let g = b.build();
+        let cyc = critical_cycle(&g, Ratio64::new(5, 2));
+        let (w, _, t) = check_cycle(&g, &cyc).expect("valid");
+        assert_eq!(Ratio64::new(w, t), Ratio64::new(5, 2));
+    }
+}

@@ -1,0 +1,93 @@
+//! Operation-count instrumentation.
+//!
+//! The original study measured "representative operation counts, as
+//! advocated in [Ahuja–Kodialam–Mishra–Orlin]" alongside wall-clock
+//! time. Every algorithm in this crate fills a [`Counters`] so that the
+//! paper's §4.2–§4.4 comparisons (heap operations, iteration counts,
+//! arcs visited by the Karp family) can be regenerated.
+
+use mcr_graph::heap::HeapCounters;
+
+/// Operation counts accumulated by one solver run.
+///
+/// Not every field is meaningful for every algorithm — the paper
+/// likewise "compared only the relevant ones because all the algorithms
+/// do not have the same kind of operations" (§3). Unused fields stay
+/// zero.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Counters {
+    /// Main-loop iterations (Burns, KO, YTO, Howard) or, for the HO
+    /// algorithm, the level `k` reached at termination.
+    pub iterations: u64,
+    /// Arc relaxation tests (distance comparisons over arcs).
+    pub relaxations: u64,
+    /// Distance (or key) updates that actually changed a value.
+    pub distance_updates: u64,
+    /// Arcs visited while unfolding the Karp recurrence (Karp, Karp2,
+    /// DG, HO) — the §4.4 metric.
+    pub arcs_visited: u64,
+    /// Cycles examined (policy cycles for Howard, path cycles for HO,
+    /// witness cycles for Lawler/OA1 oracles).
+    pub cycles_examined: u64,
+    /// Negative-cycle oracle invocations (Lawler, OA1).
+    pub oracle_calls: u64,
+    /// Heap operations (KO, YTO).
+    pub heap: HeapCounters,
+}
+
+impl Counters {
+    /// A zeroed counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl std::ops::Add for Counters {
+    type Output = Counters;
+    fn add(self, rhs: Counters) -> Counters {
+        Counters {
+            iterations: self.iterations + rhs.iterations,
+            relaxations: self.relaxations + rhs.relaxations,
+            distance_updates: self.distance_updates + rhs.distance_updates,
+            arcs_visited: self.arcs_visited + rhs.arcs_visited,
+            cycles_examined: self.cycles_examined + rhs.cycles_examined,
+            oracle_calls: self.oracle_calls + rhs.oracle_calls,
+            heap: self.heap + rhs.heap,
+        }
+    }
+}
+
+impl std::ops::AddAssign for Counters {
+    fn add_assign(&mut self, rhs: Counters) {
+        *self = *self + rhs;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_all_fields() {
+        let mut a = Counters::new();
+        a.iterations = 1;
+        a.relaxations = 2;
+        a.distance_updates = 3;
+        a.arcs_visited = 4;
+        a.cycles_examined = 5;
+        a.oracle_calls = 6;
+        a.heap.inserts = 7;
+        let b = a + a;
+        assert_eq!(b.iterations, 2);
+        assert_eq!(b.relaxations, 4);
+        assert_eq!(b.distance_updates, 6);
+        assert_eq!(b.arcs_visited, 8);
+        assert_eq!(b.cycles_examined, 10);
+        assert_eq!(b.oracle_calls, 12);
+        assert_eq!(b.heap.inserts, 14);
+        let mut c = a;
+        c += a;
+        assert_eq!(c, b);
+    }
+}

@@ -1,0 +1,418 @@
+//! The optimum cost-to-time ratio problem (MCRP).
+//!
+//! The cycle *ratio* `w(C)/t(C)` generalizes the cycle mean (which is
+//! the unit-transit special case). Several algorithms in the suite
+//! handle general transit times natively — Howard, Burns, Lawler, and
+//! the parametric pair KO/YTO — and this module exposes them. It also
+//! implements the classic reduction in the other direction: expanding
+//! each arc of transit time `t ≥ 1` into a chain of `t` unit-transit
+//! arcs turns any MCM algorithm into an MCR algorithm (the
+//! Hartmann–Orlin `O(Tm)` approach, item 13 of the paper's Table 1).
+//!
+//! # Preconditions
+//!
+//! A cycle ratio is only defined for cycles of positive total transit
+//! time. All solvers here require every cycle of the input to have
+//! `t(C) > 0` (zero-transit *arcs* are fine); a zero-transit cycle is a
+//! causality violation in the modeled system and is reported by
+//! [`has_zero_transit_cycle`].
+
+use crate::algorithms::Algorithm;
+use crate::driver::solve_per_scc;
+use crate::solution::Solution;
+use mcr_graph::{ArcId, Graph, GraphBuilder, SccDecomposition};
+
+/// Whether some cycle of `g` has zero total transit time (making cycle
+/// ratios undefined).
+///
+/// ```
+/// use mcr_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let v = b.add_nodes(2);
+/// b.add_arc_with_transit(v[0], v[1], 1, 0);
+/// b.add_arc_with_transit(v[1], v[0], 1, 0);
+/// assert!(mcr_core::ratio::has_zero_transit_cycle(&b.build()));
+/// ```
+pub fn has_zero_transit_cycle(g: &Graph) -> bool {
+    // A zero-transit cycle lies entirely within zero-transit arcs.
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_arcs());
+    b.add_nodes(g.num_nodes());
+    for a in g.arc_ids() {
+        if g.transit(a) == 0 {
+            b.add_arc(g.source(a), g.target(a), 0);
+        }
+    }
+    mcr_graph::traverse::has_cycle(&b.build())
+}
+
+/// Minimum cycle ratio with Howard's exact policy iteration (the
+/// default recommendation).
+///
+/// Returns `None` if `g` is acyclic.
+///
+/// # Panics
+///
+/// Panics if some cycle has zero total transit time.
+pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
+    solve_per_scc(g, crate::algorithms::howard::solve_scc_exact)
+}
+
+/// Minimum cycle ratio with the paper's Figure-1 Howard (ε-terminated).
+///
+/// # Panics
+///
+/// Panics if `epsilon <= 0` or some cycle has zero total transit time.
+pub fn howard_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    solve_per_scc(g, |s, c| {
+        crate::algorithms::howard::solve_scc_fig1(s, c, epsilon)
+    })
+}
+
+/// Minimum cycle ratio with Burns' exact primal-dual algorithm (the
+/// algorithm's original formulation — Burns developed it for
+/// asynchronous circuit performance, a ratio problem).
+///
+/// # Panics
+///
+/// Panics if some cycle has zero total transit time.
+pub fn burns_ratio(g: &Graph) -> Option<Solution> {
+    solve_per_scc(g, crate::algorithms::burns::solve_scc)
+}
+
+/// Minimum cycle ratio with the parametric shortest path algorithms.
+/// `node_keyed` selects YTO's node-keyed heap (`true`) or KO's
+/// arc-keyed heap (`false`).
+pub fn parametric_ratio(g: &Graph, node_keyed: bool) -> Option<Solution> {
+    use crate::algorithms::parametric::{solve_scc, HeapGranularity};
+    let granularity = if node_keyed {
+        HeapGranularity::PerNode
+    } else {
+        HeapGranularity::PerArc
+    };
+    solve_per_scc(g, move |s, c| solve_scc(s, c, granularity))
+}
+
+/// Minimum cycle ratio with Megiddo's parametric search (Table 1 row
+/// 12): exact, with oracle calls only at the master algorithm's own
+/// decision points.
+pub fn megiddo_ratio(g: &Graph) -> Option<Solution> {
+    solve_per_scc(g, crate::algorithms::megiddo::solve_scc)
+}
+
+/// Minimum cycle ratio via the Ito–Parhi register-graph reduction
+/// (Table 1 row 15, `O(Tm + T³)` with Karp inside). Re-exported from
+/// [`crate::register_graph`].
+pub use crate::register_graph::minimum_ratio_via_registers;
+
+/// Minimum cycle ratio by ε-precision binary search (Lawler's method on
+/// the ratio formulation).
+///
+/// # Panics
+///
+/// Panics if `epsilon <= 0`.
+pub fn lawler_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
+    assert!(epsilon > 0.0, "epsilon must be positive");
+    solve_per_scc(g, |s, c| ratio_bisection(s, c, Some(epsilon)))
+}
+
+/// Exact minimum cycle ratio by binary search plus a rational snap
+/// (denominators are bounded by the component's total transit time).
+pub fn lawler_ratio_exact(g: &Graph) -> Option<Solution> {
+    solve_per_scc(g, |s, c| ratio_bisection(s, c, None))
+}
+
+fn ratio_bisection(
+    g: &Graph,
+    counters: &mut crate::instrument::Counters,
+    epsilon: Option<f64>,
+) -> crate::driver::SccOutcome {
+    use crate::bellman::{cycle_at_or_below, has_cycle_below};
+    use crate::rational::Ratio64;
+    use crate::solution::Guarantee;
+    // |w(C)/t(C)| ≤ n·W since t(C) ≥ 1 for every cycle.
+    let wabs = g
+        .arc_ids()
+        .map(|a| g.weight(a).abs())
+        .max()
+        .expect("component has arcs");
+    let bound = wabs * g.num_nodes() as i64;
+    let mut lo = Ratio64::from(-bound);
+    let mut hi = Ratio64::from(bound);
+    // Ratio denominators are bounded by the total transit time T.
+    let total_t: i64 = g.arc_ids().map(|a| g.transit(a)).sum();
+    let t_bound = total_t.max(1);
+    let target = match epsilon {
+        Some(_) => None,
+        None => Some(Ratio64::new(1, t_bound.saturating_mul(t_bound - 1).max(1) + 1)),
+    };
+    loop {
+        let width = hi - lo;
+        let done = match (epsilon, target) {
+            (Some(e), _) => width.to_f64() <= e,
+            (None, Some(t)) => width < t,
+            _ => unreachable!(),
+        };
+        if done {
+            break;
+        }
+        assert!(
+            hi.denom() < i64::MAX / 8 && lo.denom() < i64::MAX / 8,
+            "ratio bisection denominators exhausted the i64 range"
+        );
+        counters.iterations += 1;
+        let mid = lo.midpoint(hi);
+        if has_cycle_below(g, mid, counters).is_some() {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let (lambda, guarantee) = match epsilon {
+        Some(e) => (hi, Guarantee::Epsilon(e)),
+        None => (Ratio64::simplest_in(lo, hi), Guarantee::Exact),
+    };
+    let cycle = cycle_at_or_below(g, lambda, counters)
+        .expect("a cycle with ratio at most the upper bound exists");
+    let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
+    let t: i64 = cycle.iter().map(|&a| g.transit(a)).sum();
+    let exact_ratio = Ratio64::new(w, t);
+    crate::driver::SccOutcome {
+        lambda: exact_ratio,
+        cycle,
+        guarantee,
+    }
+}
+
+/// Expands every arc of transit time `t ≥ 1` into a chain of `t`
+/// unit-transit arcs (the first carries the weight, the rest weigh 0),
+/// reducing MCRP to MCMP. Returns the expanded graph and, per expanded
+/// arc, the original arc it came from paired with its segment index.
+///
+/// # Errors
+///
+/// Returns `Err` if any arc has transit time 0 (the reduction requires
+/// strictly positive transits).
+pub fn expand_transits(g: &Graph) -> Result<(Graph, Vec<(ArcId, i64)>), String> {
+    let extra: i64 = g
+        .arc_ids()
+        .map(|a| {
+            let t = g.transit(a);
+            if t >= 1 {
+                Ok(t - 1)
+            } else {
+                Err(format!("arc {a:?} has zero transit time"))
+            }
+        })
+        .collect::<Result<Vec<i64>, String>>()?
+        .iter()
+        .sum();
+    let mut b = GraphBuilder::with_capacity(
+        g.num_nodes() + extra as usize,
+        g.num_arcs() + extra as usize,
+    );
+    b.add_nodes(g.num_nodes());
+    let mut origin = Vec::with_capacity(g.num_arcs() + extra as usize);
+    for a in g.arc_ids() {
+        let t = g.transit(a);
+        let mut prev = g.source(a);
+        for seg in 0..t {
+            let next = if seg == t - 1 {
+                g.target(a)
+            } else {
+                b.add_node()
+            };
+            let w = if seg == 0 { g.weight(a) } else { 0 };
+            b.add_arc(prev, next, w);
+            origin.push((a, seg));
+            prev = next;
+        }
+    }
+    Ok((b.build(), origin))
+}
+
+/// Minimum cycle ratio via the expansion reduction and an arbitrary MCM
+/// [`Algorithm`] (the Hartmann–Orlin `O(Tm)` route when combined with a
+/// linear-time-per-level MCM method).
+///
+/// # Errors
+///
+/// Returns `Err` if any arc has transit time 0.
+pub fn ratio_via_expansion(g: &Graph, algorithm: Algorithm) -> Result<Option<Solution>, String> {
+    let (expanded, origin) = expand_transits(g)?;
+    let sol = match algorithm.solve(&expanded) {
+        None => return Ok(None),
+        Some(s) => s,
+    };
+    // Map the witness back: keep each original arc once (its segment 0),
+    // preserving traversal order.
+    let mut cycle: Vec<ArcId> = Vec::new();
+    for &a in &sol.cycle {
+        let (orig, seg) = origin[a.index()];
+        if seg == 0 {
+            cycle.push(orig);
+        }
+    }
+    // The expanded cycle may start mid-chain; rotate so consecutive arcs
+    // connect in the original graph.
+    if cycle.len() > 1 {
+        let misfit = (0..cycle.len())
+            .find(|&i| {
+                let prev = cycle[(i + cycle.len() - 1) % cycle.len()];
+                g.target(prev) != g.source(cycle[i])
+            })
+            .unwrap_or(0);
+        cycle.rotate_left(misfit);
+    }
+    debug_assert!(crate::solution::check_cycle(g, &cycle).is_ok());
+    Ok(Some(Solution {
+        lambda: sol.lambda,
+        cycle,
+        guarantee: sol.guarantee,
+        counters: sol.counters,
+    }))
+}
+
+/// Per-component transit statistics used by harnesses: `(components,
+/// max total transit over cyclic components)`.
+pub fn transit_profile(g: &Graph) -> (usize, i64) {
+    let scc = SccDecomposition::new(g);
+    let mut max_t = 0i64;
+    let mut cyclic = 0usize;
+    for c in 0..scc.num_components() {
+        if !scc.is_cyclic_component(g, c) {
+            continue;
+        }
+        cyclic += 1;
+        let mut local = vec![false; g.num_nodes()];
+        for &v in scc.component(c) {
+            local[v.index()] = true;
+        }
+        let t: i64 = g
+            .arc_ids()
+            .filter(|&a| local[g.source(a).index()] && local[g.target(a).index()])
+            .map(|a| g.transit(a))
+            .sum();
+        max_t = max_t.max(t);
+    }
+    (cyclic, max_t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rational::Ratio64;
+    use crate::reference::brute_force_min_ratio;
+    use mcr_gen::sprand::{sprand, SprandConfig};
+    use mcr_gen::transit::with_random_transits;
+
+    fn random_ratio_graph(seed: u64) -> Graph {
+        let g = sprand(&SprandConfig::new(9, 22).seed(seed).weight_range(-20, 20));
+        with_random_transits(&g, 1, 5, seed ^ 0xabcd)
+    }
+
+    #[test]
+    fn all_ratio_solvers_agree_with_brute_force() {
+        for seed in 0..30 {
+            let g = random_ratio_graph(seed);
+            let (expected, _) = brute_force_min_ratio(&g).expect("cyclic");
+            assert_eq!(
+                howard_ratio_exact(&g).unwrap().lambda,
+                expected,
+                "howard seed {seed}"
+            );
+            assert_eq!(burns_ratio(&g).unwrap().lambda, expected, "burns seed {seed}");
+            assert_eq!(
+                parametric_ratio(&g, true).unwrap().lambda,
+                expected,
+                "yto seed {seed}"
+            );
+            assert_eq!(
+                parametric_ratio(&g, false).unwrap().lambda,
+                expected,
+                "ko seed {seed}"
+            );
+            assert_eq!(
+                lawler_ratio_exact(&g).unwrap().lambda,
+                expected,
+                "lawler seed {seed}"
+            );
+            assert_eq!(
+                ratio_via_expansion(&g, Algorithm::Karp)
+                    .unwrap()
+                    .unwrap()
+                    .lambda,
+                expected,
+                "expansion seed {seed}"
+            );
+        }
+    }
+
+    #[test]
+    fn approximate_ratio_solvers_are_close() {
+        for seed in 0..10 {
+            let g = random_ratio_graph(seed);
+            let (expected, _) = brute_force_min_ratio(&g).expect("cyclic");
+            let h = howard_ratio(&g, 1e-9).unwrap().lambda;
+            assert_eq!(h, expected, "howard-fig1 seed {seed}");
+            let l = lawler_ratio(&g, 1e-4).unwrap().lambda;
+            assert!(l >= expected && l.to_f64() - expected.to_f64() <= 1e-4 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn expansion_rejects_zero_transit() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 1, 0);
+        b.add_arc_with_transit(v[1], v[0], 1, 2);
+        let g = b.build();
+        assert!(expand_transits(&g).is_err());
+        assert!(ratio_via_expansion(&g, Algorithm::Karp).is_err());
+        // But the native solvers handle it.
+        assert_eq!(
+            howard_ratio_exact(&g).unwrap().lambda,
+            Ratio64::from(1)
+        );
+    }
+
+    #[test]
+    fn expansion_sizes() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 5, 3);
+        b.add_arc_with_transit(v[1], v[0], 1, 1);
+        let g = b.build();
+        let (e, origin) = expand_transits(&g).expect("positive transits");
+        assert_eq!(e.num_nodes(), 2 + 2);
+        assert_eq!(e.num_arcs(), 4);
+        assert_eq!(origin.len(), 4);
+        assert!(e.has_unit_transits());
+    }
+
+    #[test]
+    fn zero_transit_cycle_detection() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 1, 0);
+        b.add_arc_with_transit(v[1], v[0], 1, 1);
+        let ok = b.build();
+        assert!(!has_zero_transit_cycle(&ok));
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 1, 0);
+        b.add_arc_with_transit(v[1], v[0], 1, 0);
+        assert!(has_zero_transit_cycle(&b.build()));
+    }
+
+    #[test]
+    fn transit_profile_reports_cyclic_components() {
+        let g = random_ratio_graph(3);
+        let (cyclic, max_t) = transit_profile(&g);
+        assert_eq!(cyclic, 1); // SPRAND graphs are strongly connected
+        let total: i64 = g.arc_ids().map(|a| g.transit(a)).sum();
+        assert_eq!(max_t, total);
+    }
+
+    use mcr_graph::GraphBuilder;
+}

@@ -1,0 +1,135 @@
+//! Solver results: the optimum value, a witness cycle, and the
+//! optimality guarantee.
+
+use crate::instrument::Counters;
+use crate::rational::Ratio64;
+use mcr_graph::{ArcId, Graph, NodeId};
+
+/// What a solver promises about the [`Solution::lambda`] it returned.
+#[derive(Clone, Copy, Debug, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum Guarantee {
+    /// `lambda` is exactly the optimum cycle mean/ratio.
+    Exact,
+    /// `lambda` is the exact mean/ratio of the returned witness cycle,
+    /// and the optimum lies within `eps` of it (approximate algorithms:
+    /// Lawler, OA1, Howard with coarse precision).
+    Epsilon(f64),
+}
+
+impl Guarantee {
+    /// Whether the result is certified optimal.
+    pub fn is_exact(self) -> bool {
+        matches!(self, Guarantee::Exact)
+    }
+}
+
+/// The result of a minimum cycle mean / cycle ratio computation.
+///
+/// `lambda` is always the *exact* rational mean (or ratio) of the
+/// witness `cycle`; for approximate algorithms the optimum may be up to
+/// the guarantee's epsilon below it.
+#[derive(Clone, Debug)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Solution {
+    /// The optimum (or near-optimum) cycle mean or cost-to-time ratio.
+    pub lambda: Ratio64,
+    /// A witness cycle achieving `lambda`, as a sequence of arc ids of
+    /// the original input graph, in traversal order (the target of each
+    /// arc is the source of the next, cyclically).
+    pub cycle: Vec<ArcId>,
+    /// Optimality guarantee.
+    pub guarantee: Guarantee,
+    /// Operation counts accumulated while solving.
+    pub counters: Counters,
+}
+
+impl Solution {
+    /// The nodes of the witness cycle, in traversal order (one per arc).
+    pub fn cycle_nodes(&self, g: &Graph) -> Vec<NodeId> {
+        self.cycle.iter().map(|&a| g.source(a)).collect()
+    }
+
+    /// Recomputes the mean (weight over length) of the witness cycle.
+    pub fn cycle_mean(&self, g: &Graph) -> Ratio64 {
+        let w: i64 = self.cycle.iter().map(|&a| g.weight(a)).sum();
+        Ratio64::new(w, self.cycle.len() as i64)
+    }
+
+    /// Recomputes the cost-to-time ratio (weight over transit time) of
+    /// the witness cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cycle's total transit time is zero.
+    pub fn cycle_ratio(&self, g: &Graph) -> Ratio64 {
+        let w: i64 = self.cycle.iter().map(|&a| g.weight(a)).sum();
+        let t: i64 = self.cycle.iter().map(|&a| g.transit(a)).sum();
+        assert!(t > 0, "witness cycle has zero transit time");
+        Ratio64::new(w, t)
+    }
+}
+
+/// Checks that `cycle` is a well-formed cycle in `g`: nonempty, each
+/// arc's target is the next arc's source, and the last arc returns to
+/// the first arc's source. Returns its `(weight, length, transit)`.
+///
+/// Used by tests and debug assertions throughout the crate.
+pub fn check_cycle(g: &Graph, cycle: &[ArcId]) -> Result<(i64, usize, i64), String> {
+    if cycle.is_empty() {
+        return Err("empty cycle".into());
+    }
+    let mut weight = 0i64;
+    let mut transit = 0i64;
+    for (i, &a) in cycle.iter().enumerate() {
+        let next = cycle[(i + 1) % cycle.len()];
+        if g.target(a) != g.source(next) {
+            return Err(format!(
+                "arc {a:?} ends at {:?} but next arc {next:?} starts at {:?}",
+                g.target(a),
+                g.source(next)
+            ));
+        }
+        weight += g.weight(a);
+        transit += g.transit(a);
+    }
+    Ok((weight, cycle.len(), transit))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::graph::from_arc_list;
+
+    #[test]
+    fn check_cycle_accepts_valid() {
+        let g = from_arc_list(3, &[(0, 1, 2), (1, 2, 3), (2, 0, 4)]);
+        let cycle: Vec<ArcId> = g.arc_ids().collect();
+        let (w, len, t) = check_cycle(&g, &cycle).expect("valid cycle");
+        assert_eq!((w, len, t), (9, 3, 3));
+    }
+
+    #[test]
+    fn check_cycle_rejects_broken() {
+        let g = from_arc_list(3, &[(0, 1, 2), (1, 2, 3), (2, 0, 4)]);
+        let bad = vec![ArcId::new(0), ArcId::new(2)];
+        assert!(check_cycle(&g, &bad).is_err());
+        assert!(check_cycle(&g, &[]).is_err());
+    }
+
+    #[test]
+    fn solution_helpers() {
+        let g = from_arc_list(2, &[(0, 1, 3), (1, 0, 5)]);
+        let s = Solution {
+            lambda: Ratio64::new(4, 1),
+            cycle: g.arc_ids().collect(),
+            guarantee: Guarantee::Exact,
+            counters: Counters::new(),
+        };
+        assert_eq!(s.cycle_mean(&g), Ratio64::from(4));
+        assert_eq!(s.cycle_ratio(&g), Ratio64::from(4));
+        assert_eq!(s.cycle_nodes(&g), vec![NodeId::new(0), NodeId::new(1)]);
+        assert!(s.guarantee.is_exact());
+        assert!(!Guarantee::Epsilon(0.5).is_exact());
+    }
+}

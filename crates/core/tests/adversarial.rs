@@ -1,0 +1,197 @@
+//! Adversarial and structured instances chosen to stress specific
+//! algorithms: parity-constrained walks (Karp's ±∞ handling), pivot
+//! cascades (KO/YTO), near-degenerate cycle means (Lawler's snap),
+//! policy oscillation bait (Howard), and weight extremes.
+
+use mcr_core::reference::brute_force_min_mean;
+use mcr_core::solution::check_cycle;
+use mcr_core::{Algorithm, Ratio64};
+use mcr_gen::structured;
+use mcr_graph::graph::from_arc_list;
+use mcr_graph::{Graph, GraphBuilder, NodeId};
+
+fn assert_exact_algorithms(g: &Graph, expected: Ratio64, label: &str) {
+    for alg in Algorithm::ALL {
+        if alg.is_approximate() {
+            continue;
+        }
+        let sol = alg.solve(g).expect("cyclic");
+        assert_eq!(sol.lambda, expected, "{label}: {}", alg.name());
+        let (w, len, _) = check_cycle(g, &sol.cycle).expect("valid witness");
+        assert_eq!(Ratio64::new(w, len as i64), expected, "{label}: {} witness", alg.name());
+    }
+}
+
+#[test]
+fn parity_trap_even_cycles_only() {
+    // Bipartite-style graph: every cycle has even length, so D_n(v) is
+    // infinite for half the (k, v) pairs — stresses Karp's ±∞ handling.
+    let g = from_arc_list(
+        6,
+        &[
+            (0, 1, 3),
+            (1, 0, 5), // mean 4
+            (1, 2, 1),
+            (2, 3, 1),
+            (3, 4, 1),
+            (4, 5, 1),
+            (5, 2, 1), // 4-cycle 2-3-4-5 mean 1
+            (5, 0, 9),
+        ],
+    );
+    let (expected, _) = brute_force_min_mean(&g).unwrap();
+    assert_eq!(expected, Ratio64::from(1));
+    assert_exact_algorithms(&g, expected, "parity");
+}
+
+#[test]
+fn pivot_cascade_ladder() {
+    // The shortcut ladder forces long chains of parametric pivots with
+    // large moved subtrees. The ladder has ~Fib(n) simple cycles, so
+    // brute force is only usable for small n; larger sizes are checked
+    // against Karp.
+    for n in [8usize, 17, 40, 81] {
+        let g = structured::shortcut_ladder(n);
+        let expected = if n <= 20 {
+            brute_force_min_mean(&g).unwrap().0
+        } else {
+            Algorithm::Karp.solve(&g).unwrap().lambda
+        };
+        for alg in [Algorithm::Ko, Algorithm::Yto, Algorithm::HowardExact, Algorithm::Burns] {
+            assert_eq!(
+                alg.solve(&g).unwrap().lambda,
+                expected,
+                "ladder {n}: {}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn nearly_equal_cycle_means() {
+    // Two long cycles whose means differ by 1/(n(n-1)) — the resolution
+    // limit that Lawler's exact snap must still separate.
+    let n = 24usize;
+    let mut b = GraphBuilder::new();
+    let v = b.add_nodes(2 * n);
+    // Cycle A: n arcs of weight 7 -> mean 7.
+    for i in 0..n {
+        b.add_arc(v[i], v[(i + 1) % n], 7);
+    }
+    // Cycle B: n arcs summing to 7n - 1 -> mean 7 - 1/n.
+    for i in 0..n {
+        let w = if i == 0 { 6 } else { 7 };
+        b.add_arc(v[n + i], v[n + (i + 1) % n], w);
+    }
+    // One-way bridge keeps it a single graph.
+    b.add_arc(v[0], v[n], 100);
+    let g = b.build();
+    let expected = Ratio64::new(7 * n as i64 - 1, n as i64);
+    assert_exact_algorithms(&g, expected, "near-equal");
+    // Approximate algorithms with a tight epsilon must separate them too.
+    for alg in [Algorithm::Lawler, Algorithm::Howard] {
+        let sol = alg.solve_with_epsilon(&g, 1e-9).unwrap();
+        assert_eq!(sol.lambda, expected, "{}", alg.name());
+    }
+}
+
+#[test]
+fn howard_policy_bait() {
+    // Many equal-mean policy cycles plus one slightly better cycle
+    // hidden behind larger per-arc weights — policy iteration must not
+    // stop at a local pattern.
+    let mut b = GraphBuilder::new();
+    let hub = b.add_node();
+    let mut arcs = 0;
+    for _ in 0..10 {
+        let x = b.add_node();
+        let y = b.add_node();
+        b.add_arc(hub, x, 5);
+        b.add_arc(x, y, 5);
+        b.add_arc(y, hub, 5);
+        arcs += 3;
+    }
+    // The better cycle: 10-10-10-...-(-21): mean slightly below 5.
+    let chain: Vec<NodeId> = (0..4).map(|_| b.add_node()).collect();
+    b.add_arc(hub, chain[0], 10);
+    for i in 0..3 {
+        b.add_arc(chain[i], chain[i + 1], 10);
+    }
+    b.add_arc(chain[3], hub, -21);
+    arcs += 5;
+    let g = b.build();
+    assert_eq!(g.num_arcs(), arcs);
+    let (expected, _) = brute_force_min_mean(&g).unwrap();
+    assert_eq!(expected, Ratio64::new(19, 5));
+    assert_exact_algorithms(&g, expected, "howard-bait");
+}
+
+#[test]
+fn weights_at_scale_boundaries() {
+    // Mixed huge positive/negative weights near the i64-scaled comfort
+    // zone; exactness must survive the i128 intermediates.
+    let big = 4_000_000_000i64;
+    let g = from_arc_list(
+        4,
+        &[
+            (0, 1, big),
+            (1, 0, -big + 3),
+            (1, 2, big - 1),
+            (2, 3, -big),
+            (3, 1, 2),
+        ],
+    );
+    let (expected, _) = brute_force_min_mean(&g).unwrap();
+    assert_exact_algorithms(&g, expected, "big-weights");
+}
+
+#[test]
+fn dense_tournament() {
+    // Complete digraph with asymmetric weights — maximal cycle count,
+    // the worst case for policy enumeration and HO's cycle scans.
+    let n = 14;
+    let g = structured::complete(n, |u, v| {
+        ((u as i64 * 37 + v as i64 * 101) % 19) - 9
+    });
+    let karp = Algorithm::Karp.solve(&g).unwrap().lambda;
+    assert_exact_algorithms(&g, karp, "tournament");
+}
+
+#[test]
+fn single_arc_cycles_dominate() {
+    // Self-loops everywhere; the best cycle is a self-loop, which every
+    // algorithm must find without tripping on length-1 cycles.
+    let mut arcs: Vec<(usize, usize, i64)> = (0..10).map(|i| (i, (i + 1) % 10, 50)).collect();
+    for i in 0..10 {
+        arcs.push((i, i, 20 + i as i64));
+    }
+    let g = from_arc_list(10, &arcs);
+    assert_exact_algorithms(&g, Ratio64::from(20), "self-loops");
+}
+
+#[test]
+fn zero_mean_cycles() {
+    // λ* = 0 exactly: tests sign handling around the origin.
+    let g = from_arc_list(3, &[(0, 1, 4), (1, 2, -3), (2, 0, -1), (0, 2, 2), (2, 1, 5)]);
+    let (expected, _) = brute_force_min_mean(&g).unwrap();
+    assert_eq!(expected, Ratio64::ZERO);
+    assert_exact_algorithms(&g, expected, "zero-mean");
+}
+
+#[test]
+fn long_thin_ring_with_distant_shortcut() {
+    // Exercises deep subtree moves in KO/YTO and long reverse-BFS
+    // chains in Howard.
+    let n = 400usize;
+    let mut arcs: Vec<(usize, usize, i64)> = (0..n).map(|i| (i, (i + 1) % n, 10)).collect();
+    arcs.push((n - 1, n / 2, 10));
+    arcs.push((n / 2, 0, 9)); // shortcut creating the slightly better cycle
+    let g = from_arc_list(n, &arcs);
+    let yto = Algorithm::Yto.solve(&g).unwrap().lambda;
+    let howard = Algorithm::HowardExact.solve(&g).unwrap().lambda;
+    let lawler = Algorithm::LawlerExact.solve(&g).unwrap().lambda;
+    assert_eq!(yto, howard);
+    assert_eq!(yto, lawler);
+    assert!(yto < Ratio64::from(10));
+}

@@ -1,0 +1,171 @@
+//! The documented meaning of each operation counter, checked per
+//! algorithm family — these are the quantities the paper's §4.2–§4.4
+//! comparisons rest on, so their semantics must not drift.
+
+use mcr_core::{Algorithm, Counters};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_graph::Graph;
+
+fn solve_counters(alg: Algorithm, g: &Graph) -> Counters {
+    alg.solve(g).expect("cyclic").counters
+}
+
+/// A strongly connected instance (single SCC) so per-component counts
+/// equal whole-graph counts.
+fn instance(seed: u64, n: usize, m: usize) -> Graph {
+    sprand(&SprandConfig::new(n, m).seed(seed))
+}
+
+#[test]
+fn karp_visits_exactly_n_times_m_arcs() {
+    for seed in 0..5 {
+        let g = instance(seed, 40, 120);
+        let c = solve_counters(Algorithm::Karp, &g);
+        assert_eq!(c.arcs_visited, (40 * 120) as u64, "seed {seed}");
+    }
+}
+
+#[test]
+fn karp2_visits_just_under_twice_karp() {
+    for seed in 0..5 {
+        let g = instance(seed, 40, 120);
+        let karp = solve_counters(Algorithm::Karp, &g).arcs_visited;
+        let karp2 = solve_counters(Algorithm::Karp2, &g).arcs_visited;
+        // Pass 1 does n sweeps, pass 2 does n-1 more.
+        assert_eq!(karp2, karp * 2 - g.num_arcs() as u64, "seed {seed}");
+    }
+}
+
+#[test]
+fn dg_never_visits_more_than_karp() {
+    for seed in 0..8 {
+        let g = instance(seed, 50, 110);
+        let karp = solve_counters(Algorithm::Karp, &g).arcs_visited;
+        let dg = solve_counters(Algorithm::Dg, &g).arcs_visited;
+        assert!(dg <= karp, "seed {seed}: {dg} > {karp}");
+    }
+}
+
+#[test]
+fn ho_iterations_is_the_final_level() {
+    for seed in 0..8 {
+        let g = instance(seed, 50, 150);
+        let c = solve_counters(Algorithm::Ho, &g);
+        assert!(c.iterations >= 1);
+        assert!(c.iterations <= 50, "seed {seed}: {}", c.iterations);
+        // Arc visits = m per completed level.
+        assert_eq!(c.arcs_visited, c.iterations * g.num_arcs() as u64);
+    }
+}
+
+#[test]
+fn parametric_iterations_count_pivots_and_stay_quadratic() {
+    for seed in 0..8 {
+        let g = instance(seed, 60, 180);
+        for alg in [Algorithm::Ko, Algorithm::Yto] {
+            let c = solve_counters(alg, &g);
+            assert!(c.iterations >= 1, "{}", alg.name());
+            assert!(
+                c.iterations <= (60 * 60) as u64,
+                "{} seed {seed}: {}",
+                alg.name(),
+                c.iterations
+            );
+            assert!(c.heap.delete_mins >= c.iterations, "{}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn yto_keeps_at_most_one_heap_entry_per_node() {
+    for seed in 0..5 {
+        let g = instance(seed, 80, 240);
+        let c = solve_counters(Algorithm::Yto, &g);
+        // Every insert is eventually removed or popped; entries are
+        // per-node, so live entries never exceed n. A loose but
+        // meaningful consequence: pops + removals ≤ inserts ≤ pops +
+        // removals + n.
+        let drained = c.heap.delete_mins + c.heap.removals;
+        assert!(c.heap.inserts >= drained.saturating_sub(0));
+        assert!(
+            c.heap.inserts <= drained + 80,
+            "seed {seed}: inserts {} vs drained {}",
+            c.heap.inserts,
+            drained
+        );
+    }
+}
+
+#[test]
+fn lawler_oracle_calls_scale_with_log_range() {
+    for (wmax, expect_max) in [(10i64, 22u64), (10_000, 40)] {
+        let g = sprand(&SprandConfig::new(30, 90).seed(1).weight_range(1, wmax));
+        let c = solve_counters(Algorithm::LawlerExact, &g);
+        // log2(range · n(n−1)) plus the witness extraction call.
+        assert!(
+            c.oracle_calls <= expect_max,
+            "wmax {wmax}: {} calls",
+            c.oracle_calls
+        );
+        assert!(c.oracle_calls >= 5);
+    }
+}
+
+#[test]
+fn howard_examines_at_least_one_policy_cycle_per_iteration() {
+    for seed in 0..5 {
+        let g = instance(seed, 70, 210);
+        for alg in [Algorithm::Howard, Algorithm::HowardExact] {
+            let c = solve_counters(alg, &g);
+            assert!(c.cycles_examined >= c.iterations, "{}", alg.name());
+            // Each iteration scans all arcs once in the improvement pass.
+            assert!(c.relaxations >= c.iterations * g.num_arcs() as u64);
+        }
+    }
+}
+
+#[test]
+fn burns_rebuilds_slacks_every_iteration() {
+    for seed in 0..5 {
+        let g = instance(seed, 40, 120);
+        for alg in [Algorithm::Burns, Algorithm::BurnsExact] {
+            let c = solve_counters(alg, &g);
+            // Non-incremental: m slack evaluations per iteration (the
+            // f64 variant adds one certification Bellman–Ford).
+            assert!(
+                c.relaxations >= c.iterations * g.num_arcs() as u64,
+                "{} seed {seed}",
+                alg.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn counters_accumulate_across_components() {
+    // Two disjoint rings bridged one-way: counters must cover both.
+    let mut b = mcr_graph::GraphBuilder::new();
+    let v = b.add_nodes(6);
+    for i in 0..3 {
+        b.add_arc(v[i], v[(i + 1) % 3], 5);
+        b.add_arc(v[3 + i], v[3 + (i + 1) % 3], 7);
+    }
+    b.add_arc(v[0], v[3], 1);
+    let g = b.build();
+    let c = solve_counters(Algorithm::HowardExact, &g);
+    assert!(c.iterations >= 2, "one iteration per component at least");
+}
+
+#[test]
+fn lambda_only_mode_matches_solve_and_skips_witness_work() {
+    for seed in 0..8 {
+        let g = instance(seed, 40, 100);
+        for alg in [Algorithm::Karp, Algorithm::Karp2, Algorithm::Dg, Algorithm::Ho] {
+            let full = alg.solve(&g).expect("cyclic");
+            let (lam, c) = alg.solve_lambda_only(&g).expect("cyclic");
+            assert_eq!(lam, full.lambda, "{} seed {seed}", alg.name());
+            // λ-only performs no witness-extraction oracle call.
+            assert_eq!(c.oracle_calls, 0, "{} seed {seed}", alg.name());
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The ε-contract of the approximate algorithms: for every epsilon, the
+//! returned witness mean is never below the optimum and never more than
+//! the promised distance above it, and the reported guarantee reflects
+//! the epsilon actually used.
+
+use mcr_core::{Algorithm, Guarantee, Ratio64};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_core::reference::brute_force_min_mean;
+
+const APPROX: [Algorithm; 3] = [Algorithm::Lawler, Algorithm::Oa1, Algorithm::Howard];
+
+#[test]
+fn approximate_results_bracket_the_optimum() {
+    for seed in 0..12 {
+        let g = sprand(&SprandConfig::new(11, 30).seed(seed).weight_range(1, 1000));
+        let (optimum, _) = brute_force_min_mean(&g).unwrap();
+        for alg in APPROX {
+            for eps in [1e-1, 1e-3, 1e-6] {
+                let sol = alg.solve_with_epsilon(&g, eps).unwrap();
+                assert!(
+                    sol.lambda >= optimum,
+                    "{} seed {seed} eps {eps}: {} < {}",
+                    alg.name(),
+                    sol.lambda,
+                    optimum
+                );
+                // Conservative contract: within a small constant factor
+                // of eps (OA1 promises 2ε, Howard n·ε for its distance
+                // test; the witness mean in practice is far tighter).
+                let slop = match alg {
+                    Algorithm::Howard => eps * g.num_nodes() as f64,
+                    _ => 2.0 * eps,
+                };
+                assert!(
+                    sol.lambda.to_f64() - optimum.to_f64() <= slop + 1e-12,
+                    "{} seed {seed} eps {eps}: {} vs {}",
+                    alg.name(),
+                    sol.lambda,
+                    optimum
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tightening_epsilon_converges_to_the_optimum() {
+    for seed in 0..8 {
+        let g = sprand(&SprandConfig::new(13, 33).seed(seed).weight_range(1, 500));
+        let (optimum, _) = brute_force_min_mean(&g).unwrap();
+        for alg in APPROX {
+            // Howard's λ is non-increasing in iterations, so a tighter ε
+            // can only improve it.
+            if alg == Algorithm::Howard {
+                let coarse = alg.solve_with_epsilon(&g, 1.0).unwrap().lambda;
+                let fine = alg.solve_with_epsilon(&g, 1e-7).unwrap().lambda;
+                assert!(fine <= coarse, "Howard seed {seed}");
+            }
+            // For every approximate method, a tight ε pins the optimum
+            // on these small instances (cycle-mean gaps exceed 1e-7).
+            let fine = alg.solve_with_epsilon(&g, 1e-7).unwrap().lambda;
+            assert_eq!(fine, optimum, "{} seed {seed}", alg.name());
+        }
+    }
+}
+
+#[test]
+fn guarantee_reports_epsilon() {
+    let g = sprand(&SprandConfig::new(20, 60).seed(3));
+    for alg in APPROX {
+        match alg.solve_with_epsilon(&g, 0.25).unwrap().guarantee {
+            Guarantee::Epsilon(e) => assert!(e >= 0.25, "{}: {e}", alg.name()),
+            Guarantee::Exact => panic!("{} must not claim exactness", alg.name()),
+        }
+    }
+}
+
+#[test]
+fn exact_variants_ignore_epsilon() {
+    let g = sprand(&SprandConfig::new(15, 40).seed(9));
+    let reference = Algorithm::Karp.solve(&g).unwrap().lambda;
+    for alg in [Algorithm::LawlerExact, Algorithm::HowardExact, Algorithm::BurnsExact] {
+        for eps in [10.0, 1e-9] {
+            let sol = alg.solve_with_epsilon(&g, eps).unwrap();
+            assert_eq!(sol.lambda, reference, "{} eps {eps}", alg.name());
+            assert!(matches!(sol.guarantee, Guarantee::Exact));
+        }
+    }
+}
+
+#[test]
+#[should_panic(expected = "epsilon must be positive")]
+fn nonpositive_epsilon_panics_for_lawler() {
+    let g = sprand(&SprandConfig::new(8, 20).seed(0));
+    let _ = Algorithm::Lawler.solve_with_epsilon(&g, 0.0);
+}
+
+#[test]
+#[should_panic(expected = "epsilon must be positive")]
+fn nonpositive_epsilon_panics_for_oa1() {
+    let g = sprand(&SprandConfig::new(8, 20).seed(0));
+    let _ = Algorithm::Oa1.solve_with_epsilon(&g, -1.0);
+}
+
+#[test]
+fn witness_mean_is_exact_even_when_lambda_is_approximate() {
+    // The returned lambda must always be the exact rational mean of the
+    // returned cycle, whatever the guarantee says.
+    for seed in 0..10 {
+        let g = sprand(&SprandConfig::new(25, 70).seed(seed));
+        for alg in APPROX {
+            let sol = alg.solve_with_epsilon(&g, 0.5).unwrap();
+            let w: i64 = sol.cycle.iter().map(|&a| g.weight(a)).sum();
+            assert_eq!(
+                sol.lambda,
+                Ratio64::new(w, sol.cycle.len() as i64),
+                "{} seed {seed}",
+                alg.name()
+            );
+        }
+    }
+}

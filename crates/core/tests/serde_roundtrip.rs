@@ -1,0 +1,50 @@
+//! Serde roundtrips for the solver types (run with `--features serde`).
+#![cfg(feature = "serde")]
+
+use mcr_core::{Algorithm, Ratio64, Solution};
+use mcr_gen::sprand::{sprand, SprandConfig};
+
+#[test]
+fn ratio64_roundtrips_and_validates() {
+    for r in [
+        Ratio64::new(7, 3),
+        Ratio64::new(-22, 8),
+        Ratio64::ZERO,
+        Ratio64::from(i64::MAX / 2),
+    ] {
+        let json = serde_json::to_string(&r).expect("serialize");
+        let back: Ratio64 = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(back, r);
+    }
+    // Unreduced input is normalized on the way in.
+    let back: Ratio64 = serde_json::from_str("[4,6]").expect("deserialize");
+    assert_eq!(back, Ratio64::new(2, 3));
+    // Zero denominators are rejected, not panicking.
+    assert!(serde_json::from_str::<Ratio64>("[1,0]").is_err());
+}
+
+#[test]
+fn solution_roundtrips_with_counters_and_witness() {
+    let g = sprand(&SprandConfig::new(30, 90).seed(5));
+    let sol = Algorithm::Yto.solve(&g).expect("cyclic");
+    let json = serde_json::to_string(&sol).expect("serialize");
+    let back: Solution = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.lambda, sol.lambda);
+    assert_eq!(back.cycle, sol.cycle);
+    assert_eq!(back.counters, sol.counters);
+    // The deserialized witness still verifies against the graph.
+    assert_eq!(back.cycle_mean(&g), sol.lambda);
+}
+
+#[test]
+fn graph_solution_pipeline_through_json() {
+    // Serialize a graph, ship it, deserialize, solve: same optimum.
+    let g = sprand(&SprandConfig::new(40, 120).seed(9));
+    let expected = mcr_core::minimum_cycle_mean(&g).expect("cyclic").lambda;
+    let json = serde_json::to_string(&g).expect("serialize graph");
+    let g2: mcr_graph::Graph = serde_json::from_str(&json).expect("deserialize graph");
+    assert_eq!(
+        mcr_core::minimum_cycle_mean(&g2).expect("cyclic").lambda,
+        expected
+    );
+}

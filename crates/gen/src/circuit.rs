@@ -1,0 +1,192 @@
+//! Synthetic sequential-circuit-like graphs.
+//!
+//! The original study's second test family consisted of cyclic
+//! sequential multi-level logic benchmark circuits (LGSynth91). Those
+//! netlists are not redistributable here, so this generator produces
+//! graphs with the structural properties the paper attributes to real
+//! circuits and exploits in its analysis:
+//!
+//! * **Sparsity** — real circuits have bounded fan-in/fan-out, so the
+//!   arc/node ratio is close to 1–2 (the paper: "we used sparse random
+//!   graphs … because real circuits are sparse").
+//! * **Locality** — gates connect to nearby gates in a levelized order.
+//! * **Short feedback cycles** — registers close small loops, so
+//!   critical cycles are short; this is what makes the DG algorithm's
+//!   unfolding shallow on circuits (§4.4) and Howard converge fast.
+//!
+//! The model: `num_gates` combinational nodes arranged in a line with
+//! forward arcs of bounded locality (logic cones), and
+//! `num_registers` feedback arcs from later to earlier nodes closing
+//! sequential loops of bounded length. Weights model gate delays.
+
+use mcr_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`circuit_graph`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CircuitConfig {
+    /// Number of combinational nodes (gates).
+    pub num_gates: usize,
+    /// Number of register feedback arcs closing sequential loops.
+    pub num_registers: usize,
+    /// Maximum forward distance of a logic arc (locality window).
+    pub locality: usize,
+    /// Mean out-degree of a gate, times 100 (e.g. 150 = 1.5 arcs/gate).
+    pub fanout_percent: usize,
+    /// Maximum length of a register feedback loop.
+    pub max_loop: usize,
+    /// Inclusive gate delay range.
+    pub min_delay: i64,
+    /// Inclusive gate delay range.
+    pub max_delay: i64,
+    /// RNG seed.
+    pub rng_seed: u64,
+}
+
+impl CircuitConfig {
+    /// A circuit with `num_gates` gates, ~1.5 arcs per gate, a register
+    /// on roughly every 8th gate, delays in `[1, 100]`.
+    pub fn new(num_gates: usize) -> Self {
+        CircuitConfig {
+            num_gates,
+            num_registers: (num_gates / 8).max(1),
+            locality: 12,
+            fanout_percent: 150,
+            max_loop: 24,
+            min_delay: 1,
+            max_delay: 100,
+            rng_seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+}
+
+/// Generates a sequential-circuit-like graph.
+///
+/// The graph is sparse and cyclic. It is not necessarily strongly
+/// connected — just like real benchmark circuits — so it exercises the
+/// per-SCC solver driver.
+///
+/// # Panics
+///
+/// Panics if `cfg.num_gates == 0`.
+///
+/// ```
+/// use mcr_gen::circuit::{circuit_graph, CircuitConfig};
+/// let g = circuit_graph(&CircuitConfig::new(200).seed(5));
+/// assert_eq!(g.num_nodes(), 200);
+/// // Sparse: well under 3 arcs per node.
+/// assert!(g.num_arcs() < 3 * g.num_nodes());
+/// ```
+pub fn circuit_graph(cfg: &CircuitConfig) -> Graph {
+    assert!(cfg.num_gates > 0, "circuit requires at least one gate");
+    let n = cfg.num_gates;
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+    let mut b = GraphBuilder::with_capacity(n, n * 2);
+    let nodes = b.add_nodes(n);
+    let delay = |rng: &mut StdRng| rng.gen_range(cfg.min_delay..=cfg.max_delay);
+
+    // Forward logic arcs with locality: every gate feeds its neighbor
+    // (so every register feedback arc closes a real loop), plus random
+    // extra fan-out up to cfg.fanout_percent/100 arcs per gate.
+    for i in 0..n {
+        let span = cfg.locality.min(n - 1 - i);
+        if span == 0 {
+            continue;
+        }
+        let w = delay(&mut rng);
+        b.add_arc(nodes[i], nodes[i + 1], w);
+        let mut budget = cfg.fanout_percent.saturating_sub(100);
+        while budget > 0 {
+            let fire = if budget >= 100 {
+                true
+            } else {
+                rng.gen_range(0..100) < budget
+            };
+            budget = budget.saturating_sub(100);
+            if fire {
+                let j = i + rng.gen_range(1..=span);
+                let w = delay(&mut rng);
+                b.add_arc(nodes[i], nodes[j], w);
+            }
+        }
+    }
+
+    // Register feedback arcs closing short sequential loops.
+    for _ in 0..cfg.num_registers {
+        let len = rng.gen_range(2..=cfg.max_loop.max(2));
+        let hi = rng.gen_range(0..n);
+        let lo = hi.saturating_sub(len);
+        let w = delay(&mut rng);
+        b.add_arc(nodes[hi], nodes[lo], w);
+    }
+
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::traverse::has_cycle;
+
+    #[test]
+    fn is_sparse_and_cyclic() {
+        let g = circuit_graph(&CircuitConfig::new(500).seed(1));
+        assert!(g.num_arcs() as f64 / g.num_nodes() as f64 <= 2.5);
+        assert!(has_cycle(&g));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = circuit_graph(&CircuitConfig::new(120).seed(3));
+        let b = circuit_graph(&CircuitConfig::new(120).seed(3));
+        assert_eq!(a.num_arcs(), b.num_arcs());
+        for e in a.arc_ids() {
+            assert_eq!(a.source(e), b.source(e));
+            assert_eq!(a.target(e), b.target(e));
+            assert_eq!(a.weight(e), b.weight(e));
+        }
+    }
+
+    #[test]
+    fn delays_in_range() {
+        let cfg = CircuitConfig {
+            min_delay: 10,
+            max_delay: 20,
+            ..CircuitConfig::new(100)
+        };
+        let g = circuit_graph(&cfg);
+        for a in g.arc_ids() {
+            assert!((10..=20).contains(&g.weight(a)));
+        }
+    }
+
+    #[test]
+    fn feedback_loops_are_bounded() {
+        let cfg = CircuitConfig {
+            max_loop: 5,
+            ..CircuitConfig::new(100)
+        };
+        let g = circuit_graph(&cfg);
+        // Back arcs (source index > target index) span at most max_loop.
+        for a in g.arc_ids() {
+            let s = g.source(a).index();
+            let t = g.target(a).index();
+            if s > t {
+                assert!(s - t <= 5, "feedback arc {s}->{t} too long");
+            }
+        }
+    }
+
+    #[test]
+    fn tiny_circuit_works() {
+        let g = circuit_graph(&CircuitConfig::new(1));
+        assert_eq!(g.num_nodes(), 1);
+    }
+}

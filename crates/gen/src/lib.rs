@@ -1,0 +1,38 @@
+//! Workload generators for the optimum cycle mean / cycle ratio study.
+//!
+//! The original experiments used two input families:
+//!
+//! 1. **SPRAND random graphs** (Cherkassky–Goldberg–Radzik's generator):
+//!    a Hamiltonian cycle over all nodes — which guarantees strong
+//!    connectivity — plus `m − n` arcs chosen uniformly at random, with
+//!    arc weights uniform in `[1, 10000]`. Reimplemented in [`sprand()`].
+//! 2. **Cyclic sequential multi-level logic benchmark circuits** from
+//!    the 1991 Logic Synthesis and Optimization Benchmarks. Those
+//!    netlists are not redistributable here, so [`circuit`] generates
+//!    synthetic sequential-circuit-like graphs with the same qualitative
+//!    properties the paper relies on: sparse (≈1–2 arcs per node),
+//!    locally connected, with many short register feedback cycles.
+//!
+//! [`structured`] adds deterministic families (rings, tori, complete
+//! graphs, layered feedback graphs) used by tests and ablation benches,
+//! and [`transit`] decorates any graph with random transit times to turn
+//! a cycle mean instance into a cost-to-time ratio instance.
+//!
+//! All generators are deterministic functions of their seed
+//! (`rand::rngs::StdRng`), so every experiment in this repository is
+//! reproducible bit for bit.
+//!
+//! ```
+//! use mcr_gen::sprand::{sprand, SprandConfig};
+//! let g = sprand(&SprandConfig::new(128, 256).seed(7));
+//! assert_eq!(g.num_nodes(), 128);
+//! assert_eq!(g.num_arcs(), 256);
+//! ```
+
+pub mod circuit;
+pub mod sprand;
+pub mod structured;
+pub mod transit;
+
+pub use circuit::{circuit_graph, CircuitConfig};
+pub use sprand::{sprand, SprandConfig};

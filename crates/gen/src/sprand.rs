@@ -1,0 +1,187 @@
+//! Reimplementation of the SPRAND random graph generator.
+//!
+//! SPRAND (from the Cherkassky–Goldberg–Radzik shortest path study)
+//! "produces a graph with n nodes and m arcs by first building a
+//! Hamiltonian cycle on the nodes and then adding m − n arcs at random"
+//! (DAC 1999, §3). The Hamiltonian cycle makes the graph strongly
+//! connected; the random arcs may include self-loops and parallel arcs,
+//! as in the original generator. Arc weights are uniform in
+//! `[1, 10000]` by default — SPRAND's default weight interval, which the
+//! paper kept.
+
+use mcr_graph::{Graph, GraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`sprand`].
+///
+/// ```
+/// use mcr_gen::sprand::SprandConfig;
+/// let cfg = SprandConfig::new(512, 1024).seed(3).weight_range(1, 100);
+/// assert_eq!(cfg.num_nodes, 512);
+/// assert_eq!(cfg.max_weight, 100);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SprandConfig {
+    /// Number of nodes `n`.
+    pub num_nodes: usize,
+    /// Number of arcs `m`; must satisfy `m >= n` so the Hamiltonian
+    /// cycle fits.
+    pub num_arcs: usize,
+    /// Inclusive lower bound of the uniform weight distribution.
+    pub min_weight: i64,
+    /// Inclusive upper bound of the uniform weight distribution.
+    pub max_weight: i64,
+    /// RNG seed; equal seeds produce equal graphs.
+    pub rng_seed: u64,
+}
+
+impl SprandConfig {
+    /// Creates a configuration with the paper's default weight interval
+    /// `[1, 10000]` and seed 0.
+    pub fn new(num_nodes: usize, num_arcs: usize) -> Self {
+        SprandConfig {
+            num_nodes,
+            num_arcs,
+            min_weight: 1,
+            max_weight: 10_000,
+            rng_seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.rng_seed = seed;
+        self
+    }
+
+    /// Sets the inclusive weight interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max`.
+    pub fn weight_range(mut self, min: i64, max: i64) -> Self {
+        assert!(min <= max, "weight range must be nonempty");
+        self.min_weight = min;
+        self.max_weight = max;
+        self
+    }
+}
+
+/// Generates a SPRAND random graph.
+///
+/// The result is strongly connected (it contains the Hamiltonian cycle
+/// `0 → 1 → … → n−1 → 0`) and has exactly `cfg.num_arcs` arcs.
+///
+/// # Panics
+///
+/// Panics if `cfg.num_arcs < cfg.num_nodes` or `cfg.num_nodes == 0`.
+///
+/// ```
+/// use mcr_gen::sprand::{sprand, SprandConfig};
+/// use mcr_graph::traverse::is_strongly_connected;
+/// let g = sprand(&SprandConfig::new(64, 128).seed(42));
+/// assert!(is_strongly_connected(&g));
+/// ```
+pub fn sprand(cfg: &SprandConfig) -> Graph {
+    assert!(cfg.num_nodes > 0, "sprand requires at least one node");
+    assert!(
+        cfg.num_arcs >= cfg.num_nodes,
+        "sprand requires m >= n for the Hamiltonian cycle"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.rng_seed);
+    let n = cfg.num_nodes;
+    let mut b = GraphBuilder::with_capacity(n, cfg.num_arcs);
+    let nodes = b.add_nodes(n);
+    // Hamiltonian cycle.
+    for i in 0..n {
+        let w = rng.gen_range(cfg.min_weight..=cfg.max_weight);
+        b.add_arc(nodes[i], nodes[(i + 1) % n], w);
+    }
+    // Random extra arcs (self-loops and parallels allowed, as in SPRAND).
+    for _ in n..cfg.num_arcs {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        let w = rng.gen_range(cfg.min_weight..=cfg.max_weight);
+        b.add_arc(NodeId::new(u), NodeId::new(v), w);
+    }
+    b.build()
+}
+
+/// The `(n, m)` grid of Table 2: `n ∈ {512, 1024, 2048, 4096, 8192}`,
+/// `m/n ∈ {1, 1.5, 2, 2.5, 3}`.
+pub fn table2_grid() -> Vec<(usize, usize)> {
+    let mut grid = Vec::new();
+    for &n in &[512usize, 1024, 2048, 4096, 8192] {
+        for &num in &[2usize, 3, 4, 5, 6] {
+            grid.push((n, n * num / 2));
+        }
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::traverse::is_strongly_connected;
+
+    #[test]
+    fn exact_counts_and_connectivity() {
+        for &(n, m) in &[(1usize, 1usize), (2, 5), (64, 64), (100, 250)] {
+            let g = sprand(&SprandConfig::new(n, m).seed(1));
+            assert_eq!(g.num_nodes(), n);
+            assert_eq!(g.num_arcs(), m);
+            assert!(is_strongly_connected(&g), "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn weights_within_range() {
+        let g = sprand(&SprandConfig::new(50, 200).seed(9).weight_range(5, 7));
+        for a in g.arc_ids() {
+            let w = g.weight(a);
+            assert!((5..=7).contains(&w));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = sprand(&SprandConfig::new(40, 100).seed(11));
+        let b = sprand(&SprandConfig::new(40, 100).seed(11));
+        let c = sprand(&SprandConfig::new(40, 100).seed(12));
+        let arcs = |g: &Graph| -> Vec<(usize, usize, i64)> {
+            g.arc_ids()
+                .map(|e| (g.source(e).index(), g.target(e).index(), g.weight(e)))
+                .collect()
+        };
+        assert_eq!(arcs(&a), arcs(&b));
+        assert_ne!(arcs(&a), arcs(&c));
+    }
+
+    #[test]
+    fn hamiltonian_cycle_present() {
+        let g = sprand(&SprandConfig::new(10, 30).seed(0));
+        // The first n arcs are i -> (i+1) mod n.
+        for i in 0..10 {
+            let a = mcr_graph::ArcId::new(i);
+            assert_eq!(g.source(a).index(), i);
+            assert_eq!(g.target(a).index(), (i + 1) % 10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "m >= n")]
+    fn too_few_arcs_panics() {
+        sprand(&SprandConfig::new(10, 5));
+    }
+
+    #[test]
+    fn table2_grid_matches_paper() {
+        let grid = table2_grid();
+        assert_eq!(grid.len(), 25);
+        assert!(grid.contains(&(512, 512)));
+        assert!(grid.contains(&(512, 768)));
+        assert!(grid.contains(&(8192, 24576)));
+        assert!(grid.contains(&(2048, 5120)));
+    }
+}

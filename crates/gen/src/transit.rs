@@ -1,0 +1,98 @@
+//! Transit-time decoration: turning cycle mean instances into
+//! cost-to-time ratio instances.
+
+use mcr_graph::{Graph, GraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Returns a copy of `g` whose arc transit times are drawn uniformly
+/// from `[min_transit, max_transit]`.
+///
+/// With `min_transit >= 1` every cycle has positive total transit time,
+/// so the minimum cost-to-time ratio is well defined. `min_transit = 0`
+/// is allowed for modeling zero-delay arcs (e.g. wires without
+/// registers), but then the caller must ensure no cycle has zero total
+/// transit.
+///
+/// # Panics
+///
+/// Panics if `min_transit > max_transit` or `min_transit < 0`.
+///
+/// ```
+/// use mcr_gen::{sprand::{sprand, SprandConfig}, transit::with_random_transits};
+/// let g = sprand(&SprandConfig::new(16, 32).seed(0));
+/// let r = with_random_transits(&g, 1, 10, 7);
+/// assert!(!r.has_unit_transits() || r.num_arcs() == 0);
+/// ```
+pub fn with_random_transits(g: &Graph, min_transit: i64, max_transit: i64, seed: u64) -> Graph {
+    assert!(min_transit <= max_transit, "transit range must be nonempty");
+    assert!(min_transit >= 0, "transit times must be nonnegative");
+    let mut rng = StdRng::seed_from_u64(seed);
+    rebuild_with(g, |_| rng.gen_range(min_transit..=max_transit))
+}
+
+/// Returns a copy of `g` with every transit time set to 1 (a pure cycle
+/// mean instance).
+pub fn with_unit_transits(g: &Graph) -> Graph {
+    rebuild_with(g, |_| 1)
+}
+
+/// Returns a copy of `g` with arc transit times given by `transit_fn`
+/// over the arc index.
+///
+/// # Panics
+///
+/// Panics if `transit_fn` returns a negative value.
+pub fn rebuild_with(g: &Graph, mut transit_fn: impl FnMut(usize) -> i64) -> Graph {
+    let mut b = GraphBuilder::with_capacity(g.num_nodes(), g.num_arcs());
+    b.add_nodes(g.num_nodes());
+    for a in g.arc_ids() {
+        b.add_arc_with_transit(g.source(a), g.target(a), g.weight(a), transit_fn(a.index()));
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::structured::ring;
+
+    #[test]
+    fn random_transits_in_range() {
+        let g = ring(&[1; 20]);
+        let r = with_random_transits(&g, 2, 5, 1);
+        for a in r.arc_ids() {
+            assert!((2..=5).contains(&r.transit(a)));
+            assert_eq!(r.weight(a), 1);
+        }
+    }
+
+    #[test]
+    fn unit_transits_resets() {
+        let g = ring(&[1, 2, 3]);
+        let r = with_random_transits(&g, 3, 9, 0);
+        let u = with_unit_transits(&r);
+        assert!(u.has_unit_transits());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = ring(&[1; 50]);
+        let a = with_random_transits(&g, 1, 100, 4);
+        let b = with_random_transits(&g, 1, 100, 4);
+        for e in a.arc_ids() {
+            assert_eq!(a.transit(e), b.transit(e));
+        }
+    }
+
+    #[test]
+    fn structure_preserved() {
+        let g = ring(&[7, 8, 9]);
+        let r = with_random_transits(&g, 1, 3, 0);
+        for e in g.arc_ids() {
+            assert_eq!(g.source(e), r.source(e));
+            assert_eq!(g.target(e), r.target(e));
+            assert_eq!(g.weight(e), r.weight(e));
+        }
+    }
+}

@@ -1,0 +1,633 @@
+//! The core immutable digraph type and its builder.
+
+use std::fmt;
+
+/// Dense index of a node in a [`Graph`].
+///
+/// Node ids are assigned consecutively from zero by [`GraphBuilder`], so
+/// they can index flat per-node state arrays directly via
+/// [`NodeId::index`].
+///
+/// ```
+/// use mcr_graph::NodeId;
+/// let v = NodeId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+/// Dense index of an arc in a [`Graph`].
+///
+/// Arc ids are assigned consecutively from zero in insertion order.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArcId(u32);
+
+impl NodeId {
+    /// Creates a node id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+
+    /// Returns the raw index, suitable for indexing per-node arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ArcId {
+    /// Creates an arc id from a raw index.
+    #[inline]
+    pub fn new(index: usize) -> Self {
+        ArcId(index as u32)
+    }
+
+    /// Returns the raw index, suitable for indexing per-arc arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl fmt::Debug for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "e{}", self.0)
+    }
+}
+
+impl fmt::Display for ArcId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+/// An immutable directed graph with `i64` arc weights and transit times,
+/// stored in compressed adjacency (CSR) form in both directions.
+///
+/// Constructed through [`GraphBuilder`]. Parallel arcs and self-loops are
+/// allowed (both occur in SPRAND-generated inputs). The out-adjacency is
+/// used by forward traversals (Howard, DG, parametric algorithms); the
+/// in-adjacency is used by Karp's recurrence, which relaxes over
+/// predecessors.
+///
+/// ```
+/// use mcr_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let v = b.add_nodes(2);
+/// b.add_arc(v[0], v[1], 5);
+/// b.add_arc(v[1], v[0], -1);
+/// let g = b.build();
+/// assert_eq!(g.out_degree(v[0]), 1);
+/// assert_eq!(g.in_degree(v[0]), 1);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct Graph {
+    // CSR over arcs sorted by source; `out_arcs[first_out[v]..first_out[v+1]]`
+    // are the arcs leaving `v`. The `out_targets`/`out_weights`/
+    // `out_transits` arrays are aligned with `out_arcs` (and the `in_*`
+    // arrays with `in_arcs`) so adjacency sweeps touch memory linearly
+    // instead of chasing arc ids scattered by insertion order.
+    first_out: Vec<u32>,
+    out_arcs: Vec<ArcId>,
+    out_targets: Vec<NodeId>,
+    out_weights: Vec<i64>,
+    out_transits: Vec<i64>,
+    first_in: Vec<u32>,
+    in_arcs: Vec<ArcId>,
+    in_sources: Vec<NodeId>,
+    in_weights: Vec<i64>,
+    in_transits: Vec<i64>,
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    weights: Vec<i64>,
+    transits: Vec<i64>,
+}
+
+impl Graph {
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.first_out.len().saturating_sub(1)
+    }
+
+    /// Number of arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Iterates over all node ids in increasing order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes()).map(NodeId::new)
+    }
+
+    /// Iterates over all arc ids in increasing order.
+    pub fn arc_ids(&self) -> impl Iterator<Item = ArcId> + '_ {
+        (0..self.num_arcs()).map(ArcId::new)
+    }
+
+    /// Source node of `arc`.
+    #[inline]
+    pub fn source(&self, arc: ArcId) -> NodeId {
+        self.sources[arc.index()]
+    }
+
+    /// Target node of `arc`.
+    #[inline]
+    pub fn target(&self, arc: ArcId) -> NodeId {
+        self.targets[arc.index()]
+    }
+
+    /// Weight (cost) of `arc`.
+    #[inline]
+    pub fn weight(&self, arc: ArcId) -> i64 {
+        self.weights[arc.index()]
+    }
+
+    /// Transit time of `arc` (1 unless set explicitly at build time).
+    #[inline]
+    pub fn transit(&self, arc: ArcId) -> i64 {
+        self.transits[arc.index()]
+    }
+
+    /// All arc weights as a slice, indexed by [`ArcId::index`].
+    #[inline]
+    pub fn weights(&self) -> &[i64] {
+        &self.weights
+    }
+
+    /// All arc transit times as a slice, indexed by [`ArcId::index`].
+    #[inline]
+    pub fn transits(&self) -> &[i64] {
+        &self.transits
+    }
+
+    /// Arcs leaving `v`.
+    #[inline]
+    pub fn out_arcs(&self, v: NodeId) -> &[ArcId] {
+        let lo = self.first_out[v.index()] as usize;
+        let hi = self.first_out[v.index() + 1] as usize;
+        &self.out_arcs[lo..hi]
+    }
+
+    /// Arcs entering `v`.
+    #[inline]
+    pub fn in_arcs(&self, v: NodeId) -> &[ArcId] {
+        let lo = self.first_in[v.index()] as usize;
+        let hi = self.first_in[v.index() + 1] as usize;
+        &self.in_arcs[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        self.out_arcs(v).len()
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: NodeId) -> usize {
+        self.in_arcs(v).len()
+    }
+
+    /// Iterates over `(arc, successor)` pairs of `v`.
+    pub fn out_neighbors(&self, v: NodeId) -> impl Iterator<Item = (ArcId, NodeId)> + '_ {
+        let lo = self.first_out[v.index()] as usize;
+        let hi = self.first_out[v.index() + 1] as usize;
+        self.out_arcs[lo..hi]
+            .iter()
+            .zip(&self.out_targets[lo..hi])
+            .map(|(&a, &t)| (a, t))
+    }
+
+    /// Iterates over `(arc, predecessor)` pairs of `v`.
+    pub fn in_neighbors(&self, v: NodeId) -> impl Iterator<Item = (ArcId, NodeId)> + '_ {
+        let lo = self.first_in[v.index()] as usize;
+        let hi = self.first_in[v.index() + 1] as usize;
+        self.in_arcs[lo..hi]
+            .iter()
+            .zip(&self.in_sources[lo..hi])
+            .map(|(&a, &s)| (a, s))
+    }
+
+    /// Iterates over `(arc, target, weight, transit)` of the arcs
+    /// leaving `v`, reading the cache-aligned adjacency copies (the hot
+    /// path of the breadth-first and parametric algorithms).
+    pub fn out_adj(&self, v: NodeId) -> impl Iterator<Item = (ArcId, NodeId, i64, i64)> + '_ {
+        let lo = self.first_out[v.index()] as usize;
+        let hi = self.first_out[v.index() + 1] as usize;
+        self.out_arcs[lo..hi]
+            .iter()
+            .zip(&self.out_targets[lo..hi])
+            .zip(&self.out_weights[lo..hi])
+            .zip(&self.out_transits[lo..hi])
+            .map(|(((&a, &t), &w), &tr)| (a, t, w, tr))
+    }
+
+    /// Iterates over `(arc, source, weight, transit)` of the arcs
+    /// entering `v`, reading the cache-aligned adjacency copies.
+    pub fn in_adj(&self, v: NodeId) -> impl Iterator<Item = (ArcId, NodeId, i64, i64)> + '_ {
+        let lo = self.first_in[v.index()] as usize;
+        let hi = self.first_in[v.index() + 1] as usize;
+        self.in_arcs[lo..hi]
+            .iter()
+            .zip(&self.in_sources[lo..hi])
+            .zip(&self.in_weights[lo..hi])
+            .zip(&self.in_transits[lo..hi])
+            .map(|(((&a, &s), &w), &tr)| (a, s, w, tr))
+    }
+
+    /// Smallest arc weight, or `None` for an arc-free graph.
+    pub fn min_weight(&self) -> Option<i64> {
+        self.weights.iter().copied().min()
+    }
+
+    /// Largest arc weight, or `None` for an arc-free graph.
+    pub fn max_weight(&self) -> Option<i64> {
+        self.weights.iter().copied().max()
+    }
+
+    /// Whether every arc has transit time 1, i.e. the cost-to-time ratio
+    /// problem on this graph coincides with the cycle mean problem.
+    pub fn has_unit_transits(&self) -> bool {
+        self.transits.iter().all(|&t| t == 1)
+    }
+
+    /// Returns a graph with every weight negated, leaving transit times
+    /// untouched. Maximum mean/ratio problems reduce to minimum ones on
+    /// the negated graph.
+    ///
+    /// ```
+    /// use mcr_graph::GraphBuilder;
+    /// let mut b = GraphBuilder::new();
+    /// let v = b.add_nodes(1);
+    /// b.add_arc(v[0], v[0], 7);
+    /// let g = b.build().negated();
+    /// assert_eq!(g.weight(mcr_graph::ArcId::new(0)), -7);
+    /// ```
+    pub fn negated(&self) -> Graph {
+        let mut g = self.clone();
+        for w in &mut g.weights {
+            *w = -*w;
+        }
+        for w in &mut g.out_weights {
+            *w = -*w;
+        }
+        for w in &mut g.in_weights {
+            *w = -*w;
+        }
+        g
+    }
+
+    /// Returns the same graph structure with weights replaced by the
+    /// provided slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `weights.len() != self.num_arcs()`.
+    pub fn with_weights(&self, weights: &[i64]) -> Graph {
+        assert_eq!(
+            weights.len(),
+            self.num_arcs(),
+            "weight slice length must equal the number of arcs"
+        );
+        let mut g = self.clone();
+        g.weights.copy_from_slice(weights);
+        for (i, a) in g.out_arcs.iter().enumerate() {
+            g.out_weights[i] = weights[a.index()];
+        }
+        for (i, a) in g.in_arcs.iter().enumerate() {
+            g.in_weights[i] = weights[a.index()];
+        }
+        g
+    }
+
+    /// Returns the reverse graph: every arc `(u, v)` becomes `(v, u)`
+    /// with the same weight and transit time.
+    pub fn reversed(&self) -> Graph {
+        let mut b = GraphBuilder::with_capacity(self.num_nodes(), self.num_arcs());
+        b.add_nodes(self.num_nodes());
+        for a in self.arc_ids() {
+            b.add_arc_with_transit(self.target(a), self.source(a), self.weight(a), self.transit(a));
+        }
+        b.build()
+    }
+}
+
+/// Incremental builder for [`Graph`].
+///
+/// ```
+/// use mcr_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new();
+/// let u = b.add_node();
+/// let v = b.add_node();
+/// b.add_arc(u, v, 10);
+/// b.add_arc_with_transit(v, u, 3, 2);
+/// let g = b.build();
+/// assert_eq!(g.num_arcs(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GraphBuilder {
+    num_nodes: usize,
+    sources: Vec<NodeId>,
+    targets: Vec<NodeId>,
+    weights: Vec<i64>,
+    transits: Vec<i64>,
+}
+
+impl GraphBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty builder with preallocated capacity.
+    pub fn with_capacity(nodes: usize, arcs: usize) -> Self {
+        GraphBuilder {
+            num_nodes: 0,
+            sources: Vec::with_capacity(arcs),
+            targets: Vec::with_capacity(arcs),
+            weights: Vec::with_capacity(arcs),
+            transits: Vec::with_capacity(arcs),
+        }
+        .reserving(nodes)
+    }
+
+    fn reserving(self, _nodes: usize) -> Self {
+        self
+    }
+
+    /// Number of nodes added so far.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of arcs added so far.
+    pub fn num_arcs(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Adds one node and returns its id.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = NodeId::new(self.num_nodes);
+        self.num_nodes += 1;
+        id
+    }
+
+    /// Adds `count` nodes and returns their ids in order.
+    pub fn add_nodes(&mut self, count: usize) -> Vec<NodeId> {
+        (0..count).map(|_| self.add_node()).collect()
+    }
+
+    /// Adds an arc with transit time 1 and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been added to the builder.
+    pub fn add_arc(&mut self, source: NodeId, target: NodeId, weight: i64) -> ArcId {
+        self.add_arc_with_transit(source, target, weight, 1)
+    }
+
+    /// Adds an arc with an explicit transit time and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either endpoint has not been added, or if `transit` is
+    /// negative (cost-to-time ratio problems require nonnegative transit
+    /// times with positive total transit on every cycle).
+    pub fn add_arc_with_transit(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        weight: i64,
+        transit: i64,
+    ) -> ArcId {
+        assert!(
+            source.index() < self.num_nodes && target.index() < self.num_nodes,
+            "arc endpoints must be previously added nodes"
+        );
+        assert!(transit >= 0, "transit times must be nonnegative");
+        let id = ArcId::new(self.sources.len());
+        self.sources.push(source);
+        self.targets.push(target);
+        self.weights.push(weight);
+        self.transits.push(transit);
+        id
+    }
+
+    /// Finalizes the builder into an immutable [`Graph`].
+    pub fn build(self) -> Graph {
+        let n = self.num_nodes;
+        let m = self.sources.len();
+
+        let mut first_out = vec![0u32; n + 1];
+        let mut first_in = vec![0u32; n + 1];
+        for i in 0..m {
+            first_out[self.sources[i].index() + 1] += 1;
+            first_in[self.targets[i].index() + 1] += 1;
+        }
+        for v in 0..n {
+            first_out[v + 1] += first_out[v];
+            first_in[v + 1] += first_in[v];
+        }
+
+        let mut out_arcs = vec![ArcId::new(0); m];
+        let mut in_arcs = vec![ArcId::new(0); m];
+        let mut out_cursor = first_out.clone();
+        let mut in_cursor = first_in.clone();
+        for i in 0..m {
+            let a = ArcId::new(i);
+            let s = self.sources[i].index();
+            let t = self.targets[i].index();
+            out_arcs[out_cursor[s] as usize] = a;
+            out_cursor[s] += 1;
+            in_arcs[in_cursor[t] as usize] = a;
+            in_cursor[t] += 1;
+        }
+        // Aligned adjacency copies for linear-memory sweeps.
+        let out_targets: Vec<NodeId> = out_arcs.iter().map(|a| self.targets[a.index()]).collect();
+        let out_weights: Vec<i64> = out_arcs.iter().map(|a| self.weights[a.index()]).collect();
+        let out_transits: Vec<i64> = out_arcs.iter().map(|a| self.transits[a.index()]).collect();
+        let in_sources: Vec<NodeId> = in_arcs.iter().map(|a| self.sources[a.index()]).collect();
+        let in_weights: Vec<i64> = in_arcs.iter().map(|a| self.weights[a.index()]).collect();
+        let in_transits: Vec<i64> = in_arcs.iter().map(|a| self.transits[a.index()]).collect();
+
+        Graph {
+            first_out,
+            out_arcs,
+            out_targets,
+            out_weights,
+            out_transits,
+            first_in,
+            in_arcs,
+            in_sources,
+            in_weights,
+            in_transits,
+            sources: self.sources,
+            targets: self.targets,
+            weights: self.weights,
+            transits: self.transits,
+        }
+    }
+}
+
+/// Builds a graph from an arc list `(source, target, weight)` over nodes
+/// `0..num_nodes`, with unit transit times.
+///
+/// ```
+/// let g = mcr_graph::graph::from_arc_list(2, &[(0, 1, 4), (1, 0, 6)]);
+/// assert_eq!(g.num_arcs(), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if an endpoint is out of `0..num_nodes`.
+pub fn from_arc_list(num_nodes: usize, arcs: &[(usize, usize, i64)]) -> Graph {
+    let mut b = GraphBuilder::with_capacity(num_nodes, arcs.len());
+    b.add_nodes(num_nodes);
+    for &(u, v, w) in arcs {
+        b.add_arc(NodeId::new(u), NodeId::new(v), w);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_arcs(), 0);
+        assert!(g.min_weight().is_none());
+        assert!(g.max_weight().is_none());
+        assert!(g.has_unit_transits());
+    }
+
+    #[test]
+    fn single_self_loop() {
+        let g = from_arc_list(1, &[(0, 0, -3)]);
+        let v = NodeId::new(0);
+        assert_eq!(g.out_degree(v), 1);
+        assert_eq!(g.in_degree(v), 1);
+        let a = g.out_arcs(v)[0];
+        assert_eq!(g.source(a), v);
+        assert_eq!(g.target(a), v);
+        assert_eq!(g.weight(a), -3);
+        assert_eq!(g.transit(a), 1);
+    }
+
+    #[test]
+    fn parallel_arcs_are_kept() {
+        let g = from_arc_list(2, &[(0, 1, 1), (0, 1, 2), (0, 1, 3)]);
+        assert_eq!(g.num_arcs(), 3);
+        assert_eq!(g.out_degree(NodeId::new(0)), 3);
+        assert_eq!(g.in_degree(NodeId::new(1)), 3);
+        let ws: Vec<i64> = g
+            .out_arcs(NodeId::new(0))
+            .iter()
+            .map(|&a| g.weight(a))
+            .collect();
+        assert_eq!(ws.iter().sum::<i64>(), 6);
+    }
+
+    #[test]
+    fn csr_adjacency_is_consistent() {
+        let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 2), (2, 0, 3), (2, 3, 4), (3, 3, 5)]);
+        for v in g.node_ids() {
+            for &a in g.out_arcs(v) {
+                assert_eq!(g.source(a), v);
+            }
+            for &a in g.in_arcs(v) {
+                assert_eq!(g.target(a), v);
+            }
+        }
+        let total_out: usize = g.node_ids().map(|v| g.out_degree(v)).sum();
+        let total_in: usize = g.node_ids().map(|v| g.in_degree(v)).sum();
+        assert_eq!(total_out, g.num_arcs());
+        assert_eq!(total_in, g.num_arcs());
+    }
+
+    #[test]
+    fn negated_flips_weights_only() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 4, 3);
+        let g = b.build().negated();
+        let a = ArcId::new(0);
+        assert_eq!(g.weight(a), -4);
+        assert_eq!(g.transit(a), 3);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 2)]);
+        let r = g.reversed();
+        assert_eq!(r.num_arcs(), 2);
+        assert_eq!(r.source(ArcId::new(0)), NodeId::new(1));
+        assert_eq!(r.target(ArcId::new(0)), NodeId::new(0));
+        assert_eq!(r.out_degree(NodeId::new(2)), 1);
+    }
+
+    #[test]
+    fn with_weights_replaces_weights() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 2)]);
+        let h = g.with_weights(&[10, 20]);
+        assert_eq!(h.weight(ArcId::new(0)), 10);
+        assert_eq!(h.weight(ArcId::new(1)), 20);
+        // Structure unchanged.
+        assert_eq!(h.target(ArcId::new(0)), NodeId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "weight slice length")]
+    fn with_weights_rejects_wrong_length() {
+        let g = from_arc_list(2, &[(0, 1, 1)]);
+        let _ = g.with_weights(&[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "endpoints")]
+    fn arc_to_unknown_node_panics() {
+        let mut b = GraphBuilder::new();
+        let u = b.add_node();
+        b.add_arc(u, NodeId::new(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "transit")]
+    fn negative_transit_panics() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 1, -1);
+    }
+
+    #[test]
+    fn min_max_weight() {
+        let g = from_arc_list(3, &[(0, 1, -5), (1, 2, 7), (2, 0, 0)]);
+        assert_eq!(g.min_weight(), Some(-5));
+        assert_eq!(g.max_weight(), Some(7));
+    }
+
+    #[test]
+    fn id_display_and_debug() {
+        assert_eq!(format!("{}", NodeId::new(4)), "4");
+        assert_eq!(format!("{:?}", NodeId::new(4)), "n4");
+        assert_eq!(format!("{}", ArcId::new(9)), "9");
+        assert_eq!(format!("{:?}", ArcId::new(9)), "e9");
+    }
+}

@@ -1,0 +1,187 @@
+//! Indexed binary min-heap with decrease-key by item index.
+
+use super::{AddressableHeap, HeapCounters};
+
+const ABSENT: u32 = u32::MAX;
+
+/// A classic array-based binary min-heap over items `0..capacity`, with
+/// an item→position index enabling `decrease_key` and `remove` in
+/// `O(log n)`.
+///
+/// ```
+/// use mcr_graph::heap::{AddressableHeap, IndexedBinaryHeap};
+/// let mut h = IndexedBinaryHeap::with_capacity(4);
+/// h.push(0, 7i64);
+/// h.push(2, 3);
+/// h.decrease_key(0, 1);
+/// assert_eq!(h.pop_min(), Some((0, 1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct IndexedBinaryHeap<K> {
+    // heap[i] = (item, key); pos[item] = index into heap or ABSENT.
+    heap: Vec<(u32, K)>,
+    pos: Vec<u32>,
+    counters: HeapCounters,
+}
+
+impl<K: PartialOrd + Clone> IndexedBinaryHeap<K> {
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i].1 < self.heap[parent].1 {
+                self.swap_entries(i, parent);
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.heap.len() && self.heap[l].1 < self.heap[smallest].1 {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.heap[r].1 < self.heap[smallest].1 {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.swap_entries(i, smallest);
+            i = smallest;
+        }
+    }
+
+    fn swap_entries(&mut self, i: usize, j: usize) {
+        self.heap.swap(i, j);
+        self.pos[self.heap[i].0 as usize] = i as u32;
+        self.pos[self.heap[j].0 as usize] = j as u32;
+    }
+
+    fn remove_at(&mut self, i: usize) -> (u32, K) {
+        let last = self.heap.len() - 1;
+        self.swap_entries(i, last);
+        let (item, key) = self.heap.pop().expect("nonempty");
+        self.pos[item as usize] = ABSENT;
+        if i < self.heap.len() {
+            self.sift_up(i);
+            self.sift_down(i);
+        }
+        (item, key)
+    }
+}
+
+impl<K: PartialOrd + Clone> AddressableHeap<K> for IndexedBinaryHeap<K> {
+    fn with_capacity(capacity: usize) -> Self {
+        IndexedBinaryHeap {
+            heap: Vec::with_capacity(capacity),
+            pos: vec![ABSENT; capacity],
+            counters: HeapCounters::default(),
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    fn contains(&self, item: usize) -> bool {
+        item < self.pos.len() && self.pos[item] != ABSENT
+    }
+
+    fn key(&self, item: usize) -> Option<&K> {
+        if self.contains(item) {
+            Some(&self.heap[self.pos[item] as usize].1)
+        } else {
+            None
+        }
+    }
+
+    fn push(&mut self, item: usize, key: K) {
+        assert!(item < self.pos.len(), "item out of capacity");
+        assert!(!self.contains(item), "item already in heap");
+        self.counters.inserts += 1;
+        self.pos[item] = self.heap.len() as u32;
+        self.heap.push((item as u32, key));
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    fn decrease_key(&mut self, item: usize, key: K) {
+        assert!(self.contains(item), "decrease_key on absent item");
+        let i = self.pos[item] as usize;
+        #[allow(clippy::neg_cmp_op_on_partial_ord)] // keys are never NaN here
+        let not_increasing = !(self.heap[i].1 < key);
+        assert!(not_increasing, "decrease_key must not increase the key");
+        self.counters.decrease_keys += 1;
+        self.heap[i].1 = key;
+        self.sift_up(i);
+    }
+
+    fn pop_min(&mut self) -> Option<(usize, K)> {
+        if self.heap.is_empty() {
+            return None;
+        }
+        self.counters.delete_mins += 1;
+        let (item, key) = self.remove_at(0);
+        Some((item as usize, key))
+    }
+
+    fn remove(&mut self, item: usize) -> Option<K> {
+        if !self.contains(item) {
+            return None;
+        }
+        self.counters.removals += 1;
+        let i = self.pos[item] as usize;
+        let (_, key) = self.remove_at(i);
+        Some(key)
+    }
+
+    fn counters(&self) -> HeapCounters {
+        self.counters
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_property_holds_after_mixed_ops() {
+        let mut h = IndexedBinaryHeap::with_capacity(32);
+        for i in 0..32 {
+            h.push(i, (31 - i) as i64);
+        }
+        for i in (0..32).step_by(2) {
+            h.decrease_key(i, -(i as i64));
+        }
+        // Internal invariant: parent <= child.
+        for i in 1..h.heap.len() {
+            let parent = (i - 1) / 2;
+            assert!(h.heap[parent].1 <= h.heap[i].1);
+        }
+        let mut last = i64::MIN;
+        while let Some((_, k)) = h.pop_min() {
+            assert!(k >= last);
+            last = k;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "already in heap")]
+    fn double_push_panics() {
+        let mut h = IndexedBinaryHeap::with_capacity(2);
+        h.push(0, 1i64);
+        h.push(0, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not increase")]
+    fn increasing_decrease_key_panics() {
+        let mut h = IndexedBinaryHeap::with_capacity(2);
+        h.push(0, 1i64);
+        h.decrease_key(0, 5);
+    }
+}

@@ -1,0 +1,290 @@
+//! Graph serialization: a DIMACS-style arc-list text format and DOT
+//! export for visualization.
+//!
+//! The text format follows the DIMACS shortest-path convention the
+//! SPRAND generator family emits, extended with an optional transit-time
+//! field:
+//!
+//! ```text
+//! c comment lines
+//! p mcr <num_nodes> <num_arcs>
+//! a <source> <target> <weight> [transit]
+//! ```
+//!
+//! Nodes are 1-based in the file (DIMACS convention) and 0-based in
+//! memory.
+
+use crate::graph::{Graph, GraphBuilder, NodeId};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error produced when parsing the DIMACS-style text format.
+#[derive(Debug)]
+pub struct ParseGraphError {
+    line: usize,
+    message: String,
+}
+
+impl ParseGraphError {
+    fn new(line: usize, message: impl Into<String>) -> Self {
+        ParseGraphError {
+            line,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseGraphError {}
+
+/// Reads a graph in the DIMACS-style format described in the
+/// [module documentation](self).
+///
+/// A mutable reference to any `BufRead` may be passed.
+///
+/// # Errors
+///
+/// Returns [`ParseGraphError`] on malformed headers, arc lines with the
+/// wrong field count, out-of-range endpoints, or unparsable integers.
+///
+/// ```
+/// use mcr_graph::io::read_dimacs;
+/// let text = "c tiny\np mcr 2 2\na 1 2 5\na 2 1 3 7\n";
+/// let g = read_dimacs(&mut text.as_bytes())?;
+/// assert_eq!(g.num_nodes(), 2);
+/// assert_eq!(g.transit(mcr_graph::ArcId::new(1)), 7);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError> {
+    let mut builder: Option<GraphBuilder> = None;
+    let mut num_nodes = 0usize;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = line.map_err(|e| ParseGraphError::new(lineno, format!("io error: {e}")))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "p" => {
+                if fields.len() != 4 || fields[1] != "mcr" {
+                    return Err(ParseGraphError::new(
+                        lineno,
+                        "expected problem line `p mcr <nodes> <arcs>`",
+                    ));
+                }
+                num_nodes = fields[2]
+                    .parse()
+                    .map_err(|_| ParseGraphError::new(lineno, "invalid node count"))?;
+                let declared_arcs: usize = fields[3]
+                    .parse()
+                    .map_err(|_| ParseGraphError::new(lineno, "invalid arc count"))?;
+                let mut b = GraphBuilder::with_capacity(num_nodes, declared_arcs);
+                b.add_nodes(num_nodes);
+                builder = Some(b);
+            }
+            "a" => {
+                let b = builder
+                    .as_mut()
+                    .ok_or_else(|| ParseGraphError::new(lineno, "arc before problem line"))?;
+                if fields.len() != 4 && fields.len() != 5 {
+                    return Err(ParseGraphError::new(
+                        lineno,
+                        "expected `a <src> <dst> <weight> [transit]`",
+                    ));
+                }
+                let src: usize = fields[1]
+                    .parse()
+                    .map_err(|_| ParseGraphError::new(lineno, "invalid source"))?;
+                let dst: usize = fields[2]
+                    .parse()
+                    .map_err(|_| ParseGraphError::new(lineno, "invalid target"))?;
+                let weight: i64 = fields[3]
+                    .parse()
+                    .map_err(|_| ParseGraphError::new(lineno, "invalid weight"))?;
+                let transit: i64 = if fields.len() == 5 {
+                    fields[4]
+                        .parse()
+                        .map_err(|_| ParseGraphError::new(lineno, "invalid transit"))?
+                } else {
+                    1
+                };
+                if src == 0 || src > num_nodes || dst == 0 || dst > num_nodes {
+                    return Err(ParseGraphError::new(
+                        lineno,
+                        format!("endpoint out of range 1..={num_nodes}"),
+                    ));
+                }
+                if transit < 0 {
+                    return Err(ParseGraphError::new(lineno, "negative transit time"));
+                }
+                b.add_arc_with_transit(NodeId::new(src - 1), NodeId::new(dst - 1), weight, transit);
+            }
+            other => {
+                return Err(ParseGraphError::new(
+                    lineno,
+                    format!("unknown line type `{other}`"),
+                ));
+            }
+        }
+    }
+    let builder =
+        builder.ok_or_else(|| ParseGraphError::new(0, "missing problem line `p mcr ...`"))?;
+    Ok(builder.build())
+}
+
+/// Writes `g` in the DIMACS-style format accepted by [`read_dimacs`].
+///
+/// Transit times are emitted only when some arc has a non-unit transit
+/// time. A mutable reference to any `Write` may be passed.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_dimacs<W: Write>(writer: &mut W, g: &Graph) -> std::io::Result<()> {
+    writeln!(writer, "p mcr {} {}", g.num_nodes(), g.num_arcs())?;
+    let with_transit = !g.has_unit_transits();
+    for a in g.arc_ids() {
+        if with_transit {
+            writeln!(
+                writer,
+                "a {} {} {} {}",
+                g.source(a).index() + 1,
+                g.target(a).index() + 1,
+                g.weight(a),
+                g.transit(a)
+            )?;
+        } else {
+            writeln!(
+                writer,
+                "a {} {} {}",
+                g.source(a).index() + 1,
+                g.target(a).index() + 1,
+                g.weight(a)
+            )?;
+        }
+    }
+    Ok(())
+}
+
+/// Renders `g` in Graphviz DOT syntax, labeling arcs with `weight` or
+/// `weight/transit`.
+///
+/// ```
+/// use mcr_graph::{graph::from_arc_list, io::to_dot};
+/// let g = from_arc_list(2, &[(0, 1, 4)]);
+/// let dot = to_dot(&g, "tiny");
+/// assert!(dot.contains("digraph tiny"));
+/// assert!(dot.contains("0 -> 1"));
+/// ```
+pub fn to_dot(g: &Graph, name: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let with_transit = !g.has_unit_transits();
+    for a in g.arc_ids() {
+        if with_transit {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}/{}\"];",
+                g.source(a).index(),
+                g.target(a).index(),
+                g.weight(a),
+                g.transit(a)
+            );
+        } else {
+            let _ = writeln!(
+                out,
+                "  {} -> {} [label=\"{}\"];",
+                g.source(a).index(),
+                g.target(a).index(),
+                g.weight(a)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_arc_list;
+
+    #[test]
+    fn roundtrip_unit_transit() {
+        let g = from_arc_list(3, &[(0, 1, 5), (1, 2, -3), (2, 0, 7)]);
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &g).expect("write");
+        let h = read_dimacs(&mut buf.as_slice()).expect("parse");
+        assert_eq!(h.num_nodes(), 3);
+        assert_eq!(h.num_arcs(), 3);
+        for a in g.arc_ids() {
+            assert_eq!(g.source(a), h.source(a));
+            assert_eq!(g.target(a), h.target(a));
+            assert_eq!(g.weight(a), h.weight(a));
+            assert_eq!(h.transit(a), 1);
+        }
+    }
+
+    #[test]
+    fn roundtrip_with_transits() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 10, 3);
+        b.add_arc_with_transit(v[1], v[0], -2, 0);
+        let g = b.build();
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &g).expect("write");
+        let h = read_dimacs(&mut buf.as_slice()).expect("parse");
+        for a in g.arc_ids() {
+            assert_eq!(g.transit(a), h.transit(a));
+            assert_eq!(g.weight(a), h.weight(a));
+        }
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "c header\n\nc more\np mcr 1 1\nc inline\na 1 1 -4\n";
+        let g = read_dimacs(&mut text.as_bytes()).expect("parse");
+        assert_eq!(g.num_nodes(), 1);
+        assert_eq!(g.weight(crate::graph::ArcId::new(0)), -4);
+    }
+
+    #[test]
+    fn errors_are_reported_with_line_numbers() {
+        let cases = [
+            ("a 1 2 3\n", "problem line"),
+            ("p mcr x 1\n", "node count"),
+            ("p mcr 2 1\na 1 3 1\n", "out of range"),
+            ("p mcr 2 1\na 1 2\n", "expected"),
+            ("p mcr 2 1\nq 1 2\n", "unknown line type"),
+            ("p mcr 2 1\na 1 2 1 -1\n", "negative transit"),
+            ("", "missing problem line"),
+        ];
+        for (text, needle) in cases {
+            let err = read_dimacs(&mut text.as_bytes()).expect_err(text);
+            let msg = err.to_string();
+            assert!(
+                msg.contains(needle),
+                "error for {text:?} was {msg:?}, expected to contain {needle:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dot_contains_all_arcs() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
+        let dot = to_dot(&g, "g");
+        assert_eq!(dot.matches("->").count(), 3);
+    }
+
+    use crate::graph::GraphBuilder;
+}

@@ -1,0 +1,330 @@
+//! Strongly connected components (iterative Tarjan) and condensation.
+//!
+//! Every cycle mean / cycle ratio algorithm in the study assumes a
+//! strongly connected input; the common driver decomposes an arbitrary
+//! digraph with [`SccDecomposition::new`], extracts each nontrivial
+//! component with [`SccDecomposition::component_subgraph`], solves it,
+//! and takes the minimum over components — exactly the procedure
+//! described in Section 2 of the paper.
+
+use crate::graph::{ArcId, Graph, GraphBuilder, NodeId};
+
+/// The strongly connected components of a digraph.
+///
+/// Components are numbered `0..num_components()` in **reverse
+/// topological order** of the condensation (Tarjan's output order): if
+/// there is an arc from component `a` to component `b` with `a != b`,
+/// then `a > b`.
+///
+/// ```
+/// use mcr_graph::{graph::from_arc_list, SccDecomposition};
+/// // Two 2-cycles joined by a one-way bridge.
+/// let g = from_arc_list(4, &[(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 3, 1), (3, 2, 1)]);
+/// let scc = SccDecomposition::new(&g);
+/// assert_eq!(scc.num_components(), 2);
+/// assert_eq!(scc.component_of(mcr_graph::NodeId::new(0)),
+///            scc.component_of(mcr_graph::NodeId::new(1)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct SccDecomposition {
+    comp_of: Vec<u32>,
+    comp_nodes: Vec<Vec<NodeId>>,
+}
+
+impl SccDecomposition {
+    /// Computes the strongly connected components of `g` with an
+    /// iterative Tarjan algorithm (no recursion, safe for n in the
+    /// hundreds of thousands).
+    pub fn new(g: &Graph) -> Self {
+        let n = g.num_nodes();
+        const UNVISITED: u32 = u32::MAX;
+        let mut index = vec![UNVISITED; n];
+        let mut lowlink = vec![0u32; n];
+        let mut on_stack = vec![false; n];
+        let mut comp_of = vec![0u32; n];
+        let mut stack: Vec<u32> = Vec::new();
+        let mut comp_nodes: Vec<Vec<NodeId>> = Vec::new();
+        let mut next_index = 0u32;
+
+        // Explicit DFS call stack: (node, position in its out-arc list).
+        let mut call: Vec<(u32, usize)> = Vec::new();
+
+        for root in 0..n as u32 {
+            if index[root as usize] != UNVISITED {
+                continue;
+            }
+            call.push((root, 0));
+            index[root as usize] = next_index;
+            lowlink[root as usize] = next_index;
+            next_index += 1;
+            stack.push(root);
+            on_stack[root as usize] = true;
+
+            while let Some(&mut (v, ref mut pos)) = call.last_mut() {
+                let vu = v as usize;
+                let out = g.out_arcs(NodeId::new(vu));
+                if *pos < out.len() {
+                    let w = g.target(out[*pos]).index();
+                    *pos += 1;
+                    if index[w] == UNVISITED {
+                        index[w] = next_index;
+                        lowlink[w] = next_index;
+                        next_index += 1;
+                        stack.push(w as u32);
+                        on_stack[w] = true;
+                        call.push((w as u32, 0));
+                    } else if on_stack[w] {
+                        lowlink[vu] = lowlink[vu].min(index[w]);
+                    }
+                } else {
+                    call.pop();
+                    if let Some(&(parent, _)) = call.last() {
+                        let p = parent as usize;
+                        lowlink[p] = lowlink[p].min(lowlink[vu]);
+                    }
+                    if lowlink[vu] == index[vu] {
+                        let comp_id = comp_nodes.len() as u32;
+                        let mut members = Vec::new();
+                        loop {
+                            let w = stack.pop().expect("tarjan stack underflow");
+                            on_stack[w as usize] = false;
+                            comp_of[w as usize] = comp_id;
+                            members.push(NodeId::new(w as usize));
+                            if w == v {
+                                break;
+                            }
+                        }
+                        comp_nodes.push(members);
+                    }
+                }
+            }
+        }
+
+        SccDecomposition { comp_of, comp_nodes }
+    }
+
+    /// Number of strongly connected components.
+    pub fn num_components(&self) -> usize {
+        self.comp_nodes.len()
+    }
+
+    /// Component id of `v`.
+    #[inline]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.comp_of[v.index()] as usize
+    }
+
+    /// The nodes of component `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= self.num_components()`.
+    pub fn component(&self, c: usize) -> &[NodeId] {
+        &self.comp_nodes[c]
+    }
+
+    /// Iterates over all components as node slices.
+    pub fn components(&self) -> impl Iterator<Item = &[NodeId]> {
+        self.comp_nodes.iter().map(|v| v.as_slice())
+    }
+
+    /// Whether component `c` can contain a cycle: it has more than one
+    /// node, or its single node has a self-loop.
+    pub fn is_cyclic_component(&self, g: &Graph, c: usize) -> bool {
+        let nodes = &self.comp_nodes[c];
+        if nodes.len() > 1 {
+            return true;
+        }
+        let v = nodes[0];
+        g.out_neighbors(v).any(|(_, w)| w == v)
+    }
+
+    /// Extracts component `c` as a standalone graph.
+    ///
+    /// Returns the subgraph, the mapping from subgraph node index to
+    /// original [`NodeId`], and the mapping from subgraph arc index to
+    /// original [`ArcId`]. Only arcs with both endpoints inside the
+    /// component are kept; weights and transit times are preserved.
+    pub fn component_subgraph(&self, g: &Graph, c: usize) -> (Graph, Vec<NodeId>, Vec<ArcId>) {
+        let nodes = &self.comp_nodes[c];
+        let mut local_of = vec![u32::MAX; g.num_nodes()];
+        for (i, &v) in nodes.iter().enumerate() {
+            local_of[v.index()] = i as u32;
+        }
+        let mut b = GraphBuilder::with_capacity(nodes.len(), nodes.len() * 2);
+        b.add_nodes(nodes.len());
+        let mut arc_map = Vec::new();
+        for &v in nodes {
+            for &a in g.out_arcs(v) {
+                let t = g.target(a);
+                let lt = local_of[t.index()];
+                if lt != u32::MAX {
+                    b.add_arc_with_transit(
+                        NodeId::new(local_of[v.index()] as usize),
+                        NodeId::new(lt as usize),
+                        g.weight(a),
+                        g.transit(a),
+                    );
+                    arc_map.push(a);
+                }
+            }
+        }
+        (b.build(), nodes.clone(), arc_map)
+    }
+}
+
+/// Builds the condensation of `g`: one node per strongly connected
+/// component, one zero-weight arc per original arc crossing between two
+/// distinct components (parallel condensation arcs are collapsed).
+///
+/// The result is acyclic. Node `c` of the condensation corresponds to
+/// component `c` of `scc`.
+///
+/// ```
+/// use mcr_graph::{graph::from_arc_list, condensation, SccDecomposition};
+/// let g = from_arc_list(4, &[(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 3, 1), (3, 2, 1)]);
+/// let scc = SccDecomposition::new(&g);
+/// let c = condensation(&g, &scc);
+/// assert_eq!(c.num_nodes(), 2);
+/// assert_eq!(c.num_arcs(), 1);
+/// ```
+pub fn condensation(g: &Graph, scc: &SccDecomposition) -> Graph {
+    let k = scc.num_components();
+    let mut b = GraphBuilder::with_capacity(k, k);
+    b.add_nodes(k);
+    let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
+    for a in g.arc_ids() {
+        let cu = scc.component_of(g.source(a)) as u32;
+        let cv = scc.component_of(g.target(a)) as u32;
+        if cu != cv && seen.insert((cu, cv)) {
+            b.add_arc(NodeId::new(cu as usize), NodeId::new(cv as usize), 0);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::from_arc_list;
+
+    #[test]
+    fn single_node_no_loop_is_trivial_component() {
+        let g = from_arc_list(1, &[]);
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), 1);
+        assert!(!scc.is_cyclic_component(&g, 0));
+    }
+
+    #[test]
+    fn self_loop_component_is_cyclic() {
+        let g = from_arc_list(1, &[(0, 0, 1)]);
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), 1);
+        assert!(scc.is_cyclic_component(&g, 0));
+    }
+
+    #[test]
+    fn dag_has_singleton_components() {
+        let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 1), (0, 2, 1), (2, 3, 1)]);
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), 4);
+        for c in 0..4 {
+            assert_eq!(scc.component(c).len(), 1);
+            assert!(!scc.is_cyclic_component(&g, c));
+        }
+    }
+
+    #[test]
+    fn cycle_is_one_component() {
+        let g = from_arc_list(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 0, 1)]);
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), 1);
+        assert_eq!(scc.component(0).len(), 5);
+    }
+
+    #[test]
+    fn components_in_reverse_topological_order() {
+        // 0 <-> 1  ->  2 <-> 3  ->  4
+        let g = from_arc_list(
+            5,
+            &[(0, 1, 1), (1, 0, 1), (1, 2, 1), (2, 3, 1), (3, 2, 1), (3, 4, 1)],
+        );
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), 3);
+        for a in g.arc_ids() {
+            let cu = scc.component_of(g.source(a));
+            let cv = scc.component_of(g.target(a));
+            if cu != cv {
+                assert!(cu > cv, "arc {:?} violates reverse topological order", a);
+            }
+        }
+    }
+
+    #[test]
+    fn component_subgraph_preserves_weights_and_transits() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_arc_with_transit(v[0], v[1], 5, 2);
+        b.add_arc_with_transit(v[1], v[0], 7, 3);
+        b.add_arc(v[1], v[2], 100); // leaves the component
+        let g = b.build();
+        let scc = SccDecomposition::new(&g);
+        let c = scc.component_of(v[0]);
+        let (sub, node_map, arc_map) = scc.component_subgraph(&g, c);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_arcs(), 2);
+        assert_eq!(node_map.len(), 2);
+        let total_w: i64 = sub.arc_ids().map(|a| sub.weight(a)).sum();
+        let total_t: i64 = sub.arc_ids().map(|a| sub.transit(a)).sum();
+        assert_eq!(total_w, 12);
+        assert_eq!(total_t, 5);
+        for (local, &orig) in arc_map.iter().enumerate() {
+            assert_eq!(sub.weight(ArcId::new(local)), g.weight(orig));
+        }
+    }
+
+    #[test]
+    fn condensation_is_acyclic_and_collapses_parallel() {
+        let g = from_arc_list(
+            4,
+            &[
+                (0, 1, 1),
+                (1, 0, 1),
+                (0, 2, 1),
+                (1, 2, 1), // two cross arcs, same component pair
+                (2, 3, 1),
+                (3, 2, 1),
+            ],
+        );
+        let scc = SccDecomposition::new(&g);
+        let c = condensation(&g, &scc);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.num_arcs(), 1);
+        let cscc = SccDecomposition::new(&c);
+        assert_eq!(cscc.num_components(), c.num_nodes());
+    }
+
+    #[test]
+    fn two_disjoint_cycles() {
+        let g = from_arc_list(4, &[(0, 1, 1), (1, 0, 1), (2, 3, 1), (3, 2, 1)]);
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), 2);
+        assert!(scc.is_cyclic_component(&g, 0));
+        assert!(scc.is_cyclic_component(&g, 1));
+        assert_ne!(
+            scc.component_of(NodeId::new(0)),
+            scc.component_of(NodeId::new(2))
+        );
+    }
+
+    #[test]
+    fn deep_path_does_not_overflow_stack() {
+        // 100_000-node path; recursive Tarjan would blow the stack.
+        let n = 100_000;
+        let arcs: Vec<(usize, usize, i64)> = (0..n - 1).map(|i| (i, i + 1, 1)).collect();
+        let g = from_arc_list(n, &arcs);
+        let scc = SccDecomposition::new(&g);
+        assert_eq!(scc.num_components(), n);
+    }
+}

@@ -1,0 +1,138 @@
+//! Serde support (enabled with the `serde` feature).
+//!
+//! A [`Graph`] serializes as its logical content — node count plus the
+//! arc list `(source, target, weight, transit)` — not its internal CSR
+//! arrays; deserialization rebuilds the indexes through
+//! [`GraphBuilder`], re-validating every invariant, so corrupt or
+//! hand-edited payloads are rejected instead of producing a broken
+//! graph.
+
+use crate::graph::{ArcId, Graph, GraphBuilder, NodeId};
+use serde::de::Error as _;
+use serde::{Deserialize, Deserializer, Serialize, Serializer};
+
+impl Serialize for NodeId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.index() as u64).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for NodeId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = u64::deserialize(deserializer)?;
+        if raw > u32::MAX as u64 {
+            return Err(D::Error::custom("node id out of range"));
+        }
+        Ok(NodeId::new(raw as usize))
+    }
+}
+
+impl Serialize for ArcId {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (self.index() as u64).serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for ArcId {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let raw = u64::deserialize(deserializer)?;
+        if raw > u32::MAX as u64 {
+            return Err(D::Error::custom("arc id out of range"));
+        }
+        Ok(ArcId::new(raw as usize))
+    }
+}
+
+#[derive(Serialize, Deserialize)]
+struct GraphRepr {
+    num_nodes: u64,
+    /// `(source, target, weight, transit)` per arc, in arc-id order.
+    arcs: Vec<(u64, u64, i64, i64)>,
+}
+
+impl Serialize for Graph {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let repr = GraphRepr {
+            num_nodes: self.num_nodes() as u64,
+            arcs: self
+                .arc_ids()
+                .map(|a| {
+                    (
+                        self.source(a).index() as u64,
+                        self.target(a).index() as u64,
+                        self.weight(a),
+                        self.transit(a),
+                    )
+                })
+                .collect(),
+        };
+        repr.serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for Graph {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let repr = GraphRepr::deserialize(deserializer)?;
+        if repr.num_nodes > u32::MAX as u64 {
+            return Err(D::Error::custom("node count out of range"));
+        }
+        let n = repr.num_nodes as usize;
+        let mut b = GraphBuilder::with_capacity(n, repr.arcs.len());
+        b.add_nodes(n);
+        for (i, &(s, t, w, tr)) in repr.arcs.iter().enumerate() {
+            if s >= repr.num_nodes || t >= repr.num_nodes {
+                return Err(D::Error::custom(format!(
+                    "arc {i} endpoint out of range 0..{}",
+                    repr.num_nodes
+                )));
+            }
+            if tr < 0 {
+                return Err(D::Error::custom(format!("arc {i} has negative transit")));
+            }
+            b.add_arc_with_transit(NodeId::new(s as usize), NodeId::new(t as usize), w, tr);
+        }
+        Ok(b.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::graph::from_arc_list;
+    use crate::{Graph, GraphBuilder};
+
+    #[test]
+    fn graph_roundtrips_via_json() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(3);
+        b.add_arc_with_transit(v[0], v[1], -5, 2);
+        b.add_arc_with_transit(v[1], v[2], 7, 0);
+        b.add_arc_with_transit(v[2], v[0], 3, 1);
+        let g = b.build();
+        let json = serde_json::to_string(&g).expect("serialize");
+        let h: Graph = serde_json::from_str(&json).expect("deserialize");
+        assert_eq!(g.num_nodes(), h.num_nodes());
+        for a in g.arc_ids() {
+            assert_eq!(g.source(a), h.source(a));
+            assert_eq!(g.target(a), h.target(a));
+            assert_eq!(g.weight(a), h.weight(a));
+            assert_eq!(g.transit(a), h.transit(a));
+        }
+        // Adjacency indexes were rebuilt, not trusted from the payload.
+        assert_eq!(h.out_degree(crate::NodeId::new(0)), 1);
+    }
+
+    #[test]
+    fn corrupt_payloads_are_rejected() {
+        let bad_endpoint = r#"{"num_nodes":2,"arcs":[[0,5,1,1]]}"#;
+        assert!(serde_json::from_str::<Graph>(bad_endpoint).is_err());
+        let bad_transit = r#"{"num_nodes":2,"arcs":[[0,1,1,-3]]}"#;
+        assert!(serde_json::from_str::<Graph>(bad_transit).is_err());
+    }
+
+    #[test]
+    fn ids_serialize_as_plain_numbers() {
+        let g = from_arc_list(2, &[(0, 1, 9)]);
+        let json = serde_json::to_string(&g).unwrap();
+        assert!(json.contains("[0,1,9,1]"), "{json}");
+    }
+}

@@ -1,0 +1,130 @@
+//! Property-based model checking of the addressable heaps.
+//!
+//! Both heap implementations are driven by random operation sequences
+//! and compared against a trivial sorted-scan model. A mismatch in any
+//! popped key, membership answer, or length is a bug in the heap — the
+//! parametric algorithms' correctness rests on these structures.
+
+use mcr_graph::heap::{AddressableHeap, FibonacciHeap, HeapCounters, IndexedBinaryHeap};
+use proptest::prelude::*;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Push(usize, i64),
+    DecreaseBy(usize, u16),
+    PopMin,
+    Remove(usize),
+    UpdateKey(usize, i64),
+}
+
+fn op_strategy(capacity: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..capacity, -1000i64..1000).prop_map(|(i, k)| Op::Push(i, k)),
+        (0..capacity, 0u16..200).prop_map(|(i, d)| Op::DecreaseBy(i, d)),
+        Just(Op::PopMin),
+        (0..capacity).prop_map(Op::Remove),
+        (0..capacity, -1000i64..1000).prop_map(|(i, k)| Op::UpdateKey(i, k)),
+    ]
+}
+
+#[derive(Default)]
+struct Model {
+    keys: Vec<Option<i64>>,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            keys: vec![None; capacity],
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.keys.iter().filter(|k| k.is_some()).count()
+    }
+
+    fn min(&self) -> Option<(i64, usize)> {
+        self.keys
+            .iter()
+            .enumerate()
+            .filter_map(|(i, k)| k.map(|k| (k, i)))
+            .min()
+    }
+}
+
+fn run_sequence<H: AddressableHeap<i64>>(ops: &[Op], capacity: usize) -> HeapCounters {
+    let mut heap = H::with_capacity(capacity);
+    let mut model = Model::new(capacity);
+    for op in ops {
+        match *op {
+            Op::Push(i, k) => {
+                if model.keys[i].is_none() {
+                    heap.push(i, k);
+                    model.keys[i] = Some(k);
+                }
+            }
+            Op::DecreaseBy(i, d) => {
+                if let Some(cur) = model.keys[i] {
+                    let k = cur - d as i64;
+                    heap.decrease_key(i, k);
+                    model.keys[i] = Some(k);
+                }
+            }
+            Op::PopMin => match heap.pop_min() {
+                None => assert_eq!(model.len(), 0),
+                Some((i, k)) => {
+                    let (mk, _) = model.min().expect("model nonempty");
+                    assert_eq!(k, mk, "pop_min returned a non-minimal key");
+                    assert_eq!(model.keys[i], Some(k));
+                    model.keys[i] = None;
+                }
+            },
+            Op::Remove(i) => {
+                assert_eq!(heap.remove(i), model.keys[i]);
+                model.keys[i] = None;
+            }
+            Op::UpdateKey(i, k) => {
+                heap.update_key(i, k);
+                model.keys[i] = Some(k);
+            }
+        }
+        assert_eq!(heap.len(), model.len());
+        for i in 0..capacity {
+            assert_eq!(heap.contains(i), model.keys[i].is_some(), "item {i}");
+            assert_eq!(heap.key(i).copied(), model.keys[i]);
+        }
+    }
+    // Drain and confirm sorted output.
+    let mut last = i64::MIN;
+    while let Some((_, k)) = heap.pop_min() {
+        assert!(k >= last);
+        last = k;
+    }
+    heap.counters()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn fibonacci_matches_model(ops in proptest::collection::vec(op_strategy(24), 1..250)) {
+        run_sequence::<FibonacciHeap<i64>>(&ops, 24);
+    }
+
+    #[test]
+    fn binary_matches_model(ops in proptest::collection::vec(op_strategy(24), 1..250)) {
+        run_sequence::<IndexedBinaryHeap<i64>>(&ops, 24);
+    }
+
+    #[test]
+    fn both_heaps_count_the_same_drained_totals(ops in proptest::collection::vec(op_strategy(16), 1..120)) {
+        // With key ties the two heaps may pop different (equally
+        // minimal) items and the operation streams diverge afterwards,
+        // so per-op counters need not match. What must match is the
+        // conservation law: items drained = items inserted, for both.
+        let fib = run_sequence::<FibonacciHeap<i64>>(&ops, 16);
+        let bin = run_sequence::<IndexedBinaryHeap<i64>>(&ops, 16);
+        prop_assert_eq!(fib.inserts, fib.delete_mins + fib.removals);
+        prop_assert_eq!(bin.inserts, bin.delete_mins + bin.removals);
+    }
+}

@@ -1,0 +1,73 @@
+//! Property-based tests of the DIMACS-style reader/writer: lossless
+//! roundtrips for arbitrary graphs, and no panics on arbitrary junk.
+
+use mcr_graph::io::{read_dimacs, to_dot, write_dimacs};
+use mcr_graph::{Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (1usize..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -1000i64..1000, 0i64..20), 0..120).prop_map(
+            move |arcs| {
+                let mut b = GraphBuilder::new();
+                b.add_nodes(n);
+                for (u, v, w, t) in arcs {
+                    b.add_arc_with_transit(NodeId::new(u), NodeId::new(v), w, t);
+                }
+                b.build()
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn roundtrip_is_lossless(g in arbitrary_graph()) {
+        let mut buf = Vec::new();
+        write_dimacs(&mut buf, &g).expect("write");
+        let h = read_dimacs(&mut buf.as_slice()).expect("parse own output");
+        prop_assert_eq!(g.num_nodes(), h.num_nodes());
+        prop_assert_eq!(g.num_arcs(), h.num_arcs());
+        for a in g.arc_ids() {
+            prop_assert_eq!(g.source(a), h.source(a));
+            prop_assert_eq!(g.target(a), h.target(a));
+            prop_assert_eq!(g.weight(a), h.weight(a));
+            prop_assert_eq!(g.transit(a), h.transit(a));
+        }
+    }
+
+    #[test]
+    fn arbitrary_text_never_panics(text in ".{0,400}") {
+        // Errors are fine; panics are not.
+        let _ = read_dimacs(&mut text.as_bytes());
+    }
+
+    #[test]
+    fn arbitrary_dimacs_like_lines_never_panic(
+        lines in proptest::collection::vec(
+            prop_oneof![
+                Just("p mcr 5 3".to_string()),
+                Just("c comment".to_string()),
+                (0u32..8, 0u32..8, -50i64..50).prop_map(|(a, b, w)| format!("a {a} {b} {w}")),
+                (0u32..8, 0u32..8, -50i64..50, -2i64..5)
+                    .prop_map(|(a, b, w, t)| format!("a {a} {b} {w} {t}")),
+                "[a-z ]{0,12}".prop_map(|s| s),
+            ],
+            0..20,
+        )
+    ) {
+        let text = lines.join("\n");
+        let _ = read_dimacs(&mut text.as_bytes());
+    }
+
+    #[test]
+    fn dot_output_mentions_every_arc(g in arbitrary_graph()) {
+        let dot = to_dot(&g, "test");
+        prop_assert_eq!(dot.matches("->").count(), g.num_arcs());
+        let header_ok = dot.starts_with("digraph test {");
+        let footer_ok = dot.trim_end().ends_with('}');
+        prop_assert!(header_ok && footer_ok);
+    }
+}

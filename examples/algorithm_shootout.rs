@@ -1,0 +1,37 @@
+//! A miniature Table 2 row: run all twelve algorithm variants on one
+//! SPRAND random graph and print their times, optima, and operation
+//! counts.
+//!
+//! Run with: `cargo run --release --example algorithm_shootout [n] [m] [seed]`
+
+use mcr::gen::sprand::{sprand, SprandConfig};
+use mcr::Algorithm;
+use std::time::Instant;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(1024);
+    let m: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2 * n);
+    let seed: u64 = args.next().and_then(|s| s.parse().ok()).unwrap_or(0);
+
+    let g = sprand(&SprandConfig::new(n, m).seed(seed));
+    println!("SPRAND graph: n={n}, m={m}, seed={seed}, weights in [1, 10000]");
+    println!(
+        "{:<14} {:>12} {:>14} {:>8} {:>12} {:>12}",
+        "algorithm", "time", "lambda", "iters", "relaxations", "heap ops"
+    );
+    for alg in Algorithm::ALL {
+        let start = Instant::now();
+        let sol = alg.solve(&g).expect("SPRAND graphs are cyclic");
+        let elapsed = start.elapsed();
+        println!(
+            "{:<14} {:>12} {:>14} {:>8} {:>12} {:>12}",
+            alg.name(),
+            format!("{:.3?}", elapsed),
+            sol.lambda.to_string(),
+            sol.counters.iterations,
+            sol.counters.relaxations,
+            sol.counters.heap.total()
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Synchronous circuit performance analysis (paper §1.1).
+//!
+//! For a retimed synchronous circuit, the minimum feasible clock period
+//! is governed by the *maximum cost-to-time ratio* over all cycles of
+//! the circuit graph: arc weight = combinational delay along the
+//! connection, arc transit time = number of registers on it. No
+//! retiming can beat `max_C w(C)/t(C)` because registers on a cycle can
+//! be moved but never created or destroyed (Szymanski, DAC'92; Teich et
+//! al.).
+//!
+//! Run with: `cargo run --example clock_period`
+
+use mcr::apps::retiming::{Block, Netlist};
+use mcr::core::critical::critical_subgraph;
+use mcr::{maximum_cycle_ratio, GraphBuilder, Ratio64};
+
+fn main() {
+    // A small processor-like datapath:
+    //
+    //   fetch -> decode -> execute -> writeback -> fetch   (pipeline loop)
+    //   execute -> execute                                  (bypass loop)
+    //   decode -> regfile -> execute                        (operand path)
+    //
+    // Weights are gate delays (in tenths of ns); transit times are the
+    // register counts on each connection.
+    let mut b = GraphBuilder::new();
+    let names = ["fetch", "decode", "execute", "writeback", "regfile"];
+    let v = b.add_nodes(names.len());
+    let (fetch, decode, execute, writeback, regfile) = (v[0], v[1], v[2], v[3], v[4]);
+
+    b.add_arc_with_transit(fetch, decode, 18, 1);
+    b.add_arc_with_transit(decode, execute, 22, 1);
+    b.add_arc_with_transit(execute, writeback, 15, 1);
+    b.add_arc_with_transit(writeback, fetch, 9, 1);
+    b.add_arc_with_transit(execute, execute, 31, 1); // ALU bypass loop
+    b.add_arc_with_transit(decode, regfile, 12, 0); // combinational read
+    b.add_arc_with_transit(regfile, execute, 16, 1);
+    b.add_arc_with_transit(writeback, regfile, 11, 1);
+    b.add_arc_with_transit(regfile, decode, 7, 1);
+    let g = b.build();
+
+    let sol = maximum_cycle_ratio(&g).expect("the circuit is cyclic");
+    println!(
+        "minimum achievable clock period = {} ≈ {:.2} (delay units per register)",
+        sol.lambda,
+        sol.lambda.to_f64()
+    );
+
+    print!("performance-limiting loop:");
+    for n in sol.cycle_nodes(&g) {
+        print!(" {}", names[n.index()]);
+    }
+    println!();
+
+    // The critical subgraph of the negated graph identifies every
+    // connection that constrains the clock — the targets for retiming
+    // or logic optimization.
+    let cs = critical_subgraph(&g.negated(), -sol.lambda).expect("lambda is optimal");
+    println!("critical connections:");
+    for a in cs.arcs {
+        println!(
+            "  {} -> {} (delay {}, {} regs)",
+            names[g.source(a).index()],
+            names[g.target(a).index()],
+            g.weight(a),
+            g.transit(a)
+        );
+    }
+
+    // The same analysis through the netlist API, plus a legal clock
+    // schedule (per-block departure offsets) at 110% of the bound.
+    let mut nl = Netlist::new();
+    let blocks: Vec<_> = [18, 22, 31, 9, 12]
+        .iter()
+        .zip(names)
+        .map(|(&d, n)| nl.add_block(Block::new(n, d)))
+        .collect();
+    let wires = [
+        (0usize, 1usize, 1i64),
+        (1, 2, 1),
+        (2, 3, 1),
+        (3, 0, 1),
+        (2, 2, 1),
+        (1, 4, 0),
+        (4, 2, 1),
+        (3, 4, 1),
+        (4, 1, 1),
+    ];
+    for &(f, t, r) in &wires {
+        nl.connect(blocks[f], blocks[t], r);
+    }
+    let analysis = nl.analyze().expect("no comb loop").expect("cyclic");
+    let period = analysis.min_period * Ratio64::new(11, 10);
+    let schedule = nl.clock_schedule(period).expect("feasible above the bound");
+    println!("\nclock schedule at period {period} (offsets per block):");
+    for (i, r) in schedule.iter().enumerate() {
+        println!("  {:<10} departs at {}", nl.block(blocks[i]).name, r);
+    }
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# Regenerates every experiment output under results/.
+# Usage: scripts/run_experiments.sh [--quick]
+# Without --quick this runs the paper's full grid and takes ~1 hour on
+# one core (dominated by Lawler/OA1/Burns at n = 8192).
+set -e
+MODE="--full"
+SUFFIX="full"
+if [ "$1" = "--quick" ]; then
+    MODE=""
+    SUFFIX="quick"
+fi
+cargo build -p mcr-bench --release
+mkdir -p results
+for exp in table2 mcm_vs_params heap_ops iterations howard_anomaly karp_variants ratio_compare; do
+    echo "=== $exp $MODE ==="
+    "target/release/$exp" $MODE > "results/${exp}_${SUFFIX}.txt" 2> "results/${exp}_${SUFFIX}.log"
+done
+echo "All experiment outputs written to results/*_${SUFFIX}.txt"

@@ -1,0 +1,60 @@
+//! # mcr — optimum cycle mean and optimum cost-to-time ratio
+//!
+//! A from-scratch Rust reproduction of the DAC 1999 experimental study
+//! *"Efficient Algorithms for Optimum Cycle Mean and Optimum Cost to
+//! Time Ratio Problems"* by Dasdan, Irani and Gupta: the complete suite
+//! of ten minimum-mean-cycle algorithms (Burns, KO, YTO, Howard, HO,
+//! Karp, DG, Karp2, Lawler, OA1), their cost-to-time-ratio variants,
+//! the graph and generator substrates the study ran on, and benchmark
+//! harnesses that regenerate the paper's Table 2 and every §4
+//! observation.
+//!
+//! This crate is a facade re-exporting the member crates:
+//!
+//! * [`graph`] — the digraph substrate (builders, SCCs, heaps, I/O);
+//! * [`gen`] — workload generators (SPRAND, circuit-like graphs,
+//!   structured families, transit-time decoration);
+//! * [`core`] — the algorithms, exact rational arithmetic, critical
+//!   subgraph extraction, instrumentation, and the brute-force
+//!   reference;
+//! * [`apps`] — the paper's §1.1 CAD applications as APIs: clock-period
+//!   analysis of sequential netlists, dataflow iteration bounds, and
+//!   max-plus spectral theory.
+//!
+//! # Quick start
+//!
+//! ```
+//! use mcr::{minimum_cycle_mean, GraphBuilder};
+//!
+//! let mut b = GraphBuilder::new();
+//! let v = b.add_nodes(3);
+//! b.add_arc(v[0], v[1], 2);
+//! b.add_arc(v[1], v[2], 4);
+//! b.add_arc(v[2], v[0], 3);
+//! b.add_arc(v[1], v[0], 10);
+//! let g = b.build();
+//!
+//! let sol = minimum_cycle_mean(&g).expect("graph has a cycle");
+//! assert_eq!(sol.lambda, mcr::Ratio64::from(3)); // (2+4+3)/3
+//! assert_eq!(sol.cycle.len(), 3);
+//! ```
+//!
+//! # Choosing an algorithm
+//!
+//! The study's central finding — reproduced by this crate's benchmark
+//! harness — is that [Howard's algorithm](Algorithm::Howard) is by far
+//! the fastest in practice despite its weak worst-case bounds. Use
+//! [`minimum_cycle_mean`] / [`minimum_cycle_ratio`] (which run the exact
+//! Howard variant) unless you have a reason not to; every other
+//! algorithm is available through [`Algorithm`].
+
+pub use mcr_apps as apps;
+pub use mcr_core as core;
+pub use mcr_gen as gen;
+pub use mcr_graph as graph;
+
+pub use mcr_core::{
+    maximum_cycle_mean, maximum_cycle_ratio, minimum_cycle_mean, minimum_cycle_ratio, Algorithm,
+    Counters, Guarantee, Ratio64, Solution,
+};
+pub use mcr_graph::{ArcId, Graph, GraphBuilder, NodeId};

@@ -1,0 +1,202 @@
+//! Integration tests of the CAD application layer against the raw
+//! solver API: the applications must agree with direct graph modeling.
+
+use mcr::apps::asynchronous::EventRuleSystem;
+use mcr::apps::dataflow::{Actor, DataflowGraph};
+use mcr::apps::max_plus::MaxPlusMatrix;
+use mcr::apps::retiming::{Block, Netlist};
+
+use mcr::{GraphBuilder, Ratio64};
+
+#[test]
+fn netlist_matches_direct_graph_model() {
+    let mut nl = Netlist::new();
+    let blocks: Vec<_> = (0..6)
+        .map(|i| nl.add_block(Block::new(format!("b{i}"), 3 + 2 * i as i64)))
+        .collect();
+    let wires = [
+        (0usize, 1usize, 1i64),
+        (1, 2, 0),
+        (2, 0, 1),
+        (2, 3, 1),
+        (3, 4, 2),
+        (4, 5, 0),
+        (5, 3, 1),
+        (5, 1, 3),
+    ];
+    let mut b = GraphBuilder::new();
+    let v = b.add_nodes(6);
+    for &(f, t, r) in &wires {
+        nl.connect(blocks[f], blocks[t], r);
+        b.add_arc_with_transit(v[f], v[t], 3 + 2 * f as i64, r);
+    }
+    let direct = mcr::maximum_cycle_ratio(&b.build()).expect("cyclic").lambda;
+    let analysis = nl.analyze().expect("no comb loop").expect("cyclic");
+    assert_eq!(analysis.min_period, direct);
+}
+
+#[test]
+fn dataflow_bound_equals_negated_min_ratio() {
+    let mut dfg = DataflowGraph::new();
+    let ids: Vec<_> = (0..5)
+        .map(|i| dfg.add_actor(Actor::new(format!("a{i}"), 1 + i as i64)))
+        .collect();
+    let edges = [
+        (0usize, 1usize, 1i64),
+        (1, 2, 0),
+        (2, 3, 1),
+        (3, 0, 1),
+        (3, 4, 0),
+        (4, 1, 2),
+    ];
+    let mut b = GraphBuilder::new();
+    let v = b.add_nodes(5);
+    for &(f, t, d) in &edges {
+        dfg.connect(ids[f], ids[t], d);
+        b.add_arc_with_transit(v[f], v[t], 1 + f as i64, d);
+    }
+    let g = b.build();
+    let expected = -mcr::minimum_cycle_ratio(&g.negated()).expect("cyclic").lambda;
+    let bound = dfg.iteration_bound().expect("no deadlock").expect("recursive");
+    assert_eq!(bound.periods_per_iteration, expected);
+}
+
+#[test]
+fn dataflow_slacks_bound_the_iteration_bound() {
+    let mut dfg = DataflowGraph::new();
+    let a = dfg.add_actor(Actor::new("a", 4));
+    let b = dfg.add_actor(Actor::new("b", 6));
+    let c = dfg.add_actor(Actor::new("c", 2));
+    dfg.connect(a, b, 1);
+    dfg.connect(b, a, 1);
+    dfg.connect(b, c, 1);
+    dfg.connect(c, b, 0);
+    dfg.connect(c, a, 2);
+    let bound = dfg
+        .iteration_bound()
+        .expect("no deadlock")
+        .expect("recursive")
+        .periods_per_iteration;
+    let slacks = dfg.loop_slacks().expect("no deadlock");
+    assert!(!slacks.is_empty());
+    // The max loop bound is the iteration bound; slacks are nonnegative
+    // and sorted descending by loop bound.
+    assert_eq!(slacks[0].loop_bound, bound);
+    assert_eq!(slacks[0].slack, Ratio64::ZERO);
+    for w in slacks.windows(2) {
+        assert!(w[0].loop_bound >= w[1].loop_bound);
+    }
+    for s in &slacks {
+        assert!(s.slack >= Ratio64::ZERO);
+        assert_eq!(s.slack + s.loop_bound, bound);
+    }
+}
+
+#[test]
+fn max_plus_eigenvalue_equals_max_cycle_mean_of_precedence_graph() {
+    let mut a = MaxPlusMatrix::new(4);
+    let entries = [
+        (0usize, 1usize, 7i64),
+        (1, 2, -2),
+        (2, 3, 5),
+        (3, 0, 4),
+        (0, 0, 3),
+        (2, 1, 1),
+    ];
+    for &(i, j, w) in &entries {
+        a.set(i, j, w);
+    }
+    let lam = a.eigenvalue().expect("cyclic");
+    let direct = mcr::maximum_cycle_mean(&a.precedence_graph())
+        .expect("cyclic")
+        .lambda;
+    assert_eq!(lam, direct);
+}
+
+#[test]
+fn event_rule_system_matches_direct_ratio_model() {
+    // A ring of handshaking stages; the period must equal the direct
+    // max-ratio computation on the same numbers.
+    let mut ers = EventRuleSystem::new();
+    let events: Vec<_> = (0..6).map(|i| ers.add_event(format!("e{i}"))).collect();
+    let mut b = GraphBuilder::new();
+    let v = b.add_nodes(6);
+    let rules = [
+        (0usize, 1usize, 12i64, 0i64),
+        (1, 2, 7, 1),
+        (2, 3, 9, 0),
+        (3, 4, 4, 1),
+        (4, 5, 11, 0),
+        (5, 0, 3, 1),
+        (2, 0, 8, 1),
+        (4, 1, 6, 2),
+    ];
+    for &(f, t, d, o) in &rules {
+        ers.add_rule(events[f], events[t], d, o);
+        b.add_arc_with_transit(v[f], v[t], d, o);
+    }
+    let direct = mcr::maximum_cycle_ratio(&b.build()).expect("cyclic").lambda;
+    let analysis = ers.analyze().expect("live").expect("cyclic");
+    assert_eq!(analysis.period, direct);
+    assert!(!analysis.critical_events.is_empty());
+}
+
+#[test]
+fn three_application_views_of_one_structure_agree() {
+    // The same numbers read as a netlist, a dataflow graph, and an
+    // event-rule system give the same limiting ratio, because all three
+    // reduce to the same maximum cycle ratio.
+    let edges = [
+        (0usize, 1usize, 1i64),
+        (1, 2, 0),
+        (2, 0, 1),
+        (1, 0, 2),
+        (2, 1, 1),
+    ];
+    let times = [5i64, 9, 3];
+
+    let mut nl = Netlist::new();
+    let blocks: Vec<_> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| nl.add_block(Block::new(format!("b{i}"), d)))
+        .collect();
+    let mut dfg = DataflowGraph::new();
+    let actors: Vec<_> = times
+        .iter()
+        .enumerate()
+        .map(|(i, &d)| dfg.add_actor(Actor::new(format!("a{i}"), d)))
+        .collect();
+    let mut ers = EventRuleSystem::new();
+    let events: Vec<_> = (0..3).map(|i| ers.add_event(format!("e{i}"))).collect();
+    for &(f, t, k) in &edges {
+        nl.connect(blocks[f], blocks[t], k);
+        dfg.connect(actors[f], actors[t], k);
+        ers.add_rule(events[f], events[t], times[f], k);
+    }
+    let p1 = nl.analyze().unwrap().unwrap().min_period;
+    let p2 = dfg
+        .iteration_bound()
+        .unwrap()
+        .unwrap()
+        .periods_per_iteration;
+    let p3 = ers.analyze().unwrap().unwrap().period;
+    assert_eq!(p1, p2);
+    assert_eq!(p2, p3);
+}
+
+#[test]
+fn max_plus_simulation_is_eventually_linear() {
+    // For an irreducible matrix the orbit becomes periodic with slope λ:
+    // x(k + p) = x(k) + p·λ for some period p once transients die out.
+    let mut a = MaxPlusMatrix::new(3);
+    a.set(0, 1, 2);
+    a.set(1, 2, 2);
+    a.set(2, 0, 2); // pure ring: λ = 2, period divides 3
+    let x0 = vec![Some(0i64), Some(10), Some(-3)];
+    let x50 = a.simulate(&x0, 50);
+    let x53 = a.simulate(&x0, 53);
+    for i in 0..3 {
+        assert_eq!(x53[i].unwrap(), x50[i].unwrap() + 6, "entry {i}");
+    }
+}

@@ -1,0 +1,72 @@
+//! The shipped benchmark instances under `benchmarks/` solve to their
+//! documented optima with every algorithm.
+
+use mcr::graph::io::read_dimacs;
+use mcr::{Algorithm, Graph, Ratio64};
+
+fn load(text: &str) -> Graph {
+    read_dimacs(&mut text.as_bytes()).expect("benchmark file parses")
+}
+
+fn check_mean(g: &Graph, min: Ratio64, max: Ratio64, label: &str) {
+    for alg in Algorithm::ALL {
+        if alg.is_approximate() {
+            continue;
+        }
+        let sol = alg.solve(g).expect("cyclic");
+        assert_eq!(sol.lambda, min, "{label} min via {}", alg.name());
+    }
+    let got_max = mcr::maximum_cycle_mean(g).expect("cyclic").lambda;
+    assert_eq!(got_max, max, "{label} max");
+}
+
+#[test]
+fn pipeline4() {
+    let g = load(include_str!("../benchmarks/pipeline4.dimacs"));
+    assert_eq!(g.num_nodes(), 4);
+    // Ratios (transit-aware): pipeline loop 64/4 = 16, bypass 31/1.
+    let min_ratio = mcr::minimum_cycle_ratio(&g).unwrap().lambda;
+    let max_ratio = mcr::maximum_cycle_ratio(&g).unwrap().lambda;
+    assert_eq!(min_ratio, Ratio64::from(16));
+    assert_eq!(max_ratio, Ratio64::from(31));
+}
+
+#[test]
+fn biquad() {
+    let g = load(include_str!("../benchmarks/biquad.dimacs"));
+    let min_ratio = mcr::minimum_cycle_ratio(&g).unwrap().lambda;
+    let max_ratio = mcr::maximum_cycle_ratio(&g).unwrap().lambda;
+    assert_eq!(min_ratio, Ratio64::new(3, 2));
+    assert_eq!(max_ratio, Ratio64::from(4));
+    // The documented iteration bound matches the dataflow API on the
+    // same structure (see examples/iteration_bound.rs).
+}
+
+#[test]
+fn ring5() {
+    let g = load(include_str!("../benchmarks/ring5.dimacs"));
+    check_mean(&g, Ratio64::from(5), Ratio64::from(5), "ring5");
+    // A single cycle: the witness is the whole ring.
+    let sol = mcr::minimum_cycle_mean(&g).unwrap();
+    assert_eq!(sol.cycle.len(), 5);
+}
+
+#[test]
+fn multi_scc() {
+    let g = load(include_str!("../benchmarks/multi_scc.dimacs"));
+    check_mean(&g, Ratio64::from(2), Ratio64::from(5), "multi_scc");
+}
+
+#[test]
+fn approximate_algorithms_bracket_documented_optima() {
+    for (text, min) in [
+        (include_str!("../benchmarks/ring5.dimacs"), Ratio64::from(5)),
+        (include_str!("../benchmarks/multi_scc.dimacs"), Ratio64::from(2)),
+    ] {
+        let g = load(text);
+        for alg in [Algorithm::Lawler, Algorithm::Oa1, Algorithm::Howard] {
+            let sol = alg.solve_with_epsilon(&g, 1e-6).expect("cyclic");
+            assert_eq!(sol.lambda, min, "{}", alg.name());
+        }
+    }
+}
