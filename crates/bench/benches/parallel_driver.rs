@@ -1,0 +1,78 @@
+//! Criterion bench: sequential vs parallel per-SCC driver on SPRAND
+//! unions with many strongly connected components.
+//!
+//! `cargo bench -p mcr-bench --bench parallel_driver`
+//!
+//! The instance is a disjoint union of K SPRAND blocks joined by one-way
+//! bridge arcs, so the driver sees K independent jobs. `threads = 1` is
+//! the sequential legacy path; higher counts fan the jobs out over a
+//! scoped work queue. Results are bit-identical at every thread count
+//! (asserted here on every instance before timing), so the bench
+//! measures pure driver overhead/speedup.
+//!
+//! Note: speedup requires actual hardware parallelism. On a single-core
+//! machine the parallel rows measure only the thread-pool overhead; see
+//! `results/BENCH_parallel_driver.json` for recorded numbers and the
+//! machine caveat.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcr_core::{Algorithm, SolveOptions};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_graph::{Graph, GraphBuilder};
+use std::hint::black_box;
+
+/// Disjoint union of `blocks` SPRAND graphs (`n` nodes, `m` arcs each)
+/// plus one-way bridges between consecutive blocks: every block remains
+/// its own strongly connected component.
+fn multi_scc_sprand(blocks: usize, n: usize, m: usize, seed: u64) -> Graph {
+    let mut b = GraphBuilder::new();
+    let mut first_node = Vec::new();
+    for k in 0..blocks {
+        let part = sprand(
+            &SprandConfig::new(n, m)
+                .seed(seed * 101 + k as u64)
+                .weight_range(1, 10_000),
+        );
+        let ids = b.add_nodes(part.num_nodes());
+        first_node.push(ids[0]);
+        for a in part.arc_ids() {
+            b.add_arc(
+                ids[part.source(a).index()],
+                ids[part.target(a).index()],
+                part.weight(a),
+            );
+        }
+    }
+    for w in first_node.windows(2) {
+        b.add_arc(w[0], w[1], 1);
+    }
+    b.build()
+}
+
+fn bench_driver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_driver");
+    group.sample_size(10);
+    // 8 components of 512 nodes / 1536 arcs each: enough independent
+    // work per job for the fan-out to matter on multi-core hardware.
+    let g = multi_scc_sprand(8, 512, 1536, 7);
+    for alg in [Algorithm::HowardExact, Algorithm::Karp2] {
+        let seq = alg.solve(&g).expect("cyclic");
+        for threads in [1usize, 2, 4] {
+            let opts = SolveOptions::new().threads(threads);
+            // Determinism check before timing: parallel == sequential.
+            let par = alg.solve_with_options(&g, &opts).expect("cyclic");
+            assert_eq!(par.lambda, seq.lambda);
+            assert_eq!(par.cycle, seq.cycle);
+            assert_eq!(par.counters, seq.counters);
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), format!("threads_{threads}")),
+                &opts,
+                |b, opts| b.iter(|| black_box(alg.solve_with_options(black_box(&g), opts))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_driver);
+criterion_main!(benches);

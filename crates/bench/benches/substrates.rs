@@ -25,7 +25,7 @@ fn heap_workload<H: AddressableHeap<i64>>(n: usize) -> usize {
         }
     }
     let mut count = 0;
-    while let Some(_) = h.pop_min() {
+    while h.pop_min().is_some() {
         count += 1;
     }
     count

@@ -6,7 +6,7 @@
 //! seed-averaged timing, and plain-text table rendering, all
 //! implemented here.
 
-use mcr_core::{Algorithm, Solution};
+use mcr_core::{Algorithm, Solution, SolveOptions};
 use mcr_gen::sprand::{sprand, SprandConfig};
 use mcr_graph::Graph;
 use std::time::{Duration, Instant};
@@ -20,10 +20,15 @@ pub struct HarnessConfig {
     pub seeds: u64,
     /// Quick mode: CI-sized inputs.
     pub quick: bool,
+    /// Worker threads for the per-SCC driver (`1` = the paper's
+    /// sequential protocol, `0` = auto-detect). Results are identical
+    /// at every thread count; only wall time changes.
+    pub threads: usize,
 }
 
 impl HarnessConfig {
-    /// Parses `--quick`, `--full`, and `--seeds <k>` from `args`.
+    /// Parses `--quick`, `--full`, `--seeds <k>`, and `--threads <n>`
+    /// from `args`.
     ///
     /// Full mode reproduces the exact Table 2 grid
     /// (n ∈ {512..8192} × m/n ∈ {1..3}, 10 seeds); quick mode (default)
@@ -36,6 +41,12 @@ impl HarnessConfig {
         if let Some(i) = args.iter().position(|a| a == "--seeds") {
             if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                 seeds = k;
+            }
+        }
+        let mut threads = 1;
+        if let Some(i) = args.iter().position(|a| a == "--threads") {
+            if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
+                threads = k;
             }
         }
         let grid = if full {
@@ -53,7 +64,13 @@ impl HarnessConfig {
             grid,
             seeds,
             quick: !full,
+            threads,
         }
+    }
+
+    /// The [`SolveOptions`] implied by the configuration.
+    pub fn solve_options(&self) -> SolveOptions {
+        SolveOptions::new().threads(self.threads)
     }
 
     /// The SPRAND instance for a grid point and seed (the paper's
@@ -90,8 +107,17 @@ pub fn run_timed_lambda(
     alg: Algorithm,
     g: &Graph,
 ) -> (Duration, Option<(mcr_core::Ratio64, mcr_core::Counters)>) {
+    run_timed_lambda_opts(alg, g, &SolveOptions::default())
+}
+
+/// [`run_timed_lambda`] with explicit [`SolveOptions`] (thread count).
+pub fn run_timed_lambda_opts(
+    alg: Algorithm,
+    g: &Graph,
+    opts: &SolveOptions,
+) -> (Duration, Option<(mcr_core::Ratio64, mcr_core::Counters)>) {
     let start = Instant::now();
-    let out = alg.solve_lambda_only(g);
+    let out = alg.solve_lambda_only_opts(g, opts);
     (start.elapsed(), out)
 }
 
@@ -105,9 +131,10 @@ pub fn average_lambda_over_seeds(
 ) -> (Duration, Vec<mcr_core::Ratio64>) {
     let mut total = Duration::ZERO;
     let mut lams = Vec::new();
+    let opts = cfg.solve_options();
     for seed in 0..cfg.seeds {
         let g = cfg.instance(n, m, seed);
-        let (t, out) = run_timed_lambda(alg, &g);
+        let (t, out) = run_timed_lambda_opts(alg, &g, &opts);
         total += t;
         lams.push(out.expect("SPRAND graphs are cyclic").0);
     }
@@ -177,6 +204,7 @@ mod tests {
             grid: vec![(512, 1024)],
             seeds: 2,
             quick: true,
+            threads: 1,
         };
         let (t, sols) = average_over_seeds(&cfg, Algorithm::HowardExact, 512, 1024);
         assert_eq!(sols.len(), 2);

@@ -8,6 +8,8 @@
 //!     --max             maximize instead of minimize
 //!     --ratio           cost-to-time ratio objective (needs transit times)
 //!     --epsilon X       precision for approximate algorithms
+//!     --threads N       worker threads for the per-SCC driver
+//!                       (default: available parallelism; 1 = sequential)
 //!     --critical        also print the critical subgraph
 //!     --counters        also print operation counts
 //!
@@ -16,13 +18,13 @@
 //!                       emit a DIMACS-style instance on stdout
 //!
 //! mcr bench [FILE]      run every algorithm on an instance and print a
-//!                       timing/operation-count table
+//!     --threads N       timing/operation-count table
 //!
 //! mcr dot [FILE]        convert an instance to Graphviz DOT
 //! ```
 
 use mcr_core::critical::critical_subgraph;
-use mcr_core::{ratio, Algorithm, Guarantee, Solution};
+use mcr_core::{ratio, Algorithm, Guarantee, Solution, SolveOptions};
 use mcr_gen::circuit::{circuit_graph, CircuitConfig};
 use mcr_gen::sprand::{sprand, SprandConfig};
 use mcr_gen::transit::with_random_transits;
@@ -104,6 +106,17 @@ fn load_graph(path: Option<&str>) -> Result<Graph, String> {
     read_dimacs(&mut text.as_bytes()).map_err(|e| format!("parse error: {e}"))
 }
 
+/// `--threads N` → [`SolveOptions`]. The CLI defaults to `0`
+/// (auto-detect available parallelism); `--threads 1` forces the
+/// sequential legacy path. Results are identical either way.
+fn solve_options(args: &Args, epsilon: f64) -> Result<SolveOptions, String> {
+    let threads: usize = args.value_parsed("threads", 0)?;
+    Ok(SolveOptions {
+        threads,
+        epsilon: Some(epsilon),
+    })
+}
+
 fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
     println!("lambda = {} (~ {:.6})", sol.lambda, sol.lambda.to_f64());
     match sol.guarantee {
@@ -164,6 +177,7 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     if epsilon <= 0.0 {
         return Err("epsilon must be positive".into());
     }
+    let opts = solve_options(args, epsilon)?;
 
     let target = if maximize { g.negated() } else { g.clone() };
     let sol = if ratio_mode {
@@ -172,17 +186,17 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
         }
         match alg {
             Algorithm::Howard => ratio::howard_ratio(&target, epsilon),
-            Algorithm::HowardExact => ratio::howard_ratio_exact(&target),
+            Algorithm::HowardExact => ratio::howard_ratio_exact_opts(&target, &opts),
             Algorithm::Burns | Algorithm::BurnsExact => ratio::burns_ratio(&target),
             Algorithm::Ko => ratio::parametric_ratio(&target, false),
             Algorithm::Yto => ratio::parametric_ratio(&target, true),
             Algorithm::Lawler => ratio::lawler_ratio(&target, epsilon),
-            Algorithm::LawlerExact => ratio::lawler_ratio_exact(&target),
+            Algorithm::LawlerExact => ratio::lawler_ratio_exact_opts(&target, &opts),
             Algorithm::Megiddo => ratio::megiddo_ratio(&target),
             other => ratio::ratio_via_expansion(&target, other)?,
         }
     } else {
-        alg.solve_with_epsilon(&target, epsilon)
+        alg.solve_with_options(&target, &opts)
     };
     match sol {
         None => {
@@ -266,6 +280,7 @@ fn cmd_dot(args: &Args) -> Result<(), String> {
 
 fn cmd_bench(args: &Args) -> Result<(), String> {
     let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
+    let opts = solve_options(args, Algorithm::default_epsilon(&g))?;
     println!(
         "instance: {} nodes, {} arcs, weights [{}, {}]",
         g.num_nodes(),
@@ -279,7 +294,7 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     );
     for alg in Algorithm::ALL {
         let start = std::time::Instant::now();
-        match alg.solve_lambda_only(&g) {
+        match alg.solve_lambda_only_opts(&g, &opts) {
             None => {
                 println!("{:<14} graph is acyclic", alg.name());
                 break;

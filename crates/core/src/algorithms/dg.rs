@@ -63,9 +63,13 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
 }
 
 /// DG on one strongly connected, cyclic component.
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut crate::workspace::Workspace,
+) -> SccOutcome {
     let lambda = lambda_scc(g, counters);
-    let cycle = crate::critical::critical_cycle(g, lambda);
+    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws);
     SccOutcome {
         lambda,
         cycle,
@@ -81,7 +85,7 @@ mod tests {
 
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c).lambda
+        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
     }
 
     #[test]
@@ -90,7 +94,8 @@ mod tests {
         for seed in 0..25 {
             let g = sprand(&SprandConfig::new(12, 30).seed(seed).weight_range(-15, 15));
             let mut c = Counters::new();
-            let karp = super::super::karp::solve_scc(&g, &mut c).lambda;
+            let karp = super::super::karp::solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new())
+                .lambda;
             assert_eq!(lambda_of(&g), karp, "seed {seed}");
         }
     }
@@ -110,8 +115,9 @@ mod tests {
         let (sub, _, _) = scc.component_subgraph(&g, big);
         let mut c_dg = Counters::new();
         let mut c_karp = Counters::new();
-        let dg = solve_scc(&sub, &mut c_dg);
-        let karp = super::super::karp::solve_scc(&sub, &mut c_karp);
+        let dg = solve_scc(&sub, &mut c_dg, &mut crate::workspace::Workspace::new());
+        let karp =
+            super::super::karp::solve_scc(&sub, &mut c_karp, &mut crate::workspace::Workspace::new());
         assert_eq!(dg.lambda, karp.lambda);
         assert!(c_dg.arcs_visited <= c_karp.arcs_visited);
     }
@@ -122,7 +128,7 @@ mod tests {
         // visits exactly n arcs total (one per level).
         let g = from_arc_list(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 0, 1)]);
         let mut c = Counters::new();
-        let s = solve_scc(&g, &mut c);
+        let s = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
         assert_eq!(s.lambda, Ratio64::from(1));
         assert_eq!(c.arcs_visited, (g.num_nodes()) as u64);
     }

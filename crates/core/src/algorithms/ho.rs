@@ -163,16 +163,19 @@ fn run(g: &Graph, counters: &mut Counters) -> (Ratio64, Option<Vec<ArcId>>) {
         // first check can fail merely because distant nodes are still
         // unreached. O(lg n) retries keep the total overhead within
         // HO's O(n² + m·lg n) budget.
+        // `iterations` accumulates (never assigns): per-component counts
+        // must sum identically whether components share one counter
+        // sink or merge from per-thread counters.
         if let Some(mu) = best_mu {
             if (improved || k.is_power_of_two()) && criticality_check(g, &d, k, mu) {
-                counters.iterations = k as u64;
+                counters.iterations += k as u64;
                 return (mu, Some(best_cycle));
             }
         }
     }
 
     // No early exit: fall back to Karp's formula over the full table.
-    counters.iterations = n as u64;
+    counters.iterations += n as u64;
     let lambda = karp_formula(&d, n);
     if best_mu == Some(lambda) {
         (lambda, Some(best_cycle))
@@ -187,9 +190,13 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
 }
 
 /// HO on one strongly connected, cyclic component.
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut crate::workspace::Workspace,
+) -> SccOutcome {
     let (lambda, witness) = run(g, counters);
-    let cycle = witness.unwrap_or_else(|| crate::critical::critical_cycle(g, lambda));
+    let cycle = witness.unwrap_or_else(|| crate::critical::critical_cycle_ws(g, lambda, ws));
     SccOutcome {
         lambda,
         cycle,
@@ -204,7 +211,7 @@ mod tests {
 
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c).lambda
+        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
     }
 
     #[test]
@@ -213,7 +220,8 @@ mod tests {
         for seed in 0..40 {
             let g = sprand(&SprandConfig::new(12, 34).seed(seed).weight_range(-15, 15));
             let mut c = Counters::new();
-            let karp = super::super::karp::solve_scc(&g, &mut c).lambda;
+            let karp = super::super::karp::solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new())
+                .lambda;
             assert_eq!(lambda_of(&g), karp, "seed {seed}");
         }
     }
@@ -238,7 +246,7 @@ mod tests {
         arcs.push((1, 0, 1));
         let g = from_arc_list(n, &arcs);
         let mut c = Counters::new();
-        let s = solve_scc(&g, &mut c);
+        let s = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
         assert_eq!(s.lambda, Ratio64::from(1));
         assert!(c.iterations < 6, "iterations {}", c.iterations);
     }
@@ -249,7 +257,7 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(20, 50).seed(seed));
             let mut c = Counters::new();
-            solve_scc(&g, &mut c);
+            solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
             assert!(c.iterations <= 20);
         }
     }
@@ -260,7 +268,7 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(15, 45).seed(seed).weight_range(1, 30));
             let mut c = Counters::new();
-            let s = solve_scc(&g, &mut c);
+            let s = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
             let (w, len, _) = crate::solution::check_cycle(&g, &s.cycle).expect("valid");
             assert_eq!(Ratio64::new(w, len as i64), s.lambda, "seed {seed}");
         }

@@ -23,6 +23,7 @@ use crate::driver::SccOutcome;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use crate::workspace::{PolicyCycleScratch, Workspace};
 use mcr_graph::{ArcId, Graph};
 
 /// Iteration-cap safety net: policy iteration provably terminates, but a
@@ -34,18 +35,28 @@ fn iteration_cap(n: usize) -> u64 {
 
 /// Finds all cycles of the current policy graph and returns the one
 /// with the minimum ratio `w(C)/t(C)` (mean when transits are 1), as
-/// `(lambda, cycle_arcs, anchor_node)`.
+/// `(lambda, anchor_node)`. The cycle's arcs are left in
+/// `scratch.best_cycle`.
 fn min_policy_cycle(
     g: &Graph,
     policy: &[ArcId],
     counters: &mut Counters,
-) -> (Ratio64, Vec<ArcId>, usize) {
+    scratch: &mut PolicyCycleScratch,
+) -> (Ratio64, usize) {
     let n = g.num_nodes();
     // 0 = unvisited, otherwise the 1-based walk id that first visited.
-    let mut visited_by = vec![0u32; n];
-    let mut pos_in_walk = vec![0u32; n];
-    let mut best: Option<(Ratio64, Vec<ArcId>, usize)> = None;
-    let mut walk: Vec<usize> = Vec::new();
+    // Every node is visited each scan, so a full refill is the natural
+    // reset (no allocation; the buffers persist in the workspace).
+    scratch.visited_by.clear();
+    scratch.visited_by.resize(n, 0);
+    if scratch.pos_in_walk.len() < n {
+        scratch.pos_in_walk.resize(n, 0);
+    }
+    let visited_by = &mut scratch.visited_by;
+    let pos_in_walk = &mut scratch.pos_in_walk;
+    let walk = &mut scratch.walk;
+    let best_cycle = &mut scratch.best_cycle;
+    let mut best: Option<(Ratio64, usize)> = None;
     for start in 0..n {
         if visited_by[start] != 0 {
             continue;
@@ -56,23 +67,29 @@ fn min_policy_cycle(
         while visited_by[v] == 0 {
             visited_by[v] = walk_id;
             pos_in_walk[v] = walk.len() as u32;
-            walk.push(v);
+            walk.push(v as u32);
             v = g.target(policy[v]).index();
         }
         if visited_by[v] == walk_id {
             // New cycle: nodes walk[pos_in_walk[v]..].
             counters.cycles_examined += 1;
             let first = pos_in_walk[v] as usize;
-            let arcs: Vec<ArcId> = walk[first..].iter().map(|&u| policy[u]).collect();
-            let w: i64 = arcs.iter().map(|&a| g.weight(a)).sum();
-            let t: i64 = arcs.iter().map(|&a| g.transit(a)).sum();
+            let mut w = 0i64;
+            let mut t = 0i64;
+            for &u in &walk[first..] {
+                let a = policy[u as usize];
+                w += g.weight(a);
+                t += g.transit(a);
+            }
             assert!(
                 t > 0,
                 "policy cycle with zero transit time: the cycle ratio is undefined"
             );
             let lam = Ratio64::new(w, t);
-            if best.as_ref().is_none_or(|(b, _, _)| lam < *b) {
-                best = Some((lam, arcs, v));
+            if best.as_ref().is_none_or(|(b, _)| lam < *b) {
+                best = Some((lam, v));
+                best_cycle.clear();
+                best_cycle.extend(walk[first..].iter().map(|&u| policy[u as usize]));
             }
         }
     }
@@ -81,10 +98,9 @@ fn min_policy_cycle(
 
 /// Initial policy: each node's minimum-weight outgoing arc (lines 1–4 of
 /// Figure 1), along with the initial distances `d(u) = w(u, π(u))`.
-fn initial_policy(g: &Graph) -> (Vec<ArcId>, Vec<f64>) {
-    let n = g.num_nodes();
-    let mut policy = Vec::with_capacity(n);
-    let mut d = Vec::with_capacity(n);
+fn initial_policy_into(g: &Graph, policy: &mut Vec<ArcId>, d: &mut Vec<f64>) {
+    policy.clear();
+    d.clear();
     for v in g.node_ids() {
         let (best, weight) = g
             .out_adj(v)
@@ -94,48 +110,62 @@ fn initial_policy(g: &Graph) -> (Vec<ArcId>, Vec<f64>) {
         policy.push(best);
         d.push(weight as f64);
     }
-    (policy, d)
 }
 
 /// The improved Howard's algorithm of Figure 1 (`f64` distances,
-/// ε-terminated).
-pub(crate) fn solve_scc_fig1(g: &Graph, counters: &mut Counters, epsilon: f64) -> SccOutcome {
+/// ε-terminated). All scratch state lives in `ws`; steady-state
+/// iterations allocate nothing.
+pub(crate) fn solve_scc_fig1(
+    g: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+) -> SccOutcome {
     let n = g.num_nodes();
-    let (mut policy, mut d) = initial_policy(g);
+    let Workspace {
+        policy,
+        dist_f64: d,
+        cycles,
+        rev,
+        queue,
+        marks,
+        ..
+    } = ws;
+    initial_policy_into(g, policy, d);
     let cap = iteration_cap(n);
-    let mut rev_heads: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut queue: Vec<u32> = Vec::with_capacity(n);
     loop {
         counters.iterations += 1;
         assert!(
             counters.iterations <= cap,
             "Howard (fig. 1) exceeded its iteration cap — epsilon too small?"
         );
-        let (lam_exact, cycle, s) = min_policy_cycle(g, &policy, counters);
+        let (lam_exact, s) = min_policy_cycle(g, policy, counters, cycles);
         let lam = lam_exact.to_f64();
 
         // Reverse BFS within the policy graph from s: refresh distances
-        // of every node with a policy path to s (line 11–12).
-        for list in rev_heads.iter_mut() {
-            list.clear();
-        }
-        for v in 0..n {
-            if v != s {
-                rev_heads[g.target(policy[v]).index()].push(v as u32);
+        // of every node with a policy path to s (line 11–12). The
+        // reverse adjacency is a flat CSR whose per-node lists hold
+        // sources in ascending order — the push order of the
+        // `Vec<Vec<u32>>` it replaces, so traversal is identical.
+        rev.build(n, |emit| {
+            for (v, &a) in policy.iter().enumerate().take(n) {
+                if v != s {
+                    emit(g.target(a).index() as u32, v as u32);
+                }
             }
-        }
+        });
         queue.clear();
         queue.push(s as u32);
         let mut head = 0;
-        let mut settled = vec![false; n];
-        settled[s] = true;
+        let settled = marks.next(n);
+        marks.mark[s] = settled;
         while head < queue.len() {
             let x = queue[head] as usize;
             head += 1;
-            for &vu in &rev_heads[x] {
+            for &vu in rev.list(x) {
                 let v = vu as usize;
-                if !settled[v] {
-                    settled[v] = true;
+                if marks.mark[v] != settled {
+                    marks.mark[v] = settled;
                     d[v] = d[x] + g.weight(policy[v]) as f64
                         - lam * g.transit(policy[v]) as f64;
                     counters.distance_updates += 1;
@@ -164,7 +194,7 @@ pub(crate) fn solve_scc_fig1(g: &Graph, counters: &mut Counters, epsilon: f64) -
         if !improved {
             return SccOutcome {
                 lambda: lam_exact,
-                cycle,
+                cycle: cycles.best_cycle.clone(),
                 guarantee: Guarantee::Epsilon(epsilon * n as f64),
             };
         }
@@ -172,46 +202,59 @@ pub(crate) fn solve_scc_fig1(g: &Graph, counters: &mut Counters, epsilon: f64) -
 }
 
 /// Exact Howard: full value determination per round in scaled integers.
-pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome {
+/// All scratch state lives in `ws`; "unset this round" is an
+/// epoch-stamped mark instead of a sentinel fill, so each iteration
+/// starts in `O(1)` instead of `O(n)`.
+pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Workspace) -> SccOutcome {
     let n = g.num_nodes();
-    let (mut policy, _) = initial_policy(g);
-    const UNSET: i128 = i128::MAX / 4;
-    let mut d = vec![UNSET; n];
+    let Workspace {
+        policy,
+        dist_f64,
+        dist_scaled: d,
+        cycles,
+        rev,
+        queue,
+        marks,
+        ..
+    } = ws;
+    initial_policy_into(g, policy, dist_f64);
+    d.clear();
+    d.resize(n, 0);
     let cap = iteration_cap(n);
-    let mut rev_heads: Vec<Vec<u32>> = vec![Vec::new(); n];
-    let mut queue: Vec<u32> = Vec::with_capacity(n);
     loop {
         counters.iterations += 1;
         assert!(
             counters.iterations <= cap,
             "Howard (exact) exceeded its iteration cap"
         );
-        let (lam, cycle, s) = min_policy_cycle(g, &policy, counters);
+        let (lam, s) = min_policy_cycle(g, policy, counters, cycles);
         let p = lam.numer() as i128;
         let q = lam.denom() as i128;
 
         // Value determination: d scaled by q, anchored at d(s) = 0,
         // propagated backward through the policy graph. Nodes that
-        // cannot reach s under the current policy stay UNSET this round.
-        d.fill(UNSET);
+        // cannot reach s under the current policy stay unset (not
+        // `valid`-stamped) this round.
+        let valid = marks.next(n);
         d[s] = 0;
-        for list in rev_heads.iter_mut() {
-            list.clear();
-        }
-        for v in 0..n {
-            if v != s {
-                rev_heads[g.target(policy[v]).index()].push(v as u32);
+        marks.mark[s] = valid;
+        rev.build(n, |emit| {
+            for (v, &a) in policy.iter().enumerate().take(n) {
+                if v != s {
+                    emit(g.target(a).index() as u32, v as u32);
+                }
             }
-        }
+        });
         queue.clear();
         queue.push(s as u32);
         let mut head = 0;
         while head < queue.len() {
             let x = queue[head] as usize;
             head += 1;
-            for &vu in &rev_heads[x] {
+            for &vu in rev.list(x) {
                 let v = vu as usize;
-                if d[v] >= UNSET {
+                if marks.mark[v] != valid {
+                    marks.mark[v] = valid;
                     d[v] = d[x] + g.weight(policy[v]) as i128 * q
                         - p * g.transit(policy[v]) as i128;
                     counters.distance_updates += 1;
@@ -220,18 +263,21 @@ pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome 
             }
         }
 
-        // Strict improvement pass.
+        // Strict improvement pass. An unset d(u) behaves like +∞: any
+        // candidate through a valid d(v) adopts it (and validates u for
+        // the rest of the pass, as the sentinel version did implicitly).
         let mut improved = false;
         for a in g.arc_ids() {
             let u = g.source(a).index();
             let v = g.target(a).index();
             counters.relaxations += 1;
-            if d[v] >= UNSET {
+            if marks.mark[v] != valid {
                 continue;
             }
             let cand = d[v] + g.weight(a) as i128 * q - p * g.transit(a) as i128;
-            if cand < d[u] {
+            if marks.mark[u] != valid || cand < d[u] {
                 d[u] = cand;
+                marks.mark[u] = valid;
                 policy[u] = a;
                 improved = true;
                 counters.distance_updates += 1;
@@ -239,11 +285,11 @@ pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome 
         }
         if !improved {
             // No strict improvement and (by strong connectivity) no
-            // UNSET node remains: d certifies λ* = lam.
-            debug_assert!(d.iter().all(|&x| x < UNSET));
+            // unset node remains: d certifies λ* = lam.
+            debug_assert!(marks.mark[..n].iter().all(|&x| x == valid));
             return SccOutcome {
                 lambda: lam,
-                cycle,
+                cycle: cycles.best_cycle.clone(),
                 guarantee: Guarantee::Exact,
             };
         }
@@ -257,12 +303,12 @@ mod tests {
 
     fn exact_lambda(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc_exact(g, &mut c).lambda
+        solve_scc_exact(g, &mut c, &mut Workspace::new()).lambda
     }
 
     fn fig1_lambda(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc_fig1(g, &mut c, 1e-9).lambda
+        solve_scc_fig1(g, &mut c, 1e-9, &mut Workspace::new()).lambda
     }
 
     #[test]
@@ -295,7 +341,7 @@ mod tests {
         use mcr_gen::sprand::{sprand, SprandConfig};
         let g = sprand(&SprandConfig::new(200, 600).seed(7));
         let mut c = Counters::new();
-        solve_scc_exact(&g, &mut c);
+        solve_scc_exact(&g, &mut c, &mut Workspace::new());
         // §4.3: "drastically small compared to the other algorithms".
         assert!(c.iterations < 60, "iterations {}", c.iterations);
     }
@@ -306,7 +352,7 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(30, 90).seed(seed));
             let mut c = Counters::new();
-            let s = solve_scc_exact(&g, &mut c);
+            let s = solve_scc_exact(&g, &mut c, &mut Workspace::new());
             let (w, len, _) = crate::solution::check_cycle(&g, &s.cycle).expect("valid");
             assert_eq!(Ratio64::new(w, len as i64), s.lambda);
         }
@@ -322,7 +368,7 @@ mod tests {
         b.add_arc_with_transit(v[0], v[0], 1, 1); // ratio 1
         let g = b.build();
         let mut c = Counters::new();
-        let s = solve_scc_exact(&g, &mut c);
+        let s = solve_scc_exact(&g, &mut c, &mut Workspace::new());
         assert_eq!(s.lambda, Ratio64::new(2, 5));
     }
 
@@ -334,6 +380,6 @@ mod tests {
         b.add_arc_with_transit(v[0], v[0], 3, 0);
         let g = b.build();
         let mut c = Counters::new();
-        solve_scc_exact(&g, &mut c);
+        solve_scc_exact(&g, &mut c, &mut Workspace::new());
     }
 }

@@ -104,12 +104,16 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
 }
 
 /// Karp's algorithm on one strongly connected, cyclic component.
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut crate::workspace::Workspace,
+) -> SccOutcome {
     let n = g.num_nodes();
     let table = fill_table(g, counters);
     let lambda = karp_formula(&table, n);
     drop(table);
-    let cycle = crate::critical::critical_cycle(g, lambda);
+    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws);
     SccOutcome {
         lambda,
         cycle,
@@ -124,7 +128,7 @@ mod tests {
 
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c).lambda
+        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
     }
 
     #[test]
@@ -156,7 +160,7 @@ mod tests {
     fn arcs_visited_is_n_times_m() {
         let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 2, 5)]);
         let mut c = Counters::new();
-        solve_scc(&g, &mut c);
+        solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
         assert_eq!(c.arcs_visited, (g.num_nodes() * g.num_arcs()) as u64);
     }
 

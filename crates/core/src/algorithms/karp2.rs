@@ -78,9 +78,13 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
 }
 
 /// Karp2 on one strongly connected, cyclic component.
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut crate::workspace::Workspace,
+) -> SccOutcome {
     let lambda = lambda_scc(g, counters);
-    let cycle = crate::critical::critical_cycle(g, lambda);
+    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws);
     SccOutcome {
         lambda,
         cycle,
@@ -95,7 +99,7 @@ mod tests {
 
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c).lambda
+        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
     }
 
     #[test]
@@ -104,7 +108,8 @@ mod tests {
         for seed in 0..25 {
             let g = sprand(&SprandConfig::new(10, 26).seed(seed).weight_range(-20, 20));
             let mut c1 = Counters::new();
-            let karp = super::super::karp::solve_scc(&g, &mut c1).lambda;
+            let karp = super::super::karp::solve_scc(&g, &mut c1, &mut crate::workspace::Workspace::new())
+                .lambda;
             assert_eq!(lambda_of(&g), karp, "seed {seed}");
         }
     }
@@ -119,9 +124,9 @@ mod tests {
     fn does_double_the_arc_visits_of_karp() {
         let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (1, 0, 9)]);
         let mut c_karp = Counters::new();
-        super::super::karp::solve_scc(&g, &mut c_karp);
+        super::super::karp::solve_scc(&g, &mut c_karp, &mut crate::workspace::Workspace::new());
         let mut c_karp2 = Counters::new();
-        solve_scc(&g, &mut c_karp2);
+        solve_scc(&g, &mut c_karp2, &mut crate::workspace::Workspace::new());
         // Pass 1 visits n·m arcs, pass 2 visits (n-1)·m more.
         assert!(c_karp2.arcs_visited > c_karp.arcs_visited);
         assert!(c_karp2.arcs_visited <= 2 * c_karp.arcs_visited);

@@ -11,11 +11,12 @@
 //! contains exactly one rational with denominator ≤ n — the optimum —
 //! recovered by a Stern–Brocot descent.
 
-use crate::bellman::{cycle_at_or_below, has_cycle_below};
+use crate::bellman::{cycle_at_or_below_ws, has_cycle_below_ws};
 use crate::driver::SccOutcome;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph};
 
 /// Weight bounds as rationals; equal bounds mean every arc has the same
@@ -27,29 +28,42 @@ fn weight_bounds(g: &Graph) -> (Ratio64, Ratio64) {
     )
 }
 
-fn witness_at(g: &Graph, lambda: Ratio64, counters: &mut Counters) -> (Ratio64, Vec<ArcId>) {
-    let cycle = cycle_at_or_below(g, lambda, counters)
-        .expect("a cycle with mean at most the upper search bound exists");
+fn witness_at(
+    g: &Graph,
+    lambda: Ratio64,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+) -> (Ratio64, Vec<ArcId>) {
+    assert!(
+        cycle_at_or_below_ws(g, lambda, counters, ws),
+        "a cycle with mean at most the upper search bound exists"
+    );
+    let cycle = ws.bf.cycle.clone();
     let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
     let mean = Ratio64::new(w, cycle.len() as i64);
     (mean, cycle)
 }
 
 /// Lawler with the paper's ε-termination.
-pub(crate) fn solve_scc_eps(g: &Graph, counters: &mut Counters, epsilon: f64) -> SccOutcome {
+pub(crate) fn solve_scc_eps(
+    g: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+) -> SccOutcome {
     assert!(epsilon > 0.0, "epsilon must be positive");
     let (mut lo, mut hi) = weight_bounds(g);
     // Invariants: λ* ≥ lo, λ* ≤ hi.
     while (hi - lo).to_f64() > epsilon && hi.denom() < i64::MAX / 4 {
         counters.iterations += 1;
         let mid = lo.midpoint(hi);
-        if has_cycle_below(g, mid, counters).is_some() {
+        if has_cycle_below_ws(g, mid, counters, ws) {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    let (mean, cycle) = witness_at(g, hi, counters);
+    let (mean, cycle) = witness_at(g, hi, counters, ws);
     SccOutcome {
         lambda: mean,
         cycle,
@@ -59,7 +73,7 @@ pub(crate) fn solve_scc_eps(g: &Graph, counters: &mut Counters, epsilon: f64) ->
 
 /// Lawler sharpened to an exact algorithm by snapping the final interval
 /// to the unique cycle mean inside it.
-pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Workspace) -> SccOutcome {
     let n = g.num_nodes() as i64;
     let (mut lo, mut hi) = weight_bounds(g);
     // Cycle means have denominator ≤ n; an open interval shorter than
@@ -72,14 +86,14 @@ pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters) -> SccOutcome 
             "binary search denominators exhausted i64 range"
         );
         let mid = lo.midpoint(hi);
-        if has_cycle_below(g, mid, counters).is_some() {
+        if has_cycle_below_ws(g, mid, counters, ws) {
             hi = mid;
         } else {
             lo = mid;
         }
     }
     let lambda = Ratio64::simplest_in(lo, hi);
-    let (mean, cycle) = witness_at(g, lambda, counters);
+    let (mean, cycle) = witness_at(g, lambda, counters, ws);
     debug_assert_eq!(mean, lambda);
     SccOutcome {
         lambda: mean,
@@ -95,7 +109,7 @@ mod tests {
 
     fn exact(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc_exact(g, &mut c).lambda
+        solve_scc_exact(g, &mut c, &mut Workspace::new()).lambda
     }
 
     #[test]
@@ -109,7 +123,7 @@ mod tests {
         let g = from_arc_list(2, &[(0, 1, 6), (1, 0, 6)]);
         assert_eq!(exact(&g), Ratio64::from(6));
         let mut c = Counters::new();
-        let s = solve_scc_eps(&g, &mut c, 1e-3);
+        let s = solve_scc_eps(&g, &mut c, 1e-3, &mut Workspace::new());
         assert_eq!(s.lambda, Ratio64::from(6));
     }
 
@@ -130,7 +144,7 @@ mod tests {
             let g = sprand(&SprandConfig::new(12, 36).seed(seed).weight_range(1, 100));
             let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
             let mut c = Counters::new();
-            let s = solve_scc_eps(&g, &mut c, 1e-4);
+            let s = solve_scc_eps(&g, &mut c, 1e-4, &mut Workspace::new());
             // Witness mean is never below the optimum and at most ε above.
             assert!(s.lambda >= expected, "seed {seed}");
             assert!(
@@ -146,7 +160,7 @@ mod tests {
     fn counts_oracle_calls() {
         let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
         let mut c = Counters::new();
-        solve_scc_exact(&g, &mut c);
+        solve_scc_exact(&g, &mut c, &mut Workspace::new());
         // log2(99 · n(n-1)) ≈ 8 bisections plus the witness extraction.
         assert!(c.oracle_calls >= 8, "oracle calls {}", c.oracle_calls);
         assert!(c.oracle_calls <= 40);

@@ -229,7 +229,11 @@ mod tests {
             let g = sprand(&SprandConfig::new(60, 180).seed(seed));
             let (lam, c) = solve(&g);
             let mut cl = Counters::new();
-            let lawler = super::super::lawler::solve_scc_exact(&g, &mut cl);
+            let lawler = super::super::lawler::solve_scc_exact(
+                &g,
+                &mut cl,
+                &mut crate::workspace::Workspace::new(),
+            );
             assert_eq!(lam, lawler.lambda, "seed {seed}");
             // Every oracle call is an O(nm) Bellman–Ford; Megiddo calls
             // it only at crossings inside the shrinking interval, which

@@ -16,8 +16,9 @@ pub(crate) mod megiddo;
 pub(crate) mod oa1;
 pub(crate) mod parametric;
 
-use crate::driver::{solve_per_scc, solve_value_per_scc};
+use crate::driver::{solve_per_scc, solve_per_scc_opts, solve_value_per_scc_opts};
 use crate::instrument::Counters;
+use crate::options::SolveOptions;
 use crate::rational::Ratio64;
 use crate::solution::Solution;
 use mcr_graph::Graph;
@@ -162,29 +163,51 @@ impl Algorithm {
     ///
     /// Panics if `epsilon <= 0` for an approximate variant.
     pub fn solve_with_epsilon(self, g: &Graph, epsilon: f64) -> Option<Solution> {
+        let opts = SolveOptions {
+            threads: 1,
+            epsilon: Some(epsilon),
+        };
+        self.solve_with_options(g, &opts)
+    }
+
+    /// Like [`Algorithm::solve`] with explicit [`SolveOptions`]: thread
+    /// count for the per-SCC driver and precision for the approximate
+    /// variants. Results are bit-identical for every thread count (see
+    /// [`SolveOptions::threads`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `opts.epsilon` is `Some(e)` with `e <= 0` for an
+    /// approximate variant.
+    pub fn solve_with_options(self, g: &Graph, opts: &SolveOptions) -> Option<Solution> {
+        let epsilon = opts.epsilon.unwrap_or_else(|| Self::default_epsilon(g));
         match self {
-            Algorithm::Burns => solve_per_scc(g, burns::solve_scc_f64),
-            Algorithm::BurnsExact => solve_per_scc(g, burns::solve_scc),
-            Algorithm::Ko => {
-                solve_per_scc(g, |s, c| parametric::solve_scc(s, c, HeapGranularity::PerArc))
+            Algorithm::Burns => solve_per_scc_opts(g, opts, |s, c, _ws| burns::solve_scc_f64(s, c)),
+            Algorithm::BurnsExact => {
+                solve_per_scc_opts(g, opts, |s, c, _ws| burns::solve_scc(s, c))
             }
-            Algorithm::Yto => {
-                solve_per_scc(g, |s, c| parametric::solve_scc(s, c, HeapGranularity::PerNode))
-            }
+            Algorithm::Ko => solve_per_scc_opts(g, opts, |s, c, _ws| {
+                parametric::solve_scc(s, c, HeapGranularity::PerArc)
+            }),
+            Algorithm::Yto => solve_per_scc_opts(g, opts, |s, c, _ws| {
+                parametric::solve_scc(s, c, HeapGranularity::PerNode)
+            }),
             Algorithm::Howard => {
-                solve_per_scc(g, |s, c| howard::solve_scc_fig1(s, c, epsilon))
+                solve_per_scc_opts(g, opts, |s, c, ws| howard::solve_scc_fig1(s, c, epsilon, ws))
             }
-            Algorithm::HowardExact => solve_per_scc(g, howard::solve_scc_exact),
-            Algorithm::Ho => solve_per_scc(g, ho::solve_scc),
-            Algorithm::Karp => solve_per_scc(g, karp::solve_scc),
-            Algorithm::Karp2 => solve_per_scc(g, karp2::solve_scc),
-            Algorithm::Dg => solve_per_scc(g, dg::solve_scc),
+            Algorithm::HowardExact => solve_per_scc_opts(g, opts, howard::solve_scc_exact),
+            Algorithm::Ho => solve_per_scc_opts(g, opts, ho::solve_scc),
+            Algorithm::Karp => solve_per_scc_opts(g, opts, karp::solve_scc),
+            Algorithm::Karp2 => solve_per_scc_opts(g, opts, karp2::solve_scc),
+            Algorithm::Dg => solve_per_scc_opts(g, opts, dg::solve_scc),
             Algorithm::Lawler => {
-                solve_per_scc(g, |s, c| lawler::solve_scc_eps(s, c, epsilon))
+                solve_per_scc_opts(g, opts, |s, c, ws| lawler::solve_scc_eps(s, c, epsilon, ws))
             }
-            Algorithm::LawlerExact => solve_per_scc(g, lawler::solve_scc_exact),
-            Algorithm::Megiddo => solve_per_scc(g, megiddo::solve_scc),
-            Algorithm::Oa1 => solve_per_scc(g, |s, c| oa1::solve_scc(s, c, epsilon)),
+            Algorithm::LawlerExact => solve_per_scc_opts(g, opts, lawler::solve_scc_exact),
+            Algorithm::Megiddo => solve_per_scc_opts(g, opts, |s, c, _ws| megiddo::solve_scc(s, c)),
+            Algorithm::Oa1 => {
+                solve_per_scc_opts(g, opts, |s, c, ws| oa1::solve_scc(s, c, epsilon, ws))
+            }
         }
     }
 }
@@ -197,12 +220,25 @@ impl Algorithm {
     /// other algorithm produces its witness as a byproduct, so this is
     /// equivalent to [`Algorithm::solve`] for them.
     pub fn solve_lambda_only(self, g: &Graph) -> Option<(Ratio64, Counters)> {
+        self.solve_lambda_only_opts(g, &SolveOptions::default())
+    }
+
+    /// [`Algorithm::solve_lambda_only`] with explicit [`SolveOptions`].
+    pub fn solve_lambda_only_opts(
+        self,
+        g: &Graph,
+        opts: &SolveOptions,
+    ) -> Option<(Ratio64, Counters)> {
         match self {
-            Algorithm::Karp => solve_value_per_scc(g, karp::lambda_scc),
-            Algorithm::Karp2 => solve_value_per_scc(g, karp2::lambda_scc),
-            Algorithm::Dg => solve_value_per_scc(g, dg::lambda_scc),
-            Algorithm::Ho => solve_value_per_scc(g, ho::lambda_scc),
-            other => other.solve(g).map(|s| (s.lambda, s.counters)),
+            Algorithm::Karp => solve_value_per_scc_opts(g, opts, |s, c, _ws| karp::lambda_scc(s, c)),
+            Algorithm::Karp2 => {
+                solve_value_per_scc_opts(g, opts, |s, c, _ws| karp2::lambda_scc(s, c))
+            }
+            Algorithm::Dg => solve_value_per_scc_opts(g, opts, |s, c, _ws| dg::lambda_scc(s, c)),
+            Algorithm::Ho => solve_value_per_scc_opts(g, opts, |s, c, _ws| ho::lambda_scc(s, c)),
+            other => other
+                .solve_with_options(g, opts)
+                .map(|s| (s.lambda, s.counters)),
         }
     }
 }
@@ -219,11 +255,11 @@ pub fn parametric_with_heap(g: &Graph, node_keyed: bool, fibonacci: bool) -> Opt
         HeapGranularity::PerArc
     };
     if fibonacci {
-        solve_per_scc(g, move |s, c| {
+        solve_per_scc(g, move |s, c, _ws| {
             parametric::solve_scc_with::<FibonacciHeap<Ratio64>>(s, c, granularity)
         })
     } else {
-        solve_per_scc(g, move |s, c| {
+        solve_per_scc(g, move |s, c, _ws| {
             parametric::solve_scc_with::<IndexedBinaryHeap<Ratio64>>(s, c, granularity)
         })
     }
@@ -285,6 +321,33 @@ mod tests {
             names,
             ["Burns", "KO", "YTO", "Howard", "HO", "Karp", "DG", "Lawler", "Karp2", "OA1"]
         );
+    }
+
+    #[test]
+    fn threads_do_not_change_any_algorithm() {
+        let g = from_arc_list(
+            7,
+            &[
+                (0, 1, 5),
+                (1, 0, 5),
+                (1, 2, 1),
+                (2, 3, 1),
+                (3, 4, 2),
+                (4, 2, 3),
+                (5, 6, 7),
+                (6, 5, 1),
+            ],
+        );
+        for alg in Algorithm::ALL {
+            let seq = alg.solve(&g).expect("cyclic");
+            let par = alg
+                .solve_with_options(&g, &SolveOptions::new().threads(4))
+                .expect("cyclic");
+            assert_eq!(par.lambda, seq.lambda, "{}", alg.name());
+            assert_eq!(par.cycle, seq.cycle, "{}", alg.name());
+            assert_eq!(par.guarantee, seq.guarantee, "{}", alg.name());
+            assert_eq!(par.counters, seq.counters, "{}", alg.name());
+        }
     }
 
     #[test]

@@ -24,16 +24,17 @@
 //! measures: a scaling method with an attractive bound that is slow in
 //! practice.
 
-use crate::bellman::{bellman_ford, cycle_at_or_below, CycleCheck};
+use crate::bellman::{check_staged_costs_ws, cycle_at_or_below_ws};
 use crate::driver::SccOutcome;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph};
 
 /// Rounded costs `⌊(w(e)·q − p) / (pe/qe · q)⌋` for λ = p/q and phase
-/// precision ε = pe/qe, computed exactly in i128.
-fn rounded_costs(g: &Graph, lambda: Ratio64, eps: Ratio64) -> Vec<i128> {
+/// precision ε = pe/qe, computed exactly in i128 into a reused buffer.
+fn rounded_costs_into(g: &Graph, lambda: Ratio64, eps: Ratio64, out: &mut Vec<i128>) {
     let p = lambda.numer() as i128;
     let q = lambda.denom() as i128;
     let pe = eps.numer() as i128;
@@ -41,13 +42,20 @@ fn rounded_costs(g: &Graph, lambda: Ratio64, eps: Ratio64) -> Vec<i128> {
     debug_assert!(pe > 0);
     // (w − p/q) / (pe/qe) = (w·q − p)·qe / (q·pe)
     let den = q * pe;
-    g.arc_ids()
-        .map(|a| ((g.weight(a) as i128 * q - p) * qe).div_euclid(den))
-        .collect()
+    out.clear();
+    out.extend(
+        g.arc_ids()
+            .map(|a| ((g.weight(a) as i128 * q - p) * qe).div_euclid(den)),
+    );
 }
 
 /// OA1 on one strongly connected, cyclic component.
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters, epsilon: f64) -> SccOutcome {
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+) -> SccOutcome {
     assert!(epsilon > 0.0, "epsilon must be positive");
     let n = g.num_nodes() as i64;
     let mut lo = Ratio64::from(g.min_weight().expect("component has arcs"));
@@ -64,25 +72,23 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters, epsilon: f64) -> Scc
         let delta = hi - lo;
         let mid = lo.midpoint(hi);
         let eps_phase = delta / Ratio64::from(8 * n.max(1));
-        let costs = rounded_costs(g, mid, eps_phase);
-        match bellman_ford(g, &costs, true, counters) {
-            CycleCheck::NegativeCycle(cycle) => {
-                // Real mean of this cycle is < mid + (n−1)·ε ≤ mid + δ/8.
-                let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-                let mean = Ratio64::new(w, cycle.len() as i64);
-                if best.as_ref().is_none_or(|(b, _)| mean < *b) {
-                    best = Some((mean, cycle));
-                }
-                let new_hi = mid + eps_phase * Ratio64::from(n.max(1));
-                hi = if new_hi < hi { new_hi } else { hi };
-                // The witness itself may sharpen the bound further.
-                if mean < hi {
-                    hi = mean;
-                }
+        rounded_costs_into(g, mid, eps_phase, &mut ws.bf.cost);
+        if check_staged_costs_ws(g, true, counters, ws) {
+            // Real mean of this cycle is < mid + (n−1)·ε ≤ mid + δ/8.
+            let cycle = &ws.bf.cycle;
+            let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
+            let mean = Ratio64::new(w, cycle.len() as i64);
+            if best.as_ref().is_none_or(|(b, _)| mean < *b) {
+                best = Some((mean, cycle.clone()));
             }
-            CycleCheck::Feasible(_) => {
-                lo = mid;
+            let new_hi = mid + eps_phase * Ratio64::from(n.max(1));
+            hi = if new_hi < hi { new_hi } else { hi };
+            // The witness itself may sharpen the bound further.
+            if mean < hi {
+                hi = mean;
             }
+        } else {
+            lo = mid;
         }
     }
 
@@ -91,8 +97,11 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters, epsilon: f64) -> Scc
         _ => {
             // No rounded phase produced a witness (λ* close to the max
             // weight): extract one exactly at the upper bound.
-            let cycle = cycle_at_or_below(g, hi, counters)
-                .expect("a cycle with mean at most the upper bound exists");
+            assert!(
+                cycle_at_or_below_ws(g, hi, counters, ws),
+                "a cycle with mean at most the upper bound exists"
+            );
+            let cycle = ws.bf.cycle.clone();
             let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
             (Ratio64::new(w, cycle.len() as i64), cycle)
         }
@@ -111,7 +120,7 @@ mod tests {
 
     fn solve(g: &Graph, eps: f64) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c, eps).lambda
+        solve_scc(g, &mut c, eps, &mut Workspace::new()).lambda
     }
 
     #[test]
@@ -146,7 +155,7 @@ mod tests {
     fn phase_count_is_logarithmic() {
         let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 10_000)]);
         let mut c = Counters::new();
-        solve_scc(&g, &mut c, 1e-3);
+        solve_scc(&g, &mut c, 1e-3, &mut Workspace::new());
         // (5/8)^k · 9999 < 1e-3 ⇒ k ≈ 35.
         assert!(c.iterations <= 60, "phases {}", c.iterations);
     }

@@ -12,6 +12,7 @@
 
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
+use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph};
 
 /// Outcome of a negative-cycle test on `G_λ`.
@@ -29,11 +30,20 @@ pub enum CycleCheck {
 
 /// Scaled arc costs of `G_λ`: `w(e)·q − p·t(e)` for `λ = p/q`.
 pub fn scaled_costs(g: &Graph, lambda: Ratio64) -> Vec<i128> {
+    let mut out = Vec::new();
+    scaled_costs_into(g, lambda, &mut out);
+    out
+}
+
+/// [`scaled_costs`] into a reusable buffer.
+pub(crate) fn scaled_costs_into(g: &Graph, lambda: Ratio64, out: &mut Vec<i128>) {
     let p = lambda.numer() as i128;
     let q = lambda.denom() as i128;
-    g.arc_ids()
-        .map(|a| g.weight(a) as i128 * q - p * g.transit(a) as i128)
-        .collect()
+    out.clear();
+    out.extend(
+        g.arc_ids()
+            .map(|a| g.weight(a) as i128 * q - p * g.transit(a) as i128),
+    );
 }
 
 /// Runs Bellman–Ford over integer costs `cost` (indexed by arc), from an
@@ -59,11 +69,35 @@ pub fn bellman_ford(g: &Graph, cost: &[i128], strict: bool, counters: &mut Count
         return bellman_ford(g, &shifted, true, counters);
     }
 
+    let mut dist = Vec::new();
+    let mut parent = Vec::new();
+    let mut cycle = Vec::new();
+    if bellman_core(g, cost, counters, &mut dist, &mut parent, &mut cycle) {
+        CycleCheck::NegativeCycle(cycle)
+    } else {
+        CycleCheck::Feasible(dist)
+    }
+}
+
+/// The strict-mode Bellman–Ford loop over caller-provided buffers.
+/// Returns `true` if a strictly negative cycle exists (left in `cycle`,
+/// traversal order); `false` if feasible (potentials left in `dist`).
+fn bellman_core(
+    g: &Graph,
+    cost: &[i128],
+    counters: &mut Counters,
+    dist: &mut Vec<i128>,
+    parent: &mut Vec<u32>,
+    cycle: &mut Vec<ArcId>,
+) -> bool {
     let n = g.num_nodes();
     let m = g.num_arcs();
     const NO_PARENT: u32 = u32::MAX;
-    let mut dist = vec![0i128; n];
-    let mut parent = vec![NO_PARENT; n];
+    dist.clear();
+    dist.resize(n, 0);
+    parent.clear();
+    parent.resize(n, NO_PARENT);
+    cycle.clear();
     let mut updated_node = None;
     for _round in 0..n {
         let mut any = false;
@@ -83,7 +117,7 @@ pub fn bellman_ford(g: &Graph, cost: &[i128], strict: bool, counters: &mut Count
             }
         }
         if !any {
-            return CycleCheck::Feasible(dist);
+            return false;
         }
     }
     // An update in round n certifies a negative cycle reachable through
@@ -95,22 +129,96 @@ pub fn bellman_ford(g: &Graph, cost: &[i128], strict: bool, counters: &mut Count
         v = g.source(a).index();
     }
     let start = v;
-    let mut cycle_rev = Vec::new();
     loop {
         let a = ArcId::new(parent[v] as usize);
-        cycle_rev.push(a);
+        cycle.push(a);
         v = g.source(a).index();
         if v == start {
             break;
         }
     }
-    cycle_rev.reverse();
+    cycle.reverse();
     counters.cycles_examined += 1;
     debug_assert!(
-        cycle_rev.iter().map(|&a| cost[a.index()]).sum::<i128>() < 0,
+        cycle.iter().map(|&a| cost[a.index()]).sum::<i128>() < 0,
         "extracted cycle is not negative"
     );
-    CycleCheck::NegativeCycle(cycle_rev)
+    true
+}
+
+/// Runs the oracle on the costs already staged in `ws.bf.cost`, entirely
+/// within workspace buffers. Returns `true` if a negative (strict mode)
+/// or non-positive (non-strict) cycle was found — left in `ws.bf.cycle`;
+/// on `false` the potentials are left in `ws.bf.dist`. Counter semantics
+/// match [`bellman_ford`] exactly (non-strict counts two oracle calls,
+/// mirroring its internal recursion).
+pub(crate) fn check_staged_costs_ws(
+    g: &Graph,
+    strict: bool,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+) -> bool {
+    debug_assert_eq!(ws.bf.cost.len(), g.num_arcs());
+    counters.oracle_calls += 1;
+    let bf = &mut ws.bf;
+    if !strict {
+        counters.oracle_calls += 1;
+        let scale = g.num_nodes() as i128 + 1;
+        bf.cost_shifted.clear();
+        bf.cost_shifted
+            .extend(bf.cost.iter().map(|&c| c * scale - 1));
+        return bellman_core(
+            g,
+            &bf.cost_shifted,
+            counters,
+            &mut bf.dist,
+            &mut bf.parent,
+            &mut bf.cycle,
+        );
+    }
+    bellman_core(
+        g,
+        &bf.cost,
+        counters,
+        &mut bf.dist,
+        &mut bf.parent,
+        &mut bf.cycle,
+    )
+}
+
+/// Workspace-buffered cycle test on `G_λ`. See [`check_staged_costs_ws`]
+/// for where the results land.
+pub(crate) fn cycle_check_ws(
+    g: &Graph,
+    lambda: Ratio64,
+    strict: bool,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+) -> bool {
+    scaled_costs_into(g, lambda, &mut ws.bf.cost);
+    check_staged_costs_ws(g, strict, counters, ws)
+}
+
+/// Workspace-buffered [`has_cycle_below`]: `true` iff some cycle has
+/// ratio strictly below `lambda` (the witness is left in `ws.bf.cycle`).
+pub(crate) fn has_cycle_below_ws(
+    g: &Graph,
+    lambda: Ratio64,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+) -> bool {
+    cycle_check_ws(g, lambda, true, counters, ws)
+}
+
+/// Workspace-buffered [`cycle_at_or_below`]: `true` iff some cycle has
+/// ratio at most `lambda` (the witness is left in `ws.bf.cycle`).
+pub(crate) fn cycle_at_or_below_ws(
+    g: &Graph,
+    lambda: Ratio64,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+) -> bool {
+    cycle_check_ws(g, lambda, false, counters, ws)
 }
 
 /// Tests whether `G_λ` (costs `w − λ·t`) has a strictly negative cycle,
@@ -195,6 +303,34 @@ mod tests {
         let mut c = counters();
         let cyc = has_cycle_below(&g, Ratio64::from(4), &mut c).expect("self loop mean 3");
         assert_eq!(cyc.len(), 1);
+    }
+
+    #[test]
+    fn workspace_variant_matches_allocating_variant() {
+        let g = from_arc_list(4, &[(0, 1, 3), (1, 2, 1), (2, 0, 5), (2, 3, 1), (3, 1, 4)]);
+        let mut ws = Workspace::new();
+        for num in -10..10 {
+            let lam = Ratio64::new(num, 3);
+            let mut c1 = counters();
+            let plain = has_cycle_below(&g, lam, &mut c1);
+            let mut c2 = counters();
+            let found = has_cycle_below_ws(&g, lam, &mut c2, &mut ws);
+            assert_eq!(plain.is_some(), found, "lambda {lam}");
+            if let Some(cycle) = plain {
+                assert_eq!(cycle, ws.bf.cycle, "lambda {lam}");
+            }
+            assert_eq!(c1, c2, "counters must match for lambda {lam}");
+
+            let mut c3 = counters();
+            let plain = cycle_at_or_below(&g, lam, &mut c3);
+            let mut c4 = counters();
+            let found = cycle_at_or_below_ws(&g, lam, &mut c4, &mut ws);
+            assert_eq!(plain.is_some(), found, "lambda {lam} (non-strict)");
+            if let Some(cycle) = plain {
+                assert_eq!(cycle, ws.bf.cycle, "lambda {lam} (non-strict)");
+            }
+            assert_eq!(c3, c4, "counters must match for lambda {lam} (non-strict)");
+        }
     }
 
     #[test]

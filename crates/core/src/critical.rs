@@ -8,9 +8,10 @@
 //! witness-cycle extractor for algorithms whose internal state does not
 //! directly yield a cycle (Karp, Karp2, DG).
 
-use crate::bellman::{bellman_ford, scaled_costs, CycleCheck};
+use crate::bellman::{bellman_ford, cycle_check_ws, scaled_costs, CycleCheck};
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
+use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph, NodeId};
 
 /// The critical subgraph of `G_{λ}`.
@@ -86,59 +87,82 @@ pub fn critical_subgraph(g: &Graph, lambda: Ratio64) -> Result<CriticalSubgraph,
 /// a negative cycle, or the critical subgraph is acyclic). Intended for
 /// internal use by exact solvers.
 pub fn critical_cycle(g: &Graph, lambda: Ratio64) -> Vec<ArcId> {
-    let cs = critical_subgraph(g, lambda)
-        .unwrap_or_else(|e| panic!("critical_cycle with non-optimal lambda: {e}"));
-    // Tight adjacency.
-    let n = g.num_nodes();
-    let mut tight_out: Vec<Vec<ArcId>> = vec![Vec::new(); n];
-    for &a in &cs.arcs {
-        tight_out[g.source(a).index()].push(a);
+    critical_cycle_ws(g, lambda, &mut Workspace::new())
+}
+
+/// [`critical_cycle`] over reusable workspace buffers: the Bellman–Ford
+/// potentials, the tight-arc adjacency (flat CSR), and the DFS stacks
+/// all live in `ws`, so witness extraction allocates only the returned
+/// cycle.
+pub(crate) fn critical_cycle_ws(g: &Graph, lambda: Ratio64, ws: &mut Workspace) -> Vec<ArcId> {
+    // Witness extraction is not part of the solver's instrumented work
+    // (matching the allocating version, which used a private counter).
+    let mut counters = Counters::new();
+    if cycle_check_ws(g, lambda, true, &mut counters, ws) {
+        panic!("critical_cycle with non-optimal lambda: lambda {lambda} exceeds the optimum");
     }
-    // Iterative three-color DFS looking for a back arc.
-    const WHITE: u8 = 0;
-    const GRAY: u8 = 1;
-    const BLACK: u8 = 2;
-    let mut color = vec![WHITE; n];
-    let mut arc_stack: Vec<ArcId> = Vec::new();
-    let mut on_path_pos = vec![usize::MAX; n];
+    let n = g.num_nodes();
+    let Workspace {
+        rev, bf, dfs, marks, ..
+    } = ws;
+    // Tight-arc CSR keyed by source node. Counting sort emits arcs in
+    // ascending id order per source — the push order of the
+    // `Vec<Vec<ArcId>>` it replaces, so the DFS visits arcs identically.
+    rev.build(n, |emit| {
+        for a in g.arc_ids() {
+            let u = g.source(a).index();
+            let v = g.target(a).index();
+            if bf.dist[u] + bf.cost[a.index()] == bf.dist[v] {
+                emit(u as u32, a.index() as u32);
+            }
+        }
+    });
+    // Iterative three-color DFS looking for a back arc; white = neither
+    // stamp of the current epoch pair.
+    let (gray, black) = marks.next_pair(n);
+    if dfs.pos.len() < n {
+        dfs.pos.resize(n, 0);
+    }
+    dfs.arc_stack.clear();
     for root in 0..n {
-        if color[root] != WHITE {
+        if marks.mark[root] == gray || marks.mark[root] == black {
             continue;
         }
         // (node, next out-arc index)
-        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
-        color[root] = GRAY;
-        on_path_pos[root] = 0;
-        while let Some(&mut (v, ref mut idx)) = stack.last_mut() {
-            if *idx < tight_out[v].len() {
-                let a = tight_out[v][*idx];
+        dfs.stack.clear();
+        dfs.stack.push((root as u32, 0));
+        marks.mark[root] = gray;
+        dfs.pos[root] = 0;
+        while let Some(&mut (v, ref mut idx)) = dfs.stack.last_mut() {
+            let v = v as usize;
+            let out = rev.list(v);
+            if (*idx as usize) < out.len() {
+                let a = ArcId::new(out[*idx as usize] as usize);
                 *idx += 1;
                 let w = g.target(a).index();
-                match color[w] {
-                    WHITE => {
-                        color[w] = GRAY;
-                        on_path_pos[w] = arc_stack.len() + 1;
-                        arc_stack.push(a);
-                        stack.push((w, 0));
-                    }
-                    GRAY => {
-                        // Found a cycle: arcs from w's position on the
-                        // path through a.
-                        let mut cycle: Vec<ArcId> =
-                            arc_stack[on_path_pos[w]..].to_vec();
-                        cycle.push(a);
-                        debug_assert!(
-                            crate::solution::check_cycle(g, &cycle).is_ok(),
-                            "critical cycle malformed"
-                        );
-                        return cycle;
-                    }
-                    _ => {}
+                if marks.mark[w] == gray {
+                    // Found a cycle: arcs from w's position on the path
+                    // through a.
+                    let mut cycle: Vec<ArcId> = dfs.arc_stack[dfs.pos[w] as usize..]
+                        .iter()
+                        .map(|&x| ArcId::new(x as usize))
+                        .collect();
+                    cycle.push(a);
+                    debug_assert!(
+                        crate::solution::check_cycle(g, &cycle).is_ok(),
+                        "critical cycle malformed"
+                    );
+                    return cycle;
+                } else if marks.mark[w] != black {
+                    marks.mark[w] = gray;
+                    dfs.pos[w] = dfs.arc_stack.len() as u32 + 1;
+                    dfs.arc_stack.push(a.index() as u32);
+                    dfs.stack.push((w as u32, 0));
                 }
             } else {
-                color[v] = BLACK;
-                stack.pop();
-                arc_stack.pop();
+                marks.mark[v] = black;
+                dfs.stack.pop();
+                dfs.arc_stack.pop();
             }
         }
     }

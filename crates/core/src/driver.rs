@@ -6,11 +6,37 @@
 //! take the minimum (§2). This module implements that driver once so
 //! all ten algorithms share it — exactly the uniformity the original
 //! C++ implementation enforced.
+//!
+//! # Parallel execution
+//!
+//! Components are independent subproblems, so the driver can solve them
+//! on several worker threads ([`SolveOptions::threads`]). Determinism is
+//! preserved by construction, not by luck:
+//!
+//! * all cyclic components are extracted **up front**, in Tarjan's
+//!   (reverse topological) order, into an indexed job list;
+//! * workers pull jobs from an atomic cursor and record each outcome in
+//!   the job's own result slot — scheduling affects only *when* a job
+//!   runs, never which result it produces (each job is solved from a
+//!   fresh-or-reused [`Workspace`] whose contents never leak between
+//!   components);
+//! * the reduction walks the slots in job order with a strict `<`, so
+//!   on equal λ the lowest component index wins — the same tie-break
+//!   the sequential loop has always applied;
+//! * per-thread [`Counters`] merge with saturating addition, which is
+//!   commutative and associative, so totals are independent of the
+//!   work distribution.
+//!
+//! Consequently `threads = 1` and `threads = N` return bit-identical
+//! [`Solution`]s.
 
 use crate::instrument::Counters;
+use crate::options::SolveOptions;
 use crate::rational::Ratio64;
 use crate::solution::{Guarantee, Solution};
-use mcr_graph::{ArcId, Graph, SccDecomposition};
+use crate::workspace::Workspace;
+use mcr_graph::{ArcId, Graph, SccDecomposition, SubgraphExtractor};
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 /// Result of solving one strongly connected, cyclic component: the
 /// optimum value and a witness cycle in the *component's local* arc ids.
@@ -21,69 +47,168 @@ pub(crate) struct SccOutcome {
     pub guarantee: Guarantee,
 }
 
+/// One unit of work: a cyclic component's subgraph plus the map from its
+/// local arc ids back to the host graph.
+struct Job {
+    sub: Graph,
+    arc_map: Vec<ArcId>,
+}
+
+/// Extracts every cyclic component of `g` as a standalone job, in
+/// component (reverse topological) order, reusing one translation table
+/// across extractions.
+fn extract_jobs(g: &Graph) -> Vec<Job> {
+    let scc = SccDecomposition::new(g);
+    let mut ex = SubgraphExtractor::new(g.num_nodes());
+    let mut jobs = Vec::new();
+    for c in 0..scc.num_components() {
+        if !scc.is_cyclic_component(g, c) {
+            continue;
+        }
+        let (sub, arc_map) = ex.extract(g, scc.component(c));
+        jobs.push(Job { sub, arc_map });
+    }
+    jobs
+}
+
+/// Solves every job and returns the per-job results (indexed like
+/// `jobs`) plus the accumulated counters.
+///
+/// `threads <= 1` is the sequential legacy path: one workspace, one
+/// counter sink, jobs in order. Otherwise a scoped work-queue fans the
+/// jobs out over `threads` workers; results land in job-indexed slots
+/// and counters merge per worker, so the output is identical either way.
+fn run_jobs<R: Send>(
+    jobs: &[Job],
+    threads: usize,
+    solve: impl Fn(&Graph, &mut Counters, &mut Workspace) -> R + Sync,
+) -> (Vec<R>, Counters) {
+    if threads <= 1 || jobs.len() <= 1 {
+        let mut counters = Counters::new();
+        let mut ws = Workspace::new();
+        let results = jobs
+            .iter()
+            .map(|j| solve(&j.sub, &mut counters, &mut ws))
+            .collect();
+        return (results, counters);
+    }
+
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = (0..jobs.len()).map(|_| None).collect();
+    let mut counters = Counters::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut ws = Workspace::new();
+                    let mut local = Counters::new();
+                    let mut done: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= jobs.len() {
+                            break;
+                        }
+                        let r = solve(&jobs[i].sub, &mut local, &mut ws);
+                        done.push((i, r));
+                    }
+                    (local, done)
+                })
+            })
+            .collect();
+        for h in handles {
+            match h.join() {
+                Ok((local, done)) => {
+                    counters.merge(&local);
+                    for (i, r) in done {
+                        debug_assert!(slots[i].is_none(), "job {i} solved twice");
+                        slots[i] = Some(r);
+                    }
+                }
+                // A worker panicked (solver bug): re-raise on the caller.
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    let results = slots
+        .into_iter()
+        .map(|s| s.expect("the work queue covers every job"))
+        .collect();
+    (results, counters)
+}
+
 /// Runs `solve_scc` on every cyclic strongly connected component of `g`
 /// and returns the minimum, with the witness cycle mapped back to
 /// `g`'s arc ids. Returns `None` when `g` is acyclic.
 ///
 /// `solve_scc` receives a strongly connected graph that contains at
-/// least one cycle (possibly a single node with self-loops) and a
-/// counter sink.
+/// least one cycle (possibly a single node with self-loops), a counter
+/// sink, and a reusable scratch workspace.
 pub(crate) fn solve_per_scc(
     g: &Graph,
-    mut solve_scc: impl FnMut(&Graph, &mut Counters) -> SccOutcome,
+    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> SccOutcome + Sync,
 ) -> Option<Solution> {
-    let scc = SccDecomposition::new(g);
-    let mut counters = Counters::new();
-    let mut best: Option<(Ratio64, Vec<ArcId>, Guarantee)> = None;
-    for c in 0..scc.num_components() {
-        if !scc.is_cyclic_component(g, c) {
-            continue;
-        }
-        let (sub, _node_map, arc_map) = scc.component_subgraph(g, c);
-        let outcome = solve_scc(&sub, &mut counters);
+    solve_per_scc_opts(g, &SolveOptions::default(), solve_scc)
+}
+
+/// [`solve_per_scc`] with explicit [`SolveOptions`] (thread count).
+/// See the module docs for the determinism argument.
+pub(crate) fn solve_per_scc_opts(
+    g: &Graph,
+    opts: &SolveOptions,
+    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> SccOutcome + Sync,
+) -> Option<Solution> {
+    let jobs = extract_jobs(g);
+    if jobs.is_empty() {
+        return None;
+    }
+    let threads = opts.effective_threads().clamp(1, jobs.len());
+    let (outcomes, counters) = run_jobs(&jobs, threads, solve_scc);
+
+    // Reduce in job (= component) order with a strict `<`: on equal λ
+    // the lowest component index wins, as in the sequential loop.
+    let mut best: Option<(usize, &SccOutcome)> = None;
+    for (i, outcome) in outcomes.iter().enumerate() {
         debug_assert!(
-            crate::solution::check_cycle(&sub, &outcome.cycle).is_ok(),
+            crate::solution::check_cycle(&jobs[i].sub, &outcome.cycle).is_ok(),
             "solver returned a malformed cycle"
         );
-        let mapped: Vec<ArcId> = outcome
-            .cycle
-            .iter()
-            .map(|&a| arc_map[a.index()])
-            .collect();
-        let replace = best.as_ref().is_none_or(|(b, _, _)| outcome.lambda < *b);
-        if replace {
-            best = Some((outcome.lambda, mapped, outcome.guarantee));
+        if best.is_none_or(|(_, b)| outcome.lambda < b.lambda) {
+            best = Some((i, outcome));
         }
     }
-    best.map(|(lambda, cycle, guarantee)| Solution {
-        lambda,
-        cycle,
-        guarantee,
+    let (i, outcome) = best.expect("at least one cyclic component");
+    let mapped: Vec<ArcId> = outcome
+        .cycle
+        .iter()
+        .map(|&a| jobs[i].arc_map[a.index()])
+        .collect();
+    Some(Solution {
+        lambda: outcome.lambda,
+        cycle: mapped,
+        guarantee: outcome.guarantee,
         counters,
     })
 }
 
-/// Like [`solve_per_scc`] but for λ-only solvers that skip witness
+/// Like [`solve_per_scc_opts`] but for λ-only solvers that skip witness
 /// extraction — the measurement protocol of the original study, which
 /// timed "each algorithm in the context of computing λ* only" (§2).
-pub(crate) fn solve_value_per_scc(
+pub(crate) fn solve_value_per_scc_opts(
     g: &Graph,
-    mut lambda_scc: impl FnMut(&Graph, &mut Counters) -> Ratio64,
+    opts: &SolveOptions,
+    lambda_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Ratio64 + Sync,
 ) -> Option<(Ratio64, Counters)> {
-    let scc = SccDecomposition::new(g);
-    let mut counters = Counters::new();
-    let mut best: Option<Ratio64> = None;
-    for c in 0..scc.num_components() {
-        if !scc.is_cyclic_component(g, c) {
-            continue;
-        }
-        let (sub, _, _) = scc.component_subgraph(g, c);
-        let lambda = lambda_scc(&sub, &mut counters);
-        if best.is_none_or(|b| lambda < b) {
-            best = Some(lambda);
-        }
+    let jobs = extract_jobs(g);
+    if jobs.is_empty() {
+        return None;
     }
-    best.map(|lambda| (lambda, counters))
+    let threads = opts.effective_threads().clamp(1, jobs.len());
+    let (lambdas, counters) = run_jobs(&jobs, threads, lambda_scc);
+    let best = lambdas
+        .into_iter()
+        .reduce(|a, b| if b < a { b } else { a })
+        .expect("at least one cyclic component");
+    Some((best, counters))
 }
 
 #[cfg(test)]
@@ -92,7 +217,7 @@ mod tests {
     use mcr_graph::graph::from_arc_list;
 
     /// A toy exact solver: brute force, packaged as an SCC solver.
-    fn brute(sub: &Graph, counters: &mut Counters) -> SccOutcome {
+    fn brute(sub: &Graph, counters: &mut Counters, _ws: &mut Workspace) -> SccOutcome {
         counters.iterations += 1;
         let (lambda, cycle) = crate::reference::brute_force_min_mean(sub)
             .expect("driver must pass cyclic components only");
@@ -140,5 +265,40 @@ mod tests {
         let s = solve_per_scc(&g, brute).expect("cyclic core");
         assert_eq!(s.counters.iterations, 1);
         assert_eq!(s.lambda, Ratio64::from(1));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Four cyclic components, two tied at the minimum mean 2: the
+        // tie must resolve to the same witness at every thread count.
+        let g = from_arc_list(
+            8,
+            &[
+                (0, 1, 5),
+                (1, 0, 5),
+                (2, 3, 2),
+                (3, 2, 2),
+                (4, 5, 2),
+                (5, 4, 2),
+                (6, 7, 9),
+                (7, 6, 9),
+            ],
+        );
+        let seq = solve_per_scc(&g, brute).expect("cyclic");
+        for threads in [2, 3, 8] {
+            let opts = SolveOptions::new().threads(threads);
+            let par = solve_per_scc_opts(&g, &opts, brute).expect("cyclic");
+            assert_eq!(par.lambda, seq.lambda);
+            assert_eq!(par.cycle, seq.cycle, "witness differs at {threads} threads");
+            assert_eq!(par.counters, seq.counters);
+            let (v_seq, c_seq) =
+                solve_value_per_scc_opts(&g, &SolveOptions::default(), |s, c, w| brute(s, c, w).lambda)
+                    .expect("cyclic");
+            let (v_par, c_par) =
+                solve_value_per_scc_opts(&g, &opts, |s, c, w| brute(s, c, w).lambda)
+                    .expect("cyclic");
+            assert_eq!(v_par, v_seq);
+            assert_eq!(c_par, c_seq);
+        }
     }
 }

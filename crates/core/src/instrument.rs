@@ -41,6 +41,25 @@ impl Counters {
     pub fn new() -> Self {
         Self::default()
     }
+
+    /// Accumulates `other` into `self` with saturating addition.
+    ///
+    /// This is the merge the parallel per-SCC driver uses to combine
+    /// per-thread counters: saturating `u64` addition is commutative and
+    /// associative (both sides clamp to `min(Σ, u64::MAX)`), so the
+    /// merged totals are independent of which worker solved which
+    /// component and of the merge order — solving with 1 or N threads
+    /// yields identical instrumentation. The zero counter is the
+    /// identity.
+    pub fn merge(&mut self, other: &Counters) {
+        self.iterations = self.iterations.saturating_add(other.iterations);
+        self.relaxations = self.relaxations.saturating_add(other.relaxations);
+        self.distance_updates = self.distance_updates.saturating_add(other.distance_updates);
+        self.arcs_visited = self.arcs_visited.saturating_add(other.arcs_visited);
+        self.cycles_examined = self.cycles_examined.saturating_add(other.cycles_examined);
+        self.oracle_calls = self.oracle_calls.saturating_add(other.oracle_calls);
+        self.heap.merge(&other.heap);
+    }
 }
 
 impl std::ops::Add for Counters {
@@ -89,5 +108,53 @@ mod tests {
         let mut c = a;
         c += a;
         assert_eq!(c, b);
+    }
+
+    #[test]
+    fn merge_matches_add_without_saturation() {
+        let mut a = Counters::new();
+        a.iterations = 3;
+        a.relaxations = 5;
+        a.heap.decrease_keys = 11;
+        let mut b = Counters::new();
+        b.iterations = 10;
+        b.oracle_calls = 2;
+        b.heap.decrease_keys = 4;
+        let mut merged = a;
+        merged.merge(&b);
+        assert_eq!(merged, a + b);
+    }
+
+    #[test]
+    fn merge_saturates_instead_of_wrapping() {
+        let mut a = Counters::new();
+        a.relaxations = u64::MAX - 1;
+        a.heap.inserts = u64::MAX;
+        let mut b = Counters::new();
+        b.relaxations = 5;
+        b.heap.inserts = 1;
+        a.merge(&b);
+        assert_eq!(a.relaxations, u64::MAX);
+        assert_eq!(a.heap.inserts, u64::MAX);
+    }
+
+    #[test]
+    fn merge_identity_and_order_independence() {
+        let zero = Counters::new();
+        let mut a = Counters::new();
+        a.iterations = 7;
+        a.cycles_examined = 3;
+        let mut with_zero = a;
+        with_zero.merge(&zero);
+        assert_eq!(with_zero, a, "zero counter is the merge identity");
+
+        let mut b = Counters::new();
+        b.iterations = u64::MAX - 3; // saturates in one order, same total in both
+        b.distance_updates = 9;
+        let mut ab = a;
+        ab.merge(&b);
+        let mut ba = b;
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative even when saturating");
     }
 }

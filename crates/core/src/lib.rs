@@ -59,16 +59,20 @@ pub mod critical;
 mod driver;
 pub mod instrument;
 pub mod maximum;
+pub mod options;
 pub mod ratio;
 pub mod rational;
-pub mod register_graph;
 pub mod reference;
+pub mod register_graph;
 pub mod solution;
+pub mod workspace;
 
 pub use algorithms::Algorithm;
 pub use instrument::Counters;
+pub use options::SolveOptions;
 pub use rational::Ratio64;
 pub use solution::{Guarantee, Solution};
+pub use workspace::Workspace;
 
 use mcr_graph::Graph;
 
@@ -83,6 +87,13 @@ use mcr_graph::Graph;
 /// ```
 pub fn minimum_cycle_mean(g: &Graph) -> Option<Solution> {
     Algorithm::HowardExact.solve(g)
+}
+
+/// [`minimum_cycle_mean`] with explicit [`SolveOptions`] — in particular
+/// a worker-thread count for graphs with many strongly connected
+/// components. Results are bit-identical at every thread count.
+pub fn minimum_cycle_mean_opts(g: &Graph, opts: &SolveOptions) -> Option<Solution> {
+    Algorithm::HowardExact.solve_with_options(g, opts)
 }
 
 /// Computes the minimum cost-to-time ratio of `g`, or `None` if `g` is

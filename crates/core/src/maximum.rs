@@ -32,6 +32,19 @@ pub fn maximum_cycle_mean_with(g: &Graph, algorithm: Algorithm) -> Option<Soluti
     algorithm.solve(&g.negated()).map(negate_solution)
 }
 
+/// [`maximum_cycle_mean_with`] with explicit [`crate::SolveOptions`]
+/// (thread count for the per-SCC driver, precision for approximate
+/// algorithms).
+pub fn maximum_cycle_mean_opts(
+    g: &Graph,
+    algorithm: Algorithm,
+    opts: &crate::SolveOptions,
+) -> Option<Solution> {
+    algorithm
+        .solve_with_options(&g.negated(), opts)
+        .map(negate_solution)
+}
+
 /// Maximum cost-to-time ratio of `g` (exact, Howard), or `None` if
 /// acyclic.
 ///
@@ -55,7 +68,7 @@ mod tests {
         for_each_simple_cycle(g, |cycle| {
             let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
             let mean = Ratio64::new(w, cycle.len() as i64);
-            if best.map_or(true, |b| mean > b) {
+            if best.is_none_or(|b| mean > b) {
                 best = Some(mean);
             }
         });

@@ -1,0 +1,109 @@
+//! Solver configuration shared by the public entry points.
+
+/// Options for the per-SCC solver driver.
+///
+/// ```
+/// use mcr_core::{Algorithm, SolveOptions};
+/// use mcr_graph::graph::from_arc_list;
+/// let g = from_arc_list(4, &[(0, 1, 4), (1, 0, 4), (2, 3, 1), (3, 2, 1)]);
+/// let opts = SolveOptions::new().threads(2);
+/// let sol = Algorithm::HowardExact.solve_with_options(&g, &opts).unwrap();
+/// assert_eq!(sol.lambda, mcr_core::Ratio64::from(1));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SolveOptions {
+    /// Number of worker threads for solving strongly connected
+    /// components in parallel. `1` (the default) is the sequential
+    /// legacy path; `0` means "use [`std::thread::available_parallelism`]".
+    ///
+    /// Results are **bit-identical** for every thread count: components
+    /// are reduced in a fixed order with a strict comparison, and
+    /// counters merge commutatively. Parallelism only helps on inputs
+    /// with several nontrivial components.
+    pub threads: usize,
+    /// Precision for the ε-approximate algorithms; `None` uses
+    /// [`crate::Algorithm::default_epsilon`]. Exact algorithms ignore it.
+    pub epsilon: Option<f64>,
+}
+
+impl Default for SolveOptions {
+    fn default() -> Self {
+        SolveOptions {
+            threads: 1,
+            epsilon: None,
+        }
+    }
+}
+
+impl SolveOptions {
+    /// The default options: sequential, default precision.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the worker thread count (`0` = auto-detect).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the precision for approximate algorithms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon <= 0` or is not finite.
+    pub fn epsilon(mut self, epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon.is_finite(),
+            "epsilon must be positive and finite"
+        );
+        self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// The concrete worker count: `threads`, or the machine's available
+    /// parallelism when `threads == 0` (falling back to 1 if that cannot
+    /// be determined).
+    pub fn effective_threads(&self) -> usize {
+        if self.threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.threads
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_sequential() {
+        let opts = SolveOptions::default();
+        assert_eq!(opts.threads, 1);
+        assert_eq!(opts.effective_threads(), 1);
+        assert!(opts.epsilon.is_none());
+    }
+
+    #[test]
+    fn zero_threads_autodetects() {
+        let opts = SolveOptions::new().threads(0);
+        assert!(opts.effective_threads() >= 1);
+    }
+
+    #[test]
+    fn builder_sets_fields() {
+        let opts = SolveOptions::new().threads(4).epsilon(1e-3);
+        assert_eq!(opts.threads, 4);
+        assert_eq!(opts.effective_threads(), 4);
+        assert_eq!(opts.epsilon, Some(1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn non_positive_epsilon_rejected() {
+        let _ = SolveOptions::new().epsilon(0.0);
+    }
+}

@@ -18,8 +18,10 @@
 //! [`has_zero_transit_cycle`].
 
 use crate::algorithms::Algorithm;
-use crate::driver::solve_per_scc;
+use crate::driver::{solve_per_scc, solve_per_scc_opts};
+use crate::options::SolveOptions;
 use crate::solution::Solution;
+use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph, GraphBuilder, SccDecomposition};
 
 /// Whether some cycle of `g` has zero total transit time (making cycle
@@ -57,6 +59,12 @@ pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
     solve_per_scc(g, crate::algorithms::howard::solve_scc_exact)
 }
 
+/// [`howard_ratio_exact`] with explicit [`SolveOptions`] (thread count
+/// for the per-SCC driver; results are bit-identical at every count).
+pub fn howard_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Option<Solution> {
+    solve_per_scc_opts(g, opts, crate::algorithms::howard::solve_scc_exact)
+}
+
 /// Minimum cycle ratio with the paper's Figure-1 Howard (ε-terminated).
 ///
 /// # Panics
@@ -64,8 +72,8 @@ pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
 /// Panics if `epsilon <= 0` or some cycle has zero total transit time.
 pub fn howard_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
     assert!(epsilon > 0.0, "epsilon must be positive");
-    solve_per_scc(g, |s, c| {
-        crate::algorithms::howard::solve_scc_fig1(s, c, epsilon)
+    solve_per_scc(g, |s, c, ws| {
+        crate::algorithms::howard::solve_scc_fig1(s, c, epsilon, ws)
     })
 }
 
@@ -77,7 +85,7 @@ pub fn howard_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
 ///
 /// Panics if some cycle has zero total transit time.
 pub fn burns_ratio(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, crate::algorithms::burns::solve_scc)
+    solve_per_scc(g, |s, c, _ws| crate::algorithms::burns::solve_scc(s, c))
 }
 
 /// Minimum cycle ratio with the parametric shortest path algorithms.
@@ -90,14 +98,14 @@ pub fn parametric_ratio(g: &Graph, node_keyed: bool) -> Option<Solution> {
     } else {
         HeapGranularity::PerArc
     };
-    solve_per_scc(g, move |s, c| solve_scc(s, c, granularity))
+    solve_per_scc(g, move |s, c, _ws| solve_scc(s, c, granularity))
 }
 
 /// Minimum cycle ratio with Megiddo's parametric search (Table 1 row
 /// 12): exact, with oracle calls only at the master algorithm's own
 /// decision points.
 pub fn megiddo_ratio(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, crate::algorithms::megiddo::solve_scc)
+    solve_per_scc(g, |s, c, _ws| crate::algorithms::megiddo::solve_scc(s, c))
 }
 
 /// Minimum cycle ratio via the Ito–Parhi register-graph reduction
@@ -113,21 +121,27 @@ pub use crate::register_graph::minimum_ratio_via_registers;
 /// Panics if `epsilon <= 0`.
 pub fn lawler_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
     assert!(epsilon > 0.0, "epsilon must be positive");
-    solve_per_scc(g, |s, c| ratio_bisection(s, c, Some(epsilon)))
+    solve_per_scc(g, |s, c, ws| ratio_bisection(s, c, Some(epsilon), ws))
 }
 
 /// Exact minimum cycle ratio by binary search plus a rational snap
 /// (denominators are bounded by the component's total transit time).
 pub fn lawler_ratio_exact(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, |s, c| ratio_bisection(s, c, None))
+    solve_per_scc(g, |s, c, ws| ratio_bisection(s, c, None, ws))
+}
+
+/// [`lawler_ratio_exact`] with explicit [`SolveOptions`].
+pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Option<Solution> {
+    solve_per_scc_opts(g, opts, |s, c, ws| ratio_bisection(s, c, None, ws))
 }
 
 fn ratio_bisection(
     g: &Graph,
     counters: &mut crate::instrument::Counters,
     epsilon: Option<f64>,
+    ws: &mut Workspace,
 ) -> crate::driver::SccOutcome {
-    use crate::bellman::{cycle_at_or_below, has_cycle_below};
+    use crate::bellman::{cycle_at_or_below_ws, has_cycle_below_ws};
     use crate::rational::Ratio64;
     use crate::solution::Guarantee;
     // |w(C)/t(C)| ≤ n·W since t(C) ≥ 1 for every cycle.
@@ -162,7 +176,7 @@ fn ratio_bisection(
         );
         counters.iterations += 1;
         let mid = lo.midpoint(hi);
-        if has_cycle_below(g, mid, counters).is_some() {
+        if has_cycle_below_ws(g, mid, counters, ws) {
             hi = mid;
         } else {
             lo = mid;
@@ -172,8 +186,11 @@ fn ratio_bisection(
         Some(e) => (hi, Guarantee::Epsilon(e)),
         None => (Ratio64::simplest_in(lo, hi), Guarantee::Exact),
     };
-    let cycle = cycle_at_or_below(g, lambda, counters)
-        .expect("a cycle with ratio at most the upper bound exists");
+    assert!(
+        cycle_at_or_below_ws(g, lambda, counters, ws),
+        "a cycle with ratio at most the upper bound exists"
+    );
+    let cycle = ws.bf.cycle.clone();
     let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
     let t: i64 = cycle.iter().map(|&a| g.transit(a)).sum();
     let exact_ratio = Ratio64::new(w, t);

@@ -1,0 +1,234 @@
+//! Reusable scratch workspaces for the per-SCC solvers.
+//!
+//! The hot loops of Howard's algorithm and the Bellman–Ford oracle used
+//! to allocate afresh on every iteration (a `settled` bitmap and a
+//! rebuilt `Vec<Vec<u32>>` reverse-policy adjacency per policy
+//! iteration; distance, parent and cost vectors per oracle call). A
+//! [`Workspace`] owns all of that scratch state once per solving thread:
+//! buffers grow to the largest component seen and are then reused, so
+//! steady-state solving performs no heap allocation beyond the returned
+//! witness cycles.
+//!
+//! Two techniques keep the reuse cheap *and* bit-identical to the
+//! allocating code they replaced:
+//!
+//! * **Epoch-stamped marks** ([`Marks`]): a "visited/settled" flag is a
+//!   `u32` stamp compared against the current epoch, so clearing a mark
+//!   array is a single counter increment instead of an `O(n)` fill.
+//! * **Flat CSR adjacency** ([`RevCsr`]): the reverse-policy adjacency
+//!   is rebuilt per iteration by counting sort into one flat array.
+//!   Sources are placed in increasing node order, which is exactly the
+//!   push order of the `Vec<Vec<u32>>` it replaces — traversal order,
+//!   and therefore every downstream tie-break, is unchanged.
+
+use mcr_graph::ArcId;
+
+/// Epoch-stamped mark array: `mark[v] == epoch` means "set in the
+/// current epoch". [`Marks::next`] starts a new epoch in `O(1)`
+/// (amortized — the array is zeroed only on `u32` wrap-around).
+#[derive(Clone, Debug, Default)]
+pub(crate) struct Marks {
+    pub(crate) mark: Vec<u32>,
+    epoch: u32,
+}
+
+impl Marks {
+    /// Starts a new epoch over `n` slots and returns its stamp; no slot
+    /// is marked in a fresh epoch.
+    pub(crate) fn next(&mut self, n: usize) -> u32 {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        self.advance(1)
+    }
+
+    /// Like [`Marks::next`] but reserves two consecutive stamps
+    /// (`(e, e + 1)`), for tri-state marking (unseen / first / second).
+    pub(crate) fn next_pair(&mut self, n: usize) -> (u32, u32) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        let first = self.advance(2);
+        (first, first + 1)
+    }
+
+    fn advance(&mut self, stamps: u32) -> u32 {
+        if self.epoch >= u32::MAX - stamps {
+            // Wrap-around: stale stamps could collide, so pay one full
+            // clear (once per ~4 billion epochs).
+            self.mark.fill(0);
+            self.epoch = 0;
+        }
+        self.epoch += stamps;
+        self.epoch - (stamps - 1)
+    }
+}
+
+/// Flat CSR (compressed sparse row) adjacency rebuilt in place: list `x`
+/// is `flat[start[x]..start[x + 1]]`. Entries are placed by counting
+/// sort in increasing insertion order, matching the push order of the
+/// per-list `Vec<Vec<u32>>` representation it replaces.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct RevCsr {
+    pub(crate) start: Vec<u32>,
+    pub(crate) flat: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl RevCsr {
+    /// Rebuilds the CSR from `(list, item)` pairs produced by `pairs`
+    /// (invoked twice — it must be cheap and deterministic). `lists` is
+    /// the number of lists.
+    pub(crate) fn build(&mut self, lists: usize, pairs: impl Fn(&mut dyn FnMut(u32, u32)) + Copy) {
+        self.start.clear();
+        self.start.resize(lists + 1, 0);
+        let mut total = 0u32;
+        pairs(&mut |list, _item| {
+            self.start[list as usize + 1] += 1;
+            total += 1;
+        });
+        for i in 0..lists {
+            self.start[i + 1] += self.start[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.start[..lists]);
+        self.flat.clear();
+        self.flat.resize(total as usize, 0);
+        pairs(&mut |list, item| {
+            let c = &mut self.cursor[list as usize];
+            self.flat[*c as usize] = item;
+            *c += 1;
+        });
+    }
+
+    /// The items of list `x`, in insertion order.
+    #[inline]
+    pub(crate) fn list(&self, x: usize) -> &[u32] {
+        &self.flat[self.start[x] as usize..self.start[x + 1] as usize]
+    }
+}
+
+/// Scratch buffers for the policy-cycle scan of Howard's algorithm.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PolicyCycleScratch {
+    pub(crate) visited_by: Vec<u32>,
+    pub(crate) pos_in_walk: Vec<u32>,
+    pub(crate) walk: Vec<u32>,
+    /// The minimum-ratio policy cycle found by the latest scan.
+    pub(crate) best_cycle: Vec<ArcId>,
+}
+
+/// Scratch buffers for the Bellman–Ford negative-cycle oracle.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct BellmanScratch {
+    /// Scaled arc costs of `G_λ` (input to the oracle).
+    pub(crate) cost: Vec<i128>,
+    /// Shifted costs used by the non-strict (≤ 0) cycle test.
+    pub(crate) cost_shifted: Vec<i128>,
+    pub(crate) dist: Vec<i128>,
+    pub(crate) parent: Vec<u32>,
+    /// The negative cycle found by the latest failed feasibility check.
+    pub(crate) cycle: Vec<ArcId>,
+}
+
+/// Scratch buffers for the critical-subgraph DFS.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct DfsScratch {
+    /// `(node, next out-index)` call stack.
+    pub(crate) stack: Vec<(u32, u32)>,
+    /// Arcs of the current DFS path.
+    pub(crate) arc_stack: Vec<u32>,
+    /// Position of each gray node's incoming arc on `arc_stack`.
+    pub(crate) pos: Vec<u32>,
+}
+
+/// Per-thread scratch state threaded through every SCC solver by the
+/// driver. Create one per worker (or one for a whole sequential run)
+/// and reuse it across components; see the module docs for what it
+/// buys and why results stay bit-identical.
+///
+/// `Workspace::new()` allocates nothing — buffers grow on first use.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    /// Howard: current policy (one out-arc per node).
+    pub(crate) policy: Vec<ArcId>,
+    /// Howard (fig. 1): `f64` node distances, persisted across
+    /// iterations.
+    pub(crate) dist_f64: Vec<f64>,
+    /// Howard (exact): scaled-integer node distances.
+    pub(crate) dist_scaled: Vec<i128>,
+    pub(crate) cycles: PolicyCycleScratch,
+    /// Reverse-policy adjacency, rebuilt each policy iteration.
+    pub(crate) rev: RevCsr,
+    /// BFS queue.
+    pub(crate) queue: Vec<u32>,
+    pub(crate) marks: Marks,
+    pub(crate) bf: BellmanScratch,
+    pub(crate) dfs: DfsScratch,
+}
+
+impl Workspace {
+    /// A fresh workspace. No allocation happens until first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_epochs_do_not_collide() {
+        let mut m = Marks::default();
+        let e1 = m.next(4);
+        m.mark[2] = e1;
+        let e2 = m.next(4);
+        assert_ne!(e1, e2);
+        assert!(m.mark[2] != e2, "stale mark leaked into the new epoch");
+        let (a, b) = m.next_pair(4);
+        assert_eq!(b, a + 1);
+        assert!(m.mark[2] != a && m.mark[2] != b);
+    }
+
+    #[test]
+    fn marks_survive_wraparound() {
+        let mut m = Marks {
+            mark: vec![0; 3],
+            epoch: u32::MAX - 2,
+        };
+        let e1 = m.next(3);
+        m.mark[0] = e1;
+        let (a, b) = m.next_pair(3); // forces the wrap path
+        assert!(m.mark[0] != a && m.mark[0] != b, "wrap must clear stale stamps");
+    }
+
+    #[test]
+    fn csr_preserves_insertion_order() {
+        // Pairs emitted in source order 0..5, lists keyed by item % 2.
+        let mut csr = RevCsr::default();
+        csr.build(2, |emit| {
+            for v in 0u32..5 {
+                emit(v % 2, v);
+            }
+        });
+        assert_eq!(csr.list(0), &[0, 2, 4]);
+        assert_eq!(csr.list(1), &[1, 3]);
+        // Rebuild with different shape reuses the buffers.
+        csr.build(3, |emit| {
+            emit(2, 7);
+            emit(0, 9);
+        });
+        assert_eq!(csr.list(0), &[9]);
+        assert_eq!(csr.list(1), &[] as &[u32]);
+        assert_eq!(csr.list(2), &[7]);
+    }
+
+    #[test]
+    fn workspace_new_is_empty() {
+        let ws = Workspace::new();
+        assert!(ws.policy.is_empty());
+        assert!(ws.bf.dist.is_empty());
+        assert_eq!(ws.rev.start.capacity(), 0);
+    }
+}

@@ -40,6 +40,19 @@ impl HeapCounters {
     pub fn total(&self) -> u64 {
         self.inserts + self.decrease_keys + self.delete_mins + self.removals
     }
+
+    /// Accumulates `other` into `self` with saturating addition, so
+    /// merging per-thread counters can never wrap even on pathological
+    /// totals. Saturating addition is commutative and associative,
+    /// making the merged totals independent of merge order — the
+    /// property the parallel solver driver relies on for deterministic
+    /// instrumentation.
+    pub fn merge(&mut self, other: &HeapCounters) {
+        self.inserts = self.inserts.saturating_add(other.inserts);
+        self.decrease_keys = self.decrease_keys.saturating_add(other.decrease_keys);
+        self.delete_mins = self.delete_mins.saturating_add(other.delete_mins);
+        self.removals = self.removals.saturating_add(other.removals);
+    }
 }
 
 impl std::ops::Add for HeapCounters {

@@ -44,4 +44,4 @@ pub mod scc;
 pub mod traverse;
 
 pub use graph::{ArcId, Graph, GraphBuilder, NodeId};
-pub use scc::{condensation, SccDecomposition};
+pub use scc::{condensation, SccDecomposition, SubgraphExtractor};

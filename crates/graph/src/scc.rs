@@ -145,11 +145,63 @@ impl SccDecomposition {
     /// original [`NodeId`], and the mapping from subgraph arc index to
     /// original [`ArcId`]. Only arcs with both endpoints inside the
     /// component are kept; weights and transit times are preserved.
+    ///
+    /// Allocates a fresh node-translation table per call; batch callers
+    /// extracting many components should use a [`SubgraphExtractor`].
     pub fn component_subgraph(&self, g: &Graph, c: usize) -> (Graph, Vec<NodeId>, Vec<ArcId>) {
         let nodes = &self.comp_nodes[c];
-        let mut local_of = vec![u32::MAX; g.num_nodes()];
+        let mut ex = SubgraphExtractor::new(g.num_nodes());
+        let (sub, arc_map) = ex.extract(g, nodes);
+        (sub, nodes.clone(), arc_map)
+    }
+}
+
+/// Reusable scratch state for extracting many node-induced subgraphs of
+/// the same host graph without re-allocating the `O(n)` translation
+/// table each time.
+///
+/// The per-SCC solver driver extracts every cyclic component up front;
+/// with `k` components a naive loop performs `k` allocations of
+/// `n · 4` bytes and `O(kn)` initialization. The extractor allocates the
+/// table once and resets only the entries it touched.
+///
+/// ```
+/// use mcr_graph::{graph::from_arc_list, scc::SubgraphExtractor, SccDecomposition};
+/// let g = from_arc_list(4, &[(0, 1, 1), (1, 0, 1), (2, 3, 5), (3, 2, 5)]);
+/// let scc = SccDecomposition::new(&g);
+/// let mut ex = SubgraphExtractor::new(g.num_nodes());
+/// for c in 0..scc.num_components() {
+///     let (sub, arc_map) = ex.extract(&g, scc.component(c));
+///     assert_eq!(sub.num_nodes(), 2);
+///     assert_eq!(arc_map.len(), 2);
+/// }
+/// ```
+#[derive(Clone, Debug)]
+pub struct SubgraphExtractor {
+    /// `local_of[v] == u32::MAX` outside an `extract` call; only entries
+    /// for the current node set are populated, and they are restored on
+    /// the way out.
+    local_of: Vec<u32>,
+}
+
+impl SubgraphExtractor {
+    /// Creates an extractor for host graphs of up to `num_nodes` nodes
+    /// (the table grows on demand if a larger graph shows up).
+    pub fn new(num_nodes: usize) -> Self {
+        SubgraphExtractor {
+            local_of: vec![u32::MAX; num_nodes],
+        }
+    }
+
+    /// Extracts the subgraph induced by `nodes` (weights and transit
+    /// times preserved), plus the map from subgraph arc index to the
+    /// host graph's [`ArcId`]. Node `i` of the subgraph is `nodes[i]`.
+    pub fn extract(&mut self, g: &Graph, nodes: &[NodeId]) -> (Graph, Vec<ArcId>) {
+        if self.local_of.len() < g.num_nodes() {
+            self.local_of.resize(g.num_nodes(), u32::MAX);
+        }
         for (i, &v) in nodes.iter().enumerate() {
-            local_of[v.index()] = i as u32;
+            self.local_of[v.index()] = i as u32;
         }
         let mut b = GraphBuilder::with_capacity(nodes.len(), nodes.len() * 2);
         b.add_nodes(nodes.len());
@@ -157,10 +209,10 @@ impl SccDecomposition {
         for &v in nodes {
             for &a in g.out_arcs(v) {
                 let t = g.target(a);
-                let lt = local_of[t.index()];
+                let lt = self.local_of[t.index()];
                 if lt != u32::MAX {
                     b.add_arc_with_transit(
-                        NodeId::new(local_of[v.index()] as usize),
+                        NodeId::new(self.local_of[v.index()] as usize),
                         NodeId::new(lt as usize),
                         g.weight(a),
                         g.transit(a),
@@ -169,7 +221,10 @@ impl SccDecomposition {
                 }
             }
         }
-        (b.build(), nodes.clone(), arc_map)
+        for &v in nodes {
+            self.local_of[v.index()] = u32::MAX;
+        }
+        (b.build(), arc_map)
     }
 }
 
@@ -316,6 +371,43 @@ mod tests {
             scc.component_of(NodeId::new(0)),
             scc.component_of(NodeId::new(2))
         );
+    }
+
+    #[test]
+    fn extractor_reuse_matches_one_shot_extraction() {
+        // Three disjoint rings; extracting them through one extractor
+        // must give the same subgraphs as fresh per-component calls.
+        let g = from_arc_list(
+            6,
+            &[(0, 1, 1), (1, 0, 2), (2, 3, 3), (3, 2, 4), (4, 5, 5), (5, 4, 6)],
+        );
+        let scc = SccDecomposition::new(&g);
+        let mut ex = SubgraphExtractor::new(g.num_nodes());
+        for c in 0..scc.num_components() {
+            let (sub_a, arcs_a) = ex.extract(&g, scc.component(c));
+            let (sub_b, _, arcs_b) = scc.component_subgraph(&g, c);
+            assert_eq!(arcs_a, arcs_b);
+            assert_eq!(sub_a.num_nodes(), sub_b.num_nodes());
+            assert_eq!(sub_a.num_arcs(), sub_b.num_arcs());
+            for a in sub_a.arc_ids() {
+                assert_eq!(sub_a.source(a), sub_b.source(a));
+                assert_eq!(sub_a.target(a), sub_b.target(a));
+                assert_eq!(sub_a.weight(a), sub_b.weight(a));
+                assert_eq!(sub_a.transit(a), sub_b.transit(a));
+            }
+        }
+    }
+
+    #[test]
+    fn extractor_grows_for_larger_graphs() {
+        let small = from_arc_list(2, &[(0, 1, 1), (1, 0, 1)]);
+        let big = from_arc_list(10, &[(8, 9, 2), (9, 8, 2)]);
+        let mut ex = SubgraphExtractor::new(small.num_nodes());
+        let (sub, _) = ex.extract(&small, &[NodeId::new(0), NodeId::new(1)]);
+        assert_eq!(sub.num_arcs(), 2);
+        let (sub, arcs) = ex.extract(&big, &[NodeId::new(8), NodeId::new(9)]);
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(arcs.len(), 2);
     }
 
     #[test]

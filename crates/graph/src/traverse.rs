@@ -135,7 +135,7 @@ mod tests {
     fn topo_order_respects_arcs() {
         let g = from_arc_list(6, &[(5, 0, 1), (5, 2, 1), (4, 0, 1), (4, 1, 1), (2, 3, 1), (3, 1, 1)]);
         let order = topological_order(&g).expect("dag");
-        let mut pos = vec![0usize; 6];
+        let mut pos = [0usize; 6];
         for (i, v) in order.iter().enumerate() {
             pos[v.index()] = i;
         }

@@ -22,9 +22,9 @@ fn arbitrary_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Graph> {
 fn reachable(g: &Graph) -> Vec<Vec<bool>> {
     let n = g.num_nodes();
     let mut r = vec![vec![false; n]; n];
-    for s in 0..n {
+    for (s, row) in r.iter_mut().enumerate() {
         for v in bfs_order(g, NodeId::new(s)) {
-            r[s][v.index()] = true;
+            row[v.index()] = true;
         }
     }
     r
@@ -37,10 +37,10 @@ proptest! {
     fn components_are_mutual_reachability_classes(g in arbitrary_graph(24, 80)) {
         let scc = SccDecomposition::new(&g);
         let r = reachable(&g);
-        for u in 0..g.num_nodes() {
-            for v in 0..g.num_nodes() {
+        for (u, row) in r.iter().enumerate() {
+            for (v, &forward) in row.iter().enumerate() {
                 let same = scc.component_of(NodeId::new(u)) == scc.component_of(NodeId::new(v));
-                let mutual = r[u][v] && r[v][u];
+                let mutual = forward && r[v][u];
                 prop_assert_eq!(same, mutual, "nodes {} and {}", u, v);
             }
         }

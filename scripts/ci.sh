@@ -1,0 +1,19 @@
+#!/bin/sh
+# Tier-1 gate: what must stay green on every change.
+#   scripts/ci.sh
+# Runs the release build, the full workspace test suite, and clippy
+# with warnings denied on the crates the solver stack touches.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "=== cargo build --release ==="
+cargo build --workspace --release
+
+echo "=== cargo test (workspace) ==="
+cargo test -q --workspace
+
+echo "=== cargo clippy -D warnings (solver stack) ==="
+cargo clippy -q -p mcr-graph -p mcr-core -p mcr-cli -p mcr-bench \
+    --all-targets -- -D warnings
+
+echo "CI gate passed."

@@ -54,7 +54,7 @@ pub use mcr_gen as gen;
 pub use mcr_graph as graph;
 
 pub use mcr_core::{
-    maximum_cycle_mean, maximum_cycle_ratio, minimum_cycle_mean, minimum_cycle_ratio, Algorithm,
-    Counters, Guarantee, Ratio64, Solution,
+    maximum_cycle_mean, maximum_cycle_ratio, minimum_cycle_mean, minimum_cycle_mean_opts,
+    minimum_cycle_ratio, Algorithm, Counters, Guarantee, Ratio64, Solution, SolveOptions,
 };
 pub use mcr_graph::{ArcId, Graph, GraphBuilder, NodeId};

@@ -1,0 +1,230 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment has no network and no registry cache, so the
+//! workspace vendors a minimal wall-clock harness exposing the subset
+//! of the criterion 0.5 API its benches use: `criterion_group!` /
+//! `criterion_main!`, [`Criterion::benchmark_group`],
+//! `sample_size`, `bench_function`, `bench_with_input`,
+//! [`BenchmarkId::new`], and [`Bencher::iter`].
+//!
+//! Reporting is intentionally simple: each benchmark prints its median,
+//! minimum, and mean per-iteration time over `sample_size` samples.
+//! There is no statistical outlier analysis, warm-up tuning, or HTML
+//! report — numbers are honest wall-clock medians, suitable for
+//! relative comparisons on a quiet machine.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifies a bench as `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        let name = function_name.into();
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Passed to the closure under measurement; [`Bencher::iter`] runs and
+/// times the workload.
+pub struct Bencher {
+    samples: usize,
+    /// Median/min/mean per-iteration nanoseconds, filled by `iter`.
+    result: Option<(u128, u128, u128)>,
+}
+
+impl Bencher {
+    /// Times `routine`, returning control once enough samples are
+    /// collected. Each sample runs the routine enough times to exceed a
+    /// small time floor so cheap routines are not dominated by clock
+    /// granularity.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and per-sample iteration-count calibration.
+        let mut iters_per_sample = 1u64;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            if start.elapsed() >= Duration::from_millis(2) || iters_per_sample >= 1 << 20 {
+                break;
+            }
+            iters_per_sample *= 4;
+        }
+        let mut per_iter: Vec<u128> = (0..self.samples)
+            .map(|_| {
+                let start = Instant::now();
+                for _ in 0..iters_per_sample {
+                    std::hint::black_box(routine());
+                }
+                start.elapsed().as_nanos() / iters_per_sample as u128
+            })
+            .collect();
+        per_iter.sort_unstable();
+        let median = per_iter[per_iter.len() / 2];
+        let min = per_iter[0];
+        let mean = per_iter.iter().sum::<u128>() / per_iter.len() as u128;
+        self.result = Some((median, min, mean));
+    }
+}
+
+fn human(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn run_one(full_name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    match b.result {
+        Some((median, min, mean)) => println!(
+            "bench {full_name:<50} median {:>12}   min {:>12}   mean {:>12}",
+            human(median),
+            human(min),
+            human(mean),
+        ),
+        None => println!("bench {full_name:<50} (no measurement: iter was never called)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    samples: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of timing samples per benchmark (floor of 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(5);
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        run_one(&format!("{}/{}", self.name, id), self.samples, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.samples,
+            &mut |b| f(b, input),
+        );
+        self
+    }
+
+    pub fn finish(&mut self) {}
+}
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        BenchmarkGroup {
+            name: name.into(),
+            samples,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let samples = if self.samples == 0 { 10 } else { self.samples };
+        run_one(&id.to_string(), samples, &mut f);
+        self
+    }
+}
+
+/// Re-export for benches that import it from criterion rather than
+/// `std::hint` (upstream provides both).
+pub use std::hint::black_box;
+
+/// Declares a function running each listed benchmark function against a
+/// fresh [`Criterion`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut b = Bencher {
+            samples: 5,
+            result: None,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        let (median, min, mean) = b.result.expect("measured");
+        assert!(min <= median && median <= mean * 2);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        group.bench_function("sum", |b| b.iter(|| (0..10u64).product::<u64>()));
+        group.bench_with_input(BenchmarkId::new("with_input", 3), &3u64, |b, &k| {
+            b.iter(|| k * 2)
+        });
+        group.finish();
+    }
+}

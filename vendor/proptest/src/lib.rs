@@ -1,0 +1,546 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no network and no registry cache, so the
+//! workspace vendors a clean-room property-testing kernel exposing the
+//! subset of the proptest 1.x API its tests actually use:
+//!
+//! * the [`proptest!`] macro (with `#![proptest_config(..)]`),
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_oneof!`],
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`,
+//! * integer range strategies, tuple strategies, [`strategy::Just`],
+//! * [`collection::vec`],
+//! * string strategies from mini-regex patterns (`".{0,400}"`,
+//!   `"[a-z ]{0,12}"`).
+//!
+//! Differences from upstream: no shrinking (a failing case panics with
+//! the assertion message and the case number), uniform `prop_oneof!`
+//! arms, and a fixed deterministic seed derived from the test name so
+//! failures reproduce across runs.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// A generator of test values. Object safe: combinator methods are
+    /// `Self: Sized`, so `Box<dyn Strategy<Value = V>>` works for
+    /// [`prop_oneof!`](crate::prop_oneof).
+    pub trait Strategy {
+        type Value;
+
+        /// Produce one value for a test case.
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { base: self, f }
+        }
+
+        /// Use a generated value to pick a dependent strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { base: self, f }
+        }
+
+        /// Erase the concrete type (used by [`prop_oneof!`](crate::prop_oneof)).
+        fn boxed(self) -> Box<dyn Strategy<Value = Self::Value>>
+        where
+            Self: Sized + 'static,
+        {
+            Box::new(self)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for Box<S> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+            (**self).new_value(rng)
+        }
+    }
+
+    /// Always produces a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+        type Value = T;
+        fn new_value(&self, rng: &mut StdRng) -> T {
+            (self.f)(self.base.new_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        base: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.base.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives.
+    pub struct Union<V> {
+        arms: Vec<Box<dyn Strategy<Value = V>>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(arms: Vec<Box<dyn Strategy<Value = V>>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<V> Strategy for Union<V> {
+        type Value = V;
+        fn new_value(&self, rng: &mut StdRng) -> V {
+            let i = rng.gen_range(0..self.arms.len());
+            self.arms[i].new_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident / $idx:tt),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(S0 / 0);
+    impl_tuple_strategy!(S0 / 0, S1 / 1);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4);
+    impl_tuple_strategy!(S0 / 0, S1 / 1, S2 / 2, S3 / 3, S4 / 4, S5 / 5);
+
+    // ---- mini-regex string strategies ------------------------------
+
+    enum Atom {
+        /// `.` — any printable ASCII character.
+        Any,
+        /// `[...]` — explicit ranges/characters.
+        Class(Vec<(char, char)>),
+        /// A literal character.
+        Lit(char),
+    }
+
+    struct Piece {
+        atom: Atom,
+        lo: usize,
+        hi: usize,
+    }
+
+    /// Parses the tiny regex subset the workspace uses: atoms `.`,
+    /// `[class]`, literals and `\x` escapes, with quantifiers `{a}`,
+    /// `{a,b}`, `*`, `+`, `?`.
+    fn parse_pattern(pat: &str) -> Vec<Piece> {
+        let chars: Vec<char> = pat.chars().collect();
+        let mut i = 0;
+        let mut out = Vec::new();
+        while i < chars.len() {
+            let atom = match chars[i] {
+                '.' => {
+                    i += 1;
+                    Atom::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let c = chars[i];
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            ranges.push((c, chars[i + 2]));
+                            i += 3;
+                        } else {
+                            ranges.push((c, c));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated class in pattern {pat:?}");
+                    i += 1; // ']'
+                    Atom::Class(ranges)
+                }
+                '\\' => {
+                    assert!(i + 1 < chars.len(), "dangling escape in pattern {pat:?}");
+                    let c = chars[i + 1];
+                    i += 2;
+                    Atom::Lit(c)
+                }
+                c => {
+                    i += 1;
+                    Atom::Lit(c)
+                }
+            };
+            let (lo, hi) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated quantifier")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse().expect("bad quantifier"),
+                                b.trim().parse().expect("bad quantifier"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("bad quantifier");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 8)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 8)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(lo <= hi, "inverted quantifier in pattern {pat:?}");
+            out.push(Piece { atom, lo, hi });
+        }
+        out
+    }
+
+    /// A `&str` acts as a strategy generating strings matching it as a
+    /// (mini-)regex, mirroring upstream proptest.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn new_value(&self, rng: &mut StdRng) -> String {
+            let pieces = parse_pattern(self);
+            let mut s = String::new();
+            for p in &pieces {
+                let count = rng.gen_range(p.lo..=p.hi);
+                for _ in 0..count {
+                    let c = match &p.atom {
+                        Atom::Any => char::from(rng.gen_range(0x20u8..=0x7E)),
+                        Atom::Lit(c) => *c,
+                        Atom::Class(ranges) => {
+                            let (a, b) = ranges[rng.gen_range(0..ranges.len())];
+                            char::from_u32(rng.gen_range(a as u32..=b as u32))
+                                .unwrap_or(a)
+                        }
+                    };
+                    s.push(c);
+                }
+            }
+            s
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Length specification for [`vec`]: an exact size or a half-open
+    /// range of sizes, mirroring upstream's `SizeRange` conversions.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: SizeRange,
+    }
+
+    /// Strategy for vectors whose elements come from `elem` and whose
+    /// length lies in `size`.
+    pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            elem,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.elem.new_value(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration; only `cases` is consulted.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    fn fnv1a(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+
+    /// Executes `body` for `config.cases` deterministic cases. The RNG
+    /// seed is a hash of the test name, so reruns reproduce failures.
+    pub fn run<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), String>,
+    {
+        let mut rng = StdRng::seed_from_u64(fnv1a(test_name));
+        for case in 0..config.cases {
+            if let Err(msg) = body(&mut rng) {
+                panic!(
+                    "proptest {test_name}: case {case}/{} failed: {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}
+
+/// The subset of `proptest::prelude` this workspace imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+/// Defines deterministic property tests. Accepts an optional leading
+/// `#![proptest_config(expr)]` and any number of test functions of the
+/// form `#[test] fn name(binding in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __proptest_config = $cfg;
+            let __proptest_strats = ($($strat,)+);
+            $crate::test_runner::run(
+                stringify!($name),
+                &__proptest_config,
+                |__proptest_rng| {
+                    let ($(ref $arg,)+) = __proptest_strats;
+                    $(let $arg = $crate::strategy::Strategy::new_value($arg, __proptest_rng);)+
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+/// Soft assertion inside a [`proptest!`] body: on failure the current
+/// case is reported with the message (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// Soft equality assertion inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left), stringify!($right), __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return Err(format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                format!($($fmt)+), __l, __r
+            ));
+        }
+    }};
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in -50i64..50, y in 0usize..10) {
+            prop_assert!(x >= -50 && x < 50);
+            prop_assert!(y < 10);
+        }
+
+        #[test]
+        fn maps_and_tuples_compose(v in (0u32..5, 10u32..20).prop_map(|(a, b)| a + b)) {
+            prop_assert!((10..25).contains(&v));
+        }
+
+        #[test]
+        fn oneof_picks_every_arm(x in prop_oneof![Just(1u8), Just(2u8), (5u8..7).prop_map(|v| v)]) {
+            prop_assert!(x == 1 || x == 2 || x == 5 || x == 6);
+        }
+
+        #[test]
+        fn vec_respects_size(v in crate::collection::vec(0i64..100, 3..6)) {
+            prop_assert!(v.len() >= 3 && v.len() < 6);
+            prop_assert!(v.iter().all(|&e| (0..100).contains(&e)));
+        }
+
+        #[test]
+        fn string_patterns_match_shape(s in "[a-z ]{0,12}", t in ".{0,40}") {
+            prop_assert!(s.len() <= 12);
+            prop_assert!(s.chars().all(|c| c.is_ascii_lowercase() || c == ' '));
+            prop_assert!(t.chars().count() <= 40);
+        }
+
+        #[test]
+        fn flat_map_depends_on_base(v in (1usize..8).prop_flat_map(|n| crate::collection::vec(0usize..n, n))) {
+            let n = v.len();
+            prop_assert!((1..8).contains(&n));
+            prop_assert!(v.iter().all(|&e| e < n));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "case")]
+    fn failing_property_panics_with_case_info() {
+        crate::test_runner::run(
+            "always_fails",
+            &ProptestConfig::with_cases(4),
+            |_| Err("boom".to_string()),
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network and no registry cache, so the
+//! workspace vendors a minimal clean-room implementation of the narrow
+//! `rand 0.8` surface it actually uses:
+//!
+//! * [`rngs::StdRng`] — a deterministic 64-bit generator,
+//! * [`SeedableRng::seed_from_u64`],
+//! * [`Rng::gen_range`] over integer `Range` / `RangeInclusive` bounds.
+//!
+//! The byte stream is NOT the upstream `StdRng` (ChaCha12) stream — it
+//! is a SplitMix64-seeded xoshiro256**. Nothing in this workspace
+//! depends on the exact stream, only on determinism: every generator
+//! config is a pure function of its seed, which this crate guarantees.
+
+/// Seeding interface: everything this workspace seeds comes from a
+/// `u64` experiment seed.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Sampling interface over integer ranges.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (`a..b` or `a..=b`). Panics on an
+    /// empty range, like upstream.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+}
+
+/// A primitive type that supports uniform sampling between two bounds.
+///
+/// Mirrors upstream's structure: `SampleRange` has blanket impls over
+/// any `SampleUniform` element so integer-literal ranges unify with the
+/// surrounding expression type instead of falling back to `i32`.
+pub trait SampleUniform: Sized {
+    fn sample_between<G: Rng + ?Sized>(rng: &mut G, lo: Self, hi: Self, inclusive: bool) -> Self;
+}
+
+/// A range type that can produce a uniform sample (`a..b`, `a..=b`).
+pub trait SampleRange<T> {
+    fn sample_single<G: Rng + ?Sized>(self, rng: &mut G) -> T;
+}
+
+impl<T: SampleUniform + PartialOrd> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_between(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<G: Rng + ?Sized>(self, rng: &mut G) -> T {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "cannot sample empty range");
+        T::sample_between(rng, lo, hi, true)
+    }
+}
+
+/// Debiased bounded sample in `[0, span)` via Lemire-style widening
+/// multiply with rejection.
+fn bounded(rng: &mut (impl Rng + ?Sized), span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Zone rejection keeps the distribution exactly uniform.
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        if (m as u64) <= zone {
+            return (m >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty => $u:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_between<G: Rng + ?Sized>(
+                rng: &mut G,
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+            ) -> Self {
+                let width = (hi as $u).wrapping_sub(lo as $u);
+                let span = if inclusive { width.wrapping_add(1) } else { width };
+                if span == 0 {
+                    // Inclusive range covering the full domain.
+                    return rng.next_u64() as $t;
+                }
+                let off = bounded(rng, span as u64) as $u;
+                (lo as $u).wrapping_add(off) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+);
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic standard generator: xoshiro256** seeded through
+    /// SplitMix64 (the reference seeding procedure for the xoshiro
+    /// family).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let [s0, s1, s2, s3] = self.s;
+            let result = s1.wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = s1 << 17;
+            let mut s = [s0, s1, s2, s3];
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            self.s = s;
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x: i64 = rng.gen_range(-50..50);
+            assert!((-50..50).contains(&x));
+            let y: usize = rng.gen_range(0..17);
+            assert!(y < 17);
+            let z: i64 = rng.gen_range(-3..=3);
+            assert!((-3..=3).contains(&z));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_the_range() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0usize..10)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn singleton_inclusive_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10 {
+            assert_eq!(rng.gen_range(5i64..=5), 5);
+        }
+    }
+}

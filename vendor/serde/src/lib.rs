@@ -1,0 +1,124 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network and no registry cache. The
+//! workspace's `serde` support is an **optional, off-by-default**
+//! feature, but Cargo still needs the dependency to resolve; this crate
+//! provides the trait skeleton (`Serialize`, `Deserialize`,
+//! `Serializer`, `Deserializer`, the `ser`/`de` error traits) so the
+//! manifests and default builds work offline.
+//!
+//! Limitations, stated plainly: there are no derive macros here, so
+//! building the workspace **with** `--features serde` requires the real
+//! serde crate. The stub exists to keep `cargo build` / `cargo test`
+//! (default features) fully functional without a registry.
+
+use std::fmt::Display;
+
+pub mod ser {
+    use super::Display;
+
+    /// Error constructor used by manual `Serialize` impls.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+pub mod de {
+    use super::Display;
+
+    /// Error constructor used by manual `Deserialize` impls.
+    pub trait Error: Sized {
+        fn custom<T: Display>(msg: T) -> Self;
+    }
+}
+
+/// A type that can be serialized through any [`Serializer`].
+pub trait Serialize {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error>;
+}
+
+/// A minimal self-describing serializer over the primitive subset the
+/// workspace's manual impls emit.
+pub trait Serializer: Sized {
+    type Ok;
+    type Error: ser::Error;
+
+    fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+    fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+    fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A type that can be deserialized through any [`Deserializer`].
+pub trait Deserialize<'de>: Sized {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error>;
+}
+
+/// A minimal deserializer over the same primitive subset.
+pub trait Deserializer<'de>: Sized {
+    type Error: de::Error;
+
+    fn deserialize_bool(self) -> Result<bool, Self::Error>;
+    fn deserialize_i64(self) -> Result<i64, Self::Error>;
+    fn deserialize_u64(self) -> Result<u64, Self::Error>;
+    fn deserialize_f64(self) -> Result<f64, Self::Error>;
+    fn deserialize_string(self) -> Result<String, Self::Error>;
+}
+
+macro_rules! impl_primitive {
+    ($($t:ty => $ser:ident / $de:ident / $conv:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$ser(*self as $conv)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+                Ok(deserializer.$de()? as $t)
+            }
+        }
+    )*};
+}
+
+impl_primitive!(
+    i8 => serialize_i64 / deserialize_i64 / i64,
+    i16 => serialize_i64 / deserialize_i64 / i64,
+    i32 => serialize_i64 / deserialize_i64 / i64,
+    i64 => serialize_i64 / deserialize_i64 / i64,
+    u8 => serialize_u64 / deserialize_u64 / u64,
+    u16 => serialize_u64 / deserialize_u64 / u64,
+    u32 => serialize_u64 / deserialize_u64 / u64,
+    u64 => serialize_u64 / deserialize_u64 / u64,
+    f64 => serialize_f64 / deserialize_f64 / f64,
+);
+
+impl Serialize for bool {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bool(*self)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_bool()
+    }
+}
+
+impl Serialize for str {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl Serialize for String {
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        deserializer.deserialize_string()
+    }
+}
