@@ -117,7 +117,9 @@ pub fn run_timed_lambda_opts(
     opts: &SolveOptions,
 ) -> (Duration, Option<(mcr_core::Ratio64, mcr_core::Counters)>) {
     let start = Instant::now();
-    let out = alg.solve_lambda_only_opts(g, opts);
+    // Budget-exhausted or out-of-range seeds yield `None`, so a bounded
+    // sweep records the miss and moves on instead of aborting the run.
+    let out = alg.solve_lambda_only_opts(g, opts).ok();
     (start.elapsed(), out)
 }
 

@@ -10,8 +10,19 @@
 //!     --epsilon X       precision for approximate algorithms
 //!     --threads N       worker threads for the per-SCC driver
 //!                       (default: available parallelism; 1 = sequential)
+//!     --budget SPEC     work limits, comma-separated `key=value` terms:
+//!                       iters=N (outer-loop iterations per SCC attempt),
+//!                       refine=N (lambda refinements per SCC attempt),
+//!                       time=DUR (wall clock, e.g. 500ms, 2s, 1.5)
+//!     --fallback CHAIN  `none`, or comma-separated algorithm names tried
+//!                       in order when the primary fails recoverably
+//!                       (default: howard-exact,karp,lawler-exact)
 //!     --critical        also print the critical subgraph
 //!     --counters        also print operation counts
+//!
+//! Exit codes: 0 success, 1 input or usage error, 2 budget exhausted,
+//! 3 certification failure (a solved instance whose witness cycle does
+//! not reproduce the reported lambda — a solver bug, never silent).
 //!
 //! mcr gen sprand N M [--seed S] [--wmin A] [--wmax B] [--tmin A --tmax B]
 //! mcr gen circuit N   [--seed S]
@@ -24,7 +35,10 @@
 //! ```
 
 use mcr_core::critical::critical_subgraph;
-use mcr_core::{ratio, Algorithm, Guarantee, Solution, SolveOptions};
+use mcr_core::{
+    certify, ratio, Algorithm, Budget, FallbackChain, Guarantee, Solution, SolveError,
+    SolveOptions,
+};
 use mcr_gen::circuit::{circuit_graph, CircuitConfig};
 use mcr_gen::sprand::{sprand, SprandConfig};
 use mcr_gen::transit::with_random_transits;
@@ -32,6 +46,35 @@ use mcr_graph::io::{read_dimacs, to_dot, write_dimacs};
 use mcr_graph::Graph;
 use std::io::Read;
 use std::process::ExitCode;
+use std::time::Duration;
+
+/// CLI failure, carrying the process exit code contract: input/usage
+/// errors exit 1, exhausted budgets exit 2, certification failures
+/// exit 3.
+enum CliError {
+    Input(String),
+    Budget(String),
+    Certify(String),
+}
+
+impl From<String> for CliError {
+    fn from(msg: String) -> Self {
+        CliError::Input(msg)
+    }
+}
+
+impl From<&str> for CliError {
+    fn from(msg: &str) -> Self {
+        CliError::Input(msg.to_string())
+    }
+}
+
+fn map_solve_err(e: SolveError) -> CliError {
+    match e {
+        SolveError::BudgetExhausted { .. } => CliError::Budget(e.to_string()),
+        other => CliError::Input(other.to_string()),
+    }
+}
 
 struct Args {
     positional: Vec<String>,
@@ -106,15 +149,99 @@ fn load_graph(path: Option<&str>) -> Result<Graph, String> {
     read_dimacs(&mut text.as_bytes()).map_err(|e| format!("parse error: {e}"))
 }
 
-/// `--threads N` → [`SolveOptions`]. The CLI defaults to `0`
-/// (auto-detect available parallelism); `--threads 1` forces the
-/// sequential legacy path. Results are identical either way.
+/// Parses a `--budget` spec: comma-separated `key=value` terms with
+/// keys `iters`, `refine`, `time` (`500ms`, `2s`, or plain seconds).
+fn parse_budget(spec: &str) -> Result<Budget, String> {
+    let mut budget = Budget::UNLIMITED;
+    for term in spec.split(',') {
+        let term = term.trim();
+        if term.is_empty() {
+            continue;
+        }
+        let (key, value) = term
+            .split_once('=')
+            .ok_or_else(|| format!("budget term `{term}` is not key=value"))?;
+        match key {
+            "iters" | "iterations" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid iteration budget `{value}`"))?;
+                budget = budget.max_iterations(n);
+            }
+            "refine" | "refinements" => {
+                let n: u64 = value
+                    .parse()
+                    .map_err(|_| format!("invalid refinement budget `{value}`"))?;
+                budget = budget.max_lambda_refinements(n);
+            }
+            "time" | "wall" => {
+                budget = budget.wall_time(parse_duration(value)?);
+            }
+            other => {
+                return Err(format!(
+                    "unknown budget resource `{other}` (use iters, refine, or time)"
+                ))
+            }
+        }
+    }
+    Ok(budget)
+}
+
+fn parse_duration(value: &str) -> Result<Duration, String> {
+    let (digits, scale) = if let Some(ms) = value.strip_suffix("ms") {
+        (ms, 1e-3)
+    } else if let Some(secs) = value.strip_suffix('s') {
+        (secs, 1.0)
+    } else {
+        (value, 1.0)
+    };
+    let amount: f64 = digits
+        .parse()
+        .map_err(|_| format!("invalid duration `{value}` (use e.g. 500ms, 2s)"))?;
+    if !(amount >= 0.0 && amount.is_finite()) {
+        return Err(format!("invalid duration `{value}`"));
+    }
+    Ok(Duration::from_secs_f64(amount * scale))
+}
+
+/// Parses a `--fallback` chain: `none`, or comma-separated algorithm
+/// names in attempt order.
+fn parse_fallback(spec: &str) -> Result<FallbackChain, String> {
+    if spec.eq_ignore_ascii_case("none") {
+        return Ok(FallbackChain::NONE);
+    }
+    let mut chain = Vec::new();
+    for name in spec.split(',') {
+        let name = name.trim();
+        if name.is_empty() {
+            continue;
+        }
+        chain.push(
+            algorithm_by_name(name)
+                .ok_or_else(|| format!("unknown fallback algorithm `{name}`"))?,
+        );
+    }
+    Ok(FallbackChain::new(&chain))
+}
+
+/// `--threads N` / `--budget SPEC` / `--fallback CHAIN` →
+/// [`SolveOptions`]. The CLI defaults to `--threads 0` (auto-detect
+/// available parallelism); `--threads 1` forces the sequential legacy
+/// path. Results are identical either way.
 fn solve_options(args: &Args, epsilon: f64) -> Result<SolveOptions, String> {
     let threads: usize = args.value_parsed("threads", 0)?;
-    Ok(SolveOptions {
+    let mut opts = SolveOptions {
         threads,
         epsilon: Some(epsilon),
-    })
+        ..SolveOptions::default()
+    };
+    if let Some(spec) = args.value("budget") {
+        opts.budget = parse_budget(spec)?;
+    }
+    if let Some(spec) = args.value("fallback") {
+        opts.fallback = parse_fallback(spec)?;
+    }
+    Ok(opts)
 }
 
 fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
@@ -166,7 +293,7 @@ fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
     }
 }
 
-fn cmd_solve(args: &Args) -> Result<(), String> {
+fn cmd_solve(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
     let alg_name = args.value("algorithm").unwrap_or("howard-exact");
     let alg = algorithm_by_name(alg_name)
@@ -180,23 +307,30 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
     let opts = solve_options(args, epsilon)?;
 
     let target = if maximize { g.negated() } else { g.clone() };
-    let sol = if ratio_mode {
+    // Unify the entry points into Ok(Some) = solved, Ok(None) =
+    // acyclic, Err = typed solver failure. The Option-returning ratio
+    // entries fold their (already-validated) failure modes into None.
+    let sol: Option<Solution> = if ratio_mode {
         if ratio::has_zero_transit_cycle(&target) {
             return Err("instance has a zero-transit cycle: ratio undefined".into());
         }
         match alg {
             Algorithm::Howard => ratio::howard_ratio(&target, epsilon),
-            Algorithm::HowardExact => ratio::howard_ratio_exact_opts(&target, &opts),
+            Algorithm::HowardExact => {
+                flatten_acyclic(ratio::howard_ratio_exact_opts(&target, &opts))?
+            }
             Algorithm::Burns | Algorithm::BurnsExact => ratio::burns_ratio(&target),
             Algorithm::Ko => ratio::parametric_ratio(&target, false),
             Algorithm::Yto => ratio::parametric_ratio(&target, true),
             Algorithm::Lawler => ratio::lawler_ratio(&target, epsilon),
-            Algorithm::LawlerExact => ratio::lawler_ratio_exact_opts(&target, &opts),
+            Algorithm::LawlerExact => {
+                flatten_acyclic(ratio::lawler_ratio_exact_opts(&target, &opts))?
+            }
             Algorithm::Megiddo => ratio::megiddo_ratio(&target),
             other => ratio::ratio_via_expansion(&target, other)?,
         }
     } else {
-        alg.solve_with_options(&target, &opts)
+        flatten_acyclic(alg.solve_with_options(&target, &opts))?
     };
     match sol {
         None => {
@@ -213,9 +347,31 @@ fn cmd_solve(args: &Args) -> Result<(), String> {
                 if ratio_mode { "cycle ratio" } else { "cycle mean" },
                 alg.name()
             );
+            if sol.solved_by != alg {
+                println!(
+                    "note: {} gave up within the budget; {} answered instead",
+                    alg.name(),
+                    sol.solved_by.name()
+                );
+            }
             print_solution(&g, &sol, maximize, args);
+            // Independent re-walk of the witness cycle: the reported
+            // lambda must be its exact mean or ratio in the input graph
+            // (negation commutes with both, so `g` works for --max too).
+            certify(&sol, &g).map_err(|e| CliError::Certify(e.to_string()))?;
+            println!("certificate: witness cycle reproduces lambda exactly");
             Ok(())
         }
+    }
+}
+
+/// Turns the non-error "no cycle" outcome back into `None`, leaving
+/// real failures (budget, overflow, ...) as typed errors.
+fn flatten_acyclic(r: Result<Solution, SolveError>) -> Result<Option<Solution>, CliError> {
+    match r {
+        Ok(sol) => Ok(Some(sol)),
+        Err(SolveError::Acyclic) => Ok(None),
+        Err(e) => Err(map_solve_err(e)),
     }
 }
 
@@ -278,7 +434,7 @@ fn cmd_dot(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_bench(args: &Args) -> Result<(), String> {
+fn cmd_bench(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
     let opts = solve_options(args, Algorithm::default_epsilon(&g))?;
     println!(
@@ -295,11 +451,13 @@ fn cmd_bench(args: &Args) -> Result<(), String> {
     for alg in Algorithm::ALL {
         let start = std::time::Instant::now();
         match alg.solve_lambda_only_opts(&g, &opts) {
-            None => {
+            Err(SolveError::Acyclic) => {
                 println!("{:<14} graph is acyclic", alg.name());
                 break;
             }
-            Some((lambda, counters)) => {
+            // A bounded bench records the miss and keeps sweeping.
+            Err(e) => println!("{:<14} {e}", alg.name()),
+            Ok((lambda, counters)) => {
                 println!(
                     "{:<14} {:>12} {:>14} {:>9} {:>12}",
                     alg.name(),
@@ -321,16 +479,24 @@ fn main() -> ExitCode {
     let args = Args::parse(&raw);
     let result = match args.positional.first().map(|s| s.as_str()) {
         Some("solve") => cmd_solve(&args),
-        Some("gen") => cmd_gen(&args),
-        Some("dot") => cmd_dot(&args),
+        Some("gen") => cmd_gen(&args).map_err(CliError::Input),
+        Some("dot") => cmd_dot(&args).map_err(CliError::Input),
         Some("bench") => cmd_bench(&args),
-        _ => Err(USAGE.to_string()),
+        _ => Err(CliError::Input(USAGE.to_string())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CliError::Input(e)) => {
             eprintln!("mcr: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(1)
+        }
+        Err(CliError::Budget(e)) => {
+            eprintln!("mcr: {e}");
+            ExitCode::from(2)
+        }
+        Err(CliError::Certify(e)) => {
+            eprintln!("mcr: certification failed: {e}");
+            ExitCode::from(3)
         }
     }
 }

@@ -13,7 +13,9 @@
 //! All arithmetic is exact (`i128` rationals), so the result is
 //! certified.
 
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -63,59 +65,67 @@ impl Rat {
         }
     }
 
-    fn checked(v: Option<i128>) -> i128 {
-        v.expect("Burns exact arithmetic overflow (i128)")
+    fn checked(v: Option<i128>) -> Result<i128, SolveError> {
+        v.ok_or(SolveError::Overflow {
+            context: "Burns exact arithmetic (i128)",
+        })
     }
 
     /// Knuth's gcd-first rational addition (TAOCP 4.5.1): keeps
     /// intermediates small when denominators share factors, which they
     /// overwhelmingly do in Burns' iterates.
-    fn add(self, o: Rat) -> Rat {
+    fn add(self, o: Rat) -> Result<Rat, SolveError> {
         let g = gcd(self.den, o.den).max(1);
         let t = Self::checked(
-            Self::checked(self.num.checked_mul(o.den / g))
-                .checked_add(Self::checked(o.num.checked_mul(self.den / g))),
-        );
+            Self::checked(self.num.checked_mul(o.den / g))?
+                .checked_add(Self::checked(o.num.checked_mul(self.den / g))?),
+        )?;
         let g2 = gcd(t, g).max(1);
-        Rat {
+        Ok(Rat {
             num: t / g2,
-            den: Self::checked((self.den / g).checked_mul(o.den / g2)),
-        }
+            den: Self::checked((self.den / g).checked_mul(o.den / g2))?,
+        })
     }
 
-    fn sub(self, o: Rat) -> Rat {
+    fn sub(self, o: Rat) -> Result<Rat, SolveError> {
         self.add(Rat {
             num: -o.num,
             den: o.den,
         })
     }
 
-    fn mul_int(self, k: i64) -> Rat {
+    fn mul_int(self, k: i64) -> Result<Rat, SolveError> {
         let k = k as i128;
         let g = gcd(k, self.den).max(1);
-        Rat {
-            num: Self::checked(self.num.checked_mul(k / g)),
+        Ok(Rat {
+            num: Self::checked(self.num.checked_mul(k / g))?,
             den: self.den / g,
-        }
+        })
     }
 
-    fn div_int(self, k: i64) -> Rat {
-        assert!(k != 0);
+    fn div_int(self, k: i64) -> Result<Rat, SolveError> {
+        debug_assert!(k != 0);
         let k = k as i128;
         let g = gcd(self.num, k).max(1);
-        Rat::new(self.num / g, Self::checked(self.den.checked_mul(k / g)))
+        Ok(Rat::new(
+            self.num / g,
+            Self::checked(self.den.checked_mul(k / g))?,
+        ))
     }
 
     fn is_zero(self) -> bool {
         self.num == 0
     }
 
-    fn lt(self, o: Rat) -> bool {
-        Self::checked(self.num.checked_mul(o.den)) < Self::checked(o.num.checked_mul(self.den))
+    fn lt(self, o: Rat) -> Result<bool, SolveError> {
+        Ok(Self::checked(self.num.checked_mul(o.den))?
+            < Self::checked(o.num.checked_mul(self.den))?)
     }
 
-    fn to_ratio64(self) -> Ratio64 {
-        Ratio64::from_i128(self.num, self.den)
+    fn to_ratio64(self) -> Result<Ratio64, SolveError> {
+        Ratio64::try_from_i128(self.num, self.den).ok_or(SolveError::Overflow {
+            context: "Burns dual value exceeds Ratio64 range",
+        })
     }
 }
 
@@ -172,7 +182,7 @@ pub(crate) fn cycle_in_arc_subgraph(g: &Graph, arcs: &[ArcId]) -> Option<Vec<Arc
 /// (compare paths by `(transit, weight)`): `λ₀` is the smallest event of
 /// any arc, `d₀(v) = a(v) − λ₀·k(v)`. With unit transit times this
 /// reduces to the classic `λ₀ = min w`, `d₀ = 0`.
-fn initial_pair(g: &Graph) -> (Rat, Vec<Rat>) {
+fn initial_pair(g: &Graph) -> Result<(Rat, Vec<Rat>), SolveError> {
     let n = g.num_nodes();
     let mut a = vec![0i64; n];
     let mut k = vec![0i64; n];
@@ -180,7 +190,12 @@ fn initial_pair(g: &Graph) -> (Rat, Vec<Rat>) {
     loop {
         let mut changed = false;
         rounds += 1;
-        assert!(rounds <= n + 1, "zero-transit cycle: ratio undefined");
+        if rounds > n + 1 {
+            // The lexicographic relaxation converges within n rounds
+            // unless some cycle has zero total transit time (its ratio
+            // is undefined, so the instance is invalid for MCRP).
+            return Err(SolveError::ZeroTransitCycle);
+        }
         for e in g.arc_ids() {
             let u = g.source(e).index();
             let v = g.target(e).index();
@@ -207,23 +222,37 @@ fn initial_pair(g: &Graph) -> (Rat, Vec<Rat>) {
             }
         }
     }
-    let lambda = lambda.expect("cyclic component has a positive-transit event");
+    // A cyclic component always has a positive-transit event once
+    // zero-transit cycles are ruled out above.
+    let lambda = lambda.ok_or(SolveError::ZeroTransitCycle)?;
     let lam = Rat::new(lambda.numer() as i128, lambda.denom() as i128);
-    let d: Vec<Rat> = (0..n)
-        .map(|v| Rat::from_int(a[v]).sub(lam.mul_int(k[v])))
-        .collect();
-    (lam, d)
+    let mut d = Vec::with_capacity(n);
+    for v in 0..n {
+        d.push(Rat::from_int(a[v]).sub(lam.mul_int(k[v])?)?);
+    }
+    Ok((lam, d))
 }
 
 /// Burns' algorithm on one strongly connected, cyclic component.
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
-    let (mut lambda, mut d) = initial_pair(g);
+    let (mut lambda, mut d) = initial_pair(g)?;
     let cap = 4 * (n as u64) * (n as u64) + 1_000;
+    let mut rounds = 0u64;
     let mut slack = vec![Rat::ZERO; g.num_arcs()];
     loop {
         counters.iterations += 1;
-        assert!(counters.iterations <= cap, "Burns exceeded its iteration cap");
+        scope.tick_iteration_and_time()?;
+        rounds += 1;
+        if rounds > cap {
+            return Err(SolveError::NumericRange {
+                context: "Burns exceeded its internal iteration cap",
+            });
+        }
 
         // Rebuild the critical (tight) subgraph from scratch.
         let mut tight: Vec<ArcId> = Vec::new();
@@ -232,10 +261,10 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
             let v = g.target(e).index();
             counters.relaxations += 1;
             let s = Rat::from_int(g.weight(e))
-                .sub(lambda.mul_int(g.transit(e)))
-                .add(d[u])
-                .sub(d[v]);
-            debug_assert!(!s.lt(Rat::ZERO), "dual feasibility violated");
+                .sub(lambda.mul_int(g.transit(e))?)?
+                .add(d[u])?
+                .sub(d[v])?;
+            debug_assert!(!s.lt(Rat::ZERO).unwrap_or(false), "dual feasibility violated");
             if s.is_zero() {
                 tight.push(e);
             }
@@ -244,11 +273,12 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
 
         if let Some(cycle) = cycle_in_arc_subgraph(g, &tight) {
             counters.cycles_examined += 1;
-            return SccOutcome {
-                lambda: lambda.to_ratio64(),
+            return Ok(SccOutcome {
+                lambda: lambda.to_ratio64()?,
                 cycle,
                 guarantee: Guarantee::Exact,
-            };
+                solved_by: crate::Algorithm::BurnsExact,
+            });
         }
 
         // Heights: ρ(u) = max over tight out-arcs of ρ(v) + t(e), via a
@@ -290,18 +320,27 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
             let v = g.target(e).index();
             let coeff = rho[v] + g.transit(e) - rho[u];
             if coeff > 0 && !slack[e.index()].is_zero() {
-                let cand = slack[e.index()].div_int(coeff);
-                if theta.is_none_or(|t| cand.lt(t)) {
+                let cand = slack[e.index()].div_int(coeff)?;
+                let smaller = match theta {
+                    None => true,
+                    Some(t) => cand.lt(t)?,
+                };
+                if smaller {
                     theta = Some(cand);
                 }
             }
         }
-        let theta = theta.expect("cyclic component always bounds theta");
-        debug_assert!(Rat::ZERO.lt(theta));
-        lambda = lambda.add(theta);
+        // On a strongly connected cyclic component some arc always
+        // bounds the step; an unbounded θ means the dual state has
+        // degenerated (numeric trouble, not a property of the input).
+        let theta = theta.ok_or(SolveError::NumericRange {
+            context: "Burns step is unbounded",
+        })?;
+        debug_assert!(Rat::ZERO.lt(theta).unwrap_or(false));
+        lambda = lambda.add(theta)?;
         for v in 0..n {
             if rho[v] != 0 {
-                d[v] = d[v].add(theta.mul_int(rho[v]));
+                d[v] = d[v].add(theta.mul_int(rho[v])?)?;
                 counters.distance_updates += 1;
             }
         }
@@ -316,9 +355,13 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
 /// exact version bit for bit (differential tests enforce this); the
 /// exact version remains available as `Algorithm::BurnsExact` for the
 /// arithmetic-cost ablation.
-pub(crate) fn solve_scc_f64(g: &Graph, counters: &mut Counters) -> SccOutcome {
+pub(crate) fn solve_scc_f64(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
-    let (lam0, d0) = initial_pair(g);
+    let (lam0, d0) = initial_pair(g)?;
     let mut lambda = lam0.num as f64 / lam0.den as f64;
     let mut d: Vec<f64> = d0.iter().map(|r| r.num as f64 / r.den as f64).collect();
     let scale = g
@@ -329,13 +372,17 @@ pub(crate) fn solve_scc_f64(g: &Graph, counters: &mut Counters) -> SccOutcome {
         .max(1) as f64;
     let tol = scale * 1e-9;
     let cap = 4 * (n as u64) * (n as u64) + 1_000;
+    let mut rounds = 0u64;
     let mut slack = vec![0f64; g.num_arcs()];
     loop {
         counters.iterations += 1;
-        assert!(
-            counters.iterations <= cap,
-            "Burns (f64) exceeded its iteration cap"
-        );
+        scope.tick_iteration_and_time()?;
+        rounds += 1;
+        if rounds > cap {
+            return Err(SolveError::NumericRange {
+                context: "Burns (f64) exceeded its internal iteration cap",
+            });
+        }
         let mut tight: Vec<ArcId> = Vec::new();
         for e in g.arc_ids() {
             let u = g.source(e).index();
@@ -349,9 +396,14 @@ pub(crate) fn solve_scc_f64(g: &Graph, counters: &mut Counters) -> SccOutcome {
         }
         if let Some(cycle) = cycle_in_arc_subgraph(g, &tight) {
             counters.cycles_examined += 1;
-            let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-            let t: i64 = cycle.iter().map(|&a| g.transit(a)).sum();
-            let candidate = Ratio64::new(w, t);
+            let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+            let t: i128 = cycle.iter().map(|&a| g.transit(a) as i128).sum();
+            if t <= 0 {
+                return Err(SolveError::ZeroTransitCycle);
+            }
+            let candidate = Ratio64::try_from_i128(w, t).ok_or(SolveError::Overflow {
+                context: "Burns (f64) critical cycle ratio",
+            })?;
             // Certify: double-precision slacks can misclassify tight
             // arcs on extreme weight scales, yielding a non-optimal
             // cycle. One exact negative-cycle test (O(nm), the cost of
@@ -359,15 +411,16 @@ pub(crate) fn solve_scc_f64(g: &Graph, counters: &mut Counters) -> SccOutcome {
             // exact-rational variant in the rare failure case.
             if crate::bellman::has_cycle_below(g, candidate, counters).is_some() {
                 let mut fresh = Counters::new();
-                let outcome = solve_scc(g, &mut fresh);
+                let outcome = solve_scc(g, &mut fresh, scope);
                 *counters += fresh;
                 return outcome;
             }
-            return SccOutcome {
+            return Ok(SccOutcome {
                 lambda: candidate,
                 cycle,
                 guarantee: Guarantee::Exact,
-            };
+                solved_by: crate::Algorithm::Burns,
+            });
         }
         let mut tight_out: Vec<Vec<ArcId>> = vec![Vec::new(); n];
         let mut indeg = vec![0usize; n];
@@ -406,10 +459,11 @@ pub(crate) fn solve_scc_f64(g: &Graph, counters: &mut Counters) -> SccOutcome {
                 theta = theta.min(slack[e.index()] / coeff as f64);
             }
         }
-        assert!(
-            theta.is_finite() && theta > 0.0,
-            "Burns (f64) step collapsed — tolerance too loose for this input"
-        );
+        if !(theta.is_finite() && theta > 0.0) {
+            return Err(SolveError::NumericRange {
+                context: "Burns (f64) step collapsed — tolerance too loose for this input",
+            });
+        }
         lambda += theta;
         for v in 0..n {
             if rho[v] != 0 {
@@ -425,9 +479,19 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn exact(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::BurnsExact);
+        solve_scc(g, c, &mut scope).expect("unlimited")
+    }
+
+    fn fast(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Burns);
+        solve_scc_f64(g, c, &mut scope).expect("unlimited")
+    }
+
     fn solve(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c).lambda
+        exact(g, &mut c).lambda
     }
 
     #[test]
@@ -459,10 +523,10 @@ mod tests {
             let g = sprand(&SprandConfig::new(12, 32).seed(seed).weight_range(-100, 100));
             let mut c1 = Counters::new();
             let mut c2 = Counters::new();
-            let exact = solve_scc(&g, &mut c1);
-            let fast = solve_scc_f64(&g, &mut c2);
-            assert_eq!(fast.lambda, exact.lambda, "seed {seed}");
-            assert!(crate::solution::check_cycle(&g, &fast.cycle).is_ok());
+            let precise = exact(&g, &mut c1);
+            let quick = fast(&g, &mut c2);
+            assert_eq!(quick.lambda, precise.lambda, "seed {seed}");
+            assert!(crate::solution::check_cycle(&g, &quick.cycle).is_ok());
         }
     }
 
@@ -475,7 +539,7 @@ mod tests {
             let g = with_random_transits(&g0, 1, 5, seed);
             let (expected, _) = crate::reference::brute_force_min_ratio(&g).expect("cyclic");
             let mut c = Counters::new();
-            assert_eq!(solve_scc_f64(&g, &mut c).lambda, expected, "seed {seed}");
+            assert_eq!(fast(&g, &mut c).lambda, expected, "seed {seed}");
         }
     }
 
@@ -507,7 +571,7 @@ mod tests {
         use mcr_gen::sprand::{sprand, SprandConfig};
         let g = sprand(&SprandConfig::new(60, 180).seed(1));
         let mut c = Counters::new();
-        solve_scc(&g, &mut c);
+        exact(&g, &mut c);
         // §4.3: "the number of iterations is always less than the
         // number of nodes" in practice.
         assert!(c.iterations <= 60 * 60);
@@ -519,9 +583,35 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(20, 60).seed(seed));
             let mut c = Counters::new();
-            let s = solve_scc(&g, &mut c);
+            let s = exact(&g, &mut c);
             let (w, len, _) = crate::solution::check_cycle(&g, &s.cycle).expect("valid");
             assert_eq!(Ratio64::new(w, len as i64), s.lambda);
+        }
+    }
+
+    #[test]
+    fn zero_transit_cycle_is_an_error() {
+        let mut b = mcr_graph::GraphBuilder::new();
+        let v = b.add_nodes(2);
+        b.add_arc_with_transit(v[0], v[1], 1, 0);
+        b.add_arc_with_transit(v[1], v[0], 2, 0);
+        let g = b.build();
+        let mut c = Counters::new();
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::BurnsExact);
+        let err = solve_scc(&g, &mut c, &mut scope).expect_err("ratio undefined");
+        assert_eq!(err, SolveError::ZeroTransitCycle);
+    }
+
+    #[test]
+    fn one_iteration_budget_exhausts_instead_of_hanging() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        let g = sprand(&SprandConfig::new(12, 32).seed(3).weight_range(-40, 40));
+        let budget = crate::Budget::default().max_iterations(1);
+        let mut scope = BudgetScope::new(&budget, None, crate::Algorithm::BurnsExact);
+        let mut c = Counters::new();
+        match solve_scc(&g, &mut c, &mut scope) {
+            Ok(_) => {} // a lucky instance can finish in one phase
+            Err(e) => assert!(matches!(e, SolveError::BudgetExhausted { .. }), "{e}"),
         }
     }
 }

@@ -11,14 +11,20 @@
 //! sparse circuits it is large.
 
 use super::karp::{karp_formula, INF};
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
 use mcr_graph::{Graph, NodeId};
 
-/// DG, λ only.
-pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
+/// DG, λ only. Each unfolding level charges one budget iteration.
+pub(crate) fn lambda_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<Ratio64, SolveError> {
     let n = g.num_nodes();
     let mut d = vec![INF; (n + 1) * n];
     d[0] = 0;
@@ -27,6 +33,7 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
     let mut touched = vec![u32::MAX; n];
     touched[0] = 0;
     for k in 1..=n as u32 {
+        scope.tick_iteration_and_time()?;
         let mut reached = 0usize;
         let (prev_rows, cur_rows) = d.split_at_mut(k as usize * n);
         let prev = &prev_rows[(k as usize - 1) * n..];
@@ -59,7 +66,7 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
             }
         }
     }
-    karp_formula(&d, n)
+    Ok(karp_formula(&d, n))
 }
 
 /// DG on one strongly connected, cyclic component.
@@ -67,14 +74,16 @@ pub(crate) fn solve_scc(
     g: &Graph,
     counters: &mut Counters,
     ws: &mut crate::workspace::Workspace,
-) -> SccOutcome {
-    let lambda = lambda_scc(g, counters);
-    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws);
-    SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    let lambda = lambda_scc(g, counters, scope)?;
+    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws, scope)?;
+    Ok(SccOutcome {
         lambda,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by: crate::Algorithm::Dg,
+    })
 }
 
 #[cfg(test)]
@@ -83,9 +92,20 @@ mod tests {
     use crate::rational::Ratio64;
     use mcr_graph::graph::from_arc_list;
 
+    fn dg_solve(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Dg);
+        solve_scc(g, c, &mut crate::workspace::Workspace::new(), &mut scope).expect("unlimited")
+    }
+
+    fn karp_solve(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Karp);
+        super::super::karp::solve_scc(g, c, &mut crate::workspace::Workspace::new(), &mut scope)
+            .expect("unlimited")
+    }
+
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
+        dg_solve(g, &mut c).lambda
     }
 
     #[test]
@@ -94,8 +114,7 @@ mod tests {
         for seed in 0..25 {
             let g = sprand(&SprandConfig::new(12, 30).seed(seed).weight_range(-15, 15));
             let mut c = Counters::new();
-            let karp = super::super::karp::solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new())
-                .lambda;
+            let karp = karp_solve(&g, &mut c).lambda;
             assert_eq!(lambda_of(&g), karp, "seed {seed}");
         }
     }
@@ -115,9 +134,8 @@ mod tests {
         let (sub, _, _) = scc.component_subgraph(&g, big);
         let mut c_dg = Counters::new();
         let mut c_karp = Counters::new();
-        let dg = solve_scc(&sub, &mut c_dg, &mut crate::workspace::Workspace::new());
-        let karp =
-            super::super::karp::solve_scc(&sub, &mut c_karp, &mut crate::workspace::Workspace::new());
+        let dg = dg_solve(&sub, &mut c_dg);
+        let karp = karp_solve(&sub, &mut c_karp);
         assert_eq!(dg.lambda, karp.lambda);
         assert!(c_dg.arcs_visited <= c_karp.arcs_visited);
     }
@@ -128,7 +146,7 @@ mod tests {
         // visits exactly n arcs total (one per level).
         let g = from_arc_list(5, &[(0, 1, 1), (1, 2, 1), (2, 3, 1), (3, 4, 1), (4, 0, 1)]);
         let mut c = Counters::new();
-        let s = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
+        let s = dg_solve(&g, &mut c);
         assert_eq!(s.lambda, Ratio64::from(1));
         assert_eq!(c.arcs_visited, (g.num_nodes()) as u64);
     }

@@ -14,7 +14,9 @@
 //! always exact.
 
 use super::karp::{karp_formula, INF};
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -104,7 +106,11 @@ fn criticality_check(g: &Graph, table: &[i64], k: usize, mu: Ratio64) -> bool {
 
 /// Runs HO, returning λ and the witness when one came out naturally
 /// (early termination, or the best path cycle matching λ at level n).
-fn run(g: &Graph, counters: &mut Counters) -> (Ratio64, Option<Vec<ArcId>>) {
+fn run(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<(Ratio64, Option<Vec<ArcId>>), SolveError> {
     let n = g.num_nodes();
     let m = g.num_arcs();
     let mut d = vec![INF; (n + 1) * n];
@@ -117,6 +123,7 @@ fn run(g: &Graph, counters: &mut Counters) -> (Ratio64, Option<Vec<ArcId>>) {
     let mut best_cycle: Vec<ArcId> = Vec::new();
 
     for k in 1..=n {
+        scope.tick_iteration_and_time()?;
         {
             let (prev_rows, cur_rows) = d.split_at_mut(k * n);
             let prev = &prev_rows[(k - 1) * n..];
@@ -150,8 +157,12 @@ fn run(g: &Graph, counters: &mut Counters) -> (Ratio64, Option<Vec<ArcId>>) {
             cycle_on_walk(g, &parent, n, k, vmin, &mut seen_at, &mut stamp_of, k as u32)
         {
             counters.cycles_examined += 1;
-            let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-            let mu = Ratio64::new(w, cycle.len() as i64);
+            let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+            let mu = Ratio64::try_from_i128(w, cycle.len() as i128).ok_or(
+                SolveError::Overflow {
+                    context: "HO candidate cycle mean",
+                },
+            )?;
             if best_mu.is_none_or(|b| mu < b) {
                 best_mu = Some(mu);
                 best_cycle = cycle;
@@ -169,7 +180,7 @@ fn run(g: &Graph, counters: &mut Counters) -> (Ratio64, Option<Vec<ArcId>>) {
         if let Some(mu) = best_mu {
             if (improved || k.is_power_of_two()) && criticality_check(g, &d, k, mu) {
                 counters.iterations += k as u64;
-                return (mu, Some(best_cycle));
+                return Ok((mu, Some(best_cycle)));
             }
         }
     }
@@ -178,15 +189,19 @@ fn run(g: &Graph, counters: &mut Counters) -> (Ratio64, Option<Vec<ArcId>>) {
     counters.iterations += n as u64;
     let lambda = karp_formula(&d, n);
     if best_mu == Some(lambda) {
-        (lambda, Some(best_cycle))
+        Ok((lambda, Some(best_cycle)))
     } else {
-        (lambda, None)
+        Ok((lambda, None))
     }
 }
 
 /// HO, λ only (the paper's measurement protocol).
-pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
-    run(g, counters).0
+pub(crate) fn lambda_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<Ratio64, SolveError> {
+    Ok(run(g, counters, scope)?.0)
 }
 
 /// HO on one strongly connected, cyclic component.
@@ -194,14 +209,19 @@ pub(crate) fn solve_scc(
     g: &Graph,
     counters: &mut Counters,
     ws: &mut crate::workspace::Workspace,
-) -> SccOutcome {
-    let (lambda, witness) = run(g, counters);
-    let cycle = witness.unwrap_or_else(|| crate::critical::critical_cycle_ws(g, lambda, ws));
-    SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    let (lambda, witness) = run(g, counters, scope)?;
+    let cycle = match witness {
+        Some(c) => c,
+        None => crate::critical::critical_cycle_ws(g, lambda, ws, scope)?,
+    };
+    Ok(SccOutcome {
         lambda,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by: crate::Algorithm::Ho,
+    })
 }
 
 #[cfg(test)]
@@ -209,9 +229,17 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn scope() -> BudgetScope {
+        BudgetScope::unlimited(crate::Algorithm::Ho)
+    }
+
+    fn solve(g: &Graph, c: &mut Counters) -> SccOutcome {
+        solve_scc(g, c, &mut crate::workspace::Workspace::new(), &mut scope()).expect("unlimited")
+    }
+
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
+        solve(g, &mut c).lambda
     }
 
     #[test]
@@ -220,8 +248,14 @@ mod tests {
         for seed in 0..40 {
             let g = sprand(&SprandConfig::new(12, 34).seed(seed).weight_range(-15, 15));
             let mut c = Counters::new();
-            let karp = super::super::karp::solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new())
-                .lambda;
+            let karp = super::super::karp::solve_scc(
+                &g,
+                &mut c,
+                &mut crate::workspace::Workspace::new(),
+                &mut BudgetScope::unlimited(crate::Algorithm::Karp),
+            )
+            .expect("unlimited")
+            .lambda;
             assert_eq!(lambda_of(&g), karp, "seed {seed}");
         }
     }
@@ -246,7 +280,7 @@ mod tests {
         arcs.push((1, 0, 1));
         let g = from_arc_list(n, &arcs);
         let mut c = Counters::new();
-        let s = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
+        let s = solve(&g, &mut c);
         assert_eq!(s.lambda, Ratio64::from(1));
         assert!(c.iterations < 6, "iterations {}", c.iterations);
     }
@@ -257,7 +291,7 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(20, 50).seed(seed));
             let mut c = Counters::new();
-            solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
+            solve(&g, &mut c);
             assert!(c.iterations <= 20);
         }
     }
@@ -268,9 +302,20 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(15, 45).seed(seed).weight_range(1, 30));
             let mut c = Counters::new();
-            let s = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
+            let s = solve(&g, &mut c);
             let (w, len, _) = crate::solution::check_cycle(&g, &s.cycle).expect("valid");
             assert_eq!(Ratio64::new(w, len as i64), s.lambda, "seed {seed}");
         }
+    }
+
+    #[test]
+    fn one_level_budget_exhausts_instead_of_hanging() {
+        let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4)]);
+        let budget = crate::Budget::default().max_iterations(1);
+        let mut s = BudgetScope::new(&budget, None, crate::Algorithm::Ho);
+        let mut c = Counters::new();
+        let err = solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new(), &mut s)
+            .expect_err("ring of 4 needs more than one level");
+        assert!(matches!(err, SolveError::BudgetExhausted { .. }), "{err}");
     }
 }

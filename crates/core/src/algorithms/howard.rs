@@ -19,7 +19,10 @@
 //! out-degrees), yet in practice the count is tiny — the very
 //! observation the paper popularized.
 
+use crate::algorithms::Algorithm;
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -42,7 +45,7 @@ fn min_policy_cycle(
     policy: &[ArcId],
     counters: &mut Counters,
     scratch: &mut PolicyCycleScratch,
-) -> (Ratio64, usize) {
+) -> Result<(Ratio64, usize), SolveError> {
     let n = g.num_nodes();
     // 0 = unvisited, otherwise the 1-based walk id that first visited.
     // Every node is visited each scan, so a full refill is the natural
@@ -74,18 +77,21 @@ fn min_policy_cycle(
             // New cycle: nodes walk[pos_in_walk[v]..].
             counters.cycles_examined += 1;
             let first = pos_in_walk[v] as usize;
-            let mut w = 0i64;
-            let mut t = 0i64;
+            // Exact accumulation in i128: a policy cycle has at most n
+            // arcs, so the sums cannot wrap.
+            let mut w = 0i128;
+            let mut t = 0i128;
             for &u in &walk[first..] {
                 let a = policy[u as usize];
-                w += g.weight(a);
-                t += g.transit(a);
+                w += g.weight(a) as i128;
+                t += g.transit(a) as i128;
             }
-            assert!(
-                t > 0,
-                "policy cycle with zero transit time: the cycle ratio is undefined"
-            );
-            let lam = Ratio64::new(w, t);
+            if t <= 0 {
+                return Err(SolveError::ZeroTransitCycle);
+            }
+            let lam = Ratio64::try_from_i128(w, t).ok_or(SolveError::Overflow {
+                context: "policy cycle ratio",
+            })?;
             if best.as_ref().is_none_or(|(b, _)| lam < *b) {
                 best = Some((lam, v));
                 best_cycle.clear();
@@ -93,7 +99,7 @@ fn min_policy_cycle(
             }
         }
     }
-    best.expect("policy graph of a nonempty component always has a cycle")
+    Ok(best.expect("policy graph of a nonempty component always has a cycle"))
 }
 
 /// Initial policy: each node's minimum-weight outgoing arc (lines 1–4 of
@@ -120,7 +126,8 @@ pub(crate) fn solve_scc_fig1(
     counters: &mut Counters,
     epsilon: f64,
     ws: &mut Workspace,
-) -> SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
     let Workspace {
         policy,
@@ -133,13 +140,19 @@ pub(crate) fn solve_scc_fig1(
     } = ws;
     initial_policy_into(g, policy, d);
     let cap = iteration_cap(n);
+    let mut rounds = 0u64;
     loop {
         counters.iterations += 1;
-        assert!(
-            counters.iterations <= cap,
-            "Howard (fig. 1) exceeded its iteration cap — epsilon too small?"
-        );
-        let (lam_exact, s) = min_policy_cycle(g, policy, counters, cycles);
+        scope.tick_iteration_and_time()?;
+        rounds += 1;
+        if rounds > cap {
+            // Safety net: policy iteration provably terminates; only a
+            // pathological epsilon (denormal-scale) can spin here.
+            return Err(SolveError::NumericRange {
+                context: "Howard (fig. 1) iteration cap — epsilon too small?",
+            });
+        }
+        let (lam_exact, s) = min_policy_cycle(g, policy, counters, cycles)?;
         let lam = lam_exact.to_f64();
 
         // Reverse BFS within the policy graph from s: refresh distances
@@ -192,11 +205,12 @@ pub(crate) fn solve_scc_fig1(
             }
         }
         if !improved {
-            return SccOutcome {
+            return Ok(SccOutcome {
                 lambda: lam_exact,
                 cycle: cycles.best_cycle.clone(),
                 guarantee: Guarantee::Epsilon(epsilon * n as f64),
-            };
+                solved_by: Algorithm::Howard,
+            });
         }
     }
 }
@@ -205,7 +219,12 @@ pub(crate) fn solve_scc_fig1(
 /// All scratch state lives in `ws`; "unset this round" is an
 /// epoch-stamped mark instead of a sentinel fill, so each iteration
 /// starts in `O(1)` instead of `O(n)`.
-pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Workspace) -> SccOutcome {
+pub(crate) fn solve_scc_exact(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
     let Workspace {
         policy,
@@ -221,13 +240,17 @@ pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Works
     d.clear();
     d.resize(n, 0);
     let cap = iteration_cap(n);
+    let mut rounds = 0u64;
     loop {
         counters.iterations += 1;
-        assert!(
-            counters.iterations <= cap,
-            "Howard (exact) exceeded its iteration cap"
-        );
-        let (lam, s) = min_policy_cycle(g, policy, counters, cycles);
+        scope.tick_iteration_and_time()?;
+        rounds += 1;
+        if rounds > cap {
+            return Err(SolveError::NumericRange {
+                context: "Howard (exact) iteration cap",
+            });
+        }
+        let (lam, s) = min_policy_cycle(g, policy, counters, cycles)?;
         let p = lam.numer() as i128;
         let q = lam.denom() as i128;
 
@@ -287,11 +310,12 @@ pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Works
             // No strict improvement and (by strong connectivity) no
             // unset node remains: d certifies λ* = lam.
             debug_assert!(marks.mark[..n].iter().all(|&x| x == valid));
-            return SccOutcome {
+            return Ok(SccOutcome {
                 lambda: lam,
                 cycle: cycles.best_cycle.clone(),
                 guarantee: Guarantee::Exact,
-            };
+                solved_by: Algorithm::HowardExact,
+            });
         }
     }
 }
@@ -301,14 +325,22 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn scope() -> BudgetScope {
+        BudgetScope::unlimited(Algorithm::HowardExact)
+    }
+
     fn exact_lambda(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc_exact(g, &mut c, &mut Workspace::new()).lambda
+        solve_scc_exact(g, &mut c, &mut Workspace::new(), &mut scope())
+            .expect("solvable")
+            .lambda
     }
 
     fn fig1_lambda(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc_fig1(g, &mut c, 1e-9, &mut Workspace::new()).lambda
+        solve_scc_fig1(g, &mut c, 1e-9, &mut Workspace::new(), &mut scope())
+            .expect("solvable")
+            .lambda
     }
 
     #[test]
@@ -341,7 +373,7 @@ mod tests {
         use mcr_gen::sprand::{sprand, SprandConfig};
         let g = sprand(&SprandConfig::new(200, 600).seed(7));
         let mut c = Counters::new();
-        solve_scc_exact(&g, &mut c, &mut Workspace::new());
+        solve_scc_exact(&g, &mut c, &mut Workspace::new(), &mut scope()).expect("solvable");
         // §4.3: "drastically small compared to the other algorithms".
         assert!(c.iterations < 60, "iterations {}", c.iterations);
     }
@@ -352,7 +384,8 @@ mod tests {
         for seed in 0..10 {
             let g = sprand(&SprandConfig::new(30, 90).seed(seed));
             let mut c = Counters::new();
-            let s = solve_scc_exact(&g, &mut c, &mut Workspace::new());
+            let s =
+                solve_scc_exact(&g, &mut c, &mut Workspace::new(), &mut scope()).expect("solvable");
             let (w, len, _) = crate::solution::check_cycle(&g, &s.cycle).expect("valid");
             assert_eq!(Ratio64::new(w, len as i64), s.lambda);
         }
@@ -368,18 +401,38 @@ mod tests {
         b.add_arc_with_transit(v[0], v[0], 1, 1); // ratio 1
         let g = b.build();
         let mut c = Counters::new();
-        let s = solve_scc_exact(&g, &mut c, &mut Workspace::new());
+        let s = solve_scc_exact(&g, &mut c, &mut Workspace::new(), &mut scope()).expect("solvable");
         assert_eq!(s.lambda, Ratio64::new(2, 5));
     }
 
     #[test]
-    #[should_panic(expected = "zero transit")]
-    fn zero_transit_policy_cycle_panics() {
+    fn zero_transit_policy_cycle_is_an_error() {
         let mut b = mcr_graph::GraphBuilder::new();
         let v = b.add_nodes(1);
         b.add_arc_with_transit(v[0], v[0], 3, 0);
         let g = b.build();
         let mut c = Counters::new();
-        solve_scc_exact(&g, &mut c, &mut Workspace::new());
+        let err = solve_scc_exact(&g, &mut c, &mut Workspace::new(), &mut scope())
+            .expect_err("zero-transit cycle");
+        assert_eq!(err, SolveError::ZeroTransitCycle);
+    }
+
+    #[test]
+    fn one_iteration_budget_exhausts_deterministically() {
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        let g = sprand(&SprandConfig::new(20, 60).seed(3));
+        let budget = crate::Budget::default().max_iterations(1);
+        let mut scope = BudgetScope::new(&budget, None, Algorithm::HowardExact);
+        let mut c = Counters::new();
+        // One policy improvement is allowed; the second charge errs.
+        let r = solve_scc_exact(&g, &mut c, &mut Workspace::new(), &mut scope);
+        if let Err(e) = r {
+            assert!(
+                matches!(e, SolveError::BudgetExhausted { .. }),
+                "unexpected error {e}"
+            );
+        }
+        // (Ok is possible only if policy iteration converged in one
+        // round, which cannot happen on this seed.)
     }
 }

@@ -13,7 +13,9 @@
 //! case, which is why the algorithm is `Θ(nm)` — and `Θ(n²)` space, the
 //! reason the paper reports `N/A` for the largest inputs.
 
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -22,13 +24,19 @@ use mcr_graph::Graph;
 pub(crate) const INF: i64 = i64::MAX / 4;
 
 /// Fills the full `(n+1) × n` table of `D_k(v)` values from source
-/// node 0, counting each arc scan.
-pub(crate) fn fill_table(g: &Graph, counters: &mut Counters) -> Vec<i64> {
+/// node 0, counting each arc scan. Each of the `n` levels charges one
+/// budget iteration.
+pub(crate) fn fill_table(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<Vec<i64>, SolveError> {
     let n = g.num_nodes();
     let m = g.num_arcs();
     let mut d = vec![INF; (n + 1) * n];
     d[0] = 0; // D_0(source) with source = node 0.
     for k in 1..=n {
+        scope.tick_iteration_and_time()?;
         let (prev_rows, cur_rows) = d.split_at_mut(k * n);
         let prev = &prev_rows[(k - 1) * n..];
         let cur = &mut cur_rows[..n];
@@ -47,7 +55,7 @@ pub(crate) fn fill_table(g: &Graph, counters: &mut Counters) -> Vec<i64> {
             }
         }
     }
-    d
+    Ok(d)
 }
 
 /// Evaluates Karp's min-max formula over a filled table.
@@ -98,9 +106,13 @@ pub(crate) fn karp_formula(table: &[i64], n: usize) -> Ratio64 {
 
 /// Karp's algorithm, λ only (the paper's measurement protocol skips
 /// witness extraction).
-pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
-    let table = fill_table(g, counters);
-    karp_formula(&table, g.num_nodes())
+pub(crate) fn lambda_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<Ratio64, SolveError> {
+    let table = fill_table(g, counters, scope)?;
+    Ok(karp_formula(&table, g.num_nodes()))
 }
 
 /// Karp's algorithm on one strongly connected, cyclic component.
@@ -108,17 +120,19 @@ pub(crate) fn solve_scc(
     g: &Graph,
     counters: &mut Counters,
     ws: &mut crate::workspace::Workspace,
-) -> SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
-    let table = fill_table(g, counters);
+    let table = fill_table(g, counters, scope)?;
     let lambda = karp_formula(&table, n);
     drop(table);
-    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws);
-    SccOutcome {
+    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws, scope)?;
+    Ok(SccOutcome {
         lambda,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by: crate::Algorithm::Karp,
+    })
 }
 
 #[cfg(test)]
@@ -126,9 +140,14 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn solve(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Karp);
+        solve_scc(g, c, &mut crate::workspace::Workspace::new(), &mut scope).expect("unlimited")
+    }
+
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
+        solve(g, &mut c).lambda
     }
 
     #[test]
@@ -160,7 +179,7 @@ mod tests {
     fn arcs_visited_is_n_times_m() {
         let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 1), (2, 0, 1), (0, 2, 5)]);
         let mut c = Counters::new();
-        solve_scc(&g, &mut c, &mut crate::workspace::Workspace::new());
+        solve(&g, &mut c);
         assert_eq!(c.arcs_visited, (g.num_nodes() * g.num_arcs()) as u64);
     }
 

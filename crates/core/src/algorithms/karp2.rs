@@ -8,7 +8,9 @@
 //! into the running maximum of Karp's formula.
 
 use super::karp::INF;
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -31,8 +33,13 @@ fn relax_row(g: &Graph, prev: &[i64], cur: &mut [i64], counters: &mut Counters) 
     }
 }
 
-/// Karp2, λ only.
-pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
+/// Karp2, λ only. Each row relaxation (both passes) charges one budget
+/// iteration, so a full run costs `2n − 1` charges.
+pub(crate) fn lambda_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    scope: &mut BudgetScope,
+) -> Result<Ratio64, SolveError> {
     let n = g.num_nodes();
     let mut prev = vec![INF; n];
     let mut cur = vec![INF; n];
@@ -40,6 +47,7 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
 
     // Pass 1: D_n only.
     for _k in 1..=n {
+        scope.tick_iteration_and_time()?;
         relax_row(g, &prev, &mut cur, counters);
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -52,6 +60,7 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
     prev[0] = 0;
     for k in 0..n {
         if k > 0 {
+            scope.tick_iteration_and_time()?;
             relax_row(g, &cur, &mut prev, counters);
         }
         for v in 0..n {
@@ -70,11 +79,11 @@ pub(crate) fn lambda_scc(g: &Graph, counters: &mut Counters) -> Ratio64 {
         // After the swap, `cur` holds row k (input of the next round).
     }
 
-    (0..n)
+    Ok((0..n)
         .filter_map(|v| inner_max[v])
         .map(|(num, den)| Ratio64::new(num, den))
         .min()
-        .expect("strongly connected cyclic graph has a finite cycle mean")
+        .expect("strongly connected cyclic graph has a finite cycle mean"))
 }
 
 /// Karp2 on one strongly connected, cyclic component.
@@ -82,14 +91,16 @@ pub(crate) fn solve_scc(
     g: &Graph,
     counters: &mut Counters,
     ws: &mut crate::workspace::Workspace,
-) -> SccOutcome {
-    let lambda = lambda_scc(g, counters);
-    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws);
-    SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    let lambda = lambda_scc(g, counters, scope)?;
+    let cycle = crate::critical::critical_cycle_ws(g, lambda, ws, scope)?;
+    Ok(SccOutcome {
         lambda,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by: crate::Algorithm::Karp2,
+    })
 }
 
 #[cfg(test)]
@@ -97,9 +108,20 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn karp2_solve(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Karp2);
+        solve_scc(g, c, &mut crate::workspace::Workspace::new(), &mut scope).expect("unlimited")
+    }
+
+    fn karp_solve(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Karp);
+        super::super::karp::solve_scc(g, c, &mut crate::workspace::Workspace::new(), &mut scope)
+            .expect("unlimited")
+    }
+
     fn lambda_of(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c, &mut crate::workspace::Workspace::new()).lambda
+        karp2_solve(g, &mut c).lambda
     }
 
     #[test]
@@ -108,8 +130,7 @@ mod tests {
         for seed in 0..25 {
             let g = sprand(&SprandConfig::new(10, 26).seed(seed).weight_range(-20, 20));
             let mut c1 = Counters::new();
-            let karp = super::super::karp::solve_scc(&g, &mut c1, &mut crate::workspace::Workspace::new())
-                .lambda;
+            let karp = karp_solve(&g, &mut c1).lambda;
             assert_eq!(lambda_of(&g), karp, "seed {seed}");
         }
     }
@@ -124,9 +145,9 @@ mod tests {
     fn does_double_the_arc_visits_of_karp() {
         let g = from_arc_list(4, &[(0, 1, 1), (1, 2, 2), (2, 3, 3), (3, 0, 4), (1, 0, 9)]);
         let mut c_karp = Counters::new();
-        super::super::karp::solve_scc(&g, &mut c_karp, &mut crate::workspace::Workspace::new());
+        karp_solve(&g, &mut c_karp);
         let mut c_karp2 = Counters::new();
-        solve_scc(&g, &mut c_karp2, &mut crate::workspace::Workspace::new());
+        karp2_solve(&g, &mut c_karp2);
         // Pass 1 visits n·m arcs, pass 2 visits (n-1)·m more.
         assert!(c_karp2.arcs_visited > c_karp.arcs_visited);
         assert!(c_karp2.arcs_visited <= 2 * c_karp.arcs_visited);

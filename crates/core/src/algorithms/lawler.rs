@@ -12,7 +12,9 @@
 //! recovered by a Stern–Brocot descent.
 
 use crate::bellman::{cycle_at_or_below_ws, has_cycle_below_ws};
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -33,47 +35,65 @@ fn witness_at(
     lambda: Ratio64,
     counters: &mut Counters,
     ws: &mut Workspace,
-) -> (Ratio64, Vec<ArcId>) {
-    assert!(
-        cycle_at_or_below_ws(g, lambda, counters, ws),
-        "a cycle with mean at most the upper search bound exists"
-    );
+    scope: &BudgetScope,
+) -> Result<(Ratio64, Vec<ArcId>), SolveError> {
+    if !cycle_at_or_below_ws(g, lambda, counters, ws, scope)? {
+        // The invariant λ* ≤ hi guarantees a witness; its absence means
+        // the bisection state degenerated.
+        return Err(SolveError::NumericRange {
+            context: "Lawler witness extraction found no cycle at the upper bound",
+        });
+    }
     let cycle = ws.bf.cycle.clone();
-    let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-    let mean = Ratio64::new(w, cycle.len() as i64);
-    (mean, cycle)
+    let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+    let mean =
+        Ratio64::try_from_i128(w, cycle.len() as i128).ok_or(SolveError::Overflow {
+            context: "Lawler witness cycle mean",
+        })?;
+    Ok((mean, cycle))
 }
 
-/// Lawler with the paper's ε-termination.
+/// Lawler with the paper's ε-termination. Every bisection step charges
+/// both an iteration and a λ-refinement.
 pub(crate) fn solve_scc_eps(
     g: &Graph,
     counters: &mut Counters,
     epsilon: f64,
     ws: &mut Workspace,
-) -> SccOutcome {
-    assert!(epsilon > 0.0, "epsilon must be positive");
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    debug_assert!(epsilon > 0.0, "epsilon validated by the driver");
     let (mut lo, mut hi) = weight_bounds(g);
     // Invariants: λ* ≥ lo, λ* ≤ hi.
     while (hi - lo).to_f64() > epsilon && hi.denom() < i64::MAX / 4 {
         counters.iterations += 1;
+        scope.tick_iteration_and_time()?;
+        scope.tick_refinement()?;
         let mid = lo.midpoint(hi);
-        if has_cycle_below_ws(g, mid, counters, ws) {
+        if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             hi = mid;
         } else {
             lo = mid;
         }
     }
-    let (mean, cycle) = witness_at(g, hi, counters, ws);
-    SccOutcome {
+    let (mean, cycle) = witness_at(g, hi, counters, ws, scope)?;
+    Ok(SccOutcome {
         lambda: mean,
         cycle,
         guarantee: Guarantee::Epsilon(epsilon),
-    }
+        solved_by: crate::Algorithm::Lawler,
+    })
 }
 
 /// Lawler sharpened to an exact algorithm by snapping the final interval
-/// to the unique cycle mean inside it.
-pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Workspace) -> SccOutcome {
+/// to the unique cycle mean inside it. Every bisection step charges
+/// both an iteration and a λ-refinement.
+pub(crate) fn solve_scc_exact(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes() as i64;
     let (mut lo, mut hi) = weight_bounds(g);
     // Cycle means have denominator ≤ n; an open interval shorter than
@@ -81,25 +101,29 @@ pub(crate) fn solve_scc_exact(g: &Graph, counters: &mut Counters, ws: &mut Works
     let target = Ratio64::new(1, (n * (n - 1)).max(1) + 1);
     while hi - lo >= target {
         counters.iterations += 1;
-        assert!(
-            hi.denom() < i64::MAX / 8,
-            "binary search denominators exhausted i64 range"
-        );
+        scope.tick_iteration_and_time()?;
+        scope.tick_refinement()?;
+        if hi.denom() >= i64::MAX / 8 {
+            return Err(SolveError::NumericRange {
+                context: "Lawler bisection denominators exhausted i64 range",
+            });
+        }
         let mid = lo.midpoint(hi);
-        if has_cycle_below_ws(g, mid, counters, ws) {
+        if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             hi = mid;
         } else {
             lo = mid;
         }
     }
     let lambda = Ratio64::simplest_in(lo, hi);
-    let (mean, cycle) = witness_at(g, lambda, counters, ws);
+    let (mean, cycle) = witness_at(g, lambda, counters, ws, scope)?;
     debug_assert_eq!(mean, lambda);
-    SccOutcome {
+    Ok(SccOutcome {
         lambda: mean,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by: crate::Algorithm::LawlerExact,
+    })
 }
 
 #[cfg(test)]
@@ -107,9 +131,19 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn exact_outcome(g: &Graph, c: &mut Counters) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::LawlerExact);
+        solve_scc_exact(g, c, &mut Workspace::new(), &mut scope).expect("unlimited")
+    }
+
+    fn eps_outcome(g: &Graph, c: &mut Counters, epsilon: f64) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Lawler);
+        solve_scc_eps(g, c, epsilon, &mut Workspace::new(), &mut scope).expect("unlimited")
+    }
+
     fn exact(g: &Graph) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc_exact(g, &mut c, &mut Workspace::new()).lambda
+        exact_outcome(g, &mut c).lambda
     }
 
     #[test]
@@ -123,7 +157,7 @@ mod tests {
         let g = from_arc_list(2, &[(0, 1, 6), (1, 0, 6)]);
         assert_eq!(exact(&g), Ratio64::from(6));
         let mut c = Counters::new();
-        let s = solve_scc_eps(&g, &mut c, 1e-3, &mut Workspace::new());
+        let s = eps_outcome(&g, &mut c, 1e-3);
         assert_eq!(s.lambda, Ratio64::from(6));
     }
 
@@ -144,7 +178,7 @@ mod tests {
             let g = sprand(&SprandConfig::new(12, 36).seed(seed).weight_range(1, 100));
             let (expected, _) = crate::reference::brute_force_min_mean(&g).expect("cyclic");
             let mut c = Counters::new();
-            let s = solve_scc_eps(&g, &mut c, 1e-4, &mut Workspace::new());
+            let s = eps_outcome(&g, &mut c, 1e-4);
             // Witness mean is never below the optimum and at most ε above.
             assert!(s.lambda >= expected, "seed {seed}");
             assert!(
@@ -160,10 +194,21 @@ mod tests {
     fn counts_oracle_calls() {
         let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
         let mut c = Counters::new();
-        solve_scc_exact(&g, &mut c, &mut Workspace::new());
+        exact_outcome(&g, &mut c);
         // log2(99 · n(n-1)) ≈ 8 bisections plus the witness extraction.
         assert!(c.oracle_calls >= 8, "oracle calls {}", c.oracle_calls);
         assert!(c.oracle_calls <= 40);
+    }
+
+    #[test]
+    fn refinement_budget_of_one_exhausts() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        let budget = crate::Budget::default().max_lambda_refinements(1);
+        let mut scope = BudgetScope::new(&budget, None, crate::Algorithm::LawlerExact);
+        let mut c = Counters::new();
+        let err = solve_scc_exact(&g, &mut c, &mut Workspace::new(), &mut scope)
+            .expect_err("needs many bisections");
+        assert!(matches!(err, SolveError::BudgetExhausted { .. }), "{err}");
     }
 
     #[test]

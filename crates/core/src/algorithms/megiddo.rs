@@ -17,11 +17,14 @@
 //! Original bound `O(n²m log n)`; this rendering costs one `O(nm)`
 //! oracle call per unresolved crossing.
 
-use crate::bellman::{cycle_at_or_below, has_cycle_below};
+use crate::bellman::{cycle_at_or_below_ws, has_cycle_below_ws};
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use crate::workspace::Workspace;
 use mcr_graph::Graph;
 
 /// Linear distance function `a − b·λ`.
@@ -51,54 +54,68 @@ fn eval(num: i64, den: i64, x: Ratio64) -> Ratio64 {
 }
 
 /// Decides whether `cand < cur` holds at λ*, resolving crossings with
-/// oracle calls that shrink (or pin) the interval.
+/// oracle calls that shrink (or pin) the interval. Each oracle
+/// resolution charges one λ-refinement.
+#[allow(clippy::too_many_arguments)] // internal helper threading scratch + budget state
 fn less_at_optimum(
     g: &Graph,
     cand: Lin,
     cur: Lin,
     iv: &mut Interval,
     counters: &mut Counters,
-) -> bool {
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+) -> Result<bool, SolveError> {
     let num = cand.a - cur.a;
     let den = cand.b - cur.b;
     // f(λ) = num − den·λ; cand < cur at λ* ⟺ f(λ*) < 0.
     let f_lo = eval(num, den, iv.lo);
     let f_hi = eval(num, den, iv.hi);
     if f_lo < Ratio64::ZERO && f_hi < Ratio64::ZERO {
-        return true;
+        return Ok(true);
     }
     if f_lo >= Ratio64::ZERO && f_hi >= Ratio64::ZERO {
         // Nonnegative across the interval: a tie at λ* is "not less",
         // and f can only vanish at one point of a closed interval
         // unless it is identically zero (then num = den = 0).
-        if f_lo > Ratio64::ZERO || f_hi > Ratio64::ZERO || (num == 0 && den == 0) {
-            return false;
-        }
-        return false;
+        return Ok(false);
     }
     // Sign change: the crossing num/den lies strictly inside.
     debug_assert!(den != 0);
+    if den == 0 {
+        return Err(SolveError::NumericRange {
+            context: "Megiddo crossing with a constant comparison function",
+        });
+    }
+    scope.tick_refinement()?;
     let cross = Ratio64::new(num, den);
-    if has_cycle_below(g, cross, counters).is_some() {
+    if has_cycle_below_ws(g, cross, counters, ws, scope)? {
         // λ* < cross.
         iv.hi = cross;
-        f_lo < Ratio64::ZERO
-    } else if cycle_at_or_below(g, cross, counters).is_some() {
+        Ok(f_lo < Ratio64::ZERO)
+    } else if cycle_at_or_below_ws(g, cross, counters, ws, scope)? {
         // No cycle below but one at cross: λ* == cross, pinned.
         iv.lo = cross;
         iv.hi = cross;
         iv.pinned = true;
-        false // f(λ*) = f(cross) = 0: tie, not less
+        Ok(false) // f(λ*) = f(cross) = 0: tie, not less
     } else {
         // λ* > cross.
         iv.lo = cross;
-        f_hi < Ratio64::ZERO
+        Ok(f_hi < Ratio64::ZERO)
     }
 }
 
 /// Megiddo's algorithm on one strongly connected, cyclic component
 /// (general transit times; the cycle mean problem is the unit case).
-pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
+/// Symbolic Bellman–Ford rounds charge iterations; oracle resolutions
+/// charge λ-refinements.
+pub(crate) fn solve_scc(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
     let wabs = g
         .arc_ids()
@@ -120,6 +137,7 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
             break;
         }
         counters.iterations += 1;
+        scope.tick_iteration_and_time()?;
         let mut changed = false;
         for e in g.arc_ids() {
             let u = g.source(e).index();
@@ -129,7 +147,7 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
                 a: dist[u].a + g.weight(e),
                 b: dist[u].b + g.transit(e),
             };
-            if less_at_optimum(g, cand, dist[v], &mut iv, counters) {
+            if less_at_optimum(g, cand, dist[v], &mut iv, counters, ws, scope)? {
                 dist[v] = cand;
                 counters.distance_updates += 1;
                 changed = true;
@@ -149,12 +167,14 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
     let t_bound = total_t.max(1);
     let target = Ratio64::new(1, t_bound.saturating_mul(t_bound - 1).max(1) + 1);
     while !iv.width_below(target) {
-        assert!(
-            iv.hi.denom() < i64::MAX / 8 && iv.lo.denom() < i64::MAX / 8,
-            "Megiddo residual bisection exhausted the i64 range"
-        );
+        if iv.hi.denom() >= i64::MAX / 8 || iv.lo.denom() >= i64::MAX / 8 {
+            return Err(SolveError::NumericRange {
+                context: "Megiddo residual bisection exhausted the i64 range",
+            });
+        }
+        scope.tick_refinement()?;
         let mid = iv.lo.midpoint(iv.hi);
-        if has_cycle_below(g, mid, counters).is_some() {
+        if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             iv.hi = mid;
         } else {
             iv.lo = mid;
@@ -165,16 +185,26 @@ pub(crate) fn solve_scc(g: &Graph, counters: &mut Counters) -> SccOutcome {
     } else {
         Ratio64::simplest_in(iv.lo, iv.hi)
     };
-    let cycle = cycle_at_or_below(g, lambda, counters)
-        .expect("a cycle at the exact optimum exists");
-    let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-    let t: i64 = cycle.iter().map(|&a| g.transit(a)).sum();
-    debug_assert_eq!(Ratio64::new(w, t), lambda);
-    SccOutcome {
-        lambda: Ratio64::new(w, t),
+    if !cycle_at_or_below_ws(g, lambda, counters, ws, scope)? {
+        return Err(SolveError::NumericRange {
+            context: "Megiddo found no cycle at its computed optimum",
+        });
+    }
+    let cycle = ws.bf.cycle.clone();
+    let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+    let t: i128 = cycle.iter().map(|&a| g.transit(a) as i128).sum();
+    if t <= 0 {
+        return Err(SolveError::ZeroTransitCycle);
+    }
+    let lambda = Ratio64::try_from_i128(w, t).ok_or(SolveError::Overflow {
+        context: "Megiddo witness cycle ratio",
+    })?;
+    Ok(SccOutcome {
+        lambda,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by: crate::Algorithm::Megiddo,
+    })
 }
 
 #[cfg(test)]
@@ -184,7 +214,8 @@ mod tests {
 
     fn solve(g: &Graph) -> (Ratio64, Counters) {
         let mut c = Counters::new();
-        let s = solve_scc(g, &mut c);
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Megiddo);
+        let s = solve_scc(g, &mut c, &mut Workspace::new(), &mut scope).expect("unlimited");
         (s.lambda, c)
     }
 
@@ -233,7 +264,9 @@ mod tests {
                 &g,
                 &mut cl,
                 &mut crate::workspace::Workspace::new(),
-            );
+                &mut BudgetScope::unlimited(crate::Algorithm::LawlerExact),
+            )
+            .expect("unlimited");
             assert_eq!(lam, lawler.lambda, "seed {seed}");
             // Every oracle call is an O(nm) Bellman–Ford; Megiddo calls
             // it only at crossings inside the shrinking interval, which

@@ -16,13 +16,45 @@ pub(crate) mod megiddo;
 pub(crate) mod oa1;
 pub(crate) mod parametric;
 
-use crate::driver::{solve_per_scc, solve_per_scc_opts, solve_value_per_scc_opts};
+use crate::budget::BudgetScope;
+use crate::driver::{solve_per_scc, solve_per_scc_opts, solve_value_per_scc_opts, SccOutcome};
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::options::SolveOptions;
 use crate::rational::Ratio64;
 use crate::solution::Solution;
+use crate::workspace::Workspace;
 use mcr_graph::Graph;
 use parametric::HeapGranularity;
+
+/// Runs one algorithm on one strongly connected, cyclic component
+/// under a budget scope. This is the single dispatch point shared by
+/// the primary attempt and every fallback attempt.
+fn solve_scc_budgeted(
+    alg: Algorithm,
+    sub: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    match alg {
+        Algorithm::Burns => burns::solve_scc_f64(sub, counters, scope),
+        Algorithm::BurnsExact => burns::solve_scc(sub, counters, scope),
+        Algorithm::Ko => parametric::solve_scc(sub, counters, HeapGranularity::PerArc, scope),
+        Algorithm::Yto => parametric::solve_scc(sub, counters, HeapGranularity::PerNode, scope),
+        Algorithm::Howard => howard::solve_scc_fig1(sub, counters, epsilon, ws, scope),
+        Algorithm::HowardExact => howard::solve_scc_exact(sub, counters, ws, scope),
+        Algorithm::Ho => ho::solve_scc(sub, counters, ws, scope),
+        Algorithm::Karp => karp::solve_scc(sub, counters, ws, scope),
+        Algorithm::Karp2 => karp2::solve_scc(sub, counters, ws, scope),
+        Algorithm::Dg => dg::solve_scc(sub, counters, ws, scope),
+        Algorithm::Lawler => lawler::solve_scc_eps(sub, counters, epsilon, ws, scope),
+        Algorithm::LawlerExact => lawler::solve_scc_exact(sub, counters, ws, scope),
+        Algorithm::Megiddo => megiddo::solve_scc(sub, counters, ws, scope),
+        Algorithm::Oa1 => oa1::solve_scc(sub, counters, epsilon, ws, scope),
+    }
+}
 
 /// A minimum mean cycle algorithm from the study.
 ///
@@ -36,6 +68,7 @@ use parametric::HeapGranularity;
 /// }
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Algorithm {
     /// Burns' primal-dual algorithm (`f64` duals, as in the original
     /// study's implementation; the reported λ is the exact mean of the
@@ -157,58 +190,68 @@ impl Algorithm {
     }
 
     /// Like [`Algorithm::solve`] with an explicit precision for the
-    /// approximate variants (exact variants ignore it).
-    ///
-    /// # Panics
-    ///
-    /// Panics if `epsilon <= 0` for an approximate variant.
+    /// approximate variants (exact variants ignore it). Returns `None`
+    /// for acyclic graphs and for non-positive or non-finite `epsilon`;
+    /// use [`Algorithm::solve_with_options`] to distinguish those cases.
     pub fn solve_with_epsilon(self, g: &Graph, epsilon: f64) -> Option<Solution> {
         let opts = SolveOptions {
-            threads: 1,
             epsilon: Some(epsilon),
+            ..SolveOptions::default()
         };
-        self.solve_with_options(g, &opts)
+        self.solve_with_options(g, &opts).ok()
     }
 
     /// Like [`Algorithm::solve`] with explicit [`SolveOptions`]: thread
-    /// count for the per-SCC driver and precision for the approximate
-    /// variants. Results are bit-identical for every thread count (see
+    /// count for the per-SCC driver, precision for the approximate
+    /// variants, work [`Budget`](crate::Budget), and
+    /// [`FallbackChain`](crate::FallbackChain). Results are
+    /// bit-identical for every thread count (see
     /// [`SolveOptions::threads`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `opts.epsilon` is `Some(e)` with `e <= 0` for an
-    /// approximate variant.
-    pub fn solve_with_options(self, g: &Graph, opts: &SolveOptions) -> Option<Solution> {
-        let epsilon = opts.epsilon.unwrap_or_else(|| Self::default_epsilon(g));
-        match self {
-            Algorithm::Burns => solve_per_scc_opts(g, opts, |s, c, _ws| burns::solve_scc_f64(s, c)),
-            Algorithm::BurnsExact => {
-                solve_per_scc_opts(g, opts, |s, c, _ws| burns::solve_scc(s, c))
+    /// * [`SolveError::Acyclic`] when `g` has no cycle.
+    /// * [`SolveError::InvalidEpsilon`] when `opts.epsilon` is
+    ///   non-positive or non-finite.
+    /// * [`SolveError::BudgetExhausted`] when a budget limit trips and
+    ///   no fallback alternate finishes either.
+    /// * [`SolveError::Overflow`] / [`SolveError::ZeroTransitCycle`] /
+    ///   [`SolveError::NumericRange`] on inputs outside the solver's
+    ///   numeric range (also retried along the fallback chain where
+    ///   recoverable).
+    ///
+    /// When the primary algorithm fails recoverably on a component, the
+    /// alternates of `opts.fallback` are tried in order; the variant
+    /// that produced each component's answer is recorded in
+    /// [`Solution::solved_by`]. Each attempt gets a fresh iteration /
+    /// λ-refinement allowance, but all attempts share the solve-wide
+    /// wall-clock deadline.
+    pub fn solve_with_options(self, g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        let epsilon = match opts.epsilon {
+            Some(e) if e > 0.0 && e.is_finite() => e,
+            Some(e) => return Err(SolveError::InvalidEpsilon { epsilon: e }),
+            None => Self::default_epsilon(g),
+        };
+        let deadline = opts.budget.deadline();
+        let chain = opts.fallback.chain_for(self);
+        solve_per_scc_opts(g, opts, |sub, counters, ws| {
+            let mut last_err = None;
+            for &alg in &chain {
+                let mut scope = BudgetScope::new(&opts.budget, deadline, alg);
+                ws.begin_use();
+                match solve_scc_budgeted(alg, sub, counters, epsilon, ws, &mut scope) {
+                    Ok(outcome) => {
+                        ws.end_use();
+                        return Ok(outcome);
+                    }
+                    // A failed attempt leaves the workspace poisoned;
+                    // the next begin_use resets it before reuse.
+                    Err(err) if err.is_recoverable() => last_err = Some(err),
+                    Err(err) => return Err(err),
+                }
             }
-            Algorithm::Ko => solve_per_scc_opts(g, opts, |s, c, _ws| {
-                parametric::solve_scc(s, c, HeapGranularity::PerArc)
-            }),
-            Algorithm::Yto => solve_per_scc_opts(g, opts, |s, c, _ws| {
-                parametric::solve_scc(s, c, HeapGranularity::PerNode)
-            }),
-            Algorithm::Howard => {
-                solve_per_scc_opts(g, opts, |s, c, ws| howard::solve_scc_fig1(s, c, epsilon, ws))
-            }
-            Algorithm::HowardExact => solve_per_scc_opts(g, opts, howard::solve_scc_exact),
-            Algorithm::Ho => solve_per_scc_opts(g, opts, ho::solve_scc),
-            Algorithm::Karp => solve_per_scc_opts(g, opts, karp::solve_scc),
-            Algorithm::Karp2 => solve_per_scc_opts(g, opts, karp2::solve_scc),
-            Algorithm::Dg => solve_per_scc_opts(g, opts, dg::solve_scc),
-            Algorithm::Lawler => {
-                solve_per_scc_opts(g, opts, |s, c, ws| lawler::solve_scc_eps(s, c, epsilon, ws))
-            }
-            Algorithm::LawlerExact => solve_per_scc_opts(g, opts, lawler::solve_scc_exact),
-            Algorithm::Megiddo => solve_per_scc_opts(g, opts, |s, c, _ws| megiddo::solve_scc(s, c)),
-            Algorithm::Oa1 => {
-                solve_per_scc_opts(g, opts, |s, c, ws| oa1::solve_scc(s, c, epsilon, ws))
-            }
-        }
+            Err(last_err.expect("chain_for always contains the primary algorithm"))
+        })
     }
 }
 
@@ -220,22 +263,30 @@ impl Algorithm {
     /// other algorithm produces its witness as a byproduct, so this is
     /// equivalent to [`Algorithm::solve`] for them.
     pub fn solve_lambda_only(self, g: &Graph) -> Option<(Ratio64, Counters)> {
-        self.solve_lambda_only_opts(g, &SolveOptions::default())
+        self.solve_lambda_only_opts(g, &SolveOptions::default()).ok()
     }
 
     /// [`Algorithm::solve_lambda_only`] with explicit [`SolveOptions`].
+    /// The budget applies per component (fresh allowance each), but the
+    /// fallback chain does not: the λ-only path measures one algorithm.
     pub fn solve_lambda_only_opts(
         self,
         g: &Graph,
         opts: &SolveOptions,
-    ) -> Option<(Ratio64, Counters)> {
+    ) -> Result<(Ratio64, Counters), SolveError> {
+        let deadline = opts.budget.deadline();
+        let scoped =
+            |f: fn(&Graph, &mut Counters, &mut BudgetScope) -> Result<Ratio64, SolveError>| {
+                move |s: &Graph, c: &mut Counters, _ws: &mut Workspace| {
+                    let mut scope = BudgetScope::new(&opts.budget, deadline, self);
+                    f(s, c, &mut scope)
+                }
+            };
         match self {
-            Algorithm::Karp => solve_value_per_scc_opts(g, opts, |s, c, _ws| karp::lambda_scc(s, c)),
-            Algorithm::Karp2 => {
-                solve_value_per_scc_opts(g, opts, |s, c, _ws| karp2::lambda_scc(s, c))
-            }
-            Algorithm::Dg => solve_value_per_scc_opts(g, opts, |s, c, _ws| dg::lambda_scc(s, c)),
-            Algorithm::Ho => solve_value_per_scc_opts(g, opts, |s, c, _ws| ho::lambda_scc(s, c)),
+            Algorithm::Karp => solve_value_per_scc_opts(g, opts, scoped(karp::lambda_scc)),
+            Algorithm::Karp2 => solve_value_per_scc_opts(g, opts, scoped(karp2::lambda_scc)),
+            Algorithm::Dg => solve_value_per_scc_opts(g, opts, scoped(dg::lambda_scc)),
+            Algorithm::Ho => solve_value_per_scc_opts(g, opts, scoped(ho::lambda_scc)),
             other => other
                 .solve_with_options(g, opts)
                 .map(|s| (s.lambda, s.counters)),
@@ -249,19 +300,23 @@ impl Algorithm {
 /// plain indexed binary heap.
 pub fn parametric_with_heap(g: &Graph, node_keyed: bool, fibonacci: bool) -> Option<Solution> {
     use mcr_graph::heap::{FibonacciHeap, IndexedBinaryHeap};
-    let granularity = if node_keyed {
-        HeapGranularity::PerNode
+    let (granularity, alg) = if node_keyed {
+        (HeapGranularity::PerNode, Algorithm::Yto)
     } else {
-        HeapGranularity::PerArc
+        (HeapGranularity::PerArc, Algorithm::Ko)
     };
     if fibonacci {
         solve_per_scc(g, move |s, c, _ws| {
-            parametric::solve_scc_with::<FibonacciHeap<Ratio64>>(s, c, granularity)
+            let mut scope = BudgetScope::unlimited(alg);
+            parametric::solve_scc_with::<FibonacciHeap<Ratio64>>(s, c, granularity, &mut scope)
         })
+        .ok()
     } else {
         solve_per_scc(g, move |s, c, _ws| {
-            parametric::solve_scc_with::<IndexedBinaryHeap<Ratio64>>(s, c, granularity)
+            let mut scope = BudgetScope::unlimited(alg);
+            parametric::solve_scc_with::<IndexedBinaryHeap<Ratio64>>(s, c, granularity, &mut scope)
         })
+        .ok()
     }
 }
 
@@ -356,5 +411,114 @@ mod tests {
         assert!(!Algorithm::HowardExact.is_approximate());
         assert!(Algorithm::Karp.is_quadratic_space());
         assert!(!Algorithm::Karp2.is_quadratic_space());
+    }
+
+    #[test]
+    fn invalid_epsilon_is_a_typed_error() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 3)]);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let opts = SolveOptions {
+                epsilon: Some(bad),
+                ..SolveOptions::default()
+            };
+            let err = Algorithm::Lawler
+                .solve_with_options(&g, &opts)
+                .expect_err("invalid epsilon");
+            assert!(
+                matches!(err, crate::SolveError::InvalidEpsilon { .. }),
+                "{bad}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn acyclic_is_a_typed_error_with_options() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 1)]);
+        let err = Algorithm::Karp
+            .solve_with_options(&g, &SolveOptions::default())
+            .expect_err("acyclic");
+        assert!(matches!(err, crate::SolveError::Acyclic));
+    }
+
+    #[test]
+    fn exhausted_budget_without_fallback_surfaces_the_error() {
+        use crate::{Budget, FallbackChain};
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        let opts = SolveOptions::new()
+            .budget(Budget::default().max_lambda_refinements(1))
+            .fallback(FallbackChain::NONE);
+        let err = Algorithm::LawlerExact
+            .solve_with_options(&g, &opts)
+            .expect_err("one refinement cannot bisect this interval");
+        match err {
+            crate::SolveError::BudgetExhausted { algorithm, .. } => {
+                assert_eq!(algorithm, Algorithm::LawlerExact);
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn fallback_answers_and_is_attributed() {
+        use crate::Budget;
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        // LawlerExact needs many λ-refinements; the default chain's
+        // first alternate (HowardExact) never charges any.
+        let opts =
+            SolveOptions::new().budget(Budget::default().max_lambda_refinements(1));
+        let sol = Algorithm::LawlerExact
+            .solve_with_options(&g, &opts)
+            .expect("fallback chain finishes");
+        assert_eq!(sol.lambda, Ratio64::new(101, 2));
+        assert_eq!(sol.solved_by, Algorithm::HowardExact);
+        assert!(crate::solution::check_cycle(&g, &sol.cycle).is_ok());
+    }
+
+    #[test]
+    fn fallback_result_matches_the_unbudgeted_answer() {
+        use crate::Budget;
+        use mcr_gen::sprand::{sprand, SprandConfig};
+        for seed in 0..10 {
+            let g = sprand(&SprandConfig::new(12, 36).seed(seed).weight_range(-50, 50));
+            let reference = Algorithm::HowardExact.solve(&g).expect("cyclic");
+            let opts =
+                SolveOptions::new().budget(Budget::default().max_lambda_refinements(1));
+            let sol = Algorithm::LawlerExact
+                .solve_with_options(&g, &opts)
+                .expect("fallback chain finishes");
+            assert_eq!(sol.lambda, reference.lambda, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn one_iteration_budget_never_hangs_for_any_algorithm() {
+        use crate::{Budget, FallbackChain};
+        let g = from_arc_list(
+            5,
+            &[(0, 1, 5), (1, 0, 5), (1, 2, 1), (2, 3, 1), (3, 4, 2), (4, 2, 3)],
+        );
+        let opts = SolveOptions::new()
+            .budget(Budget::default().max_iterations(1))
+            .fallback(FallbackChain::NONE);
+        for alg in Algorithm::ALL {
+            match alg.solve_with_options(&g, &opts) {
+                // A lucky instance can finish within one outer iteration.
+                Ok(sol) => assert_eq!(sol.lambda, Ratio64::from(2), "{}", alg.name()),
+                Err(err) => assert!(
+                    matches!(err, crate::SolveError::BudgetExhausted { .. }),
+                    "{}: {err}",
+                    alg.name()
+                ),
+            }
+        }
+    }
+
+    #[test]
+    fn solved_by_is_the_primary_when_no_fallback_is_needed() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 3)]);
+        for alg in Algorithm::ALL {
+            let sol = alg.solve(&g).expect("cyclic");
+            assert_eq!(sol.solved_by, alg, "{}", alg.name());
+        }
     }
 }

@@ -25,7 +25,9 @@
 //! practice.
 
 use crate::bellman::{check_staged_costs_ws, cycle_at_or_below_ws};
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -49,14 +51,16 @@ fn rounded_costs_into(g: &Graph, lambda: Ratio64, eps: Ratio64, out: &mut Vec<i1
     );
 }
 
-/// OA1 on one strongly connected, cyclic component.
+/// OA1 on one strongly connected, cyclic component. Every scaling
+/// phase charges both an iteration and a λ-refinement.
 pub(crate) fn solve_scc(
     g: &Graph,
     counters: &mut Counters,
     epsilon: f64,
     ws: &mut Workspace,
-) -> SccOutcome {
-    assert!(epsilon > 0.0, "epsilon must be positive");
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    debug_assert!(epsilon > 0.0, "epsilon validated by the driver");
     let n = g.num_nodes() as i64;
     let mut lo = Ratio64::from(g.min_weight().expect("component has arcs"));
     let mut hi = Ratio64::from(g.max_weight().expect("component has arcs"));
@@ -69,15 +73,21 @@ pub(crate) fn solve_scc(
             break;
         }
         counters.iterations += 1;
+        scope.tick_iteration_and_time()?;
+        scope.tick_refinement()?;
         let delta = hi - lo;
         let mid = lo.midpoint(hi);
         let eps_phase = delta / Ratio64::from(8 * n.max(1));
         rounded_costs_into(g, mid, eps_phase, &mut ws.bf.cost);
-        if check_staged_costs_ws(g, true, counters, ws) {
+        if check_staged_costs_ws(g, true, counters, ws, scope)? {
             // Real mean of this cycle is < mid + (n−1)·ε ≤ mid + δ/8.
             let cycle = &ws.bf.cycle;
-            let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-            let mean = Ratio64::new(w, cycle.len() as i64);
+            let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+            let mean = Ratio64::try_from_i128(w, cycle.len() as i128).ok_or(
+                SolveError::Overflow {
+                    context: "OA1 witness cycle mean",
+                },
+            )?;
             if best.as_ref().is_none_or(|(b, _)| mean < *b) {
                 best = Some((mean, cycle.clone()));
             }
@@ -97,20 +107,27 @@ pub(crate) fn solve_scc(
         _ => {
             // No rounded phase produced a witness (λ* close to the max
             // weight): extract one exactly at the upper bound.
-            assert!(
-                cycle_at_or_below_ws(g, hi, counters, ws),
-                "a cycle with mean at most the upper bound exists"
-            );
+            if !cycle_at_or_below_ws(g, hi, counters, ws, scope)? {
+                return Err(SolveError::NumericRange {
+                    context: "OA1 witness extraction found no cycle at the upper bound",
+                });
+            }
             let cycle = ws.bf.cycle.clone();
-            let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-            (Ratio64::new(w, cycle.len() as i64), cycle)
+            let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+            let mean = Ratio64::try_from_i128(w, cycle.len() as i128).ok_or(
+                SolveError::Overflow {
+                    context: "OA1 witness cycle mean",
+                },
+            )?;
+            (mean, cycle)
         }
     };
-    SccOutcome {
+    Ok(SccOutcome {
         lambda,
         cycle,
         guarantee: Guarantee::Epsilon(epsilon * 2.0),
-    }
+        solved_by: crate::Algorithm::Oa1,
+    })
 }
 
 #[cfg(test)]
@@ -118,9 +135,14 @@ mod tests {
     use super::*;
     use mcr_graph::graph::from_arc_list;
 
+    fn outcome(g: &Graph, c: &mut Counters, eps: f64) -> SccOutcome {
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Oa1);
+        solve_scc(g, c, eps, &mut Workspace::new(), &mut scope).expect("unlimited")
+    }
+
     fn solve(g: &Graph, eps: f64) -> Ratio64 {
         let mut c = Counters::new();
-        solve_scc(g, &mut c, eps, &mut Workspace::new()).lambda
+        outcome(g, &mut c, eps).lambda
     }
 
     #[test]
@@ -155,9 +177,20 @@ mod tests {
     fn phase_count_is_logarithmic() {
         let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 10_000)]);
         let mut c = Counters::new();
-        solve_scc(&g, &mut c, 1e-3, &mut Workspace::new());
+        outcome(&g, &mut c, 1e-3);
         // (5/8)^k · 9999 < 1e-3 ⇒ k ≈ 35.
         assert!(c.iterations <= 60, "phases {}", c.iterations);
+    }
+
+    #[test]
+    fn refinement_budget_of_one_exhausts_or_finishes() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 10_000)]);
+        let budget = crate::Budget::default().max_lambda_refinements(1);
+        let mut scope = BudgetScope::new(&budget, None, crate::Algorithm::Oa1);
+        let mut c = Counters::new();
+        let err = solve_scc(&g, &mut c, 1e-3, &mut Workspace::new(), &mut scope)
+            .expect_err("wide interval needs many phases");
+        assert!(matches!(err, SolveError::BudgetExhausted { .. }), "{err}");
     }
 
     #[test]

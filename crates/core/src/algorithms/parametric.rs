@@ -28,7 +28,9 @@
 //!   recomputed and updated in place — far fewer heap operations,
 //!   "especially in the number of insertions".
 
+use crate::budget::BudgetScope;
 use crate::driver::SccOutcome;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
@@ -64,7 +66,7 @@ impl<'g> Tree<'g> {
     /// `(transit, weight)` lexicographically. With strictly positive
     /// transit times the artificial star (a = 0, k = 0) is already
     /// optimal; zero-transit arcs require a lexicographic Bellman–Ford.
-    fn new(g: &'g Graph) -> Self {
+    fn new(g: &'g Graph) -> Result<Self, SolveError> {
         let n = g.num_nodes();
         let mut tree = Tree {
             g,
@@ -77,12 +79,12 @@ impl<'g> Tree<'g> {
             epoch: 0,
         };
         if g.arc_ids().any(|e| g.transit(e) == 0) {
-            tree.lexicographic_init();
+            tree.lexicographic_init()?;
         }
-        tree
+        Ok(tree)
     }
 
-    fn lexicographic_init(&mut self) {
+    fn lexicographic_init(&mut self) -> Result<(), SolveError> {
         let g = self.g;
         let n = g.num_nodes();
         let mut changed = true;
@@ -90,10 +92,11 @@ impl<'g> Tree<'g> {
         while changed {
             changed = false;
             rounds += 1;
-            assert!(
-                rounds <= n + 1,
-                "lexicographic initialization diverged: some cycle has zero total transit"
-            );
+            if rounds > n + 1 {
+                // The lexicographic relaxation diverges exactly when
+                // some cycle has zero total transit (ratio undefined).
+                return Err(SolveError::ZeroTransitCycle);
+            }
             for e in g.arc_ids() {
                 let u = g.source(e).index();
                 let v = g.target(e).index();
@@ -112,6 +115,7 @@ impl<'g> Tree<'g> {
                 self.children[self.parent_node[v] as usize].push(v as u32);
             }
         }
+        Ok(())
     }
 
     /// The event value of arc `e`, if increasing λ can ever make it
@@ -224,19 +228,22 @@ pub(crate) fn solve_scc(
     g: &Graph,
     counters: &mut Counters,
     granularity: HeapGranularity,
-) -> SccOutcome {
-    solve_scc_with::<FibonacciHeap<Ratio64>>(g, counters, granularity)
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
+    solve_scc_with::<FibonacciHeap<Ratio64>>(g, counters, granularity, scope)
 }
 
 /// Heap-generic engine, for the Fibonacci-vs-binary ablation bench.
+/// Every pivot charges one budget iteration.
 pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
     g: &Graph,
     counters: &mut Counters,
     granularity: HeapGranularity,
-) -> SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
     let m = g.num_arcs();
-    let mut tree = Tree::new(g);
+    let mut tree = Tree::new(g)?;
 
     match granularity {
         HeapGranularity::PerArc => {
@@ -247,11 +254,12 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                 }
             }
             let outcome = loop {
-                let (ei, lam) = heap
-                    .pop_min()
-                    .expect("cyclic component must produce a cycle event");
+                let (ei, lam) = heap.pop_min().ok_or(SolveError::NumericRange {
+                    context: "KO event queue drained before a cycle event",
+                })?;
                 let e = ArcId::new(ei);
                 counters.iterations += 1;
+                scope.tick_iteration_and_time()?;
                 let u = g.source(e).index();
                 let v = g.target(e).index();
                 if tree.is_ancestor(v, u) {
@@ -278,7 +286,7 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                 }
             };
             counters.heap += heap.counters();
-            finish(g, outcome)
+            finish(g, outcome, crate::Algorithm::Ko)
         }
         HeapGranularity::PerNode => {
             let mut heap: H = H::with_capacity(n);
@@ -287,11 +295,12 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                 recompute_node(&tree, &mut heap, &mut best_arc, v);
             }
             let outcome = loop {
-                let (vi, lam) = heap
-                    .pop_min()
-                    .expect("cyclic component must produce a cycle event");
+                let (vi, lam) = heap.pop_min().ok_or(SolveError::NumericRange {
+                    context: "YTO event queue drained before a cycle event",
+                })?;
                 let e = best_arc[vi].expect("queued node has a best arc");
                 counters.iterations += 1;
+                scope.tick_iteration_and_time()?;
                 let u = g.source(e).index();
                 if tree.is_ancestor(vi, u) {
                     let mut cycle = tree.path_arcs(vi, u);
@@ -314,7 +323,7 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                 }
             };
             counters.heap += heap.counters();
-            finish(g, outcome)
+            finish(g, outcome, crate::Algorithm::Yto)
         }
     }
 }
@@ -361,7 +370,11 @@ fn recompute_node<H: AddressableHeap<Ratio64>>(
     }
 }
 
-fn finish(g: &Graph, (lam, cycle): (Ratio64, Vec<ArcId>)) -> SccOutcome {
+fn finish(
+    g: &Graph,
+    (lam, cycle): (Ratio64, Vec<ArcId>),
+    solved_by: crate::Algorithm,
+) -> Result<SccOutcome, SolveError> {
     debug_assert!(crate::solution::check_cycle(g, &cycle).is_ok());
     debug_assert_eq!(
         {
@@ -372,11 +385,12 @@ fn finish(g: &Graph, (lam, cycle): (Ratio64, Vec<ArcId>)) -> SccOutcome {
         lam,
         "pivot cycle ratio must equal the event value"
     );
-    SccOutcome {
+    Ok(SccOutcome {
         lambda: lam,
         cycle,
         guarantee: Guarantee::Exact,
-    }
+        solved_by,
+    })
 }
 
 #[cfg(test)]
@@ -386,13 +400,15 @@ mod tests {
 
     fn ko(g: &Graph) -> (Ratio64, Counters) {
         let mut c = Counters::new();
-        let s = solve_scc(g, &mut c, HeapGranularity::PerArc);
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Ko);
+        let s = solve_scc(g, &mut c, HeapGranularity::PerArc, &mut scope).expect("unlimited");
         (s.lambda, c)
     }
 
     fn yto(g: &Graph) -> (Ratio64, Counters) {
         let mut c = Counters::new();
-        let s = solve_scc(g, &mut c, HeapGranularity::PerNode);
+        let mut scope = BudgetScope::unlimited(crate::Algorithm::Yto);
+        let s = solve_scc(g, &mut c, HeapGranularity::PerNode, &mut scope).expect("unlimited");
         (s.lambda, c)
     }
 
@@ -473,9 +489,16 @@ mod tests {
             for granularity in [HeapGranularity::PerArc, HeapGranularity::PerNode] {
                 let mut c1 = Counters::new();
                 let mut c2 = Counters::new();
-                let fib = solve_scc(&g, &mut c1, granularity);
-                let bin =
-                    solve_scc_with::<IndexedBinaryHeap<Ratio64>>(&g, &mut c2, granularity);
+                let mut s1 = BudgetScope::unlimited(crate::Algorithm::Ko);
+                let mut s2 = BudgetScope::unlimited(crate::Algorithm::Ko);
+                let fib = solve_scc(&g, &mut c1, granularity, &mut s1).expect("unlimited");
+                let bin = solve_scc_with::<IndexedBinaryHeap<Ratio64>>(
+                    &g,
+                    &mut c2,
+                    granularity,
+                    &mut s2,
+                )
+                .expect("unlimited");
                 assert_eq!(fib.lambda, bin.lambda, "seed {seed} {granularity:?}");
                 // Tie-breaking may differ between heaps, but both
                 // engines must do real work and agree on the optimum.

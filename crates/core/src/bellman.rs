@@ -10,6 +10,8 @@
 //! is the cycle *mean* shift; with general transit times it is the cycle
 //! *ratio* shift.
 
+use crate::budget::BudgetScope;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::workspace::Workspace;
@@ -72,16 +74,22 @@ pub fn bellman_ford(g: &Graph, cost: &[i128], strict: bool, counters: &mut Count
     let mut dist = Vec::new();
     let mut parent = Vec::new();
     let mut cycle = Vec::new();
-    if bellman_core(g, cost, counters, &mut dist, &mut parent, &mut cycle) {
-        CycleCheck::NegativeCycle(cycle)
-    } else {
-        CycleCheck::Feasible(dist)
+    let scope = BudgetScope::unlimited(crate::algorithms::Algorithm::HowardExact);
+    let found = bellman_core(g, cost, counters, &mut dist, &mut parent, &mut cycle, &scope);
+    match found {
+        Ok(true) => CycleCheck::NegativeCycle(cycle),
+        Ok(false) => CycleCheck::Feasible(dist),
+        Err(_) => unreachable!("an unlimited scope never trips"),
     }
 }
 
 /// The strict-mode Bellman–Ford loop over caller-provided buffers.
 /// Returns `true` if a strictly negative cycle exists (left in `cycle`,
 /// traversal order); `false` if feasible (potentials left in `dist`).
+/// The wall-clock deadline of `scope` is checked once per relaxation
+/// round, so a budgeted oracle call is abandoned within one `O(m)` pass
+/// of its deadline.
+#[allow(clippy::too_many_arguments)] // internal hot loop over flat scratch buffers
 fn bellman_core(
     g: &Graph,
     cost: &[i128],
@@ -89,7 +97,8 @@ fn bellman_core(
     dist: &mut Vec<i128>,
     parent: &mut Vec<u32>,
     cycle: &mut Vec<ArcId>,
-) -> bool {
+    scope: &BudgetScope,
+) -> Result<bool, SolveError> {
     let n = g.num_nodes();
     let m = g.num_arcs();
     const NO_PARENT: u32 = u32::MAX;
@@ -100,6 +109,7 @@ fn bellman_core(
     cycle.clear();
     let mut updated_node = None;
     for _round in 0..n {
+        scope.check_time()?;
         let mut any = false;
         #[allow(clippy::needless_range_loop)] // hot loop indexes two arrays in step
         for ai in 0..m {
@@ -117,7 +127,7 @@ fn bellman_core(
             }
         }
         if !any {
-            return false;
+            return Ok(false);
         }
     }
     // An update in round n certifies a negative cycle reachable through
@@ -143,7 +153,7 @@ fn bellman_core(
         cycle.iter().map(|&a| cost[a.index()]).sum::<i128>() < 0,
         "extracted cycle is not negative"
     );
-    true
+    Ok(true)
 }
 
 /// Runs the oracle on the costs already staged in `ws.bf.cost`, entirely
@@ -157,7 +167,8 @@ pub(crate) fn check_staged_costs_ws(
     strict: bool,
     counters: &mut Counters,
     ws: &mut Workspace,
-) -> bool {
+    scope: &BudgetScope,
+) -> Result<bool, SolveError> {
     debug_assert_eq!(ws.bf.cost.len(), g.num_arcs());
     counters.oracle_calls += 1;
     let bf = &mut ws.bf;
@@ -174,6 +185,7 @@ pub(crate) fn check_staged_costs_ws(
             &mut bf.dist,
             &mut bf.parent,
             &mut bf.cycle,
+            scope,
         );
     }
     bellman_core(
@@ -183,6 +195,7 @@ pub(crate) fn check_staged_costs_ws(
         &mut bf.dist,
         &mut bf.parent,
         &mut bf.cycle,
+        scope,
     )
 }
 
@@ -194,9 +207,10 @@ pub(crate) fn cycle_check_ws(
     strict: bool,
     counters: &mut Counters,
     ws: &mut Workspace,
-) -> bool {
+    scope: &BudgetScope,
+) -> Result<bool, SolveError> {
     scaled_costs_into(g, lambda, &mut ws.bf.cost);
-    check_staged_costs_ws(g, strict, counters, ws)
+    check_staged_costs_ws(g, strict, counters, ws, scope)
 }
 
 /// Workspace-buffered [`has_cycle_below`]: `true` iff some cycle has
@@ -206,8 +220,9 @@ pub(crate) fn has_cycle_below_ws(
     lambda: Ratio64,
     counters: &mut Counters,
     ws: &mut Workspace,
-) -> bool {
-    cycle_check_ws(g, lambda, true, counters, ws)
+    scope: &BudgetScope,
+) -> Result<bool, SolveError> {
+    cycle_check_ws(g, lambda, true, counters, ws, scope)
 }
 
 /// Workspace-buffered [`cycle_at_or_below`]: `true` iff some cycle has
@@ -217,8 +232,9 @@ pub(crate) fn cycle_at_or_below_ws(
     lambda: Ratio64,
     counters: &mut Counters,
     ws: &mut Workspace,
-) -> bool {
-    cycle_check_ws(g, lambda, false, counters, ws)
+    scope: &BudgetScope,
+) -> Result<bool, SolveError> {
+    cycle_check_ws(g, lambda, false, counters, ws, scope)
 }
 
 /// Tests whether `G_λ` (costs `w − λ·t`) has a strictly negative cycle,
@@ -309,12 +325,13 @@ mod tests {
     fn workspace_variant_matches_allocating_variant() {
         let g = from_arc_list(4, &[(0, 1, 3), (1, 2, 1), (2, 0, 5), (2, 3, 1), (3, 1, 4)]);
         let mut ws = Workspace::new();
+        let scope = BudgetScope::unlimited(crate::algorithms::Algorithm::HowardExact);
         for num in -10..10 {
             let lam = Ratio64::new(num, 3);
             let mut c1 = counters();
             let plain = has_cycle_below(&g, lam, &mut c1);
             let mut c2 = counters();
-            let found = has_cycle_below_ws(&g, lam, &mut c2, &mut ws);
+            let found = has_cycle_below_ws(&g, lam, &mut c2, &mut ws, &scope).expect("unlimited");
             assert_eq!(plain.is_some(), found, "lambda {lam}");
             if let Some(cycle) = plain {
                 assert_eq!(cycle, ws.bf.cycle, "lambda {lam}");
@@ -324,13 +341,34 @@ mod tests {
             let mut c3 = counters();
             let plain = cycle_at_or_below(&g, lam, &mut c3);
             let mut c4 = counters();
-            let found = cycle_at_or_below_ws(&g, lam, &mut c4, &mut ws);
+            let found =
+                cycle_at_or_below_ws(&g, lam, &mut c4, &mut ws, &scope).expect("unlimited");
             assert_eq!(plain.is_some(), found, "lambda {lam} (non-strict)");
             if let Some(cycle) = plain {
                 assert_eq!(cycle, ws.bf.cycle, "lambda {lam} (non-strict)");
             }
             assert_eq!(c3, c4, "counters must match for lambda {lam} (non-strict)");
         }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_the_oracle() {
+        let g = from_arc_list(3, &[(0, 1, 2), (1, 2, 2), (2, 0, 2)]);
+        let budget = crate::Budget::default().wall_time(std::time::Duration::ZERO);
+        let deadline = budget.deadline();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let scope = BudgetScope::new(&budget, deadline, crate::algorithms::Algorithm::Megiddo);
+        let mut ws = Workspace::new();
+        let mut c = counters();
+        let err = has_cycle_below_ws(&g, Ratio64::from(3), &mut c, &mut ws, &scope)
+            .expect_err("deadline already passed");
+        assert!(matches!(
+            err,
+            SolveError::BudgetExhausted {
+                resource: crate::BudgetResource::WallTime,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -1,0 +1,275 @@
+//! Resource budgets for the solver layer.
+//!
+//! A [`Budget`] bounds how much work a solve may do before giving up:
+//! outer-loop iterations, λ-refinement steps, and wall-clock time. The
+//! limits are *cooperative* — each algorithm charges its dominant loop
+//! against a [`BudgetScope`] and returns
+//! [`SolveError::BudgetExhausted`] when a limit is hit, so a bounded
+//! solve never hangs and never aborts the process.
+//!
+//! Iteration and refinement budgets are charged **per SCC attempt**:
+//! each (component, algorithm) pair gets the full allowance, which
+//! keeps results independent of how the driver schedules components
+//! across threads. The wall-clock deadline is **shared** across the
+//! whole solve: it is computed once when `solve_with_options` starts
+//! and every component races against the same instant.
+
+// Parsing/validation surfaces must stay panic-free whatever the
+// input; CI runs clippy with -D warnings, so these lints are a gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+
+use crate::algorithms::Algorithm;
+use crate::error::{BudgetResource, SolveError};
+use std::time::{Duration, Instant};
+
+/// Work limits for a solve. The default is unlimited in every
+/// dimension, so existing callers see no behavior change.
+///
+/// ```
+/// use mcr_core::Budget;
+/// use std::time::Duration;
+/// let b = Budget::default()
+///     .max_iterations(10_000)
+///     .wall_time(Duration::from_secs(5));
+/// assert_eq!(b.max_iterations, Some(10_000));
+/// assert!(!b.is_unlimited());
+/// assert!(Budget::UNLIMITED.is_unlimited());
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Cap on the dominant outer loop of the algorithm, per SCC
+    /// attempt: Howard policy improvements, Burns phases, KO/YTO heap
+    /// pivots, Karp/HO/DG table levels, bisection steps. `None` means
+    /// unlimited.
+    pub max_iterations: Option<u64>,
+    /// Wall-clock limit for the whole solve (shared across all SCCs
+    /// and all fallback attempts). `None` means unlimited.
+    pub wall_time: Option<Duration>,
+    /// Cap on λ-refinement steps of the search-based algorithms
+    /// (Lawler/OA1 bisection halvings, Megiddo oracle resolutions),
+    /// per SCC attempt. `None` means unlimited.
+    pub max_lambda_refinements: Option<u64>,
+}
+
+impl Budget {
+    /// No limits at all (same as `Budget::default()`).
+    pub const UNLIMITED: Budget = Budget {
+        max_iterations: None,
+        wall_time: None,
+        max_lambda_refinements: None,
+    };
+
+    /// Sets the per-SCC-attempt iteration cap.
+    pub fn max_iterations(mut self, n: u64) -> Self {
+        self.max_iterations = Some(n);
+        self
+    }
+
+    /// Sets the shared wall-clock limit.
+    pub fn wall_time(mut self, d: Duration) -> Self {
+        self.wall_time = Some(d);
+        self
+    }
+
+    /// Sets the per-SCC-attempt λ-refinement cap.
+    pub fn max_lambda_refinements(mut self, n: u64) -> Self {
+        self.max_lambda_refinements = Some(n);
+        self
+    }
+
+    /// Whether no limit is set in any dimension.
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::UNLIMITED
+    }
+
+    /// The absolute deadline implied by `wall_time`, anchored at "now".
+    /// Computed once per solve so that all SCC jobs and fallback
+    /// attempts race against the same instant.
+    pub fn deadline(&self) -> Option<Instant> {
+        self.wall_time.map(|d| Instant::now() + d)
+    }
+}
+
+/// The runtime countdown for one (SCC, algorithm) attempt.
+///
+/// Constructed by the driver from a [`Budget`] plus the solve-wide
+/// deadline; handed down into each algorithm's hot loops, which call
+/// [`tick_iteration`](BudgetScope::tick_iteration) /
+/// [`tick_refinement`](BudgetScope::tick_refinement) /
+/// [`check_time`](BudgetScope::check_time) at their natural charge
+/// points.
+#[derive(Clone, Debug)]
+pub struct BudgetScope {
+    algorithm: Algorithm,
+    iters_left: Option<u64>,
+    iters_spent: u64,
+    refines_left: Option<u64>,
+    refines_spent: u64,
+    deadline: Option<Instant>,
+}
+
+impl BudgetScope {
+    /// A fresh countdown for one SCC attempt of `algorithm`.
+    pub fn new(budget: &Budget, deadline: Option<Instant>, algorithm: Algorithm) -> Self {
+        BudgetScope {
+            algorithm,
+            iters_left: budget.max_iterations,
+            iters_spent: 0,
+            refines_left: budget.max_lambda_refinements,
+            refines_spent: 0,
+            deadline,
+        }
+    }
+
+    /// A scope that never trips — for the legacy `Option`-returning
+    /// entry points and internal helpers that pre-date budgets.
+    pub fn unlimited(algorithm: Algorithm) -> Self {
+        BudgetScope::new(&Budget::UNLIMITED, None, algorithm)
+    }
+
+    /// The algorithm this scope is charging (used to attribute
+    /// [`SolveError::BudgetExhausted`]).
+    pub fn algorithm(&self) -> Algorithm {
+        self.algorithm
+    }
+
+    /// Re-attributes subsequent charges (the fallback driver reuses
+    /// the deadline but resets the countdowns per attempt, so it
+    /// constructs fresh scopes instead; this is for wrappers that
+    /// dispatch to a helper algorithm internally).
+    pub fn set_algorithm(&mut self, algorithm: Algorithm) {
+        self.algorithm = algorithm;
+    }
+
+    /// Charges one outer-loop iteration; errs when the cap is reached.
+    #[inline]
+    pub fn tick_iteration(&mut self) -> Result<(), SolveError> {
+        self.iters_spent += 1;
+        if let Some(left) = &mut self.iters_left {
+            if *left == 0 {
+                return Err(self.exhausted(BudgetResource::Iterations, self.iters_spent));
+            }
+            *left -= 1;
+        }
+        Ok(())
+    }
+
+    /// Charges one λ-refinement step; errs when the cap is reached.
+    #[inline]
+    pub fn tick_refinement(&mut self) -> Result<(), SolveError> {
+        self.refines_spent += 1;
+        if let Some(left) = &mut self.refines_left {
+            if *left == 0 {
+                return Err(self.exhausted(BudgetResource::LambdaRefinements, self.refines_spent));
+            }
+            *left -= 1;
+        }
+        Ok(())
+    }
+
+    /// Errs when the shared deadline has passed. Cheap when no
+    /// deadline is set (no clock read).
+    #[inline]
+    pub fn check_time(&self) -> Result<(), SolveError> {
+        match self.deadline {
+            None => Ok(()),
+            Some(deadline) => {
+                if Instant::now() >= deadline {
+                    Err(self.exhausted(BudgetResource::WallTime, self.iters_spent))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
+    /// Combined per-round charge used by loops that should respect
+    /// both the iteration cap and the deadline.
+    #[inline]
+    pub fn tick_iteration_and_time(&mut self) -> Result<(), SolveError> {
+        self.tick_iteration()?;
+        self.check_time()
+    }
+
+    fn exhausted(&self, resource: BudgetResource, spent: u64) -> SolveError {
+        SolveError::BudgetExhausted {
+            algorithm: self.algorithm,
+            resource,
+            spent,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_never_trips() {
+        let mut s = BudgetScope::unlimited(Algorithm::HowardExact);
+        for _ in 0..10_000 {
+            s.tick_iteration().expect("unlimited");
+            s.tick_refinement().expect("unlimited");
+            s.check_time().expect("unlimited");
+        }
+    }
+
+    #[test]
+    fn iteration_cap_trips_after_exactly_n_charges() {
+        let b = Budget::default().max_iterations(3);
+        let mut s = BudgetScope::new(&b, None, Algorithm::Karp);
+        assert!(s.tick_iteration().is_ok());
+        assert!(s.tick_iteration().is_ok());
+        assert!(s.tick_iteration().is_ok());
+        let err = s.tick_iteration().expect_err("cap of 3");
+        assert_eq!(
+            err,
+            SolveError::BudgetExhausted {
+                algorithm: Algorithm::Karp,
+                resource: BudgetResource::Iterations,
+                spent: 4,
+            }
+        );
+    }
+
+    #[test]
+    fn refinement_cap_is_independent_of_iterations() {
+        let b = Budget::default().max_lambda_refinements(1);
+        let mut s = BudgetScope::new(&b, None, Algorithm::LawlerExact);
+        for _ in 0..100 {
+            s.tick_iteration().expect("iterations unlimited");
+        }
+        assert!(s.tick_refinement().is_ok());
+        let err = s.tick_refinement().expect_err("cap of 1");
+        assert!(matches!(
+            err,
+            SolveError::BudgetExhausted {
+                resource: BudgetResource::LambdaRefinements,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn expired_deadline_trips_check_time() {
+        let deadline = Some(Instant::now() - Duration::from_millis(1));
+        let s = BudgetScope::new(&Budget::UNLIMITED, deadline, Algorithm::Megiddo);
+        let err = s.check_time().expect_err("deadline in the past");
+        assert!(matches!(
+            err,
+            SolveError::BudgetExhausted {
+                resource: BudgetResource::WallTime,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn budget_deadline_round_trips() {
+        assert!(Budget::UNLIMITED.deadline().is_none());
+        let b = Budget::default().wall_time(Duration::from_secs(3600));
+        let d = b.deadline().expect("wall_time set");
+        assert!(d > Instant::now());
+    }
+}

@@ -1,0 +1,208 @@
+//! Independent solution certification.
+//!
+//! [`certify`] re-walks a reported witness cycle against the input
+//! graph and verifies, in exact [`Ratio64`] arithmetic, that the
+//! cycle's mean or cost-to-time ratio equals the reported `lambda`. It
+//! shares no code with the solvers' own cycle extraction — the walk,
+//! the accumulation (`i128`, overflow-free) and the comparison are all
+//! independent — so a bug in any one algorithm cannot certify its own
+//! wrong answer.
+//!
+//! Note what this does and does not check: it proves `lambda` **is
+//! achieved** by the returned cycle (so the value is an upper bound on
+//! the true minimum, attained by a real cycle). It does not re-prove
+//! global optimality, which would amount to re-solving the instance.
+
+// Parsing/validation surfaces must stay panic-free whatever the
+// input; CI runs clippy with -D warnings, so these lints are a gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+
+use crate::rational::Ratio64;
+use crate::solution::{cycle_totals, Solution};
+use mcr_graph::Graph;
+use std::fmt;
+
+/// Why a [`Solution`] failed certification.
+#[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
+pub enum CertifyError {
+    /// The witness references an arc id not present in the graph.
+    ArcOutOfRange {
+        /// The offending arc index.
+        arc: usize,
+        /// The graph's arc count.
+        num_arcs: usize,
+    },
+    /// The witness is empty or its arcs do not chain head-to-tail into
+    /// a closed cycle.
+    MalformedCycle {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// The witness is a valid cycle, but neither its mean nor its
+    /// cost-to-time ratio equals the reported `lambda`.
+    LambdaMismatch {
+        /// The reported value.
+        lambda: Ratio64,
+        /// The cycle's exact mean, if it fits `Ratio64`.
+        mean: Option<Ratio64>,
+        /// The cycle's exact ratio, if defined (positive total transit)
+        /// and it fits `Ratio64`.
+        ratio: Option<Ratio64>,
+    },
+}
+
+impl fmt::Display for CertifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CertifyError::ArcOutOfRange { arc, num_arcs } => {
+                write!(f, "witness arc {arc} out of range (graph has {num_arcs} arcs)")
+            }
+            CertifyError::MalformedCycle { detail } => {
+                write!(f, "witness is not a cycle: {detail}")
+            }
+            CertifyError::LambdaMismatch { lambda, mean, ratio } => {
+                write!(f, "reported lambda {lambda} matches neither the witness mean (")?;
+                match mean {
+                    Some(m) => write!(f, "{m}")?,
+                    None => f.write_str("out of range")?,
+                }
+                f.write_str(") nor its ratio (")?;
+                match ratio {
+                    Some(r) => write!(f, "{r}")?,
+                    None => f.write_str("undefined")?,
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CertifyError {}
+
+/// Verifies that `solution.cycle` is a well-formed cycle of `g` whose
+/// exact mean **or** cost-to-time ratio equals `solution.lambda`.
+///
+/// Accepting either objective keeps the check independent of which
+/// problem (MCMP or MCRP) produced the solution — the `Solution` type
+/// does not record it. On unit-transit graphs the two coincide anyway.
+///
+/// ```
+/// use mcr_graph::graph::from_arc_list;
+/// use mcr_core::{certify, minimum_cycle_mean};
+/// let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 5)]);
+/// let sol = minimum_cycle_mean(&g).expect("cyclic");
+/// certify(&sol, &g).expect("solver output certifies");
+/// ```
+pub fn certify(solution: &Solution, g: &Graph) -> Result<(), CertifyError> {
+    let num_arcs = g.num_arcs();
+    for &a in &solution.cycle {
+        if a.index() >= num_arcs {
+            return Err(CertifyError::ArcOutOfRange {
+                arc: a.index(),
+                num_arcs,
+            });
+        }
+    }
+    if solution.cycle.is_empty() {
+        return Err(CertifyError::MalformedCycle {
+            detail: "empty cycle".into(),
+        });
+    }
+    for (i, &a) in solution.cycle.iter().enumerate() {
+        let next = solution.cycle[(i + 1) % solution.cycle.len()];
+        if g.target(a) != g.source(next) {
+            return Err(CertifyError::MalformedCycle {
+                detail: format!(
+                    "arc {} ends at node {} but the next arc {} starts at node {}",
+                    a.index(),
+                    g.target(a).index(),
+                    next.index(),
+                    g.source(next).index()
+                ),
+            });
+        }
+    }
+
+    let (w, t) = cycle_totals(g, &solution.cycle);
+    let mean = Ratio64::try_from_i128(w, solution.cycle.len() as i128);
+    let ratio = if t > 0 { Ratio64::try_from_i128(w, t) } else { None };
+    if mean == Some(solution.lambda) || ratio == Some(solution.lambda) {
+        Ok(())
+    } else {
+        Err(CertifyError::LambdaMismatch {
+            lambda: solution.lambda,
+            mean,
+            ratio,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::Counters;
+    use crate::solution::Guarantee;
+    use crate::Algorithm;
+    use mcr_graph::graph::from_arc_list;
+    use mcr_graph::ArcId;
+
+    fn sol(lambda: Ratio64, cycle: Vec<ArcId>) -> Solution {
+        Solution {
+            lambda,
+            cycle,
+            guarantee: Guarantee::Exact,
+            solved_by: Algorithm::HowardExact,
+            counters: Counters::new(),
+        }
+    }
+
+    #[test]
+    fn accepts_a_correct_mean_witness() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 5)]);
+        let s = sol(Ratio64::from(3), g.arc_ids().collect());
+        certify(&s, &g).expect("mean 3 is correct");
+    }
+
+    #[test]
+    fn rejects_a_wrong_lambda() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 5)]);
+        let s = sol(Ratio64::from(2), g.arc_ids().collect());
+        let err = certify(&s, &g).expect_err("mean is 3, not 2");
+        assert!(matches!(err, CertifyError::LambdaMismatch { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_out_of_range_and_broken_cycles() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 5)]);
+        let s = sol(Ratio64::from(3), vec![ArcId::new(7)]);
+        assert!(matches!(
+            certify(&s, &g),
+            Err(CertifyError::ArcOutOfRange { arc: 7, num_arcs: 2 })
+        ));
+        let s = sol(Ratio64::from(3), vec![ArcId::new(0)]);
+        assert!(matches!(
+            certify(&s, &g),
+            Err(CertifyError::MalformedCycle { .. })
+        ));
+        let s = sol(Ratio64::from(3), vec![]);
+        assert!(matches!(
+            certify(&s, &g),
+            Err(CertifyError::MalformedCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn accepts_a_ratio_witness() {
+        // Weight 6, transit 4 → ratio 3/2, mean 3.
+        let mut b = mcr_graph::GraphBuilder::new();
+        let u = b.add_node();
+        let v = b.add_node();
+        b.add_arc_with_transit(u, v, 1, 1);
+        b.add_arc_with_transit(v, u, 5, 3);
+        let g = b.build();
+        let s = sol(Ratio64::new(6, 4), g.arc_ids().collect());
+        certify(&s, &g).expect("ratio 3/2 is correct");
+    }
+}

@@ -9,6 +9,8 @@
 //! directly yield a cycle (Karp, Karp2, DG).
 
 use crate::bellman::{bellman_ford, cycle_check_ws, scaled_costs, CycleCheck};
+use crate::budget::BudgetScope;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::workspace::Workspace;
@@ -81,25 +83,37 @@ pub fn critical_subgraph(g: &Graph, lambda: Ratio64) -> Result<CriticalSubgraph,
 /// `lambda`: finds a cycle inside the critical subgraph by iterative
 /// DFS over tight arcs.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `lambda` is not the exact optimum of `g` (either `G_λ` has
-/// a negative cycle, or the critical subgraph is acyclic). Intended for
-/// internal use by exact solvers.
-pub fn critical_cycle(g: &Graph, lambda: Ratio64) -> Vec<ArcId> {
-    critical_cycle_ws(g, lambda, &mut Workspace::new())
+/// Returns [`SolveError::NumericRange`] if `lambda` is not the exact
+/// optimum of `g` (either `G_λ` has a negative cycle, or the critical
+/// subgraph is acyclic). Intended for internal use by exact solvers.
+pub fn critical_cycle(g: &Graph, lambda: Ratio64) -> Result<Vec<ArcId>, SolveError> {
+    let scope = BudgetScope::unlimited(crate::algorithms::Algorithm::HowardExact);
+    critical_cycle_ws(g, lambda, &mut Workspace::new(), &scope)
 }
 
 /// [`critical_cycle`] over reusable workspace buffers: the Bellman–Ford
 /// potentials, the tight-arc adjacency (flat CSR), and the DFS stacks
 /// all live in `ws`, so witness extraction allocates only the returned
-/// cycle.
-pub(crate) fn critical_cycle_ws(g: &Graph, lambda: Ratio64, ws: &mut Workspace) -> Vec<ArcId> {
+/// cycle. The wall-clock deadline of `scope` applies to the embedded
+/// Bellman–Ford pass.
+pub(crate) fn critical_cycle_ws(
+    g: &Graph,
+    lambda: Ratio64,
+    ws: &mut Workspace,
+    scope: &BudgetScope,
+) -> Result<Vec<ArcId>, SolveError> {
     // Witness extraction is not part of the solver's instrumented work
     // (matching the allocating version, which used a private counter).
     let mut counters = Counters::new();
-    if cycle_check_ws(g, lambda, true, &mut counters, ws) {
-        panic!("critical_cycle with non-optimal lambda: lambda {lambda} exceeds the optimum");
+    if cycle_check_ws(g, lambda, true, &mut counters, ws, scope)? {
+        // A λ above the optimum means the calling solver converged to a
+        // wrong value (typically numeric trouble); let the fallback
+        // chain try a different method rather than aborting.
+        return Err(SolveError::NumericRange {
+            context: "critical cycle extraction: lambda exceeds the optimum",
+        });
     }
     let n = g.num_nodes();
     let Workspace {
@@ -152,7 +166,7 @@ pub(crate) fn critical_cycle_ws(g: &Graph, lambda: Ratio64, ws: &mut Workspace) 
                         crate::solution::check_cycle(g, &cycle).is_ok(),
                         "critical cycle malformed"
                     );
-                    return cycle;
+                    return Ok(cycle);
                 } else if marks.mark[w] != black {
                     marks.mark[w] = gray;
                     dfs.pos[w] = dfs.arc_stack.len() as u32 + 1;
@@ -166,7 +180,10 @@ pub(crate) fn critical_cycle_ws(g: &Graph, lambda: Ratio64, ws: &mut Workspace) 
             }
         }
     }
-    panic!("critical subgraph is acyclic: lambda {lambda} is not the optimum");
+    // Feasible but no tight cycle: λ lies strictly below the optimum.
+    Err(SolveError::NumericRange {
+        context: "critical cycle extraction: critical subgraph is acyclic",
+    })
 }
 
 #[cfg(test)]
@@ -178,7 +195,7 @@ mod tests {
     #[test]
     fn critical_cycle_of_single_ring() {
         let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 2), (2, 0, 3)]);
-        let cyc = critical_cycle(&g, Ratio64::from(2));
+        let cyc = critical_cycle(&g, Ratio64::from(2)).expect("optimal lambda");
         let (w, len, _) = check_cycle(&g, &cyc).expect("valid");
         assert_eq!(Ratio64::new(w, len as i64), Ratio64::from(2));
         assert_eq!(len, 3);
@@ -188,7 +205,7 @@ mod tests {
     fn critical_cycle_picks_minimum() {
         // Self-loop of weight 1 beats the 2-cycle of mean 5.
         let g = from_arc_list(2, &[(0, 1, 5), (1, 0, 5), (0, 0, 1)]);
-        let cyc = critical_cycle(&g, Ratio64::from(1));
+        let cyc = critical_cycle(&g, Ratio64::from(1)).expect("optimal lambda");
         assert_eq!(cyc.len(), 1);
         assert_eq!(g.weight(cyc[0]), 1);
     }
@@ -211,11 +228,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "acyclic")]
-    fn below_optimum_panics_in_cycle_extraction() {
+    fn non_optimal_lambda_is_an_error_not_a_panic() {
         let g = from_arc_list(2, &[(0, 1, 4), (1, 0, 4)]);
         // λ = 3 < λ* = 4: feasible but nothing is tight on a cycle.
-        critical_cycle(&g, Ratio64::from(3));
+        let err = critical_cycle(&g, Ratio64::from(3)).expect_err("below optimum");
+        assert!(matches!(err, SolveError::NumericRange { .. }), "{err}");
+        // λ = 5 > λ* = 4: negative cycle in G_λ.
+        let err = critical_cycle(&g, Ratio64::from(5)).expect_err("above optimum");
+        assert!(matches!(err, SolveError::NumericRange { .. }), "{err}");
     }
 
     #[test]
@@ -225,7 +245,7 @@ mod tests {
         b.add_arc_with_transit(v[0], v[1], 4, 1);
         b.add_arc_with_transit(v[1], v[0], 6, 3);
         let g = b.build();
-        let cyc = critical_cycle(&g, Ratio64::new(5, 2));
+        let cyc = critical_cycle(&g, Ratio64::new(5, 2)).expect("optimal lambda");
         let (w, _, t) = check_cycle(&g, &cyc).expect("valid");
         assert_eq!(Ratio64::new(w, t), Ratio64::new(5, 2));
     }

@@ -30,6 +30,8 @@
 //! Consequently `threads = 1` and `threads = N` return bit-identical
 //! [`Solution`]s.
 
+use crate::algorithms::Algorithm;
+use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::options::SolveOptions;
 use crate::rational::Ratio64;
@@ -45,6 +47,9 @@ pub(crate) struct SccOutcome {
     pub lambda: Ratio64,
     pub cycle: Vec<ArcId>,
     pub guarantee: Guarantee,
+    /// The algorithm that produced this outcome (differs from the
+    /// requested one when a fallback answered).
+    pub solved_by: Algorithm,
 }
 
 /// One unit of work: a cyclic component's subgraph plus the map from its
@@ -138,15 +143,17 @@ fn run_jobs<R: Send>(
 
 /// Runs `solve_scc` on every cyclic strongly connected component of `g`
 /// and returns the minimum, with the witness cycle mapped back to
-/// `g`'s arc ids. Returns `None` when `g` is acyclic.
+/// `g`'s arc ids. Returns [`SolveError::Acyclic`] when `g` has no
+/// cycle; any per-component error is propagated (the one from the
+/// lowest component index, independent of scheduling).
 ///
 /// `solve_scc` receives a strongly connected graph that contains at
 /// least one cycle (possibly a single node with self-loops), a counter
 /// sink, and a reusable scratch workspace.
 pub(crate) fn solve_per_scc(
     g: &Graph,
-    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> SccOutcome + Sync,
-) -> Option<Solution> {
+    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError> + Sync,
+) -> Result<Solution, SolveError> {
     solve_per_scc_opts(g, &SolveOptions::default(), solve_scc)
 }
 
@@ -155,19 +162,25 @@ pub(crate) fn solve_per_scc(
 pub(crate) fn solve_per_scc_opts(
     g: &Graph,
     opts: &SolveOptions,
-    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> SccOutcome + Sync,
-) -> Option<Solution> {
+    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError> + Sync,
+) -> Result<Solution, SolveError> {
     let jobs = extract_jobs(g);
     if jobs.is_empty() {
-        return None;
+        return Err(SolveError::Acyclic);
     }
     let threads = opts.effective_threads().clamp(1, jobs.len());
-    let (outcomes, counters) = run_jobs(&jobs, threads, solve_scc);
+    let (results, counters) = run_jobs(&jobs, threads, solve_scc);
 
     // Reduce in job (= component) order with a strict `<`: on equal λ
     // the lowest component index wins, as in the sequential loop.
+    // Errors propagate the same way — the failure of the lowest
+    // component index is reported, regardless of which worker hit it.
     let mut best: Option<(usize, &SccOutcome)> = None;
-    for (i, outcome) in outcomes.iter().enumerate() {
+    for (i, result) in results.iter().enumerate() {
+        let outcome = match result {
+            Ok(outcome) => outcome,
+            Err(e) => return Err(e.clone()),
+        };
         debug_assert!(
             crate::solution::check_cycle(&jobs[i].sub, &outcome.cycle).is_ok(),
             "solver returned a malformed cycle"
@@ -176,16 +189,21 @@ pub(crate) fn solve_per_scc_opts(
             best = Some((i, outcome));
         }
     }
-    let (i, outcome) = best.expect("at least one cyclic component");
+    let (i, outcome) = match best {
+        Some(b) => b,
+        // Unreachable: every job either erred (returned above) or won.
+        None => return Err(SolveError::Acyclic),
+    };
     let mapped: Vec<ArcId> = outcome
         .cycle
         .iter()
         .map(|&a| jobs[i].arc_map[a.index()])
         .collect();
-    Some(Solution {
+    Ok(Solution {
         lambda: outcome.lambda,
         cycle: mapped,
         guarantee: outcome.guarantee,
+        solved_by: outcome.solved_by,
         counters,
     })
 }
@@ -196,19 +214,25 @@ pub(crate) fn solve_per_scc_opts(
 pub(crate) fn solve_value_per_scc_opts(
     g: &Graph,
     opts: &SolveOptions,
-    lambda_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Ratio64 + Sync,
-) -> Option<(Ratio64, Counters)> {
+    lambda_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Result<Ratio64, SolveError> + Sync,
+) -> Result<(Ratio64, Counters), SolveError> {
     let jobs = extract_jobs(g);
     if jobs.is_empty() {
-        return None;
+        return Err(SolveError::Acyclic);
     }
     let threads = opts.effective_threads().clamp(1, jobs.len());
     let (lambdas, counters) = run_jobs(&jobs, threads, lambda_scc);
-    let best = lambdas
-        .into_iter()
-        .reduce(|a, b| if b < a { b } else { a })
-        .expect("at least one cyclic component");
-    Some((best, counters))
+    let mut best: Option<Ratio64> = None;
+    for result in lambdas {
+        let lambda = result?;
+        if best.is_none_or(|b| lambda < b) {
+            best = Some(lambda);
+        }
+    }
+    match best {
+        Some(lambda) => Ok((lambda, counters)),
+        None => Err(SolveError::Acyclic),
+    }
 }
 
 #[cfg(test)]
@@ -217,21 +241,57 @@ mod tests {
     use mcr_graph::graph::from_arc_list;
 
     /// A toy exact solver: brute force, packaged as an SCC solver.
-    fn brute(sub: &Graph, counters: &mut Counters, _ws: &mut Workspace) -> SccOutcome {
+    fn brute(
+        sub: &Graph,
+        counters: &mut Counters,
+        _ws: &mut Workspace,
+    ) -> Result<SccOutcome, SolveError> {
         counters.iterations += 1;
         let (lambda, cycle) = crate::reference::brute_force_min_mean(sub)
             .expect("driver must pass cyclic components only");
-        SccOutcome {
+        Ok(SccOutcome {
             lambda,
             cycle,
             guarantee: Guarantee::Exact,
-        }
+            solved_by: Algorithm::HowardExact,
+        })
     }
 
     #[test]
-    fn acyclic_graph_yields_none() {
+    fn acyclic_graph_yields_acyclic_error() {
         let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 1)]);
-        assert!(solve_per_scc(&g, brute).is_none());
+        assert_eq!(
+            solve_per_scc(&g, brute).expect_err("acyclic"),
+            SolveError::Acyclic
+        );
+    }
+
+    #[test]
+    fn component_error_propagates_at_every_thread_count() {
+        // Two cyclic components; the one with weight-5 arcs fails. The
+        // whole solve must report that error no matter how the jobs are
+        // scheduled, even though the other component succeeds.
+        let g = from_arc_list(4, &[(0, 1, 5), (1, 0, 5), (2, 3, 1), (3, 2, 3)]);
+        for threads in [1, 2, 4] {
+            let opts = SolveOptions::new().threads(threads);
+            let err = solve_per_scc_opts(&g, &opts, |sub, c, ws| {
+                if sub.arc_ids().any(|a| sub.weight(a) == 5) {
+                    Err(SolveError::Overflow {
+                        context: "synthetic failure",
+                    })
+                } else {
+                    brute(sub, c, ws)
+                }
+            })
+            .expect_err("one component fails");
+            assert_eq!(
+                err,
+                SolveError::Overflow {
+                    context: "synthetic failure"
+                },
+                "threads {threads}"
+            );
+        }
     }
 
     #[test]
@@ -291,11 +351,12 @@ mod tests {
             assert_eq!(par.lambda, seq.lambda);
             assert_eq!(par.cycle, seq.cycle, "witness differs at {threads} threads");
             assert_eq!(par.counters, seq.counters);
-            let (v_seq, c_seq) =
-                solve_value_per_scc_opts(&g, &SolveOptions::default(), |s, c, w| brute(s, c, w).lambda)
-                    .expect("cyclic");
+            let (v_seq, c_seq) = solve_value_per_scc_opts(&g, &SolveOptions::default(), |s, c, w| {
+                brute(s, c, w).map(|o| o.lambda)
+            })
+            .expect("cyclic");
             let (v_par, c_par) =
-                solve_value_per_scc_opts(&g, &opts, |s, c, w| brute(s, c, w).lambda)
+                solve_value_per_scc_opts(&g, &opts, |s, c, w| brute(s, c, w).map(|o| o.lambda))
                     .expect("cyclic");
             assert_eq!(v_par, v_seq);
             assert_eq!(c_par, c_seq);

@@ -55,8 +55,11 @@
 
 pub mod algorithms;
 pub mod bellman;
+pub mod budget;
+pub mod certify;
 pub mod critical;
 mod driver;
+pub mod error;
 pub mod instrument;
 pub mod maximum;
 pub mod options;
@@ -68,8 +71,11 @@ pub mod solution;
 pub mod workspace;
 
 pub use algorithms::Algorithm;
+pub use budget::{Budget, BudgetScope};
+pub use certify::{certify, CertifyError};
+pub use error::{BudgetResource, SolveError};
 pub use instrument::Counters;
-pub use options::SolveOptions;
+pub use options::{FallbackChain, SolveOptions};
 pub use rational::Ratio64;
 pub use solution::{Guarantee, Solution};
 pub use workspace::Workspace;
@@ -89,10 +95,12 @@ pub fn minimum_cycle_mean(g: &Graph) -> Option<Solution> {
     Algorithm::HowardExact.solve(g)
 }
 
-/// [`minimum_cycle_mean`] with explicit [`SolveOptions`] — in particular
-/// a worker-thread count for graphs with many strongly connected
-/// components. Results are bit-identical at every thread count.
-pub fn minimum_cycle_mean_opts(g: &Graph, opts: &SolveOptions) -> Option<Solution> {
+/// [`minimum_cycle_mean`] with explicit [`SolveOptions`] — a
+/// worker-thread count for graphs with many strongly connected
+/// components (results are bit-identical at every thread count), a work
+/// [`Budget`], and a [`FallbackChain`]. Errors mirror
+/// [`Algorithm::solve_with_options`].
+pub fn minimum_cycle_mean_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
     Algorithm::HowardExact.solve_with_options(g, opts)
 }
 

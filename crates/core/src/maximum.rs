@@ -34,23 +34,20 @@ pub fn maximum_cycle_mean_with(g: &Graph, algorithm: Algorithm) -> Option<Soluti
 
 /// [`maximum_cycle_mean_with`] with explicit [`crate::SolveOptions`]
 /// (thread count for the per-SCC driver, precision for approximate
-/// algorithms).
+/// algorithms, budget and fallback chain). Errors mirror
+/// [`Algorithm::solve_with_options`].
 pub fn maximum_cycle_mean_opts(
     g: &Graph,
     algorithm: Algorithm,
     opts: &crate::SolveOptions,
-) -> Option<Solution> {
+) -> Result<Solution, crate::SolveError> {
     algorithm
         .solve_with_options(&g.negated(), opts)
         .map(negate_solution)
 }
 
 /// Maximum cost-to-time ratio of `g` (exact, Howard), or `None` if
-/// acyclic.
-///
-/// # Panics
-///
-/// Panics if some cycle has zero total transit time.
+/// acyclic or if a zero-transit cycle makes the ratio undefined.
 pub fn maximum_cycle_ratio(g: &Graph) -> Option<Solution> {
     crate::ratio::howard_ratio_exact(&g.negated()).map(negate_solution)
 }

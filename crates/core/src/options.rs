@@ -1,5 +1,87 @@
 //! Solver configuration shared by the public entry points.
 
+// Parsing/validation surfaces must stay panic-free whatever the
+// input; CI runs clippy with -D warnings, so these lints are a gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::algorithms::Algorithm;
+use crate::budget::Budget;
+
+/// The ordered list of alternate algorithms the driver tries when the
+/// primary algorithm fails with a recoverable error (budget exhaustion,
+/// overflow, numeric-range exhaustion) on a component.
+///
+/// The default chain is `HowardExact → Karp → LawlerExact` — the paper's
+/// practical favorite backed by the `Θ(nm)` worst-case workhorse and an
+/// exact binary search with entirely different numerics. The primary
+/// algorithm is always tried first; alternates equal to the primary (or
+/// to an earlier alternate) are skipped.
+///
+/// ```
+/// use mcr_core::{Algorithm, FallbackChain};
+/// let chain = FallbackChain::default();
+/// assert_eq!(
+///     chain.chain_for(Algorithm::Karp),
+///     vec![Algorithm::Karp, Algorithm::HowardExact, Algorithm::LawlerExact],
+/// );
+/// assert_eq!(
+///     FallbackChain::NONE.chain_for(Algorithm::Megiddo),
+///     vec![Algorithm::Megiddo],
+/// );
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FallbackChain {
+    alternates: [Option<Algorithm>; 4],
+}
+
+impl Default for FallbackChain {
+    fn default() -> Self {
+        FallbackChain {
+            alternates: [
+                Some(Algorithm::HowardExact),
+                Some(Algorithm::Karp),
+                Some(Algorithm::LawlerExact),
+                None,
+            ],
+        }
+    }
+}
+
+impl FallbackChain {
+    /// No fallback: a recoverable failure of the primary algorithm is
+    /// reported to the caller directly.
+    pub const NONE: FallbackChain = FallbackChain {
+        alternates: [None; 4],
+    };
+
+    /// A chain of up to four alternates, tried in order. Entries beyond
+    /// the fourth are ignored.
+    pub fn new(algorithms: &[Algorithm]) -> Self {
+        let mut alternates = [None; 4];
+        for (slot, &alg) in alternates.iter_mut().zip(algorithms) {
+            *slot = Some(alg);
+        }
+        FallbackChain { alternates }
+    }
+
+    /// The alternates in order (without the primary).
+    pub fn alternates(&self) -> impl Iterator<Item = Algorithm> + '_ {
+        self.alternates.iter().flatten().copied()
+    }
+
+    /// The full attempt order for `primary`: the primary first, then
+    /// each alternate not already attempted.
+    pub fn chain_for(&self, primary: Algorithm) -> Vec<Algorithm> {
+        let mut chain = vec![primary];
+        for alg in self.alternates() {
+            if !chain.contains(&alg) {
+                chain.push(alg);
+            }
+        }
+        chain
+    }
+}
+
 /// Options for the per-SCC solver driver.
 ///
 /// ```
@@ -24,6 +106,13 @@ pub struct SolveOptions {
     /// Precision for the ε-approximate algorithms; `None` uses
     /// [`crate::Algorithm::default_epsilon`]. Exact algorithms ignore it.
     pub epsilon: Option<f64>,
+    /// Work limits; [`Budget::UNLIMITED`] (the default) preserves the
+    /// unbudgeted behavior exactly.
+    pub budget: Budget,
+    /// Alternates tried when the primary algorithm fails recoverably on
+    /// a component. Use [`FallbackChain::NONE`] to surface the primary
+    /// algorithm's own error instead.
+    pub fallback: FallbackChain,
 }
 
 impl Default for SolveOptions {
@@ -31,6 +120,8 @@ impl Default for SolveOptions {
         SolveOptions {
             threads: 1,
             epsilon: None,
+            budget: Budget::UNLIMITED,
+            fallback: FallbackChain::default(),
         }
     }
 }
@@ -58,6 +149,18 @@ impl SolveOptions {
             "epsilon must be positive and finite"
         );
         self.epsilon = Some(epsilon);
+        self
+    }
+
+    /// Sets the work limits.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the fallback chain.
+    pub fn fallback(mut self, fallback: FallbackChain) -> Self {
+        self.fallback = fallback;
         self
     }
 
@@ -105,5 +208,42 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn non_positive_epsilon_rejected() {
         let _ = SolveOptions::new().epsilon(0.0);
+    }
+
+    #[test]
+    fn default_budget_is_unlimited_and_chain_is_standard() {
+        let opts = SolveOptions::default();
+        assert!(opts.budget.is_unlimited());
+        assert_eq!(opts.fallback, FallbackChain::default());
+    }
+
+    #[test]
+    fn chain_for_dedups_the_primary_and_alternates() {
+        let chain = FallbackChain::new(&[
+            Algorithm::Karp,
+            Algorithm::Karp,
+            Algorithm::HowardExact,
+            Algorithm::Karp,
+        ]);
+        assert_eq!(
+            chain.chain_for(Algorithm::Karp),
+            vec![Algorithm::Karp, Algorithm::HowardExact],
+        );
+        assert_eq!(
+            chain.chain_for(Algorithm::Burns),
+            vec![Algorithm::Burns, Algorithm::Karp, Algorithm::HowardExact],
+        );
+    }
+
+    #[test]
+    fn new_ignores_entries_beyond_four() {
+        let chain = FallbackChain::new(&[
+            Algorithm::Burns,
+            Algorithm::Ko,
+            Algorithm::Yto,
+            Algorithm::Ho,
+            Algorithm::Megiddo,
+        ]);
+        assert_eq!(chain.alternates().count(), 4);
     }
 }

@@ -18,7 +18,9 @@
 //! [`has_zero_transit_cycle`].
 
 use crate::algorithms::Algorithm;
+use crate::budget::BudgetScope;
 use crate::driver::{solve_per_scc, solve_per_scc_opts};
+use crate::error::SolveError;
 use crate::options::SolveOptions;
 use crate::solution::Solution;
 use crate::workspace::Workspace;
@@ -50,42 +52,52 @@ pub fn has_zero_transit_cycle(g: &Graph) -> bool {
 /// Minimum cycle ratio with Howard's exact policy iteration (the
 /// default recommendation).
 ///
-/// Returns `None` if `g` is acyclic.
-///
-/// # Panics
-///
-/// Panics if some cycle has zero total transit time.
+/// Returns `None` if `g` is acyclic or if a zero-transit cycle makes
+/// the ratio undefined; use [`howard_ratio_exact_opts`] for the typed
+/// error.
 pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, crate::algorithms::howard::solve_scc_exact)
+    howard_ratio_exact_opts(g, &SolveOptions::default()).ok()
 }
 
 /// [`howard_ratio_exact`] with explicit [`SolveOptions`] (thread count
-/// for the per-SCC driver; results are bit-identical at every count).
-pub fn howard_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Option<Solution> {
-    solve_per_scc_opts(g, opts, crate::algorithms::howard::solve_scc_exact)
+/// for the per-SCC driver — results are bit-identical at every count —
+/// plus the work [`Budget`](crate::Budget); the fallback chain does not
+/// apply to the algorithm-specific ratio entry points).
+pub fn howard_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    let deadline = opts.budget.deadline();
+    solve_per_scc_opts(g, opts, |s, c, ws| {
+        let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::HowardExact);
+        crate::algorithms::howard::solve_scc_exact(s, c, ws, &mut scope)
+    })
 }
 
 /// Minimum cycle ratio with the paper's Figure-1 Howard (ε-terminated).
 ///
-/// # Panics
-///
-/// Panics if `epsilon <= 0` or some cycle has zero total transit time.
+/// Returns `None` if `g` is acyclic, if `epsilon` is not positive and
+/// finite, or if a zero-transit cycle makes the ratio undefined.
 pub fn howard_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
-    assert!(epsilon > 0.0, "epsilon must be positive");
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return None;
+    }
     solve_per_scc(g, |s, c, ws| {
-        crate::algorithms::howard::solve_scc_fig1(s, c, epsilon, ws)
+        let mut scope = BudgetScope::unlimited(Algorithm::Howard);
+        crate::algorithms::howard::solve_scc_fig1(s, c, epsilon, ws, &mut scope)
     })
+    .ok()
 }
 
 /// Minimum cycle ratio with Burns' exact primal-dual algorithm (the
 /// algorithm's original formulation — Burns developed it for
 /// asynchronous circuit performance, a ratio problem).
 ///
-/// # Panics
-///
-/// Panics if some cycle has zero total transit time.
+/// Returns `None` if `g` is acyclic or if a zero-transit cycle makes
+/// the ratio undefined.
 pub fn burns_ratio(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, |s, c, _ws| crate::algorithms::burns::solve_scc(s, c))
+    solve_per_scc(g, |s, c, _ws| {
+        let mut scope = BudgetScope::unlimited(Algorithm::BurnsExact);
+        crate::algorithms::burns::solve_scc(s, c, &mut scope)
+    })
+    .ok()
 }
 
 /// Minimum cycle ratio with the parametric shortest path algorithms.
@@ -93,19 +105,27 @@ pub fn burns_ratio(g: &Graph) -> Option<Solution> {
 /// arc-keyed heap (`false`).
 pub fn parametric_ratio(g: &Graph, node_keyed: bool) -> Option<Solution> {
     use crate::algorithms::parametric::{solve_scc, HeapGranularity};
-    let granularity = if node_keyed {
-        HeapGranularity::PerNode
+    let (granularity, alg) = if node_keyed {
+        (HeapGranularity::PerNode, Algorithm::Yto)
     } else {
-        HeapGranularity::PerArc
+        (HeapGranularity::PerArc, Algorithm::Ko)
     };
-    solve_per_scc(g, move |s, c, _ws| solve_scc(s, c, granularity))
+    solve_per_scc(g, move |s, c, _ws| {
+        let mut scope = BudgetScope::unlimited(alg);
+        solve_scc(s, c, granularity, &mut scope)
+    })
+    .ok()
 }
 
 /// Minimum cycle ratio with Megiddo's parametric search (Table 1 row
 /// 12): exact, with oracle calls only at the master algorithm's own
 /// decision points.
 pub fn megiddo_ratio(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, |s, c, _ws| crate::algorithms::megiddo::solve_scc(s, c))
+    solve_per_scc(g, |s, c, ws| {
+        let mut scope = BudgetScope::unlimited(Algorithm::Megiddo);
+        crate::algorithms::megiddo::solve_scc(s, c, ws, &mut scope)
+    })
+    .ok()
 }
 
 /// Minimum cycle ratio via the Ito–Parhi register-graph reduction
@@ -116,31 +136,44 @@ pub use crate::register_graph::minimum_ratio_via_registers;
 /// Minimum cycle ratio by ε-precision binary search (Lawler's method on
 /// the ratio formulation).
 ///
-/// # Panics
-///
-/// Panics if `epsilon <= 0`.
+/// Returns `None` if `g` is acyclic or if `epsilon` is not positive and
+/// finite.
 pub fn lawler_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
-    assert!(epsilon > 0.0, "epsilon must be positive");
-    solve_per_scc(g, |s, c, ws| ratio_bisection(s, c, Some(epsilon), ws))
+    if !(epsilon > 0.0 && epsilon.is_finite()) {
+        return None;
+    }
+    solve_per_scc(g, |s, c, ws| {
+        let mut scope = BudgetScope::unlimited(Algorithm::Lawler);
+        ratio_bisection(s, c, Some(epsilon), ws, &mut scope)
+    })
+    .ok()
 }
 
 /// Exact minimum cycle ratio by binary search plus a rational snap
 /// (denominators are bounded by the component's total transit time).
 pub fn lawler_ratio_exact(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, |s, c, ws| ratio_bisection(s, c, None, ws))
+    lawler_ratio_exact_opts(g, &SolveOptions::default()).ok()
 }
 
-/// [`lawler_ratio_exact`] with explicit [`SolveOptions`].
-pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Option<Solution> {
-    solve_per_scc_opts(g, opts, |s, c, ws| ratio_bisection(s, c, None, ws))
+/// [`lawler_ratio_exact`] with explicit [`SolveOptions`] (threads and
+/// budget; no fallback chain on the ratio entry points).
+pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    let deadline = opts.budget.deadline();
+    solve_per_scc_opts(g, opts, |s, c, ws| {
+        let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::LawlerExact);
+        ratio_bisection(s, c, None, ws, &mut scope)
+    })
 }
 
+/// Every bisection step charges an iteration and a λ-refinement, like
+/// the mean-problem Lawler it mirrors.
 fn ratio_bisection(
     g: &Graph,
     counters: &mut crate::instrument::Counters,
     epsilon: Option<f64>,
     ws: &mut Workspace,
-) -> crate::driver::SccOutcome {
+    scope: &mut BudgetScope,
+) -> Result<crate::driver::SccOutcome, SolveError> {
     use crate::bellman::{cycle_at_or_below_ws, has_cycle_below_ws};
     use crate::rational::Ratio64;
     use crate::solution::Guarantee;
@@ -162,21 +195,23 @@ fn ratio_bisection(
     };
     loop {
         let width = hi - lo;
-        let done = match (epsilon, target) {
-            (Some(e), _) => width.to_f64() <= e,
-            (None, Some(t)) => width < t,
-            _ => unreachable!(),
+        let done = match epsilon {
+            Some(e) => width.to_f64() <= e,
+            None => target.is_some_and(|t| width < t),
         };
         if done {
             break;
         }
-        assert!(
-            hi.denom() < i64::MAX / 8 && lo.denom() < i64::MAX / 8,
-            "ratio bisection denominators exhausted the i64 range"
-        );
+        if hi.denom() >= i64::MAX / 8 || lo.denom() >= i64::MAX / 8 {
+            return Err(SolveError::NumericRange {
+                context: "ratio bisection denominators exhausted the i64 range",
+            });
+        }
         counters.iterations += 1;
+        scope.tick_iteration_and_time()?;
+        scope.tick_refinement()?;
         let mid = lo.midpoint(hi);
-        if has_cycle_below_ws(g, mid, counters, ws) {
+        if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             hi = mid;
         } else {
             lo = mid;
@@ -186,19 +221,27 @@ fn ratio_bisection(
         Some(e) => (hi, Guarantee::Epsilon(e)),
         None => (Ratio64::simplest_in(lo, hi), Guarantee::Exact),
     };
-    assert!(
-        cycle_at_or_below_ws(g, lambda, counters, ws),
-        "a cycle with ratio at most the upper bound exists"
-    );
+    if !cycle_at_or_below_ws(g, lambda, counters, ws, scope)? {
+        // The invariant λ* ≤ hi guarantees a witness.
+        return Err(SolveError::NumericRange {
+            context: "ratio bisection found no cycle at the upper bound",
+        });
+    }
     let cycle = ws.bf.cycle.clone();
-    let w: i64 = cycle.iter().map(|&a| g.weight(a)).sum();
-    let t: i64 = cycle.iter().map(|&a| g.transit(a)).sum();
-    let exact_ratio = Ratio64::new(w, t);
-    crate::driver::SccOutcome {
+    let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();
+    let t: i128 = cycle.iter().map(|&a| g.transit(a) as i128).sum();
+    if t <= 0 {
+        return Err(SolveError::ZeroTransitCycle);
+    }
+    let exact_ratio = Ratio64::try_from_i128(w, t).ok_or(SolveError::Overflow {
+        context: "ratio bisection witness cycle ratio",
+    })?;
+    Ok(crate::driver::SccOutcome {
         lambda: exact_ratio,
         cycle,
         guarantee,
-    }
+        solved_by: scope.algorithm(),
+    })
 }
 
 /// Expands every arc of transit time `t ≥ 1` into a chain of `t`
@@ -286,6 +329,7 @@ pub fn ratio_via_expansion(g: &Graph, algorithm: Algorithm) -> Result<Option<Sol
         lambda: sol.lambda,
         cycle,
         guarantee: sol.guarantee,
+        solved_by: sol.solved_by,
         counters: sol.counters,
     }))
 }

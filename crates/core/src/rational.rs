@@ -60,18 +60,36 @@ impl Ratio64 {
     ///
     /// Panics if `den == 0` or the reduced value does not fit `i64/i64`.
     pub fn from_i128(num: i128, den: i128) -> Self {
-        assert!(den != 0, "rational with zero denominator");
+        match Self::try_from_i128(num, den) {
+            Some(r) => r,
+            None => {
+                assert!(den != 0, "rational with zero denominator");
+                panic!("rational overflow: {num}/{den}")
+            }
+        }
+    }
+
+    /// Fallible [`Ratio64::new`]: `None` if `den == 0`.
+    pub fn try_new(num: i64, den: i64) -> Option<Self> {
+        Self::try_from_i128(num as i128, den as i128)
+    }
+
+    /// Fallible [`Ratio64::from_i128`]: `None` if `den == 0` or the
+    /// reduced value does not fit `i64/i64`.
+    pub fn try_from_i128(num: i128, den: i128) -> Option<Self> {
+        if den == 0 {
+            return None;
+        }
         let (num, den) = if den < 0 { (-num, -den) } else { (num, den) };
         let g = gcd128(num, den);
         let (num, den) = if g == 0 { (0, 1) } else { (num / g, den / g) };
-        assert!(
-            num >= i64::MIN as i128 && num <= i64::MAX as i128 && den <= i64::MAX as i128,
-            "rational overflow: {num}/{den}"
-        );
-        Ratio64 {
+        if num < i64::MIN as i128 || num > i64::MAX as i128 || den > i64::MAX as i128 {
+            return None;
+        }
+        Some(Ratio64 {
             num: num as i64,
             den: den as i64,
-        }
+        })
     }
 
     /// Numerator of the reduced form (sign-carrying).
@@ -401,6 +419,17 @@ mod tests {
     #[should_panic(expected = "zero denominator")]
     fn zero_denominator_panics() {
         Ratio64::new(1, 0);
+    }
+
+    #[test]
+    fn try_constructors_reject_instead_of_panicking() {
+        assert_eq!(Ratio64::try_new(1, 0), None);
+        assert_eq!(Ratio64::try_new(4, 8), Some(Ratio64::new(1, 2)));
+        assert_eq!(Ratio64::try_from_i128(i128::from(i64::MAX) + 1, 1), None);
+        assert_eq!(
+            Ratio64::try_from_i128(i128::from(i64::MAX) * 2, 2),
+            Some(Ratio64::from(i64::MAX))
+        );
     }
 
     #[test]

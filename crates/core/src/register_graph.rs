@@ -144,16 +144,12 @@ fn build(g: &Graph, counters: &mut Counters) -> Option<RegisterGraph> {
 /// Minimum cycle ratio via the register graph, solved with `algorithm`
 /// (Karp gives the paper's `O(Tm + T³)`).
 ///
-/// Returns `None` for an acyclic input.
-///
-/// # Panics
-///
-/// Panics if some cycle of `g` has zero total transit time.
+/// Returns `None` for an acyclic input and for inputs with a
+/// zero-transit cycle (where the cycle ratio is undefined).
 pub fn minimum_ratio_via_registers(g: &Graph, algorithm: Algorithm) -> Option<Solution> {
-    assert!(
-        !crate::ratio::has_zero_transit_cycle(g),
-        "zero-transit cycle: the cycle ratio is undefined"
-    );
+    if crate::ratio::has_zero_transit_cycle(g) {
+        return None;
+    }
     let mut counters = Counters::new();
     let rg = build(g, &mut counters)?;
     let inner = algorithm.solve(&rg.graph)?;
@@ -200,6 +196,7 @@ pub fn minimum_ratio_via_registers(g: &Graph, algorithm: Algorithm) -> Option<So
         lambda: inner.lambda,
         cycle,
         guarantee: inner.guarantee,
+        solved_by: inner.solved_by,
         counters,
     })
 }
@@ -299,15 +296,14 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "zero-transit cycle")]
-    fn zero_transit_cycle_panics() {
+    fn zero_transit_cycle_is_rejected_without_panicking() {
         let mut b = GraphBuilder::new();
         let v = b.add_nodes(2);
         b.add_arc_with_transit(v[0], v[1], 1, 0);
         b.add_arc_with_transit(v[1], v[0], 1, 0);
         b.add_arc_with_transit(v[0], v[0], 5, 1);
         let g = b.build();
-        minimum_ratio_via_registers(&g, Algorithm::Karp);
+        assert!(minimum_ratio_via_registers(&g, Algorithm::Karp).is_none());
     }
 
     use mcr_graph::GraphBuilder;

@@ -1,6 +1,7 @@
 //! Solver results: the optimum value, a witness cycle, and the
 //! optimality guarantee.
 
+use crate::algorithms::Algorithm;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use mcr_graph::{ArcId, Graph, NodeId};
@@ -40,6 +41,11 @@ pub struct Solution {
     pub cycle: Vec<ArcId>,
     /// Optimality guarantee.
     pub guarantee: Guarantee,
+    /// The algorithm that actually produced this result. Normally the
+    /// one the caller asked for; under graceful degradation
+    /// ([`crate::FallbackChain`]) it records which member of the chain
+    /// answered for the winning component.
+    pub solved_by: Algorithm,
     /// Operation counts accumulated while solving.
     pub counters: Counters,
 }
@@ -51,9 +57,23 @@ impl Solution {
     }
 
     /// Recomputes the mean (weight over length) of the witness cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed witness (empty cycle, or a mean whose
+    /// reduced form no longer fits `i64/i64`) — impossible for
+    /// solutions produced by this crate. Use [`Solution::try_cycle_mean`]
+    /// for untrusted data.
     pub fn cycle_mean(&self, g: &Graph) -> Ratio64 {
-        let w: i64 = self.cycle.iter().map(|&a| g.weight(a)).sum();
-        Ratio64::new(w, self.cycle.len() as i64)
+        self.try_cycle_mean(g).expect("well-formed witness cycle")
+    }
+
+    /// Fallible [`Solution::cycle_mean`]: the accumulation is exact in
+    /// `i128`, so this is `None` only for an empty cycle or a value
+    /// outside `i64/i64`.
+    pub fn try_cycle_mean(&self, g: &Graph) -> Option<Ratio64> {
+        let (w, _) = cycle_totals(g, &self.cycle);
+        Ratio64::try_from_i128(w, self.cycle.len() as i128)
     }
 
     /// Recomputes the cost-to-time ratio (weight over transit time) of
@@ -61,13 +81,39 @@ impl Solution {
     ///
     /// # Panics
     ///
-    /// Panics if the cycle's total transit time is zero.
+    /// Panics if the cycle's total transit time is zero. Use
+    /// [`Solution::try_cycle_ratio`] for untrusted data.
     pub fn cycle_ratio(&self, g: &Graph) -> Ratio64 {
-        let w: i64 = self.cycle.iter().map(|&a| g.weight(a)).sum();
-        let t: i64 = self.cycle.iter().map(|&a| g.transit(a)).sum();
+        let (_, t) = cycle_totals(g, &self.cycle);
         assert!(t > 0, "witness cycle has zero transit time");
-        Ratio64::new(w, t)
+        self.try_cycle_ratio(g).expect("well-formed witness cycle")
     }
+
+    /// Fallible [`Solution::cycle_ratio`]: `None` if the cycle's total
+    /// transit time is not positive or the reduced ratio does not fit
+    /// `i64/i64`.
+    pub fn try_cycle_ratio(&self, g: &Graph) -> Option<Ratio64> {
+        let (w, t) = cycle_totals(g, &self.cycle);
+        if t <= 0 {
+            return None;
+        }
+        Ratio64::try_from_i128(w, t)
+    }
+}
+
+/// Exact total weight and transit time of `cycle`, accumulated in
+/// `i128` (a sum of at most `usize::MAX` `i64` terms cannot overflow
+/// `i128`, so this never wraps — the fallibility of downstream
+/// consumers is confined to fitting the *reduced ratio* back into
+/// [`Ratio64`]).
+pub fn cycle_totals(g: &Graph, cycle: &[ArcId]) -> (i128, i128) {
+    let mut weight = 0i128;
+    let mut transit = 0i128;
+    for &a in cycle {
+        weight += g.weight(a) as i128;
+        transit += g.transit(a) as i128;
+    }
+    (weight, transit)
 }
 
 /// Checks that `cycle` is a well-formed cycle in `g`: nonempty, each
@@ -90,8 +136,12 @@ pub fn check_cycle(g: &Graph, cycle: &[ArcId]) -> Result<(i64, usize, i64), Stri
                 g.source(next)
             ));
         }
-        weight += g.weight(a);
-        transit += g.transit(a);
+        weight = weight
+            .checked_add(g.weight(a))
+            .ok_or_else(|| format!("cycle weight overflows i64 at arc {a:?}"))?;
+        transit = transit
+            .checked_add(g.transit(a))
+            .ok_or_else(|| format!("cycle transit overflows i64 at arc {a:?}"))?;
     }
     Ok((weight, cycle.len(), transit))
 }
@@ -124,6 +174,7 @@ mod tests {
             lambda: Ratio64::new(4, 1),
             cycle: g.arc_ids().collect(),
             guarantee: Guarantee::Exact,
+            solved_by: Algorithm::HowardExact,
             counters: Counters::new(),
         };
         assert_eq!(s.cycle_mean(&g), Ratio64::from(4));
@@ -131,5 +182,18 @@ mod tests {
         assert_eq!(s.cycle_nodes(&g), vec![NodeId::new(0), NodeId::new(1)]);
         assert!(s.guarantee.is_exact());
         assert!(!Guarantee::Epsilon(0.5).is_exact());
+        assert_eq!(s.solved_by, Algorithm::HowardExact);
+    }
+
+    #[test]
+    fn check_cycle_reports_overflow_instead_of_wrapping() {
+        let g = from_arc_list(2, &[(0, 1, i64::MAX), (1, 0, i64::MAX)]);
+        let cycle: Vec<ArcId> = g.arc_ids().collect();
+        let err = check_cycle(&g, &cycle).expect_err("sum overflows i64");
+        assert!(err.contains("overflows"), "{err}");
+        // The exact i128 totals are still available.
+        let (w, t) = cycle_totals(&g, &cycle);
+        assert_eq!(w, 2 * i64::MAX as i128);
+        assert_eq!(t, 2);
     }
 }

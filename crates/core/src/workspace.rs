@@ -165,12 +165,50 @@ pub struct Workspace {
     pub(crate) marks: Marks,
     pub(crate) bf: BellmanScratch,
     pub(crate) dfs: DfsScratch,
+    /// Set between [`Workspace::begin_use`] and [`Workspace::end_use`].
+    /// A workspace still poisoned at the *next* `begin_use` was
+    /// abandoned mid-solve (budget abort, error unwind) and is reset to
+    /// a pristine state before reuse, so no half-updated policy or
+    /// distance state can leak into the next SCC job.
+    poisoned: bool,
 }
 
 impl Workspace {
     /// A fresh workspace. No allocation happens until first use.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Marks the workspace as in use by one SCC solve attempt. If the
+    /// previous attempt never called [`Workspace::end_use`] (it errored
+    /// or was cancelled partway), the scratch state is discarded via
+    /// [`Workspace::reset`] first — a fresh workspace is bit-identical
+    /// to a cleanly-reused one, so determinism is preserved at the cost
+    /// of re-growing the buffers once.
+    pub(crate) fn begin_use(&mut self) {
+        if self.poisoned {
+            self.reset();
+        }
+        self.poisoned = true;
+    }
+
+    /// Marks the current solve attempt as cleanly completed; the
+    /// scratch state is safe to reuse as-is.
+    pub(crate) fn end_use(&mut self) {
+        self.poisoned = false;
+    }
+
+    /// Whether the workspace holds state from an attempt that did not
+    /// complete cleanly (no [`Workspace::end_use`] after the last
+    /// [`Workspace::begin_use`]).
+    pub fn is_poisoned(&self) -> bool {
+        self.poisoned
+    }
+
+    /// Discards all scratch state, returning the workspace to its
+    /// freshly-constructed (unpoisoned, empty) state.
+    pub fn reset(&mut self) {
+        *self = Workspace::default();
     }
 }
 
@@ -230,5 +268,30 @@ mod tests {
         assert!(ws.policy.is_empty());
         assert!(ws.bf.dist.is_empty());
         assert_eq!(ws.rev.start.capacity(), 0);
+    }
+
+    #[test]
+    fn abandoned_use_resets_on_next_begin() {
+        let mut ws = Workspace::new();
+        ws.begin_use();
+        ws.dist_f64.push(1.5); // simulate mid-solve state
+        assert!(ws.is_poisoned());
+        // No end_use: the attempt was aborted. The next begin_use must
+        // not see the stale state.
+        ws.begin_use();
+        assert!(ws.dist_f64.is_empty(), "stale scratch leaked past reset");
+        ws.end_use();
+        assert!(!ws.is_poisoned());
+    }
+
+    #[test]
+    fn clean_use_preserves_buffers() {
+        let mut ws = Workspace::new();
+        ws.begin_use();
+        ws.dist_f64.resize(8, 0.0);
+        ws.end_use();
+        ws.begin_use();
+        assert_eq!(ws.dist_f64.len(), 8, "clean reuse must keep grown buffers");
+        ws.end_use();
     }
 }

@@ -62,7 +62,7 @@ fn critical_cycle_is_inside_and_optimal() {
     for seed in 0..15 {
         let g = instance(seed);
         let (lambda, _) = brute_force_min_mean(&g).expect("cyclic");
-        let cyc = critical_cycle(&g, lambda);
+        let cyc = critical_cycle(&g, lambda).expect("optimal lambda");
         let w: i64 = cyc.iter().map(|&a| g.weight(a)).sum();
         assert_eq!(Ratio64::new(w, cyc.len() as i64), lambda, "seed {seed}");
         let cs = critical_subgraph(&g, lambda).expect("optimal lambda");

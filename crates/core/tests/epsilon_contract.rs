@@ -89,17 +89,17 @@ fn exact_variants_ignore_epsilon() {
 }
 
 #[test]
-#[should_panic(expected = "epsilon must be positive")]
-fn nonpositive_epsilon_panics_for_lawler() {
+fn nonpositive_epsilon_is_a_typed_error_not_a_panic() {
+    use mcr_core::{SolveError, SolveOptions};
     let g = sprand(&SprandConfig::new(8, 20).seed(0));
-    let _ = Algorithm::Lawler.solve_with_epsilon(&g, 0.0);
-}
-
-#[test]
-#[should_panic(expected = "epsilon must be positive")]
-fn nonpositive_epsilon_panics_for_oa1() {
-    let g = sprand(&SprandConfig::new(8, 20).seed(0));
-    let _ = Algorithm::Oa1.solve_with_epsilon(&g, -1.0);
+    assert!(Algorithm::Lawler.solve_with_epsilon(&g, 0.0).is_none());
+    assert!(Algorithm::Oa1.solve_with_epsilon(&g, -1.0).is_none());
+    let opts = SolveOptions {
+        epsilon: Some(-1.0),
+        ..SolveOptions::default()
+    };
+    let err = Algorithm::Oa1.solve_with_options(&g, &opts).unwrap_err();
+    assert!(matches!(err, SolveError::InvalidEpsilon { epsilon } if epsilon == -1.0));
 }
 
 #[test]

@@ -2,6 +2,47 @@
 
 use std::fmt;
 
+/// Error returned by the non-panicking [`GraphBuilder::try_add_arc`]
+/// family when an arc would violate a builder invariant.
+///
+/// The panicking [`GraphBuilder::add_arc`] methods remain available for
+/// call sites that construct graphs from trusted, already-validated
+/// data; code handling external input (parsers, CLI paths) should use
+/// the `try_` variants and surface this error instead.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An arc endpoint names a node the builder has not added.
+    UnknownEndpoint {
+        /// The offending endpoint.
+        node: NodeId,
+        /// Number of nodes added to the builder so far.
+        num_nodes: usize,
+    },
+    /// An arc carried a negative transit time (cost-to-time ratio
+    /// problems require nonnegative transits).
+    NegativeTransit {
+        /// The offending transit time.
+        transit: i64,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::UnknownEndpoint { node, num_nodes } => write!(
+                f,
+                "arc endpoint {node:?} is not a previously added node (builder has {num_nodes})"
+            ),
+            GraphError::NegativeTransit { transit } => {
+                write!(f, "transit time {transit} is negative")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
 /// Dense index of a node in a [`Graph`].
 ///
 /// Node ids are assigned consecutively from zero by [`GraphBuilder`], so
@@ -415,17 +456,64 @@ impl GraphBuilder {
         weight: i64,
         transit: i64,
     ) -> ArcId {
-        assert!(
-            source.index() < self.num_nodes && target.index() < self.num_nodes,
-            "arc endpoints must be previously added nodes"
-        );
-        assert!(transit >= 0, "transit times must be nonnegative");
+        match self.try_add_arc_with_transit(source, target, weight, transit) {
+            Ok(id) => id,
+            Err(GraphError::UnknownEndpoint { .. }) => {
+                panic!("arc endpoints must be previously added nodes")
+            }
+            Err(GraphError::NegativeTransit { .. }) => {
+                panic!("transit times must be nonnegative")
+            }
+        }
+    }
+
+    /// Non-panicking [`GraphBuilder::add_arc`]: adds an arc with transit
+    /// time 1, or reports why it cannot.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEndpoint`] if either endpoint has
+    /// not been added to the builder.
+    pub fn try_add_arc(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        weight: i64,
+    ) -> Result<ArcId, GraphError> {
+        self.try_add_arc_with_transit(source, target, weight, 1)
+    }
+
+    /// Non-panicking [`GraphBuilder::add_arc_with_transit`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GraphError::UnknownEndpoint`] if either endpoint has
+    /// not been added, or [`GraphError::NegativeTransit`] if `transit`
+    /// is negative.
+    pub fn try_add_arc_with_transit(
+        &mut self,
+        source: NodeId,
+        target: NodeId,
+        weight: i64,
+        transit: i64,
+    ) -> Result<ArcId, GraphError> {
+        for node in [source, target] {
+            if node.index() >= self.num_nodes {
+                return Err(GraphError::UnknownEndpoint {
+                    node,
+                    num_nodes: self.num_nodes,
+                });
+            }
+        }
+        if transit < 0 {
+            return Err(GraphError::NegativeTransit { transit });
+        }
         let id = ArcId::new(self.sources.len());
         self.sources.push(source);
         self.targets.push(target);
         self.weights.push(weight);
         self.transits.push(transit);
-        id
+        Ok(id)
     }
 
     /// Finalizes the builder into an immutable [`Graph`].
@@ -614,6 +702,41 @@ mod tests {
         let mut b = GraphBuilder::new();
         let v = b.add_nodes(2);
         b.add_arc_with_transit(v[0], v[1], 1, -1);
+    }
+
+    #[test]
+    fn try_add_reports_typed_errors_without_mutating() {
+        let mut b = GraphBuilder::new();
+        let v = b.add_nodes(2);
+        assert_eq!(
+            b.try_add_arc(v[0], NodeId::new(7), 1),
+            Err(GraphError::UnknownEndpoint {
+                node: NodeId::new(7),
+                num_nodes: 2
+            })
+        );
+        assert_eq!(
+            b.try_add_arc_with_transit(v[0], v[1], 1, -3),
+            Err(GraphError::NegativeTransit { transit: -3 })
+        );
+        // Failed attempts leave the builder untouched.
+        assert_eq!(b.num_arcs(), 0);
+        let id = b.try_add_arc_with_transit(v[0], v[1], 5, 2).expect("valid");
+        assert_eq!(id, ArcId::new(0));
+        let g = b.build();
+        assert_eq!(g.weight(id), 5);
+        assert_eq!(g.transit(id), 2);
+    }
+
+    #[test]
+    fn graph_error_displays_the_offender() {
+        let err = GraphError::UnknownEndpoint {
+            node: NodeId::new(9),
+            num_nodes: 3,
+        };
+        assert!(err.to_string().contains("n9"));
+        let err = GraphError::NegativeTransit { transit: -4 };
+        assert!(err.to_string().contains("-4"));
     }
 
     #[test]

@@ -14,24 +14,80 @@
 //! Nodes are 1-based in the file (DIMACS convention) and 0-based in
 //! memory.
 
-use crate::graph::{Graph, GraphBuilder, NodeId};
+// Parsing/validation surfaces must stay panic-free whatever the
+// input; CI runs clippy with -D warnings, so these lints are a gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::graph::{Graph, GraphBuilder, GraphError, NodeId};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
 
+/// Machine-readable classification of a [`ParseGraphError`].
+///
+/// Callers that need to distinguish "the file is garbage" from "one
+/// field is wrong" can match on this instead of scraping the display
+/// message; the message remains the human-facing diagnostic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// The underlying reader failed.
+    Io,
+    /// A `p` line is present but malformed (wrong field count, wrong
+    /// problem tag, or the file ends mid-header).
+    TruncatedHeader,
+    /// A second `p` line appeared after the graph was already declared.
+    DuplicateHeader,
+    /// No `p` line precedes the arcs (or the file has none at all).
+    MissingHeader,
+    /// An `a` line has the wrong number of fields.
+    MalformedArc,
+    /// A numeric field (count, endpoint, weight, or transit) failed to
+    /// parse as an integer.
+    NonNumericField,
+    /// An arc endpoint falls outside `1..=num_nodes`.
+    OutOfRangeEndpoint,
+    /// An arc declared a negative transit time.
+    NegativeTransit,
+    /// A line starts with an unrecognized type character.
+    UnknownLineType,
+}
+
 /// Error produced when parsing the DIMACS-style text format.
+///
+/// Carries the 1-based line number of the offending line (0 for
+/// whole-file errors such as a missing header), a [`ParseErrorKind`]
+/// for programmatic matching, and a human-readable message.
 #[derive(Debug)]
 pub struct ParseGraphError {
     line: usize,
+    kind: ParseErrorKind,
     message: String,
 }
 
 impl ParseGraphError {
-    fn new(line: usize, message: impl Into<String>) -> Self {
+    fn new(line: usize, kind: ParseErrorKind, message: impl Into<String>) -> Self {
         ParseGraphError {
             line,
+            kind,
             message: message.into(),
         }
+    }
+
+    /// The 1-based line number the error was detected on (0 when the
+    /// error concerns the file as a whole, e.g. a missing header).
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// The machine-readable classification of the error.
+    pub fn kind(&self) -> ParseErrorKind {
+        self.kind
+    }
+
+    /// The human-readable diagnostic, without the line prefix.
+    pub fn message(&self) -> &str {
+        &self.message
     }
 }
 
@@ -50,8 +106,12 @@ impl Error for ParseGraphError {}
 ///
 /// # Errors
 ///
-/// Returns [`ParseGraphError`] on malformed headers, arc lines with the
-/// wrong field count, out-of-range endpoints, or unparsable integers.
+/// Returns [`ParseGraphError`] on malformed or duplicated headers, arc
+/// lines with the wrong field count, out-of-range endpoints, negative
+/// transit times, or unparsable integers. The error's
+/// [`kind`](ParseGraphError::kind) distinguishes the cases and
+/// [`line`](ParseGraphError::line) locates the offending line; parsing
+/// never panics, whatever the input.
 ///
 /// ```
 /// use mcr_graph::io::read_dimacs;
@@ -66,7 +126,9 @@ pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError>
     let mut num_nodes = 0usize;
     for (lineno, line) in reader.lines().enumerate() {
         let lineno = lineno + 1;
-        let line = line.map_err(|e| ParseGraphError::new(lineno, format!("io error: {e}")))?;
+        let line = line.map_err(|e| {
+            ParseGraphError::new(lineno, ParseErrorKind::Io, format!("io error: {e}"))
+        })?;
         let line = line.trim();
         if line.is_empty() || line.starts_with('c') {
             continue;
@@ -74,69 +136,109 @@ pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError>
         let fields: Vec<&str> = line.split_whitespace().collect();
         match fields[0] {
             "p" => {
+                if builder.is_some() {
+                    return Err(ParseGraphError::new(
+                        lineno,
+                        ParseErrorKind::DuplicateHeader,
+                        "duplicate problem line: the graph was already declared",
+                    ));
+                }
                 if fields.len() != 4 || fields[1] != "mcr" {
                     return Err(ParseGraphError::new(
                         lineno,
+                        ParseErrorKind::TruncatedHeader,
                         "expected problem line `p mcr <nodes> <arcs>`",
                     ));
                 }
-                num_nodes = fields[2]
-                    .parse()
-                    .map_err(|_| ParseGraphError::new(lineno, "invalid node count"))?;
-                let declared_arcs: usize = fields[3]
-                    .parse()
-                    .map_err(|_| ParseGraphError::new(lineno, "invalid arc count"))?;
+                num_nodes = fields[2].parse().map_err(|_| {
+                    ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid node count")
+                })?;
+                let declared_arcs: usize = fields[3].parse().map_err(|_| {
+                    ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid arc count")
+                })?;
                 let mut b = GraphBuilder::with_capacity(num_nodes, declared_arcs);
                 b.add_nodes(num_nodes);
                 builder = Some(b);
             }
             "a" => {
-                let b = builder
-                    .as_mut()
-                    .ok_or_else(|| ParseGraphError::new(lineno, "arc before problem line"))?;
+                let b = builder.as_mut().ok_or_else(|| {
+                    ParseGraphError::new(
+                        lineno,
+                        ParseErrorKind::MissingHeader,
+                        "arc before problem line",
+                    )
+                })?;
                 if fields.len() != 4 && fields.len() != 5 {
                     return Err(ParseGraphError::new(
                         lineno,
+                        ParseErrorKind::MalformedArc,
                         "expected `a <src> <dst> <weight> [transit]`",
                     ));
                 }
-                let src: usize = fields[1]
-                    .parse()
-                    .map_err(|_| ParseGraphError::new(lineno, "invalid source"))?;
-                let dst: usize = fields[2]
-                    .parse()
-                    .map_err(|_| ParseGraphError::new(lineno, "invalid target"))?;
-                let weight: i64 = fields[3]
-                    .parse()
-                    .map_err(|_| ParseGraphError::new(lineno, "invalid weight"))?;
+                let src: usize = fields[1].parse().map_err(|_| {
+                    ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid source")
+                })?;
+                let dst: usize = fields[2].parse().map_err(|_| {
+                    ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid target")
+                })?;
+                let weight: i64 = fields[3].parse().map_err(|_| {
+                    ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid weight")
+                })?;
                 let transit: i64 = if fields.len() == 5 {
-                    fields[4]
-                        .parse()
-                        .map_err(|_| ParseGraphError::new(lineno, "invalid transit"))?
+                    fields[4].parse().map_err(|_| {
+                        ParseGraphError::new(
+                            lineno,
+                            ParseErrorKind::NonNumericField,
+                            "invalid transit",
+                        )
+                    })?
                 } else {
                     1
                 };
                 if src == 0 || src > num_nodes || dst == 0 || dst > num_nodes {
                     return Err(ParseGraphError::new(
                         lineno,
+                        ParseErrorKind::OutOfRangeEndpoint,
                         format!("endpoint out of range 1..={num_nodes}"),
                     ));
                 }
-                if transit < 0 {
-                    return Err(ParseGraphError::new(lineno, "negative transit time"));
-                }
-                b.add_arc_with_transit(NodeId::new(src - 1), NodeId::new(dst - 1), weight, transit);
+                b.try_add_arc_with_transit(
+                    NodeId::new(src - 1),
+                    NodeId::new(dst - 1),
+                    weight,
+                    transit,
+                )
+                .map_err(|e| {
+                    let kind = match e {
+                        GraphError::NegativeTransit { .. } => ParseErrorKind::NegativeTransit,
+                        _ => ParseErrorKind::OutOfRangeEndpoint,
+                    };
+                    ParseGraphError::new(
+                        lineno,
+                        kind,
+                        match e {
+                            GraphError::NegativeTransit { .. } => "negative transit time".into(),
+                            other => other.to_string(),
+                        },
+                    )
+                })?;
             }
             other => {
                 return Err(ParseGraphError::new(
                     lineno,
+                    ParseErrorKind::UnknownLineType,
                     format!("unknown line type `{other}`"),
                 ));
             }
         }
     }
-    let builder =
-        builder.ok_or_else(|| ParseGraphError::new(0, "missing problem line `p mcr ...`"))?;
+    let builder = builder.ok_or_else(|| {
+        ParseGraphError::new(
+            0,
+            ParseErrorKind::MissingHeader,
+            "missing problem line `p mcr ...`",
+        )
+    })?;
     Ok(builder.build())
 }
 
@@ -259,24 +361,39 @@ mod tests {
     }
 
     #[test]
-    fn errors_are_reported_with_line_numbers() {
+    fn errors_are_reported_with_line_numbers_and_kinds() {
+        use ParseErrorKind as K;
         let cases = [
-            ("a 1 2 3\n", "problem line"),
-            ("p mcr x 1\n", "node count"),
-            ("p mcr 2 1\na 1 3 1\n", "out of range"),
-            ("p mcr 2 1\na 1 2\n", "expected"),
-            ("p mcr 2 1\nq 1 2\n", "unknown line type"),
-            ("p mcr 2 1\na 1 2 1 -1\n", "negative transit"),
-            ("", "missing problem line"),
+            ("a 1 2 3\n", "problem line", K::MissingHeader, 1),
+            ("p mcr x 1\n", "node count", K::NonNumericField, 1),
+            ("p mcr 2 1\na 1 3 1\n", "out of range", K::OutOfRangeEndpoint, 2),
+            ("p mcr 2 1\na 1 2\n", "expected", K::MalformedArc, 2),
+            ("p mcr 2 1\nq 1 2\n", "unknown line type", K::UnknownLineType, 2),
+            ("p mcr 2 1\na 1 2 1 -1\n", "negative transit", K::NegativeTransit, 2),
+            ("", "missing problem line", K::MissingHeader, 0),
+            ("p mcr\n", "expected problem line", K::TruncatedHeader, 1),
+            ("p mcr 2 2\np mcr 2 2\n", "duplicate", K::DuplicateHeader, 2),
         ];
-        for (text, needle) in cases {
+        for (text, needle, kind, line) in cases {
             let err = read_dimacs(&mut text.as_bytes()).expect_err(text);
             let msg = err.to_string();
             assert!(
                 msg.contains(needle),
                 "error for {text:?} was {msg:?}, expected to contain {needle:?}"
             );
+            assert_eq!(err.kind(), kind, "kind for {text:?}");
+            assert_eq!(err.line(), line, "line for {text:?}");
         }
+    }
+
+    #[test]
+    fn second_header_is_rejected_not_silently_replaced() {
+        // Before the duplicate-header check, a second `p` line would
+        // silently discard every arc parsed so far.
+        let text = "p mcr 2 2\na 1 2 5\np mcr 9 9\na 2 1 3\n";
+        let err = read_dimacs(&mut text.as_bytes()).expect_err("duplicate header");
+        assert_eq!(err.kind(), ParseErrorKind::DuplicateHeader);
+        assert_eq!(err.line(), 3);
     }
 
     #[test]

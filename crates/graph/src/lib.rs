@@ -43,5 +43,6 @@ pub mod io;
 pub mod scc;
 pub mod traverse;
 
-pub use graph::{ArcId, Graph, GraphBuilder, NodeId};
+pub use graph::{ArcId, Graph, GraphBuilder, GraphError, NodeId};
+pub use io::{ParseErrorKind, ParseGraphError};
 pub use scc::{condensation, SccDecomposition, SubgraphExtractor};

@@ -1,8 +1,12 @@
 #!/bin/sh
 # Tier-1 gate: what must stay green on every change.
 #   scripts/ci.sh
-# Runs the release build, the full workspace test suite, and clippy
-# with warnings denied on the crates the solver stack touches.
+# Runs the release build, the full workspace test suite (including the
+# property-based differential harness), clippy with warnings denied on
+# the crates the solver stack touches (which enforces the module-level
+# `deny(clippy::unwrap_used, clippy::panic)` gates on the parser and
+# the error/budget/certify layer), and a CLI smoke test of the exit
+# code contract against the bad-input corpus.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -15,5 +19,37 @@ cargo test -q --workspace
 echo "=== cargo clippy -D warnings (solver stack) ==="
 cargo clippy -q -p mcr-graph -p mcr-core -p mcr-cli -p mcr-bench \
     --all-targets -- -D warnings
+
+echo "=== CLI smoke: exit-code contract ==="
+MCR=target/release/mcr
+# Every bad-corpus file must fail cleanly: exit 1, no panic backtrace.
+for f in crates/graph/tests/data/bad/*.dimacs; do
+    status=0
+    "$MCR" solve "$f" >/dev/null 2>/tmp/mcr_ci_stderr || status=$?
+    if [ "$status" -ne 1 ]; then
+        echo "FAIL: $f exited $status, expected 1"
+        exit 1
+    fi
+    if grep -qi "panicked" /tmp/mcr_ci_stderr; then
+        echo "FAIL: $f produced a panic:"
+        cat /tmp/mcr_ci_stderr
+        exit 1
+    fi
+done
+# A starved budget with no fallback must exit 2 (budget exhausted)...
+printf 'p mcr 2 2\na 1 2 1\na 2 1 4001\n' > /tmp/mcr_ci_hostile.dimacs
+status=0
+"$MCR" solve /tmp/mcr_ci_hostile.dimacs --algorithm lawler-exact \
+    --budget refine=1 --fallback none >/dev/null 2>&1 || status=$?
+if [ "$status" -ne 2 ]; then
+    echo "FAIL: starved budget exited $status, expected 2"
+    exit 1
+fi
+# ...and with the default fallback chain it must still answer (exit 0).
+"$MCR" solve /tmp/mcr_ci_hostile.dimacs --algorithm lawler-exact \
+    --budget refine=1 > /tmp/mcr_ci_stdout
+grep -q "answered instead" /tmp/mcr_ci_stdout
+grep -q "certificate" /tmp/mcr_ci_stdout
+rm -f /tmp/mcr_ci_stderr /tmp/mcr_ci_stdout /tmp/mcr_ci_hostile.dimacs
 
 echo "CI gate passed."
