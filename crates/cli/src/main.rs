@@ -17,12 +17,17 @@
 //!     --fallback CHAIN  `none`, or comma-separated algorithm names tried
 //!                       in order when the primary fails recoverably
 //!                       (default: howard-exact,karp,lawler-exact)
+//!     --timeout DUR     hard wall-clock limit enforced by cooperative
+//!                       cancellation (a watchdog thread trips a cancel
+//!                       token; the solve fails closed, exit code 4)
 //!     --critical        also print the critical subgraph
 //!     --counters        also print operation counts
 //!
 //! Exit codes: 0 success, 1 input or usage error, 2 budget exhausted,
 //! 3 certification failure (a solved instance whose witness cycle does
-//! not reproduce the reported lambda — a solver bug, never silent).
+//! not reproduce the reported lambda — a solver bug, never silent),
+//! 4 cancelled (the `--timeout` watchdog fired before the solve
+//! finished; no partial answer is printed).
 //!
 //! mcr gen sprand N M [--seed S] [--wmin A] [--wmax B] [--tmin A --tmax B]
 //! mcr gen circuit N   [--seed S]
@@ -50,11 +55,12 @@ use std::time::Duration;
 
 /// CLI failure, carrying the process exit code contract: input/usage
 /// errors exit 1, exhausted budgets exit 2, certification failures
-/// exit 3.
+/// exit 3, cancellations (the `--timeout` watchdog) exit 4.
 enum CliError {
     Input(String),
     Budget(String),
     Certify(String),
+    Cancelled(String),
 }
 
 impl From<String> for CliError {
@@ -72,6 +78,7 @@ impl From<&str> for CliError {
 fn map_solve_err(e: SolveError) -> CliError {
     match e {
         SolveError::BudgetExhausted { .. } => CliError::Budget(e.to_string()),
+        SolveError::Cancelled => CliError::Cancelled(e.to_string()),
         other => CliError::Input(other.to_string()),
     }
 }
@@ -241,7 +248,32 @@ fn solve_options(args: &Args, epsilon: f64) -> Result<SolveOptions, String> {
     if let Some(spec) = args.value("fallback") {
         opts.fallback = parse_fallback(spec)?;
     }
+    if let Some(spec) = args.value("timeout") {
+        opts.cancel = Some(spawn_timeout_watchdog(parse_duration(spec)?));
+    }
     Ok(opts)
+}
+
+/// Arms a detached watchdog thread that cancels the returned token
+/// after `limit`. The solver polls the token at its wall-clock poll
+/// points, so cancellation is cooperative: the solve fails closed with
+/// [`SolveError::Cancelled`] instead of being killed mid-write. The
+/// thread is deliberately leaked — it holds only a token clone and the
+/// process exits right after the solve either way.
+fn spawn_timeout_watchdog(limit: Duration) -> mcr_core::CancelToken {
+    let token = mcr_core::CancelToken::new();
+    // An already-expired limit cancels synchronously so `--timeout 0ms`
+    // is deterministic (exit 4) rather than a race with a tiny solve.
+    if limit.is_zero() {
+        token.cancel();
+        return token;
+    }
+    let armed = token.clone();
+    std::thread::spawn(move || {
+        std::thread::sleep(limit);
+        armed.cancel();
+    });
+    token
 }
 
 fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
@@ -497,6 +529,10 @@ fn main() -> ExitCode {
         Err(CliError::Certify(e)) => {
             eprintln!("mcr: certification failed: {e}");
             ExitCode::from(3)
+        }
+        Err(CliError::Cancelled(e)) => {
+            eprintln!("mcr: {e}");
+            ExitCode::from(4)
         }
     }
 }

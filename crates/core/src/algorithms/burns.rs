@@ -247,6 +247,7 @@ pub(crate) fn solve_scc(
     loop {
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.burns.exact.phase")?;
         rounds += 1;
         if rounds > cap {
             return Err(SolveError::NumericRange {
@@ -377,6 +378,7 @@ pub(crate) fn solve_scc_f64(
     loop {
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.burns.phase")?;
         rounds += 1;
         if rounds > cap {
             return Err(SolveError::NumericRange {

@@ -34,6 +34,7 @@ pub(crate) fn lambda_scc(
     touched[0] = 0;
     for k in 1..=n as u32 {
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.dg.level")?;
         let mut reached = 0usize;
         let (prev_rows, cur_rows) = d.split_at_mut(k as usize * n);
         let prev = &prev_rows[(k as usize - 1) * n..];

@@ -124,6 +124,7 @@ fn run(
 
     for k in 1..=n {
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.ho.level")?;
         {
             let (prev_rows, cur_rows) = d.split_at_mut(k * n);
             let prev = &prev_rows[(k - 1) * n..];

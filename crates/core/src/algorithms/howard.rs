@@ -21,6 +21,7 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::BudgetScope;
+use crate::checkpoint::JobProgress;
 use crate::driver::SccOutcome;
 use crate::error::SolveError;
 use crate::instrument::Counters;
@@ -28,6 +29,37 @@ use crate::rational::Ratio64;
 use crate::solution::Guarantee;
 use crate::workspace::{PolicyCycleScratch, Workspace};
 use mcr_graph::{ArcId, Graph};
+
+/// Captures the cross-round state of a policy iteration for
+/// checkpointing: the policy vector, plus the `f64` node values for the
+/// Figure 1 variant (which persists them across rounds).
+fn snapshot_policy(policy: &[ArcId], d: Option<&[f64]>) -> JobProgress {
+    JobProgress::Howard {
+        policy: policy.iter().map(|a| a.index() as u32).collect(),
+        dist_bits: d.map(|d| d.iter().map(|x| x.to_bits()).collect()),
+    }
+}
+
+/// Restores a checkpointed policy into `policy`, validating that every
+/// entry is an out-arc of its node in *this* graph. Returns `false`
+/// (leaving `policy` empty) on any mismatch — a stale or corrupt
+/// checkpoint falls back to a fresh solve instead of panicking or
+/// poisoning the iteration.
+fn restore_policy(g: &Graph, saved: &[u32], policy: &mut Vec<ArcId>) -> bool {
+    policy.clear();
+    if saved.len() != g.num_nodes() {
+        return false;
+    }
+    for (v, &raw) in saved.iter().enumerate() {
+        let a = raw as usize;
+        if a >= g.num_arcs() || g.source(ArcId::new(a)).index() != v {
+            policy.clear();
+            return false;
+        }
+        policy.push(ArcId::new(a));
+    }
+    true
+}
 
 /// Iteration-cap safety net: policy iteration provably terminates, but a
 /// bug would otherwise loop forever. Generous enough never to fire on
@@ -128,6 +160,23 @@ pub(crate) fn solve_scc_fig1(
     ws: &mut Workspace,
     scope: &mut BudgetScope,
 ) -> Result<SccOutcome, SolveError> {
+    solve_scc_fig1_ckpt(g, counters, epsilon, ws, scope, None, &mut None)
+}
+
+/// [`solve_scc_fig1`] with checkpoint/resume: starts from `resume` when
+/// it carries a valid policy + value snapshot for this graph, and
+/// populates `saved` with the current snapshot when the budget, the
+/// cancellation token, or an injected fault interrupts the iteration.
+/// Resuming continues the exact round sequence of an uninterrupted run.
+pub(crate) fn solve_scc_fig1_ckpt(
+    g: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+    resume: Option<&JobProgress>,
+    saved: &mut Option<JobProgress>,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
     let Workspace {
         policy,
@@ -138,12 +187,31 @@ pub(crate) fn solve_scc_fig1(
         marks,
         ..
     } = ws;
-    initial_policy_into(g, policy, d);
+    let resumed = match resume {
+        Some(JobProgress::Howard {
+            policy: saved_policy,
+            dist_bits: Some(bits),
+        }) if bits.len() == g.num_nodes() && restore_policy(g, saved_policy, policy) => {
+            d.clear();
+            d.extend(bits.iter().map(|&b| f64::from_bits(b)));
+            true
+        }
+        _ => false,
+    };
+    if !resumed {
+        initial_policy_into(g, policy, d);
+    }
     let cap = iteration_cap(n);
     let mut rounds = 0u64;
     loop {
         counters.iterations += 1;
-        scope.tick_iteration_and_time()?;
+        if let Err(e) = scope
+            .tick_iteration_and_time()
+            .and_then(|()| scope.chaos_check("core.howard.fig1.improve"))
+        {
+            *saved = Some(snapshot_policy(policy, Some(d)));
+            return Err(e);
+        }
         rounds += 1;
         if rounds > cap {
             // Safety net: policy iteration provably terminates; only a
@@ -225,6 +293,21 @@ pub(crate) fn solve_scc_exact(
     ws: &mut Workspace,
     scope: &mut BudgetScope,
 ) -> Result<SccOutcome, SolveError> {
+    solve_scc_exact_ckpt(g, counters, ws, scope, None, &mut None)
+}
+
+/// [`solve_scc_exact`] with checkpoint/resume. The exact variant's only
+/// cross-round state is the policy vector (values are recomputed from
+/// it each round), so the snapshot is the policy alone; see
+/// [`solve_scc_fig1_ckpt`] for the save/restore contract.
+pub(crate) fn solve_scc_exact_ckpt(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+    resume: Option<&JobProgress>,
+    saved: &mut Option<JobProgress>,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes();
     let Workspace {
         policy,
@@ -236,14 +319,29 @@ pub(crate) fn solve_scc_exact(
         marks,
         ..
     } = ws;
-    initial_policy_into(g, policy, dist_f64);
+    let resumed = match resume {
+        Some(JobProgress::Howard {
+            policy: saved_policy,
+            dist_bits: None,
+        }) => restore_policy(g, saved_policy, policy),
+        _ => false,
+    };
+    if !resumed {
+        initial_policy_into(g, policy, dist_f64);
+    }
     d.clear();
     d.resize(n, 0);
     let cap = iteration_cap(n);
     let mut rounds = 0u64;
     loop {
         counters.iterations += 1;
-        scope.tick_iteration_and_time()?;
+        if let Err(e) = scope
+            .tick_iteration_and_time()
+            .and_then(|()| scope.chaos_check("core.howard.exact.improve"))
+        {
+            *saved = Some(snapshot_policy(policy, None));
+            return Err(e);
+        }
         rounds += 1;
         if rounds > cap {
             return Err(SolveError::NumericRange {

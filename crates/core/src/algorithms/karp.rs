@@ -37,6 +37,7 @@ pub(crate) fn fill_table(
     d[0] = 0; // D_0(source) with source = node 0.
     for k in 1..=n {
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.karp.level")?;
         let (prev_rows, cur_rows) = d.split_at_mut(k * n);
         let prev = &prev_rows[(k - 1) * n..];
         let cur = &mut cur_rows[..n];

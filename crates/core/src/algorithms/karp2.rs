@@ -48,6 +48,7 @@ pub(crate) fn lambda_scc(
     // Pass 1: D_n only.
     for _k in 1..=n {
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.karp2.level")?;
         relax_row(g, &prev, &mut cur, counters);
         std::mem::swap(&mut prev, &mut cur);
     }
@@ -61,6 +62,7 @@ pub(crate) fn lambda_scc(
     for k in 0..n {
         if k > 0 {
             scope.tick_iteration_and_time()?;
+            scope.chaos_check("core.karp2.level")?;
             relax_row(g, &cur, &mut prev, counters);
         }
         for v in 0..n {

@@ -13,6 +13,7 @@
 
 use crate::bellman::{cycle_at_or_below_ws, has_cycle_below_ws};
 use crate::budget::BudgetScope;
+use crate::checkpoint::JobProgress;
 use crate::driver::SccOutcome;
 use crate::error::SolveError;
 use crate::instrument::Counters;
@@ -20,6 +21,22 @@ use crate::rational::Ratio64;
 use crate::solution::Guarantee;
 use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph};
+
+/// Restores a saved bisection interval if it is consistent with this
+/// component's weight bounds; an inconsistent checkpoint (wrong graph,
+/// corrupted file) is ignored and the solve starts fresh.
+fn restore_interval(
+    resume: Option<&JobProgress>,
+    wlo: Ratio64,
+    whi: Ratio64,
+) -> Option<(Ratio64, Ratio64)> {
+    match resume {
+        Some(JobProgress::Interval { lo, hi }) if *lo <= *hi && wlo <= *lo && *hi <= whi => {
+            Some((*lo, *hi))
+        }
+        _ => None,
+    }
+}
 
 /// Weight bounds as rationals; equal bounds mean every arc has the same
 /// weight.
@@ -62,13 +79,38 @@ pub(crate) fn solve_scc_eps(
     ws: &mut Workspace,
     scope: &mut BudgetScope,
 ) -> Result<SccOutcome, SolveError> {
+    solve_scc_eps_ckpt(g, counters, epsilon, ws, scope, None, &mut None)
+}
+
+/// [`solve_scc_eps`] with checkpoint/resume: a valid
+/// [`JobProgress::Interval`] restores the bisection bounds, and an
+/// interrupted bisection saves its current bounds into `saved` before
+/// returning the error. Resuming continues the identical midpoint
+/// sequence, so an interrupted-then-resumed solve is bit-identical to
+/// an uninterrupted one.
+pub(crate) fn solve_scc_eps_ckpt(
+    g: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+    resume: Option<&JobProgress>,
+    saved: &mut Option<JobProgress>,
+) -> Result<SccOutcome, SolveError> {
     debug_assert!(epsilon > 0.0, "epsilon validated by the driver");
-    let (mut lo, mut hi) = weight_bounds(g);
+    let (wlo, whi) = weight_bounds(g);
+    let (mut lo, mut hi) = restore_interval(resume, wlo, whi).unwrap_or((wlo, whi));
     // Invariants: λ* ≥ lo, λ* ≤ hi.
     while (hi - lo).to_f64() > epsilon && hi.denom() < i64::MAX / 4 {
         counters.iterations += 1;
-        scope.tick_iteration_and_time()?;
-        scope.tick_refinement()?;
+        if let Err(e) = scope
+            .tick_iteration_and_time()
+            .and_then(|()| scope.tick_refinement())
+            .and_then(|()| scope.chaos_check("core.lawler.bisect"))
+        {
+            *saved = Some(JobProgress::Interval { lo, hi });
+            return Err(e);
+        }
         let mid = lo.midpoint(hi);
         if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             hi = mid;
@@ -94,15 +136,35 @@ pub(crate) fn solve_scc_exact(
     ws: &mut Workspace,
     scope: &mut BudgetScope,
 ) -> Result<SccOutcome, SolveError> {
+    solve_scc_exact_ckpt(g, counters, ws, scope, None, &mut None)
+}
+
+/// [`solve_scc_exact`] with checkpoint/resume; see
+/// [`solve_scc_eps_ckpt`] for the interval save/restore contract.
+pub(crate) fn solve_scc_exact_ckpt(
+    g: &Graph,
+    counters: &mut Counters,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+    resume: Option<&JobProgress>,
+    saved: &mut Option<JobProgress>,
+) -> Result<SccOutcome, SolveError> {
     let n = g.num_nodes() as i64;
-    let (mut lo, mut hi) = weight_bounds(g);
+    let (wlo, whi) = weight_bounds(g);
+    let (mut lo, mut hi) = restore_interval(resume, wlo, whi).unwrap_or((wlo, whi));
     // Cycle means have denominator ≤ n; an open interval shorter than
     // 1/(n(n−1)) contains at most one of them.
     let target = Ratio64::new(1, (n * (n - 1)).max(1) + 1);
     while hi - lo >= target {
         counters.iterations += 1;
-        scope.tick_iteration_and_time()?;
-        scope.tick_refinement()?;
+        if let Err(e) = scope
+            .tick_iteration_and_time()
+            .and_then(|()| scope.tick_refinement())
+            .and_then(|()| scope.chaos_check("core.lawler.exact.bisect"))
+        {
+            *saved = Some(JobProgress::Interval { lo, hi });
+            return Err(e);
+        }
         if hi.denom() >= i64::MAX / 8 {
             return Err(SolveError::NumericRange {
                 context: "Lawler bisection denominators exhausted i64 range",

@@ -88,6 +88,7 @@ fn less_at_optimum(
         });
     }
     scope.tick_refinement()?;
+    scope.chaos_check("core.megiddo.resolve")?;
     let cross = Ratio64::new(num, den);
     if has_cycle_below_ws(g, cross, counters, ws, scope)? {
         // λ* < cross.
@@ -138,6 +139,7 @@ pub(crate) fn solve_scc(
         }
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;
+        scope.chaos_check("core.megiddo.resolve")?;
         let mut changed = false;
         for e in g.arc_ids() {
             let u = g.source(e).index();
@@ -173,6 +175,7 @@ pub(crate) fn solve_scc(
             });
         }
         scope.tick_refinement()?;
+        scope.chaos_check("core.megiddo.resolve")?;
         let mid = iv.lo.midpoint(iv.hi);
         if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             iv.hi = mid;

@@ -17,6 +17,7 @@ pub(crate) mod oa1;
 pub(crate) mod parametric;
 
 use crate::budget::BudgetScope;
+use crate::checkpoint::JobProgress;
 use crate::driver::{solve_per_scc, solve_per_scc_opts, solve_value_per_scc_opts, SccOutcome};
 use crate::error::SolveError;
 use crate::instrument::Counters;
@@ -26,6 +27,7 @@ use crate::solution::Solution;
 use crate::workspace::Workspace;
 use mcr_graph::Graph;
 use parametric::HeapGranularity;
+use std::time::Instant;
 
 /// Runs one algorithm on one strongly connected, cyclic component
 /// under a budget scope. This is the single dispatch point shared by
@@ -54,6 +56,102 @@ fn solve_scc_budgeted(
         Algorithm::Megiddo => megiddo::solve_scc(sub, counters, ws, scope),
         Algorithm::Oa1 => oa1::solve_scc(sub, counters, epsilon, ws, scope),
     }
+}
+
+/// [`solve_scc_budgeted`] routed through the checkpoint-aware variants
+/// for the algorithms that support interrupt/resume (the Howard and
+/// Lawler families). `resume` is consulted before the first iteration;
+/// `saved` receives a progress snapshot when the attempt is interrupted
+/// at a budget / cancellation poll point.
+#[allow(clippy::too_many_arguments)]
+fn solve_scc_resumable(
+    alg: Algorithm,
+    sub: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+    scope: &mut BudgetScope,
+    resume: Option<&JobProgress>,
+    saved: &mut Option<JobProgress>,
+) -> Result<SccOutcome, SolveError> {
+    match alg {
+        Algorithm::Howard => {
+            howard::solve_scc_fig1_ckpt(sub, counters, epsilon, ws, scope, resume, saved)
+        }
+        Algorithm::HowardExact => {
+            howard::solve_scc_exact_ckpt(sub, counters, ws, scope, resume, saved)
+        }
+        Algorithm::Lawler => {
+            lawler::solve_scc_eps_ckpt(sub, counters, epsilon, ws, scope, resume, saved)
+        }
+        Algorithm::LawlerExact => {
+            lawler::solve_scc_exact_ckpt(sub, counters, ws, scope, resume, saved)
+        }
+        other => solve_scc_budgeted(other, sub, counters, epsilon, ws, scope),
+    }
+}
+
+/// Runs the full fallback chain for one SCC job. Every attempt gets a
+/// fresh budget scope (sharing the solve-wide deadline and cancellation
+/// token); a recoverable failure advances to the next alternate, a
+/// non-recoverable one (including [`SolveError::Cancelled`]) fails the
+/// whole solve closed. When a checkpoint store is attached, interrupted
+/// attempts save their progress keyed by `(job, algorithm)` and a
+/// successful job clears its entry.
+///
+/// If every attempt fails, the error of the **last** attempt is
+/// returned and the workspace is left freshly reset — never poisoned —
+/// so no half-updated scratch state can leak into a later job.
+#[allow(clippy::too_many_arguments)]
+fn run_fallback_chain(
+    job: usize,
+    chain: &[Algorithm],
+    sub: &Graph,
+    counters: &mut Counters,
+    epsilon: f64,
+    ws: &mut Workspace,
+    opts: &SolveOptions,
+    deadline: Option<Instant>,
+) -> Result<SccOutcome, SolveError> {
+    let mut last_err = None;
+    for &alg in chain {
+        let mut scope =
+            BudgetScope::new(&opts.budget, deadline, alg).with_cancel(opts.cancel.clone());
+        ws.begin_use();
+        let resume = opts
+            .checkpoints
+            .as_ref()
+            .and_then(|store| store.get(job as u64, alg));
+        let mut saved = None;
+        let attempt = scope.chaos_check("core.fallback.attempt").and_then(|()| {
+            solve_scc_resumable(alg, sub, counters, epsilon, ws, &mut scope, resume.as_ref(), &mut saved)
+        });
+        match attempt {
+            Ok(outcome) => {
+                ws.end_use();
+                if let Some(store) = &opts.checkpoints {
+                    store.clear(job as u64);
+                }
+                return Ok(outcome);
+            }
+            // A failed attempt leaves the workspace poisoned; the next
+            // begin_use resets it before reuse.
+            Err(err) => {
+                if let (Some(store), Some(progress)) = (&opts.checkpoints, saved) {
+                    store.save(job as u64, alg, progress);
+                }
+                if err.is_recoverable() {
+                    last_err = Some(err);
+                } else {
+                    return Err(err);
+                }
+            }
+        }
+    }
+    ws.reset();
+    Err(last_err.unwrap_or(SolveError::NumericRange {
+        context: "fallback chain was empty",
+    }))
 }
 
 /// A minimum mean cycle algorithm from the study.
@@ -234,23 +332,8 @@ impl Algorithm {
         };
         let deadline = opts.budget.deadline();
         let chain = opts.fallback.chain_for(self);
-        solve_per_scc_opts(g, opts, |sub, counters, ws| {
-            let mut last_err = None;
-            for &alg in &chain {
-                let mut scope = BudgetScope::new(&opts.budget, deadline, alg);
-                ws.begin_use();
-                match solve_scc_budgeted(alg, sub, counters, epsilon, ws, &mut scope) {
-                    Ok(outcome) => {
-                        ws.end_use();
-                        return Ok(outcome);
-                    }
-                    // A failed attempt leaves the workspace poisoned;
-                    // the next begin_use resets it before reuse.
-                    Err(err) if err.is_recoverable() => last_err = Some(err),
-                    Err(err) => return Err(err),
-                }
-            }
-            Err(last_err.expect("chain_for always contains the primary algorithm"))
+        solve_per_scc_opts(g, opts, |job, sub, counters, ws| {
+            run_fallback_chain(job, &chain, sub, counters, epsilon, ws, opts, deadline)
         })
     }
 }
@@ -277,8 +360,9 @@ impl Algorithm {
         let deadline = opts.budget.deadline();
         let scoped =
             |f: fn(&Graph, &mut Counters, &mut BudgetScope) -> Result<Ratio64, SolveError>| {
-                move |s: &Graph, c: &mut Counters, _ws: &mut Workspace| {
-                    let mut scope = BudgetScope::new(&opts.budget, deadline, self);
+                move |_job: usize, s: &Graph, c: &mut Counters, _ws: &mut Workspace| {
+                    let mut scope = BudgetScope::new(&opts.budget, deadline, self)
+                        .with_cancel(opts.cancel.clone());
                     f(s, c, &mut scope)
                 }
             };
@@ -306,13 +390,13 @@ pub fn parametric_with_heap(g: &Graph, node_keyed: bool, fibonacci: bool) -> Opt
         (HeapGranularity::PerArc, Algorithm::Ko)
     };
     if fibonacci {
-        solve_per_scc(g, move |s, c, _ws| {
+        solve_per_scc(g, move |_job, s, c, _ws| {
             let mut scope = BudgetScope::unlimited(alg);
             parametric::solve_scc_with::<FibonacciHeap<Ratio64>>(s, c, granularity, &mut scope)
         })
         .ok()
     } else {
-        solve_per_scc(g, move |s, c, _ws| {
+        solve_per_scc(g, move |_job, s, c, _ws| {
             let mut scope = BudgetScope::unlimited(alg);
             parametric::solve_scc_with::<IndexedBinaryHeap<Ratio64>>(s, c, granularity, &mut scope)
         })
@@ -520,5 +604,63 @@ mod tests {
             let sol = alg.solve(&g).expect("cyclic");
             assert_eq!(sol.solved_by, alg, "{}", alg.name());
         }
+    }
+
+    #[test]
+    fn exhausted_chain_attributes_the_last_attempt() {
+        use crate::Budget;
+        // A zero-iteration budget fails every member of the default
+        // chain on a non-uniform-weight graph; the surfaced error must
+        // name the LAST attempt (LawlerExact), not the primary.
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        let opts = SolveOptions::new().budget(Budget::default().max_iterations(0));
+        let err = Algorithm::HowardExact
+            .solve_with_options(&g, &opts)
+            .expect_err("no chain member can run zero iterations");
+        match err {
+            crate::SolveError::BudgetExhausted { algorithm, .. } => {
+                assert_eq!(algorithm, Algorithm::LawlerExact);
+            }
+            other => panic!("expected BudgetExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn exhausted_chain_leaves_the_workspace_reset_not_poisoned() {
+        use crate::Budget;
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        let opts = SolveOptions::new().budget(Budget::default().max_iterations(0));
+        let chain = opts.fallback.chain_for(Algorithm::HowardExact);
+        let mut ws = Workspace::new();
+        let mut counters = Counters::new();
+        let err = run_fallback_chain(0, &chain, &g, &mut counters, 1e-6, &mut ws, &opts, None)
+            .expect_err("every attempt exhausts");
+        assert!(matches!(err, crate::SolveError::BudgetExhausted { .. }));
+        assert!(
+            !ws.is_poisoned(),
+            "an exhausted chain must hand back a reset workspace"
+        );
+        assert!(
+            ws.policy.is_empty() && ws.bf.dist.is_empty(),
+            "reset must discard all scratch state"
+        );
+        // The same workspace must serve a clean follow-up solve.
+        let mut scope = BudgetScope::unlimited(Algorithm::HowardExact);
+        ws.begin_use();
+        let outcome = howard::solve_scc_exact(&g, &mut counters, &mut ws, &mut scope)
+            .expect("clean solve after exhaustion");
+        ws.end_use();
+        assert_eq!(outcome.lambda, Ratio64::new(101, 2));
+    }
+
+    #[test]
+    fn a_non_recoverable_error_stops_the_chain_immediately() {
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 100)]);
+        let token = crate::CancelToken::new();
+        token.cancel();
+        let err = Algorithm::HowardExact
+            .solve_with_options(&g, &SolveOptions::new().cancel(token))
+            .expect_err("cancelled before it started");
+        assert_eq!(err, crate::SolveError::Cancelled);
     }
 }

@@ -75,6 +75,7 @@ pub(crate) fn solve_scc(
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;
         scope.tick_refinement()?;
+        scope.chaos_check("core.oa1.refine")?;
         let delta = hi - lo;
         let mid = lo.midpoint(hi);
         let eps_phase = delta / Ratio64::from(8 * n.max(1));

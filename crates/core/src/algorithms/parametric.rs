@@ -260,6 +260,7 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                 let e = ArcId::new(ei);
                 counters.iterations += 1;
                 scope.tick_iteration_and_time()?;
+                scope.chaos_check("core.ko-yto.pivot")?;
                 let u = g.source(e).index();
                 let v = g.target(e).index();
                 if tree.is_ancestor(v, u) {
@@ -301,6 +302,7 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                 let e = best_arc[vi].expect("queued node has a best arc");
                 counters.iterations += 1;
                 scope.tick_iteration_and_time()?;
+                scope.chaos_check("core.ko-yto.pivot")?;
                 let u = g.source(e).index();
                 if tree.is_ancestor(vi, u) {
                     let mut cycle = tree.path_arcs(vi, u);

@@ -110,6 +110,7 @@ fn bellman_core(
     let mut updated_node = None;
     for _round in 0..n {
         scope.check_time()?;
+        scope.chaos_check("core.bellman.round")?;
         let mut any = false;
         #[allow(clippy::needless_range_loop)] // hot loop indexes two arrays in step
         for ai in 0..m {

@@ -20,8 +20,21 @@
 
 
 use crate::algorithms::Algorithm;
+use crate::cancel::CancelToken;
 use crate::error::{BudgetResource, SolveError};
+use std::cell::Cell;
 use std::time::{Duration, Instant};
+
+/// How often [`BudgetScope::check_time`] aims to actually read the
+/// clock. Far below any plausible wall budget (a 50 ms budget still
+/// gets ~100 reads) yet long enough that the amortized per-check cost
+/// is a counter decrement, not a syscall.
+const TARGET_POLL_INTERVAL: Duration = Duration::from_micros(500);
+
+/// Upper bound on the number of `check_time` calls between clock
+/// reads, so a loop whose per-iteration cost suddenly grows cannot
+/// coast past the deadline on a stale stride for long.
+const MAX_POLL_STRIDE: u32 = 1 << 16;
 
 /// Work limits for a solve. The default is unlimited in every
 /// dimension, so existing callers see no behavior change.
@@ -107,6 +120,14 @@ pub struct BudgetScope {
     refines_left: Option<u64>,
     refines_spent: u64,
     deadline: Option<Instant>,
+    cancel: Option<CancelToken>,
+    /// `check_time` calls between clock reads; adapted so clock reads
+    /// land roughly every [`TARGET_POLL_INTERVAL`] of wall time.
+    poll_stride: Cell<u32>,
+    /// Countdown to the next clock read.
+    polls_until_clock: Cell<u32>,
+    /// When the clock was last read, for stride adaptation.
+    last_clock: Cell<Option<Instant>>,
 }
 
 impl BudgetScope {
@@ -119,7 +140,19 @@ impl BudgetScope {
             refines_left: budget.max_lambda_refinements,
             refines_spent: 0,
             deadline,
+            cancel: None,
+            poll_stride: Cell::new(1),
+            polls_until_clock: Cell::new(0),
+            last_clock: Cell::new(None),
         }
+    }
+
+    /// Attaches a cooperative cancellation token: subsequent
+    /// [`check_time`](BudgetScope::check_time) calls return
+    /// [`SolveError::Cancelled`] once the token is cancelled.
+    pub fn with_cancel(mut self, cancel: Option<CancelToken>) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// A scope that never trips — for the legacy `Option`-returning
@@ -168,20 +201,92 @@ impl BudgetScope {
         Ok(())
     }
 
-    /// Errs when the shared deadline has passed. Cheap when no
-    /// deadline is set (no clock read).
+    /// Errs when the solve was cancelled or the shared deadline has
+    /// passed. Cheap when neither a token nor a deadline is set, and
+    /// *amortized* cheap with a deadline: the clock is only read every
+    /// poll-stride-th call, with the stride adapted so reads land
+    /// roughly twice per millisecond of wall time whatever the
+    /// per-iteration cost of the calling loop.
     #[inline]
     pub fn check_time(&self) -> Result<(), SolveError> {
-        match self.deadline {
-            None => Ok(()),
-            Some(deadline) => {
-                if Instant::now() >= deadline {
-                    Err(self.exhausted(BudgetResource::WallTime, self.iters_spent))
-                } else {
-                    Ok(())
-                }
+        if let Some(token) = &self.cancel {
+            if token.is_cancelled() {
+                return Err(SolveError::Cancelled);
             }
         }
+        let Some(deadline) = self.deadline else {
+            return Ok(());
+        };
+        let left = self.polls_until_clock.get();
+        if left > 0 {
+            self.polls_until_clock.set(left - 1);
+            return Ok(());
+        }
+        self.poll_clock(deadline)
+    }
+
+    /// Slow path of [`check_time`](BudgetScope::check_time): reads the
+    /// clock, checks the deadline, and re-tunes the poll stride toward
+    /// one clock read per [`TARGET_POLL_INTERVAL`].
+    #[cold]
+    fn poll_clock(&self, deadline: Instant) -> Result<(), SolveError> {
+        let now = Instant::now();
+        let stride = self.poll_stride.get();
+        let stride = match self.last_clock.get() {
+            // Checks are coming in much faster than the target cadence:
+            // widen the stride. Slower: narrow it so a deadline is
+            // never overshot by more than ~one target interval.
+            Some(prev) => {
+                let elapsed = now.saturating_duration_since(prev);
+                if elapsed * 4 < TARGET_POLL_INTERVAL {
+                    stride.saturating_mul(2).min(MAX_POLL_STRIDE)
+                } else if elapsed > TARGET_POLL_INTERVAL {
+                    (stride / 2).max(1)
+                } else {
+                    stride
+                }
+            }
+            None => stride,
+        };
+        self.poll_stride.set(stride);
+        self.polls_until_clock.set(stride - 1);
+        self.last_clock.set(Some(now));
+        if now >= deadline {
+            Err(self.exhausted(BudgetResource::WallTime, self.iters_spent))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Failpoint hook for the chaos test harness: consults the active
+    /// [`mcr_chaos::FaultSchedule`] (if any) for `site` and maps a
+    /// fired fault onto this scope's typed [`SolveError`] —
+    /// `BudgetExhaust` becomes [`SolveError::BudgetExhausted`]
+    /// attributed to this scope's algorithm, `Overflow` becomes
+    /// [`SolveError::Overflow`], and `NumericRange` / `Transient`
+    /// become [`SolveError::NumericRange`] (all recoverable, so the
+    /// fallback chain engages exactly as for an organic failure).
+    /// `Delay` faults are applied in place by the registry.
+    #[cfg(feature = "chaos")]
+    pub fn chaos_check(&self, site: &'static str) -> Result<(), SolveError> {
+        use mcr_chaos::FaultKind;
+        match mcr_chaos::hit(site) {
+            None | Some(FaultKind::Delay { .. }) => Ok(()),
+            Some(FaultKind::BudgetExhaust) => {
+                Err(self.exhausted(BudgetResource::Iterations, self.iters_spent))
+            }
+            Some(FaultKind::Overflow) => Err(SolveError::Overflow { context: site }),
+            Some(FaultKind::NumericRange) | Some(FaultKind::Transient) => {
+                Err(SolveError::NumericRange { context: site })
+            }
+        }
+    }
+
+    /// Compiled-out failpoint hook: always `Ok`, inlined to nothing.
+    #[cfg(not(feature = "chaos"))]
+    #[inline(always)]
+    pub fn chaos_check(&self, _site: &'static str) -> Result<(), SolveError> {
+        Ok(())
     }
 
     /// Combined per-round charge used by loops that should respect
@@ -263,6 +368,53 @@ mod tests {
                 ..
             }
         ));
+    }
+
+    #[test]
+    fn cancelled_token_trips_check_time() {
+        let token = crate::CancelToken::new();
+        let s = BudgetScope::unlimited(Algorithm::HowardExact).with_cancel(Some(token.clone()));
+        s.check_time().expect("not cancelled yet");
+        token.cancel();
+        assert_eq!(s.check_time().expect_err("cancelled"), SolveError::Cancelled);
+        // Cancellation dominates: it is reported even with a live deadline.
+        let b = Budget::default().wall_time(Duration::from_secs(3600));
+        let s = BudgetScope::new(&b, b.deadline(), Algorithm::Karp).with_cancel(Some(token));
+        assert_eq!(s.check_time().expect_err("cancelled"), SolveError::Cancelled);
+    }
+
+    #[test]
+    fn adaptive_polling_still_detects_an_expired_deadline() {
+        // Warm the stride up with fast calls, then expire the deadline:
+        // the stride bounds the number of stale Oks to one stride window.
+        let deadline = Instant::now() + Duration::from_millis(20);
+        let s = BudgetScope::new(&Budget::UNLIMITED, Some(deadline), Algorithm::Megiddo);
+        let start = Instant::now();
+        loop {
+            if s.check_time().is_err() {
+                break;
+            }
+            assert!(
+                start.elapsed() < Duration::from_secs(10),
+                "deadline never detected"
+            );
+        }
+        // Well within one adaptation interval of the 20ms deadline.
+        assert!(start.elapsed() < Duration::from_millis(200));
+    }
+
+    #[test]
+    fn poll_stride_widens_under_fast_calls() {
+        let deadline = Instant::now() + Duration::from_secs(3600);
+        let s = BudgetScope::new(&Budget::UNLIMITED, Some(deadline), Algorithm::Karp);
+        for _ in 0..10_000 {
+            s.check_time().expect("deadline far away");
+        }
+        assert!(
+            s.poll_stride.get() > 1,
+            "10k immediate checks must widen the stride beyond 1"
+        );
+        assert!(s.poll_stride.get() <= MAX_POLL_STRIDE);
     }
 
     #[test]

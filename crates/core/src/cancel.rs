@@ -1,0 +1,104 @@
+//! Cooperative cancellation for long-running solves.
+//!
+//! A [`CancelToken`] is a cheap, clonable flag shared between the
+//! caller (or a watchdog thread) and the solver. The solver polls it at
+//! the same points where it polls the wall-clock budget — once per
+//! outer-loop iteration / relaxation round — so cancellation takes
+//! effect within one loop iteration, and a cancelled solve **fails
+//! closed**: it returns [`crate::SolveError::Cancelled`] instead of a
+//! partial answer, and the abandoned workspace is reset before reuse
+//! exactly as for any other aborted attempt.
+
+// Parsing/validation surfaces must stay panic-free whatever the
+// input; CI runs clippy with -D warnings, so these lints are a gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Cloning the token shares the flag; [`CancelToken::cancel`] from any
+/// clone (or any thread) is observed by every other clone. The flag is
+/// one-way: once set it stays set for the lifetime of the token.
+///
+/// ```
+/// use mcr_core::CancelToken;
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, uncancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    #[inline]
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Two tokens are equal when they share the same flag (clones of one
+/// another), mirroring the identity semantics of the shared state.
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.flag, &other.flag)
+    }
+}
+
+impl Eq for CancelToken {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!b.is_cancelled());
+        a.cancel();
+        assert!(b.is_cancelled());
+        // Idempotent.
+        b.cancel();
+        assert!(a.is_cancelled());
+    }
+
+    #[test]
+    fn equality_is_identity() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        let c = CancelToken::new();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let token = CancelToken::new();
+        let watcher = token.clone();
+        let handle = std::thread::spawn(move || {
+            while !watcher.is_cancelled() {
+                std::thread::yield_now();
+            }
+            true
+        });
+        token.cancel();
+        assert!(handle.join().expect("watcher thread"));
+    }
+}

@@ -51,6 +51,24 @@ pub enum CertifyError {
         /// and it fits `Ratio64`.
         ratio: Option<Ratio64>,
     },
+    /// The checked `i128` re-walk's running totals left the range a
+    /// [`Ratio64`] can represent, so the cycle's objective value does
+    /// not exist as an exact rational. Unlike the coarse "out of range"
+    /// of [`CertifyError::LambdaMismatch`], this pinpoints *where* the
+    /// accumulation first overflowed — which arc of a corrupted witness
+    /// pushed it over — with the partial sums up to and including it.
+    WalkOverflow {
+        /// Position within the witness cycle (index into
+        /// `solution.cycle`) of the first arc whose inclusion pushed a
+        /// running total outside `i64` range.
+        position: usize,
+        /// The arc id at that position.
+        arc: usize,
+        /// Running weight total after adding that arc.
+        weight_so_far: i128,
+        /// Running transit total after adding that arc.
+        transit_so_far: i128,
+    },
 }
 
 impl fmt::Display for CertifyError {
@@ -74,6 +92,19 @@ impl fmt::Display for CertifyError {
                     None => f.write_str("undefined")?,
                 }
                 f.write_str(")")
+            }
+            CertifyError::WalkOverflow {
+                position,
+                arc,
+                weight_so_far,
+                transit_so_far,
+            } => {
+                write!(
+                    f,
+                    "witness re-walk overflowed at position {position} (arc {arc}): \
+                     partial weight {weight_so_far}, partial transit {transit_so_far} \
+                     exceed the representable range"
+                )
             }
         }
     }
@@ -129,14 +160,37 @@ pub fn certify(solution: &Solution, g: &Graph) -> Result<(), CertifyError> {
     let mean = Ratio64::try_from_i128(w, solution.cycle.len() as i128);
     let ratio = if t > 0 { Ratio64::try_from_i128(w, t) } else { None };
     if mean == Some(solution.lambda) || ratio == Some(solution.lambda) {
-        Ok(())
-    } else {
-        Err(CertifyError::LambdaMismatch {
-            lambda: solution.lambda,
-            mean,
-            ratio,
-        })
+        return Ok(());
     }
+    // Neither objective matched. If neither even *exists* as a Ratio64,
+    // redo the walk with running checks to report the exact arc whose
+    // inclusion first pushed a total outside i64 range — the diagnostic
+    // a corrupted witness needs (a plain "out of range" hides the arc).
+    if mean.is_none() && ratio.is_none() {
+        let mut weight = 0i128;
+        let mut transit = 0i128;
+        for (position, &a) in solution.cycle.iter().enumerate() {
+            weight += g.weight(a) as i128;
+            transit += g.transit(a) as i128;
+            if weight < i64::MIN as i128
+                || weight > i64::MAX as i128
+                || transit < i64::MIN as i128
+                || transit > i64::MAX as i128
+            {
+                return Err(CertifyError::WalkOverflow {
+                    position,
+                    arc: a.index(),
+                    weight_so_far: weight,
+                    transit_so_far: transit,
+                });
+            }
+        }
+    }
+    Err(CertifyError::LambdaMismatch {
+        lambda: solution.lambda,
+        mean,
+        ratio,
+    })
 }
 
 #[cfg(test)]
@@ -191,6 +245,47 @@ mod tests {
             certify(&s, &g),
             Err(CertifyError::MalformedCycle { .. })
         ));
+    }
+
+    #[test]
+    fn walk_overflow_names_the_offending_arc_and_partial_sums() {
+        // Three self-loops at one node, weighted so the running weight
+        // total leaves i64 range exactly when the second arc is added:
+        // MAX, then 2·MAX, then 3·MAX − 2 (none reduce mod 3, so no
+        // exact mean or ratio exists either).
+        let g = from_arc_list(
+            1,
+            &[(0, 0, i64::MAX), (0, 0, i64::MAX), (0, 0, i64::MAX - 2)],
+        );
+        let s = sol(Ratio64::from(1), g.arc_ids().collect());
+        match certify(&s, &g).expect_err("totals overflow i64") {
+            CertifyError::WalkOverflow {
+                position,
+                arc,
+                weight_so_far,
+                transit_so_far,
+            } => {
+                assert_eq!(position, 1, "second arc pushes the total past i64::MAX");
+                assert_eq!(arc, 1);
+                assert_eq!(weight_so_far, 2 * i64::MAX as i128);
+                assert_eq!(transit_so_far, 2);
+            }
+            other => panic!("expected WalkOverflow, got {other}"),
+        }
+    }
+
+    #[test]
+    fn in_range_mismatch_still_reports_lambda_mismatch() {
+        // Large but representable totals must keep the richer
+        // LambdaMismatch diagnostic (both objective values exist).
+        let g = from_arc_list(2, &[(0, 1, 1), (1, 0, 5)]);
+        let s = sol(Ratio64::from(4), g.arc_ids().collect());
+        match certify(&s, &g).expect_err("mean is 3, not 4") {
+            CertifyError::LambdaMismatch { mean, .. } => {
+                assert_eq!(mean, Some(Ratio64::from(3)));
+            }
+            other => panic!("expected LambdaMismatch, got {other}"),
+        }
     }
 
     #[test]

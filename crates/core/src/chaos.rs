@@ -1,0 +1,46 @@
+//! Failpoint sites for the solver layer (`chaos` feature).
+//!
+//! With the feature off (the default) every helper here is an empty
+//! `#[inline(always)]` function and the crate contains no injection
+//! code at all. With `--features chaos` the helpers report to the
+//! [`mcr_chaos`] registry, so a seeded [`mcr_chaos::FaultSchedule`]
+//! can deterministically fail any layer of a solve.
+//!
+//! # Site naming
+//!
+//! Sites are dot-separated, coarse-to-fine:
+//!
+//! | site                        | layer                                  |
+//! |-----------------------------|----------------------------------------|
+//! | `core.<algorithm>.<loop>`   | an algorithm's main loop (see below)   |
+//! | `core.bellman.round`        | the shared Bellman–Ford oracle         |
+//! | `core.driver.job`           | per-SCC job dispatch (unit site)       |
+//! | `core.fallback.attempt`     | each fallback-chain attempt            |
+//! | `core.workspace.reset`      | workspace poison-recovery (unit site)  |
+//!
+//! Algorithm loop sites: `core.burns.phase`, `core.burns.exact.phase`,
+//! `core.ko-yto.pivot`, `core.howard.fig1.improve`,
+//! `core.howard.exact.improve`, `core.ho.level`, `core.karp.level`,
+//! `core.karp2.level`, `core.dg.level`, `core.lawler.bisect`,
+//! `core.lawler.exact.bisect`, `core.megiddo.resolve`, `core.oa1.refine`,
+//! `core.ratio.bisect`. Error-capable sites are reached through
+//! [`crate::BudgetScope::chaos_check`], which maps the injected
+//! [`mcr_chaos::FaultKind`] onto the layer's typed
+//! [`crate::SolveError`]; unit sites only count hits and honor
+//! [`mcr_chaos::FaultKind::Delay`].
+
+#[cfg(feature = "chaos")]
+pub use mcr_chaos::{active, faults_fired, hits, total_hits, ChaosGuard, FaultKind, FaultSchedule};
+
+/// Unit failpoint: counts the hit and applies delay faults; error kinds
+/// scheduled on a unit site are ignored (the site has no error path).
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn pulse(site: &'static str) {
+    let _ = mcr_chaos::hit(site);
+}
+
+/// Compiled-out unit failpoint: nothing at all.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn pulse(_site: &'static str) {}

@@ -83,17 +83,25 @@ fn extract_jobs(g: &Graph) -> Vec<Job> {
 /// counter sink, jobs in order. Otherwise a scoped work-queue fans the
 /// jobs out over `threads` workers; results land in job-indexed slots
 /// and counters merge per worker, so the output is identical either way.
+///
+/// `solve` receives the job's index as its first argument — a stable,
+/// scheduling-independent key (the component's position in Tarjan
+/// order) used for checkpoint/resume bookkeeping.
 fn run_jobs<R: Send>(
     jobs: &[Job],
     threads: usize,
-    solve: impl Fn(&Graph, &mut Counters, &mut Workspace) -> R + Sync,
+    solve: impl Fn(usize, &Graph, &mut Counters, &mut Workspace) -> R + Sync,
 ) -> (Vec<R>, Counters) {
     if threads <= 1 || jobs.len() <= 1 {
         let mut counters = Counters::new();
         let mut ws = Workspace::new();
         let results = jobs
             .iter()
-            .map(|j| solve(&j.sub, &mut counters, &mut ws))
+            .enumerate()
+            .map(|(i, j)| {
+                crate::chaos::pulse("core.driver.job");
+                solve(i, &j.sub, &mut counters, &mut ws)
+            })
             .collect();
         return (results, counters);
     }
@@ -113,7 +121,8 @@ fn run_jobs<R: Send>(
                         if i >= jobs.len() {
                             break;
                         }
-                        let r = solve(&jobs[i].sub, &mut local, &mut ws);
+                        crate::chaos::pulse("core.driver.job");
+                        let r = solve(i, &jobs[i].sub, &mut local, &mut ws);
                         done.push((i, r));
                     }
                     (local, done)
@@ -147,12 +156,14 @@ fn run_jobs<R: Send>(
 /// cycle; any per-component error is propagated (the one from the
 /// lowest component index, independent of scheduling).
 ///
-/// `solve_scc` receives a strongly connected graph that contains at
+/// `solve_scc` receives the job index (stable across thread counts —
+/// the checkpoint key), a strongly connected graph that contains at
 /// least one cycle (possibly a single node with self-loops), a counter
 /// sink, and a reusable scratch workspace.
 pub(crate) fn solve_per_scc(
     g: &Graph,
-    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError> + Sync,
+    solve_scc: impl Fn(usize, &Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError>
+        + Sync,
 ) -> Result<Solution, SolveError> {
     solve_per_scc_opts(g, &SolveOptions::default(), solve_scc)
 }
@@ -162,7 +173,8 @@ pub(crate) fn solve_per_scc(
 pub(crate) fn solve_per_scc_opts(
     g: &Graph,
     opts: &SolveOptions,
-    solve_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError> + Sync,
+    solve_scc: impl Fn(usize, &Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError>
+        + Sync,
 ) -> Result<Solution, SolveError> {
     let jobs = extract_jobs(g);
     if jobs.is_empty() {
@@ -214,7 +226,8 @@ pub(crate) fn solve_per_scc_opts(
 pub(crate) fn solve_value_per_scc_opts(
     g: &Graph,
     opts: &SolveOptions,
-    lambda_scc: impl Fn(&Graph, &mut Counters, &mut Workspace) -> Result<Ratio64, SolveError> + Sync,
+    lambda_scc: impl Fn(usize, &Graph, &mut Counters, &mut Workspace) -> Result<Ratio64, SolveError>
+        + Sync,
 ) -> Result<(Ratio64, Counters), SolveError> {
     let jobs = extract_jobs(g);
     if jobs.is_empty() {
@@ -242,6 +255,7 @@ mod tests {
 
     /// A toy exact solver: brute force, packaged as an SCC solver.
     fn brute(
+        _job: usize,
         sub: &Graph,
         counters: &mut Counters,
         _ws: &mut Workspace,
@@ -274,13 +288,13 @@ mod tests {
         let g = from_arc_list(4, &[(0, 1, 5), (1, 0, 5), (2, 3, 1), (3, 2, 3)]);
         for threads in [1, 2, 4] {
             let opts = SolveOptions::new().threads(threads);
-            let err = solve_per_scc_opts(&g, &opts, |sub, c, ws| {
+            let err = solve_per_scc_opts(&g, &opts, |job, sub, c, ws| {
                 if sub.arc_ids().any(|a| sub.weight(a) == 5) {
                     Err(SolveError::Overflow {
                         context: "synthetic failure",
                     })
                 } else {
-                    brute(sub, c, ws)
+                    brute(job, sub, c, ws)
                 }
             })
             .expect_err("one component fails");
@@ -351,12 +365,13 @@ mod tests {
             assert_eq!(par.lambda, seq.lambda);
             assert_eq!(par.cycle, seq.cycle, "witness differs at {threads} threads");
             assert_eq!(par.counters, seq.counters);
-            let (v_seq, c_seq) = solve_value_per_scc_opts(&g, &SolveOptions::default(), |s, c, w| {
-                brute(s, c, w).map(|o| o.lambda)
-            })
-            .expect("cyclic");
+            let (v_seq, c_seq) =
+                solve_value_per_scc_opts(&g, &SolveOptions::default(), |j, s, c, w| {
+                    brute(j, s, c, w).map(|o| o.lambda)
+                })
+                .expect("cyclic");
             let (v_par, c_par) =
-                solve_value_per_scc_opts(&g, &opts, |s, c, w| brute(s, c, w).map(|o| o.lambda))
+                solve_value_per_scc_opts(&g, &opts, |j, s, c, w| brute(j, s, c, w).map(|o| o.lambda))
                     .expect("cyclic");
             assert_eq!(v_par, v_seq);
             assert_eq!(c_par, c_seq);

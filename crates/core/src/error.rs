@@ -88,6 +88,11 @@ pub enum SolveError {
         /// Which search ran out of range.
         context: &'static str,
     },
+    /// The solve was cancelled through a [`crate::CancelToken`]
+    /// (directly, or by the CLI's `--timeout` watchdog). Cancellation
+    /// is deliberate and solve-wide, so the fallback chain does *not*
+    /// continue past it: the solve fails closed immediately.
+    Cancelled,
 }
 
 impl SolveError {
@@ -97,7 +102,8 @@ impl SolveError {
     /// continues past them. [`SolveError::Acyclic`],
     /// [`SolveError::ZeroTransitCycle`] and
     /// [`SolveError::InvalidEpsilon`] are properties of the input or
-    /// configuration and abort immediately.
+    /// configuration, and [`SolveError::Cancelled`] is an explicit
+    /// caller request; all of those abort immediately.
     pub fn is_recoverable(&self) -> bool {
         matches!(
             self,
@@ -132,6 +138,7 @@ impl fmt::Display for SolveError {
             SolveError::NumericRange { context } => {
                 write!(f, "numeric range exhausted in {context}")
             }
+            SolveError::Cancelled => f.write_str("the solve was cancelled"),
         }
     }
 }
@@ -157,6 +164,7 @@ mod tests {
             SolveError::Acyclic,
             SolveError::ZeroTransitCycle,
             SolveError::InvalidEpsilon { epsilon: -1.0 },
+            SolveError::Cancelled,
         ];
         for e in recoverable {
             assert!(e.is_recoverable(), "{e}");

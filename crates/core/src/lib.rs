@@ -56,7 +56,10 @@
 pub mod algorithms;
 pub mod bellman;
 pub mod budget;
+pub mod cancel;
 pub mod certify;
+pub mod chaos;
+pub mod checkpoint;
 pub mod critical;
 mod driver;
 pub mod error;
@@ -72,7 +75,9 @@ pub mod workspace;
 
 pub use algorithms::Algorithm;
 pub use budget::{Budget, BudgetScope};
+pub use cancel::CancelToken;
 pub use certify::{certify, CertifyError};
+pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, JobProgress};
 pub use error::{BudgetResource, SolveError};
 pub use instrument::Counters;
 pub use options::{FallbackChain, SolveOptions};

@@ -6,6 +6,8 @@
 
 use crate::algorithms::Algorithm;
 use crate::budget::Budget;
+use crate::cancel::CancelToken;
+use crate::checkpoint::CheckpointStore;
 
 /// The ordered list of alternate algorithms the driver tries when the
 /// primary algorithm fails with a recoverable error (budget exhaustion,
@@ -92,7 +94,7 @@ impl FallbackChain {
 /// let sol = Algorithm::HowardExact.solve_with_options(&g, &opts).unwrap();
 /// assert_eq!(sol.lambda, mcr_core::Ratio64::from(1));
 /// ```
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SolveOptions {
     /// Number of worker threads for solving strongly connected
     /// components in parallel. `1` (the default) is the sequential
@@ -113,6 +115,16 @@ pub struct SolveOptions {
     /// a component. Use [`FallbackChain::NONE`] to surface the primary
     /// algorithm's own error instead.
     pub fallback: FallbackChain,
+    /// Cooperative cancellation: when set, the solver polls the token
+    /// at its wall-clock poll points and fails closed with
+    /// [`crate::SolveError::Cancelled`] once it is cancelled. `None`
+    /// (the default) adds no per-iteration cost.
+    pub cancel: Option<CancelToken>,
+    /// Checkpoint/resume state: when set, interrupted per-component
+    /// attempts save their progress here, and a later solve with the
+    /// same (or a reloaded) store resumes from it bit-identically. See
+    /// [`crate::checkpoint`].
+    pub checkpoints: Option<CheckpointStore>,
 }
 
 impl Default for SolveOptions {
@@ -122,6 +134,8 @@ impl Default for SolveOptions {
             epsilon: None,
             budget: Budget::UNLIMITED,
             fallback: FallbackChain::default(),
+            cancel: None,
+            checkpoints: None,
         }
     }
 }
@@ -161,6 +175,18 @@ impl SolveOptions {
     /// Sets the fallback chain.
     pub fn fallback(mut self, fallback: FallbackChain) -> Self {
         self.fallback = fallback;
+        self
+    }
+
+    /// Attaches a cooperative cancellation token.
+    pub fn cancel(mut self, token: CancelToken) -> Self {
+        self.cancel = Some(token);
+        self
+    }
+
+    /// Attaches a checkpoint store for interrupt/resume.
+    pub fn checkpoints(mut self, store: CheckpointStore) -> Self {
+        self.checkpoints = Some(store);
         self
     }
 

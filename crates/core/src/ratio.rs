@@ -65,7 +65,7 @@ pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
 /// apply to the algorithm-specific ratio entry points).
 pub fn howard_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
     let deadline = opts.budget.deadline();
-    solve_per_scc_opts(g, opts, |s, c, ws| {
+    solve_per_scc_opts(g, opts, |_job, s, c, ws| {
         let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::HowardExact);
         crate::algorithms::howard::solve_scc_exact(s, c, ws, &mut scope)
     })
@@ -79,7 +79,7 @@ pub fn howard_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
     if !(epsilon > 0.0 && epsilon.is_finite()) {
         return None;
     }
-    solve_per_scc(g, |s, c, ws| {
+    solve_per_scc(g, |_job, s, c, ws| {
         let mut scope = BudgetScope::unlimited(Algorithm::Howard);
         crate::algorithms::howard::solve_scc_fig1(s, c, epsilon, ws, &mut scope)
     })
@@ -93,7 +93,7 @@ pub fn howard_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
 /// Returns `None` if `g` is acyclic or if a zero-transit cycle makes
 /// the ratio undefined.
 pub fn burns_ratio(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, |s, c, _ws| {
+    solve_per_scc(g, |_job, s, c, _ws| {
         let mut scope = BudgetScope::unlimited(Algorithm::BurnsExact);
         crate::algorithms::burns::solve_scc(s, c, &mut scope)
     })
@@ -110,7 +110,7 @@ pub fn parametric_ratio(g: &Graph, node_keyed: bool) -> Option<Solution> {
     } else {
         (HeapGranularity::PerArc, Algorithm::Ko)
     };
-    solve_per_scc(g, move |s, c, _ws| {
+    solve_per_scc(g, move |_job, s, c, _ws| {
         let mut scope = BudgetScope::unlimited(alg);
         solve_scc(s, c, granularity, &mut scope)
     })
@@ -121,7 +121,7 @@ pub fn parametric_ratio(g: &Graph, node_keyed: bool) -> Option<Solution> {
 /// 12): exact, with oracle calls only at the master algorithm's own
 /// decision points.
 pub fn megiddo_ratio(g: &Graph) -> Option<Solution> {
-    solve_per_scc(g, |s, c, ws| {
+    solve_per_scc(g, |_job, s, c, ws| {
         let mut scope = BudgetScope::unlimited(Algorithm::Megiddo);
         crate::algorithms::megiddo::solve_scc(s, c, ws, &mut scope)
     })
@@ -142,7 +142,7 @@ pub fn lawler_ratio(g: &Graph, epsilon: f64) -> Option<Solution> {
     if !(epsilon > 0.0 && epsilon.is_finite()) {
         return None;
     }
-    solve_per_scc(g, |s, c, ws| {
+    solve_per_scc(g, |_job, s, c, ws| {
         let mut scope = BudgetScope::unlimited(Algorithm::Lawler);
         ratio_bisection(s, c, Some(epsilon), ws, &mut scope)
     })
@@ -159,7 +159,7 @@ pub fn lawler_ratio_exact(g: &Graph) -> Option<Solution> {
 /// budget; no fallback chain on the ratio entry points).
 pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
     let deadline = opts.budget.deadline();
-    solve_per_scc_opts(g, opts, |s, c, ws| {
+    solve_per_scc_opts(g, opts, |_job, s, c, ws| {
         let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::LawlerExact);
         ratio_bisection(s, c, None, ws, &mut scope)
     })
@@ -210,6 +210,7 @@ fn ratio_bisection(
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;
         scope.tick_refinement()?;
+        scope.chaos_check("core.ratio.bisect")?;
         let mid = lo.midpoint(hi);
         if has_cycle_below_ws(g, mid, counters, ws, scope)? {
             hi = mid;

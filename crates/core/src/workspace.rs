@@ -208,6 +208,7 @@ impl Workspace {
     /// Discards all scratch state, returning the workspace to its
     /// freshly-constructed (unpoisoned, empty) state.
     pub fn reset(&mut self) {
+        crate::chaos::pulse("core.workspace.reset");
         *self = Workspace::default();
     }
 }

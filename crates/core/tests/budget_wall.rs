@@ -1,0 +1,67 @@
+//! Wall-clock budget regression: the adaptive poll stride in
+//! [`BudgetScope::check_time`] must keep deadline detection tight. A
+//! 50 ms wall budget on a large SPRAND instance has to come back well
+//! within the same order of magnitude — the target is ~2× the
+//! deadline; the assertion is deliberately looser (10×) so slow CI
+//! machines and debug builds cannot flake it, while still catching a
+//! stride runaway (which would overshoot by seconds).
+
+use mcr_core::{Algorithm, Budget, BudgetResource, FallbackChain, SolveError, SolveOptions};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use std::time::{Duration, Instant};
+
+#[test]
+fn a_50ms_wall_budget_returns_promptly_on_a_large_instance() {
+    // Big enough that Karp2's Θ(nm) sweep cannot finish in 50 ms even
+    // on a fast machine, small enough to generate instantly.
+    let g = sprand(
+        &SprandConfig::new(20_000, 60_000)
+            .seed(99)
+            .weight_range(-1_000, 1_000),
+    );
+    let budget = Budget::default().wall_time(Duration::from_millis(50));
+    let opts = SolveOptions::new()
+        .budget(budget)
+        .fallback(FallbackChain::NONE);
+
+    let start = Instant::now();
+    let result = Algorithm::Karp2.solve_with_options(&g, &opts);
+    let elapsed = start.elapsed();
+
+    match result {
+        Err(SolveError::BudgetExhausted { resource, .. }) => {
+            assert_eq!(resource, BudgetResource::WallTime);
+        }
+        Err(other) => panic!("expected wall-time exhaustion, got {other}"),
+        Ok(_) => panic!("20k-node Karp2 cannot finish within 50 ms"),
+    }
+    assert!(
+        elapsed < Duration::from_millis(500),
+        "deadline overshoot: 50 ms budget took {elapsed:?} to return \
+         (adaptive poll stride regression)"
+    );
+}
+
+#[test]
+fn unlimited_solves_are_not_throttled_by_the_poll_stride() {
+    // The adaptive stride exists so that wall-budgeted solves do not
+    // read the clock every iteration; an *unbudgeted* solve must not
+    // read it at all and just run to completion.
+    let g = sprand(
+        &SprandConfig::new(400, 1_200)
+            .seed(3)
+            .weight_range(-50, 50),
+    );
+    let sol = Algorithm::HowardExact
+        .solve_with_options(&g, &SolveOptions::default())
+        .expect("cyclic");
+    let budgeted = Algorithm::HowardExact
+        .solve_with_options(
+            &g,
+            &SolveOptions::new().budget(Budget::default().wall_time(Duration::from_secs(3600))),
+        )
+        .expect("one hour is plenty");
+    assert_eq!(sol.lambda, budgeted.lambda);
+    assert_eq!(sol.cycle, budgeted.cycle);
+    assert_eq!(sol.counters, budgeted.counters, "budget polling must not change the work done");
+}

@@ -1,0 +1,41 @@
+//! Chaos-off contract: built **without** `--features chaos` (the
+//! default), every injection hook compiles to an inlined no-op and the
+//! solver runs its production path. The stronger link-level assertion —
+//! `mcr-chaos` absent from the dependency graph entirely — lives in
+//! `scripts/ci.sh` (`cargo tree`).
+
+#![cfg(not(feature = "chaos"))]
+
+use mcr_core::{Algorithm, Budget, FallbackChain, SolveOptions};
+use mcr_graph::graph::from_arc_list;
+
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn default_build_compiles_chaos_out() {
+    assert!(
+        !cfg!(feature = "chaos"),
+        "this suite only runs in the chaos-off configuration"
+    );
+}
+
+#[test]
+fn production_paths_run_normally_without_the_registry() {
+    // Exercises every layer that carries an injection site — parser,
+    // SCC decomposition, driver, algorithm loops, budget scopes,
+    // fallback chain — in the compiled-out configuration.
+    let g = from_arc_list(
+        5,
+        &[(0, 1, 5), (1, 0, 5), (1, 2, 1), (2, 3, 1), (3, 4, 2), (4, 2, 3)],
+    );
+    for alg in Algorithm::ALL {
+        let sol = alg
+            .solve_with_options(
+                &g,
+                &SolveOptions::new()
+                    .budget(Budget::default().max_iterations(10_000))
+                    .fallback(FallbackChain::default()),
+            )
+            .expect("cyclic");
+        assert_eq!(sol.lambda, mcr_core::Ratio64::from(2), "{}", alg.name());
+    }
+}

@@ -124,6 +124,7 @@ impl<K: PartialOrd + Clone> AddressableHeap<K> for IndexedBinaryHeap<K> {
         if self.heap.is_empty() {
             return None;
         }
+        crate::chaos::pulse("graph.heap.binary.pop");
         self.counters.delete_mins += 1;
         let (item, key) = self.remove_at(0);
         Some((item as usize, key))

@@ -262,6 +262,7 @@ impl<K: PartialOrd + Clone> AddressableHeap<K> for FibonacciHeap<K> {
         if self.min == NIL {
             return None;
         }
+        crate::chaos::pulse("graph.heap.fib.pop");
         self.counters.delete_mins += 1;
         let z = self.min;
         // Move z's children to the root list.

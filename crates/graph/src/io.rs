@@ -47,6 +47,9 @@ pub enum ParseErrorKind {
     NonNumericField,
     /// An arc endpoint falls outside `1..=num_nodes`.
     OutOfRangeEndpoint,
+    /// The header declares more nodes or arcs than ids (`u32`) can
+    /// address; rejected before any allocation is sized from it.
+    HeaderCountOverflow,
     /// An arc declared a negative transit time.
     NegativeTransit,
     /// A line starts with an unrecognized type character.
@@ -156,11 +159,35 @@ pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError>
                 let declared_arcs: usize = fields[3].parse().map_err(|_| {
                     ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid arc count")
                 })?;
-                let mut b = GraphBuilder::with_capacity(num_nodes, declared_arcs);
+                // Node and arc ids are u32 internally, so larger
+                // declared counts can never produce a valid graph —
+                // reject them *before* allocating, or a one-line header
+                // could demand hundreds of gigabytes (found by fuzzing).
+                if num_nodes > u32::MAX as usize || declared_arcs > u32::MAX as usize {
+                    return Err(ParseGraphError::new(
+                        lineno,
+                        ParseErrorKind::HeaderCountOverflow,
+                        "declared node/arc count exceeds the supported maximum (2^32 - 1)",
+                    ));
+                }
+                // The declared arc count is only a capacity *hint* —
+                // arcs are stored as their lines arrive — so clamp it:
+                // a header claiming 4 billion arcs must not reserve
+                // gigabytes the file never delivers.
+                const MAX_ARC_PREALLOC: usize = 1 << 20;
+                let mut b =
+                    GraphBuilder::with_capacity(num_nodes, declared_arcs.min(MAX_ARC_PREALLOC));
                 b.add_nodes(num_nodes);
                 builder = Some(b);
             }
             "a" => {
+                if crate::chaos::fail_hit("graph.io.read_dimacs.arc") {
+                    return Err(ParseGraphError::new(
+                        lineno,
+                        ParseErrorKind::Io,
+                        "injected chaos fault while reading arc line",
+                    ));
+                }
                 let b = builder.as_mut().ok_or_else(|| {
                     ParseGraphError::new(
                         lineno,
@@ -384,6 +411,26 @@ mod tests {
             assert_eq!(err.kind(), kind, "kind for {text:?}");
             assert_eq!(err.line(), line, "line for {text:?}");
         }
+    }
+
+    #[test]
+    fn absurd_header_counts_are_rejected_before_allocation() {
+        // A mutated header declaring ~10^11 nodes must fail fast with a
+        // typed error instead of attempting a multi-hundred-gigabyte
+        // `with_capacity` (found by fuzzing the parser).
+        for text in [
+            "p mcr 99999999999 5\n",
+            "p mcr 5 99999999999\n",
+            "p mcr 4294967296 4294967296\n",
+        ] {
+            let err = read_dimacs(&mut text.as_bytes()).expect_err(text);
+            assert_eq!(err.kind(), ParseErrorKind::HeaderCountOverflow, "{text:?}");
+            assert_eq!(err.line(), 1, "{text:?}");
+        }
+        // The boundary itself (u32::MAX) is legal as a *declared* count;
+        // the file just doesn't have to deliver that many arcs.
+        let text = "p mcr 2 4294967295\na 1 2 1\n";
+        assert!(read_dimacs(&mut text.as_bytes()).is_ok());
     }
 
     #[test]

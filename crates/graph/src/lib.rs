@@ -35,6 +35,7 @@
 //! assert_eq!(total, 9);
 //! ```
 
+pub mod chaos;
 pub mod graph;
 pub mod heap;
 #[cfg(feature = "serde")]

@@ -53,6 +53,7 @@ impl SccDecomposition {
             if index[root as usize] != UNVISITED {
                 continue;
             }
+            crate::chaos::pulse("graph.scc.root");
             call.push((root, 0));
             index[root as usize] = next_index;
             lowlink[root as usize] = next_index;

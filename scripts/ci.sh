@@ -36,6 +36,16 @@ for f in crates/graph/tests/data/bad/*.dimacs; do
         exit 1
     fi
 done
+# A timeout that fires mid-solve must exit 4 (cancelled).
+printf 'p mcr 2 2\na 1 2 1\na 2 1 4001\n' > /tmp/mcr_ci_timeout.dimacs
+status=0
+"$MCR" solve /tmp/mcr_ci_timeout.dimacs --algorithm lawler-exact \
+    --timeout 0ms >/dev/null 2>&1 || status=$?
+if [ "$status" -ne 4 ]; then
+    echo "FAIL: expired --timeout exited $status, expected 4"
+    exit 1
+fi
+rm -f /tmp/mcr_ci_timeout.dimacs
 # A starved budget with no fallback must exit 2 (budget exhausted)...
 printf 'p mcr 2 2\na 1 2 1\na 2 1 4001\n' > /tmp/mcr_ci_hostile.dimacs
 status=0
@@ -51,5 +61,41 @@ fi
 grep -q "answered instead" /tmp/mcr_ci_stdout
 grep -q "certificate" /tmp/mcr_ci_stdout
 rm -f /tmp/mcr_ci_stderr /tmp/mcr_ci_stdout /tmp/mcr_ci_hostile.dimacs
+
+echo "=== chaos suite (--features chaos, 3 fixed seeds) ==="
+# The chaos tests prove the fault-injection contract: under injected
+# faults the fallback chain engages and the answer certifies, or the
+# solve fails *closed* with a typed error — never a wrong answer, hang,
+# or poisoned workspace. Each seed derives a different one-shot trigger
+# pattern, so three seeds exercise three distinct fault placements.
+for seed in 11 42 20240806; do
+    echo "--- chaos seed $seed ---"
+    MCR_CHAOS_SEED=$seed cargo test -q -p mcr-core --features chaos \
+        --test chaos --test checkpoint_resume
+done
+
+echo "=== chaos clippy (-D warnings, chaos configuration) ==="
+cargo clippy -q -p mcr-core -p mcr-chaos --features mcr-core/chaos \
+    --all-targets -- -D warnings
+
+echo "=== chaos-off assertion: mcr-chaos absent from the default build ==="
+# Zero-cost-when-compiled-out is a *link-level* claim: without the
+# feature, mcr-chaos must not appear in mcr-core's dependency graph at
+# all (the cfg-gated dependency is dropped, not just unused).
+if cargo tree -p mcr-core -e normal | grep -q "mcr-chaos"; then
+    echo "FAIL: mcr-chaos is linked into the default (chaos-off) build"
+    cargo tree -p mcr-core -e normal | grep "mcr-chaos"
+    exit 1
+fi
+if ! cargo tree -p mcr-core -e normal --features chaos | grep -q "mcr-chaos"; then
+    echo "FAIL: --features chaos did not pull in mcr-chaos (tree check is vacuous)"
+    exit 1
+fi
+
+echo "=== fuzz smoke (bounded deterministic run) ==="
+# Offline stand-in for the cargo-fuzz targets (fuzz/ needs a registry):
+# replays the bad-input corpus, then 10000 LCG-mutated derivatives,
+# through the same mcr-fuzz entry points the libfuzzer targets call.
+cargo run -q -p mcr-fuzz --bin fuzz-smoke --release -- -runs=10000
 
 echo "CI gate passed."
