@@ -314,6 +314,31 @@ pub fn active() -> bool {
         .is_some()
 }
 
+/// Names of every site hit at least once under the active schedule,
+/// sorted (empty when no schedule is installed). The chaos suite
+/// cross-checks this against [`declared_sites`].
+pub fn hit_sites() -> Vec<String> {
+    let guard = registry().lock().unwrap_or_else(|p| p.into_inner());
+    let mut sites: Vec<String> = guard
+        .as_ref()
+        .map(|s| s.site_hits.keys().cloned().collect())
+        .unwrap_or_default();
+    sites.sort();
+    sites
+}
+
+/// The central site manifest (`crates/chaos/sites.txt`), embedded at
+/// compile time so the runtime, the chaos tests, and `mcr-lint` all
+/// read the same declaration list. Comments and blank lines are
+/// stripped; order follows the file.
+pub fn declared_sites() -> Vec<&'static str> {
+    include_str!("../sites.txt")
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .collect()
+}
+
 /// splitmix64: the standard 64-bit finalizer-style mixer; used to
 /// derive reproducible trigger points from (seed, pattern).
 fn splitmix64(mut x: u64) -> u64 {
@@ -394,6 +419,33 @@ mod tests {
         // (Another test's schedule may be active concurrently, but none
         // of them match "z".)
         assert_eq!(hit("z"), None);
+    }
+
+    #[test]
+    fn manifest_is_nonempty_and_duplicate_free() {
+        let sites = declared_sites();
+        assert!(!sites.is_empty());
+        let mut dedup = sites.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sites.len(), "duplicate site in sites.txt");
+        for s in &sites {
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "._-".contains(c)),
+                "site `{s}` violates the naming scheme"
+            );
+        }
+    }
+
+    #[test]
+    fn hit_sites_reports_observed_names() {
+        let _g = FaultSchedule::new(3).install();
+        let _ = hit("core.karp.level");
+        let _ = hit("graph.scc.root");
+        let observed = hit_sites();
+        assert!(observed.contains(&"core.karp.level".to_string()));
+        assert!(observed.contains(&"graph.scc.root".to_string()));
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use mcr_graph::idx32;
 use mcr_graph::{Graph, NodeId};
 
 /// DG, λ only. Each unfolding level charges one budget iteration.
@@ -32,7 +33,7 @@ pub(crate) fn lambda_scc(
     // touched[v] == k means v already joined level k's frontier.
     let mut touched = vec![u32::MAX; n];
     touched[0] = 0;
-    for k in 1..=n as u32 {
+    for k in 1..=idx32(n) {
         scope.tick_iteration_and_time()?;
         scope.chaos_check("core.dg.level")?;
         let mut reached = 0usize;
@@ -61,7 +62,7 @@ pub(crate) fn lambda_scc(
         // level's adjacency sweep walks memory monotonically.
         frontier.clear();
         frontier.reserve(reached);
-        for v in 0..n as u32 {
+        for v in 0..idx32(n) {
             if touched[v as usize] == k {
                 frontier.push(v);
             }

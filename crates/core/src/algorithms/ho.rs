@@ -20,6 +20,7 @@ use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use mcr_graph::idx32;
 use mcr_graph::{ArcId, Graph};
 
 const NO_PARENT: u32 = u32::MAX;
@@ -58,7 +59,7 @@ fn cycle_on_walk(
             return Some(arcs);
         }
         stamp_of[v] = stamp;
-        seen_at[v] = j as u32;
+        seen_at[v] = idx32(j);
         if j == 0 {
             return None;
         }
@@ -140,7 +141,7 @@ fn run(
                     let v = g.target(a).index();
                     if cand < cur[v] {
                         cur[v] = cand;
-                        par[v] = ai as u32;
+                        par[v] = idx32(ai);
                         counters.distance_updates += 1;
                     }
                 }
@@ -155,7 +156,7 @@ fn run(
         };
         let mut improved = false;
         if let Some(cycle) =
-            cycle_on_walk(g, &parent, n, k, vmin, &mut seen_at, &mut stamp_of, k as u32)
+            cycle_on_walk(g, &parent, n, k, vmin, &mut seen_at, &mut stamp_of, idx32(k))
         {
             counters.cycles_examined += 1;
             let w: i128 = cycle.iter().map(|&a| g.weight(a) as i128).sum();

@@ -28,6 +28,7 @@ use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
 use crate::workspace::{PolicyCycleScratch, Workspace};
+use mcr_graph::idx32;
 use mcr_graph::{ArcId, Graph};
 
 /// Captures the cross-round state of a policy iteration for
@@ -35,7 +36,7 @@ use mcr_graph::{ArcId, Graph};
 /// Figure 1 variant (which persists them across rounds).
 fn snapshot_policy(policy: &[ArcId], d: Option<&[f64]>) -> JobProgress {
     JobProgress::Howard {
-        policy: policy.iter().map(|a| a.index() as u32).collect(),
+        policy: policy.iter().map(|a| idx32(a.index())).collect(),
         dist_bits: d.map(|d| d.iter().map(|x| x.to_bits()).collect()),
     }
 }
@@ -96,13 +97,13 @@ fn min_policy_cycle(
         if visited_by[start] != 0 {
             continue;
         }
-        let walk_id = start as u32 + 1;
+        let walk_id = idx32(start) + 1;
         walk.clear();
         let mut v = start;
         while visited_by[v] == 0 {
             visited_by[v] = walk_id;
-            pos_in_walk[v] = walk.len() as u32;
-            walk.push(v as u32);
+            pos_in_walk[v] = idx32(walk.len());
+            walk.push(idx32(v));
             v = g.target(policy[v]).index();
         }
         if visited_by[v] == walk_id {
@@ -231,12 +232,12 @@ pub(crate) fn solve_scc_fig1_ckpt(
         rev.build(n, |emit| {
             for (v, &a) in policy.iter().enumerate().take(n) {
                 if v != s {
-                    emit(g.target(a).index() as u32, v as u32);
+                    emit(idx32(g.target(a).index()), idx32(v));
                 }
             }
         });
         queue.clear();
-        queue.push(s as u32);
+        queue.push(idx32(s));
         let mut head = 0;
         let settled = marks.next(n);
         marks.mark[s] = settled;
@@ -362,12 +363,12 @@ pub(crate) fn solve_scc_exact_ckpt(
         rev.build(n, |emit| {
             for (v, &a) in policy.iter().enumerate().take(n) {
                 if v != s {
-                    emit(g.target(a).index() as u32, v as u32);
+                    emit(idx32(g.target(a).index()), idx32(v));
                 }
             }
         });
         queue.clear();
-        queue.push(s as u32);
+        queue.push(idx32(s));
         let mut head = 0;
         while head < queue.len() {
             let x = queue[head] as usize;

@@ -34,6 +34,7 @@ use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::solution::Guarantee;
+use mcr_graph::idx32;
 use mcr_graph::heap::{AddressableHeap, FibonacciHeap};
 use mcr_graph::{ArcId, Graph, NodeId};
 
@@ -105,14 +106,14 @@ impl<'g> Tree<'g> {
                     self.k[v] = cand.0;
                     self.a[v] = cand.1;
                     self.parent_arc[v] = Some(e);
-                    self.parent_node[v] = u as u32;
+                    self.parent_node[v] = idx32(u);
                     changed = true;
                 }
             }
         }
         for v in 0..n {
             if self.parent_arc[v].is_some() {
-                self.children[self.parent_node[v] as usize].push(v as u32);
+                self.children[self.parent_node[v] as usize].push(idx32(v));
             }
         }
         Ok(())
@@ -170,7 +171,7 @@ impl<'g> Tree<'g> {
     /// membership for O(1) queries until the next pivot.
     fn collect_subtree(&mut self, v: usize) -> Vec<u32> {
         self.epoch += 1;
-        let mut sub = vec![v as u32];
+        let mut sub = vec![idx32(v)];
         self.stamp[v] = self.epoch;
         let mut head = 0;
         while head < sub.len() {
@@ -204,14 +205,14 @@ impl<'g> Tree<'g> {
                 let list = &mut self.children[p as usize];
                 let pos = list
                     .iter()
-                    .position(|&c| c == v as u32)
+                    .position(|&c| c == idx32(v))
                     .expect("child list consistent");
                 list.swap_remove(pos);
             }
         }
-        self.parent_node[v] = u as u32;
+        self.parent_node[v] = idx32(u);
         self.parent_arc[v] = Some(e);
-        self.children[u].push(v as u32);
+        self.children[u].push(idx32(v));
         let sub = self.collect_subtree(v);
         for &x in &sub {
             self.a[x as usize] += delta_a;

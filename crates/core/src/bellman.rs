@@ -15,6 +15,7 @@ use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::workspace::Workspace;
+use mcr_graph::idx32;
 use mcr_graph::{ArcId, Graph};
 
 /// Outcome of a negative-cycle test on `G_λ`.
@@ -121,7 +122,7 @@ fn bellman_core(
             let cand = dist[u] + cost[ai];
             if cand < dist[v] {
                 dist[v] = cand;
-                parent[v] = ai as u32;
+                parent[v] = idx32(ai);
                 counters.distance_updates += 1;
                 any = true;
                 updated_node = Some(v);

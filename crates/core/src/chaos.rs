@@ -28,9 +28,17 @@
 //! [`mcr_chaos::FaultKind`] onto the layer's typed
 //! [`crate::SolveError`]; unit sites only count hits and honor
 //! [`mcr_chaos::FaultKind::Delay`].
+//!
+//! The authoritative list of site names lives in
+//! `crates/chaos/sites.txt` ([`mcr_chaos::declared_sites`]); the chaos
+//! suite asserts every fired site is declared there, and `mcr-lint`
+//! rule MCRL002 statically checks every call site against it.
 
 #[cfg(feature = "chaos")]
-pub use mcr_chaos::{active, faults_fired, hits, total_hits, ChaosGuard, FaultKind, FaultSchedule};
+pub use mcr_chaos::{
+    active, declared_sites, faults_fired, hit_sites, hits, total_hits, ChaosGuard, FaultKind,
+    FaultSchedule,
+};
 
 /// Unit failpoint: counts the hit and applies delay faults; error kinds
 /// scheduled on a unit site are ignored (the site has no error path).

@@ -14,6 +14,7 @@ use crate::error::SolveError;
 use crate::instrument::Counters;
 use crate::rational::Ratio64;
 use crate::workspace::Workspace;
+use mcr_graph::idx32;
 use mcr_graph::{ArcId, Graph, NodeId};
 
 /// The critical subgraph of `G_{λ}`.
@@ -127,7 +128,7 @@ pub(crate) fn critical_cycle_ws(
             let u = g.source(a).index();
             let v = g.target(a).index();
             if bf.dist[u] + bf.cost[a.index()] == bf.dist[v] {
-                emit(u as u32, a.index() as u32);
+                emit(idx32(u), idx32(a.index()));
             }
         }
     });
@@ -144,7 +145,7 @@ pub(crate) fn critical_cycle_ws(
         }
         // (node, next out-arc index)
         dfs.stack.clear();
-        dfs.stack.push((root as u32, 0));
+        dfs.stack.push((idx32(root), 0));
         marks.mark[root] = gray;
         dfs.pos[root] = 0;
         while let Some(&mut (v, ref mut idx)) = dfs.stack.last_mut() {
@@ -169,9 +170,9 @@ pub(crate) fn critical_cycle_ws(
                     return Ok(cycle);
                 } else if marks.mark[w] != black {
                     marks.mark[w] = gray;
-                    dfs.pos[w] = dfs.arc_stack.len() as u32 + 1;
-                    dfs.arc_stack.push(a.index() as u32);
-                    dfs.stack.push((w as u32, 0));
+                    dfs.pos[w] = idx32(dfs.arc_stack.len()) + 1;
+                    dfs.arc_stack.push(idx32(a.index()));
+                    dfs.stack.push((idx32(w), 0));
                 }
             } else {
                 marks.mark[v] = black;

@@ -118,11 +118,11 @@ fn run_jobs<R: Send>(
                     let mut done: Vec<(usize, R)> = Vec::new();
                     loop {
                         let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= jobs.len() {
-                            break;
-                        }
+                        let Some(job) = jobs.get(i) else {
+                            break; // queue drained
+                        };
                         crate::chaos::pulse("core.driver.job");
-                        let r = solve(i, &jobs[i].sub, &mut local, &mut ws);
+                        let r = solve(i, &job.sub, &mut local, &mut ws);
                         done.push((i, r));
                     }
                     (local, done)
@@ -134,8 +134,10 @@ fn run_jobs<R: Send>(
                 Ok((local, done)) => {
                     counters.merge(&local);
                     for (i, r) in done {
-                        debug_assert!(slots[i].is_none(), "job {i} solved twice");
-                        slots[i] = Some(r);
+                        if let Some(slot) = slots.get_mut(i) {
+                            debug_assert!(slot.is_none(), "job {i} solved twice");
+                            *slot = Some(r);
+                        }
                     }
                 }
                 // A worker panicked (solver bug): re-raise on the caller.
@@ -145,6 +147,7 @@ fn run_jobs<R: Send>(
     });
     let results = slots
         .into_iter()
+        // lint: allow(panic) reason=fetch_add hands every index in 0..jobs.len() to exactly one worker, and a worker panic re-raises above
         .map(|s| s.expect("the work queue covers every job"))
         .collect();
     (results, counters)
@@ -187,21 +190,21 @@ pub(crate) fn solve_per_scc_opts(
     // the lowest component index wins, as in the sequential loop.
     // Errors propagate the same way — the failure of the lowest
     // component index is reported, regardless of which worker hit it.
-    let mut best: Option<(usize, &SccOutcome)> = None;
-    for (i, result) in results.iter().enumerate() {
+    let mut best: Option<(&Job, &SccOutcome)> = None;
+    for (job, result) in jobs.iter().zip(results.iter()) {
         let outcome = match result {
             Ok(outcome) => outcome,
             Err(e) => return Err(e.clone()),
         };
         debug_assert!(
-            crate::solution::check_cycle(&jobs[i].sub, &outcome.cycle).is_ok(),
+            crate::solution::check_cycle(&job.sub, &outcome.cycle).is_ok(),
             "solver returned a malformed cycle"
         );
         if best.is_none_or(|(_, b)| outcome.lambda < b.lambda) {
-            best = Some((i, outcome));
+            best = Some((job, outcome));
         }
     }
-    let (i, outcome) = match best {
+    let (job, outcome) = match best {
         Some(b) => b,
         // Unreachable: every job either erred (returned above) or won.
         None => return Err(SolveError::Acyclic),
@@ -209,7 +212,8 @@ pub(crate) fn solve_per_scc_opts(
     let mapped: Vec<ArcId> = outcome
         .cycle
         .iter()
-        .map(|&a| jobs[i].arc_map[a.index()])
+        // lint: allow(panic) reason=cycle arcs are ids of job.sub, which index arc_map by construction (check_cycle pins this in debug builds)
+        .map(|&a| job.arc_map[a.index()])
         .collect();
     Ok(Solution {
         lambda: outcome.lambda,

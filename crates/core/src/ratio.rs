@@ -178,11 +178,12 @@ fn ratio_bisection(
     use crate::rational::Ratio64;
     use crate::solution::Guarantee;
     // |w(C)/t(C)| ≤ n·W since t(C) ≥ 1 for every cycle.
-    let wabs = g
-        .arc_ids()
-        .map(|a| g.weight(a).abs())
-        .max()
-        .expect("component has arcs");
+    let wabs = match g.arc_ids().map(|a| g.weight(a).abs()).max() {
+        Some(w) => w,
+        // The driver only dispatches cyclic components, so an arc-free
+        // graph can only arrive through a direct call.
+        None => return Err(SolveError::Acyclic),
+    };
     let bound = wabs * g.num_nodes() as i64;
     let mut lo = Ratio64::from(-bound);
     let mut hi = Ratio64::from(bound);
@@ -309,19 +310,23 @@ pub fn ratio_via_expansion(g: &Graph, algorithm: Algorithm) -> Result<Option<Sol
     // preserving traversal order.
     let mut cycle: Vec<ArcId> = Vec::new();
     for &a in &sol.cycle {
-        let (orig, seg) = origin[a.index()];
+        let Some(&(orig, seg)) = origin.get(a.index()) else {
+            return Err("witness references an arc outside the expansion".to_string());
+        };
         if seg == 0 {
             cycle.push(orig);
         }
     }
     // The expanded cycle may start mid-chain; rotate so consecutive arcs
-    // connect in the original graph.
+    // connect in the original graph. Pairing each arc with its cyclic
+    // predecessor (`skip(len - 1)` wraps the rotation) avoids indexing.
     if cycle.len() > 1 {
-        let misfit = (0..cycle.len())
-            .find(|&i| {
-                let prev = cycle[(i + cycle.len() - 1) % cycle.len()];
-                g.target(prev) != g.source(cycle[i])
-            })
+        let misfit = cycle
+            .iter()
+            .enumerate()
+            .zip(cycle.iter().cycle().skip(cycle.len() - 1))
+            .find(|&((_, &cur), &prev)| g.target(prev) != g.source(cur))
+            .map(|((i, _), _)| i)
             .unwrap_or(0);
         cycle.rotate_left(misfit);
     }
@@ -346,13 +351,11 @@ pub fn transit_profile(g: &Graph) -> (usize, i64) {
             continue;
         }
         cyclic += 1;
-        let mut local = vec![false; g.num_nodes()];
-        for &v in scc.component(c) {
-            local[v.index()] = true;
-        }
         let t: i64 = g
             .arc_ids()
-            .filter(|&a| local[g.source(a).index()] && local[g.target(a).index()])
+            .filter(|&a| {
+                scc.component_of(g.source(a)) == c && scc.component_of(g.target(a)) == c
+            })
             .map(|a| g.transit(a))
             .sum();
         max_t = max_t.max(t);

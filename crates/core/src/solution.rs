@@ -65,6 +65,7 @@ impl Solution {
     /// solutions produced by this crate. Use [`Solution::try_cycle_mean`]
     /// for untrusted data.
     pub fn cycle_mean(&self, g: &Graph) -> Ratio64 {
+        // lint: allow(panic) reason=documented panicking convenience API; try_cycle_mean is the fallible form
         self.try_cycle_mean(g).expect("well-formed witness cycle")
     }
 
@@ -86,6 +87,7 @@ impl Solution {
     pub fn cycle_ratio(&self, g: &Graph) -> Ratio64 {
         let (_, t) = cycle_totals(g, &self.cycle);
         assert!(t > 0, "witness cycle has zero transit time");
+        // lint: allow(panic) reason=documented panicking convenience API; try_cycle_ratio is the fallible form
         self.try_cycle_ratio(g).expect("well-formed witness cycle")
     }
 

@@ -337,6 +337,31 @@ fn parser_faults_surface_as_parse_errors_not_panics() {
 }
 
 #[test]
+fn every_fired_site_is_declared_in_the_manifest() {
+    let _serial = serial();
+    let g = multi_scc_graph();
+    // An empty schedule observes every site hit without firing faults;
+    // sweep all fourteen algorithms plus the parser so each layer's
+    // sites pulse at least once.
+    let _guard = FaultSchedule::new(0).install();
+    for alg in Algorithm::ALL {
+        let _ = alg.solve_with_options(&g, &SolveOptions::default());
+    }
+    let mut text = Vec::new();
+    mcr_graph::io::write_dimacs(&mut text, &g).expect("serialize");
+    let _ = mcr_graph::io::read_dimacs(&mut text.as_slice()).expect("round trip");
+    let declared = mcr_core::chaos::declared_sites();
+    let fired = mcr_core::chaos::hit_sites();
+    assert!(!fired.is_empty(), "the sweep must pulse some sites");
+    for site in &fired {
+        assert!(
+            declared.contains(&site.as_str()),
+            "site `{site}` fired but is not declared in crates/chaos/sites.txt"
+        );
+    }
+}
+
+#[test]
 fn unit_sites_count_hits_without_failing() {
     let _serial = serial();
     let g = multi_scc_graph();

@@ -1,0 +1,61 @@
+//! Curated Miri subset for `mcr-core`: one tiny end-to-end solve per
+//! algorithm, cross-checked against each other, plus a two-thread run
+//! of the parallel driver (Miri's scheduler is adversarial enough to
+//! surface data races the OS scheduler hides). The big differential and
+//! property suites are far too slow under the interpreter; CI runs this
+//! tier as `cargo miri test -p mcr-core --test miri_smoke`, and it also
+//! runs as a plain (fast) integration test under `cargo test`.
+
+use mcr_core::{Algorithm, Ratio64, SolveOptions};
+use mcr_graph::graph::from_arc_list;
+use mcr_graph::Graph;
+
+/// Two SCCs: a 2-cycle of mean 3/2 and a 3-cycle of mean 2/3 — the
+/// minimum cycle mean is 2/3, the maximum 3/2, with the work queue
+/// actually fanning out across components.
+fn tiny_multi_scc() -> Graph {
+    from_arc_list(
+        5,
+        &[
+            (0, 1, 1),
+            (1, 0, 2),
+            (2, 3, 1),
+            (3, 4, 0),
+            (4, 2, 1),
+            (1, 2, 7),
+        ],
+    )
+}
+
+#[test]
+fn every_algorithm_agrees_on_the_tiny_instance() {
+    let g = tiny_multi_scc();
+    let expected = Ratio64::new(2, 3);
+    for alg in Algorithm::ALL {
+        let sol = alg.solve(&g).expect("cyclic");
+        assert_eq!(sol.lambda, expected, "{}", alg.name());
+        let mean = sol.try_cycle_mean(&g).expect("witness present");
+        assert_eq!(mean, expected, "{}", alg.name());
+    }
+}
+
+#[test]
+fn parallel_driver_is_race_free_and_deterministic_at_two_threads() {
+    let g = tiny_multi_scc();
+    let opts = SolveOptions::new().threads(2);
+    for alg in [Algorithm::Karp, Algorithm::Howard, Algorithm::Yto] {
+        let seq = alg.solve(&g).expect("cyclic");
+        let par = alg.solve_with_options(&g, &opts).expect("cyclic");
+        assert_eq!(par.lambda, seq.lambda, "{}", alg.name());
+        assert_eq!(par.cycle, seq.cycle, "{}", alg.name());
+        assert_eq!(par.counters, seq.counters, "{}", alg.name());
+    }
+}
+
+#[test]
+fn acyclic_input_fails_closed() {
+    let dag = from_arc_list(3, &[(0, 1, 1), (1, 2, 1)]);
+    for alg in [Algorithm::Karp, Algorithm::Howard] {
+        assert!(alg.solve(&dag).is_none(), "{}", alg.name());
+    }
+}

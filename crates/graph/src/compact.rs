@@ -1,0 +1,39 @@
+//! The compact `u32` index domain and the one sanctioned narrowing
+//! conversion into it.
+//!
+//! [`NodeId`](crate::NodeId) and [`ArcId`](crate::ArcId) are `u32`, and
+//! [`GraphBuilder`](crate::GraphBuilder) refuses to grow past
+//! [`MAX_INDEX`] nodes or arcs — so every index or count derived from a
+//! built [`Graph`](crate::Graph) provably fits in `u32`. Hot paths that
+//! pack such indices into `u32` scratch arrays convert through
+//! [`idx32`] instead of a bare `as u32` cast: the bound is checked in
+//! debug builds and documented here once, and `mcr-lint` rule MCRL004
+//! rejects ad-hoc casts everywhere else.
+
+/// Largest node/arc count a [`GraphBuilder`](crate::GraphBuilder)
+/// accepts (`u32::MAX`); ids therefore lie in `0..MAX_INDEX`.
+pub const MAX_INDEX: usize = u32::MAX as usize;
+
+/// Converts an index or count from the graph's compact domain to `u32`.
+///
+/// The caller asserts, by using this function, that `i` was derived
+/// from a built graph's node/arc indices or counts (all `< u32::MAX` by
+/// the builder cap). Debug builds verify the bound.
+#[inline]
+pub fn idx32(i: usize) -> u32 {
+    debug_assert!(i <= MAX_INDEX, "index {i} exceeds the compact u32 domain");
+    // lint: allow(narrowing-cast) reason=bound proven by the GraphBuilder capacity cap; the one sanctioned narrowing site
+    i as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idx32_is_identity_on_the_domain() {
+        assert_eq!(idx32(0), 0);
+        assert_eq!(idx32(123_456), 123_456);
+        assert_eq!(idx32(MAX_INDEX), u32::MAX);
+    }
+}

@@ -25,6 +25,10 @@ pub enum GraphError {
         /// The offending transit time.
         transit: i64,
     },
+    /// The builder reached the compact-index capacity
+    /// ([`crate::compact::MAX_INDEX`] arcs); ids are `u32` and cannot
+    /// address more.
+    CapacityExceeded,
 }
 
 impl fmt::Display for GraphError {
@@ -36,6 +40,9 @@ impl fmt::Display for GraphError {
             ),
             GraphError::NegativeTransit { transit } => {
                 write!(f, "transit time {transit} is negative")
+            }
+            GraphError::CapacityExceeded => {
+                write!(f, "graph capacity exceeded (ids are u32)")
             }
         }
     }
@@ -64,10 +71,12 @@ pub struct NodeId(u32);
 pub struct ArcId(u32);
 
 impl NodeId {
-    /// Creates a node id from a raw index.
+    /// Creates a node id from a raw index (which must lie in the
+    /// compact domain, `0..`[`crate::compact::MAX_INDEX`]; the builder
+    /// guarantees this for every id it hands out).
     #[inline]
     pub fn new(index: usize) -> Self {
-        NodeId(index as u32)
+        NodeId(crate::compact::idx32(index))
     }
 
     /// Returns the raw index, suitable for indexing per-node arrays.
@@ -78,10 +87,11 @@ impl NodeId {
 }
 
 impl ArcId {
-    /// Creates an arc id from a raw index.
+    /// Creates an arc id from a raw index (same compact-domain contract
+    /// as [`NodeId::new`]).
     #[inline]
     pub fn new(index: usize) -> Self {
-        ArcId(index as u32)
+        ArcId(crate::compact::idx32(index))
     }
 
     /// Returns the raw index, suitable for indexing per-arc arrays.
@@ -422,7 +432,18 @@ impl GraphBuilder {
     }
 
     /// Adds one node and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the builder already holds
+    /// [`crate::compact::MAX_INDEX`] nodes (ids are `u32`; at 16+ bytes
+    /// of per-node state the graph would not fit in memory long before
+    /// this bound matters).
     pub fn add_node(&mut self) -> NodeId {
+        assert!(
+            self.num_nodes < crate::compact::MAX_INDEX,
+            "graph capacity exceeded (node ids are u32)"
+        );
         let id = NodeId::new(self.num_nodes);
         self.num_nodes += 1;
         id
@@ -463,6 +484,9 @@ impl GraphBuilder {
             }
             Err(GraphError::NegativeTransit { .. }) => {
                 panic!("transit times must be nonnegative")
+            }
+            Err(GraphError::CapacityExceeded) => {
+                panic!("graph capacity exceeded (ids are u32)")
             }
         }
     }
@@ -507,6 +531,9 @@ impl GraphBuilder {
         }
         if transit < 0 {
             return Err(GraphError::NegativeTransit { transit });
+        }
+        if self.sources.len() >= crate::compact::MAX_INDEX {
+            return Err(GraphError::CapacityExceeded);
         }
         let id = ArcId::new(self.sources.len());
         self.sources.push(source);

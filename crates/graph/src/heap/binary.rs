@@ -1,6 +1,7 @@
 //! Indexed binary min-heap with decrease-key by item index.
 
 use super::{AddressableHeap, HeapCounters};
+use crate::compact::idx32;
 
 const ABSENT: u32 = u32::MAX;
 
@@ -58,8 +59,8 @@ impl<K: PartialOrd + Clone> IndexedBinaryHeap<K> {
 
     fn swap_entries(&mut self, i: usize, j: usize) {
         self.heap.swap(i, j);
-        self.pos[self.heap[i].0 as usize] = i as u32;
-        self.pos[self.heap[j].0 as usize] = j as u32;
+        self.pos[self.heap[i].0 as usize] = idx32(i);
+        self.pos[self.heap[j].0 as usize] = idx32(j);
     }
 
     fn remove_at(&mut self, i: usize) -> (u32, K) {
@@ -104,8 +105,8 @@ impl<K: PartialOrd + Clone> AddressableHeap<K> for IndexedBinaryHeap<K> {
         assert!(item < self.pos.len(), "item out of capacity");
         assert!(!self.contains(item), "item already in heap");
         self.counters.inserts += 1;
-        self.pos[item] = self.heap.len() as u32;
-        self.heap.push((item as u32, key));
+        self.pos[item] = idx32(self.heap.len());
+        self.heap.push((idx32(item), key));
         self.sift_up(self.heap.len() - 1);
     }
 

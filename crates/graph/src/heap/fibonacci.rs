@@ -1,6 +1,7 @@
 //! Arena-based Fibonacci heap (the LEDA heap stand-in).
 
 use super::{AddressableHeap, HeapCounters};
+use crate::compact::idx32;
 
 const NIL: u32 = u32::MAX;
 
@@ -238,18 +239,18 @@ impl<K: PartialOrd + Clone> AddressableHeap<K> for FibonacciHeap<K> {
         let node = &mut self.nodes[item];
         *node = Node::empty();
         node.key = Some(key);
-        self.add_root(item as u32);
+        self.add_root(idx32(item));
         self.len += 1;
     }
 
     fn decrease_key(&mut self, item: usize, key: K) {
         assert!(self.contains(item), "decrease_key on absent item");
         #[allow(clippy::neg_cmp_op_on_partial_ord)] // keys are never NaN here
-        let not_increasing = !(*self.key_of(item as u32) < key);
+        let not_increasing = !(*self.key_of(idx32(item)) < key);
         assert!(not_increasing, "decrease_key must not increase the key");
         self.counters.decrease_keys += 1;
         self.nodes[item].key = Some(key);
-        let i = item as u32;
+        let i = idx32(item);
         let p = self.nodes[item].parent;
         if p != NIL && self.key_of(i) < self.key_of(p) {
             self.cut(i);
@@ -293,7 +294,7 @@ impl<K: PartialOrd + Clone> AddressableHeap<K> for FibonacciHeap<K> {
             return None;
         }
         self.counters.removals += 1;
-        let i = item as u32;
+        let i = idx32(item);
         if self.nodes[item].parent != NIL {
             self.cut(i);
         }

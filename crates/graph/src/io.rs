@@ -136,8 +136,14 @@ pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError>
         if line.is_empty() || line.starts_with('c') {
             continue;
         }
+        // Slice patterns keep the parser free of `fields[i]` indexing:
+        // every shape mismatch lands in a typed-error arm instead of a
+        // potential bounds panic (lint rule MCRL005).
         let fields: Vec<&str> = line.split_whitespace().collect();
-        match fields[0] {
+        let Some((&kind, rest)) = fields.split_first() else {
+            continue; // whitespace-only line
+        };
+        match kind {
             "p" => {
                 if builder.is_some() {
                     return Err(ParseGraphError::new(
@@ -146,17 +152,17 @@ pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError>
                         "duplicate problem line: the graph was already declared",
                     ));
                 }
-                if fields.len() != 4 || fields[1] != "mcr" {
+                let ["mcr", nodes_field, arcs_field] = rest else {
                     return Err(ParseGraphError::new(
                         lineno,
                         ParseErrorKind::TruncatedHeader,
                         "expected problem line `p mcr <nodes> <arcs>`",
                     ));
-                }
-                num_nodes = fields[2].parse().map_err(|_| {
+                };
+                num_nodes = nodes_field.parse().map_err(|_| {
                     ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid node count")
                 })?;
-                let declared_arcs: usize = fields[3].parse().map_err(|_| {
+                let declared_arcs: usize = arcs_field.parse().map_err(|_| {
                     ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid arc count")
                 })?;
                 // Node and arc ids are u32 internally, so larger
@@ -195,32 +201,35 @@ pub fn read_dimacs<R: BufRead>(reader: &mut R) -> Result<Graph, ParseGraphError>
                         "arc before problem line",
                     )
                 })?;
-                if fields.len() != 4 && fields.len() != 5 {
-                    return Err(ParseGraphError::new(
-                        lineno,
-                        ParseErrorKind::MalformedArc,
-                        "expected `a <src> <dst> <weight> [transit]`",
-                    ));
-                }
-                let src: usize = fields[1].parse().map_err(|_| {
+                let (src_field, dst_field, weight_field, transit_field) = match rest {
+                    [s, d, w] => (s, d, w, None),
+                    [s, d, w, t] => (s, d, w, Some(t)),
+                    _ => {
+                        return Err(ParseGraphError::new(
+                            lineno,
+                            ParseErrorKind::MalformedArc,
+                            "expected `a <src> <dst> <weight> [transit]`",
+                        ));
+                    }
+                };
+                let src: usize = src_field.parse().map_err(|_| {
                     ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid source")
                 })?;
-                let dst: usize = fields[2].parse().map_err(|_| {
+                let dst: usize = dst_field.parse().map_err(|_| {
                     ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid target")
                 })?;
-                let weight: i64 = fields[3].parse().map_err(|_| {
+                let weight: i64 = weight_field.parse().map_err(|_| {
                     ParseGraphError::new(lineno, ParseErrorKind::NonNumericField, "invalid weight")
                 })?;
-                let transit: i64 = if fields.len() == 5 {
-                    fields[4].parse().map_err(|_| {
+                let transit: i64 = match transit_field {
+                    Some(t) => t.parse().map_err(|_| {
                         ParseGraphError::new(
                             lineno,
                             ParseErrorKind::NonNumericField,
                             "invalid transit",
                         )
-                    })?
-                } else {
-                    1
+                    })?,
+                    None => 1,
                 };
                 if src == 0 || src > num_nodes || dst == 0 || dst > num_nodes {
                     return Err(ParseGraphError::new(

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod chaos;
+pub mod compact;
 pub mod graph;
 pub mod heap;
 #[cfg(feature = "serde")]
@@ -44,6 +45,7 @@ pub mod io;
 pub mod scc;
 pub mod traverse;
 
+pub use compact::idx32;
 pub use graph::{ArcId, Graph, GraphBuilder, GraphError, NodeId};
 pub use io::{ParseErrorKind, ParseGraphError};
 pub use scc::{condensation, SccDecomposition, SubgraphExtractor};

@@ -7,6 +7,7 @@
 //! and takes the minimum over components — exactly the procedure
 //! described in Section 2 of the paper.
 
+use crate::compact::idx32;
 use crate::graph::{ArcId, Graph, GraphBuilder, NodeId};
 
 /// The strongly connected components of a digraph.
@@ -49,7 +50,7 @@ impl SccDecomposition {
         // Explicit DFS call stack: (node, position in its out-arc list).
         let mut call: Vec<(u32, usize)> = Vec::new();
 
-        for root in 0..n as u32 {
+        for root in 0..idx32(n) {
             if index[root as usize] != UNVISITED {
                 continue;
             }
@@ -71,9 +72,9 @@ impl SccDecomposition {
                         index[w] = next_index;
                         lowlink[w] = next_index;
                         next_index += 1;
-                        stack.push(w as u32);
+                        stack.push(idx32(w));
                         on_stack[w] = true;
-                        call.push((w as u32, 0));
+                        call.push((idx32(w), 0));
                     } else if on_stack[w] {
                         lowlink[vu] = lowlink[vu].min(index[w]);
                     }
@@ -84,7 +85,7 @@ impl SccDecomposition {
                         lowlink[p] = lowlink[p].min(lowlink[vu]);
                     }
                     if lowlink[vu] == index[vu] {
-                        let comp_id = comp_nodes.len() as u32;
+                        let comp_id = idx32(comp_nodes.len());
                         let mut members = Vec::new();
                         loop {
                             let w = stack.pop().expect("tarjan stack underflow");
@@ -202,7 +203,7 @@ impl SubgraphExtractor {
             self.local_of.resize(g.num_nodes(), u32::MAX);
         }
         for (i, &v) in nodes.iter().enumerate() {
-            self.local_of[v.index()] = i as u32;
+            self.local_of[v.index()] = idx32(i);
         }
         let mut b = GraphBuilder::with_capacity(nodes.len(), nodes.len() * 2);
         b.add_nodes(nodes.len());
@@ -250,8 +251,8 @@ pub fn condensation(g: &Graph, scc: &SccDecomposition) -> Graph {
     b.add_nodes(k);
     let mut seen: std::collections::HashSet<(u32, u32)> = std::collections::HashSet::new();
     for a in g.arc_ids() {
-        let cu = scc.component_of(g.source(a)) as u32;
-        let cv = scc.component_of(g.target(a)) as u32;
+        let cu = idx32(scc.component_of(g.source(a)));
+        let cv = idx32(scc.component_of(g.target(a)));
         if cu != cv && seen.insert((cu, cv)) {
             b.add_arc(NodeId::new(cu as usize), NodeId::new(cv as usize), 0);
         }

@@ -1,0 +1,87 @@
+//! CLI for the workspace contract checker.
+//!
+//! ```text
+//! cargo run -p mcr-lint            # human-readable diagnostics
+//! cargo run -p mcr-lint -- --json  # machine-readable, for CI
+//! cargo run -p mcr-lint -- --root /path/to/workspace
+//! ```
+//!
+//! Exit codes: 0 = clean (allowlisted findings are reported but do not
+//! fail the gate), 1 = at least one non-allowlisted violation,
+//! 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: mcr-lint [--json] [--root <workspace>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+
+    let report = match mcr_lint::run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        println!("{}", mcr_lint::to_json(&report));
+    } else {
+        for d in &report.diagnostics {
+            let status = if d.allowed { " (allowed)" } else { "" };
+            println!("{}:{}: {}{} {}", d.file, d.line, d.rule, status, d.message);
+        }
+        println!(
+            "mcr-lint: {} files scanned, {} violations, {} allowlisted",
+            report.files_scanned,
+            report.violation_count(),
+            report.suppressed_count()
+        );
+    }
+
+    if report.violation_count() > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// The workspace root: the current directory if it has a `crates/`
+/// tree, otherwise two levels above this crate's manifest (so
+/// `cargo run -p mcr-lint` works from any subdirectory).
+fn default_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(manifest);
+        if let Some(ws) = p.ancestors().nth(2) {
+            return ws.to_path_buf();
+        }
+    }
+    cwd
+}

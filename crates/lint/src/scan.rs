@@ -1,0 +1,638 @@
+//! A minimal Rust source scanner: the token-level model the contract
+//! rules are written against.
+//!
+//! This is deliberately **not** a full parser. The offline build
+//! environment has no `syn` (see the workspace manifest's vendoring
+//! note), and the five workspace contracts only need:
+//!
+//! * source text with comments and literals blanked out (so rules never
+//!   match inside a comment, doc example, or string),
+//! * a token stream that distinguishes identifiers, integer literals,
+//!   **float literals**, string literals, and (multi-char) punctuation,
+//! * the line spans of `#[cfg(test)]` items (test code is exempt from
+//!   the production contracts),
+//! * the `// lint: allow(<rule>) reason=...` comment table.
+//!
+//! Everything here is line-oriented: a diagnostic's position is the
+//! 1-based line of the offending token, which is what CI and editors
+//! consume.
+
+/// One lexical token of the cleaned source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    Ident,
+    Int,
+    Float,
+    /// A string literal (contents elided during cleaning).
+    Str,
+    /// Punctuation; multi-char operators arrive as one token (`==`,
+    /// `!=`, `<=`, `>=`, `&&`, `||`, `->`, `=>`, `::`, `..`, `..=`).
+    Punct,
+}
+
+/// A string literal with its contents preserved (the cleaned text
+/// blanks it; chaos-site checking needs the value).
+#[derive(Clone, Debug)]
+pub struct StrLit {
+    pub value: String,
+    pub line: u32,
+}
+
+/// An inline allowlist entry: `// lint: allow(<rule>) reason=<text>`.
+#[derive(Clone, Debug)]
+pub struct Allow {
+    /// The rule tag inside `allow(...)`, e.g. `panic`.
+    pub tag: String,
+    /// 1-based line the comment sits on.
+    pub line: u32,
+    pub reason_ok: bool,
+}
+
+/// A comment that contains `lint:` but does not parse as an allowlist
+/// entry (reported as MCRL000 so typos cannot silently disable a rule).
+#[derive(Clone, Debug)]
+pub struct MalformedAllow {
+    pub line: u32,
+    pub detail: &'static str,
+}
+
+/// The scanned model of one source file.
+pub struct Scanned {
+    pub tokens: Vec<Token>,
+    pub strings: Vec<StrLit>,
+    pub allows: Vec<Allow>,
+    pub malformed_allows: Vec<MalformedAllow>,
+    /// Inclusive 1-based line ranges belonging to `#[cfg(test)]` items.
+    pub test_spans: Vec<(u32, u32)>,
+}
+
+impl Scanned {
+    /// Whether `line` lies inside a `#[cfg(test)]` item.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_spans.iter().any(|&(a, b)| a <= line && line <= b)
+    }
+
+    /// Whether a diagnostic of `tag` on `line` is suppressed by an
+    /// allowlist comment on the same line or the line directly above.
+    pub fn is_allowed(&self, tag: &str, line: u32) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.tag == tag && a.reason_ok && (a.line == line || a.line + 1 == line))
+    }
+}
+
+/// Scans `src`, producing the token stream and side tables.
+pub fn scan(src: &str) -> Scanned {
+    let (clean, strings, comments) = clean(src);
+    let tokens = tokenize(&clean);
+    let (allows, malformed_allows) = parse_allows(&comments);
+    let test_spans = find_test_spans(&tokens);
+    Scanned {
+        tokens,
+        strings,
+        allows,
+        malformed_allows,
+        test_spans,
+    }
+}
+
+/// Pass 1: blank comments and literal contents (newlines preserved, so
+/// line numbers survive), collecting string literal values and comment
+/// texts on the way out.
+#[allow(clippy::type_complexity)]
+fn clean(src: &str) -> (String, Vec<StrLit>, Vec<(u32, String)>) {
+    let b = src.as_bytes();
+    let mut out = Vec::with_capacity(b.len());
+    let mut strings = Vec::new();
+    let mut comments: Vec<(u32, String)> = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    let push_blank = |out: &mut Vec<u8>, c: u8| {
+        out.push(if c == b'\n' { b'\n' } else { b' ' });
+    };
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            out.push(c);
+            i += 1;
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            // Line comment (incl. doc comments).
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                out.push(b' ');
+                i += 1;
+            }
+            comments.push((line, String::from_utf8_lossy(&b[start..i]).into_owned()));
+        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            // Block comment, nested.
+            let mut depth = 1;
+            out.extend_from_slice(b"  ");
+            i += 2;
+            while i < b.len() && depth > 0 {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    out.extend_from_slice(b"  ");
+                    i += 2;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+        } else if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
+            // Plain (or byte) string literal.
+            let lit_line = line;
+            if c == b'b' {
+                out.push(b' ');
+                i += 1;
+            }
+            out.push(b'"');
+            i += 1;
+            let start = i;
+            while i < b.len() {
+                if b[i] == b'\\' && i + 1 < b.len() {
+                    if b[i + 1] == b'\n' {
+                        line += 1;
+                    }
+                    push_blank(&mut out, b[i]);
+                    push_blank(&mut out, b[i + 1]);
+                    i += 2;
+                } else if b[i] == b'"' {
+                    break;
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+            }
+            strings.push(StrLit {
+                value: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
+                line: lit_line,
+            });
+            if i < b.len() {
+                out.push(b'"');
+                i += 1;
+            }
+        } else if is_raw_string_start(b, i) {
+            // r"..."  r#"..."#  br#"..."# — blank to the matching close.
+            let lit_line = line;
+            let mut j = i;
+            if b[j] == b'b' {
+                j += 1;
+            }
+            j += 1; // past 'r'
+            let mut hashes = 0;
+            while j < b.len() && b[j] == b'#' {
+                hashes += 1;
+                j += 1;
+            }
+            // j is at the opening quote, which is kept so the
+            // tokenizer still sees one `Str` token per recorded literal.
+            for k in i..j {
+                push_blank(&mut out, b[k]);
+            }
+            out.push(b'"');
+            let start = j + 1;
+            let mut k = start;
+            let closer = {
+                let mut v = vec![b'"'];
+                v.extend(std::iter::repeat(b'#').take(hashes));
+                v
+            };
+            while k < b.len() && !b[k..].starts_with(&closer) {
+                if b[k] == b'\n' {
+                    line += 1;
+                }
+                k += 1;
+            }
+            strings.push(StrLit {
+                value: String::from_utf8_lossy(&b[start..k.min(b.len())]).into_owned(),
+                line: lit_line,
+            });
+            for idx in start..k.min(b.len()) {
+                push_blank(&mut out, b[idx]);
+            }
+            if k < b.len() {
+                out.push(b'"');
+                for idx in (k + 1)..(k + closer.len()).min(b.len()) {
+                    push_blank(&mut out, b[idx]);
+                }
+            }
+            i = (k + closer.len()).min(b.len());
+        } else if c == b'\'' {
+            // Char literal vs lifetime.
+            if i + 1 < b.len() && b[i + 1] == b'\\' {
+                // Escaped char literal: blank to the closing quote.
+                out.push(b' ');
+                i += 1;
+                while i < b.len() && b[i] != b'\'' {
+                    push_blank(&mut out, b[i]);
+                    i += 1;
+                }
+                if i < b.len() {
+                    out.push(b' ');
+                    i += 1;
+                }
+            } else if i + 2 < b.len() && b[i + 2] == b'\'' {
+                // 'x' char literal.
+                out.extend_from_slice(b"   ");
+                i += 3;
+            } else {
+                // Lifetime: keep as-is (harmless to the rules).
+                out.push(c);
+                i += 1;
+            }
+        } else {
+            out.push(c);
+            i += 1;
+        }
+    }
+    (
+        String::from_utf8_lossy(&out).into_owned(),
+        strings,
+        comments,
+    )
+}
+
+fn is_raw_string_start(b: &[u8], i: usize) -> bool {
+    let j = if b[i] == b'b' { i + 1 } else { i };
+    if j >= b.len() || b[j] != b'r' {
+        return false;
+    }
+    // Not part of an identifier like `for` / `br`-prefixed names.
+    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
+        return false;
+    }
+    let mut k = j + 1;
+    while k < b.len() && b[k] == b'#' {
+        k += 1;
+    }
+    k < b.len() && b[k] == b'"'
+}
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+/// Pass 2: tokenize the cleaned text.
+fn tokenize(clean: &str) -> Vec<Token> {
+    const TWO_CHAR: [&str; 14] = [
+        "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=", "*=", "/=",
+    ];
+    let b = clean.as_bytes();
+    let mut toks = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0;
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            i += 1;
+        } else if c.is_ascii_whitespace() {
+            i += 1;
+        } else if c == b'"' {
+            // Blanked string literal: emit a Str token, skip to close.
+            let mut j = i + 1;
+            while j < b.len() && b[j] != b'"' {
+                if b[j] == b'\n' {
+                    line += 1;
+                }
+                j += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Str,
+                text: String::new(),
+                line,
+            });
+            i = (j + 1).min(b.len());
+        } else if is_ident_char(c) && !c.is_ascii_digit() {
+            let start = i;
+            while i < b.len() && is_ident_char(b[i]) {
+                i += 1;
+            }
+            toks.push(Token {
+                kind: TokKind::Ident,
+                text: clean[start..i].to_string(),
+                line,
+            });
+        } else if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            if c == b'0' && i + 1 < b.len() && (b[i + 1] | 0x20) == b'x' {
+                i += 2;
+                while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
+                    i += 1;
+                }
+            } else {
+                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                    i += 1;
+                }
+                // Fractional part: a '.' followed by a digit (so `0..n`
+                // and `1.max(2)` stay integers).
+                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
+                    is_float = true;
+                    i += 1;
+                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                        i += 1;
+                    }
+                }
+                // Exponent.
+                if i < b.len() && (b[i] | 0x20) == b'e' {
+                    let mut j = i + 1;
+                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j].is_ascii_digit() {
+                        is_float = true;
+                        i = j;
+                        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                            i += 1;
+                        }
+                    }
+                }
+            }
+            // Type suffix (u32, i64, f64, usize, ...).
+            let suffix_start = i;
+            while i < b.len() && is_ident_char(b[i]) {
+                i += 1;
+            }
+            let suffix = &clean[suffix_start..i];
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+            toks.push(Token {
+                kind: if is_float { TokKind::Float } else { TokKind::Int },
+                text: clean[start..i].to_string(),
+                line,
+            });
+        } else {
+            let two = if i + 1 < b.len() { &clean[i..i + 2] } else { "" };
+            if TWO_CHAR.contains(&two) {
+                // `..=` extends `..`.
+                if two == ".." && i + 2 < b.len() && b[i + 2] == b'=' {
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: "..=".to_string(),
+                        line,
+                    });
+                    i += 3;
+                } else {
+                    toks.push(Token {
+                        kind: TokKind::Punct,
+                        text: two.to_string(),
+                        line,
+                    });
+                    i += 2;
+                }
+            } else {
+                toks.push(Token {
+                    kind: TokKind::Punct,
+                    text: clean[i..i + 1].to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Pass 3: the allowlist table from line comments.
+fn parse_allows(comments: &[(u32, String)]) -> (Vec<Allow>, Vec<MalformedAllow>) {
+    let mut allows = Vec::new();
+    let mut malformed = Vec::new();
+    for (line, text) in comments {
+        let Some(pos) = text.find("lint:") else {
+            continue;
+        };
+        let rest = text[pos + "lint:".len()..].trim_start();
+        let Some(rest) = rest.strip_prefix("allow(") else {
+            malformed.push(MalformedAllow {
+                line: *line,
+                detail: "expected `allow(<rule>)` after `lint:`",
+            });
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            malformed.push(MalformedAllow {
+                line: *line,
+                detail: "unclosed `allow(`",
+            });
+            continue;
+        };
+        let tag = rest[..close].trim().to_string();
+        if !crate::rules::KNOWN_ALLOW_TAGS.contains(&tag.as_str()) {
+            malformed.push(MalformedAllow {
+                line: *line,
+                detail: "unknown rule tag in `allow(...)`",
+            });
+            continue;
+        }
+        let after = rest[close + 1..].trim_start();
+        let reason_ok = after
+            .strip_prefix("reason=")
+            .is_some_and(|r| !r.trim().is_empty());
+        if !reason_ok {
+            malformed.push(MalformedAllow {
+                line: *line,
+                detail: "missing or empty `reason=` (a justification is mandatory)",
+            });
+            continue;
+        }
+        allows.push(Allow {
+            tag,
+            line: *line,
+            reason_ok,
+        });
+    }
+    (allows, malformed)
+}
+
+/// Pass 4: line spans of `#[cfg(test)]` items (`mod` bodies and `fn`
+/// bodies; other item kinds are skipped to the end of their line).
+fn find_test_spans(toks: &[Token]) -> Vec<(u32, u32)> {
+    let mut spans = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].text == "#"
+            && i + 3 < toks.len()
+            && toks[i + 1].text == "["
+            && toks[i + 2].text == "cfg"
+            && toks[i + 3].text == "("
+        {
+            // Collect the attribute's tokens up to the matching `]`.
+            let mut depth = 0usize;
+            let mut j = i + 1;
+            let mut attr: Vec<&Token> = Vec::new();
+            while j < toks.len() {
+                match toks[j].text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                attr.push(&toks[j]);
+                j += 1;
+            }
+            if attr_is_test(&attr) {
+                // Skip any further attributes, then find the item.
+                let mut k = j + 1;
+                while k < toks.len() && toks[k].text == "#" {
+                    let mut d = 0usize;
+                    k += 1;
+                    while k < toks.len() {
+                        match toks[k].text.as_str() {
+                            "[" => d += 1,
+                            "]" => {
+                                d -= 1;
+                                if d == 0 {
+                                    k += 1;
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k += 1;
+                    }
+                }
+                // Find the item's body braces (mod/fn/impl); `use`
+                // items end at `;`.
+                let start_line = toks[i].line;
+                let mut end_line = start_line;
+                let mut m = k;
+                while m < toks.len() {
+                    match toks[m].text.as_str() {
+                        ";" => {
+                            end_line = toks[m].line;
+                            break;
+                        }
+                        "{" => {
+                            let mut d = 0usize;
+                            while m < toks.len() {
+                                match toks[m].text.as_str() {
+                                    "{" => d += 1,
+                                    "}" => {
+                                        d -= 1;
+                                        if d == 0 {
+                                            end_line = toks[m].line;
+                                            break;
+                                        }
+                                    }
+                                    _ => {}
+                                }
+                                m += 1;
+                            }
+                            break;
+                        }
+                        _ => {}
+                    }
+                    m += 1;
+                }
+                spans.push((start_line, end_line));
+                i = m + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    spans
+}
+
+/// Whether a `cfg(...)` attribute token list selects test builds:
+/// contains an identifier `test` not directly governed by `not(`.
+fn attr_is_test(attr: &[&Token]) -> bool {
+    for (idx, t) in attr.iter().enumerate() {
+        if t.kind == TokKind::Ident && t.text == "test" {
+            let negated = idx >= 2
+                && attr[idx - 1].text == "("
+                && attr[idx - 2].kind == TokKind::Ident
+                && attr[idx - 2].text == "not";
+            if !negated {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let s = scan("let x = \"a == 0.0\"; // x == 1.0\nlet y = 2;");
+        assert!(s.tokens.iter().all(|t| t.text != "1.0" && t.text != "0.0"));
+        assert_eq!(s.strings.len(), 1);
+        assert_eq!(s.strings[0].value, "a == 0.0");
+    }
+
+    #[test]
+    fn float_vs_range_vs_method() {
+        let s = scan("a[0..n]; b = 1.5; c = 1.max(2); d = 2e-9;");
+        let floats: Vec<_> = s
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokKind::Float)
+            .map(|t| t.text.clone())
+            .collect();
+        assert_eq!(floats, ["1.5", "2e-9"]);
+    }
+
+    #[test]
+    fn cfg_test_mod_span() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap(); }\n}\nfn c() {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_spans, vec![(2, 5)]);
+        assert!(s.is_test_line(4));
+        assert!(!s.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_span() {
+        let s = scan("#[cfg(not(test))]\nmod gate { fn a() {} }\n");
+        assert!(s.test_spans.is_empty());
+    }
+
+    #[test]
+    fn allow_comments_parse_and_malformed_are_reported() {
+        let src = "// lint: allow(panic) reason=bounded by construction\n\
+                   // lint: allow(panic)\n\
+                   // lint: allow(bogus) reason=x\n";
+        let s = scan(src);
+        assert_eq!(s.allows.len(), 1);
+        assert_eq!(s.allows[0].tag, "panic");
+        assert_eq!(s.malformed_allows.len(), 2);
+        assert!(s.is_allowed("panic", 1));
+        assert!(s.is_allowed("panic", 2)); // line directly below
+        assert!(!s.is_allowed("panic", 3));
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let s = scan("let p = r#\"== 1.0\"#; let c = '='; let lt: &'static str = \"y\";");
+        assert!(s.tokens.iter().all(|t| t.text != "=="));
+        assert_eq!(s.strings[0].value, "== 1.0");
+    }
+}

@@ -1,0 +1,31 @@
+pub fn solve_unticked(g: &Graph, scope: &mut BudgetScope) -> u64 {
+    let mut acc = 0;
+    for a in g.arcs() {
+        acc += a;
+    }
+    acc
+}
+
+pub fn solve_ticked(g: &Graph, scope: &mut BudgetScope) -> Result<(), SolveError> {
+    for _a in g.arcs() {
+        scope.tick_iteration_and_time()?;
+    }
+    Ok(())
+}
+
+pub fn helper_without_scope(n: usize) -> usize {
+    let mut acc = 0;
+    for i in 0..n {
+        acc += i;
+    }
+    acc
+}
+
+// lint: allow(budget) reason=fixture proves the budget rule is suppressible
+pub fn solve_allowlisted(g: &Graph, scope: &mut BudgetScope) -> u64 {
+    let mut acc = 0;
+    while acc < 10 {
+        acc += 1;
+    }
+    acc
+}

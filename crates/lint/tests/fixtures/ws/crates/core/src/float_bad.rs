@@ -1,0 +1,14 @@
+pub fn l3_and_l4_sites(a: f64, n: usize) -> bool {
+    let eq = a == 0.0;
+    let ne = (n as f64) != a;
+    let ord = a > 0.0;
+    let int_eq = n == 0;
+    let narrowed = n as u32;
+    // lint: allow(float-eq) reason=fixture proves float suppression
+    let allowed = a == 1.0;
+    // lint: allow(narrowing-cast) reason=fixture proves cast suppression
+    let allowed_cast = n as u16;
+    let widened = (n as u64) > 0;
+    // lint: allow(panic)
+    eq || ne || ord || int_eq || allowed || narrowed as u64 + allowed_cast as u64 > 0 || widened
+}

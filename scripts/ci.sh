@@ -13,6 +13,13 @@ cd "$(dirname "$0")/.."
 echo "=== cargo build --release ==="
 cargo build --workspace --release
 
+echo "=== mcr-lint (workspace contract checker) ==="
+# Fails on any non-allowlisted diagnostic: budget/cancellation coverage
+# (MCRL001), chaos-site manifest drift (MCRL002), bare f64 equality
+# (MCRL003), narrowing casts in hot paths (MCRL004), and panic sources
+# in the panic-free layers (MCRL005). See DESIGN.md and crates/lint.
+cargo run -q -p mcr-lint
+
 echo "=== cargo test (workspace) ==="
 cargo test -q --workspace
 
@@ -97,5 +104,37 @@ echo "=== fuzz smoke (bounded deterministic run) ==="
 # replays the bad-input corpus, then 10000 LCG-mutated derivatives,
 # through the same mcr-fuzz entry points the libfuzzer targets call.
 cargo run -q -p mcr-fuzz --bin fuzz-smoke --release -- -runs=10000
+
+# --- Optional deep-checking walls -------------------------------------
+# These three tools need components the offline build box may not have
+# (cargo-deny binary, nightly miri, nightly rust-src). Each stage runs
+# when its tool is available and prints an explicit skip otherwise; the
+# GitHub workflow installs all three, so CI always runs them.
+
+echo "=== cargo-deny (supply-chain policy, if installed) ==="
+if command -v cargo-deny >/dev/null 2>&1; then
+    cargo deny check
+else
+    echo "skipped: cargo-deny not installed (the CI deny job runs it)"
+fi
+
+echo "=== Miri (curated miri_smoke tier, if installed) ==="
+if cargo +nightly miri --version >/dev/null 2>&1; then
+    cargo +nightly miri test -p mcr-graph --test miri_smoke
+    cargo +nightly miri test -p mcr-core --test miri_smoke
+else
+    echo "skipped: nightly miri not installed (the CI miri job runs it)"
+fi
+
+echo "=== ThreadSanitizer (parallel driver, if nightly rust-src) ==="
+host=$(rustc -vV | sed -n 's/^host: //p')
+if rustup component list --toolchain nightly --installed 2>/dev/null \
+        | grep -q rust-src; then
+    RUSTFLAGS="-Zsanitizer=thread" \
+    cargo +nightly test -Zbuild-std --target "$host" \
+        -p mcr-core --test parallel_determinism --test miri_smoke
+else
+    echo "skipped: nightly rust-src not installed (the CI tsan job runs it)"
+fi
 
 echo "CI gate passed."
