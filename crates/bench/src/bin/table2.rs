@@ -3,65 +3,53 @@
 //! SPRAND random graphs, averaged over seeds, plus the §4.5 ranking
 //! summary.
 //!
-//! `cargo run -p mcr-bench --release --bin table2 [--full] [--seeds k] [--threads n]`
+//! `cargo run -p mcr-bench --release --bin table2 [--full|--tiny]
+//!     [--seeds k] [--threads n] [--jsonl PATH] [--normalize-times]`
 //!
 //! `--threads n` runs the per-SCC driver on `n` worker threads (0 =
 //! auto-detect). λ values are identical at every thread count; the
 //! default 1 preserves the paper's sequential measurement protocol.
 //!
 //! Quick mode (default) covers n ∈ {512, 1024}; `--full` reproduces the
-//! paper's n ∈ {512..8192} grid with 10 seeds. `N/A` marks the
-//! quadratic-space algorithms on inputs whose table would exceed the
-//! memory policy, mirroring the paper's N/A entries.
+//! paper's n ∈ {512..8192} grid with 10 seeds; `--tiny` is the n = 64
+//! regression grid pinned by the committed golden in `results/`. `N/A`
+//! marks the quadratic-space algorithms on inputs whose table would
+//! exceed the memory policy, mirroring the paper's N/A entries.
+//!
+//! `--jsonl PATH` additionally writes one machine-readable
+//! `mcr-table2 v1` record per cell; `--normalize-times` zeroes the
+//! wall-clock field in that file so it is bit-stable across machines
+//! (the goldens' mode — see EXPERIMENTS.md).
 
-use mcr_bench::{average_lambda_over_seeds, fits_in_memory, fmt_ms, print_table, HarnessConfig};
-use mcr_core::Algorithm;
+use mcr_bench::table2::{jsonl_report, sweep, Cell};
+use mcr_bench::{fmt_ms, print_table, HarnessConfig};
 use std::collections::HashMap;
 use std::time::Duration;
 
 fn main() {
     let cfg = HarnessConfig::from_args();
-    let algs = Algorithm::TABLE2;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jsonl_out = args
+        .iter()
+        .position(|a| a == "--jsonl")
+        .and_then(|i| args.get(i + 1).cloned());
+    let normalize_times = args.iter().any(|a| a == "--normalize-times");
+
+    let cells = sweep(&cfg);
+
+    let algs = mcr_core::Algorithm::TABLE2;
     let mut header: Vec<String> = vec!["n".into(), "m".into()];
     header.extend(algs.iter().map(|a| a.name().to_string()));
-
     let mut rows = Vec::new();
-    let mut total_time: HashMap<&str, Duration> = HashMap::new();
-    let mut covered: HashMap<&str, u32> = HashMap::new();
     for &(n, m) in &cfg.grid {
         let mut row = vec![n.to_string(), m.to_string()];
-        let mut lambda_check: Option<mcr_core::Ratio64> = None;
-        for alg in algs {
-            if !fits_in_memory(alg, n) {
-                row.push("N/A".into());
-                continue;
-            }
-            let (t, lams) = average_lambda_over_seeds(&cfg, alg, n, m);
-            *total_time.entry(alg.name()).or_default() += t;
-            *covered.entry(alg.name()).or_default() += 1;
-            // Exactness cross-check on the first seed.
-            let lam = lams[0];
-            if alg.is_approximate() {
-                if let Some(expected) = lambda_check { assert!(
-                    lam >= expected,
-                    "{} returned a value below the optimum at n={n} m={m}",
-                    alg.name()
-                ) }
-            } else {
-                match lambda_check {
-                    Some(expected) => assert_eq!(
-                        lam,
-                        expected,
-                        "{} disagrees at n={n} m={m}",
-                        alg.name()
-                    ),
-                    None => lambda_check = Some(lam),
-                }
-            }
-            row.push(fmt_ms(t));
+        for cell in cells.iter().filter(|c| c.n == n && c.m == m) {
+            row.push(match cell.lambda {
+                None => "N/A".into(),
+                Some(_) => fmt_ms(cell.mean),
+            });
         }
         rows.push(row);
-        eprintln!("done n={n} m={m}");
     }
 
     println!(
@@ -78,6 +66,12 @@ fn main() {
     print_table(&header, &rows);
 
     // §4.5 ranking over the grid points every algorithm covered.
+    let mut total_time: HashMap<&str, Duration> = HashMap::new();
+    let mut covered: HashMap<&str, u32> = HashMap::new();
+    for cell in cells.iter().filter(|c| c.lambda.is_some()) {
+        *total_time.entry(cell.alg.name()).or_default() += cell.mean;
+        *covered.entry(cell.alg.name()).or_default() += 1;
+    }
     let mut ranking: Vec<(&str, Duration, u32)> = total_time
         .iter()
         .map(|(k, v)| (*k, *v, covered[k]))
@@ -96,4 +90,14 @@ fn main() {
     println!(
         "\nPaper's finding to compare against: Howard ≫ HO > (KO, YTO, Karp, DG) > Burns/Karp2 > OA1/Lawler."
     );
+
+    if let Some(path) = jsonl_out {
+        let report = jsonl_report(&cells, &cfg, normalize_times);
+        if let Err(e) = std::fs::write(&path, report) {
+            eprintln!("table2: writing {path}: {e}");
+            std::process::exit(1);
+        }
+        let cell_count = cells.iter().filter(|c: &&Cell| c.lambda.is_some()).count();
+        eprintln!("wrote {cell_count} measured cells to {path}");
+    }
 }

@@ -27,17 +27,25 @@ pub struct HarnessConfig {
 }
 
 impl HarnessConfig {
-    /// Parses `--quick`, `--full`, `--seeds <k>`, and `--threads <n>`
-    /// from `args`.
+    /// Parses `--quick`, `--full`, `--tiny`, `--seeds <k>`, and
+    /// `--threads <n>` from `args`.
     ///
     /// Full mode reproduces the exact Table 2 grid
     /// (n ∈ {512..8192} × m/n ∈ {1..3}, 10 seeds); quick mode (default)
     /// uses n ∈ {512, 1024} and 3 seeds so the whole suite terminates in
-    /// minutes.
+    /// minutes; tiny mode is the [`tiny_grid`]-based regression
+    /// configuration pinned by the committed golden in `results/`.
     pub fn from_args() -> Self {
         let args: Vec<String> = std::env::args().skip(1).collect();
         let full = args.iter().any(|a| a == "--full");
-        let mut seeds = if full { 10 } else { 3 };
+        let tiny = args.iter().any(|a| a == "--tiny");
+        let mut seeds = if full {
+            10
+        } else if tiny {
+            TINY_SEEDS
+        } else {
+            3
+        };
         if let Some(i) = args.iter().position(|a| a == "--seeds") {
             if let Some(k) = args.get(i + 1).and_then(|s| s.parse().ok()) {
                 seeds = k;
@@ -51,6 +59,8 @@ impl HarnessConfig {
         }
         let grid = if full {
             mcr_gen::sprand::table2_grid()
+        } else if tiny {
+            tiny_grid()
         } else {
             let mut g = Vec::new();
             for &n in &[512usize, 1024] {
@@ -78,6 +88,16 @@ impl HarnessConfig {
     pub fn instance(&self, n: usize, m: usize, seed: u64) -> Graph {
         sprand(&SprandConfig::new(n, m).seed(seed))
     }
+}
+
+/// Seeds per grid point in `--tiny` mode.
+pub const TINY_SEEDS: u64 = 2;
+
+/// The `--tiny` regression grid: n = 64 instances small enough that a
+/// full Table-2 sweep runs in well under a second, used by the golden
+/// regression test in `tests/table2_tiny.rs`.
+pub fn tiny_grid() -> Vec<(usize, usize)> {
+    vec![(64, 128), (64, 192)]
 }
 
 /// Memory policy matching the paper's N/A entries: the Θ(n²)-space
@@ -192,6 +212,115 @@ pub fn print_table(header: &[String], rows: &[Vec<String>]) {
     println!("{}", "-".repeat(total));
     for row in rows {
         line(row);
+    }
+}
+
+pub mod table2 {
+    //! The Table-2 sweep shared by the `table2` binary and the tiny-grid
+    //! regression test, plus its `mcr-table2 v1` JSONL rendering.
+
+    use super::{average_lambda_over_seeds, fits_in_memory, HarnessConfig};
+    use mcr_core::{Algorithm, Ratio64};
+    use mcr_obs::json::Obj;
+    use mcr_obs::TABLE2_SCHEMA;
+    use std::time::Duration;
+
+    /// One measured Table-2 cell: the mean λ-only wall time of one
+    /// algorithm at one grid point, plus the first seed's λ for the
+    /// cross-checks and goldens. `lambda == None` marks an `N/A` cell
+    /// (the memory policy skipped a Θ(n²)-space algorithm).
+    #[derive(Clone, Debug)]
+    pub struct Cell {
+        pub n: usize,
+        pub m: usize,
+        pub alg: Algorithm,
+        pub mean: Duration,
+        pub lambda: Option<Ratio64>,
+    }
+
+    /// Runs the paper's ten Table-2 algorithms over the configured
+    /// grid, cross-checking every exact λ against the row's first exact
+    /// answer (and every approximate λ against it from above). Panics
+    /// on disagreement: a wrong answer must never become a table entry.
+    pub fn sweep(cfg: &HarnessConfig) -> Vec<Cell> {
+        let mut cells = Vec::new();
+        for &(n, m) in &cfg.grid {
+            let mut lambda_check: Option<Ratio64> = None;
+            for alg in Algorithm::TABLE2 {
+                if !fits_in_memory(alg, n) {
+                    cells.push(Cell { n, m, alg, mean: Duration::ZERO, lambda: None });
+                    continue;
+                }
+                let (t, lams) = average_lambda_over_seeds(cfg, alg, n, m);
+                let lam = lams[0];
+                if alg.is_approximate() {
+                    if let Some(expected) = lambda_check {
+                        assert!(
+                            lam >= expected,
+                            "{} returned a value below the optimum at n={n} m={m}",
+                            alg.name()
+                        );
+                    }
+                } else {
+                    match lambda_check {
+                        Some(expected) => assert_eq!(
+                            lam,
+                            expected,
+                            "{} disagrees at n={n} m={m}",
+                            alg.name()
+                        ),
+                        None => lambda_check = Some(lam),
+                    }
+                }
+                cells.push(Cell { n, m, alg, mean: t, lambda: Some(lam) });
+            }
+            eprintln!("done n={n} m={m}");
+        }
+        cells
+    }
+
+    /// Renders one cell as an `mcr-table2 v1` JSONL line.
+    /// `normalize_times` zeroes the wall-clock field so the output is
+    /// bit-stable across machines — the mode the committed goldens use.
+    pub fn cell_jsonl(cell: &Cell, normalize_times: bool) -> String {
+        let base = Obj::new()
+            .str("schema", TABLE2_SCHEMA)
+            .str("kind", "cell")
+            .u64("n", cell.n as u64)
+            .u64("m", cell.m as u64)
+            .str("alg", cell.alg.name());
+        match &cell.lambda {
+            None => base.str("status", "n/a").finish(),
+            Some(lam) => {
+                let ms = if normalize_times {
+                    0.0
+                } else {
+                    cell.mean.as_secs_f64() * 1e3
+                };
+                base.str("status", "ok")
+                    .f64("mean_ms", ms)
+                    .str("lambda", &lam.to_string())
+                    .finish()
+            }
+        }
+    }
+
+    /// Renders the full per-cell report: a header line carrying the run
+    /// configuration, then one line per cell in grid-major order.
+    pub fn jsonl_report(cells: &[Cell], cfg: &HarnessConfig, normalize_times: bool) -> String {
+        let mut out = Obj::new()
+            .str("schema", TABLE2_SCHEMA)
+            .str("kind", "table2.header")
+            .u64("cells", cells.len() as u64)
+            .u64("seeds", cfg.seeds)
+            .u64("threads", cfg.threads as u64)
+            .finish();
+        out.push('\n');
+        for cell in cells {
+            out.push_str(&cell_jsonl(cell, normalize_times));
+            out.push('\n');
+        }
+        out
     }
 }
 

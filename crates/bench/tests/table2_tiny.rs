@@ -1,0 +1,75 @@
+//! Tiny-grid Table 2 regression: the time-normalized JSONL report for
+//! the `--tiny` configuration (n = 64, two seeds) is pinned against the
+//! golden committed at `results/table2_tiny.jsonl`. Every λ* cell must
+//! stay bit-identical across commits — timing drift is normalized away,
+//! answer drift fails the build.
+//!
+//! Regenerate after an intentional change (new algorithm row, schema
+//! bump, generator change) with:
+//! `UPDATE_GOLDENS=1 cargo test -p mcr-bench --test table2_tiny`
+
+use mcr_bench::table2::{jsonl_report, sweep};
+use mcr_bench::{tiny_grid, HarnessConfig, TINY_SEEDS};
+
+fn tiny_config(threads: usize) -> HarnessConfig {
+    HarnessConfig {
+        grid: tiny_grid(),
+        seeds: TINY_SEEDS,
+        quick: false,
+        threads,
+    }
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../results/table2_tiny.jsonl")
+}
+
+#[test]
+fn tiny_grid_report_matches_committed_golden() {
+    let cfg = tiny_config(1);
+    let report = jsonl_report(&sweep(&cfg), &cfg, true);
+    let path = golden_path();
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::write(&path, &report).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with UPDATE_GOLDENS=1 \
+             cargo test -p mcr-bench --test table2_tiny",
+            path.display()
+        )
+    });
+    assert_eq!(
+        report, expected,
+        "tiny-grid table2 report drifted from results/table2_tiny.jsonl; a \
+         λ* change is a correctness regression — investigate before \
+         regenerating with UPDATE_GOLDENS=1"
+    );
+}
+
+#[test]
+fn tiny_grid_report_is_thread_count_invariant() {
+    let baseline = {
+        let cfg = tiny_config(1);
+        jsonl_report(&sweep(&cfg), &cfg, true)
+    };
+    for threads in [2usize, 8] {
+        let cfg = tiny_config(threads);
+        let report = jsonl_report(&sweep(&cfg), &cfg, true);
+        // The header records the thread count; the measured cells must
+        // not change with it.
+        let strip = |r: &str| {
+            r.lines()
+                .filter(|l| !l.contains("\"kind\":\"table2.header\""))
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        assert_eq!(
+            strip(&report),
+            strip(&baseline),
+            "table2 cells changed between 1 and {threads} threads"
+        );
+    }
+}

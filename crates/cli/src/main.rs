@@ -22,6 +22,12 @@
 //!                       token; the solve fails closed, exit code 4)
 //!     --critical        also print the critical subgraph
 //!     --counters        also print operation counts
+//!     --trace-out PATH  write a structured solve trace (`mcr-trace v1`
+//!                       JSONL; needs a build with `--features obs`)
+//!     --metrics-out PATH  write the unified metrics registry
+//!                       (`mcr-metrics v1` JSONL; needs `obs`)
+//!     --summary         print a human-readable observability summary
+//!                       table after the solve (needs `obs`)
 //!
 //! Exit codes: 0 success, 1 input or usage error, 2 budget exhausted,
 //! 3 certification failure (a solved instance whose witness cycle does
@@ -96,7 +102,7 @@ impl Args {
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
                 let takes_value = ![
-                    "max", "ratio", "critical", "counters",
+                    "max", "ratio", "critical", "counters", "summary",
                 ]
                 .contains(&name);
                 if takes_value && i + 1 < raw.len() {
@@ -252,6 +258,79 @@ fn solve_options(args: &Args, epsilon: f64) -> Result<SolveOptions, String> {
         opts.cancel = Some(spawn_timeout_watchdog(parse_duration(spec)?));
     }
     Ok(opts)
+}
+
+/// The observability outputs requested on the command line
+/// (`--trace-out`, `--metrics-out`, `--summary`). Parsed in every
+/// build; honored only by builds with the `obs` feature.
+struct ObsRequest {
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    summary: bool,
+}
+
+impl ObsRequest {
+    fn from_args(args: &Args) -> ObsRequest {
+        ObsRequest {
+            trace_out: args.value("trace-out").map(str::to_string),
+            metrics_out: args.value("metrics-out").map(str::to_string),
+            summary: args.flag("summary"),
+        }
+    }
+
+    fn any(&self) -> bool {
+        self.trace_out.is_some() || self.metrics_out.is_some() || self.summary
+    }
+}
+
+/// Runs `f` under an installed trace recorder, then writes the
+/// requested outputs. The solve's own result passes through unchanged —
+/// traces of failed solves are written too (that is when you want
+/// them). Wall-clock timestamps are real here; the golden tests
+/// normalize via [`mcr_core::obs::Timestamps::Normalized`] instead.
+#[cfg(feature = "obs")]
+fn with_obs<T>(
+    req: &ObsRequest,
+    f: impl FnOnce() -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    use mcr_core::obs::Timestamps;
+    if !req.any() {
+        return f();
+    }
+    let guard = mcr_core::obs::install();
+    let out = f();
+    let report = guard.finish();
+    if let Some(path) = &req.trace_out {
+        std::fs::write(path, report.trace_jsonl(Timestamps::Wall))
+            .map_err(|e| CliError::Input(format!("writing trace to {path}: {e}")))?;
+    }
+    if let Some(path) = &req.metrics_out {
+        std::fs::write(path, report.metrics_jsonl(Timestamps::Wall))
+            .map_err(|e| CliError::Input(format!("writing metrics to {path}: {e}")))?;
+    }
+    if req.summary {
+        print!("{}", report.summary(Timestamps::Wall));
+    }
+    out
+}
+
+/// Without the `obs` feature the observability flags fail loudly:
+/// recording code is compiled out of this binary, so honoring the flag
+/// by writing an empty file would be silent data loss.
+#[cfg(not(feature = "obs"))]
+fn with_obs<T>(
+    req: &ObsRequest,
+    f: impl FnOnce() -> Result<T, CliError>,
+) -> Result<T, CliError> {
+    if req.any() {
+        return Err(CliError::Input(
+            "this build has no observability support; rebuild with \
+             `cargo build -p mcr-cli --features obs` to use --trace-out, \
+             --metrics-out, or --summary"
+                .to_string(),
+        ));
+    }
+    f()
 }
 
 /// Arms a detached watchdog thread that cancels the returned token
@@ -509,11 +588,12 @@ const USAGE: &str = "usage: mcr <solve|gen|dot|bench> ...  (see crate docs for f
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let args = Args::parse(&raw);
+    let obs_req = ObsRequest::from_args(&args);
     let result = match args.positional.first().map(|s| s.as_str()) {
-        Some("solve") => cmd_solve(&args),
+        Some("solve") => with_obs(&obs_req, || cmd_solve(&args)),
         Some("gen") => cmd_gen(&args).map_err(CliError::Input),
         Some("dot") => cmd_dot(&args).map_err(CliError::Input),
-        Some("bench") => cmd_bench(&args),
+        Some("bench") => with_obs(&obs_req, || cmd_bench(&args)),
         _ => Err(CliError::Input(USAGE.to_string())),
     };
     match result {

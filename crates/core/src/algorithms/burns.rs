@@ -244,6 +244,7 @@ pub(crate) fn solve_scc(
     let cap = 4 * (n as u64) * (n as u64) + 1_000;
     let mut rounds = 0u64;
     let mut slack = vec![Rat::ZERO; g.num_arcs()];
+    scope.loop_metrics("core.burns.exact.phase");
     loop {
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;
@@ -375,6 +376,7 @@ pub(crate) fn solve_scc_f64(
     let cap = 4 * (n as u64) * (n as u64) + 1_000;
     let mut rounds = 0u64;
     let mut slack = vec![0f64; g.num_arcs()];
+    scope.loop_metrics("core.burns.phase");
     loop {
         counters.iterations += 1;
         scope.tick_iteration_and_time()?;

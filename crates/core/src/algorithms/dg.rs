@@ -33,6 +33,7 @@ pub(crate) fn lambda_scc(
     // touched[v] == k means v already joined level k's frontier.
     let mut touched = vec![u32::MAX; n];
     touched[0] = 0;
+    scope.loop_metrics("core.dg.level");
     for k in 1..=idx32(n) {
         scope.tick_iteration_and_time()?;
         scope.chaos_check("core.dg.level")?;

@@ -123,6 +123,7 @@ fn run(
     let mut best_mu: Option<Ratio64> = None;
     let mut best_cycle: Vec<ArcId> = Vec::new();
 
+    scope.loop_metrics("core.ho.level");
     for k in 1..=n {
         scope.tick_iteration_and_time()?;
         scope.chaos_check("core.ho.level")?;

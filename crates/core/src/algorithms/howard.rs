@@ -204,6 +204,7 @@ pub(crate) fn solve_scc_fig1_ckpt(
     }
     let cap = iteration_cap(n);
     let mut rounds = 0u64;
+    scope.loop_metrics("core.howard.fig1.improve");
     loop {
         counters.iterations += 1;
         if let Err(e) = scope
@@ -334,6 +335,7 @@ pub(crate) fn solve_scc_exact_ckpt(
     d.resize(n, 0);
     let cap = iteration_cap(n);
     let mut rounds = 0u64;
+    scope.loop_metrics("core.howard.exact.improve");
     loop {
         counters.iterations += 1;
         if let Err(e) = scope

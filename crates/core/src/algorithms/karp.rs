@@ -35,6 +35,7 @@ pub(crate) fn fill_table(
     let m = g.num_arcs();
     let mut d = vec![INF; (n + 1) * n];
     d[0] = 0; // D_0(source) with source = node 0.
+    scope.loop_metrics("core.karp.level");
     for k in 1..=n {
         scope.tick_iteration_and_time()?;
         scope.chaos_check("core.karp.level")?;

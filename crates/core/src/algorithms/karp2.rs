@@ -46,6 +46,7 @@ pub(crate) fn lambda_scc(
     prev[0] = 0;
 
     // Pass 1: D_n only.
+    scope.loop_metrics("core.karp2.level");
     for _k in 1..=n {
         scope.tick_iteration_and_time()?;
         scope.chaos_check("core.karp2.level")?;

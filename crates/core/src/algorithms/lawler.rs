@@ -101,6 +101,7 @@ pub(crate) fn solve_scc_eps_ckpt(
     let (wlo, whi) = weight_bounds(g);
     let (mut lo, mut hi) = restore_interval(resume, wlo, whi).unwrap_or((wlo, whi));
     // Invariants: λ* ≥ lo, λ* ≤ hi.
+    scope.loop_metrics("core.lawler.bisect");
     while (hi - lo).to_f64() > epsilon && hi.denom() < i64::MAX / 4 {
         counters.iterations += 1;
         if let Err(e) = scope
@@ -155,6 +156,7 @@ pub(crate) fn solve_scc_exact_ckpt(
     // Cycle means have denominator ≤ n; an open interval shorter than
     // 1/(n(n−1)) contains at most one of them.
     let target = Ratio64::new(1, (n * (n - 1)).max(1) + 1);
+    scope.loop_metrics("core.lawler.exact.bisect");
     while hi - lo >= target {
         counters.iterations += 1;
         if let Err(e) = scope

@@ -133,6 +133,7 @@ pub(crate) fn solve_scc(
 
     // Symbolic Bellman–Ford from an implicit super-source.
     let mut dist = vec![Lin { a: 0, b: 0 }; n];
+    scope.loop_metrics("core.megiddo.resolve");
     for _round in 0..=n {
         if iv.pinned {
             break;

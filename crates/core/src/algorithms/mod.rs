@@ -114,7 +114,11 @@ fn run_fallback_chain(
     deadline: Option<Instant>,
 ) -> Result<SccOutcome, SolveError> {
     let mut last_err = None;
+    let mut hop_from: Option<Algorithm> = None;
     for &alg in chain {
+        if let Some(from) = hop_from.take() {
+            crate::obs::fallback_hop(job, from.name(), alg.name());
+        }
         let mut scope =
             BudgetScope::new(&opts.budget, deadline, alg).with_cancel(opts.cancel.clone());
         ws.begin_use();
@@ -122,12 +126,19 @@ fn run_fallback_chain(
             .checkpoints
             .as_ref()
             .and_then(|store| store.get(job as u64, alg));
+        if resume.is_some() {
+            crate::obs::checkpoint_resumed(job, alg.name());
+        }
+        crate::obs::attempt_start(job, alg.name());
         let mut saved = None;
         let attempt = scope.chaos_check("core.fallback.attempt").and_then(|()| {
             solve_scc_resumable(alg, sub, counters, epsilon, ws, &mut scope, resume.as_ref(), &mut saved)
         });
+        // Flush any pending loop-site metrics before the attempt events.
+        drop(scope);
         match attempt {
             Ok(outcome) => {
+                crate::obs::attempt_end(job, alg.name(), "ok");
                 ws.end_use();
                 if let Some(store) = &opts.checkpoints {
                     store.clear(job as u64);
@@ -137,10 +148,13 @@ fn run_fallback_chain(
             // A failed attempt leaves the workspace poisoned; the next
             // begin_use resets it before reuse.
             Err(err) => {
+                crate::obs::attempt_end(job, alg.name(), err.kind());
                 if let (Some(store), Some(progress)) = (&opts.checkpoints, saved) {
+                    crate::obs::checkpoint_saved(job, alg.name());
                     store.save(job as u64, alg, progress);
                 }
                 if err.is_recoverable() {
+                    hop_from = Some(alg);
                     last_err = Some(err);
                 } else {
                     return Err(err);
@@ -325,6 +339,20 @@ impl Algorithm {
     /// λ-refinement allowance, but all attempts share the solve-wide
     /// wall-clock deadline.
     pub fn solve_with_options(self, g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+        crate::obs::solve_start(self.name(), g, opts.effective_threads());
+        let result = self.solve_with_options_inner(g, opts);
+        match &result {
+            Ok(sol) => crate::obs::solve_end_ok(&sol.lambda, sol.solved_by.name(), &sol.counters),
+            Err(err) => crate::obs::solve_end_err(err.kind()),
+        }
+        result
+    }
+
+    fn solve_with_options_inner(
+        self,
+        g: &Graph,
+        opts: &SolveOptions,
+    ) -> Result<Solution, SolveError> {
         let epsilon = match opts.epsilon {
             Some(e) if e > 0.0 && e.is_finite() => e,
             Some(e) => return Err(SolveError::InvalidEpsilon { epsilon: e }),
@@ -357,6 +385,20 @@ impl Algorithm {
         g: &Graph,
         opts: &SolveOptions,
     ) -> Result<(Ratio64, Counters), SolveError> {
+        crate::obs::solve_start(self.name(), g, opts.effective_threads());
+        let result = self.solve_lambda_only_opts_inner(g, opts);
+        match &result {
+            Ok((lambda, counters)) => crate::obs::solve_end_ok(lambda, self.name(), counters),
+            Err(err) => crate::obs::solve_end_err(err.kind()),
+        }
+        result
+    }
+
+    fn solve_lambda_only_opts_inner(
+        self,
+        g: &Graph,
+        opts: &SolveOptions,
+    ) -> Result<(Ratio64, Counters), SolveError> {
         let deadline = opts.budget.deadline();
         let scoped =
             |f: fn(&Graph, &mut Counters, &mut BudgetScope) -> Result<Ratio64, SolveError>| {
@@ -371,8 +413,10 @@ impl Algorithm {
             Algorithm::Karp2 => solve_value_per_scc_opts(g, opts, scoped(karp2::lambda_scc)),
             Algorithm::Dg => solve_value_per_scc_opts(g, opts, scoped(dg::lambda_scc)),
             Algorithm::Ho => solve_value_per_scc_opts(g, opts, scoped(ho::lambda_scc)),
+            // The inner variant, so the solve span opened above is not
+            // doubled by the delegation.
             other => other
-                .solve_with_options(g, opts)
+                .solve_with_options_inner(g, opts)
                 .map(|s| (s.lambda, s.counters)),
         }
     }

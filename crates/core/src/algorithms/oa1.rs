@@ -66,6 +66,7 @@ pub(crate) fn solve_scc(
     let mut hi = Ratio64::from(g.max_weight().expect("component has arcs"));
     let mut best: Option<(Ratio64, Vec<ArcId>)> = None;
 
+    scope.loop_metrics("core.oa1.refine");
     while (hi - lo).to_f64() > epsilon {
         // Denominators grow by a factor ~16n per phase; stop scaling
         // once they threaten i64 and fall back to the witness bound.

@@ -254,6 +254,7 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
                     heap.push(e.index(), ev);
                 }
             }
+            scope.loop_metrics("core.ko-yto.pivot");
             let outcome = loop {
                 let (ei, lam) = heap.pop_min().ok_or(SolveError::NumericRange {
                     context: "KO event queue drained before a cycle event",
@@ -296,6 +297,7 @@ pub(crate) fn solve_scc_with<H: AddressableHeap<Ratio64>>(
             for v in 0..n {
                 recompute_node(&tree, &mut heap, &mut best_arc, v);
             }
+            scope.loop_metrics("core.ko-yto.pivot");
             let outcome = loop {
                 let (vi, lam) = heap.pop_min().ok_or(SolveError::NumericRange {
                     context: "YTO event queue drained before a cycle event",

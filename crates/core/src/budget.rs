@@ -128,6 +128,15 @@ pub struct BudgetScope {
     polls_until_clock: Cell<u32>,
     /// When the clock was last read, for stride adaptation.
     last_clock: Cell<Option<Instant>>,
+    /// Loop site currently charging this scope (see
+    /// [`loop_metrics`](BudgetScope::loop_metrics)); flushed to the
+    /// metrics registry on the next mark or on drop. `Cell`s so the
+    /// `&self` helpers (Bellman rounds) can mark too.
+    obs_site: Cell<Option<&'static str>>,
+    /// `iters_spent` at the moment the current site was marked.
+    obs_iters_mark: Cell<u64>,
+    /// `refines_spent` at the moment the current site was marked.
+    obs_refines_mark: Cell<u64>,
 }
 
 impl BudgetScope {
@@ -144,6 +153,9 @@ impl BudgetScope {
             poll_stride: Cell::new(1),
             polls_until_clock: Cell::new(0),
             last_clock: Cell::new(None),
+            obs_site: Cell::new(None),
+            obs_iters_mark: Cell::new(0),
+            obs_refines_mark: Cell::new(0),
         }
     }
 
@@ -173,6 +185,47 @@ impl BudgetScope {
     /// dispatch to a helper algorithm internally).
     pub fn set_algorithm(&mut self, algorithm: Algorithm) {
         self.algorithm = algorithm;
+    }
+
+    /// Outer-loop iterations charged against this scope so far.
+    pub fn iters_spent(&self) -> u64 {
+        self.iters_spent
+    }
+
+    /// λ-refinement steps charged against this scope so far.
+    pub fn refines_spent(&self) -> u64 {
+        self.refines_spent
+    }
+
+    /// Marks the budgeted loop named `site` (a chaos-site name like
+    /// `"core.karp.level"`) as the current charge attribution for this
+    /// scope. With the `obs` feature on and a recorder installed, the
+    /// charges accumulated between this mark and the next one (or the
+    /// scope's drop) are recorded as `loop.<site>.iterations` /
+    /// `loop.<site>.refinements`, plus a `loop.<site>.visits` count —
+    /// delta-based, so helpers sharing the scope never double-count.
+    /// Without the feature this is one `Cell` store. Lint rule MCRL006
+    /// requires this mark in every algorithm loop that ticks a scope.
+    #[inline]
+    pub fn loop_metrics(&self, site: &'static str) {
+        self.flush_loop_metrics();
+        self.obs_site.set(Some(site));
+        self.obs_iters_mark.set(self.iters_spent);
+        self.obs_refines_mark.set(self.refines_spent);
+    }
+
+    /// Reports the charges since the last [`loop_metrics`]
+    /// (BudgetScope::loop_metrics) mark to the registry and clears the
+    /// mark. Saturating subtraction, since a clone of a marked scope
+    /// restarts its own charge counters.
+    fn flush_loop_metrics(&self) {
+        if let Some(site) = self.obs_site.take() {
+            crate::obs::loop_flush(
+                site,
+                self.iters_spent.saturating_sub(self.obs_iters_mark.get()),
+                self.refines_spent.saturating_sub(self.obs_refines_mark.get()),
+            );
+        }
     }
 
     /// Charges one outer-loop iteration; errs when the cap is reached.
@@ -211,6 +264,7 @@ impl BudgetScope {
     pub fn check_time(&self) -> Result<(), SolveError> {
         if let Some(token) = &self.cancel {
             if token.is_cancelled() {
+                crate::obs::cancel_observed(self.algorithm.name());
                 return Err(SolveError::Cancelled);
             }
         }
@@ -271,12 +325,25 @@ impl BudgetScope {
     pub fn chaos_check(&self, site: &'static str) -> Result<(), SolveError> {
         use mcr_chaos::FaultKind;
         match mcr_chaos::hit(site) {
-            None | Some(FaultKind::Delay { .. }) => Ok(()),
+            None => Ok(()),
+            Some(FaultKind::Delay { .. }) => {
+                crate::obs::fault_injected(site, "delay");
+                Ok(())
+            }
             Some(FaultKind::BudgetExhaust) => {
+                crate::obs::fault_injected(site, "budget-exhaust");
                 Err(self.exhausted(BudgetResource::Iterations, self.iters_spent))
             }
-            Some(FaultKind::Overflow) => Err(SolveError::Overflow { context: site }),
-            Some(FaultKind::NumericRange) | Some(FaultKind::Transient) => {
+            Some(FaultKind::Overflow) => {
+                crate::obs::fault_injected(site, "overflow");
+                Err(SolveError::Overflow { context: site })
+            }
+            Some(FaultKind::NumericRange) => {
+                crate::obs::fault_injected(site, "numeric-range");
+                Err(SolveError::NumericRange { context: site })
+            }
+            Some(FaultKind::Transient) => {
+                crate::obs::fault_injected(site, "transient");
                 Err(SolveError::NumericRange { context: site })
             }
         }
@@ -303,6 +370,15 @@ impl BudgetScope {
             resource,
             spent,
         }
+    }
+}
+
+impl Drop for BudgetScope {
+    /// Flushes a pending [`loop_metrics`](BudgetScope::loop_metrics)
+    /// mark, so loops that exit through `?` (budget exhaustion,
+    /// cancellation, chaos faults) still report their charges.
+    fn drop(&mut self) {
+        self.flush_loop_metrics();
     }
 }
 

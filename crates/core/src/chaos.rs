@@ -45,7 +45,20 @@ pub use mcr_chaos::{
 #[cfg(feature = "chaos")]
 #[inline]
 pub(crate) fn pulse(site: &'static str) {
-    let _ = mcr_chaos::hit(site);
+    if let Some(kind) = mcr_chaos::hit(site) {
+        // With `obs` also enabled, even faults on unit sites (which
+        // have no error path) become trace events.
+        crate::obs::fault_injected(
+            site,
+            match kind {
+                mcr_chaos::FaultKind::Delay { .. } => "delay",
+                mcr_chaos::FaultKind::BudgetExhaust => "budget-exhaust",
+                mcr_chaos::FaultKind::Overflow => "overflow",
+                mcr_chaos::FaultKind::NumericRange => "numeric-range",
+                mcr_chaos::FaultKind::Transient => "transient",
+            },
+        );
+    }
 }
 
 /// Compiled-out unit failpoint: nothing at all.

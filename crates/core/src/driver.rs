@@ -100,7 +100,7 @@ fn run_jobs<R: Send>(
             .enumerate()
             .map(|(i, j)| {
                 crate::chaos::pulse("core.driver.job");
-                solve(i, &j.sub, &mut counters, &mut ws)
+                crate::obs::job_span(i, &j.sub, || solve(i, &j.sub, &mut counters, &mut ws))
             })
             .collect();
         return (results, counters);
@@ -122,7 +122,9 @@ fn run_jobs<R: Send>(
                             break; // queue drained
                         };
                         crate::chaos::pulse("core.driver.job");
-                        let r = solve(i, &job.sub, &mut local, &mut ws);
+                        let r = crate::obs::job_span(i, &job.sub, || {
+                            solve(i, &job.sub, &mut local, &mut ws)
+                        });
                         done.push((i, r));
                     }
                     (local, done)

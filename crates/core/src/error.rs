@@ -112,6 +112,22 @@ impl SolveError {
                 | SolveError::NumericRange { .. }
         )
     }
+
+    /// A short stable kebab-case tag for the variant, used as the
+    /// `error` field of `mcr-trace v1` events and by machine-readable
+    /// CLI output. Part of the trace schema: renaming one is a schema
+    /// version bump.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SolveError::Acyclic => "acyclic",
+            SolveError::BudgetExhausted { .. } => "budget-exhausted",
+            SolveError::Overflow { .. } => "overflow",
+            SolveError::ZeroTransitCycle => "zero-transit-cycle",
+            SolveError::InvalidEpsilon { .. } => "invalid-epsilon",
+            SolveError::NumericRange { .. } => "numeric-range",
+            SolveError::Cancelled => "cancelled",
+        }
+    }
 }
 
 impl fmt::Display for SolveError {

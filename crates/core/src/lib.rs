@@ -65,6 +65,7 @@ mod driver;
 pub mod error;
 pub mod instrument;
 pub mod maximum;
+pub mod obs;
 pub mod options;
 pub mod ratio;
 pub mod rational;

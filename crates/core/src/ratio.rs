@@ -64,11 +64,17 @@ pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
 /// plus the work [`Budget`](crate::Budget); the fallback chain does not
 /// apply to the algorithm-specific ratio entry points).
 pub fn howard_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    crate::obs::solve_start(Algorithm::HowardExact.name(), g, opts.effective_threads());
     let deadline = opts.budget.deadline();
-    solve_per_scc_opts(g, opts, |_job, s, c, ws| {
+    let result = solve_per_scc_opts(g, opts, |_job, s, c, ws| {
         let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::HowardExact);
         crate::algorithms::howard::solve_scc_exact(s, c, ws, &mut scope)
-    })
+    });
+    match &result {
+        Ok(sol) => crate::obs::solve_end_ok(&sol.lambda, sol.solved_by.name(), &sol.counters),
+        Err(err) => crate::obs::solve_end_err(err.kind()),
+    }
+    result
 }
 
 /// Minimum cycle ratio with the paper's Figure-1 Howard (ε-terminated).
@@ -158,11 +164,17 @@ pub fn lawler_ratio_exact(g: &Graph) -> Option<Solution> {
 /// [`lawler_ratio_exact`] with explicit [`SolveOptions`] (threads and
 /// budget; no fallback chain on the ratio entry points).
 pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
+    crate::obs::solve_start(Algorithm::LawlerExact.name(), g, opts.effective_threads());
     let deadline = opts.budget.deadline();
-    solve_per_scc_opts(g, opts, |_job, s, c, ws| {
+    let result = solve_per_scc_opts(g, opts, |_job, s, c, ws| {
         let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::LawlerExact);
         ratio_bisection(s, c, None, ws, &mut scope)
-    })
+    });
+    match &result {
+        Ok(sol) => crate::obs::solve_end_ok(&sol.lambda, sol.solved_by.name(), &sol.counters),
+        Err(err) => crate::obs::solve_end_err(err.kind()),
+    }
+    result
 }
 
 /// Every bisection step charges an iteration and a λ-refinement, like
@@ -194,6 +206,7 @@ fn ratio_bisection(
         Some(_) => None,
         None => Some(Ratio64::new(1, t_bound.saturating_mul(t_bound - 1).max(1) + 1)),
     };
+    scope.loop_metrics("core.ratio.bisect");
     loop {
         let width = hi - lo;
         let done = match epsilon {

@@ -1,0 +1,141 @@
+//! Seeded differential suite over the two benchmark generator classes:
+//! every Table-2 algorithm must report the same λ* as the exact
+//! rational brute-force reference on 100+ SPRAND and 100+ circuit-like
+//! graphs, at 1, 2, and 8 worker threads — and under a one-iteration
+//! budget every algorithm either still answers correctly or fails with
+//! a typed error, never a wrong answer.
+//!
+//! This complements `differential_properties.rs` (proptest over
+//! arbitrary adversarial digraphs): here the inputs are the *benchmark
+//! distributions* the experiments run on, the seeds are fixed, and the
+//! thread sweep pins the parallel driver's determinism contract on
+//! every one of them.
+
+use mcr_core::reference::brute_force_min_mean;
+use mcr_core::{Algorithm, Budget, Ratio64, SolveError, SolveOptions};
+use mcr_gen::circuit::{circuit_graph, CircuitConfig};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_graph::Graph;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+const GRAPHS_PER_CLASS: u64 = 100;
+
+/// Tight enough that on these small integer-weight instances every
+/// approximate algorithm is forced onto the optimum cycle exactly
+/// (cycle-mean gaps here are ≥ 1/(12·11)).
+const TIGHT_EPSILON: f64 = 1e-7;
+
+/// 100 small SPRAND instances: n cycles through 4..=11, m ≈ 2n, the
+/// generator's default weight distribution.
+fn sprand_class() -> impl Iterator<Item = (String, Graph)> {
+    (0..GRAPHS_PER_CLASS).map(|seed| {
+        let n = 4 + (seed as usize % 8);
+        let m = 2 * n;
+        let g = sprand(&SprandConfig::new(n, m).seed(seed));
+        (format!("sprand(n={n},m={m},seed={seed})"), g)
+    })
+}
+
+/// 100 small circuit-like instances: 4..=11 gates, one register
+/// feedback loop, the generator's default delay distribution.
+fn circuit_class() -> impl Iterator<Item = (String, Graph)> {
+    (0..GRAPHS_PER_CLASS).map(|seed| {
+        let gates = 4 + (seed as usize % 8);
+        let g = circuit_graph(&CircuitConfig::new(gates).seed(seed));
+        (format!("circuit(gates={gates},seed={seed})"), g)
+    })
+}
+
+/// Asserts every Table-2 algorithm matches the brute-force λ* on `g`
+/// at every thread count (or, on an acyclic input, reports
+/// [`SolveError::Acyclic`]).
+fn assert_class_agrees(instances: impl Iterator<Item = (String, Graph)>) {
+    let mut cyclic = 0u64;
+    for (label, g) in instances {
+        let reference: Option<Ratio64> = brute_force_min_mean(&g).map(|(lam, _)| lam);
+        cyclic += u64::from(reference.is_some());
+        for alg in Algorithm::TABLE2 {
+            for threads in THREADS {
+                let opts = SolveOptions::new().threads(threads).epsilon(TIGHT_EPSILON);
+                let tag = format!("{label}/{}/threads={threads}", alg.name());
+                match (reference, alg.solve_with_options(&g, &opts)) {
+                    (Some(expected), Ok(sol)) => {
+                        assert_eq!(sol.lambda, expected, "{tag}: lambda");
+                        assert!(mcr_core::certify(&sol, &g).is_ok(), "{tag}: certification");
+                    }
+                    (None, Err(SolveError::Acyclic)) => {}
+                    (Some(_), Err(e)) => panic!("{tag}: unexpected failure: {e}"),
+                    (None, Ok(sol)) => {
+                        panic!("{tag}: answered {} on an acyclic graph", sol.lambda)
+                    }
+                    (None, Err(e)) => panic!("{tag}: wrong acyclic error: {e}"),
+                }
+            }
+        }
+    }
+    // The classes are meant to exercise real solves: almost every
+    // instance must actually contain a cycle.
+    assert!(
+        cyclic >= GRAPHS_PER_CLASS * 9 / 10,
+        "only {cyclic} of {GRAPHS_PER_CLASS} instances were cyclic"
+    );
+}
+
+#[test]
+fn sprand_class_agrees_with_reference_at_every_thread_count() {
+    assert_class_agrees(sprand_class());
+}
+
+#[test]
+fn circuit_class_agrees_with_reference_at_every_thread_count() {
+    assert_class_agrees(circuit_class());
+}
+
+/// Under a one-iteration budget (no fallback) an algorithm may still
+/// finish — tiny SCCs can converge in one step — but if it answers, the
+/// answer must be λ*, and if it fails, the failure must be the typed
+/// budget/overflow family, never a silent wrong value.
+fn assert_budgeted_never_wrong(instances: impl Iterator<Item = (String, Graph)>) {
+    let mut exhausted = 0u64;
+    for (label, g) in instances {
+        let reference: Option<Ratio64> = brute_force_min_mean(&g).map(|(lam, _)| lam);
+        for alg in Algorithm::TABLE2 {
+            for threads in THREADS {
+                let opts = SolveOptions::new()
+                    .threads(threads)
+                    .epsilon(TIGHT_EPSILON)
+                    .budget(Budget::default().max_iterations(1));
+                let tag = format!("{label}/{}/threads={threads}", alg.name());
+                match alg.solve_with_options(&g, &opts) {
+                    Ok(sol) => {
+                        let expected = reference
+                            .unwrap_or_else(|| panic!("{tag}: answered on acyclic input"));
+                        assert_eq!(sol.lambda, expected, "{tag}: budgeted answer is wrong");
+                    }
+                    Err(SolveError::BudgetExhausted { .. }) => exhausted += 1,
+                    Err(SolveError::Acyclic) => {
+                        assert!(reference.is_none(), "{tag}: spurious Acyclic")
+                    }
+                    // The remaining typed errors are legitimate refusals
+                    // (e.g. numeric range on a degenerate instance) —
+                    // what must never happen is a wrong Ok.
+                    Err(_) => {}
+                }
+            }
+        }
+    }
+    assert!(
+        exhausted > 0,
+        "the one-iteration budget never fired, so the test is vacuous"
+    );
+}
+
+#[test]
+fn sprand_class_one_iteration_budget_is_typed_never_wrong() {
+    assert_budgeted_never_wrong(sprand_class());
+}
+
+#[test]
+fn circuit_class_one_iteration_budget_is_typed_never_wrong() {
+    assert_budgeted_never_wrong(circuit_class());
+}

@@ -1,0 +1,52 @@
+//! Obs-off contract: built **without** `--features obs` (the default),
+//! every recording hook compiles to an inlined no-op — no spans, no
+//! registry, no formatting work on any solve path. The stronger
+//! link-level assertion — `mcr-obs` absent from the dependency graph
+//! entirely — lives in `scripts/ci.sh` (`cargo tree`), exactly like the
+//! `mcr-chaos` contract.
+
+#![cfg(not(feature = "obs"))]
+
+use mcr_core::{Algorithm, Budget, FallbackChain, SolveOptions};
+use mcr_graph::graph::from_arc_list;
+
+#[test]
+#[allow(clippy::assertions_on_constants)]
+fn default_build_compiles_obs_out() {
+    assert!(
+        !cfg!(feature = "obs"),
+        "this suite only runs in the obs-off configuration"
+    );
+}
+
+#[test]
+fn production_paths_run_normally_without_the_recorder() {
+    // Exercises every layer that carries a recording hook — solve
+    // spans, the per-SCC driver's job spans, fallback-chain attempt
+    // events, budget-scope loop marks — in the compiled-out
+    // configuration, including the BudgetScope::drop flush path that
+    // fires on both success and typed-error exits.
+    let g = from_arc_list(
+        5,
+        &[(0, 1, 5), (1, 0, 5), (1, 2, 1), (2, 3, 1), (3, 4, 2), (4, 2, 3)],
+    );
+    for alg in Algorithm::ALL {
+        let sol = alg
+            .solve_with_options(
+                &g,
+                &SolveOptions::new()
+                    .budget(Budget::default().max_iterations(10_000))
+                    .fallback(FallbackChain::default()),
+            )
+            .expect("cyclic");
+        assert_eq!(sol.lambda, mcr_core::Ratio64::from(2), "{}", alg.name());
+    }
+    // A one-iteration budget exercises the error exits (checkpoint
+    // save, attempt.end with an error kind) with the hooks stubbed out.
+    for alg in Algorithm::ALL {
+        let _ = alg.solve_with_options(
+            &g,
+            &SolveOptions::new().budget(Budget::default().max_iterations(1)),
+        );
+    }
+}

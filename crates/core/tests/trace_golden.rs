@@ -1,0 +1,149 @@
+//! Golden snapshots of the `mcr-trace v1` observability output
+//! (`--features obs` only): the normalized trace JSONL, metrics JSONL,
+//! and `--summary` table of a fixed two-solve scenario are pinned
+//! byte-for-byte, and must come out identical at 1, 2, and 8 worker
+//! threads. A schema guard ties the goldens to `TRACE_SCHEMA_VERSION`
+//! so any wire-format change is a deliberate, documented bump.
+//!
+//! Regenerate after an intentional format change with:
+//! `UPDATE_GOLDENS=1 cargo test -p mcr-core --features obs --test trace_golden`
+
+#![cfg(feature = "obs")]
+
+use mcr_core::checkpoint::CheckpointStore;
+use mcr_core::obs::{install, Timestamps, TRACE_SCHEMA, TRACE_SCHEMA_VERSION};
+use mcr_core::{Algorithm, Budget, FallbackChain, SolveOptions};
+use mcr_graph::graph::from_arc_list;
+use mcr_graph::Graph;
+
+/// Two cyclic SCCs (means 5 and 2) plus a connecting arc: the driver
+/// runs two jobs, in a stable Tarjan order.
+fn two_scc_graph() -> Graph {
+    from_arc_list(
+        5,
+        &[(0, 1, 5), (1, 0, 5), (1, 2, 1), (2, 3, 1), (3, 4, 2), (4, 2, 3)],
+    )
+}
+
+/// The pinned scenario: one clean solve, then one solve whose primary
+/// exhausts a one-iteration budget and falls back — covering solve,
+/// job, attempt, checkpoint.save, and fallback.hop events.
+fn run_scenario(threads: usize) -> mcr_core::obs::Report {
+    let g = two_scc_graph();
+    let guard = install();
+    Algorithm::HowardExact
+        .solve_with_options(&g, &SolveOptions::new().threads(threads))
+        .expect("cyclic");
+    let _ = Algorithm::Lawler.solve_with_options(
+        &g,
+        &SolveOptions::new()
+            .threads(threads)
+            .budget(Budget::default().max_iterations(1))
+            .fallback(FallbackChain::new(&[Algorithm::Karp]))
+            .checkpoints(CheckpointStore::new()),
+    );
+    guard.finish()
+}
+
+fn golden_path(name: &str) -> std::path::PathBuf {
+    std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/goldens")
+        .join(name)
+}
+
+/// Compares `actual` against the committed golden, or rewrites the
+/// golden when `UPDATE_GOLDENS` is set.
+fn assert_golden(name: &str, actual: &str) {
+    let path = golden_path(name);
+    if std::env::var_os("UPDATE_GOLDENS").is_some() {
+        std::fs::create_dir_all(path.parent().expect("goldens dir has a parent"))
+            .expect("create goldens dir");
+        std::fs::write(&path, actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e}\nregenerate with UPDATE_GOLDENS=1 \
+             cargo test -p mcr-core --features obs --test trace_golden",
+            path.display()
+        )
+    });
+    assert_eq!(
+        actual,
+        expected,
+        "{name} drifted from its golden; if the change is intentional, bump \
+         TRACE_SCHEMA_VERSION when the wire format changed and regenerate with \
+         UPDATE_GOLDENS=1 cargo test -p mcr-core --features obs --test trace_golden"
+    );
+}
+
+/// The one field that legitimately varies with the worker count is the
+/// `solve.start` event's own `"threads"` attribute; rewrite it to the
+/// baseline's so everything else can be compared byte-for-byte.
+fn pin_thread_field(trace: &str, threads: usize) -> String {
+    trace.replace(
+        &format!("\"threads\":{threads}}}"),
+        "\"threads\":1}",
+    )
+}
+
+#[test]
+fn normalized_trace_matches_golden_at_every_thread_count() {
+    let baseline = run_scenario(1).trace_jsonl(Timestamps::Normalized);
+    assert_golden("trace_two_solves.jsonl", &baseline);
+    for threads in [2usize, 8] {
+        let trace = run_scenario(threads).trace_jsonl(Timestamps::Normalized);
+        assert_eq!(
+            pin_thread_field(&trace, threads),
+            baseline,
+            "normalized trace differs between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn normalized_metrics_match_golden_at_every_thread_count() {
+    let baseline = run_scenario(1).metrics_jsonl(Timestamps::Normalized);
+    assert_golden("metrics_two_solves.jsonl", &baseline);
+    for threads in [2usize, 8] {
+        let metrics = run_scenario(threads).metrics_jsonl(Timestamps::Normalized);
+        assert_eq!(
+            metrics, baseline,
+            "normalized metrics differ between 1 and {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn normalized_summary_matches_golden() {
+    let summary = run_scenario(1).summary(Timestamps::Normalized);
+    assert_golden("summary_two_solves.txt", &summary);
+}
+
+#[test]
+fn schema_version_bump_requires_regenerating_goldens() {
+    // The goldens in tests/goldens/ encode wire format version 1. If
+    // this assertion fails you changed the schema version: update the
+    // `v<N>` suffix in TRACE_SCHEMA/METRICS_SCHEMA, regenerate the
+    // goldens (UPDATE_GOLDENS=1, command in the module docs), describe
+    // the migration in DESIGN.md ("Observability"), and only then bump
+    // the number here.
+    assert_eq!(
+        TRACE_SCHEMA_VERSION, 1,
+        "mcr-trace schema version changed — see this test's comment for the \
+         required migration steps"
+    );
+    assert!(
+        TRACE_SCHEMA.ends_with(&format!("v{TRACE_SCHEMA_VERSION}")),
+        "TRACE_SCHEMA string and TRACE_SCHEMA_VERSION fell out of sync"
+    );
+    // Every golden line must carry the schema tag, so consumers can
+    // reject files from a different version with a clear error.
+    let trace = run_scenario(1).trace_jsonl(Timestamps::Normalized);
+    for line in trace.lines() {
+        assert!(
+            line.contains(&format!("\"schema\":\"{TRACE_SCHEMA}\"")),
+            "trace line missing schema tag: {line}"
+        );
+    }
+}

@@ -9,6 +9,9 @@
 //!
 //! * **MCRL000** (malformed allowlist comment): every scanned file.
 //! * **MCRL001** (budget/cancellation coverage): `crates/core/src/algorithms/`.
+//! * **MCRL006** (obs loop-metrics coverage): same scope as MCRL001 —
+//!   a loop that charges a `BudgetScope` must also register itself with
+//!   the metrics registry via `scope.loop_metrics("<site>")`.
 //! * **MCRL002** (chaos manifest): site *uses* are collected from every
 //!   scanned file; the manifest must be duplicate-free, every use must
 //!   be declared, and every declaration must be used.
@@ -102,6 +105,7 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
         rules::check_allow_syntax(&rel, &scanned, &mut diagnostics);
         if rel.starts_with("crates/core/src/algorithms/") {
             rules::check_budget_coverage(&rel, &scanned, &mut diagnostics);
+            rules::check_obs_coverage(&rel, &scanned, &mut diagnostics);
         }
         rules::collect_chaos_uses(&rel, &scanned, &mut uses);
         if rel.starts_with("crates/core/src/") {

@@ -1,4 +1,4 @@
-//! The five workspace contract rules.
+//! The six workspace contract rules.
 //!
 //! | id      | allow tag        | contract                                              |
 //! |---------|------------------|-------------------------------------------------------|
@@ -7,6 +7,7 @@
 //! | MCRL003 | `float-eq`       | no bare `==`/`!=` on `f64` expressions in solver code |
 //! | MCRL004 | `narrowing-cast` | no narrowing `as` casts in graph/core hot paths       |
 //! | MCRL005 | `panic`          | parser/solver/driver/fallback layers are panic-free   |
+//! | MCRL006 | `obs`            | budget-charging algorithm loops register loop metrics |
 //!
 //! MCRL000 reports a malformed `// lint: allow(...)` comment (typos in
 //! the allowlist must never silently disable a rule).
@@ -14,7 +15,14 @@
 use crate::scan::{Scanned, TokKind, Token};
 
 /// Rule tags accepted inside `// lint: allow(<tag>) reason=...`.
-pub const KNOWN_ALLOW_TAGS: [&str; 5] = ["budget", "chaos", "float-eq", "narrowing-cast", "panic"];
+pub const KNOWN_ALLOW_TAGS: [&str; 6] = [
+    "budget",
+    "chaos",
+    "float-eq",
+    "narrowing-cast",
+    "panic",
+    "obs",
+];
 
 /// One finding, position included.
 #[derive(Clone, Debug)]
@@ -155,6 +163,78 @@ pub fn check_budget_coverage(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>)
             }
         }
         // Continue scanning inside the body too (nested fns).
+        i += 1;
+    }
+}
+
+/// MCRL006: every function in `crates/core/src/algorithms/` whose loop
+/// charges a [`BudgetScope`] must also register the loop with the
+/// observability metrics registry via `scope.loop_metrics("<site>")`,
+/// so `--features obs` builds report `loop.<site>.*` counters for every
+/// budgeted algorithm loop. Helpers that loop without charging (their
+/// work is charged by the caller's mark) are exempt, as is anything
+/// outside the algorithms tree.
+pub fn check_obs_coverage(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
+    let toks = &s.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        if s.is_test_line(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        let Some(popen) = (i + 1..toks.len()).find(|&k| toks[k].text == "(") else {
+            break;
+        };
+        let Some(pclose) = matching(toks, popen, "(", ")") else {
+            break;
+        };
+        let takes_scope = toks[popen..=pclose]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "BudgetScope");
+        let body_open = (pclose..toks.len()).find(|&k| toks[k].text == "{" || toks[k].text == ";");
+        let (bopen, bclose) = match body_open {
+            Some(k) if toks[k].text == "{" => match matching(toks, k, "{", "}") {
+                Some(c) => (k, c),
+                None => break,
+            },
+            _ => {
+                i = pclose + 1;
+                continue;
+            }
+        };
+        if takes_scope {
+            let body = &toks[bopen..=bclose];
+            let has = |names: &[&str]| {
+                body.iter()
+                    .any(|t| t.kind == TokKind::Ident && names.contains(&t.text.as_str()))
+            };
+            let has_loop = has(&["loop", "while", "for"]);
+            let charges = has(&["tick_iteration", "tick_refinement", "tick_iteration_and_time"]);
+            if has_loop && charges && !has(&["loop_metrics"]) {
+                diag(
+                    out,
+                    s,
+                    "MCRL006",
+                    "obs",
+                    file,
+                    fn_line,
+                    format!(
+                        "budgeted loop in `{}` never calls scope.loop_metrics(\"<site>\"): \
+                         its work would be invisible to the obs metrics registry",
+                        name.text
+                    ),
+                );
+            }
+        }
         i += 1;
     }
 }
@@ -441,6 +521,29 @@ mod tests {
                    }\n\
                    fn helper(n: usize) { for _ in 0..n {} }\n";
         assert!(run(src, check_budget_coverage).is_empty());
+    }
+
+    #[test]
+    fn obs_rule_fires_on_unmarked_ticking_loop() {
+        let src = "fn solve(scope: &mut BudgetScope) -> R {\n\
+                   \x20 loop { scope.tick_iteration_and_time()?; }\n\
+                   }\n";
+        let d = run(src, check_obs_coverage);
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rule, "MCRL006");
+        assert_eq!(d[0].line, 1);
+    }
+
+    #[test]
+    fn obs_rule_passes_marked_loops_and_chargeless_helpers() {
+        // Marked loop: compliant. Loop that never charges the budget:
+        // exempt (its work is charged under the caller's mark).
+        let src = "fn solve(scope: &mut BudgetScope) {\n\
+                   \x20 scope.loop_metrics(\"core.x.loop\");\n\
+                   \x20 loop { scope.tick_iteration_and_time()?; }\n\
+                   }\n\
+                   fn helper(scope: &BudgetScope, n: usize) { for _ in 0..n {} }\n";
+        assert!(run(src, check_obs_coverage).is_empty());
     }
 
     #[test]

@@ -205,15 +205,15 @@ fn clean(src: &str) -> (String, Vec<StrLit>, Vec<(u32, String)>) {
             }
             // j is at the opening quote, which is kept so the
             // tokenizer still sees one `Str` token per recorded literal.
-            for k in i..j {
-                push_blank(&mut out, b[k]);
+            for &byte in &b[i..j] {
+                push_blank(&mut out, byte);
             }
             out.push(b'"');
             let start = j + 1;
             let mut k = start;
             let closer = {
                 let mut v = vec![b'"'];
-                v.extend(std::iter::repeat(b'#').take(hashes));
+                v.extend(std::iter::repeat_n(b'#', hashes));
                 v
             };
             while k < b.len() && !b[k..].starts_with(&closer) {
@@ -226,13 +226,13 @@ fn clean(src: &str) -> (String, Vec<StrLit>, Vec<(u32, String)>) {
                 value: String::from_utf8_lossy(&b[start..k.min(b.len())]).into_owned(),
                 line: lit_line,
             });
-            for idx in start..k.min(b.len()) {
-                push_blank(&mut out, b[idx]);
+            for &byte in &b[start..k.min(b.len())] {
+                push_blank(&mut out, byte);
             }
             if k < b.len() {
                 out.push(b'"');
-                for idx in (k + 1)..(k + closer.len()).min(b.len()) {
-                    push_blank(&mut out, b[idx]);
+                for &byte in &b[(k + 1)..(k + closer.len()).min(b.len())] {
+                    push_blank(&mut out, byte);
                 }
             }
             i = (k + closer.len()).min(b.len());

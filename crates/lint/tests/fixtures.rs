@@ -12,10 +12,12 @@ fn fixture_root() -> PathBuf {
 
 /// (rule, file, line, allowed) — the full expected report, in the
 /// report's own sort order (file, line, rule).
-const EXPECTED: [(&str, &str, u32, bool); 13] = [
+const EXPECTED: [(&str, &str, u32, bool); 15] = [
     ("MCRL002", "crates/chaos/sites.txt", 3, false), // declared but never used
     ("MCRL001", "crates/core/src/algorithms/l1_bad.rs", 1, false), // no ticks
+    ("MCRL006", "crates/core/src/algorithms/l1_bad.rs", 9, false), // ticks, no loop_metrics
     ("MCRL001", "crates/core/src/algorithms/l1_bad.rs", 25, true), // allowlisted
+    ("MCRL006", "crates/core/src/algorithms/l1_bad.rs", 42, true), // allowlisted
     ("MCRL003", "crates/core/src/float_bad.rs", 2, false), // a == 0.0
     ("MCRL003", "crates/core/src/float_bad.rs", 3, false), // (n as f64) != a
     ("MCRL004", "crates/core/src/float_bad.rs", 6, false), // n as u32
@@ -56,8 +58,8 @@ fn fixture_workspace_produces_the_exact_diagnostic_set() {
 fn fixture_counts_and_gate_semantics() {
     let report = mcr_lint::run_workspace(&fixture_root()).expect("fixture run");
     assert_eq!(report.files_scanned, 3);
-    assert_eq!(report.violation_count(), 9);
-    assert_eq!(report.suppressed_count(), 4);
+    assert_eq!(report.violation_count(), 10);
+    assert_eq!(report.suppressed_count(), 5);
     // Allowlisted findings never appear in the gating iterator.
     assert!(report.violations().all(|d| !d.allowed));
 }
@@ -79,8 +81,8 @@ fn json_report_round_trips_the_key_fields() {
     let json = mcr_lint::to_json(&report);
     assert!(json.starts_with('{') && json.ends_with('}'));
     assert!(json.contains("\"files_scanned\":3"));
-    assert!(json.contains("\"violations\":9"));
-    assert!(json.contains("\"suppressed\":4"));
+    assert!(json.contains("\"violations\":10"));
+    assert!(json.contains("\"suppressed\":5"));
     for (rule, file, line, allowed) in EXPECTED {
         assert!(
             json.contains(&format!(

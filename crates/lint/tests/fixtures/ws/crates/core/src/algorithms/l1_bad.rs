@@ -29,3 +29,19 @@ pub fn solve_allowlisted(g: &Graph, scope: &mut BudgetScope) -> u64 {
     }
     acc
 }
+
+pub fn solve_marked(g: &Graph, scope: &mut BudgetScope) -> Result<(), SolveError> {
+    scope.loop_metrics("core.fixture.loop");
+    for _a in g.arcs() {
+        scope.tick_iteration_and_time()?;
+    }
+    Ok(())
+}
+
+// lint: allow(obs) reason=fixture proves the obs rule is suppressible
+pub fn solve_obs_allowlisted(g: &Graph, scope: &mut BudgetScope) -> Result<(), SolveError> {
+    for _a in g.arcs() {
+        scope.tick_iteration_and_time()?;
+    }
+    Ok(())
+}

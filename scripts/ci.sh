@@ -16,8 +16,9 @@ cargo build --workspace --release
 echo "=== mcr-lint (workspace contract checker) ==="
 # Fails on any non-allowlisted diagnostic: budget/cancellation coverage
 # (MCRL001), chaos-site manifest drift (MCRL002), bare f64 equality
-# (MCRL003), narrowing casts in hot paths (MCRL004), and panic sources
-# in the panic-free layers (MCRL005). See DESIGN.md and crates/lint.
+# (MCRL003), narrowing casts in hot paths (MCRL004), panic sources in
+# the panic-free layers (MCRL005), and obs metrics coverage of budgeted
+# loops (MCRL006). See DESIGN.md and crates/lint.
 cargo run -q -p mcr-lint
 
 echo "=== cargo test (workspace) ==="
@@ -98,6 +99,61 @@ if ! cargo tree -p mcr-core -e normal --features chaos | grep -q "mcr-chaos"; th
     echo "FAIL: --features chaos did not pull in mcr-chaos (tree check is vacuous)"
     exit 1
 fi
+
+echo "=== obs suite (--features obs: golden traces, metrics, summary) ==="
+# The observability tests pin the mcr-trace v1 wire format: golden
+# trace/metrics/summary snapshots with normalized timestamps, identical
+# at 1/2/8 worker threads, plus the schema-version-bump guard.
+cargo test -q -p mcr-core --features obs
+cargo test -q -p mcr-obs
+
+echo "=== obs clippy (-D warnings, obs configuration) ==="
+cargo clippy -q -p mcr-core -p mcr-cli -p mcr-obs --features mcr-core/obs \
+    --all-targets -- -D warnings
+
+echo "=== obs-off assertion: mcr-obs absent from the default build ==="
+# Same link-level contract as chaos: without the feature, mcr-obs must
+# not appear in mcr-core's dependency graph at all. (mcr-bench depends
+# on mcr-obs unconditionally, but only for the JSON writer — it never
+# installs a recorder, and mcr-core is what the hot paths link.)
+if cargo tree -p mcr-core -e normal | grep -q "mcr-obs"; then
+    echo "FAIL: mcr-obs is linked into the default (obs-off) build"
+    cargo tree -p mcr-core -e normal | grep "mcr-obs"
+    exit 1
+fi
+if ! cargo tree -p mcr-core -e normal --features obs | grep -q "mcr-obs"; then
+    echo "FAIL: --features obs did not pull in mcr-obs (tree check is vacuous)"
+    exit 1
+fi
+
+echo "=== obs CLI smoke: flags error cleanly on the default build ==="
+# The release binary above is obs-off; the observability flags must
+# fail with exit 1 and an actionable rebuild hint, not be ignored.
+printf 'p mcr 2 2\na 1 2 1\na 2 1 3\n' > /tmp/mcr_ci_obs.dimacs
+status=0
+"$MCR" solve /tmp/mcr_ci_obs.dimacs --summary >/dev/null 2>/tmp/mcr_ci_stderr \
+    || status=$?
+if [ "$status" -ne 1 ]; then
+    echo "FAIL: --summary on an obs-off build exited $status, expected 1"
+    exit 1
+fi
+grep -q "features obs" /tmp/mcr_ci_stderr || {
+    echo "FAIL: obs-off error does not tell the user how to rebuild:"
+    cat /tmp/mcr_ci_stderr
+    exit 1
+}
+# And the obs-on binary must honor them end to end.
+cargo build -q -p mcr-cli --release --features obs
+target/release/mcr solve /tmp/mcr_ci_obs.dimacs \
+    --trace-out /tmp/mcr_ci_trace.jsonl --metrics-out /tmp/mcr_ci_metrics.jsonl \
+    --summary > /tmp/mcr_ci_stdout
+grep -q '"schema":"mcr-trace v1"' /tmp/mcr_ci_trace.jsonl
+grep -q '"schema":"mcr-metrics v1"' /tmp/mcr_ci_metrics.jsonl
+grep -q "observability summary" /tmp/mcr_ci_stdout
+rm -f /tmp/mcr_ci_obs.dimacs /tmp/mcr_ci_trace.jsonl /tmp/mcr_ci_metrics.jsonl \
+    /tmp/mcr_ci_stdout /tmp/mcr_ci_stderr
+# Rebuild the default binary so later stages see the obs-off artifact.
+cargo build -q -p mcr-cli --release
 
 echo "=== fuzz smoke (bounded deterministic run) ==="
 # Offline stand-in for the cargo-fuzz targets (fuzz/ needs a registry):

@@ -14,6 +14,13 @@ cargo build -p mcr-bench --release
 mkdir -p results
 for exp in table2 mcm_vs_params heap_ops iterations howard_anomaly karp_variants ratio_compare; do
     echo "=== $exp $MODE ==="
-    "target/release/$exp" $MODE > "results/${exp}_${SUFFIX}.txt" 2> "results/${exp}_${SUFFIX}.log"
+    # table2 also writes its machine-readable companion (mcr-table2 v1
+    # JSONL: per-cell mean times plus the λ* each algorithm reported).
+    EXTRA=""
+    if [ "$exp" = "table2" ]; then
+        EXTRA="--jsonl results/table2_${SUFFIX}.jsonl"
+    fi
+    "target/release/$exp" $MODE $EXTRA \
+        > "results/${exp}_${SUFFIX}.txt" 2> "results/${exp}_${SUFFIX}.log"
 done
 echo "All experiment outputs written to results/*_${SUFFIX}.txt"
