@@ -1,0 +1,148 @@
+//! Criterion bench: intra-SCC chunked sweeps on a single giant strongly
+//! connected component.
+//!
+//! `cargo bench -p mcr-bench --bench intra_scc`
+//!
+//! Two groups:
+//!
+//! * `sweep_kernels` — per-kernel microbench of every restructured hot
+//!   loop (Karp and DG level fills, Howard Fig. 1 and exact policy
+//!   sweeps, the Bellman–Ford oracle inside exact Lawler), sequential
+//!   sweep vs the chunked schedule at one sweep thread. This isolates
+//!   the cost of the two-phase chunk-ordered-commit restructure itself.
+//! * `intra_scc` — the headline rows: Howard / Howard-exact /
+//!   Lawler-exact on the giant SCC, sequential vs chunked at 1, 2, and
+//!   4 sweep threads. On a single-SCC instance the per-SCC driver
+//!   degenerates to one job, so chunked sweep threads are the *only*
+//!   source of parallelism.
+//!
+//! Every row asserts bit-identity against the sequential solution
+//! before timing, so the bench measures pure schedule cost/speedup.
+//!
+//! Note: speedup requires actual hardware parallelism. On a single-core
+//! machine the multi-thread rows measure only the fork/join overhead of
+//! the candidate phase; see `results/BENCH_intra_scc.json` for recorded
+//! numbers and the machine caveat.
+//!
+//! Setting `MCR_BENCH_QUICK=1` shrinks the instances and sample counts
+//! to CI-smoke size — the determinism asserts and the 4-sweep-thread
+//! path still run in full, only the timings get coarser.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mcr_core::{Algorithm, SolveOptions, SweepMode};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_graph::{Graph, GraphBuilder};
+use std::hint::black_box;
+
+/// One giant strongly connected component: a SPRAND graph with a
+/// Hamiltonian ring overlaid so every node reaches every other.
+fn giant_scc_sprand(n: usize, m: usize, seed: u64) -> Graph {
+    let part = sprand(&SprandConfig::new(n, m).seed(seed).weight_range(1, 10_000));
+    let mut b = GraphBuilder::new();
+    let ids = b.add_nodes(n);
+    for a in part.arc_ids() {
+        b.add_arc(
+            ids[part.source(a).index()],
+            ids[part.target(a).index()],
+            part.weight(a),
+        );
+    }
+    for i in 0..n {
+        b.add_arc(ids[i], ids[(i + 1) % n], 5_000);
+    }
+    b.build()
+}
+
+/// CI smoke mode: tiny instances, coarse timings, full assertions.
+fn quick() -> bool {
+    std::env::var_os("MCR_BENCH_QUICK").is_some_and(|v| v != "0")
+}
+
+fn chunked(sweep_threads: usize) -> SolveOptions {
+    // Quick mode shrinks the chunk below the instance size so the
+    // multi-chunk, multi-thread path still genuinely runs.
+    SolveOptions::new()
+        .sweep(SweepMode::Chunked)
+        .sweep_chunk(if quick() { 128 } else { 0 })
+        .sweep_threads(sweep_threads)
+}
+
+/// Asserts `opts` reproduces the sequential optimum. Only λ is pinned
+/// here: Howard's policy sweep commits improvements in a different
+/// order under the chunked schedule, so its trajectory-dependent
+/// counters (and in principle the witness) may differ while the answer
+/// may not. Full bit-identity *across sweep-thread counts* is asserted
+/// separately in `bench_intra_scc`.
+fn assert_matches_sequential(g: &Graph, alg: Algorithm, opts: &SolveOptions) {
+    let seq = alg.solve(g).expect("cyclic");
+    let par = alg.solve_with_options(g, opts).expect("cyclic");
+    assert_eq!(par.lambda, seq.lambda, "{}: λ drifted", alg.name());
+}
+
+fn bench_sweep_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sweep_kernels");
+    group.sample_size(if quick() { 5 } else { 10 });
+    let g = if quick() {
+        giant_scc_sprand(128, 512, 7)
+    } else {
+        giant_scc_sprand(512, 2048, 7)
+    };
+    for alg in [
+        Algorithm::Karp,
+        Algorithm::Dg,
+        Algorithm::Howard,
+        Algorithm::HowardExact,
+        Algorithm::LawlerExact,
+    ] {
+        for (label, opts) in [
+            ("sequential", SolveOptions::new()),
+            ("chunked_t1", chunked(1)),
+        ] {
+            assert_matches_sequential(&g, alg, &opts);
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), label),
+                &opts,
+                |b, opts| b.iter(|| black_box(alg.solve_with_options(black_box(&g), opts))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_intra_scc(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intra_scc");
+    group.sample_size(if quick() { 5 } else { 10 });
+    // One SCC of 2048 nodes / 10240 arcs: large enough that each sweep
+    // spans several default-sized chunks.
+    let g = if quick() {
+        giant_scc_sprand(256, 1024, 11)
+    } else {
+        giant_scc_sprand(2048, 8192, 11)
+    };
+    for alg in [Algorithm::Howard, Algorithm::HowardExact, Algorithm::LawlerExact] {
+        let seq = SolveOptions::new();
+        group.bench_with_input(
+            BenchmarkId::new(alg.name(), "sequential"),
+            &seq,
+            |b, opts| b.iter(|| black_box(alg.solve_with_options(black_box(&g), opts))),
+        );
+        // Chunked determinism across sweep-thread counts, then timing.
+        let base = alg.solve_with_options(&g, &chunked(1)).expect("cyclic");
+        for sweep_threads in [1usize, 2, 4] {
+            let opts = chunked(sweep_threads);
+            let par = alg.solve_with_options(&g, &opts).expect("cyclic");
+            assert_eq!(par.lambda, base.lambda);
+            assert_eq!(par.cycle, base.cycle);
+            assert_eq!(par.counters, base.counters);
+            group.bench_with_input(
+                BenchmarkId::new(alg.name(), format!("chunked_t{sweep_threads}")),
+                &opts,
+                |b, opts| b.iter(|| black_box(alg.solve_with_options(black_box(&g), opts))),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_kernels, bench_intra_scc);
+criterion_main!(benches);

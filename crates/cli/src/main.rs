@@ -10,6 +10,16 @@
 //!     --epsilon X       precision for approximate algorithms
 //!     --threads N       worker threads for the per-SCC driver
 //!                       (default: available parallelism; 1 = sequential)
+//!     --sweep MODE      intra-SCC arc-sweep mode: `sequential` (default,
+//!                       bit-identical to the historical loops) or
+//!                       `chunked` (two-phase chunk-ordered sweeps that
+//!                       can use worker threads inside one giant SCC;
+//!                       deterministic at any thread count, but a
+//!                       different — equally correct — trajectory than
+//!                       sequential mode)
+//!     --sweep-chunk N   arcs per chunk in chunked mode (default 4096)
+//!     --sweep-threads N threads per chunked sweep (default: spare
+//!                       driver threads beyond the SCC count, min 1)
 //!     --budget SPEC     work limits, comma-separated `key=value` terms:
 //!                       iters=N (outer-loop iterations per SCC attempt),
 //!                       refine=N (lambda refinements per SCC attempt),
@@ -48,7 +58,7 @@
 use mcr_core::critical::critical_subgraph;
 use mcr_core::{
     certify, ratio, Algorithm, Budget, FallbackChain, Guarantee, Solution, SolveError,
-    SolveOptions,
+    SolveOptions, SweepMode,
 };
 use mcr_gen::circuit::{circuit_graph, CircuitConfig};
 use mcr_gen::sprand::{sprand, SprandConfig};
@@ -243,8 +253,17 @@ fn parse_fallback(spec: &str) -> Result<FallbackChain, String> {
 /// path. Results are identical either way.
 fn solve_options(args: &Args, epsilon: f64) -> Result<SolveOptions, String> {
     let threads: usize = args.value_parsed("threads", 0)?;
+    let sweep = match args.value("sweep") {
+        None => SweepMode::Sequential,
+        Some(v) if v.eq_ignore_ascii_case("sequential") => SweepMode::Sequential,
+        Some(v) if v.eq_ignore_ascii_case("chunked") => SweepMode::Chunked,
+        Some(v) => return Err(format!("invalid --sweep `{v}` (use sequential or chunked)")),
+    };
     let mut opts = SolveOptions {
         threads,
+        sweep,
+        sweep_chunk: args.value_parsed("sweep-chunk", 0)?,
+        sweep_threads: args.value_parsed("sweep-threads", 0)?,
         epsilon: Some(epsilon),
         ..SolveOptions::default()
     };

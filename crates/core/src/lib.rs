@@ -72,6 +72,7 @@ pub mod rational;
 pub mod reference;
 pub mod register_graph;
 pub mod solution;
+pub mod sweep;
 pub mod workspace;
 
 pub use algorithms::Algorithm;
@@ -84,6 +85,7 @@ pub use instrument::Counters;
 pub use options::{FallbackChain, SolveOptions};
 pub use rational::Ratio64;
 pub use solution::{Guarantee, Solution};
+pub use sweep::{SweepConfig, SweepMode};
 pub use workspace::Workspace;
 
 use mcr_graph::Graph;

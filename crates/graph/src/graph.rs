@@ -226,6 +226,22 @@ impl Graph {
         &self.transits
     }
 
+    /// All arc source nodes as a slice, indexed by [`ArcId::index`].
+    /// Together with [`Graph::targets`], [`Graph::weights`] and
+    /// [`Graph::transits`] this exposes the arc table in structure-of-
+    /// arrays form, so relaxation kernels can run flat, branch-light
+    /// passes over the arc array instead of chasing per-arc accessors.
+    #[inline]
+    pub fn sources(&self) -> &[NodeId] {
+        &self.sources
+    }
+
+    /// All arc target nodes as a slice, indexed by [`ArcId::index`].
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
     /// Arcs leaving `v`.
     #[inline]
     pub fn out_arcs(&self, v: NodeId) -> &[ArcId] {

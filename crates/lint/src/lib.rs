@@ -15,6 +15,10 @@
 //! * **MCRL002** (chaos manifest): site *uses* are collected from every
 //!   scanned file; the manifest must be duplicate-free, every use must
 //!   be declared, and every declaration must be used.
+//! * **MCRL007** (chunked-sweep harness coverage): `crates/core/src/`,
+//!   excluding the sweep engine itself (`sweep.rs`) — every kernel that
+//!   calls `fill_candidates` must carry a `loop_metrics`/
+//!   `nested_loop_metrics` site and a `chaos_check`/`pulse` failpoint.
 //! * **MCRL003** (bare f64 `==`/`!=`): all solver code, `crates/core/src/`.
 //! * **MCRL004** (narrowing `as` casts): the hot paths,
 //!   `crates/core/src/` and `crates/graph/src/`.
@@ -108,6 +112,9 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
             rules::check_obs_coverage(&rel, &scanned, &mut diagnostics);
         }
         rules::collect_chaos_uses(&rel, &scanned, &mut uses);
+        if rel.starts_with("crates/core/src/") && rel != "crates/core/src/sweep.rs" {
+            rules::check_sweep_coverage(&rel, &scanned, &mut diagnostics);
+        }
         if rel.starts_with("crates/core/src/") {
             rules::check_float_eq(&rel, &scanned, &mut diagnostics);
         }

@@ -5,8 +5,9 @@
 # property-based differential harness), clippy with warnings denied on
 # the crates the solver stack touches (which enforces the module-level
 # `deny(clippy::unwrap_used, clippy::panic)` gates on the parser and
-# the error/budget/certify layer), and a CLI smoke test of the exit
-# code contract against the bad-input corpus.
+# the error/budget/certify layer), a CLI smoke test of the exit
+# code contract against the bad-input corpus, and a 4-thread smoke of
+# the chunked intra-SCC sweep path (CLI + bench harness).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -17,8 +18,9 @@ echo "=== mcr-lint (workspace contract checker) ==="
 # Fails on any non-allowlisted diagnostic: budget/cancellation coverage
 # (MCRL001), chaos-site manifest drift (MCRL002), bare f64 equality
 # (MCRL003), narrowing casts in hot paths (MCRL004), panic sources in
-# the panic-free layers (MCRL005), and obs metrics coverage of budgeted
-# loops (MCRL006). See DESIGN.md and crates/lint.
+# the panic-free layers (MCRL005), obs metrics coverage of budgeted
+# loops (MCRL006), and loop-metrics + chaos coverage of chunked-sweep
+# kernels (MCRL007). See DESIGN.md and crates/lint.
 cargo run -q -p mcr-lint
 
 echo "=== cargo test (workspace) ==="
@@ -69,6 +71,34 @@ fi
 grep -q "answered instead" /tmp/mcr_ci_stdout
 grep -q "certificate" /tmp/mcr_ci_stdout
 rm -f /tmp/mcr_ci_stderr /tmp/mcr_ci_stdout /tmp/mcr_ci_hostile.dimacs
+
+echo "=== chunked-sweep smoke: 4 threads, bit-identical to sequential ==="
+# The intra-SCC chunked sweeps must change wall-clock only, never
+# output. Level kernels (Karp) are exactly schedule-independent, so the
+# full CLI output must match byte-for-byte; the default algorithm must
+# agree between 1 and 4 sweep threads (the chunked determinism
+# contract).
+"$MCR" solve benchmarks/multi_scc.dimacs --algorithm karp --critical \
+    --counters > /tmp/mcr_ci_seq.out
+"$MCR" solve benchmarks/multi_scc.dimacs --algorithm karp --critical \
+    --counters --threads 4 --sweep chunked --sweep-threads 4 \
+    > /tmp/mcr_ci_chunked.out
+cmp /tmp/mcr_ci_seq.out /tmp/mcr_ci_chunked.out || {
+    echo "FAIL: chunked sweep output differs from sequential (karp)"
+    exit 1
+}
+"$MCR" solve benchmarks/multi_scc.dimacs --critical --counters \
+    --sweep chunked --sweep-threads 1 > /tmp/mcr_ci_seq.out
+"$MCR" solve benchmarks/multi_scc.dimacs --critical --counters \
+    --sweep chunked --sweep-threads 4 > /tmp/mcr_ci_chunked.out
+cmp /tmp/mcr_ci_seq.out /tmp/mcr_ci_chunked.out || {
+    echo "FAIL: chunked sweep output differs between 1 and 4 sweep threads"
+    exit 1
+}
+rm -f /tmp/mcr_ci_seq.out /tmp/mcr_ci_chunked.out
+# Bench-path smoke: tiny instances, full determinism asserts, and the
+# 4-sweep-thread rows genuinely running the multi-chunk schedule.
+MCR_BENCH_QUICK=1 cargo bench -q -p mcr-bench --bench intra_scc >/dev/null
 
 echo "=== chaos suite (--features chaos, 3 fixed seeds) ==="
 # The chaos tests prove the fault-injection contract: under injected
