@@ -27,9 +27,11 @@
 //!     --fallback CHAIN  `none`, or comma-separated algorithm names tried
 //!                       in order when the primary fails recoverably
 //!                       (default: howard-exact,karp,lawler-exact)
-//!     --timeout DUR     hard wall-clock limit enforced by cooperative
-//!                       cancellation (a watchdog thread trips a cancel
-//!                       token; the solve fails closed, exit code 4)
+//!     --timeout DUR     hard wall-clock deadline, enforced cooperatively
+//!                       at the solver's poll points (the solve fails
+//!                       closed, exit code 4; when it coincides with a
+//!                       --budget time= deadline the timeout wins, so
+//!                       the exit code is deterministic at the boundary)
 //!     --critical        also print the critical subgraph
 //!     --counters        also print operation counts
 //!     --trace-out PATH  write a structured solve trace (`mcr-trace v1`
@@ -39,15 +41,31 @@
 //!     --summary         print a human-readable observability summary
 //!                       table after the solve (needs `obs`)
 //!
-//! Exit codes: 0 success, 1 input or usage error, 2 budget exhausted,
-//! 3 certification failure (a solved instance whose witness cycle does
-//! not reproduce the reported lambda — a solver bug, never silent),
-//! 4 cancelled (the `--timeout` watchdog fired before the solve
-//! finished; no partial answer is printed).
+//! Exit codes come from [`mcr_core::SolveStatus`] (shared with the
+//! `mcrd` response protocol): 0 success, 1 input or usage error,
+//! 2 budget exhausted, 3 certification failure (a solved instance
+//! whose witness cycle does not reproduce the reported lambda — a
+//! solver bug, never silent), 4 cancelled (the `--timeout` deadline
+//! passed before the solve finished; no partial answer is printed).
 //!
 //! mcr gen sprand N M [--seed S] [--wmin A] [--wmax B] [--tmin A --tmax B]
 //! mcr gen circuit N   [--seed S]
 //!                       emit a DIMACS-style instance on stdout
+//! mcr gen requests N  [--seed S]
+//!                       emit a replayable `mcr-req v1` JSONL request
+//!                       log for the mcrd daemon (deterministic per
+//!                       seed; feed it to `mcr client --replay`)
+//!
+//! mcr client --addr HOST:PORT (--replay FILE|- [--no-wait] | --op OP)
+//!                       batch client for a running mcrd daemon.
+//!     --replay FILE     pipeline a JSONL request log (`-` = stdin) and
+//!                       print one response line per request; exits 0
+//!                       iff every request got a response (per-request
+//!                       failures are data in the response lines)
+//!     --no-wait         return after sending, without collecting
+//!                       responses — used by crash drills to kill the
+//!                       daemon with admitted work provably queued
+//!     --op OP           send a single ping | metrics | shutdown
 //!
 //! mcr bench [FILE]      run every algorithm on an instance and print a
 //!     --threads N       timing/operation-count table
@@ -56,9 +74,10 @@
 //! ```
 
 use mcr_core::critical::critical_subgraph;
+use mcr_core::spec::{parse_budget_spec, parse_duration_spec, parse_fallback_spec, solve_spec, SpecError};
 use mcr_core::{
-    certify, ratio, Algorithm, Budget, FallbackChain, Guarantee, Solution, SolveError,
-    SolveOptions, SweepMode,
+    certify, Algorithm, Guarantee, Objective, Solution, SolveError, SolveOptions, SolveSpec,
+    SolveStatus, SweepMode,
 };
 use mcr_gen::circuit::{circuit_graph, CircuitConfig};
 use mcr_gen::sprand::{sprand, SprandConfig};
@@ -67,35 +86,40 @@ use mcr_graph::io::{read_dimacs, to_dot, write_dimacs};
 use mcr_graph::Graph;
 use std::io::Read;
 use std::process::ExitCode;
-use std::time::Duration;
+use std::time::Instant;
 
-/// CLI failure, carrying the process exit code contract: input/usage
-/// errors exit 1, exhausted budgets exit 2, certification failures
-/// exit 3, cancellations (the `--timeout` watchdog) exit 4.
-enum CliError {
-    Input(String),
-    Budget(String),
-    Certify(String),
-    Cancelled(String),
+/// CLI failure: a message plus the [`SolveStatus`] that fixes the
+/// process exit code (the taxonomy lives in `mcr_core::status`, shared
+/// with the `mcrd` response protocol).
+struct CliError {
+    status: SolveStatus,
+    message: String,
+}
+
+impl CliError {
+    fn new(status: SolveStatus, message: impl Into<String>) -> CliError {
+        CliError {
+            status,
+            message: message.into(),
+        }
+    }
 }
 
 impl From<String> for CliError {
     fn from(msg: String) -> Self {
-        CliError::Input(msg)
+        CliError::new(SolveStatus::InputError, msg)
     }
 }
 
 impl From<&str> for CliError {
     fn from(msg: &str) -> Self {
-        CliError::Input(msg.to_string())
+        CliError::new(SolveStatus::InputError, msg)
     }
 }
 
-fn map_solve_err(e: SolveError) -> CliError {
-    match e {
-        SolveError::BudgetExhausted { .. } => CliError::Budget(e.to_string()),
-        SolveError::Cancelled => CliError::Cancelled(e.to_string()),
-        other => CliError::Input(other.to_string()),
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::new(e.status(), e.to_string())
     }
 }
 
@@ -112,7 +136,7 @@ impl Args {
         while i < raw.len() {
             if let Some(name) = raw[i].strip_prefix("--") {
                 let takes_value = ![
-                    "max", "ratio", "critical", "counters", "summary",
+                    "max", "ratio", "critical", "counters", "summary", "no-wait",
                 ]
                 .contains(&name);
                 if takes_value && i + 1 < raw.len() {
@@ -151,12 +175,6 @@ impl Args {
     }
 }
 
-fn algorithm_by_name(name: &str) -> Option<Algorithm> {
-    Algorithm::ALL
-        .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
-}
-
 fn load_graph(path: Option<&str>) -> Result<Graph, String> {
     let mut text = String::new();
     match path {
@@ -170,81 +188,6 @@ fn load_graph(path: Option<&str>) -> Result<Graph, String> {
         }
     }
     read_dimacs(&mut text.as_bytes()).map_err(|e| format!("parse error: {e}"))
-}
-
-/// Parses a `--budget` spec: comma-separated `key=value` terms with
-/// keys `iters`, `refine`, `time` (`500ms`, `2s`, or plain seconds).
-fn parse_budget(spec: &str) -> Result<Budget, String> {
-    let mut budget = Budget::UNLIMITED;
-    for term in spec.split(',') {
-        let term = term.trim();
-        if term.is_empty() {
-            continue;
-        }
-        let (key, value) = term
-            .split_once('=')
-            .ok_or_else(|| format!("budget term `{term}` is not key=value"))?;
-        match key {
-            "iters" | "iterations" => {
-                let n: u64 = value
-                    .parse()
-                    .map_err(|_| format!("invalid iteration budget `{value}`"))?;
-                budget = budget.max_iterations(n);
-            }
-            "refine" | "refinements" => {
-                let n: u64 = value
-                    .parse()
-                    .map_err(|_| format!("invalid refinement budget `{value}`"))?;
-                budget = budget.max_lambda_refinements(n);
-            }
-            "time" | "wall" => {
-                budget = budget.wall_time(parse_duration(value)?);
-            }
-            other => {
-                return Err(format!(
-                    "unknown budget resource `{other}` (use iters, refine, or time)"
-                ))
-            }
-        }
-    }
-    Ok(budget)
-}
-
-fn parse_duration(value: &str) -> Result<Duration, String> {
-    let (digits, scale) = if let Some(ms) = value.strip_suffix("ms") {
-        (ms, 1e-3)
-    } else if let Some(secs) = value.strip_suffix('s') {
-        (secs, 1.0)
-    } else {
-        (value, 1.0)
-    };
-    let amount: f64 = digits
-        .parse()
-        .map_err(|_| format!("invalid duration `{value}` (use e.g. 500ms, 2s)"))?;
-    if !(amount >= 0.0 && amount.is_finite()) {
-        return Err(format!("invalid duration `{value}`"));
-    }
-    Ok(Duration::from_secs_f64(amount * scale))
-}
-
-/// Parses a `--fallback` chain: `none`, or comma-separated algorithm
-/// names in attempt order.
-fn parse_fallback(spec: &str) -> Result<FallbackChain, String> {
-    if spec.eq_ignore_ascii_case("none") {
-        return Ok(FallbackChain::NONE);
-    }
-    let mut chain = Vec::new();
-    for name in spec.split(',') {
-        let name = name.trim();
-        if name.is_empty() {
-            continue;
-        }
-        chain.push(
-            algorithm_by_name(name)
-                .ok_or_else(|| format!("unknown fallback algorithm `{name}`"))?,
-        );
-    }
-    Ok(FallbackChain::new(&chain))
 }
 
 /// `--threads N` / `--budget SPEC` / `--fallback CHAIN` →
@@ -268,13 +211,19 @@ fn solve_options(args: &Args, epsilon: f64) -> Result<SolveOptions, String> {
         ..SolveOptions::default()
     };
     if let Some(spec) = args.value("budget") {
-        opts.budget = parse_budget(spec)?;
+        opts.budget = parse_budget_spec(spec)?;
     }
     if let Some(spec) = args.value("fallback") {
-        opts.fallback = parse_fallback(spec)?;
+        opts.fallback = parse_fallback_spec(spec)?;
     }
     if let Some(spec) = args.value("timeout") {
-        opts.cancel = Some(spawn_timeout_watchdog(parse_duration(spec)?));
+        // One monotonic deadline, resolved here and carried through
+        // SolveOptions. The solver compares it against Budget wall-time
+        // deadlines once per solve (earliest wins, ties break to the
+        // cancellation kind), so exit 2 vs exit 4 is deterministic even
+        // when --timeout and --budget time= land on the same instant.
+        // `--timeout 0ms` trips at the first poll point: exit 4, always.
+        opts.deadline = Some(Instant::now() + parse_duration_spec(spec)?);
     }
     Ok(opts)
 }
@@ -321,11 +270,11 @@ fn with_obs<T>(
     let report = guard.finish();
     if let Some(path) = &req.trace_out {
         std::fs::write(path, report.trace_jsonl(Timestamps::Wall))
-            .map_err(|e| CliError::Input(format!("writing trace to {path}: {e}")))?;
+            .map_err(|e| CliError::from(format!("writing trace to {path}: {e}")))?;
     }
     if let Some(path) = &req.metrics_out {
         std::fs::write(path, report.metrics_jsonl(Timestamps::Wall))
-            .map_err(|e| CliError::Input(format!("writing metrics to {path}: {e}")))?;
+            .map_err(|e| CliError::from(format!("writing metrics to {path}: {e}")))?;
     }
     if req.summary {
         print!("{}", report.summary(Timestamps::Wall));
@@ -342,7 +291,7 @@ fn with_obs<T>(
     f: impl FnOnce() -> Result<T, CliError>,
 ) -> Result<T, CliError> {
     if req.any() {
-        return Err(CliError::Input(
+        return Err(CliError::from(
             "this build has no observability support; rebuild with \
              `cargo build -p mcr-cli --features obs` to use --trace-out, \
              --metrics-out, or --summary"
@@ -350,28 +299,6 @@ fn with_obs<T>(
         ));
     }
     f()
-}
-
-/// Arms a detached watchdog thread that cancels the returned token
-/// after `limit`. The solver polls the token at its wall-clock poll
-/// points, so cancellation is cooperative: the solve fails closed with
-/// [`SolveError::Cancelled`] instead of being killed mid-write. The
-/// thread is deliberately leaked — it holds only a token clone and the
-/// process exits right after the solve either way.
-fn spawn_timeout_watchdog(limit: Duration) -> mcr_core::CancelToken {
-    let token = mcr_core::CancelToken::new();
-    // An already-expired limit cancels synchronously so `--timeout 0ms`
-    // is deterministic (exit 4) rather than a race with a tiny solve.
-    if limit.is_zero() {
-        token.cancel();
-        return token;
-    }
-    let armed = token.clone();
-    std::thread::spawn(move || {
-        std::thread::sleep(limit);
-        armed.cancel();
-    });
-    token
 }
 
 fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
@@ -426,7 +353,7 @@ fn print_solution(g: &Graph, sol: &Solution, maximize: bool, args: &Args) {
 fn cmd_solve(args: &Args) -> Result<(), CliError> {
     let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
     let alg_name = args.value("algorithm").unwrap_or("howard-exact");
-    let alg = algorithm_by_name(alg_name)
+    let alg = Algorithm::by_name(alg_name)
         .ok_or_else(|| format!("unknown algorithm `{alg_name}` (see --help)"))?;
     let maximize = args.flag("max");
     let ratio_mode = args.flag("ratio");
@@ -436,41 +363,24 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
     }
     let opts = solve_options(args, epsilon)?;
 
-    let target = if maximize { g.negated() } else { g.clone() };
-    // Unify the entry points into Ok(Some) = solved, Ok(None) =
-    // acyclic, Err = typed solver failure. The Option-returning ratio
-    // entries fold their (already-validated) failure modes into None.
-    let sol: Option<Solution> = if ratio_mode {
-        if ratio::has_zero_transit_cycle(&target) {
-            return Err("instance has a zero-transit cycle: ratio undefined".into());
-        }
-        match alg {
-            Algorithm::Howard => ratio::howard_ratio(&target, epsilon),
-            Algorithm::HowardExact => {
-                flatten_acyclic(ratio::howard_ratio_exact_opts(&target, &opts))?
-            }
-            Algorithm::Burns | Algorithm::BurnsExact => ratio::burns_ratio(&target),
-            Algorithm::Ko => ratio::parametric_ratio(&target, false),
-            Algorithm::Yto => ratio::parametric_ratio(&target, true),
-            Algorithm::Lawler => ratio::lawler_ratio(&target, epsilon),
-            Algorithm::LawlerExact => {
-                flatten_acyclic(ratio::lawler_ratio_exact_opts(&target, &opts))?
-            }
-            Algorithm::Megiddo => ratio::megiddo_ratio(&target),
-            other => ratio::ratio_via_expansion(&target, other)?,
-        }
-    } else {
-        flatten_acyclic(alg.solve_with_options(&target, &opts))?
+    // The dispatch itself — objective match, maximize negation, the
+    // acyclic fold — lives in `mcr_core::spec`, shared verbatim with
+    // the `mcrd` daemon so both front ends give bit-identical answers.
+    let spec = SolveSpec {
+        algorithm: alg,
+        objective: if ratio_mode {
+            Objective::Ratio
+        } else {
+            Objective::Mean
+        },
+        maximize,
     };
-    match sol {
+    match solve_spec(&g, &spec, &opts)? {
         None => {
             println!("graph is acyclic: no cycle mean/ratio");
             Ok(())
         }
-        Some(mut sol) => {
-            if maximize {
-                sol.lambda = -sol.lambda;
-            }
+        Some(sol) => {
             println!(
                 "{} {} via {}",
                 if maximize { "maximum" } else { "minimum" },
@@ -488,20 +398,15 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
             // Independent re-walk of the witness cycle: the reported
             // lambda must be its exact mean or ratio in the input graph
             // (negation commutes with both, so `g` works for --max too).
-            certify(&sol, &g).map_err(|e| CliError::Certify(e.to_string()))?;
+            certify(&sol, &g).map_err(|e| {
+                CliError::new(
+                    SolveStatus::CertifyFailed,
+                    format!("certification failed: {e}"),
+                )
+            })?;
             println!("certificate: witness cycle reproduces lambda exactly");
             Ok(())
         }
-    }
-}
-
-/// Turns the non-error "no cycle" outcome back into `None`, leaving
-/// real failures (budget, overflow, ...) as typed errors.
-fn flatten_acyclic(r: Result<Solution, SolveError>) -> Result<Option<Solution>, CliError> {
-    match r {
-        Ok(sol) => Ok(Some(sol)),
-        Err(SolveError::Acyclic) => Ok(None),
-        Err(e) => Err(map_solve_err(e)),
     }
 }
 
@@ -509,8 +414,23 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     let family = args
         .positional
         .get(1)
-        .ok_or("usage: mcr gen <sprand|circuit> ...")?;
+        .ok_or("usage: mcr gen <sprand|circuit|requests> ...")?;
     let seed: u64 = args.value_parsed("seed", 0)?;
+    if family == "requests" {
+        let count: usize = args
+            .positional
+            .get(2)
+            .ok_or("usage: mcr gen requests N [--seed S]")?
+            .parse()
+            .map_err(|_| "invalid N")?;
+        print!(
+            "{}",
+            mcr_gen::requests::request_log(
+                &mcr_gen::requests::RequestLogConfig::new(count).seed(seed)
+            )
+        );
+        return Ok(());
+    }
     let g = match family.as_str() {
         "sprand" => {
             let n: usize = args
@@ -558,6 +478,46 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_client(args: &Args) -> Result<(), String> {
+    const CLIENT_USAGE: &str =
+        "usage: mcr client --addr HOST:PORT (--replay FILE|- [--no-wait] | --op ping|metrics|shutdown)";
+    let addr = args.value("addr").ok_or(CLIENT_USAGE)?;
+    let mut out = std::io::stdout();
+    if let Some(op) = args.value("op") {
+        return mcr_serve::client::one_op(addr, op, &mut out);
+    }
+    let source = args.value("replay").ok_or(CLIENT_USAGE)?;
+    let mut text = String::new();
+    match source {
+        "-" => {
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+        }
+        p => {
+            text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        }
+    }
+    let lines: Vec<String> = text.lines().map(String::from).collect();
+    let report = mcr_serve::client::replay(addr, &lines, args.flag("no-wait"), &mut out)?;
+    let statuses: Vec<String> = report
+        .by_status
+        .iter()
+        .map(|(s, n)| format!("{s}={n}"))
+        .collect();
+    eprintln!(
+        "mcr client: sent={} received={}{}",
+        report.sent,
+        report.received,
+        if statuses.is_empty() {
+            String::new()
+        } else {
+            format!(" [{}]", statuses.join(" "))
+        }
+    );
+    Ok(())
+}
+
 fn cmd_dot(args: &Args) -> Result<(), String> {
     let g = load_graph(args.positional.get(1).map(|s| s.as_str()))?;
     print!("{}", to_dot(&g, "mcr"));
@@ -602,7 +562,7 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mcr <solve|gen|dot|bench> ...  (see crate docs for flags)";
+const USAGE: &str = "usage: mcr <solve|gen|client|dot|bench> ...  (see crate docs for flags)";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -610,28 +570,17 @@ fn main() -> ExitCode {
     let obs_req = ObsRequest::from_args(&args);
     let result = match args.positional.first().map(|s| s.as_str()) {
         Some("solve") => with_obs(&obs_req, || cmd_solve(&args)),
-        Some("gen") => cmd_gen(&args).map_err(CliError::Input),
-        Some("dot") => cmd_dot(&args).map_err(CliError::Input),
+        Some("gen") => cmd_gen(&args).map_err(CliError::from),
+        Some("client") => cmd_client(&args).map_err(CliError::from),
+        Some("dot") => cmd_dot(&args).map_err(CliError::from),
         Some("bench") => with_obs(&obs_req, || cmd_bench(&args)),
-        _ => Err(CliError::Input(USAGE.to_string())),
+        _ => Err(CliError::from(USAGE.to_string())),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(CliError::Input(e)) => {
-            eprintln!("mcr: {e}");
-            ExitCode::from(1)
-        }
-        Err(CliError::Budget(e)) => {
-            eprintln!("mcr: {e}");
-            ExitCode::from(2)
-        }
-        Err(CliError::Certify(e)) => {
-            eprintln!("mcr: certification failed: {e}");
-            ExitCode::from(3)
-        }
-        Err(CliError::Cancelled(e)) => {
-            eprintln!("mcr: {e}");
-            ExitCode::from(4)
+        Err(e) => {
+            eprintln!("mcr: {}", e.message);
+            ExitCode::from(e.status.code())
         }
     }
 }

@@ -86,7 +86,7 @@ fn solve_rejects_zero_transit_cycles_in_ratio_mode() {
     let input = "p mcr 2 2\na 1 2 4 0\na 2 1 6 0\n";
     let (_, stderr, ok) = run_with_stdin(&["solve", "--ratio"], input);
     assert!(!ok);
-    assert!(stderr.contains("zero-transit"), "{stderr}");
+    assert!(stderr.contains("zero total transit time"), "{stderr}");
 }
 
 #[test]
@@ -175,4 +175,109 @@ fn no_subcommand_prints_usage() {
     let (_, stderr, ok) = run_with_stdin(&[], "");
     assert!(!ok);
     assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn gen_requests_emits_a_deterministic_request_log() {
+    let a = mcr()
+        .args(["gen", "requests", "6", "--seed", "3"])
+        .output()
+        .expect("gen requests");
+    assert!(a.status.success());
+    let b = mcr()
+        .args(["gen", "requests", "6", "--seed", "3"])
+        .output()
+        .expect("gen requests");
+    assert_eq!(a.stdout, b.stdout, "same seed, same log");
+    let log = String::from_utf8_lossy(&a.stdout).into_owned();
+    assert_eq!(log.lines().count(), 6);
+    for line in log.lines() {
+        assert!(line.contains("\"schema\":\"mcr-req v1\""), "{line}");
+    }
+}
+
+/// Starts an in-process daemon and returns (handle, addr string).
+fn daemon() -> (mcr_serve::ServerHandle, String) {
+    let handle = mcr_serve::serve(mcr_serve::ServeConfig::default()).expect("daemon");
+    let addr = handle.local_addr().to_string();
+    (handle, addr)
+}
+
+#[test]
+fn client_replays_a_request_log_against_a_live_daemon() {
+    let (handle, addr) = daemon();
+    let log = mcr()
+        .args(["gen", "requests", "6", "--seed", "5"])
+        .output()
+        .expect("gen requests");
+    let path = std::env::temp_dir().join(format!("mcr-cli-replay-{}.jsonl", std::process::id()));
+    std::fs::write(&path, &log.stdout).expect("write log");
+    let out = mcr()
+        .args(["client", "--addr", &addr, "--replay", path.to_str().expect("utf8 path")])
+        .output()
+        .expect("client");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    assert_eq!(stdout.lines().count(), 6, "one response line per request");
+    for line in stdout.lines() {
+        assert!(line.contains("\"schema\":\"mcr-resp v1\""), "{line}");
+    }
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    assert!(stderr.contains("sent=6 received=6"), "{stderr}");
+    // The generator's deterministic failure tail surfaces as data.
+    assert!(stderr.contains("cancelled=1"), "{stderr}");
+    assert!(stderr.contains("budget-exhausted=1"), "{stderr}");
+    let _ = std::fs::remove_file(&path);
+    handle.shutdown();
+}
+
+#[test]
+fn client_no_wait_sends_without_collecting_responses() {
+    let (handle, addr) = daemon();
+    let log = mcr()
+        .args(["gen", "requests", "4", "--seed", "8"])
+        .output()
+        .expect("gen requests");
+    let path = std::env::temp_dir().join(format!("mcr-cli-nowait-{}.jsonl", std::process::id()));
+    std::fs::write(&path, &log.stdout).expect("write log");
+    let out = mcr()
+        .args(["client", "--addr", &addr, "--replay", path.to_str().expect("utf8 path"), "--no-wait"])
+        .output()
+        .expect("client");
+    assert!(out.status.success());
+    assert!(out.stdout.is_empty(), "--no-wait prints no responses");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("sent=4 received=0"));
+    let _ = std::fs::remove_file(&path);
+    handle.shutdown();
+}
+
+#[test]
+fn client_single_ops_ping_and_shutdown() {
+    let (handle, addr) = daemon();
+    let out = mcr()
+        .args(["client", "--addr", &addr, "--op", "ping"])
+        .output()
+        .expect("client ping");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"pong\":true"));
+    let out = mcr()
+        .args(["client", "--addr", &addr, "--op", "metrics"])
+        .output()
+        .expect("client metrics");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("mcr-metrics v1"));
+    let out = mcr()
+        .args(["client", "--addr", &addr, "--op", "shutdown"])
+        .output()
+        .expect("client shutdown");
+    assert!(out.status.success());
+    let dump = handle.wait();
+    assert!(dump.contains("serve.requests.accepted"));
+}
+
+#[test]
+fn client_without_addr_or_mode_is_a_usage_error() {
+    let out = mcr().args(["client"]).output().expect("client");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage: mcr client"));
 }

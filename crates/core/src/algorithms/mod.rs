@@ -16,7 +16,7 @@ pub(crate) mod megiddo;
 pub(crate) mod oa1;
 pub(crate) mod parametric;
 
-use crate::budget::BudgetScope;
+use crate::budget::{BudgetScope, Deadline};
 use crate::checkpoint::JobProgress;
 use crate::driver::{solve_per_scc, solve_per_scc_opts, solve_value_per_scc_opts, SccOutcome};
 use crate::error::SolveError;
@@ -27,7 +27,6 @@ use crate::solution::Solution;
 use crate::workspace::Workspace;
 use mcr_graph::Graph;
 use parametric::HeapGranularity;
-use std::time::Instant;
 
 /// Runs one algorithm on one strongly connected, cyclic component
 /// under a budget scope. This is the single dispatch point shared by
@@ -111,7 +110,7 @@ fn run_fallback_chain(
     epsilon: f64,
     ws: &mut Workspace,
     opts: &SolveOptions,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
 ) -> Result<SccOutcome, SolveError> {
     let mut last_err = None;
     let mut hop_from: Option<Algorithm> = None;
@@ -272,6 +271,15 @@ impl Algorithm {
         }
     }
 
+    /// Inverse of [`Algorithm::name`], case-insensitive — the lookup
+    /// both the CLI (`--algorithm`) and the `mcrd` request protocol
+    /// (`"algorithm"` field) resolve names through.
+    pub fn by_name(name: &str) -> Option<Algorithm> {
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name().eq_ignore_ascii_case(name))
+    }
+
     /// Whether the variant only guarantees an ε-approximate optimum.
     pub fn is_approximate(self) -> bool {
         matches!(
@@ -358,7 +366,7 @@ impl Algorithm {
             Some(e) => return Err(SolveError::InvalidEpsilon { epsilon: e }),
             None => Self::default_epsilon(g),
         };
-        let deadline = opts.budget.deadline();
+        let deadline = opts.effective_deadline();
         let chain = opts.fallback.chain_for(self);
         solve_per_scc_opts(g, opts, |job, sub, counters, ws| {
             run_fallback_chain(job, &chain, sub, counters, epsilon, ws, opts, deadline)
@@ -399,7 +407,7 @@ impl Algorithm {
         g: &Graph,
         opts: &SolveOptions,
     ) -> Result<(Ratio64, Counters), SolveError> {
-        let deadline = opts.budget.deadline();
+        let deadline = opts.effective_deadline();
         let scoped =
             |f: fn(&Graph, &mut Counters, &mut BudgetScope) -> Result<Ratio64, SolveError>| {
                 move |_job: usize, s: &Graph, c: &mut Counters, _ws: &mut Workspace| {

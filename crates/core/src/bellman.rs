@@ -463,7 +463,7 @@ mod tests {
     fn expired_deadline_aborts_the_oracle() {
         let g = from_arc_list(3, &[(0, 1, 2), (1, 2, 2), (2, 0, 2)]);
         let budget = crate::Budget::default().wall_time(std::time::Duration::ZERO);
-        let deadline = budget.deadline();
+        let deadline = budget.deadline().map(crate::budget::Deadline::budget);
         std::thread::sleep(std::time::Duration::from_millis(2));
         let scope = BudgetScope::new(&budget, deadline, crate::algorithms::Algorithm::Megiddo);
         let mut ws = Workspace::new();

@@ -104,6 +104,78 @@ impl Budget {
     }
 }
 
+/// How tripping a wall-clock deadline is reported: as an exhausted
+/// budget or as a cancellation. See [`Deadline`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeadlineKind {
+    /// The deadline came from [`Budget::wall_time`]; tripping it is
+    /// [`SolveError::BudgetExhausted`] with
+    /// [`BudgetResource::WallTime`] (CLI exit 2).
+    Budget,
+    /// The deadline is a caller cancellation deadline
+    /// ([`crate::SolveOptions::deadline`], the CLI's `--timeout`);
+    /// tripping it is [`SolveError::Cancelled`] (CLI exit 4), which
+    /// fails the whole solve closed — the fallback chain does not
+    /// continue past it.
+    Cancel,
+}
+
+/// One monotonic wall-clock deadline plus how tripping it is typed.
+///
+/// Historically the CLI's `--timeout` armed a detached watchdog thread
+/// while `Budget::wall_time` was polled in-loop — two independent
+/// clocks that could disagree near the boundary, making exit 2 vs
+/// exit 4 a race. Now both are folded into **one** deadline before the
+/// solve starts ([`crate::SolveOptions::effective_deadline`]): the
+/// earlier instant wins, its [`DeadlineKind`] is fixed at that moment,
+/// and every poll point in the solve races against the same instant —
+/// so which error a tripped deadline produces is deterministic.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Deadline {
+    /// The absolute monotonic instant after which the solve must stop.
+    pub at: Instant,
+    /// How tripping is reported.
+    pub kind: DeadlineKind,
+}
+
+impl Deadline {
+    /// A [`Budget::wall_time`]-style deadline (trips as exhaustion).
+    pub fn budget(at: Instant) -> Self {
+        Deadline {
+            at,
+            kind: DeadlineKind::Budget,
+        }
+    }
+
+    /// A cancellation deadline (trips as [`SolveError::Cancelled`]).
+    pub fn cancel(at: Instant) -> Self {
+        Deadline {
+            at,
+            kind: DeadlineKind::Cancel,
+        }
+    }
+
+    /// The deadline that fires first. On an exact tie the
+    /// [`DeadlineKind::Cancel`] one wins: cancellation is the caller's
+    /// explicit request, and a fixed rule keeps the boundary
+    /// deterministic.
+    pub fn earliest(a: Option<Deadline>, b: Option<Deadline>) -> Option<Deadline> {
+        match (a, b) {
+            (Some(x), Some(y)) => Some(if x.at < y.at {
+                x
+            } else if y.at < x.at {
+                y
+            } else if x.kind == DeadlineKind::Cancel {
+                x
+            } else {
+                y
+            }),
+            (x, None) => x,
+            (None, y) => y,
+        }
+    }
+}
+
 /// The runtime countdown for one (SCC, algorithm) attempt.
 ///
 /// Constructed by the driver from a [`Budget`] plus the solve-wide
@@ -119,7 +191,7 @@ pub struct BudgetScope {
     iters_spent: u64,
     refines_left: Option<u64>,
     refines_spent: u64,
-    deadline: Option<Instant>,
+    deadline: Option<Deadline>,
     cancel: Option<CancelToken>,
     /// `check_time` calls between clock reads; adapted so clock reads
     /// land roughly every [`TARGET_POLL_INTERVAL`] of wall time.
@@ -140,8 +212,11 @@ pub struct BudgetScope {
 }
 
 impl BudgetScope {
-    /// A fresh countdown for one SCC attempt of `algorithm`.
-    pub fn new(budget: &Budget, deadline: Option<Instant>, algorithm: Algorithm) -> Self {
+    /// A fresh countdown for one SCC attempt of `algorithm`. The
+    /// deadline is the solve-wide one resolved up front by
+    /// [`crate::SolveOptions::effective_deadline`], so every attempt of
+    /// every component races against the same instant.
+    pub fn new(budget: &Budget, deadline: Option<Deadline>, algorithm: Algorithm) -> Self {
         BudgetScope {
             algorithm,
             iters_left: budget.max_iterations,
@@ -307,7 +382,7 @@ impl BudgetScope {
     /// clock, checks the deadline, and re-tunes the poll stride toward
     /// one clock read per [`TARGET_POLL_INTERVAL`].
     #[cold]
-    fn poll_clock(&self, deadline: Instant) -> Result<(), SolveError> {
+    fn poll_clock(&self, deadline: Deadline) -> Result<(), SolveError> {
         let now = Instant::now();
         let stride = self.poll_stride.get();
         let stride = match self.last_clock.get() {
@@ -329,8 +404,16 @@ impl BudgetScope {
         self.poll_stride.set(stride);
         self.polls_until_clock.set(stride - 1);
         self.last_clock.set(Some(now));
-        if now >= deadline {
-            Err(self.exhausted(BudgetResource::WallTime, self.iters_spent))
+        if now >= deadline.at {
+            match deadline.kind {
+                DeadlineKind::Budget => {
+                    Err(self.exhausted(BudgetResource::WallTime, self.iters_spent))
+                }
+                DeadlineKind::Cancel => {
+                    crate::obs::cancel_observed(self.algorithm.name());
+                    Err(SolveError::Cancelled)
+                }
+            }
         } else {
             Ok(())
         }
@@ -474,7 +557,7 @@ mod tests {
 
     #[test]
     fn expired_deadline_trips_check_time() {
-        let deadline = Some(Instant::now() - Duration::from_millis(1));
+        let deadline = Some(Deadline::budget(Instant::now() - Duration::from_millis(1)));
         let s = BudgetScope::new(&Budget::UNLIMITED, deadline, Algorithm::Megiddo);
         let err = s.check_time().expect_err("deadline in the past");
         assert!(matches!(
@@ -487,6 +570,34 @@ mod tests {
     }
 
     #[test]
+    fn expired_cancel_deadline_trips_as_cancelled() {
+        let deadline = Some(Deadline::cancel(Instant::now() - Duration::from_millis(1)));
+        let s = BudgetScope::new(&Budget::UNLIMITED, deadline, Algorithm::Megiddo);
+        assert_eq!(
+            s.check_time().expect_err("deadline in the past"),
+            SolveError::Cancelled
+        );
+    }
+
+    #[test]
+    fn earliest_deadline_wins_and_ties_break_to_cancel() {
+        let now = Instant::now();
+        let soon = Deadline::budget(now + Duration::from_millis(1));
+        let late = Deadline::cancel(now + Duration::from_secs(10));
+        assert_eq!(Deadline::earliest(Some(soon), Some(late)), Some(soon));
+        assert_eq!(Deadline::earliest(Some(late), Some(soon)), Some(soon));
+        assert_eq!(Deadline::earliest(Some(soon), None), Some(soon));
+        assert_eq!(Deadline::earliest(None, Some(late)), Some(late));
+        assert_eq!(Deadline::earliest(None, None), None);
+        // An exact tie resolves to the cancellation deadline, in either
+        // argument order — the boundary-determinism contract.
+        let tie_b = Deadline::budget(now);
+        let tie_c = Deadline::cancel(now);
+        assert_eq!(Deadline::earliest(Some(tie_b), Some(tie_c)), Some(tie_c));
+        assert_eq!(Deadline::earliest(Some(tie_c), Some(tie_b)), Some(tie_c));
+    }
+
+    #[test]
     fn cancelled_token_trips_check_time() {
         let token = crate::CancelToken::new();
         let s = BudgetScope::unlimited(Algorithm::HowardExact).with_cancel(Some(token.clone()));
@@ -495,7 +606,8 @@ mod tests {
         assert_eq!(s.check_time().expect_err("cancelled"), SolveError::Cancelled);
         // Cancellation dominates: it is reported even with a live deadline.
         let b = Budget::default().wall_time(Duration::from_secs(3600));
-        let s = BudgetScope::new(&b, b.deadline(), Algorithm::Karp).with_cancel(Some(token));
+        let s = BudgetScope::new(&b, b.deadline().map(Deadline::budget), Algorithm::Karp)
+            .with_cancel(Some(token));
         assert_eq!(s.check_time().expect_err("cancelled"), SolveError::Cancelled);
     }
 
@@ -503,7 +615,7 @@ mod tests {
     fn adaptive_polling_still_detects_an_expired_deadline() {
         // Warm the stride up with fast calls, then expire the deadline:
         // the stride bounds the number of stale Oks to one stride window.
-        let deadline = Instant::now() + Duration::from_millis(20);
+        let deadline = Deadline::budget(Instant::now() + Duration::from_millis(20));
         let s = BudgetScope::new(&Budget::UNLIMITED, Some(deadline), Algorithm::Megiddo);
         let start = Instant::now();
         loop {
@@ -521,7 +633,7 @@ mod tests {
 
     #[test]
     fn poll_stride_widens_under_fast_calls() {
-        let deadline = Instant::now() + Duration::from_secs(3600);
+        let deadline = Deadline::budget(Instant::now() + Duration::from_secs(3600));
         let s = BudgetScope::new(&Budget::UNLIMITED, Some(deadline), Algorithm::Karp);
         for _ in 0..10_000 {
             s.check_time().expect("deadline far away");

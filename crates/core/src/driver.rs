@@ -49,7 +49,7 @@ use crate::sweep::SweepConfig;
 use crate::workspace::Workspace;
 use mcr_graph::{ArcId, Graph, SccDecomposition, SubgraphExtractor};
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Result of solving one strongly connected, cyclic component: the
 /// optimum value and a witness cycle in the *component's local* arc ids.
@@ -65,9 +65,80 @@ pub(crate) struct SccOutcome {
 
 /// One unit of work: a cyclic component's subgraph plus the map from its
 /// local arc ids back to the host graph.
+#[derive(Debug)]
 struct Job {
     sub: Graph,
     arc_map: Vec<ArcId>,
+}
+
+/// A pre-computed, shareable SCC decomposition of one specific graph:
+/// the driver's Tarjan-ordered job list, frozen behind an `Arc`.
+///
+/// Attach it via [`crate::SolveOptions::plan`] to skip SCC extraction
+/// on repeated solves of the **same** graph (the `mcrd` daemon's graph
+/// cache does this, so a cached graph re-solved with a new epsilon or
+/// algorithm pays neither parse nor SCC cost). The plan records the
+/// node/arc counts of the graph it was prepared from; the driver only
+/// uses it when those match the graph actually being solved, so solves
+/// on internally-derived graphs (ratio expansion, register graphs)
+/// silently fall back to fresh extraction. Matching counts on a
+/// *different* graph of identical size would misattribute components —
+/// the same-graph contract is the caller's to uphold; the fingerprint
+/// is a guard against accidents, not a cryptographic check.
+///
+/// Job order (and therefore job indices — the checkpoint/resume keys)
+/// is identical to what fresh extraction produces, so plans compose
+/// with checkpoints, budgets, and every thread count.
+#[derive(Clone, Debug)]
+pub struct SccPlan {
+    jobs: Arc<Vec<Job>>,
+    nodes: usize,
+    arcs: usize,
+}
+
+impl SccPlan {
+    /// Runs Tarjan's SCC decomposition on `g` and freezes the cyclic
+    /// components as a reusable job list.
+    pub fn prepare(g: &Graph) -> SccPlan {
+        SccPlan {
+            jobs: Arc::new(extract_jobs(g)),
+            nodes: g.num_nodes(),
+            arcs: g.num_arcs(),
+        }
+    }
+
+    /// Number of cyclic components (driver jobs) in the plan. Zero
+    /// means the graph is acyclic.
+    pub fn num_jobs(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether the plan's size fingerprint matches `g` (the guard the
+    /// driver applies before reusing the job list).
+    fn matches(&self, g: &Graph) -> bool {
+        self.nodes == g.num_nodes() && self.arcs == g.num_arcs()
+    }
+}
+
+/// Plans compare by identity (clones of one prepared plan are equal),
+/// mirroring [`crate::CancelToken`]'s semantics so
+/// [`crate::SolveOptions`] keeps its `PartialEq`.
+impl PartialEq for SccPlan {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.jobs, &other.jobs)
+    }
+}
+
+/// The job list for a solve of `g`: the caller's pre-computed
+/// [`SccPlan`] when it fingerprints as prepared-from-`g`, else a fresh
+/// extraction. The plan path is the daemon cache's "skip SCC" fast
+/// path; the fallback keeps internally-derived graphs (ratio
+/// expansion) correct under a caller-attached plan.
+fn plan_or_extract(g: &Graph, opts: &SolveOptions) -> Arc<Vec<Job>> {
+    match opts.plan.as_ref() {
+        Some(plan) if plan.matches(g) => Arc::clone(&plan.jobs),
+        _ => Arc::new(extract_jobs(g)),
+    }
 }
 
 /// Extracts every cyclic component of `g` as a standalone job, in
@@ -234,7 +305,8 @@ pub(crate) fn solve_per_scc_opts(
     solve_scc: impl Fn(usize, &Graph, &mut Counters, &mut Workspace) -> Result<SccOutcome, SolveError>
         + Sync,
 ) -> Result<Solution, SolveError> {
-    let jobs = extract_jobs(g);
+    let jobs = plan_or_extract(g, opts);
+    let jobs: &[Job] = &jobs;
     if jobs.is_empty() {
         return Err(SolveError::Acyclic);
     }
@@ -243,7 +315,7 @@ pub(crate) fn solve_per_scc_opts(
     // chunked sweeps (when that opt-in mode is selected).
     let threads = opts.effective_threads().min(jobs.len()).max(1);
     let sweep = opts.resolved_sweep(jobs.len());
-    let (results, counters) = run_jobs(&jobs, threads, sweep, solve_scc);
+    let (results, counters) = run_jobs(jobs, threads, sweep, solve_scc);
 
     // Reduce in job (= component) order with a strict `<`: on equal λ
     // the lowest component index wins, as in the sequential loop.
@@ -292,13 +364,14 @@ pub(crate) fn solve_value_per_scc_opts(
     lambda_scc: impl Fn(usize, &Graph, &mut Counters, &mut Workspace) -> Result<Ratio64, SolveError>
         + Sync,
 ) -> Result<(Ratio64, Counters), SolveError> {
-    let jobs = extract_jobs(g);
+    let jobs = plan_or_extract(g, opts);
+    let jobs: &[Job] = &jobs;
     if jobs.is_empty() {
         return Err(SolveError::Acyclic);
     }
     let threads = opts.effective_threads().min(jobs.len()).max(1);
     let sweep = opts.resolved_sweep(jobs.len());
-    let (lambdas, counters) = run_jobs(&jobs, threads, sweep, lambda_scc);
+    let (lambdas, counters) = run_jobs(jobs, threads, sweep, lambda_scc);
     let mut best: Option<Ratio64> = None;
     for result in lambdas {
         let lambda = result?;
@@ -446,6 +519,66 @@ mod tests {
         assert_eq!(next_job(&deques, 1), Some(1));
         assert_eq!(next_job(&deques, 0), None);
         assert_eq!(next_job(&deques, 1), None);
+    }
+
+    #[test]
+    fn prepared_plan_matches_fresh_extraction_bit_for_bit() {
+        let g = from_arc_list(
+            8,
+            &[
+                (0, 1, 5),
+                (1, 0, 5),
+                (2, 3, 2),
+                (3, 2, 2),
+                (4, 5, 2),
+                (5, 4, 2),
+                (6, 7, 9),
+                (7, 6, 9),
+            ],
+        );
+        let plan = SccPlan::prepare(&g);
+        assert_eq!(plan.num_jobs(), 4);
+        let fresh = solve_per_scc(&g, brute).expect("cyclic");
+        for threads in [1, 2, 8] {
+            let opts = SolveOptions::new().threads(threads).plan(plan.clone());
+            let planned = solve_per_scc_opts(&g, &opts, brute).expect("cyclic");
+            assert_eq!(planned.lambda, fresh.lambda, "threads {threads}");
+            assert_eq!(planned.cycle, fresh.cycle, "threads {threads}");
+            assert_eq!(planned.counters, fresh.counters, "threads {threads}");
+            let (v, c) = solve_value_per_scc_opts(&g, &opts, |j, s, cc, w| {
+                brute(j, s, cc, w).map(|o| o.lambda)
+            })
+            .expect("cyclic");
+            assert_eq!(v, fresh.lambda);
+            assert_eq!(c, fresh.counters);
+        }
+    }
+
+    #[test]
+    fn mismatched_plan_is_ignored_not_trusted() {
+        // A plan prepared from a different-sized graph must fall back
+        // to fresh extraction (this is what protects the internally
+        // derived ratio-expansion graphs when a caller attaches a plan
+        // for the outer graph).
+        let small = from_arc_list(2, &[(0, 1, 4), (1, 0, 4)]);
+        let big = from_arc_list(4, &[(0, 1, 5), (1, 0, 5), (2, 3, 1), (3, 2, 3)]);
+        let stale = SccPlan::prepare(&small);
+        let opts = SolveOptions::new().plan(stale);
+        let s = solve_per_scc_opts(&big, &opts, brute).expect("cyclic");
+        assert_eq!(s.lambda, Ratio64::from(2));
+        assert_eq!(s.counters.iterations, 2, "both components must be solved");
+    }
+
+    #[test]
+    fn acyclic_plan_reports_acyclic() {
+        let g = from_arc_list(3, &[(0, 1, 1), (1, 2, 1)]);
+        let plan = SccPlan::prepare(&g);
+        assert_eq!(plan.num_jobs(), 0);
+        let opts = SolveOptions::new().plan(plan);
+        assert_eq!(
+            solve_per_scc_opts(&g, &opts, brute).expect_err("acyclic"),
+            SolveError::Acyclic
+        );
     }
 
     #[test]

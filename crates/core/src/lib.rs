@@ -72,19 +72,24 @@ pub mod rational;
 pub mod reference;
 pub mod register_graph;
 pub mod solution;
+pub mod spec;
+pub mod status;
 pub mod sweep;
 pub mod workspace;
 
 pub use algorithms::Algorithm;
-pub use budget::{Budget, BudgetScope};
+pub use budget::{Budget, BudgetScope, Deadline, DeadlineKind};
 pub use cancel::CancelToken;
 pub use certify::{certify, CertifyError};
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, JobProgress};
+pub use driver::SccPlan;
 pub use error::{BudgetResource, SolveError};
 pub use instrument::Counters;
 pub use options::{FallbackChain, SolveOptions};
 pub use rational::Ratio64;
 pub use solution::{Guarantee, Solution};
+pub use spec::{Objective, SolveSpec, SpecError};
+pub use status::SolveStatus;
 pub use sweep::{SweepConfig, SweepMode};
 pub use workspace::Workspace;
 

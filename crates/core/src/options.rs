@@ -5,10 +5,12 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
 
 use crate::algorithms::Algorithm;
-use crate::budget::Budget;
+use crate::budget::{Budget, Deadline};
 use crate::cancel::CancelToken;
 use crate::checkpoint::CheckpointStore;
+use crate::driver::SccPlan;
 use crate::sweep::{SweepConfig, SweepMode, DEFAULT_CHUNK_ARCS};
+use std::time::Instant;
 
 /// The ordered list of alternate algorithms the driver tries when the
 /// primary algorithm fails with a recoverable error (budget exhaustion,
@@ -121,6 +123,16 @@ pub struct SolveOptions {
     /// [`crate::SolveError::Cancelled`] once it is cancelled. `None`
     /// (the default) adds no per-iteration cost.
     pub cancel: Option<CancelToken>,
+    /// Cancellation deadline: the absolute monotonic instant after
+    /// which the solve fails closed with
+    /// [`crate::SolveError::Cancelled`] (the CLI's `--timeout`, a
+    /// service request's deadline). Folded with
+    /// [`Budget::wall_time`]'s deadline into **one** instant by
+    /// [`SolveOptions::effective_deadline`] before the solve starts, so
+    /// whether a near-boundary trip reports exit 2 (budget) or exit 4
+    /// (cancelled) is decided once, deterministically — not by a race
+    /// between two clocks.
+    pub deadline: Option<Instant>,
     /// Checkpoint/resume state: when set, interrupted per-component
     /// attempts save their progress here, and a later solve with the
     /// same (or a reloaded) store resumes from it bit-identically. See
@@ -144,6 +156,17 @@ pub struct SolveOptions {
     /// thread count. Has no effect in [`SweepMode::Sequential`]. Never
     /// changes results, only wall-clock.
     pub sweep_threads: usize,
+    /// A pre-computed SCC decomposition ([`SccPlan::prepare`]): when
+    /// set **and** prepared from this exact graph, the per-SCC driver
+    /// reuses its Tarjan-ordered job list instead of re-running SCC
+    /// extraction — the cache fast path of the `mcrd` daemon. The plan
+    /// carries a size fingerprint; a solve on any other graph (e.g. the
+    /// ratio-expansion graphs derived internally) falls back to fresh
+    /// extraction, so a stale plan can never misroute a solve onto the
+    /// wrong components as long as the caller honors the
+    /// same-graph contract. Job indices (the checkpoint keys) are
+    /// identical with and without a plan.
+    pub plan: Option<SccPlan>,
 }
 
 impl Default for SolveOptions {
@@ -154,10 +177,12 @@ impl Default for SolveOptions {
             budget: Budget::UNLIMITED,
             fallback: FallbackChain::default(),
             cancel: None,
+            deadline: None,
             checkpoints: None,
             sweep: SweepMode::Sequential,
             sweep_chunk: 0,
             sweep_threads: 0,
+            plan: None,
         }
     }
 }
@@ -204,6 +229,37 @@ impl SolveOptions {
     pub fn cancel(mut self, token: CancelToken) -> Self {
         self.cancel = Some(token);
         self
+    }
+
+    /// Sets the absolute cancellation deadline (see
+    /// [`SolveOptions::deadline`]).
+    pub fn deadline(mut self, at: Instant) -> Self {
+        self.deadline = Some(at);
+        self
+    }
+
+    /// Attaches a pre-computed SCC plan (see [`SolveOptions::plan`]).
+    /// The plan must have been prepared from the same graph the solve
+    /// runs on.
+    pub fn plan(mut self, plan: SccPlan) -> Self {
+        self.plan = Some(plan);
+        self
+    }
+
+    /// The single solve-wide deadline: the earlier of the budget's
+    /// wall-clock deadline (trips as
+    /// [`crate::SolveError::BudgetExhausted`], exit 2) and the
+    /// cancellation deadline (trips as
+    /// [`crate::SolveError::Cancelled`], exit 4), with ties resolving
+    /// to cancellation. Every entry point resolves this **once** when
+    /// the solve starts, so all components and fallback attempts race
+    /// against one instant and the error type at the boundary is
+    /// deterministic.
+    pub fn effective_deadline(&self) -> Option<Deadline> {
+        Deadline::earliest(
+            self.budget.deadline().map(Deadline::budget),
+            self.deadline.map(Deadline::cancel),
+        )
     }
 
     /// Attaches a checkpoint store for interrupt/resume.
@@ -319,6 +375,32 @@ mod tests {
         assert_eq!((cfg.threads, cfg.chunk), (3, 512));
         // The default mode is sequential.
         assert_eq!(SolveOptions::default().sweep, SweepMode::Sequential);
+    }
+
+    #[test]
+    fn effective_deadline_prefers_the_earlier_source() {
+        use crate::budget::DeadlineKind;
+        use std::time::Duration;
+        assert!(SolveOptions::default().effective_deadline().is_none());
+        // Only a cancellation deadline: kind is Cancel, instant exact.
+        let at = Instant::now() + Duration::from_secs(5);
+        let opts = SolveOptions::new().deadline(at);
+        let d = opts.effective_deadline().expect("deadline set");
+        assert_eq!((d.at, d.kind), (at, DeadlineKind::Cancel));
+        // A much tighter wall budget wins over the distant timeout.
+        let opts = opts.budget(Budget::default().wall_time(Duration::from_millis(1)));
+        assert_eq!(
+            opts.effective_deadline().expect("both set").kind,
+            DeadlineKind::Budget
+        );
+        // ... and a timeout earlier than the wall budget wins back.
+        let opts = SolveOptions::new()
+            .budget(Budget::default().wall_time(Duration::from_secs(3600)))
+            .deadline(Instant::now() + Duration::from_millis(1));
+        assert_eq!(
+            opts.effective_deadline().expect("both set").kind,
+            DeadlineKind::Cancel
+        );
     }
 
     #[test]

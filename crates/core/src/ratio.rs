@@ -65,9 +65,10 @@ pub fn howard_ratio_exact(g: &Graph) -> Option<Solution> {
 /// apply to the algorithm-specific ratio entry points).
 pub fn howard_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
     crate::obs::solve_start(Algorithm::HowardExact.name(), g, opts.effective_threads());
-    let deadline = opts.budget.deadline();
+    let deadline = opts.effective_deadline();
     let result = solve_per_scc_opts(g, opts, |_job, s, c, ws| {
-        let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::HowardExact);
+        let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::HowardExact)
+            .with_cancel(opts.cancel.clone());
         crate::algorithms::howard::solve_scc_exact(s, c, ws, &mut scope)
     });
     match &result {
@@ -165,9 +166,10 @@ pub fn lawler_ratio_exact(g: &Graph) -> Option<Solution> {
 /// budget; no fallback chain on the ratio entry points).
 pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solution, SolveError> {
     crate::obs::solve_start(Algorithm::LawlerExact.name(), g, opts.effective_threads());
-    let deadline = opts.budget.deadline();
+    let deadline = opts.effective_deadline();
     let result = solve_per_scc_opts(g, opts, |_job, s, c, ws| {
-        let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::LawlerExact);
+        let mut scope = BudgetScope::new(&opts.budget, deadline, Algorithm::LawlerExact)
+            .with_cancel(opts.cancel.clone());
         ratio_bisection(s, c, None, ws, &mut scope)
     });
     match &result {

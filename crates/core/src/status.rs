@@ -1,0 +1,189 @@
+//! The shared solve-outcome taxonomy.
+//!
+//! One enum is the single source of truth for how a solve outcome is
+//! reported across process boundaries: the CLI's exit codes, the
+//! `mcr-resp v1` status codes of the `mcrd` daemon, and the
+//! `status_name` wire tags all come from [`SolveStatus`]. Before this
+//! module existed the CLI kept its own four-variant error enum with a
+//! hand-written exit-code match; the daemon would have needed a third
+//! copy, so the mapping now lives here once.
+
+// Parsing/validation surfaces must stay panic-free whatever the
+// input; CI runs clippy with -D warnings, so these lints are a gate.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::error::SolveError;
+
+/// How a solve request ended, as seen by a caller across a process
+/// boundary.
+///
+/// The numeric values are a public contract: they are the CLI's exit
+/// codes and the `status` field of `mcr-resp v1` responses. Codes 0–4
+/// predate this enum (PR 2/3 CLI taxonomy); [`SolveStatus::Overloaded`]
+/// is service-only — the one-shot CLI never sheds load, so it never
+/// exits 5.
+///
+/// ```
+/// use mcr_core::status::SolveStatus;
+/// assert_eq!(SolveStatus::BudgetExhausted.code(), 2);
+/// assert_eq!(SolveStatus::BudgetExhausted.wire_name(), "budget-exhausted");
+/// assert!(SolveStatus::Overloaded.is_retryable());
+/// assert!(!SolveStatus::CertifyFailed.is_retryable());
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SolveStatus {
+    /// The solve finished and the witness certificate checked out.
+    Ok,
+    /// The input or the request itself was unusable: parse errors,
+    /// unknown algorithms, zero-transit cycles, invalid epsilon.
+    InputError,
+    /// A [`crate::Budget`] resource ran out before any algorithm in the
+    /// fallback chain converged. Retrying with a larger budget (or at a
+    /// quieter time, for wall-clock budgets) can succeed.
+    BudgetExhausted,
+    /// The solver produced an answer whose witness cycle does not
+    /// reproduce the reported λ — a solver bug, surfaced loudly.
+    CertifyFailed,
+    /// The solve was cancelled: the caller's deadline or `--timeout`
+    /// expired, or a [`crate::CancelToken`] tripped. The work was
+    /// abandoned closed; retrying with a later deadline can succeed.
+    Cancelled,
+    /// Service-only: the daemon's admission queue was full and the
+    /// request was shed before any work was done. Always retryable;
+    /// the response carries a `retry_after_ms` hint.
+    Overloaded,
+}
+
+impl SolveStatus {
+    /// Every status, in code order.
+    pub const ALL: [SolveStatus; 6] = [
+        SolveStatus::Ok,
+        SolveStatus::InputError,
+        SolveStatus::BudgetExhausted,
+        SolveStatus::CertifyFailed,
+        SolveStatus::Cancelled,
+        SolveStatus::Overloaded,
+    ];
+
+    /// The numeric code: CLI exit code and `mcr-resp v1` `status`.
+    pub fn code(self) -> u8 {
+        match self {
+            SolveStatus::Ok => 0,
+            SolveStatus::InputError => 1,
+            SolveStatus::BudgetExhausted => 2,
+            SolveStatus::CertifyFailed => 3,
+            SolveStatus::Cancelled => 4,
+            SolveStatus::Overloaded => 5,
+        }
+    }
+
+    /// The inverse of [`SolveStatus::code`].
+    pub fn from_code(code: u8) -> Option<SolveStatus> {
+        SolveStatus::ALL.into_iter().find(|s| s.code() == code)
+    }
+
+    /// Stable kebab-case tag used as the `status_name` field of
+    /// `mcr-resp v1` responses. Renaming one is a schema version bump.
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SolveStatus::Ok => "ok",
+            SolveStatus::InputError => "input-error",
+            SolveStatus::BudgetExhausted => "budget-exhausted",
+            SolveStatus::CertifyFailed => "certify-failed",
+            SolveStatus::Cancelled => "cancelled",
+            SolveStatus::Overloaded => "overloaded",
+        }
+    }
+
+    /// Whether retrying the identical request can plausibly succeed
+    /// without the caller changing anything about the input itself.
+    /// Drives the `retryable` field of `mcr-resp v1`, so load-shedding
+    /// clients know which failures are worth re-queueing.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            SolveStatus::BudgetExhausted | SolveStatus::Cancelled | SolveStatus::Overloaded
+        )
+    }
+
+    /// Maps a typed solver failure onto the taxonomy — the single
+    /// mapping previously duplicated in the CLI's exit-code match.
+    pub fn from_solve_error(e: &SolveError) -> SolveStatus {
+        match e {
+            SolveError::BudgetExhausted { .. } => SolveStatus::BudgetExhausted,
+            SolveError::Cancelled => SolveStatus::Cancelled,
+            // Acyclic is not routed here (it is a non-error outcome for
+            // the CLI); everything else is a property of the input.
+            _ => SolveStatus::InputError,
+        }
+    }
+}
+
+impl std::fmt::Display for SolveStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.wire_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algorithms::Algorithm;
+    use crate::error::BudgetResource;
+
+    #[test]
+    fn codes_are_the_documented_contract() {
+        let codes: Vec<u8> = SolveStatus::ALL.iter().map(|s| s.code()).collect();
+        assert_eq!(codes, [0, 1, 2, 3, 4, 5]);
+        for s in SolveStatus::ALL {
+            assert_eq!(SolveStatus::from_code(s.code()), Some(s));
+        }
+        assert_eq!(SolveStatus::from_code(99), None);
+    }
+
+    #[test]
+    fn wire_names_are_unique_and_kebab() {
+        let mut names: Vec<&str> = SolveStatus::ALL.iter().map(|s| s.wire_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), SolveStatus::ALL.len());
+        for n in names {
+            assert!(n.chars().all(|c| c.is_ascii_lowercase() || c == '-'), "{n}");
+        }
+    }
+
+    #[test]
+    fn solve_error_mapping_matches_the_cli_contract() {
+        let budget = SolveError::BudgetExhausted {
+            algorithm: Algorithm::Karp,
+            resource: BudgetResource::WallTime,
+            spent: 1,
+        };
+        assert_eq!(
+            SolveStatus::from_solve_error(&budget),
+            SolveStatus::BudgetExhausted
+        );
+        assert_eq!(
+            SolveStatus::from_solve_error(&SolveError::Cancelled),
+            SolveStatus::Cancelled
+        );
+        assert_eq!(
+            SolveStatus::from_solve_error(&SolveError::ZeroTransitCycle),
+            SolveStatus::InputError
+        );
+        assert_eq!(
+            SolveStatus::from_solve_error(&SolveError::InvalidEpsilon { epsilon: -1.0 }),
+            SolveStatus::InputError
+        );
+    }
+
+    #[test]
+    fn retryability_partition() {
+        assert!(SolveStatus::BudgetExhausted.is_retryable());
+        assert!(SolveStatus::Cancelled.is_retryable());
+        assert!(SolveStatus::Overloaded.is_retryable());
+        assert!(!SolveStatus::Ok.is_retryable());
+        assert!(!SolveStatus::InputError.is_retryable());
+        assert!(!SolveStatus::CertifyFailed.is_retryable());
+    }
+}

@@ -30,9 +30,11 @@
 //! ```
 
 pub mod circuit;
+pub mod requests;
 pub mod sprand;
 pub mod structured;
 pub mod transit;
 
 pub use circuit::{circuit_graph, CircuitConfig};
+pub use requests::{request_log, RequestLogConfig};
 pub use sprand::{sprand, SprandConfig};

@@ -30,6 +30,9 @@
 //!   construction, every access is covered by the dynamic suites
 //!   (proptest differential, chaos, adversarial), and `get()` chains
 //!   there would obscure the papers' pseudocode.
+//! * **MCRL008** (serve request containment): `crates/serve/src/` —
+//!   every `fn handle_*` must install the per-request `RequestGuard`,
+//!   and `guard.rs` must keep tying `BudgetScope` to `MAX_FRAME_LEN`.
 
 pub mod rules;
 pub mod scan;
@@ -120,6 +123,9 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
         }
         if rel.starts_with("crates/core/src/") || rel.starts_with("crates/graph/src/") {
             rules::check_narrowing_casts(&rel, &scanned, &mut diagnostics);
+        }
+        if rel.starts_with("crates/serve/src/") {
+            rules::check_serve_handlers(&rel, &scanned, &mut diagnostics);
         }
         if PANIC_SCOPE.contains(&rel.as_str()) {
             rules::check_panic_free(&rel, &scanned, &mut diagnostics);

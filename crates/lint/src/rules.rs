@@ -1,4 +1,4 @@
-//! The seven workspace contract rules.
+//! The eight workspace contract rules.
 //!
 //! | id      | allow tag        | contract                                              |
 //! |---------|------------------|-------------------------------------------------------|
@@ -9,6 +9,7 @@
 //! | MCRL005 | `panic`          | parser/solver/driver/fallback layers are panic-free   |
 //! | MCRL006 | `obs`            | budget-charging algorithm loops register loop metrics |
 //! | MCRL007 | `sweep`          | chunked-sweep kernels carry loop metrics + chaos site |
+//! | MCRL008 | `serve`          | every serve-layer request handler installs the guard  |
 //!
 //! MCRL000 reports a malformed `// lint: allow(...)` comment (typos in
 //! the allowlist must never silently disable a rule).
@@ -16,7 +17,7 @@
 use crate::scan::{Scanned, TokKind, Token};
 
 /// Rule tags accepted inside `// lint: allow(<tag>) reason=...`.
-pub const KNOWN_ALLOW_TAGS: [&str; 7] = [
+pub const KNOWN_ALLOW_TAGS: [&str; 8] = [
     "budget",
     "chaos",
     "float-eq",
@@ -24,6 +25,7 @@ pub const KNOWN_ALLOW_TAGS: [&str; 7] = [
     "panic",
     "obs",
     "sweep",
+    "serve",
 ];
 
 /// One finding, position included.
@@ -553,6 +555,92 @@ pub fn check_no_indexing(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
     }
 }
 
+/// MCRL008: every non-test `fn handle_*` in the serve layer must
+/// install the per-request [`RequestGuard`] — the one object tying a
+/// request's deadline, budget, and frame-size cap together. A handler
+/// that skips the guard runs outside the containment boundary: its
+/// work is invisible to admission control and can outlive its
+/// deadline. The guard module itself (`guard.rs`) must keep mentioning
+/// `BudgetScope` and `MAX_FRAME_LEN`, so the tie between the solver
+/// budget machinery and the wire-level cap cannot silently dissolve
+/// into a stub.
+pub fn check_serve_handlers(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
+    let toks = &s.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        if !name.text.starts_with("handle_") || s.is_test_line(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        let Some(popen) = (i + 1..toks.len()).find(|&k| toks[k].text == "(") else {
+            break;
+        };
+        let Some(pclose) = matching(toks, popen, "(", ")") else {
+            break;
+        };
+        let body_open = (pclose..toks.len()).find(|&k| toks[k].text == "{" || toks[k].text == ";");
+        let (bopen, bclose) = match body_open {
+            Some(k) if toks[k].text == "{" => match matching(toks, k, "{", "}") {
+                Some(c) => (k, c),
+                None => break,
+            },
+            _ => {
+                i = pclose + 1;
+                continue;
+            }
+        };
+        let guarded = toks[bopen..=bclose]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && t.text == "RequestGuard");
+        if !guarded {
+            diag(
+                out,
+                s,
+                "MCRL008",
+                "serve",
+                file,
+                fn_line,
+                format!(
+                    "request handler `{}` never installs a RequestGuard: its work would \
+                     run outside the deadline/frame-cap containment boundary",
+                    name.text
+                ),
+            );
+        }
+        i += 1;
+    }
+    if file.ends_with("/guard.rs") {
+        for ident in ["BudgetScope", "MAX_FRAME_LEN"] {
+            if !toks
+                .iter()
+                .any(|t| t.kind == TokKind::Ident && t.text == ident)
+            {
+                diag(
+                    out,
+                    s,
+                    "MCRL008",
+                    "serve",
+                    file,
+                    1,
+                    format!(
+                        "serve guard module never mentions `{ident}`; RequestGuard must \
+                         tie the request budget and the frame cap together"
+                    ),
+                );
+            }
+        }
+    }
+}
+
 /// Index of the token matching `open` at `at`, honoring nesting.
 fn matching(toks: &[Token], at: usize, open: &str, close: &str) -> Option<usize> {
     let mut depth = 0usize;
@@ -718,6 +806,48 @@ mod tests {
         let src = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); let z = 1.0 == y; }\n}\n";
         assert!(run(src, check_panic_free).is_empty());
         assert!(run(src, check_float_eq).is_empty());
+    }
+
+    #[test]
+    fn serve_rule_fires_on_unguarded_handler() {
+        let src = "fn handle_ping(shared: &Shared, id: u64) -> Flow {\n\
+                   \x20 reply(shared, id)\n\
+                   }\n";
+        let d = run(src, check_serve_handlers);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "MCRL008");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("handle_ping"));
+    }
+
+    #[test]
+    fn serve_rule_passes_guarded_handlers_and_non_handlers() {
+        let src = "fn handle_solve(shared: &Shared, id: u64) -> Flow {\n\
+                   \x20 let _g = RequestGuard::install(&b, d, now, alg, n)?;\n\
+                   \x20 solve(shared, id)\n\
+                   }\n\
+                   fn dispatch(op: Op) { route(op); }\n";
+        assert!(run(src, check_serve_handlers).is_empty());
+    }
+
+    #[test]
+    fn serve_rule_skips_test_handlers() {
+        let src = "#[cfg(test)]\nmod tests {\n fn handle_fake(x: u64) { drop(x); }\n}\n";
+        assert!(run(src, check_serve_handlers).is_empty());
+    }
+
+    #[test]
+    fn serve_rule_guards_the_guard_module_itself() {
+        // A stub guard.rs that lost the frame-cap tie must fire; the
+        // same source under any other file name must not.
+        let src = "pub struct RequestGuard { scope: BudgetScope }\n";
+        let s = scan(src);
+        let mut d = Vec::new();
+        check_serve_handlers("crates/serve/src/guard.rs", &s, &mut d);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "MCRL008");
+        assert!(d[0].message.contains("MAX_FRAME_LEN"));
+        assert!(run(src, check_serve_handlers).is_empty());
     }
 
     #[test]

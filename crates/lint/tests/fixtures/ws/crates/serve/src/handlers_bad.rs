@@ -1,0 +1,24 @@
+fn handle_bare(shared: &Shared, id: u64) -> Flow {
+    reply(shared, id)
+}
+
+// lint: allow(serve) reason=fixture proves the serve tag suppresses
+fn handle_waived(shared: &Shared, id: u64) -> Flow {
+    reply(shared, id)
+}
+
+fn handle_guarded(shared: &Shared, id: u64) -> Flow {
+    let _g = RequestGuard::install(&shared.budget, None, now(), alg, 16);
+    reply(shared, id)
+}
+
+fn dispatch(op: Op) -> Flow {
+    route(op)
+}
+
+#[cfg(test)]
+mod tests {
+    fn handle_fake(x: u64) -> u64 {
+        x
+    }
+}

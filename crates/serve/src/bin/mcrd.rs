@@ -1,0 +1,92 @@
+//! `mcrd` — the batched solve daemon.
+//!
+//! ```text
+//! mcrd [--listen ADDR] [--workers N] [--queue-depth N]
+//!      [--cache-capacity N] [--journal-dir DIR]
+//!      [--slice-iters N] [--retry-after-ms N]
+//! ```
+//!
+//! Prints `mcrd listening on <addr>` (stdout, flushed) once the socket
+//! is bound — with `--listen 127.0.0.1:0` that line is how scripts
+//! learn the port. Runs until a `shutdown` request arrives, then dumps
+//! its `mcr-metrics v1` counters to stdout and exits 0. Configuration
+//! errors exit 1 with a message on stderr.
+
+use mcr_serve::{serve, ServeConfig};
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mcrd [--listen ADDR] [--workers N] [--queue-depth N] \
+                     [--cache-capacity N] [--journal-dir DIR] [--slice-iters N] \
+                     [--retry-after-ms N]";
+
+fn parse_config(args: &[String]) -> Result<ServeConfig, String> {
+    let mut cfg = ServeConfig::default();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value\n{USAGE}"))
+        };
+        match flag.as_str() {
+            "--listen" => cfg.addr = value("--listen")?,
+            "--workers" => {
+                cfg.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--queue-depth" => {
+                cfg.queue_depth = value("--queue-depth")?
+                    .parse()
+                    .map_err(|e| format!("--queue-depth: {e}"))?;
+            }
+            "--cache-capacity" => {
+                cfg.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?;
+            }
+            "--journal-dir" => cfg.journal_dir = Some(PathBuf::from(value("--journal-dir")?)),
+            "--slice-iters" => {
+                cfg.slice_iterations = value("--slice-iters")?
+                    .parse()
+                    .map_err(|e| format!("--slice-iters: {e}"))?;
+            }
+            "--retry-after-ms" => {
+                cfg.retry_after_ms = value("--retry-after-ms")?
+                    .parse()
+                    .map_err(|e| format!("--retry-after-ms: {e}"))?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    if cfg.queue_depth == 0 {
+        return Err("--queue-depth must be at least 1".to_string());
+    }
+    Ok(cfg)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cfg = match parse_config(&args) {
+        Ok(cfg) => cfg,
+        Err(msg) => {
+            eprintln!("mcrd: {msg}");
+            return ExitCode::from(1);
+        }
+    };
+    let handle = match serve(cfg) {
+        Ok(handle) => handle,
+        Err(e) => {
+            eprintln!("mcrd: failed to start: {e}");
+            return ExitCode::from(1);
+        }
+    };
+    println!("mcrd listening on {}", handle.local_addr());
+    let _ = std::io::stdout().flush();
+    let final_metrics = handle.wait();
+    print!("{final_metrics}");
+    ExitCode::from(0)
+}

@@ -1,0 +1,229 @@
+//! The daemon's LRU graph cache.
+//!
+//! Parsing a DIMACS instance and running Tarjan's SCC extraction are
+//! the two per-request costs that do not depend on the requested
+//! algorithm or precision. The cache keys instances by the FNV-1a
+//! hash of their exact DIMACS text, so a client can send a graph once
+//! and then re-solve it under different algorithms, epsilons, or
+//! objectives by `graph_hash` alone — the daemon pays neither parse
+//! nor SCC extraction again (the `serve.graph.parse` and
+//! `serve.plan.build` counters prove it).
+//!
+//! Each entry lazily holds one [`SccPlan`] *per orientation*: maximize
+//! requests solve the negated graph, and a plan's frozen jobs carry
+//! the weights of the orientation they were extracted from (see
+//! [`mcr_core::spec::solve_spec`]'s plan-orientation contract), so the
+//! two orientations can never share a plan.
+
+use crate::chaos;
+use mcr_core::SccPlan;
+use mcr_graph::Graph;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// FNV-1a, 64-bit: the wire format's content hash. Stable across
+/// platforms and trivially re-implementable by non-Rust clients.
+pub fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+struct Entry {
+    graph: Arc<Graph>,
+    /// Plan for the minimize orientation (prepared from `graph`).
+    plan: Option<SccPlan>,
+    /// Plan for the maximize orientation (prepared from
+    /// `graph.negated()`).
+    negated_plan: Option<SccPlan>,
+}
+
+/// What a lookup hands to the worker: the instance in the caller's
+/// orientation plus the plan for the orientation the solver will run
+/// on. `plan_built` reports whether this call had to build the plan
+/// (first use of this orientation) so the server can meter it.
+pub struct Resolved {
+    /// The cached instance, caller orientation.
+    pub graph: Arc<Graph>,
+    /// SCC plan for the requested orientation.
+    pub plan: SccPlan,
+    /// Whether [`SccPlan::prepare`] ran during this lookup.
+    pub plan_built: bool,
+}
+
+/// LRU cache from content hash to parsed instance. Capacity 0 disables
+/// caching (every lookup misses and nothing is stored). Not internally
+/// synchronized — the server wraps it in its own mutex.
+pub struct GraphCache {
+    capacity: usize,
+    entries: HashMap<u64, Entry>,
+    /// Recency order, oldest at the front. Invariant: same key set as
+    /// `entries`, each key once.
+    order: VecDeque<u64>,
+}
+
+impl GraphCache {
+    /// An empty cache holding at most `capacity` instances.
+    pub fn new(capacity: usize) -> GraphCache {
+        GraphCache {
+            capacity,
+            entries: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    /// Number of cached instances.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    fn touch(&mut self, hash: u64) {
+        if let Some(pos) = self.order.iter().position(|&h| h == hash) {
+            self.order.remove(pos);
+        }
+        self.order.push_back(hash);
+    }
+
+    /// Looks up `hash`, building the orientation's plan on first use.
+    /// A hit refreshes the entry's recency. The `serve.cache.lookup`
+    /// failpoint degrades a would-be hit into a miss, which the server
+    /// then handles exactly like a cold instance — the fault is
+    /// contained to extra work, never a wrong answer.
+    pub fn get(&mut self, hash: u64, maximize: bool) -> Option<Resolved> {
+        if !self.entries.contains_key(&hash) {
+            return None;
+        }
+        if chaos::fail_hit("serve.cache.lookup") {
+            return None;
+        }
+        self.touch(hash);
+        let entry = self.entries.get_mut(&hash)?;
+        let slot = if maximize {
+            &mut entry.negated_plan
+        } else {
+            &mut entry.plan
+        };
+        let plan_built = slot.is_none();
+        if plan_built {
+            let plan = if maximize {
+                SccPlan::prepare(&entry.graph.negated())
+            } else {
+                SccPlan::prepare(&entry.graph)
+            };
+            *slot = Some(plan);
+        }
+        let plan = slot.clone()?;
+        Some(Resolved {
+            graph: Arc::clone(&entry.graph),
+            plan,
+            plan_built,
+        })
+    }
+
+    /// Inserts a freshly parsed instance, evicting the least recently
+    /// used entries beyond capacity. No-op when capacity is 0.
+    pub fn insert(&mut self, hash: u64, graph: Arc<Graph>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.insert(
+            hash,
+            Entry {
+                graph,
+                plan: None,
+                negated_plan: None,
+            },
+        );
+        self.touch(hash);
+        while self.entries.len() > self.capacity {
+            match self.order.pop_front() {
+                Some(oldest) => {
+                    self.entries.remove(&oldest);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcr_graph::io::read_dimacs;
+
+    const TRIANGLE: &str = "p mcr 3 3\na 1 2 1\na 2 3 2\na 3 1 3\n";
+
+    fn graph(text: &str) -> Arc<Graph> {
+        Arc::new(read_dimacs(&mut text.as_bytes()).expect("valid"))
+    }
+
+    #[test]
+    fn fnv1a_matches_reference_vectors() {
+        // Published FNV-1a 64-bit test vectors.
+        assert_eq!(fnv1a(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a("foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn hit_reuses_the_plan_miss_reports_build() {
+        let mut c = GraphCache::new(4);
+        let h = fnv1a(TRIANGLE);
+        assert!(c.get(h, false).is_none());
+        c.insert(h, graph(TRIANGLE));
+        let first = c.get(h, false).expect("hit");
+        assert!(first.plan_built);
+        let second = c.get(h, false).expect("hit");
+        assert!(!second.plan_built, "plan is reused");
+        assert_eq!(first.plan, second.plan, "same shared plan");
+    }
+
+    #[test]
+    fn orientations_get_distinct_plans() {
+        let mut c = GraphCache::new(4);
+        let h = fnv1a(TRIANGLE);
+        c.insert(h, graph(TRIANGLE));
+        let min = c.get(h, false).expect("hit");
+        let max = c.get(h, true).expect("hit");
+        assert!(max.plan_built, "maximize builds its own plan");
+        assert!(min.plan != max.plan, "orientations never share a plan");
+        assert_eq!(min.plan.num_jobs(), max.plan.num_jobs());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = GraphCache::new(2);
+        let texts = [
+            TRIANGLE,
+            "p mcr 2 2\na 1 2 5\na 2 1 1\n",
+            "p mcr 1 1\na 1 1 7\n",
+        ];
+        let hashes: Vec<u64> = texts.iter().map(|t| fnv1a(t)).collect();
+        c.insert(hashes[0], graph(texts[0]));
+        c.insert(hashes[1], graph(texts[1]));
+        // Touch [0] so [1] is the LRU victim.
+        assert!(c.get(hashes[0], false).is_some());
+        c.insert(hashes[2], graph(texts[2]));
+        assert_eq!(c.len(), 2);
+        assert!(c.get(hashes[1], false).is_none(), "victim evicted");
+        assert!(c.get(hashes[0], false).is_some());
+        assert!(c.get(hashes[2], false).is_some());
+    }
+
+    #[test]
+    fn capacity_zero_disables_caching() {
+        let mut c = GraphCache::new(0);
+        let h = fnv1a(TRIANGLE);
+        c.insert(h, graph(TRIANGLE));
+        assert!(c.is_empty());
+        assert!(c.get(h, false).is_none());
+    }
+}

@@ -1,0 +1,54 @@
+//! Failpoint sites for the service layer (`chaos` feature).
+//!
+//! With the feature off (the default) both helpers are empty
+//! `#[inline(always)]` functions and the crate contains no injection
+//! code at all. With `--features chaos` they report to the
+//! [`mcr_chaos`] registry, so a seeded schedule can deterministically
+//! fail any stage of the request path.
+//!
+//! Sites (all declared in `crates/chaos/sites.txt`, checked by
+//! MCRL002):
+//!
+//! | site                   | where it bites                           |
+//! |------------------------|------------------------------------------|
+//! | `serve.frame.read`     | reading a length-prefixed request frame  |
+//! | `serve.frame.write`    | writing a response frame                 |
+//! | `serve.queue.admit`    | admission: force a load-shed rejection   |
+//! | `serve.worker.solve`   | worker dequeue: force a typed solve miss |
+//! | `serve.journal.append` | journal write: force a retryable reject  |
+//! | `serve.journal.replay` | recovery scan: skip one journal entry    |
+//! | `serve.cache.lookup`   | graph cache: degrade a hit to a miss     |
+//! | `serve.client.frame`   | client-side frame I/O                    |
+//!
+//! Error-capable sites use [`fail_hit`]: any scheduled error kind makes
+//! the site take its degraded-but-typed path (the service never
+//! distinguishes kinds — every fault is containment-tested the same
+//! way). [`mcr_chaos::FaultKind::Delay`] sleeps inside the registry and
+//! reports no fault, exercising deadlines instead.
+
+/// Unit failpoint: counts the hit, applies delay faults.
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn pulse(site: &'static str) {
+    let _ = mcr_chaos::hit(site);
+}
+
+/// Compiled-out unit failpoint.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn pulse(_site: &'static str) {}
+
+/// Error-capable failpoint: `true` means the site must take its typed
+/// degraded path (delays were already applied and report `false`).
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn fail_hit(site: &'static str) -> bool {
+    mcr_chaos::hit(site).is_some()
+}
+
+/// Compiled-out error failpoint: never fires.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn fail_hit(_site: &'static str) -> bool {
+    false
+}

@@ -1,0 +1,130 @@
+//! The batch client behind `mcr client`.
+//!
+//! Reads an `mcr-req v1` request log (JSONL — one request per line,
+//! blank lines and `#` comments skipped), pipelines every request to
+//! the daemon over one connection, then collects exactly one response
+//! per request and prints each response line to the output. Responses
+//! may arrive in any order; the client counts frames, callers match
+//! ids. The process-level contract (used by the CI serve stage): the
+//! client succeeds iff every request got *some* response — per-request
+//! failures are data, not transport errors.
+
+// The client talks to a network peer; every failure must be a typed
+// report, not a panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::chaos;
+use crate::frame;
+use crate::json::{self, Value};
+use std::io::{BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// How long the client waits for any single response frame before
+/// declaring the daemon unresponsive.
+pub const RESPONSE_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// What a replay run observed, for the caller's summary line.
+#[derive(Debug, Default)]
+pub struct ClientReport {
+    /// Requests sent.
+    pub sent: usize,
+    /// Responses received (== `sent` unless `--no-wait`).
+    pub received: usize,
+    /// Response counts by wire status name, sorted by name.
+    pub by_status: Vec<(String, usize)>,
+}
+
+fn transport<E: std::fmt::Display>(stage: &str) -> impl FnOnce(E) -> String + '_ {
+    move |e| format!("{stage}: {e}")
+}
+
+/// Sends every request line to `addr` and (unless `no_wait`) reads one
+/// response per request, writing each response line to `out`.
+///
+/// `no_wait` exists for crash testing: it admits work and returns
+/// without waiting for solves, so the caller can `kill -9` the daemon
+/// with the queue provably non-empty.
+pub fn replay(
+    addr: &str,
+    lines: &[String],
+    no_wait: bool,
+    out: &mut dyn Write,
+) -> Result<ClientReport, String> {
+    let stream = TcpStream::connect(addr).map_err(transport("connect"))?;
+    stream
+        .set_read_timeout(Some(RESPONSE_TIMEOUT))
+        .map_err(transport("set timeout"))?;
+    let mut writer = stream.try_clone().map_err(transport("clone stream"))?;
+    let mut report = ClientReport::default();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        chaos::pulse("serve.client.frame");
+        frame::write_frame(&mut writer, line.as_bytes()).map_err(transport("send request"))?;
+        report.sent += 1;
+    }
+    if no_wait {
+        return Ok(report);
+    }
+    let mut reader = BufReader::new(stream);
+    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
+    while report.received < report.sent {
+        let payload = frame::read_frame(&mut reader)
+            .map_err(transport("read response"))?
+            .ok_or_else(|| {
+                format!(
+                    "daemon closed the connection after {} of {} responses",
+                    report.received, report.sent
+                )
+            })?;
+        let text = String::from_utf8(payload).map_err(transport("decode response"))?;
+        let status = json::parse(&text)
+            .ok()
+            .and_then(|v| v.get("status").and_then(Value::as_str).map(String::from))
+            .unwrap_or_else(|| "unparseable".to_string());
+        *counts.entry(status).or_insert(0) += 1;
+        writeln!(out, "{text}").map_err(transport("write output"))?;
+        report.received += 1;
+    }
+    report.by_status = counts.into_iter().collect();
+    Ok(report)
+}
+
+/// Sends a single `ping`, `metrics`, or `shutdown` request (id 1) and
+/// prints the response. For `metrics` the embedded JSONL dump is
+/// unwrapped so the output is directly `mcr-metrics v1`.
+pub fn one_op(addr: &str, op: &str, out: &mut dyn Write) -> Result<(), String> {
+    if !matches!(op, "ping" | "metrics" | "shutdown") {
+        return Err(format!("unknown op {op:?} (ping|metrics|shutdown)"));
+    }
+    let request = json::ObjWriter::new()
+        .str("schema", crate::protocol::REQ_SCHEMA)
+        .u64("id", 1)
+        .str("op", op)
+        .finish();
+    let stream = TcpStream::connect(addr).map_err(transport("connect"))?;
+    stream
+        .set_read_timeout(Some(RESPONSE_TIMEOUT))
+        .map_err(transport("set timeout"))?;
+    let mut writer = stream.try_clone().map_err(transport("clone stream"))?;
+    chaos::pulse("serve.client.frame");
+    frame::write_frame(&mut writer, request.as_bytes()).map_err(transport("send request"))?;
+    let mut reader = BufReader::new(stream);
+    let payload = frame::read_frame(&mut reader)
+        .map_err(transport("read response"))?
+        .ok_or_else(|| "daemon closed the connection without responding".to_string())?;
+    let text = String::from_utf8(payload).map_err(transport("decode response"))?;
+    if op == "metrics" {
+        if let Ok(v) = json::parse(&text) {
+            if let Some(dump) = v.get("metrics").and_then(Value::as_str) {
+                write!(out, "{dump}").map_err(transport("write output"))?;
+                return Ok(());
+            }
+        }
+    }
+    writeln!(out, "{text}").map_err(transport("write output"))?;
+    Ok(())
+}

@@ -1,0 +1,123 @@
+//! Length-prefixed framing for the wire protocol.
+//!
+//! Every message — request or response — is one frame: a 4-byte
+//! big-endian payload length followed by that many bytes of UTF-8
+//! JSON. The length is capped at [`MAX_FRAME_LEN`] on both read and
+//! write, so a corrupt or hostile peer cannot make the daemon allocate
+//! unboundedly, and a response that would exceed the cap fails typed
+//! instead of wedging the connection.
+
+// Framing faces the network; it must fail typed, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::chaos;
+use std::io::{self, Read, Write};
+
+/// Hard cap on one frame's payload, read and write side both (8 MiB —
+/// a ~100k-arc DIMACS instance is well under 2 MiB).
+pub const MAX_FRAME_LEN: usize = 8 << 20;
+
+/// Reads one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); a close mid-frame is an error.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
+    let mut len_buf = [0u8; 4];
+    // A clean EOF on the first header byte means the peer is done.
+    let mut filled = 0usize;
+    while filled < 4 {
+        let n = r.read(&mut len_buf[filled..])?;
+        if n == 0 {
+            if filled == 0 {
+                return Ok(None);
+            }
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "connection closed mid-frame-header",
+            ));
+        }
+        filled += n;
+    }
+    if chaos::fail_hit("serve.frame.read") {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "injected frame-read fault",
+        ));
+    }
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_exact(&mut payload)?;
+    Ok(Some(payload))
+}
+
+/// Writes one frame and flushes.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "frame length {} exceeds cap {MAX_FRAME_LEN}",
+                payload.len()
+            ),
+        ));
+    }
+    if chaos::fail_hit("serve.frame.write") {
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "injected frame-write fault",
+        ));
+    }
+    let len = payload.len() as u32;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"{\"a\":1}").expect("write");
+        write_frame(&mut buf, b"").expect("write empty");
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b"{\"a\":1}"[..]));
+        assert_eq!(read_frame(&mut r).expect("read").as_deref(), Some(&b""[..]));
+        assert_eq!(read_frame(&mut r).expect("eof"), None);
+    }
+
+    #[test]
+    fn oversized_header_is_rejected_without_allocating() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&(u32::MAX).to_be_bytes());
+        let mut r = &buf[..];
+        let e = read_frame(&mut r).expect_err("cap enforced");
+        assert_eq!(e.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn oversized_write_is_rejected() {
+        let mut out = Vec::new();
+        let big = vec![b'x'; MAX_FRAME_LEN + 1];
+        assert!(write_frame(&mut out, &big).is_err());
+        assert!(out.is_empty(), "nothing written for a rejected frame");
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error_not_a_hang() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"abcdef").expect("write");
+        buf.truncate(buf.len() - 2);
+        let mut r = &buf[..];
+        assert!(read_frame(&mut r).is_err());
+        // And a close inside the header:
+        let mut r = &[0u8, 0][..];
+        assert!(read_frame(&mut r).is_err());
+    }
+}

@@ -1,0 +1,92 @@
+//! Per-request containment: every handler installs a [`RequestGuard`]
+//! before doing any work on a request.
+//!
+//! The guard is the service's uniform enforcement point for the two
+//! resources a hostile or unlucky request could otherwise abuse:
+//!
+//! * **time** — it owns a [`BudgetScope`] built from the request's
+//!   budget and admission-anchored deadline, so "has this request
+//!   already expired?" is answered by the same monotonic clock the
+//!   solver itself polls (no second wall-clock to disagree with, the
+//!   bug the CLI's old `--timeout` watchdog had);
+//! * **memory** — it re-asserts the [`MAX_FRAME_LEN`] payload cap at
+//!   the handler boundary, even though the framing layer already
+//!   enforced it on read, so the cap holds for payloads that reach a
+//!   handler by any other path (journal replay of a hand-edited log).
+//!
+//! Lint rule MCRL008 checks the convention mechanically: every
+//! `fn handle_*` in this crate must mention `RequestGuard`, and this
+//! module must be the one place tying `BudgetScope` to the frame cap.
+
+use crate::frame::MAX_FRAME_LEN;
+use mcr_core::{Algorithm, Budget, BudgetScope, Deadline};
+use std::time::{Duration, Instant};
+
+/// The containment scope of one in-flight request. Construction is the
+/// admission check; [`RequestGuard::expired`] is re-polled at dequeue
+/// so time spent waiting in the queue counts against the deadline.
+pub struct RequestGuard {
+    scope: BudgetScope,
+}
+
+impl RequestGuard {
+    /// Installs the guard: asserts the frame cap and anchors the
+    /// request's deadline at its admission instant.
+    pub fn install(
+        budget: &Budget,
+        deadline_ms: Option<u64>,
+        accepted_at: Instant,
+        algorithm: Algorithm,
+        frame_len: usize,
+    ) -> Result<RequestGuard, String> {
+        if frame_len > MAX_FRAME_LEN {
+            return Err(format!(
+                "request frame of {frame_len} bytes exceeds cap {MAX_FRAME_LEN}"
+            ));
+        }
+        let deadline =
+            deadline_ms.map(|ms| Deadline::cancel(accepted_at + Duration::from_millis(ms)));
+        Ok(RequestGuard {
+            scope: BudgetScope::new(budget, deadline, algorithm),
+        })
+    }
+
+    /// Whether the request's deadline (or budget wall-clock) has
+    /// already passed — polled at dequeue so a request that waited out
+    /// its deadline in the queue is answered `cancelled` without
+    /// burning a solve on it.
+    pub fn expired(&self) -> bool {
+        self.scope.check_time().is_err()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oversized_frames_are_rejected_at_install() {
+        let r = RequestGuard::install(
+            &Budget::UNLIMITED,
+            None,
+            Instant::now(),
+            Algorithm::HowardExact,
+            MAX_FRAME_LEN + 1,
+        );
+        match r {
+            Err(e) => assert!(e.contains("exceeds cap")),
+            Ok(_) => panic!("cap not enforced"),
+        }
+    }
+
+    #[test]
+    fn deadline_zero_is_expired_immediately_and_absence_never_expires() {
+        let now = Instant::now();
+        let g = RequestGuard::install(&Budget::UNLIMITED, Some(0), now, Algorithm::Karp, 10)
+            .expect("install");
+        assert!(g.expired(), "0ms deadline is already past");
+        let g = RequestGuard::install(&Budget::UNLIMITED, None, now, Algorithm::Karp, 10)
+            .expect("install");
+        assert!(!g.expired());
+    }
+}

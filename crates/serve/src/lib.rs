@@ -1,0 +1,43 @@
+//! `mcr-serve` — the fault-tolerant batched solve service (`mcrd`).
+//!
+//! A small TCP daemon over the [`mcr_core`] solvers, built around one
+//! principle: **every failure is a typed response, never a hung client
+//! or a dead process.** The pieces, each its own module:
+//!
+//! * [`frame`] — length-prefixed framing with a hard payload cap;
+//! * [`json`] — a dependency-free JSON parser/writer (the vendored
+//!   `serde_json` stand-in is deliberately nonfunctional);
+//! * [`protocol`] — `mcr-req v1` / `mcr-resp v1`, statuses mapped
+//!   one-to-one onto the CLI's [`mcr_core::SolveStatus`] exit taxonomy;
+//! * [`guard`] — the per-request [`guard::RequestGuard`] every handler
+//!   installs (deadline + frame cap; lint rule MCRL008);
+//! * [`cache`] — LRU instance cache keyed by content hash, holding one
+//!   [`mcr_core::SccPlan`] per orientation so cached re-solves skip
+//!   both parse and SCC extraction;
+//! * [`journal`] — fsynced admission journal plus `mcr-checkpoint v1`
+//!   sidecars: a `kill -9` loses no admitted request and at most one
+//!   iteration-slice of solve progress;
+//! * [`server`] — admission control with bounded-queue load shedding,
+//!   the worker pool, and restart recovery;
+//! * [`client`] — the pipelined batch client behind `mcr client`;
+//! * [`metrics`] — `mcr-metrics v1` counters over the whole path.
+//!
+//! Daemon answers are bit-identical to one-shot `mcr solve` runs for
+//! the same request because both call the same
+//! [`mcr_core::spec::solve_spec`] dispatch — the daemon adds caching,
+//! scheduling, and containment around it, never a different solver.
+
+pub mod cache;
+mod chaos;
+pub mod client;
+pub mod frame;
+pub mod guard;
+pub mod journal;
+pub mod json;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+
+pub use frame::MAX_FRAME_LEN;
+pub use metrics::Metrics;
+pub use server::{serve, ServeConfig, ServerHandle};

@@ -1,0 +1,371 @@
+//! In-process service tests: one daemon per test, raw protocol frames
+//! over a real TCP socket.
+//!
+//! The load-bearing assertions: daemon responses are *bit-identical*
+//! to direct [`mcr_core::spec::solve_spec`] calls, the cache provably
+//! skips parse + SCC extraction (metrics counters, not vibes), and
+//! every failure mode comes back as a typed status from the CLI's exit
+//! taxonomy.
+
+use mcr_core::spec::solve_spec;
+use mcr_core::{SolveOptions, SolveSpec};
+use mcr_gen::requests::{request_log, RequestLogConfig};
+use mcr_gen::sprand::{sprand, SprandConfig};
+use mcr_serve::frame::{read_frame, write_frame};
+use mcr_serve::json::{self, Value};
+use mcr_serve::protocol;
+use mcr_serve::{serve, ServeConfig, ServerHandle};
+use std::collections::BTreeMap;
+use std::io::BufReader;
+use std::net::TcpStream;
+use std::time::Duration;
+
+fn start(cfg: ServeConfig) -> ServerHandle {
+    serve(cfg).expect("daemon starts")
+}
+
+fn quiet() -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        ..ServeConfig::default()
+    }
+}
+
+/// One worker makes queue consumption strictly ordered, which the
+/// cache-counter tests need: with two workers, two requests carrying
+/// the same graph can both miss the cache and both parse.
+fn serial() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Sends every request over one connection and returns the responses
+/// keyed by id (responses may interleave).
+fn roundtrip(handle: &ServerHandle, requests: &[String]) -> BTreeMap<u64, Value> {
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    for r in requests {
+        write_frame(&mut writer, r.as_bytes()).expect("send");
+    }
+    let mut reader = BufReader::new(stream);
+    let mut out = BTreeMap::new();
+    for _ in 0..requests.len() {
+        let payload = read_frame(&mut reader)
+            .expect("read")
+            .expect("response frame");
+        let v = json::parse(std::str::from_utf8(&payload).expect("utf8")).expect("json");
+        let id = v.get("id").and_then(Value::as_u64).expect("id");
+        out.insert(id, v);
+    }
+    out
+}
+
+fn graph_text(n: usize, seed: u64) -> String {
+    let g = sprand(&SprandConfig::new(n, 2 * n).seed(seed).weight_range(1, 100));
+    let mut buf = Vec::new();
+    mcr_graph::io::write_dimacs(&mut buf, &g).expect("write");
+    String::from_utf8(buf).expect("utf8")
+}
+
+fn solve_req(id: u64, graph: &str, extra: &str) -> String {
+    format!(
+        "{{\"schema\":\"mcr-req v1\",\"id\":{id},\"op\":\"solve\",\"graph\":\"{}\"{extra}}}",
+        json::escape(graph)
+    )
+}
+
+fn status_of(v: &Value) -> (&str, u64) {
+    (
+        v.get("status").and_then(Value::as_str).expect("status"),
+        v.get("code").and_then(Value::as_u64).expect("code"),
+    )
+}
+
+#[test]
+fn ping_metrics_and_shutdown_ops_answer_typed() {
+    let handle = start(quiet());
+    let addr = handle.local_addr();
+    let resp = roundtrip(
+        &handle,
+        &[
+            "{\"schema\":\"mcr-req v1\",\"id\":1,\"op\":\"ping\"}".to_string(),
+            "{\"schema\":\"mcr-req v1\",\"id\":2,\"op\":\"metrics\"}".to_string(),
+        ],
+    );
+    assert_eq!(resp[&1].get("pong").and_then(Value::as_bool), Some(true));
+    let dump = resp[&2]
+        .get("metrics")
+        .and_then(Value::as_str)
+        .expect("metrics dump");
+    assert!(dump.contains("serve.requests.accepted"), "{dump}");
+    assert!(dump.contains("mcr-metrics v1"));
+    // A shutdown op stops the daemon; wait() then returns.
+    let resp = roundtrip(
+        &handle,
+        &["{\"schema\":\"mcr-req v1\",\"id\":3,\"op\":\"shutdown\"}".to_string()],
+    );
+    assert_eq!(
+        resp[&3].get("shutting_down").and_then(Value::as_bool),
+        Some(true)
+    );
+    let dump = handle.wait();
+    assert!(dump.contains("serve.requests.accepted"));
+    let _ = addr; // the listener thread is gone; the port is released
+}
+
+#[test]
+fn solve_is_bit_identical_to_direct_solve_spec() {
+    let text = graph_text(12, 3);
+    let g = mcr_graph::io::read_dimacs(&mut text.as_bytes()).expect("parse");
+    let handle = start(quiet());
+    let resp = roundtrip(
+        &handle,
+        &[
+            solve_req(1, &text, ",\"algorithm\":\"howard-exact\""),
+            solve_req(2, &text, ",\"algorithm\":\"karp\""),
+            solve_req(3, &text, ",\"algorithm\":\"lawler-exact\""),
+            solve_req(4, &text, ",\"algorithm\":\"howard-exact\",\"maximize\":true"),
+        ],
+    );
+    for (id, alg, maximize) in [
+        (1u64, "howard-exact", false),
+        (2, "karp", false),
+        (3, "lawler-exact", false),
+        (4, "howard-exact", true),
+    ] {
+        let v = &resp[&id];
+        assert_eq!(status_of(v), ("ok", 0), "request {id}");
+        let mut spec = SolveSpec::mean(mcr_core::Algorithm::by_name(alg).expect("alg"));
+        if maximize {
+            spec = spec.maximize();
+        }
+        let direct = solve_spec(&g, &spec, &SolveOptions::new())
+            .expect("solves")
+            .expect("cyclic");
+        assert_eq!(
+            v.get("lambda").and_then(Value::as_str),
+            Some(direct.lambda.to_string().as_str()),
+            "request {id}: daemon λ must be bit-identical to the CLI path"
+        );
+        assert_eq!(
+            v.get("solved_by").and_then(Value::as_str),
+            Some(direct.solved_by.name())
+        );
+    }
+    handle.shutdown();
+}
+
+#[test]
+fn cache_hits_skip_parse_and_scc_extraction() {
+    let text = graph_text(10, 11);
+    let hash = protocol::format_hash(mcr_serve::cache::fnv1a(&text));
+    let handle = start(serial());
+    // Same instance four ways: inline, inline again with another
+    // algorithm and epsilon, and twice by hash alone.
+    let resp = roundtrip(
+        &handle,
+        &[
+            solve_req(1, &text, ",\"algorithm\":\"howard-exact\""),
+            solve_req(2, &text, ",\"algorithm\":\"lawler\",\"epsilon\":1e-7"),
+            format!(
+                "{{\"schema\":\"mcr-req v1\",\"id\":3,\"op\":\"solve\",\
+                 \"graph_hash\":\"{hash}\",\"algorithm\":\"karp\"}}"
+            ),
+            format!(
+                "{{\"schema\":\"mcr-req v1\",\"id\":4,\"op\":\"solve\",\
+                 \"graph_hash\":\"{hash}\",\"algorithm\":\"howard\",\"epsilon\":0.5}}"
+            ),
+        ],
+    );
+    for id in 1..=4u64 {
+        assert_eq!(status_of(&resp[&id]).0, "ok", "request {id}");
+        assert_eq!(
+            resp[&id].get("graph_hash").and_then(Value::as_str),
+            Some(hash.as_str())
+        );
+    }
+    // The proof: one parse, one SCC plan build, three cache hits.
+    assert_eq!(handle.metric("serve.graph.parse"), Some(1));
+    assert_eq!(handle.metric("serve.plan.build"), Some(1));
+    assert_eq!(handle.metric("serve.cache.hit"), Some(3));
+    assert_eq!(handle.metric("serve.cache.miss"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn maximize_reuses_a_separate_negated_plan() {
+    // Two maximize solves of a cached instance: the second must hit
+    // the cache's negated-orientation plan, and both must agree with
+    // the direct (no plan) answer — a wrong-orientation plan would
+    // corrupt λ, which is exactly what the per-orientation cache
+    // design prevents.
+    let text = graph_text(14, 21);
+    let g = mcr_graph::io::read_dimacs(&mut text.as_bytes()).expect("parse");
+    let handle = start(serial());
+    let resp = roundtrip(
+        &handle,
+        &[
+            solve_req(1, &text, ",\"maximize\":true"),
+            solve_req(2, &text, ",\"maximize\":true,\"algorithm\":\"karp\""),
+            solve_req(3, &text, ""),
+        ],
+    );
+    let direct_max = solve_spec(
+        &g,
+        &SolveSpec::mean(mcr_core::Algorithm::HowardExact).maximize(),
+        &SolveOptions::new(),
+    )
+    .expect("solves")
+    .expect("cyclic");
+    let direct_min = solve_spec(
+        &g,
+        &SolveSpec::mean(mcr_core::Algorithm::HowardExact),
+        &SolveOptions::new(),
+    )
+    .expect("solves")
+    .expect("cyclic");
+    let max_lambda = direct_max.lambda.to_string();
+    assert_eq!(
+        resp[&1].get("lambda").and_then(Value::as_str),
+        Some(max_lambda.as_str())
+    );
+    assert_eq!(
+        resp[&2].get("lambda").and_then(Value::as_str),
+        Some(max_lambda.as_str()),
+        "cached negated plan must not change the answer"
+    );
+    assert_eq!(
+        resp[&3].get("lambda").and_then(Value::as_str),
+        Some(direct_min.lambda.to_string().as_str())
+    );
+    // Two plans were built: one per orientation; one parse total.
+    assert_eq!(handle.metric("serve.graph.parse"), Some(1));
+    assert_eq!(handle.metric("serve.plan.build"), Some(2));
+    handle.shutdown();
+}
+
+#[test]
+fn failure_statuses_mirror_the_exit_taxonomy() {
+    let text = graph_text(8, 2);
+    let handle = start(quiet());
+    let resp = roundtrip(
+        &handle,
+        &[
+            // Expired on arrival → cancelled (4).
+            solve_req(1, &text, ",\"deadline_ms\":0"),
+            // Unknown algorithm → input-error (1) at parse.
+            solve_req(2, &text, ",\"algorithm\":\"simplex\""),
+            // Unknown hash, no inline graph → input-error (1).
+            "{\"schema\":\"mcr-req v1\",\"id\":3,\"op\":\"solve\",\
+             \"graph_hash\":\"00000000000000aa\"}"
+                .to_string(),
+            // One λ refinement, fallbacks off → budget-exhausted (2).
+            solve_req(
+                4,
+                &text,
+                ",\"algorithm\":\"lawler-exact\",\"budget\":\"refine=1\",\"fallback\":\"none\"",
+            ),
+            // Bad epsilon → input-error (1), typed not folded.
+            solve_req(5, &text, ",\"algorithm\":\"lawler\",\"epsilon\":-1.0"),
+        ],
+    );
+    assert_eq!(status_of(&resp[&1]), ("cancelled", 4));
+    assert_eq!(status_of(&resp[&2]), ("input-error", 1));
+    assert_eq!(status_of(&resp[&3]), ("input-error", 1));
+    assert!(resp[&3]
+        .get("error")
+        .and_then(Value::as_str)
+        .expect("error")
+        .contains("unknown graph hash"));
+    assert_eq!(status_of(&resp[&4]), ("budget-exhausted", 2));
+    assert_eq!(
+        resp[&4].get("retryable").and_then(Value::as_bool),
+        Some(true)
+    );
+    assert_eq!(status_of(&resp[&5]), ("input-error", 1));
+    handle.shutdown();
+}
+
+#[test]
+fn full_queue_sheds_load_with_retry_after() {
+    // No workers, depth 1: the first solve occupies the only slot
+    // forever, the second is shed with a typed overloaded response.
+    let handle = start(ServeConfig {
+        workers: 0,
+        queue_depth: 1,
+        retry_after_ms: 75,
+        ..ServeConfig::default()
+    });
+    let text = graph_text(8, 2);
+    let stream = TcpStream::connect(handle.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("timeout");
+    let mut writer = stream.try_clone().expect("clone");
+    write_frame(&mut writer, solve_req(1, &text, "").as_bytes()).expect("send");
+    write_frame(&mut writer, solve_req(2, &text, "").as_bytes()).expect("send");
+    let mut reader = BufReader::new(stream);
+    // Only request 2 answers (request 1 sits in the queue unserved).
+    let payload = read_frame(&mut reader).expect("read").expect("frame");
+    let v = json::parse(std::str::from_utf8(&payload).expect("utf8")).expect("json");
+    assert_eq!(v.get("id").and_then(Value::as_u64), Some(2));
+    assert_eq!(status_of(&v), ("overloaded", 5));
+    assert_eq!(v.get("retry_after_ms").and_then(Value::as_u64), Some(75));
+    assert_eq!(v.get("retryable").and_then(Value::as_bool), Some(true));
+    assert_eq!(handle.metric("serve.requests.rejected"), Some(1));
+    assert_eq!(handle.metric("serve.requests.accepted"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn golden_request_log_is_what_the_generator_emits() {
+    // Regeneration guard: the committed golden replay log must be
+    // byte-identical to `mcr gen requests 12 --seed 42`, and every
+    // line must parse as a valid mcr-req v1 request.
+    let golden = include_str!("data/golden_requests.jsonl");
+    let generated = request_log(&RequestLogConfig::new(12).seed(42));
+    assert_eq!(
+        golden, generated,
+        "regenerate with: cargo run -p mcr-cli -- gen requests 12 --seed 42"
+    );
+    for line in golden.lines() {
+        protocol::parse_request(line.as_bytes()).expect("golden line parses");
+    }
+}
+
+#[test]
+fn replay_client_drives_the_golden_log_end_to_end() {
+    let handle = start(serial());
+    let lines: Vec<String> = request_log(&RequestLogConfig::new(12).seed(42))
+        .lines()
+        .map(String::from)
+        .collect();
+    let mut out = Vec::new();
+    let report = mcr_serve::client::replay(
+        &handle.local_addr().to_string(),
+        &lines,
+        false,
+        &mut out,
+    )
+    .expect("replay succeeds");
+    assert_eq!(report.sent, 12);
+    assert_eq!(report.received, 12);
+    let by_status: BTreeMap<&str, usize> = report
+        .by_status
+        .iter()
+        .map(|(s, n)| (s.as_str(), *n))
+        .collect();
+    assert_eq!(by_status.get("cancelled"), Some(&1), "{by_status:?}");
+    assert_eq!(by_status.get("budget-exhausted"), Some(&1));
+    assert_eq!(by_status.get("ok"), Some(&10));
+    // The pool repeats instances, so the cache must have proven hits.
+    assert!(handle.metric("serve.cache.hit").unwrap_or(0) >= 4);
+    let parses = handle.metric("serve.graph.parse").unwrap_or(u64::MAX);
+    assert!(parses <= 4, "at most one parse per pool instance: {parses}");
+    handle.shutdown();
+}

@@ -1,0 +1,241 @@
+//! Soak tests: concurrent clients hammering one daemon.
+//!
+//! The clean test proves the service invariants under concurrency —
+//! every request gets exactly one response, successful responses are
+//! bit-identical to direct [`mcr_core::spec::solve_spec`] answers, and
+//! the admission counters balance. The chaos test (``--features
+//! chaos``) reruns a single-client soak under seeded fault schedules
+//! (3 seeds × 2 worker counts) that inject transient faults and delays
+//! into the serve-layer sites; the daemon must keep answering every
+//! request with a typed status and never panic or wedge.
+
+use mcr_core::spec::solve_spec;
+use mcr_core::SolveOptions;
+use mcr_gen::requests::{request_log, RequestLogConfig};
+use mcr_serve::json::{self, Value};
+use mcr_serve::protocol::{self, Op};
+use mcr_serve::{serve, ServeConfig};
+use std::collections::BTreeMap;
+
+/// Statuses a response may legally carry.
+#[cfg(feature = "chaos")]
+const KNOWN_STATUSES: [&str; 6] = [
+    "ok",
+    "input-error",
+    "budget-exhausted",
+    "certify-failed",
+    "cancelled",
+    "overloaded",
+];
+
+fn log_lines(count: usize, seed: u64) -> Vec<String> {
+    request_log(&RequestLogConfig::new(count).seed(seed))
+        .lines()
+        .map(String::from)
+        .collect()
+}
+
+/// Re-solves a request line directly and returns `(lambda, solved_by)`
+/// — what a one-shot CLI run of the same request would print.
+fn direct_answer(request_line: &str) -> Option<(String, String)> {
+    let req = protocol::parse_request(request_line.as_bytes()).ok()?;
+    let Op::Solve(job) = req.op else { return None };
+    let g = mcr_graph::io::read_dimacs(&mut job.graph_text.as_deref()?.as_bytes()).ok()?;
+    let mut opts = SolveOptions::new().threads(job.threads);
+    opts.epsilon = job.epsilon;
+    if let Some(b) = job.budget {
+        opts = opts.budget(b);
+    }
+    if let Some(f) = job.fallback {
+        opts.fallback = f;
+    }
+    let sol = solve_spec(&g, &job.spec, &opts).ok()??;
+    Some((sol.lambda.to_string(), sol.solved_by.name().to_string()))
+}
+
+/// Asserts every `ok` response in `responses` is bit-identical to a
+/// direct solve of the request with the same id.
+fn assert_bit_identical(lines: &[String], responses: &str) {
+    let by_id: BTreeMap<u64, &str> = lines
+        .iter()
+        .enumerate()
+        .map(|(i, l)| ((i + 1) as u64, l.as_str()))
+        .collect();
+    for resp in responses.lines() {
+        let v = json::parse(resp).expect("response is JSON");
+        if v.get("status").and_then(Value::as_str) != Some("ok") {
+            continue;
+        }
+        let id = v.get("id").and_then(Value::as_u64).expect("id");
+        let (lambda, solved_by) =
+            direct_answer(by_id[&id]).expect("direct solve of an ok request succeeds");
+        assert_eq!(
+            v.get("lambda").and_then(Value::as_str),
+            Some(lambda.as_str()),
+            "id {id}: daemon λ differs from one-shot solve"
+        );
+        assert_eq!(
+            v.get("solved_by").and_then(Value::as_str),
+            Some(solved_by.as_str())
+        );
+    }
+}
+
+#[test]
+fn concurrent_clients_get_exact_and_complete_answers() {
+    // Under a chaos build, hold the (empty) global schedule so a
+    // concurrently running chaos test cannot inject faults into this
+    // test's daemon; an empty schedule never fires.
+    #[cfg(feature = "chaos")]
+    let _quiesce = mcr_chaos::FaultSchedule::new(0).install();
+    let handle = serve(ServeConfig {
+        workers: 4,
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts");
+    let addr = handle.local_addr().to_string();
+    let clients: Vec<_> = (0..3u64)
+        .map(|k| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let lines = log_lines(10, 100 + k);
+                let mut out = Vec::new();
+                let report = mcr_serve::client::replay(&addr, &lines, false, &mut out)
+                    .expect("replay succeeds");
+                (lines, report, String::from_utf8(out).expect("utf8"))
+            })
+        })
+        .collect();
+    for client in clients {
+        let (lines, report, responses) = client.join().expect("client thread");
+        assert_eq!(report.sent, 10);
+        assert_eq!(report.received, 10, "exactly one response per request");
+        let by_status: BTreeMap<&str, usize> = report
+            .by_status
+            .iter()
+            .map(|(s, n)| (s.as_str(), *n))
+            .collect();
+        // The generator's deterministic tail: one expired deadline, one
+        // starved budget; everything else must solve.
+        assert_eq!(by_status.get("ok"), Some(&8), "{by_status:?}");
+        assert_eq!(by_status.get("cancelled"), Some(&1));
+        assert_eq!(by_status.get("budget-exhausted"), Some(&1));
+        assert_bit_identical(&lines, &responses);
+    }
+    assert_eq!(handle.metric("serve.requests.accepted"), Some(30));
+    assert_eq!(handle.metric("serve.requests.rejected"), Some(0));
+    let settled = handle.metric("serve.requests.completed").unwrap_or(0)
+        + handle.metric("serve.requests.cancelled").unwrap_or(0)
+        + handle.metric("serve.requests.failed").unwrap_or(0);
+    assert_eq!(settled, 30, "every admitted request settles");
+    handle.shutdown();
+}
+
+/// One chaos soak round: a seeded fault schedule over the serve-layer
+/// sites, one client, full replay. Returns the serve sites observed.
+#[cfg(feature = "chaos")]
+fn chaos_round(seed: u64, workers: usize, dir: &std::path::Path) -> Vec<String> {
+    use mcr_chaos::{FaultKind, FaultSchedule};
+    // Plant a settled journal entry plus junk so the replay path (and
+    // its injection site) runs on startup.
+    std::fs::create_dir_all(dir).expect("journal dir");
+    std::fs::write(
+        dir.join(mcr_serve::journal::JOURNAL_FILE),
+        "{\"kind\":\"accept\",\"id\":999,\"req\":\"{}\"}\n\
+         {\"kind\":\"done\",\"id\":999,\"status\":\"ok\"}\n\
+         not json — torn write\n",
+    )
+    .expect("plant journal");
+    // Delays on the framing and client sites (interleaving-safe, can
+    // never lose a response); transient faults with seed-derived
+    // trigger points everywhere a typed degraded response exists.
+    let guard = FaultSchedule::new(seed)
+        .inject_at("serve.frame.read", FaultKind::Delay { millis: 2 }, seed % 4, 3)
+        .inject_at("serve.frame.write", FaultKind::Delay { millis: 2 }, seed % 3, 2)
+        .inject_always("serve.client.frame", FaultKind::Delay { millis: 1 })
+        .inject("serve.queue.admit", FaultKind::Transient)
+        .inject_at("serve.worker.solve", FaultKind::Transient, seed % 5, 1)
+        .inject("serve.cache.lookup", FaultKind::Transient)
+        .inject("serve.journal.append", FaultKind::Transient)
+        .inject("serve.journal.replay", FaultKind::Transient)
+        .install();
+    let handle = serve(ServeConfig {
+        workers,
+        journal_dir: Some(dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("daemon starts under chaos");
+    let lines = log_lines(10, seed);
+    let mut out = Vec::new();
+    let report = mcr_serve::client::replay(&handle.local_addr().to_string(), &lines, false, &mut out)
+        .expect("replay completes under chaos");
+    assert_eq!(report.sent, 10, "seed {seed} workers {workers}");
+    assert_eq!(
+        report.received, 10,
+        "seed {seed} workers {workers}: every request must get a typed response"
+    );
+    for (status, _) in &report.by_status {
+        assert!(
+            KNOWN_STATUSES.contains(&status.as_str()),
+            "seed {seed}: unknown status {status:?}"
+        );
+    }
+    // Admission is a partition: shed or accepted, nothing dropped.
+    let accepted = handle.metric("serve.requests.accepted").unwrap_or(0);
+    let rejected = handle.metric("serve.requests.rejected").unwrap_or(0);
+    assert_eq!(
+        accepted + rejected,
+        10,
+        "seed {seed} workers {workers}: admission must account for every request"
+    );
+    let settled = handle.metric("serve.requests.completed").unwrap_or(0)
+        + handle.metric("serve.requests.cancelled").unwrap_or(0)
+        + handle.metric("serve.requests.failed").unwrap_or(0);
+    // An injected replay-skip can resurrect the planted (already done)
+    // entry as a ghost recovery; it settles like any other request.
+    assert_eq!(
+        settled,
+        accepted + handle.metric("serve.journal.recovered").unwrap_or(0),
+        "seed {seed} workers {workers}"
+    );
+    assert!(
+        mcr_chaos::faults_fired() > 0,
+        "seed {seed}: the schedule never fired — the soak proved nothing"
+    );
+    let observed: Vec<String> = mcr_chaos::hit_sites()
+        .into_iter()
+        .filter(|s| s.starts_with("serve."))
+        .collect();
+    let declared = mcr_chaos::declared_sites();
+    for site in &observed {
+        assert!(declared.contains(&site.as_str()), "undeclared site {site}");
+    }
+    handle.shutdown();
+    drop(guard);
+    observed
+}
+
+#[cfg(feature = "chaos")]
+#[test]
+fn seeded_chaos_soak_never_drops_or_panics() {
+    // MCR_CHAOS_SEED narrows the matrix to one seed for bisection.
+    let seeds: Vec<u64> = match std::env::var("MCR_CHAOS_SEED") {
+        Ok(s) => vec![s.parse().expect("MCR_CHAOS_SEED must be a u64")],
+        Err(_) => vec![11, 42, 20240806],
+    };
+    let base = std::env::temp_dir().join(format!("mcr-serve-soak-{}", std::process::id()));
+    let mut covered: std::collections::BTreeSet<String> = Default::default();
+    for &seed in &seeds {
+        for workers in [1usize, 4] {
+            let dir = base.join(format!("s{seed}-w{workers}"));
+            covered.extend(chaos_round(seed, workers, &dir));
+        }
+    }
+    // Across the matrix every serve-layer site must have been exercised.
+    for site in mcr_chaos::declared_sites() {
+        if site.starts_with("serve.") {
+            assert!(covered.contains(site), "site {site} never hit in the soak");
+        }
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}

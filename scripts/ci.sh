@@ -6,8 +6,9 @@
 # the crates the solver stack touches (which enforces the module-level
 # `deny(clippy::unwrap_used, clippy::panic)` gates on the parser and
 # the error/budget/certify layer), a CLI smoke test of the exit
-# code contract against the bad-input corpus, and a 4-thread smoke of
-# the chunked intra-SCC sweep path (CLI + bench harness).
+# code contract against the bad-input corpus, a 4-thread smoke of
+# the chunked intra-SCC sweep path (CLI + bench harness), and a
+# kill -9 crash-recovery drill of the mcrd solve daemon.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -19,8 +20,9 @@ echo "=== mcr-lint (workspace contract checker) ==="
 # (MCRL001), chaos-site manifest drift (MCRL002), bare f64 equality
 # (MCRL003), narrowing casts in hot paths (MCRL004), panic sources in
 # the panic-free layers (MCRL005), obs metrics coverage of budgeted
-# loops (MCRL006), and loop-metrics + chaos coverage of chunked-sweep
-# kernels (MCRL007). See DESIGN.md and crates/lint.
+# loops (MCRL006), loop-metrics + chaos coverage of chunked-sweep
+# kernels (MCRL007), and RequestGuard containment of every serve-layer
+# request handler (MCRL008). See DESIGN.md and crates/lint.
 cargo run -q -p mcr-lint
 
 echo "=== cargo test (workspace) ==="
@@ -28,7 +30,7 @@ cargo test -q --workspace
 
 echo "=== cargo clippy -D warnings (solver stack) ==="
 cargo clippy -q -p mcr-graph -p mcr-core -p mcr-cli -p mcr-bench \
-    --all-targets -- -D warnings
+    -p mcr-serve --all-targets -- -D warnings
 
 echo "=== CLI smoke: exit-code contract ==="
 MCR=target/release/mcr
@@ -110,10 +112,13 @@ for seed in 11 42 20240806; do
     echo "--- chaos seed $seed ---"
     MCR_CHAOS_SEED=$seed cargo test -q -p mcr-core --features chaos \
         --test chaos --test checkpoint_resume
+    MCR_CHAOS_SEED=$seed cargo test -q -p mcr-serve --features chaos \
+        --test soak
 done
 
 echo "=== chaos clippy (-D warnings, chaos configuration) ==="
-cargo clippy -q -p mcr-core -p mcr-chaos --features mcr-core/chaos \
+cargo clippy -q -p mcr-core -p mcr-chaos -p mcr-serve \
+    --features mcr-core/chaos,mcr-serve/chaos \
     --all-targets -- -D warnings
 
 echo "=== chaos-off assertion: mcr-chaos absent from the default build ==="
@@ -190,6 +195,110 @@ echo "=== fuzz smoke (bounded deterministic run) ==="
 # replays the bad-input corpus, then 10000 LCG-mutated derivatives,
 # through the same mcr-fuzz entry points the libfuzzer targets call.
 cargo run -q -p mcr-fuzz --bin fuzz-smoke --release -- -runs=10000
+
+echo "=== serve drill: mcrd kill -9 crash recovery + golden replay ==="
+# The daemon's durability contract, driven with a real SIGKILL: a
+# zero-worker mcrd admits (and fsyncs) a deterministic 6-request batch
+# without solving any of it, dies by kill -9 mid-queue, and a fresh
+# mcrd over the same journal directory must finish every admitted
+# request — the generator's tail makes the recovered statuses exact
+# (4 ok, 1 cancelled, 1 budget-exhausted). The restarted daemon then
+# serves the golden request log live, byte-identical to what
+# `mcr gen requests` emits, and exits 0 on a client-driven shutdown
+# with the recovery visible in its final metrics dump.
+MCRD=target/release/mcrd
+SERVE_TMP=/tmp/mcr_ci_serve
+rm -rf "$SERVE_TMP"
+mkdir -p "$SERVE_TMP/journal"
+"$MCR" gen requests 6 --seed 5 > "$SERVE_TMP/batch.jsonl"
+"$MCRD" --listen 127.0.0.1:0 --workers 0 --journal-dir "$SERVE_TMP/journal" \
+    > "$SERVE_TMP/mcrd_a.out" &
+MCRD_PID=$!
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^mcrd listening on //p' "$SERVE_TMP/mcrd_a.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+    echo "FAIL: mcrd (pre-crash) never printed its listen address"
+    exit 1
+fi
+"$MCR" client --addr "$ADDR" --replay "$SERVE_TMP/batch.jsonl" --no-wait
+accepts=0
+for _ in $(seq 1 100); do
+    accepts=$(grep -c '"kind":"accept"' "$SERVE_TMP/journal/journal.jsonl" \
+        2>/dev/null || true)
+    [ "$accepts" = 6 ] && break
+    sleep 0.1
+done
+kill -9 "$MCRD_PID"
+wait "$MCRD_PID" 2>/dev/null || true
+dones=$(grep -c '"kind":"done"' "$SERVE_TMP/journal/journal.jsonl" || true)
+if [ "$accepts" != 6 ] || [ "$dones" != 0 ]; then
+    echo "FAIL: expected 6 fsynced accepts and 0 dones at the crash point," \
+         "got accepts=$accepts dones=$dones"
+    exit 1
+fi
+"$MCRD" --listen 127.0.0.1:0 --workers 2 --journal-dir "$SERVE_TMP/journal" \
+    > "$SERVE_TMP/mcrd_b.out" &
+MCRD_PID=$!
+recovered=0
+for _ in $(seq 1 300); do
+    recovered=$(grep -c '"kind":"recovered"' \
+        "$SERVE_TMP/journal/journal.jsonl" || true)
+    [ "$recovered" = 6 ] && break
+    sleep 0.1
+done
+if [ "$recovered" != 6 ]; then
+    echo "FAIL: restarted mcrd recovered $recovered/6 journaled requests"
+    exit 1
+fi
+grep '"kind":"recovered"' "$SERVE_TMP/journal/journal.jsonl" \
+    > "$SERVE_TMP/recovered.jsonl"
+for want in '"status":"ok" 4' '"status":"cancelled" 1' \
+            '"status":"budget-exhausted" 1'; do
+    pat=${want% *}
+    n=${want#* }
+    got=$(grep -c "$pat" "$SERVE_TMP/recovered.jsonl" || true)
+    if [ "$got" != "$n" ]; then
+        echo "FAIL: expected $n recovered lines with $pat, got $got:"
+        cat "$SERVE_TMP/recovered.jsonl"
+        exit 1
+    fi
+done
+ADDR=""
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/^mcrd listening on //p' "$SERVE_TMP/mcrd_b.out")
+    [ -n "$ADDR" ] && break
+    sleep 0.1
+done
+# The golden request log is exactly what the generator emits...
+"$MCR" gen requests 12 --seed 42 \
+    | diff - crates/serve/tests/data/golden_requests.jsonl
+# ...and the restarted daemon serves it live with the pinned statuses.
+"$MCR" client --addr "$ADDR" \
+    --replay crates/serve/tests/data/golden_requests.jsonl \
+    > "$SERVE_TMP/resp.jsonl" 2> "$SERVE_TMP/client.err"
+grep -q "sent=12 received=12" "$SERVE_TMP/client.err"
+oks=$(grep -c '"status":"ok"' "$SERVE_TMP/resp.jsonl" || true)
+if [ "$oks" != 10 ]; then
+    echo "FAIL: golden replay produced $oks ok responses, expected 10"
+    cat "$SERVE_TMP/client.err"
+    exit 1
+fi
+"$MCR" client --addr "$ADDR" --op shutdown > /dev/null
+wait "$MCRD_PID" || {
+    echo "FAIL: mcrd exited non-zero after a clean shutdown"
+    exit 1
+}
+grep '"name":"serve.journal.recovered"' "$SERVE_TMP/mcrd_b.out" \
+    | grep -q '"value":6' || {
+    echo "FAIL: final metrics dump does not report the 6 recoveries:"
+    tail -20 "$SERVE_TMP/mcrd_b.out"
+    exit 1
+}
+rm -rf "$SERVE_TMP"
 
 # --- Optional deep-checking walls -------------------------------------
 # These three tools need components the offline build box may not have
