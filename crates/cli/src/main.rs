@@ -61,11 +61,19 @@
 //!     --replay FILE     pipeline a JSONL request log (`-` = stdin) and
 //!                       print one response line per request; exits 0
 //!                       iff every request got a response (per-request
-//!                       failures are data in the response lines)
+//!                       failures are data in the response lines).
+//!                       `overloaded` sheds are retried with bounded
+//!                       backoff honoring the daemon's retry_after_ms
 //!     --no-wait         return after sending, without collecting
 //!                       responses — used by crash drills to kill the
 //!                       daemon with admitted work provably queued
 //!     --op OP           send a single ping | metrics | shutdown
+//!     --fleet H:P,H:P   shard across several daemons by graph hash
+//!                       instead of --addr: per-shard circuit breakers,
+//!                       ring failover with journal-backed duplicate
+//!                       suppression; --op broadcasts to every shard
+//!     --timeout-ms N    per-response read timeout (default 30000;
+//!                       also the fleet's failover detection latency)
 //!
 //! mcr bench [FILE]      run every algorithm on an instance and print a
 //!     --threads N       timing/operation-count table
@@ -84,7 +92,7 @@ use mcr_gen::sprand::{sprand, SprandConfig};
 use mcr_gen::transit::with_random_transits;
 use mcr_graph::io::{read_dimacs, to_dot, write_dimacs};
 use mcr_graph::Graph;
-use std::io::Read;
+use std::io::{Read, Write};
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -479,14 +487,54 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
 }
 
 fn cmd_client(args: &Args) -> Result<(), String> {
-    const CLIENT_USAGE: &str =
-        "usage: mcr client --addr HOST:PORT (--replay FILE|- [--no-wait] | --op ping|metrics|shutdown)";
-    let addr = args.value("addr").ok_or(CLIENT_USAGE)?;
+    const CLIENT_USAGE: &str = "usage: mcr client (--addr HOST:PORT | --fleet H:P,H:P[,..]) \
+         (--replay FILE|- [--no-wait] | --op ping|metrics|shutdown) [--timeout-ms N]";
+    let timeout =
+        std::time::Duration::from_millis(args.value_parsed::<u64>("timeout-ms", 30_000)?);
     let mut out = std::io::stdout();
+    let fleet = match args.value("fleet") {
+        Some(spec) => {
+            let mut cfg =
+                mcr_serve::client::FleetConfig::new(mcr_serve::shard::ShardMap::parse(spec)?);
+            cfg.response_timeout = timeout;
+            Some(cfg)
+        }
+        None => None,
+    };
     if let Some(op) = args.value("op") {
-        return mcr_serve::client::one_op(addr, op, &mut out);
+        return match &fleet {
+            Some(cfg) => mcr_serve::client::fleet_one_op(cfg, op, &mut out),
+            None => {
+                let addr = args.value("addr").ok_or(CLIENT_USAGE)?;
+                mcr_serve::client::one_op_with(addr, op, timeout, &mut out)
+            }
+        };
     }
+    if let Some(cfg) = &fleet {
+        return client_fleet_replay(args, cfg, &mut out);
+    }
+    let addr = args.value("addr").ok_or(CLIENT_USAGE)?;
     let source = args.value("replay").ok_or(CLIENT_USAGE)?;
+    let lines = read_request_log(source)?;
+    let report = mcr_serve::client::replay_with(
+        addr,
+        &lines,
+        args.flag("no-wait"),
+        timeout,
+        &mcr_serve::retry::RetryPolicy::default(),
+        &mut out,
+    )?;
+    eprintln!(
+        "mcr client: sent={} received={} retries={}{}",
+        report.sent,
+        report.received,
+        report.retries,
+        status_summary(&report.by_status)
+    );
+    Ok(())
+}
+
+fn read_request_log(source: &str) -> Result<Vec<String>, String> {
     let mut text = String::new();
     match source {
         "-" => {
@@ -498,22 +546,39 @@ fn cmd_client(args: &Args) -> Result<(), String> {
             text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
         }
     }
-    let lines: Vec<String> = text.lines().map(String::from).collect();
-    let report = mcr_serve::client::replay(addr, &lines, args.flag("no-wait"), &mut out)?;
-    let statuses: Vec<String> = report
-        .by_status
-        .iter()
-        .map(|(s, n)| format!("{s}={n}"))
-        .collect();
+    Ok(text.lines().map(String::from).collect())
+}
+
+fn status_summary(by_status: &[(String, usize)]) -> String {
+    if by_status.is_empty() {
+        return String::new();
+    }
+    let statuses: Vec<String> = by_status.iter().map(|(s, n)| format!("{s}={n}")).collect();
+    format!(" [{}]", statuses.join(" "))
+}
+
+fn client_fleet_replay(
+    args: &Args,
+    cfg: &mcr_serve::client::FleetConfig,
+    out: &mut dyn Write,
+) -> Result<(), String> {
+    const FLEET_USAGE: &str =
+        "usage: mcr client --fleet H:P,H:P[,..] --replay FILE|- [--timeout-ms N]";
+    if args.flag("no-wait") {
+        return Err("--no-wait needs --addr: the fleet client settles every request".to_string());
+    }
+    let source = args.value("replay").ok_or(FLEET_USAGE)?;
+    let lines = read_request_log(source)?;
+    let report = mcr_serve::client::fleet_replay(cfg, &lines, out)?;
     eprintln!(
-        "mcr client: sent={} received={}{}",
+        "mcr client: sent={} settled={} retries={} failovers={} breaker_opens={} deduped={}{}",
         report.sent,
-        report.received,
-        if statuses.is_empty() {
-            String::new()
-        } else {
-            format!(" [{}]", statuses.join(" "))
-        }
+        report.settled,
+        report.retries,
+        report.failovers,
+        report.breaker_opens,
+        report.deduped,
+        status_summary(&report.by_status)
     );
     Ok(())
 }

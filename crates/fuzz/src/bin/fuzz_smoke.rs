@@ -78,8 +78,28 @@ fn mutate(base: &[u8], corpus: &[Vec<u8>], rng: &mut Lcg) -> Vec<u8> {
     bytes
 }
 
+/// Well-formed wire frames seeding the codec fuzzer: mutation starts
+/// from inputs that decode, so truncations and bit flips land in the
+/// interesting positions (length prefix, frame boundary, payload).
+fn framed_seeds() -> Vec<Vec<u8>> {
+    [
+        "{\"schema\":\"mcr-req v1\",\"id\":1,\"op\":\"ping\"}",
+        "{\"schema\":\"mcr-req v1\",\"id\":2,\"op\":\"solve\",\"spec\":\"mcr\",\
+         \"graph\":\"p mcr 2 2\\na 1 2 5\\na 2 1 -4\\n\"}",
+        "{not json!!",
+    ]
+    .iter()
+    .map(|payload| {
+        let mut bytes = Vec::new();
+        mcr_serve::frame::write_frame(&mut bytes, payload.as_bytes()).expect("framed seed");
+        bytes
+    })
+    .collect()
+}
+
 fn load_corpus() -> Vec<Vec<u8>> {
     let mut corpus: Vec<Vec<u8>> = VALID_SEEDS.iter().map(|s| s.to_vec()).collect();
+    corpus.extend(framed_seeds());
     let mut entries: Vec<_> = std::fs::read_dir(CORPUS_DIR)
         .unwrap_or_else(|e| panic!("corpus dir {CORPUS_DIR}: {e}"))
         .map(|e| e.expect("corpus entry").path())
@@ -129,6 +149,7 @@ fn main() -> ExitCode {
         eprint_on_panic(&format!("corpus entry {i}"), || {
             mcr_fuzz::fuzz_dimacs(entry);
             mcr_fuzz::fuzz_solve(entry);
+            mcr_fuzz::fuzz_frame(entry);
         });
     }
 
@@ -139,6 +160,7 @@ fn main() -> ExitCode {
         eprint_on_panic(&format!("run {run} (seed {seed:#x})"), || {
             mcr_fuzz::fuzz_dimacs(&input);
             mcr_fuzz::fuzz_solve(&input);
+            mcr_fuzz::fuzz_frame(&input);
         });
     }
     println!("fuzz-smoke: ok ({runs} runs clean)");

@@ -64,6 +64,39 @@ pub fn fuzz_solve(data: &[u8]) {
     }
 }
 
+/// Fuzz the wire-frame codec and the request parser behind it:
+/// arbitrary bytes are decoded as a stream of length-prefixed frames
+/// until clean EOF or a typed error — truncated headers, oversize
+/// lengths, and mid-frame EOF must all surface as errors, never as
+/// panics or hangs. Every decoded payload must re-encode to the exact
+/// bytes it was cut from, and is fed to
+/// [`mcr_serve::protocol::parse_request`], whose failures must also
+/// stay typed.
+pub fn fuzz_frame(data: &[u8]) {
+    use mcr_serve::frame::{read_frame, write_frame};
+    let mut cursor = data;
+    loop {
+        let consumed_before = data.len() - cursor.len();
+        match read_frame(&mut cursor) {
+            Ok(None) | Err(_) => return,
+            Ok(Some(payload)) => {
+                let mut encoded = Vec::with_capacity(payload.len() + 4);
+                write_frame(&mut encoded, &payload)
+                    .expect("re-encoding a decoded frame cannot exceed the cap");
+                let consumed_after = data.len() - cursor.len();
+                assert_eq!(
+                    encoded,
+                    &data[consumed_before..consumed_after],
+                    "decode → encode must reproduce the frame bytes exactly"
+                );
+                // The daemon parses every decoded payload; junk must
+                // come back as a typed protocol error.
+                let _ = mcr_serve::protocol::parse_request(&payload);
+            }
+        }
+    }
+}
+
 /// Deterministically decode fuzz bytes into a graph small enough that
 /// every algorithm terminates quickly: the first byte picks `n` in
 /// `2..=17`, then each subsequent 3-byte chunk becomes one arc
@@ -133,5 +166,20 @@ mod tests {
         fuzz_solve(&[9]);
         fuzz_dimacs(&[]);
         fuzz_dimacs(b"p mcr 99999999999 1\n");
+    }
+
+    #[test]
+    fn frame_streams_round_trip_and_junk_stays_typed() {
+        // Two well-formed frames back to back.
+        let mut stream = Vec::new();
+        mcr_serve::frame::write_frame(&mut stream, b"{\"id\":1,\"op\":\"ping\"}")
+            .expect("frame");
+        mcr_serve::frame::write_frame(&mut stream, b"{not json").expect("frame");
+        fuzz_frame(&stream);
+        // Truncated header, oversize length, mid-frame EOF, empty.
+        fuzz_frame(&[0, 0]);
+        fuzz_frame(&[0xFF, 0xFF, 0xFF, 0xFF, b'x']);
+        fuzz_frame(&[0, 0, 0, 100, b'p', b'a', b'r', b't']);
+        fuzz_frame(&[]);
     }
 }

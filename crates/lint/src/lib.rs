@@ -127,6 +127,9 @@ pub fn run_workspace(root: &Path) -> Result<Report, String> {
         if rel.starts_with("crates/serve/src/") {
             rules::check_serve_handlers(&rel, &scanned, &mut diagnostics);
         }
+        if rel.starts_with("crates/serve/src/") || rel.starts_with("crates/cli/src/") {
+            rules::check_network_retry(&rel, &scanned, &mut diagnostics);
+        }
         if PANIC_SCOPE.contains(&rel.as_str()) {
             rules::check_panic_free(&rel, &scanned, &mut diagnostics);
         }

@@ -1,4 +1,4 @@
-//! The eight workspace contract rules.
+//! The nine workspace contract rules.
 //!
 //! | id      | allow tag        | contract                                              |
 //! |---------|------------------|-------------------------------------------------------|
@@ -10,6 +10,7 @@
 //! | MCRL006 | `obs`            | budget-charging algorithm loops register loop metrics |
 //! | MCRL007 | `sweep`          | chunked-sweep kernels carry loop metrics + chaos site |
 //! | MCRL008 | `serve`          | every serve-layer request handler installs the guard  |
+//! | MCRL009 | `retry`          | network connect/send loops are bounded by RetryPolicy |
 //!
 //! MCRL000 reports a malformed `// lint: allow(...)` comment (typos in
 //! the allowlist must never silently disable a rule).
@@ -17,7 +18,7 @@
 use crate::scan::{Scanned, TokKind, Token};
 
 /// Rule tags accepted inside `// lint: allow(<tag>) reason=...`.
-pub const KNOWN_ALLOW_TAGS: [&str; 8] = [
+pub const KNOWN_ALLOW_TAGS: [&str; 9] = [
     "budget",
     "chaos",
     "float-eq",
@@ -26,6 +27,7 @@ pub const KNOWN_ALLOW_TAGS: [&str; 8] = [
     "obs",
     "sweep",
     "serve",
+    "retry",
 ];
 
 /// One finding, position included.
@@ -641,6 +643,98 @@ pub fn check_serve_handlers(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>) 
     }
 }
 
+/// MCRL009: a non-test function in the network layer whose loop
+/// connects or writes frames must be bounded by the retry machinery —
+/// the function has to reference `RetryPolicy`, `attempt_allowed`, or
+/// `max_attempts` so the loop provably cannot spin on a dead peer
+/// forever. An unbounded reconnect loop is the classic retry-storm
+/// bug: it turns one shard's crash into a fleet-wide connect flood.
+pub fn check_network_retry(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
+    const LOOP_KEYWORDS: [&str; 3] = ["loop", "while", "for"];
+    const NET_CALLS: [&str; 2] = ["connect", "write_frame"];
+    const BOUNDS: [&str; 3] = ["RetryPolicy", "attempt_allowed", "max_attempts"];
+    let toks = &s.tokens;
+    let mut i = 0;
+    while i < toks.len() {
+        if !(toks[i].kind == TokKind::Ident && toks[i].text == "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name) = toks.get(i + 1).filter(|t| t.kind == TokKind::Ident) else {
+            i += 1;
+            continue;
+        };
+        if s.is_test_line(toks[i].line) {
+            i += 1;
+            continue;
+        }
+        let fn_line = toks[i].line;
+        let Some(popen) = (i + 1..toks.len()).find(|&k| toks[k].text == "(") else {
+            break;
+        };
+        let Some(pclose) = matching(toks, popen, "(", ")") else {
+            break;
+        };
+        let body_open = (pclose..toks.len()).find(|&k| toks[k].text == "{" || toks[k].text == ";");
+        let (bopen, bclose) = match body_open {
+            Some(k) if toks[k].text == "{" => match matching(toks, k, "{", "}") {
+                Some(c) => (k, c),
+                None => break,
+            },
+            _ => {
+                i = pclose + 1;
+                continue;
+            }
+        };
+        // Signature + body: a `retry: &RetryPolicy` parameter counts
+        // as the bound, same as a call to `attempt_allowed` inside.
+        let bounded = toks[i..=bclose]
+            .iter()
+            .any(|t| t.kind == TokKind::Ident && BOUNDS.contains(&t.text.as_str()));
+        if !bounded {
+            let mut k = bopen;
+            while k < bclose {
+                let t = &toks[k];
+                if !(t.kind == TokKind::Ident && LOOP_KEYWORDS.contains(&t.text.as_str())) {
+                    k += 1;
+                    continue;
+                }
+                let Some(lopen) = (k + 1..bclose).find(|&j| toks[j].text == "{") else {
+                    break;
+                };
+                let Some(lclose) = matching(toks, lopen, "{", "}") else {
+                    break;
+                };
+                // Keyword through close brace: `while connect(..).is_err() {}`
+                // keeps the network call in the condition, not the body.
+                let networked = toks[k..=lclose].iter().any(|t| {
+                    t.kind == TokKind::Ident
+                        && NET_CALLS.iter().any(|call| t.text.starts_with(call))
+                });
+                if networked {
+                    diag(
+                        out,
+                        s,
+                        "MCRL009",
+                        "retry",
+                        file,
+                        fn_line,
+                        format!(
+                            "`{}` loops over a network connect/send without a bounded \
+                             retry: route the loop through RetryPolicy (attempt_allowed \
+                             / max_attempts) so a dead peer cannot spin it forever",
+                            name.text
+                        ),
+                    );
+                    break;
+                }
+                k = lclose + 1;
+            }
+        }
+        i += 1;
+    }
+}
+
 /// Index of the token matching `open` at `at`, honoring nesting.
 fn matching(toks: &[Token], at: usize, open: &str, close: &str) -> Option<usize> {
     let mut depth = 0usize;
@@ -848,6 +942,56 @@ mod tests {
         assert_eq!(d[0].rule, "MCRL008");
         assert!(d[0].message.contains("MAX_FRAME_LEN"));
         assert!(run(src, check_serve_handlers).is_empty());
+    }
+
+    #[test]
+    fn retry_rule_fires_on_unbounded_connect_loop() {
+        let src = "fn reconnect(addr: &str) -> TcpStream {\n\
+                   \x20 loop {\n\
+                   \x20   if let Ok(s) = TcpStream::connect(addr) { return s; }\n\
+                   \x20 }\n\
+                   }\n";
+        let d = run(src, check_network_retry);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "MCRL009");
+        assert_eq!(d[0].line, 1);
+        assert!(d[0].message.contains("reconnect"));
+    }
+
+    #[test]
+    fn retry_rule_fires_on_unbounded_send_loop() {
+        let src = "fn pump(w: &mut TcpStream, lines: &[String]) {\n\
+                   \x20 for line in lines { while write_frame(w, line.as_bytes()).is_err() {} }\n\
+                   }\n";
+        let d = run(src, check_network_retry);
+        assert_eq!(d.len(), 1, "{d:?}");
+        assert_eq!(d[0].rule, "MCRL009");
+    }
+
+    #[test]
+    fn retry_rule_passes_bounded_loops_and_offline_code() {
+        // A RetryPolicy parameter bounds the whole function.
+        let src = "fn replay(retry: &RetryPolicy, lines: &[String]) {\n\
+                   \x20 for line in lines {\n\
+                   \x20   if !retry.attempt_allowed(0) { continue; }\n\
+                   \x20   write_frame(&mut w, line.as_bytes());\n\
+                   \x20 }\n\
+                   }\n";
+        assert!(run(src, check_network_retry).is_empty());
+        // attempt_allowed alone (policy reached through a config) too.
+        let src = "fn settle(cfg: &FleetConfig) {\n\
+                   \x20 while cfg.retry.attempt_allowed(n) { connect_shard(e, t); }\n\
+                   }\n";
+        assert!(run(src, check_network_retry).is_empty());
+        // Loops that never touch the network are out of scope.
+        let src = "fn sum(xs: &[u64]) -> u64 { let mut t = 0; for x in xs { t += x; } t }\n";
+        assert!(run(src, check_network_retry).is_empty());
+    }
+
+    #[test]
+    fn retry_rule_skips_test_code() {
+        let src = "#[cfg(test)]\nmod tests {\n fn f() { loop { connect(a); } }\n}\n";
+        assert!(run(src, check_network_retry).is_empty());
     }
 
     #[test]

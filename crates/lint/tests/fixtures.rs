@@ -12,7 +12,7 @@ fn fixture_root() -> PathBuf {
 
 /// (rule, file, line, allowed) — the full expected report, in the
 /// report's own sort order (file, line, rule).
-const EXPECTED: [(&str, &str, u32, bool); 18] = [
+const EXPECTED: [(&str, &str, u32, bool); 20] = [
     ("MCRL002", "crates/chaos/sites.txt", 3, false), // declared but never used
     ("MCRL001", "crates/core/src/algorithms/l1_bad.rs", 1, false), // no ticks
     ("MCRL006", "crates/core/src/algorithms/l1_bad.rs", 9, false), // ticks, no loop_metrics
@@ -31,6 +31,8 @@ const EXPECTED: [(&str, &str, u32, bool); 18] = [
     ("MCRL008", "crates/serve/src/guard.rs", 1, false), // guard module lost MAX_FRAME_LEN
     ("MCRL008", "crates/serve/src/handlers_bad.rs", 1, false), // unguarded handler
     ("MCRL008", "crates/serve/src/handlers_bad.rs", 6, true), // allowlisted
+    ("MCRL009", "crates/serve/src/retry_bad.rs", 1, false), // unbounded connect loop
+    ("MCRL009", "crates/serve/src/retry_bad.rs", 10, true), // allowlisted
 ];
 
 #[test]
@@ -60,9 +62,9 @@ fn fixture_workspace_produces_the_exact_diagnostic_set() {
 #[test]
 fn fixture_counts_and_gate_semantics() {
     let report = mcr_lint::run_workspace(&fixture_root()).expect("fixture run");
-    assert_eq!(report.files_scanned, 5);
-    assert_eq!(report.violation_count(), 12);
-    assert_eq!(report.suppressed_count(), 6);
+    assert_eq!(report.files_scanned, 6);
+    assert_eq!(report.violation_count(), 13);
+    assert_eq!(report.suppressed_count(), 7);
     // Allowlisted findings never appear in the gating iterator.
     assert!(report.violations().all(|d| !d.allowed));
 }
@@ -83,9 +85,9 @@ fn json_report_round_trips_the_key_fields() {
     let report = mcr_lint::run_workspace(&fixture_root()).expect("fixture run");
     let json = mcr_lint::to_json(&report);
     assert!(json.starts_with('{') && json.ends_with('}'));
-    assert!(json.contains("\"files_scanned\":5"));
-    assert!(json.contains("\"violations\":12"));
-    assert!(json.contains("\"suppressed\":6"));
+    assert!(json.contains("\"files_scanned\":6"));
+    assert!(json.contains("\"violations\":13"));
+    assert!(json.contains("\"suppressed\":7"));
     for (rule, file, line, allowed) in EXPECTED {
         assert!(
             json.contains(&format!(

@@ -1,0 +1,38 @@
+fn reconnect_forever(addr: &str) -> TcpStream {
+    loop {
+        if let Ok(stream) = TcpStream::connect(addr) {
+            return stream;
+        }
+    }
+}
+
+// lint: allow(retry) reason=fixture proves the retry tag suppresses
+fn waived_pump(w: &mut TcpStream, line: &str) {
+    while write_frame(w, line.as_bytes()).is_err() {}
+}
+
+fn bounded_replay(retry: &RetryPolicy, w: &mut TcpStream, lines: &[String]) {
+    for line in lines {
+        if !retry.attempt_allowed(0) {
+            continue;
+        }
+        let _ = write_frame(w, line.as_bytes());
+    }
+}
+
+fn offline_sum(xs: &[u64]) -> u64 {
+    let mut total = 0;
+    for x in xs {
+        total += x;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    fn test_spin() {
+        loop {
+            connect("test");
+        }
+    }
+}

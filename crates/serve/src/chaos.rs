@@ -19,6 +19,12 @@
 //! | `serve.journal.replay` | recovery scan: skip one journal entry    |
 //! | `serve.cache.lookup`   | graph cache: degrade a hit to a miss     |
 //! | `serve.client.frame`   | client-side frame I/O                    |
+//! | `serve.net.torn_write` | header + half payload escape, then error |
+//! | `serve.net.short_write`| header only escapes, then error          |
+//! | `serve.net.disconnect` | peer resets between header and payload   |
+//! | `serve.net.read_stall` | delay point between header and payload   |
+//! | `serve.retry.attempt`  | one bounded client send attempt          |
+//! | `serve.fleet.route`    | shard-ring routing decision              |
 //!
 //! Error-capable sites use [`fail_hit`]: any scheduled error kind makes
 //! the site take its degraded-but-typed path (the service never

@@ -1,12 +1,24 @@
-//! The batch client behind `mcr client`.
+//! The batch clients behind `mcr client`.
 //!
-//! Reads an `mcr-req v1` request log (JSONL — one request per line,
-//! blank lines and `#` comments skipped), pipelines every request to
-//! the daemon over one connection, then collects exactly one response
-//! per request and prints each response line to the output. Responses
-//! may arrive in any order; the client counts frames, callers match
-//! ids. The process-level contract (used by the CI serve stage): the
-//! client succeeds iff every request got *some* response — per-request
+//! Two paths share the framing and accounting:
+//!
+//! * [`replay`] / [`replay_with`] — the single-endpoint pipelined
+//!   client: every request goes down one connection, responses are
+//!   matched by id, and `overloaded` sheds are retried through a
+//!   bounded [`RetryPolicy`] honoring the daemon's `retry_after_ms`
+//!   hint. Transport errors remain fatal here — with one endpoint
+//!   there is nowhere to fail over to.
+//! * [`fleet_replay`] — the fleet client: routes each request to its
+//!   [`ShardMap`] primary, keeps a per-shard [`CircuitBreaker`], and on
+//!   connect/timeout/torn-frame failures fails over to the next shard
+//!   in the ring, re-sending with `"dedup":true` so a shard that
+//!   already settled the id replays its journaled outcome instead of
+//!   solving twice. Every request settles exactly one response at the
+//!   client: a real one, a deduped one, or (attempts exhausted) a
+//!   synthesized typed `overloaded`.
+//!
+//! The process-level contract (used by the CI serve stages): the client
+//! succeeds iff every request got *some* response — per-request
 //! failures are data, not transport errors.
 
 // The client talks to a network peer; every failure must be a typed
@@ -16,9 +28,14 @@
 use crate::chaos;
 use crate::frame;
 use crate::json::{self, Value};
+use crate::protocol;
+use crate::retry::{CircuitBreaker, RetryPolicy};
+use crate::shard::ShardMap;
+use mcr_core::SolveStatus;
+use std::collections::{BTreeMap, HashMap};
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long the client waits for any single response frame before
 /// declaring the daemon unresponsive.
@@ -31,6 +48,8 @@ pub struct ClientReport {
     pub sent: usize,
     /// Responses received (== `sent` unless `--no-wait`).
     pub received: usize,
+    /// Re-sends after an `overloaded` shed (bounded by the policy).
+    pub retries: usize,
     /// Response counts by wire status name, sorted by name.
     pub by_status: Vec<(String, usize)>,
 }
@@ -39,39 +58,80 @@ fn transport<E: std::fmt::Display>(stage: &str) -> impl FnOnce(E) -> String + '_
     move |e| format!("{stage}: {e}")
 }
 
-/// Sends every request line to `addr` and (unless `no_wait`) reads one
-/// response per request, writing each response line to `out`.
-///
-/// `no_wait` exists for crash testing: it admits work and returns
-/// without waiting for solves, so the caller can `kill -9` the daemon
-/// with the queue provably non-empty.
+/// The request line's `id`, when it has a parseable one.
+fn request_id(line: &str) -> Option<u64> {
+    json::parse(line).ok()?.get("id").and_then(Value::as_u64)
+}
+
+/// [`replay_with`] under the default timeout and retry policy.
 pub fn replay(
     addr: &str,
     lines: &[String],
     no_wait: bool,
     out: &mut dyn Write,
 ) -> Result<ClientReport, String> {
+    replay_with(
+        addr,
+        lines,
+        no_wait,
+        RESPONSE_TIMEOUT,
+        &RetryPolicy::default(),
+        out,
+    )
+}
+
+/// Sends every request line to `addr` and (unless `no_wait`) settles
+/// one response per request, writing each response line to `out`.
+/// `overloaded` sheds are retried with backoff (the daemon's
+/// `retry_after_ms` hint is a floor) up to `retry.max_attempts` sends;
+/// an exhausted request keeps its last `overloaded` response as final.
+///
+/// `no_wait` exists for crash testing: it admits work and returns
+/// without waiting for solves, so the caller can `kill -9` the daemon
+/// with the queue provably non-empty.
+pub fn replay_with(
+    addr: &str,
+    lines: &[String],
+    no_wait: bool,
+    timeout: Duration,
+    retry: &RetryPolicy,
+    out: &mut dyn Write,
+) -> Result<ClientReport, String> {
     let stream = TcpStream::connect(addr).map_err(transport("connect"))?;
     stream
-        .set_read_timeout(Some(RESPONSE_TIMEOUT))
+        .set_read_timeout(Some(timeout))
         .map_err(transport("set timeout"))?;
+    // Frames are small and latency-bound; never wait out Nagle.
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().map_err(transport("clone stream"))?;
     let mut report = ClientReport::default();
+    // id → (request line, sends so far), for the overloaded-retry path.
+    let mut pending: HashMap<u64, (&str, u32)> = HashMap::new();
+    let mut outstanding = 0usize;
     for line in lines {
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
+        // Every send — initial or re-send — is one bounded
+        // RetryPolicy attempt; max_attempts caps the loop below.
+        if !retry.attempt_allowed(0) {
+            continue;
+        }
         chaos::pulse("serve.client.frame");
         frame::write_frame(&mut writer, line.as_bytes()).map_err(transport("send request"))?;
         report.sent += 1;
+        outstanding += 1;
+        if let Some(id) = request_id(line) {
+            pending.insert(id, (line, 1));
+        }
     }
     if no_wait {
         return Ok(report);
     }
     let mut reader = BufReader::new(stream);
-    let mut counts: std::collections::BTreeMap<String, usize> = Default::default();
-    while report.received < report.sent {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    while outstanding > 0 {
         let payload = frame::read_frame(&mut reader)
             .map_err(transport("read response"))?
             .ok_or_else(|| {
@@ -81,13 +141,40 @@ pub fn replay(
                 )
             })?;
         let text = String::from_utf8(payload).map_err(transport("decode response"))?;
-        let status = json::parse(&text)
-            .ok()
-            .and_then(|v| v.get("status").and_then(Value::as_str).map(String::from))
-            .unwrap_or_else(|| "unparseable".to_string());
+        let parsed = json::parse(&text).ok();
+        let status = parsed
+            .as_ref()
+            .and_then(|v| v.get("status").and_then(Value::as_str))
+            .unwrap_or("unparseable")
+            .to_string();
+        let id = parsed.as_ref().and_then(|v| v.get("id").and_then(Value::as_u64));
+        // An overloaded response means the request was shed, not
+        // solved: re-send the same line after the hinted backoff.
+        if status == "overloaded" {
+            if let Some((line, sends)) = id.and_then(|id| pending.get(&id).copied()) {
+                if retry.attempt_allowed(sends) {
+                    let hint = parsed
+                        .as_ref()
+                        .and_then(|v| v.get("retry_after_ms").and_then(Value::as_u64));
+                    std::thread::sleep(retry.backoff(sends - 1, id.unwrap_or(0), hint));
+                    chaos::pulse("serve.client.frame");
+                    frame::write_frame(&mut writer, line.as_bytes())
+                        .map_err(transport("resend request"))?;
+                    if let Some(id) = id {
+                        pending.insert(id, (line, sends + 1));
+                    }
+                    report.retries += 1;
+                    continue;
+                }
+            }
+        }
+        if let Some(id) = id {
+            pending.remove(&id);
+        }
         *counts.entry(status).or_insert(0) += 1;
         writeln!(out, "{text}").map_err(transport("write output"))?;
         report.received += 1;
+        outstanding -= 1;
     }
     report.by_status = counts.into_iter().collect();
     Ok(report)
@@ -97,6 +184,16 @@ pub fn replay(
 /// prints the response. For `metrics` the embedded JSONL dump is
 /// unwrapped so the output is directly `mcr-metrics v1`.
 pub fn one_op(addr: &str, op: &str, out: &mut dyn Write) -> Result<(), String> {
+    one_op_with(addr, op, RESPONSE_TIMEOUT, out)
+}
+
+/// [`one_op`] with an explicit response timeout.
+pub fn one_op_with(
+    addr: &str,
+    op: &str,
+    timeout: Duration,
+    out: &mut dyn Write,
+) -> Result<(), String> {
     if !matches!(op, "ping" | "metrics" | "shutdown") {
         return Err(format!("unknown op {op:?} (ping|metrics|shutdown)"));
     }
@@ -107,8 +204,9 @@ pub fn one_op(addr: &str, op: &str, out: &mut dyn Write) -> Result<(), String> {
         .finish();
     let stream = TcpStream::connect(addr).map_err(transport("connect"))?;
     stream
-        .set_read_timeout(Some(RESPONSE_TIMEOUT))
+        .set_read_timeout(Some(timeout))
         .map_err(transport("set timeout"))?;
+    let _ = stream.set_nodelay(true);
     let mut writer = stream.try_clone().map_err(transport("clone stream"))?;
     chaos::pulse("serve.client.frame");
     frame::write_frame(&mut writer, request.as_bytes()).map_err(transport("send request"))?;
@@ -127,4 +225,296 @@ pub fn one_op(addr: &str, op: &str, out: &mut dyn Write) -> Result<(), String> {
     }
     writeln!(out, "{text}").map_err(transport("write output"))?;
     Ok(())
+}
+
+/// How the fleet client is wired.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// The shard ring.
+    pub shards: ShardMap,
+    /// Bounded retry/backoff schedule (shared across shards).
+    pub retry: RetryPolicy,
+    /// Consecutive connect/timeout failures before a shard's breaker
+    /// opens.
+    pub breaker_threshold: u32,
+    /// How long an open breaker refuses a shard before probing.
+    pub breaker_cooldown: Duration,
+    /// Per-response read timeout (also the failover detection latency
+    /// for a hung shard — keep it well under [`RESPONSE_TIMEOUT`] when
+    /// the ring has somewhere to fail over to).
+    pub response_timeout: Duration,
+}
+
+impl FleetConfig {
+    /// Defaults around a shard ring: 4 bounded attempts, breakers open
+    /// after 3 consecutive failures and probe after 500 ms.
+    pub fn new(shards: ShardMap) -> FleetConfig {
+        FleetConfig {
+            shards,
+            retry: RetryPolicy::default(),
+            breaker_threshold: 3,
+            breaker_cooldown: Duration::from_millis(500),
+            response_timeout: RESPONSE_TIMEOUT,
+        }
+    }
+}
+
+/// What a fleet replay observed.
+#[derive(Debug, Default)]
+pub struct FleetReport {
+    /// Requests taken from the log.
+    pub sent: usize,
+    /// Requests settled with exactly one final response each.
+    pub settled: usize,
+    /// Response counts by wire status name, sorted by name.
+    pub by_status: Vec<(String, usize)>,
+    /// Attempts beyond each request's first (retries + failover sends).
+    pub retries: usize,
+    /// Attempts that moved off a request's current shard after a
+    /// transport failure.
+    pub failovers: usize,
+    /// Circuit-breaker open transitions across all shards.
+    pub breaker_opens: u64,
+    /// Responses answered from a shard's journal (`"deduped":true`).
+    pub deduped: usize,
+}
+
+/// One shard's persistent connection.
+struct ShardConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+fn connect_shard(endpoint: &str, timeout: Duration) -> std::io::Result<ShardConn> {
+    let stream = TcpStream::connect(endpoint)?;
+    stream.set_read_timeout(Some(timeout))?;
+    // One request in flight per shard: a Nagle-delayed frame would put
+    // a ~40 ms floor under every settle, so send eagerly.
+    stream.set_nodelay(true)?;
+    let writer = stream.try_clone()?;
+    Ok(ShardConn {
+        reader: BufReader::new(stream),
+        writer,
+    })
+}
+
+/// Splices `"dedup":true` into a request line for a re-send whose
+/// previous write may have reached a daemon.
+fn with_dedup(line: &str) -> String {
+    match line.strip_suffix('}') {
+        Some(head) => format!("{head},\"dedup\":true}}"),
+        // Not a JSON object — send as-is; the daemon rejects it typed.
+        None => line.to_string(),
+    }
+}
+
+/// Replays a request log across the shard ring. Requests are settled
+/// sequentially: each is routed to its graph-hash primary, failed over
+/// along the ring on transport errors (with `"dedup":true` once a
+/// write may have been delivered), and retried with backoff on
+/// `overloaded` sheds — all bounded by `cfg.retry.max_attempts`, after
+/// which a typed `overloaded` response is synthesized so the caller
+/// still sees exactly one response per request.
+pub fn fleet_replay(
+    cfg: &FleetConfig,
+    lines: &[String],
+    out: &mut dyn Write,
+) -> Result<FleetReport, String> {
+    let n = cfg.shards.len();
+    let mut conns: Vec<Option<ShardConn>> = (0..n).map(|_| None).collect();
+    let mut breakers: Vec<CircuitBreaker> = (0..n)
+        .map(|_| CircuitBreaker::new(cfg.breaker_threshold, cfg.breaker_cooldown))
+        .collect();
+    let mut report = FleetReport::default();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        report.sent += 1;
+        let text = settle_one(cfg, line, &mut conns, &mut breakers, &mut report);
+        let status = json::parse(&text)
+            .ok()
+            .and_then(|v| v.get("status").and_then(Value::as_str).map(String::from))
+            .unwrap_or_else(|| "unparseable".to_string());
+        *counts.entry(status).or_insert(0) += 1;
+        writeln!(out, "{text}").map_err(transport("write output"))?;
+        report.settled += 1;
+    }
+    report.breaker_opens = breakers.iter().map(CircuitBreaker::opens).sum();
+    report.by_status = counts.into_iter().collect();
+    Ok(report)
+}
+
+/// Settles one request against the ring: returns its final response
+/// line (real, deduped, or synthesized after exhausting attempts).
+fn settle_one(
+    cfg: &FleetConfig,
+    line: &str,
+    conns: &mut [Option<ShardConn>],
+    breakers: &mut [CircuitBreaker],
+    report: &mut FleetReport,
+) -> String {
+    let hash = ShardMap::routing_hash(line);
+    let id = request_id(line).unwrap_or(0);
+    let ring: Vec<usize> = cfg.shards.ring(hash).collect();
+    // Ring position to try next; advanced on transport failures so
+    // failover is deterministic (next shard, then the one after).
+    let mut position = 0usize;
+    // Once a write may have reached a daemon, every further send
+    // carries the dedup flag.
+    let mut resent = false;
+    let mut attempt = 0u32;
+    // Bounded by RetryPolicy::max_attempts; every iteration is one
+    // send attempt against one shard.
+    while cfg.retry.attempt_allowed(attempt) {
+        if attempt > 0 {
+            report.retries += 1;
+        }
+        let now = Instant::now();
+        let chosen = (0..ring.len())
+            .map(|k| ring[(position + k) % ring.len()])
+            .find(|&shard| breakers[shard].allow(now));
+        let Some(shard) = chosen else {
+            // Every breaker is open: wait out the shortest cooldown.
+            std::thread::sleep(cfg.retry.backoff(attempt, hash, None));
+            attempt += 1;
+            continue;
+        };
+        let fail_over = |position: &mut usize, report: &mut FleetReport| {
+            *position += 1;
+            report.failovers += 1;
+        };
+        if conns[shard].is_none() {
+            match connect_shard(cfg.shards.endpoint(shard), cfg.response_timeout) {
+                Ok(conn) => conns[shard] = Some(conn),
+                Err(_) => {
+                    breakers[shard].record_failure(Instant::now());
+                    fail_over(&mut position, report);
+                    attempt += 1;
+                    continue;
+                }
+            }
+        }
+        let payload = if resent { with_dedup(line) } else { line.to_string() };
+        chaos::pulse("serve.client.frame");
+        let sent = match conns[shard].as_mut() {
+            Some(conn) => frame::write_frame(&mut conn.writer, payload.as_bytes()).is_ok(),
+            None => false,
+        };
+        if !sent {
+            conns[shard] = None;
+            breakers[shard].record_failure(Instant::now());
+            resent = true;
+            fail_over(&mut position, report);
+            attempt += 1;
+            continue;
+        }
+        resent = true;
+        let response = match conns[shard].as_mut() {
+            Some(conn) => match frame::read_frame(&mut conn.reader) {
+                Ok(Some(payload)) => String::from_utf8(payload).ok(),
+                // Clean EOF, torn frame, stalled read past the timeout,
+                // mid-frame reset: all one typed transport failure.
+                Ok(None) | Err(_) => None,
+            },
+            None => None,
+        };
+        let Some(text) = response else {
+            conns[shard] = None;
+            breakers[shard].record_failure(Instant::now());
+            fail_over(&mut position, report);
+            attempt += 1;
+            continue;
+        };
+        let parsed = json::parse(&text).ok();
+        let resp_id = parsed.as_ref().and_then(|v| v.get("id").and_then(Value::as_u64));
+        if resp_id != Some(id) {
+            // A frame out of phase (e.g. a late answer to a request this
+            // client already failed over): drop the connection so the
+            // stream re-synchronizes, and try again.
+            conns[shard] = None;
+            breakers[shard].record_failure(Instant::now());
+            fail_over(&mut position, report);
+            attempt += 1;
+            continue;
+        }
+        breakers[shard].record_success();
+        let status = parsed
+            .as_ref()
+            .and_then(|v| v.get("status").and_then(Value::as_str))
+            .unwrap_or("unparseable");
+        if status == "overloaded" && cfg.retry.attempt_allowed(attempt + 1) {
+            // Shed, not solved. Back off honoring the daemon's hint.
+            // Only move off the shard when this request has never been
+            // delivered anywhere: after a dedup re-send the shard
+            // holding the original in flight is the one to wait on.
+            let hint = parsed
+                .as_ref()
+                .and_then(|v| v.get("retry_after_ms").and_then(Value::as_u64));
+            std::thread::sleep(cfg.retry.backoff(attempt, hash ^ id, hint));
+            attempt += 1;
+            continue;
+        }
+        if parsed
+            .as_ref()
+            .and_then(|v| v.get("deduped").and_then(Value::as_bool))
+            == Some(true)
+        {
+            report.deduped += 1;
+        }
+        return text;
+    }
+    // Attempts exhausted: the caller still gets exactly one response.
+    protocol::resp_error(
+        id,
+        SolveStatus::Overloaded,
+        "fleet: retry attempts exhausted",
+        None,
+    )
+}
+
+/// Broadcasts one `ping`/`metrics`/`shutdown` op to every shard,
+/// writing each shard's response under a `# shard` header. Succeeds if
+/// at least one shard answered (a drill legitimately ops a ring with a
+/// dead member).
+pub fn fleet_one_op(cfg: &FleetConfig, op: &str, out: &mut dyn Write) -> Result<(), String> {
+    let mut failed = 0usize;
+    for i in 0..cfg.shards.len() {
+        let endpoint = cfg.shards.endpoint(i);
+        writeln!(out, "# shard {i} {endpoint}").map_err(transport("write output"))?;
+        if let Err(e) = one_op_with(endpoint, op, cfg.response_timeout, out) {
+            writeln!(out, "# shard {i} unreachable: {e}").map_err(transport("write output"))?;
+            failed += 1;
+        }
+    }
+    if failed == cfg.shards.len() {
+        return Err(format!("all {failed} shards unreachable"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_splice_lands_inside_the_object() {
+        assert_eq!(
+            with_dedup("{\"id\":3,\"op\":\"solve\"}"),
+            "{\"id\":3,\"op\":\"solve\",\"dedup\":true}"
+        );
+        assert_eq!(with_dedup("not json"), "not json");
+        let spliced = with_dedup("{\"id\":3,\"op\":\"solve\"}");
+        let v = json::parse(&spliced).expect("spliced line stays JSON");
+        assert_eq!(v.get("dedup").and_then(Value::as_bool), Some(true));
+    }
+
+    #[test]
+    fn request_id_parses_and_tolerates_junk() {
+        assert_eq!(request_id("{\"id\":42,\"op\":\"ping\"}"), Some(42));
+        assert_eq!(request_id("{\"op\":\"ping\"}"), None);
+        assert_eq!(request_id("garbage"), None);
+    }
 }

@@ -42,6 +42,14 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             "injected frame-read fault",
         ));
     }
+    // The peer vanishes after the header but before the payload — the
+    // worst spot, because naive code would block forever here.
+    if chaos::fail_hit("serve.net.disconnect") {
+        return Err(io::Error::new(
+            io::ErrorKind::ConnectionReset,
+            "injected mid-frame disconnect",
+        ));
+    }
     let len = u32::from_be_bytes(len_buf) as usize;
     if len > MAX_FRAME_LEN {
         return Err(io::Error::new(
@@ -49,6 +57,9 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<Option<Vec<u8>>> {
             format!("frame length {len} exceeds cap {MAX_FRAME_LEN}"),
         ));
     }
+    // Delay faults here stall the read between header and payload;
+    // read timeouts must bound the stall to a typed timeout error.
+    chaos::pulse("serve.net.read_stall");
     let mut payload = vec![0u8; len];
     r.read_exact(&mut payload)?;
     Ok(Some(payload))
@@ -72,6 +83,29 @@ pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
         ));
     }
     let len = payload.len() as u32;
+    // A torn frame: the header and half the payload reach the wire,
+    // then the connection dies. The peer must surface a typed
+    // mid-frame error, never parse the fragment as a message.
+    if chaos::fail_hit("serve.net.torn_write") {
+        let _ = w.write_all(&len.to_be_bytes());
+        let _ = w.write_all(&payload[..payload.len() / 2]);
+        let _ = w.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "injected torn frame write",
+        ));
+    }
+    // A short write: only the header escapes before the failure —
+    // distinct geometry from the torn write (the peer sees a length
+    // and then EOF with zero payload bytes).
+    if chaos::fail_hit("serve.net.short_write") {
+        let _ = w.write_all(&len.to_be_bytes());
+        let _ = w.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::WriteZero,
+            "injected short frame write",
+        ));
+    }
     w.write_all(&len.to_be_bytes())?;
     w.write_all(payload)?;
     w.flush()

@@ -100,15 +100,18 @@ impl Journal {
         )
     }
 
-    /// Records a response sent for a live (non-recovered) request.
-    pub fn done(&self, id: u64, status: SolveStatus) -> io::Result<()> {
-        self.append(
-            &ObjWriter::new()
-                .str("kind", "done")
-                .u64("id", id)
-                .str("status", status.wire_name())
-                .finish(),
-        )
+    /// Records a response sent for a live (non-recovered) request. The
+    /// λ (when the solve produced one) makes the entry sufficient to
+    /// answer a duplicate of the same id without re-solving.
+    pub fn done(&self, id: u64, status: SolveStatus, lambda: Option<&str>) -> io::Result<()> {
+        let mut w = ObjWriter::new()
+            .str("kind", "done")
+            .u64("id", id)
+            .str("status", status.wire_name());
+        if let Some(lambda) = lambda {
+            w = w.str("lambda", lambda);
+        }
+        self.append(&w.finish())
     }
 
     /// Records completion of a replayed request, with the recovered λ
@@ -167,6 +170,38 @@ impl Journal {
         (recovered, skipped)
     }
 
+    /// Scans the log for settled outcomes: every `done`/`recovered`
+    /// entry's `(id, status, lambda)`, last write wins. This is the
+    /// duplicate-suppression base: a client re-send whose id appears
+    /// here is answered from the journal instead of re-solved.
+    pub fn settled(&self) -> Vec<(u64, SolveStatus, Option<String>)> {
+        let text = match fs::read_to_string(self.dir.join(JOURNAL_FILE)) {
+            Ok(text) => text,
+            Err(_) => return Vec::new(),
+        };
+        let mut out: Vec<(u64, SolveStatus, Option<String>)> = Vec::new();
+        for line in text.lines() {
+            let Ok(v) = json::parse(line) else { continue };
+            let (Some("done" | "recovered"), Some(id)) = (
+                v.get("kind").and_then(Value::as_str),
+                v.get("id").and_then(Value::as_u64),
+            ) else {
+                continue;
+            };
+            let Some(status) = v
+                .get("status")
+                .and_then(Value::as_str)
+                .and_then(|name| SolveStatus::ALL.iter().find(|s| s.wire_name() == name))
+            else {
+                continue;
+            };
+            let lambda = v.get("lambda").and_then(Value::as_str).map(String::from);
+            out.retain(|&(p, _, _)| p != id);
+            out.push((id, *status, lambda));
+        }
+        out
+    }
+
     /// Path of the checkpoint sidecar for request `id`.
     pub fn checkpoint_path(&self, id: u64) -> PathBuf {
         self.dir.join(format!("ckpt-{id}.txt"))
@@ -213,7 +248,7 @@ mod tests {
         j.accept(1, "{\"id\":1}").expect("accept");
         j.accept(2, "{\"id\":2}").expect("accept");
         j.accept(3, "{\"id\":3}").expect("accept");
-        j.done(2, SolveStatus::Ok).expect("done");
+        j.done(2, SolveStatus::Ok, Some("3/1")).expect("done");
         let (pending, skipped) = j.replay();
         assert_eq!(skipped, 0);
         let ids: Vec<u64> = pending.iter().map(|r| r.id).collect();
@@ -224,6 +259,13 @@ mod tests {
         j.recovered(3, SolveStatus::Cancelled, None).expect("rec");
         let (pending, _) = j.replay();
         assert!(pending.is_empty());
+        // And the settled scan reconstructs every outcome with its λ.
+        let settled = j.settled();
+        assert_eq!(settled.len(), 3);
+        let find = |id: u64| settled.iter().find(|&&(p, _, _)| p == id).expect("settled");
+        assert_eq!(find(2), &(2, SolveStatus::Ok, Some("3/1".to_string())));
+        assert_eq!(find(1), &(1, SolveStatus::Ok, Some("5/2".to_string())));
+        assert_eq!(find(3), &(3, SolveStatus::Cancelled, None));
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -19,7 +19,14 @@
 //!   iteration-slice of solve progress;
 //! * [`server`] — admission control with bounded-queue load shedding,
 //!   the worker pool, and restart recovery;
-//! * [`client`] — the pipelined batch client behind `mcr client`;
+//! * [`client`] — the pipelined batch client behind `mcr client`, and
+//!   the fleet client ([`client::fleet_replay`]) layering retry,
+//!   breakers, and failover over a shard ring;
+//! * [`retry`] — bounded seeded retry/backoff ([`retry::RetryPolicy`],
+//!   every network retry loop routes through it — MCRL009) and the
+//!   per-shard [`retry::CircuitBreaker`];
+//! * [`shard`] — [`shard::ShardMap`]: graph-hash routing over N
+//!   endpoints with a deterministic failover ring;
 //! * [`metrics`] — `mcr-metrics v1` counters over the whole path.
 //!
 //! Daemon answers are bit-identical to one-shot `mcr solve` runs for
@@ -36,7 +43,9 @@ pub mod journal;
 pub mod json;
 pub mod metrics;
 pub mod protocol;
+pub mod retry;
 pub mod server;
+pub mod shard;
 
 pub use frame::MAX_FRAME_LEN;
 pub use metrics::Metrics;

@@ -98,6 +98,14 @@ metrics_struct! {
     solve_resumed => "serve.solve.resumed",
     /// Frame-level I/O errors on any connection (read or write side).
     frame_errors => "serve.frame.errors",
+    /// Duplicate requests answered from the settled journal state
+    /// (a client resend after a lost response; no re-solve happened).
+    dedup_settled => "serve.dedup.settled",
+    /// Duplicate requests held off because the original is in flight
+    /// (answered overloaded-retryable with a backoff hint).
+    dedup_inflight => "serve.dedup.inflight",
+    /// Requests shed because the daemon is draining for shutdown.
+    drained => "serve.requests.drained",
 }
 
 impl Metrics {

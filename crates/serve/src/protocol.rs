@@ -95,6 +95,10 @@ pub struct SolveJob {
     pub fallback: Option<FallbackChain>,
     /// Intra-solve threads, clamped to `1..=`[`MAX_REQUEST_THREADS`].
     pub threads: usize,
+    /// Set by a client re-sending after a possibly-delivered write: ask
+    /// the daemon to suppress a duplicate solve by answering from the
+    /// journal when this id already settled.
+    pub dedup: bool,
 }
 
 /// Why a request was rejected at parse time. Carries whatever `id`
@@ -195,6 +199,7 @@ fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
         .and_then(Value::as_u64)
         .map(|t| (t as usize).clamp(1, MAX_REQUEST_THREADS))
         .unwrap_or(1);
+    let dedup = obj.get("dedup").and_then(Value::as_bool).unwrap_or(false);
     Ok(SolveJob {
         spec,
         graph_text,
@@ -204,6 +209,7 @@ fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
         budget,
         fallback,
         threads,
+        dedup,
     })
 }
 
@@ -269,6 +275,18 @@ pub fn resp_error(
         .bool("retryable", status.is_retryable());
     if let Some(ms) = retry_after_ms {
         w = w.u64("retry_after_ms", ms);
+    }
+    w.finish()
+}
+
+/// Duplicate-suppressed response: the id already settled, so the
+/// journaled outcome is replayed instead of re-solving. Carries
+/// `"deduped":true` plus the recorded status and λ (when the original
+/// solve produced one); it does not reconstruct the full solution body.
+pub fn resp_deduped(id: u64, status: SolveStatus, lambda: Option<&str>) -> String {
+    let mut w = resp_base(id, status).bool("deduped", true);
+    if let Some(l) = lambda {
+        w = w.str("lambda", l);
     }
     w.finish()
 }
@@ -384,6 +402,40 @@ mod tests {
             v.get("graph_hash").and_then(Value::as_str),
             Some("0000000000000abc")
         );
+    }
+
+    #[test]
+    fn dedup_flag_parses_and_defaults_off() {
+        let graph = quoted(TRIANGLE);
+        let r = req(&format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":1,\"op\":\"solve\",\"graph\":{graph},\"dedup\":true}}"
+        ))
+        .expect("parse");
+        let Op::Solve(job) = r.op else {
+            panic!("expected solve")
+        };
+        assert!(job.dedup);
+        let r = req(&format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":1,\"op\":\"solve\",\"graph\":{graph}}}"
+        ))
+        .expect("parse");
+        let Op::Solve(job) = r.op else {
+            panic!("expected solve")
+        };
+        assert!(!job.dedup);
+    }
+
+    #[test]
+    fn deduped_responses_replay_the_settled_outcome() {
+        let text = resp_deduped(6, SolveStatus::Ok, Some("7/2"));
+        let v = json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("deduped").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
+        assert_eq!(v.get("lambda").and_then(Value::as_str), Some("7/2"));
+        let text = resp_deduped(7, SolveStatus::Cancelled, None);
+        let v = json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("cancelled"));
+        assert!(v.get("lambda").is_none());
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Bounded retry with jittered exponential backoff, and per-shard
+//! circuit breakers.
+//!
+//! Every network retry loop in the workspace routes through
+//! [`RetryPolicy`] (lint rule MCRL009 enforces this): the policy owns
+//! the attempt cap, so no code path can retry unboundedly, and it owns
+//! the backoff schedule, so a shed daemon's `retry_after_ms` hint is
+//! honored as a floor rather than ignored. All jitter is derived from
+//! the policy seed with splitmix64 — two runs with the same seed
+//! produce the same sleep schedule, which is what lets the chaos soak
+//! and the CI fleet drill assert exact outcomes.
+//!
+//! [`CircuitBreaker`] is the standard three-state machine
+//! (Closed → Open → HalfOpen), one per shard endpoint:
+//!
+//! ```text
+//!          consecutive failures >= threshold
+//!   Closed ----------------------------------> Open
+//!     ^                                          | cooldown elapsed
+//!     |  probe succeeds                          v
+//!     +--------------------------------------- HalfOpen
+//!                HalfOpen probe fails --> Open (fresh cooldown)
+//! ```
+//!
+//! Time is passed in explicitly (`now: Instant`) so transitions are
+//! unit-testable without sleeping.
+
+// The retry layer faces the network; it must fail typed, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::chaos;
+use std::time::{Duration, Instant};
+
+/// splitmix64: the same well-mixed 64-bit permutation the chaos
+/// registry and the generators use for seed-derived decisions.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Bounded, seeded retry schedule. `max_attempts` counts sends, not
+/// re-sends: `max_attempts == 4` means one initial attempt plus up to
+/// three retries.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Hard cap on send attempts per request (initial send included).
+    pub max_attempts: u32,
+    /// Base backoff before jitter; attempt `n` targets `base << n` ms.
+    pub base_ms: u64,
+    /// Ceiling on the exponential term.
+    pub cap_ms: u64,
+    /// Seed for the deterministic jitter stream.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            base_ms: 25,
+            cap_ms: 400,
+            seed: 0x5eed_0008,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// Marks one send attempt (a chaos-visible event) and reports
+    /// whether the bounded cap still allows it. Attempts are numbered
+    /// from 0, so `attempt_allowed(0)` is the initial send.
+    pub fn attempt_allowed(&self, attempt: u32) -> bool {
+        chaos::pulse("serve.retry.attempt");
+        attempt < self.max_attempts
+    }
+
+    /// Backoff before retry number `attempt + 1`, in milliseconds.
+    ///
+    /// The schedule is half-jittered exponential: the sleep lands in
+    /// `[expo/2, expo]` where `expo = min(cap_ms, base_ms << attempt)`,
+    /// with the jitter drawn deterministically from `(seed, salt,
+    /// attempt)`. A server-supplied `retry_after_ms` hint is a floor:
+    /// the daemon knows its queue better than the client does.
+    pub fn backoff_ms(&self, attempt: u32, salt: u64, retry_after_ms: Option<u64>) -> u64 {
+        let expo = self
+            .base_ms
+            .saturating_shl(attempt.min(16))
+            .min(self.cap_ms.max(self.base_ms));
+        let half = expo / 2;
+        let jitter = splitmix64(self.seed ^ salt.rotate_left(17) ^ u64::from(attempt)) % (half + 1);
+        (half + jitter).max(retry_after_ms.unwrap_or(0))
+    }
+
+    /// [`Self::backoff_ms`] as a [`Duration`], for sleeping.
+    pub fn backoff(&self, attempt: u32, salt: u64, retry_after_ms: Option<u64>) -> Duration {
+        Duration::from_millis(self.backoff_ms(attempt, salt, retry_after_ms))
+    }
+}
+
+/// Saturating `<<` for u64 (stable Rust has no `saturating_shl`).
+trait SaturatingShl {
+    fn saturating_shl(self, rhs: u32) -> Self;
+}
+
+impl SaturatingShl for u64 {
+    fn saturating_shl(self, rhs: u32) -> u64 {
+        if rhs >= 64 || self.leading_zeros() < rhs {
+            u64::MAX
+        } else {
+            self << rhs
+        }
+    }
+}
+
+/// Breaker state; see the module diagram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    Closed,
+    Open { until: Instant },
+    HalfOpen,
+}
+
+/// Per-endpoint circuit breaker over connect/timeout failures.
+///
+/// The caller asks [`CircuitBreaker::allow`] before each attempt and
+/// reports the outcome with `record_success` / `record_failure`. While
+/// Open, attempts are refused until the cooldown elapses; the first
+/// `allow` after that admits exactly one probe (HalfOpen). A failed
+/// probe re-opens with a fresh cooldown; a successful one closes.
+#[derive(Debug, Clone)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    consecutive: u32,
+    state: State,
+    /// Times the breaker transitioned Closed/HalfOpen → Open.
+    opens: u64,
+}
+
+impl CircuitBreaker {
+    /// A breaker that opens after `threshold` consecutive failures and
+    /// probes again after `cooldown`.
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            consecutive: 0,
+            state: State::Closed,
+            opens: 0,
+        }
+    }
+
+    /// Whether an attempt may proceed at `now`. Transitions
+    /// Open → HalfOpen when the cooldown has elapsed (the caller's
+    /// attempt becomes the probe).
+    pub fn allow(&mut self, now: Instant) -> bool {
+        match self.state {
+            State::Closed => true,
+            State::Open { until } => {
+                if now >= until {
+                    self.state = State::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+            // One probe is already in flight; hold further traffic.
+            State::HalfOpen => false,
+        }
+    }
+
+    /// Reports a successful attempt: closes the breaker.
+    pub fn record_success(&mut self) {
+        self.consecutive = 0;
+        self.state = State::Closed;
+    }
+
+    /// Reports a failed connect/timeout at `now`.
+    pub fn record_failure(&mut self, now: Instant) {
+        self.consecutive = self.consecutive.saturating_add(1);
+        let trip = matches!(self.state, State::HalfOpen) || self.consecutive >= self.threshold;
+        if trip {
+            self.state = State::Open {
+                until: now + self.cooldown,
+            };
+            self.opens += 1;
+        }
+    }
+
+    /// Whether the breaker currently refuses traffic outright.
+    pub fn is_open(&self) -> bool {
+        matches!(self.state, State::Open { .. })
+    }
+
+    /// How many times this breaker has tripped open.
+    pub fn opens(&self) -> u64 {
+        self.opens
+    }
+
+    /// State name for reports: `closed`, `open`, or `half-open`.
+    pub fn state_name(&self) -> &'static str {
+        match self.state {
+            State::Closed => "closed",
+            State::Open { .. } => "open",
+            State::HalfOpen => "half-open",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_and_bounded() {
+        let p = RetryPolicy::default();
+        for attempt in 0..6 {
+            let a = p.backoff_ms(attempt, 7, None);
+            let b = p.backoff_ms(attempt, 7, None);
+            assert_eq!(a, b, "same seed, same schedule");
+            let expo = (p.base_ms << attempt.min(16)).min(p.cap_ms);
+            assert!(a >= expo / 2 && a <= expo, "attempt {attempt}: {a} outside [{}, {expo}]", expo / 2);
+        }
+        // Different salts decorrelate shards.
+        assert_ne!(
+            (0..8).map(|s| p.backoff_ms(2, s, None)).collect::<Vec<_>>(),
+            vec![p.backoff_ms(2, 0, None); 8]
+        );
+    }
+
+    #[test]
+    fn retry_after_hint_is_a_floor() {
+        let p = RetryPolicy::default();
+        assert!(p.backoff_ms(0, 1, Some(5_000)) >= 5_000);
+        // Without the hint attempt 0 stays near base_ms.
+        assert!(p.backoff_ms(0, 1, None) <= p.base_ms);
+    }
+
+    #[test]
+    fn attempt_cap_is_enforced() {
+        let p = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        assert!(p.attempt_allowed(0));
+        assert!(p.attempt_allowed(2));
+        assert!(!p.attempt_allowed(3));
+        assert!(!p.attempt_allowed(u32::MAX));
+    }
+
+    #[test]
+    fn huge_attempt_numbers_saturate_instead_of_overflowing() {
+        let p = RetryPolicy {
+            base_ms: u64::MAX / 2,
+            cap_ms: u64::MAX,
+            ..RetryPolicy::default()
+        };
+        let _ = p.backoff_ms(u32::MAX, u64::MAX, Some(u64::MAX));
+    }
+
+    #[test]
+    fn breaker_closed_to_open_to_half_open_to_closed() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(2, Duration::from_millis(100));
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow(t0));
+        b.record_failure(t0);
+        assert!(b.allow(t0), "one failure below threshold keeps it closed");
+        b.record_failure(t0);
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opens(), 1);
+        assert!(!b.allow(t0), "open refuses traffic");
+        assert!(!b.allow(t0 + Duration::from_millis(99)));
+        // Cooldown elapses: exactly one probe is admitted.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(b.allow(t1), "probe after cooldown");
+        assert_eq!(b.state_name(), "half-open");
+        assert!(!b.allow(t1), "second caller is held while the probe flies");
+        b.record_success();
+        assert_eq!(b.state_name(), "closed");
+        assert!(b.allow(t1));
+    }
+
+    #[test]
+    fn failed_probe_reopens_with_fresh_cooldown() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(1, Duration::from_millis(50));
+        b.record_failure(t0);
+        assert_eq!(b.state_name(), "open");
+        let t1 = t0 + Duration::from_millis(50);
+        assert!(b.allow(t1));
+        b.record_failure(t1);
+        assert_eq!(b.state_name(), "open");
+        assert_eq!(b.opens(), 2);
+        assert!(!b.allow(t1 + Duration::from_millis(49)));
+        assert!(b.allow(t1 + Duration::from_millis(50)));
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let t0 = Instant::now();
+        let mut b = CircuitBreaker::new(3, Duration::from_millis(10));
+        b.record_failure(t0);
+        b.record_failure(t0);
+        b.record_success();
+        b.record_failure(t0);
+        b.record_failure(t0);
+        assert_eq!(b.state_name(), "closed", "count restarted after success");
+        b.record_failure(t0);
+        assert_eq!(b.state_name(), "open");
+    }
+}

@@ -38,6 +38,26 @@
 //! With journaling enabled, request ids name journal entries, so
 //! clients must not reuse an id while a previous request with that id
 //! is still in flight.
+//!
+//! # Duplicate suppression
+//!
+//! A fleet client that re-sends after a possibly-delivered write marks
+//! the re-send `"dedup":true`. For such requests the daemon consults
+//! its settled log (seeded from the journal's `done`/`recovered`
+//! entries at startup, updated on every completion): an already-settled
+//! id is answered with [`protocol::resp_deduped`] — the journaled
+//! status and λ, no re-solve — and an id still in flight is answered
+//! `overloaded` + `retry_after_ms` so the client backs off until the
+//! original settles. Requests without the flag never dedup, so
+//! independent clients may freely reuse ids (the concurrent soak does).
+//!
+//! # Drain
+//!
+//! A wire `shutdown` op drains: admission stops (new solves shed with
+//! `overloaded`), queued work settles, then the workers stop. The
+//! in-process [`ServerHandle::shutdown`] stays a hard stop — queued
+//! work is left journaled for the next start, which is the crash-
+//! recovery path the restart tests pin.
 
 use crate::cache::{self, GraphCache, Resolved};
 use crate::chaos;
@@ -54,9 +74,9 @@ use mcr_core::{
 };
 use mcr_graph::io::read_dimacs;
 use mcr_graph::Graph;
-use std::collections::VecDeque;
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
@@ -117,14 +137,58 @@ struct QueuedJob {
     frame_len: usize,
 }
 
+/// Bounded insertion-ordered log of settled outcomes, the in-memory
+/// face of the journal's `done`/`recovered` entries. Bounded so a
+/// long-lived daemon cannot grow it without limit; eviction is
+/// oldest-first, which only weakens dedup for ids settled more than
+/// `SETTLED_CAP` completions ago.
+struct SettledLog {
+    by_id: HashMap<u64, (SolveStatus, Option<String>)>,
+    order: VecDeque<u64>,
+}
+
+/// How many settled outcomes the dedup log retains.
+const SETTLED_CAP: usize = 16 * 1024;
+
+impl SettledLog {
+    fn new() -> SettledLog {
+        SettledLog {
+            by_id: HashMap::new(),
+            order: VecDeque::new(),
+        }
+    }
+
+    fn insert(&mut self, id: u64, status: SolveStatus, lambda: Option<String>) {
+        if self.by_id.insert(id, (status, lambda)).is_none() {
+            self.order.push_back(id);
+        }
+        while self.order.len() > SETTLED_CAP {
+            if let Some(old) = self.order.pop_front() {
+                self.by_id.remove(&old);
+            }
+        }
+    }
+
+    fn get(&self, id: u64) -> Option<&(SolveStatus, Option<String>)> {
+        self.by_id.get(&id)
+    }
+}
+
 struct Shared {
     cfg: ServeConfig,
     metrics: Metrics,
     queue: Mutex<VecDeque<QueuedJob>>,
     cond: Condvar,
     stop: AtomicBool,
+    /// Wire-`shutdown` drain: admission refuses new solves while queued
+    /// work settles; the workers flip `stop` once the queue is empty.
+    draining: AtomicBool,
     cache: Mutex<GraphCache>,
     journal: Option<Journal>,
+    /// Settled outcomes for duplicate suppression.
+    settled: Mutex<SettledLog>,
+    /// Ids admitted (or recovered) but not yet settled.
+    inflight: Mutex<HashSet<u64>>,
 }
 
 /// A poison-tolerant lock: a worker that panicked (only possible via
@@ -199,10 +263,21 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         queue: Mutex::new(VecDeque::new()),
         cond: Condvar::new(),
         stop: AtomicBool::new(false),
+        draining: AtomicBool::new(false),
         cache: Mutex::new(GraphCache::new(cfg.cache_capacity)),
         journal,
+        settled: Mutex::new(SettledLog::new()),
+        inflight: Mutex::new(HashSet::new()),
         cfg,
     });
+    // Replay the journal's settled outcomes so a re-send of an id the
+    // previous process already answered dedups instead of re-solving.
+    if let Some(journal) = &shared.journal {
+        let mut settled = lock(&shared.settled);
+        for (id, status, lambda) in journal.settled() {
+            settled.insert(id, status, lambda);
+        }
+    }
     recover_pending(&shared);
     let mut threads = Vec::new();
     for _ in 0..shared.cfg.workers {
@@ -246,6 +321,7 @@ fn recover_pending(shared: &Arc<Shared>) {
                     accepted_at: Instant::now(),
                     reply: None,
                 });
+                lock(&shared.inflight).insert(rec.id);
                 Metrics::bump(&shared.metrics.journal_recovered);
             }
             _ => Metrics::bump(&shared.metrics.journal_skipped),
@@ -255,11 +331,14 @@ fn recover_pending(shared: &Arc<Shared>) {
 
 fn accept_loop(shared: &Arc<Shared>, listener: TcpListener) {
     loop {
-        if shared.stop.load(Ordering::SeqCst) {
+        if shared.stop.load(Ordering::SeqCst) || shared.draining.load(Ordering::SeqCst) {
             return;
         }
         match listener.accept() {
             Ok((stream, _peer)) => {
+                // Responses are one small frame each; Nagle would add a
+                // delayed-ACK round trip to every settle on the fleet path.
+                let _ = stream.set_nodelay(true);
                 let sh = Arc::clone(shared);
                 // Reader threads are detached: they exit on EOF, frame
                 // error, or after a shutdown op; process exit reaps any
@@ -310,8 +389,12 @@ fn send(shared: &Shared, reply: &ReplyHandle, text: &str) {
     let mut w = lock(reply);
     if frame::write_frame(&mut *w, text.as_bytes()).is_err() {
         // The client may be gone; the journal still records the
-        // outcome, so nothing is lost but the delivery.
+        // outcome, so nothing is lost but the delivery. A torn write
+        // may have left partial frame bytes on the wire, so shut the
+        // stream down: the peer must see a typed mid-frame EOF, never
+        // a later frame parsed out of phase.
         Metrics::bump(&shared.metrics.frame_errors);
+        let _ = w.shutdown(Shutdown::Both);
     }
 }
 
@@ -390,7 +473,13 @@ fn handle_shutdown(shared: &Shared, reply: &ReplyHandle, id: u64, frame_len: usi
             &protocol::resp_error(id, SolveStatus::InputError, &msg, None),
         ),
     }
-    shared.stop.store(true, Ordering::SeqCst);
+    // Graceful drain: stop admitting, let the workers settle the queue,
+    // and have the last idle worker flip `stop`. With no workers nobody
+    // could ever drain, so stop outright (queued work stays journaled).
+    shared.draining.store(true, Ordering::SeqCst);
+    if shared.cfg.workers == 0 {
+        shared.stop.store(true, Ordering::SeqCst);
+    }
     shared.cond.notify_all();
     Flow::Close
 }
@@ -441,6 +530,38 @@ fn handle_admit(
     if chaos::fail_hit("serve.queue.admit") {
         return shed("injected admission fault".to_string());
     }
+    if shared.draining.load(Ordering::SeqCst) {
+        Metrics::bump(&shared.metrics.drained);
+        return shed("draining for shutdown — retry another shard".to_string());
+    }
+    // Duplicate suppression, only when the client asked for it (a
+    // re-send after a possibly-delivered write): answer settled ids
+    // from the journaled outcome, hold off ids still in flight.
+    if solve.dedup {
+        if let Some((status, lambda)) = lock(&shared.settled).get(id).cloned() {
+            Metrics::bump(&shared.metrics.dedup_settled);
+            send(
+                shared,
+                reply,
+                &protocol::resp_deduped(id, status, lambda.as_deref()),
+            );
+            return Flow::Continue;
+        }
+        if lock(&shared.inflight).contains(&id) {
+            Metrics::bump(&shared.metrics.dedup_inflight);
+            send(
+                shared,
+                reply,
+                &protocol::resp_error(
+                    id,
+                    SolveStatus::Overloaded,
+                    "duplicate of an in-flight request — retry after it settles",
+                    Some(shared.cfg.retry_after_ms),
+                ),
+            );
+            return Flow::Continue;
+        }
+    }
     let Ok(payload_text) = String::from_utf8(payload) else {
         // parse_request already validated UTF-8; fail typed regardless.
         Metrics::bump(&shared.metrics.failed);
@@ -475,6 +596,7 @@ fn handle_admit(
         frame_len,
     });
     drop(q);
+    lock(&shared.inflight).insert(id);
     Metrics::bump(&shared.metrics.accepted);
     shared.cond.notify_one();
     Flow::Continue
@@ -490,6 +612,13 @@ fn worker_loop(shared: &Arc<Shared>) {
                 }
                 if let Some(job) = q.pop_front() {
                     break job;
+                }
+                // Drain complete: the queue is empty and no new work is
+                // admitted, so the daemon can stop for real.
+                if shared.draining.load(Ordering::SeqCst) {
+                    shared.stop.store(true, Ordering::SeqCst);
+                    shared.cond.notify_all();
+                    return;
                 }
                 let (guard, _timeout) = shared
                     .cond
@@ -528,10 +657,14 @@ fn finish(
     }
     if let Some(journal) = &shared.journal {
         let _ = match reply {
-            Some(_) => journal.done(id, status),
+            Some(_) => journal.done(id, status, lambda.as_deref()),
             None => journal.recovered(id, status, lambda.as_deref()),
         };
     }
+    // Settle before clearing in-flight: a racing duplicate must see
+    // either "in flight" or "settled", never neither.
+    lock(&shared.settled).insert(id, status, lambda);
+    lock(&shared.inflight).remove(&id);
 }
 
 /// The worker-side handler: deadline re-check, graph resolution,

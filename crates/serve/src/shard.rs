@@ -1,0 +1,174 @@
+//! Graph-hash sharding across a fleet of `mcrd` endpoints.
+//!
+//! A [`ShardMap`] routes each request to `endpoints[fnv1a(graph) % n]`
+//! — the same FNV-1a content hash the daemon's graph cache keys on, so
+//! repeated solves of one graph land on the shard whose cache is warm
+//! for it. Failover walks the rest of the ring in order (primary + 1,
+//! primary + 2, …), which keeps the fallback shard deterministic for a
+//! given graph: retries concentrate rather than spray.
+//!
+//! Routing never inspects solver state, so any shard can correctly
+//! serve any request — the ring is a cache-affinity policy, not a
+//! partition of correctness.
+
+// Routing faces the network path; it must fail typed, never panic.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used, clippy::panic))]
+
+use crate::json::{self, Value};
+use crate::{cache, chaos, protocol};
+
+/// An ordered ring of `mcrd` endpoints (`host:port` strings).
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    endpoints: Vec<String>,
+}
+
+impl ShardMap {
+    /// Builds a map; the endpoint list must be non-empty.
+    pub fn new(endpoints: Vec<String>) -> Result<ShardMap, String> {
+        if endpoints.is_empty() {
+            return Err("shard map needs at least one endpoint".to_string());
+        }
+        Ok(ShardMap { endpoints })
+    }
+
+    /// Parses a comma-separated endpoint list (`host:port,host:port`).
+    pub fn parse(spec: &str) -> Result<ShardMap, String> {
+        let endpoints: Vec<String> = spec
+            .split(',')
+            .map(str::trim)
+            .filter(|e| !e.is_empty())
+            .map(String::from)
+            .collect();
+        ShardMap::new(endpoints)
+    }
+
+    /// Number of shards in the ring.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// True when the ring is empty (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// The endpoint string for shard `idx`.
+    pub fn endpoint(&self, idx: usize) -> &str {
+        self.endpoints
+            .get(idx % self.endpoints.len().max(1))
+            .map(String::as_str)
+            .unwrap_or("")
+    }
+
+    /// The home shard for a routing hash. The hash is finalized
+    /// through a full-avalanche mix before the modulo: FNV-1a's low
+    /// bits correlate across similar inputs, and a two-shard ring
+    /// would otherwise see whole request logs pinned to one side.
+    pub fn primary(&self, hash: u64) -> usize {
+        chaos::pulse("serve.fleet.route");
+        (fmix64(hash) % self.endpoints.len() as u64) as usize
+    }
+
+    /// Failover order: the full ring starting at the primary. Walking
+    /// it visits every shard exactly once.
+    pub fn ring(&self, hash: u64) -> impl Iterator<Item = usize> + '_ {
+        let n = self.endpoints.len();
+        let start = self.primary(hash);
+        (0..n).map(move |k| (start + k) % n)
+    }
+
+    /// The routing hash of one request line: FNV-1a of the inline
+    /// `graph` text when present (identical to the cache key the
+    /// daemon computes), else the pre-computed `graph_hash` field,
+    /// else FNV-1a of the whole line so malformed requests still route
+    /// deterministically (and get their typed error from one shard).
+    pub fn routing_hash(line: &str) -> u64 {
+        if let Ok(v) = json::parse(line) {
+            if let Some(graph) = v.get("graph").and_then(Value::as_str) {
+                return cache::fnv1a(graph);
+            }
+            if let Some(hex) = v.get("graph_hash").and_then(Value::as_str) {
+                if let Some(h) = protocol::parse_hash(hex) {
+                    return h;
+                }
+            }
+        }
+        cache::fnv1a(line)
+    }
+}
+
+/// MurmurHash3's 64-bit finalizer: every input bit avalanches into
+/// every output bit, so `% n` sees a uniform value even when the
+/// underlying content hashes differ only in a few bits.
+fn fmix64(mut h: u64) -> u64 {
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    h ^= h >> 33;
+    h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+    h ^ (h >> 33)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_lists_and_rejects_empty() {
+        let m = ShardMap::parse("a:1, b:2 ,c:3").expect("parse");
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.endpoint(1), "b:2");
+        assert!(ShardMap::parse(" , ").is_err());
+        assert!(ShardMap::new(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn ring_visits_every_shard_once_starting_at_primary() {
+        let m = ShardMap::parse("a:1,b:2,c:3").expect("parse");
+        for hash in [0u64, 1, 2, 7, u64::MAX] {
+            let order: Vec<usize> = m.ring(hash).collect();
+            assert_eq!(order.len(), 3);
+            assert_eq!(order[0], m.primary(hash));
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, vec![0, 1, 2], "hash {hash}: ring {order:?}");
+        }
+    }
+
+    #[test]
+    fn routing_hash_matches_the_cache_key_for_inline_graphs() {
+        let graph = "p sp 2 1\\na 1 2 3 1\\n";
+        let line = format!("{{\"id\":1,\"op\":\"solve\",\"graph\":\"{graph}\"}}");
+        let decoded = json::parse(&line)
+            .expect("line parses")
+            .get("graph")
+            .and_then(Value::as_str)
+            .map(String::from)
+            .expect("graph field");
+        assert_eq!(ShardMap::routing_hash(&line), cache::fnv1a(&decoded));
+    }
+
+    #[test]
+    fn routing_hash_uses_graph_hash_field_and_falls_back_to_the_line() {
+        let by_hash = format!(
+            "{{\"id\":2,\"op\":\"solve\",\"graph_hash\":\"{}\"}}",
+            protocol::format_hash(0xdead_beef)
+        );
+        assert_eq!(ShardMap::routing_hash(&by_hash), 0xdead_beef);
+        // Malformed lines still route somewhere deterministic.
+        assert_eq!(
+            ShardMap::routing_hash("not json"),
+            cache::fnv1a("not json")
+        );
+    }
+
+    #[test]
+    fn same_graph_always_routes_to_the_same_shard() {
+        let m = ShardMap::parse("a:1,b:2").expect("parse");
+        let h = ShardMap::routing_hash("{\"id\":9,\"graph\":\"p sp 1 0\\n\"}");
+        let first = m.primary(h);
+        for _ in 0..4 {
+            assert_eq!(m.primary(h), first);
+        }
+    }
+}

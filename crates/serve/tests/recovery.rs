@@ -194,7 +194,7 @@ fn finished_journal_entries_are_not_rerun() {
         let journal = Journal::open(&dir).expect("open");
         journal.accept(1, &solve_req(1, &graph)).expect("accept");
         journal
-            .done(1, mcr_core::SolveStatus::Ok)
+            .done(1, mcr_core::SolveStatus::Ok, None)
             .expect("done");
         journal.accept(2, &solve_req(2, &graph)).expect("accept");
     }

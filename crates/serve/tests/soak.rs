@@ -181,12 +181,14 @@ fn chaos_round(seed: u64, workers: usize, dir: &std::path::Path) -> Vec<String> 
         );
     }
     // Admission is a partition: shed or accepted, nothing dropped.
+    // Each client retry after an `overloaded` shed is one extra
+    // admission decision, so the books balance at sends, not requests.
     let accepted = handle.metric("serve.requests.accepted").unwrap_or(0);
     let rejected = handle.metric("serve.requests.rejected").unwrap_or(0);
     assert_eq!(
         accepted + rejected,
-        10,
-        "seed {seed} workers {workers}: admission must account for every request"
+        10 + report.retries as u64,
+        "seed {seed} workers {workers}: admission must account for every send"
     );
     let settled = handle.metric("serve.requests.completed").unwrap_or(0)
         + handle.metric("serve.requests.cancelled").unwrap_or(0)
@@ -215,6 +217,79 @@ fn chaos_round(seed: u64, workers: usize, dir: &std::path::Path) -> Vec<String> 
     observed
 }
 
+/// One fleet chaos round: two in-process shards behind the fleet
+/// client, with seeded wire-level faults (torn frames, mid-frame
+/// disconnects, short writes, stalled reads). Every request must
+/// settle exactly once at the client with its deterministic status —
+/// failover plus `"dedup":true` re-sends absorb the faults. Returns
+/// the serve sites observed.
+#[cfg(feature = "chaos")]
+fn fleet_round(seed: u64, workers: usize, base: &std::path::Path) -> Vec<String> {
+    use mcr_chaos::{FaultKind, FaultSchedule};
+    use mcr_serve::client::{fleet_replay, FleetConfig};
+    use mcr_serve::shard::ShardMap;
+    let guard = FaultSchedule::new(seed)
+        .inject("serve.net.torn_write", FaultKind::Transient)
+        .inject("serve.net.short_write", FaultKind::Transient)
+        .inject("serve.net.disconnect", FaultKind::Transient)
+        .inject_always("serve.net.read_stall", FaultKind::Delay { millis: 1 })
+        .install();
+    let handles: Vec<_> = (0..2)
+        .map(|i| {
+            serve(ServeConfig {
+                workers,
+                journal_dir: Some(base.join(format!("shard{i}"))),
+                ..ServeConfig::default()
+            })
+            .expect("shard starts under chaos")
+        })
+        .collect();
+    let spec = handles
+        .iter()
+        .map(|h| h.local_addr().to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let mut cfg = FleetConfig::new(ShardMap::parse(&spec).expect("two shards"));
+    // Fail over fast: a stalled read should cost ms, not the default
+    // 30 s, and a single torn frame must not trip a breaker open.
+    cfg.response_timeout = std::time::Duration::from_millis(2_000);
+    let lines = log_lines(10, seed);
+    let mut out = Vec::new();
+    let report = fleet_replay(&cfg, &lines, &mut out).expect("fleet replay under chaos");
+    assert_eq!(report.sent, 10, "fleet seed {seed} workers {workers}");
+    assert_eq!(
+        report.settled, 10,
+        "fleet seed {seed} workers {workers}: every request settles exactly once"
+    );
+    // Only wire faults are injected, so solves stay deterministic: the
+    // generator's tail statuses must survive failover and dedup intact.
+    let by_status: BTreeMap<&str, usize> = report
+        .by_status
+        .iter()
+        .map(|(s, n)| (s.as_str(), *n))
+        .collect();
+    assert_eq!(
+        by_status.get("ok"),
+        Some(&8),
+        "fleet seed {seed} workers {workers}: {by_status:?}"
+    );
+    assert_eq!(by_status.get("cancelled"), Some(&1));
+    assert_eq!(by_status.get("budget-exhausted"), Some(&1));
+    assert!(
+        mcr_chaos::faults_fired() > 0,
+        "fleet seed {seed}: the schedule never fired"
+    );
+    let observed: Vec<String> = mcr_chaos::hit_sites()
+        .into_iter()
+        .filter(|s| s.starts_with("serve."))
+        .collect();
+    for handle in handles {
+        handle.shutdown();
+    }
+    drop(guard);
+    observed
+}
+
 #[cfg(feature = "chaos")]
 #[test]
 fn seeded_chaos_soak_never_drops_or_panics() {
@@ -229,6 +304,8 @@ fn seeded_chaos_soak_never_drops_or_panics() {
         for workers in [1usize, 4] {
             let dir = base.join(format!("s{seed}-w{workers}"));
             covered.extend(chaos_round(seed, workers, &dir));
+            let fleet_dir = base.join(format!("fleet-s{seed}-w{workers}"));
+            covered.extend(fleet_round(seed, workers, &fleet_dir));
         }
     }
     // Across the matrix every serve-layer site must have been exercised.

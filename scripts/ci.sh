@@ -7,8 +7,10 @@
 # `deny(clippy::unwrap_used, clippy::panic)` gates on the parser and
 # the error/budget/certify layer), a CLI smoke test of the exit
 # code contract against the bad-input corpus, a 4-thread smoke of
-# the chunked intra-SCC sweep path (CLI + bench harness), and a
-# kill -9 crash-recovery drill of the mcrd solve daemon.
+# the chunked intra-SCC sweep path (CLI + bench harness), a kill -9
+# crash-recovery drill of the mcrd solve daemon, and a two-shard fleet
+# drill that SIGKILLs one shard mid-replay and proves every request
+# still settles exactly once with zero duplicate solves.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -21,8 +23,9 @@ echo "=== mcr-lint (workspace contract checker) ==="
 # (MCRL003), narrowing casts in hot paths (MCRL004), panic sources in
 # the panic-free layers (MCRL005), obs metrics coverage of budgeted
 # loops (MCRL006), loop-metrics + chaos coverage of chunked-sweep
-# kernels (MCRL007), and RequestGuard containment of every serve-layer
-# request handler (MCRL008). See DESIGN.md and crates/lint.
+# kernels (MCRL007), RequestGuard containment of every serve-layer
+# request handler (MCRL008), and bounded RetryPolicy caps on network
+# connect/send loops (MCRL009). See DESIGN.md and crates/lint.
 cargo run -q -p mcr-lint
 
 echo "=== cargo test (workspace) ==="
@@ -299,6 +302,86 @@ grep '"name":"serve.journal.recovered"' "$SERVE_TMP/mcrd_b.out" \
     exit 1
 }
 rm -rf "$SERVE_TMP"
+
+echo "=== fleet drill: two shards, kill -9 one mid-replay ==="
+# The fleet resilience contract, driven with a real SIGKILL: a
+# two-shard ring replays the golden 12-request log while one shard is
+# killed mid-flight. The victim runs zero workers, so it admits and
+# journals but can never solve — any `done` line in its journal would
+# be a duplicate solve. The client must settle every request exactly
+# once with the generator's pinned statuses (10 ok, 1 cancelled,
+# 1 budget-exhausted), failing over to the survivor with
+# `"dedup":true` re-sends; the survivor's journal ends with exactly
+# one `done` per id.
+FLEET_TMP=/tmp/mcr_ci_fleet
+rm -rf "$FLEET_TMP"
+mkdir -p "$FLEET_TMP/victim" "$FLEET_TMP/survivor"
+"$MCRD" --listen 127.0.0.1:0 --workers 0 --journal-dir "$FLEET_TMP/victim" \
+    > "$FLEET_TMP/victim.out" &
+VICTIM_PID=$!
+"$MCRD" --listen 127.0.0.1:0 --workers 2 --journal-dir "$FLEET_TMP/survivor" \
+    > "$FLEET_TMP/survivor.out" &
+SURVIVOR_PID=$!
+VIC=""
+SURV=""
+for _ in $(seq 1 100); do
+    VIC=$(sed -n 's/^mcrd listening on //p' "$FLEET_TMP/victim.out")
+    SURV=$(sed -n 's/^mcrd listening on //p' "$FLEET_TMP/survivor.out")
+    [ -n "$VIC" ] && [ -n "$SURV" ] && break
+    sleep 0.1
+done
+if [ -z "$VIC" ] || [ -z "$SURV" ]; then
+    echo "FAIL: a fleet shard never printed its listen address"
+    exit 1
+fi
+# SIGKILL the victim one second into the replay — while the client is
+# mid-conversation with it (victim-routed reads block until the 500 ms
+# timeout, so the kill lands inside the replay window).
+( sleep 1; kill -9 "$VICTIM_PID" 2>/dev/null ) &
+KILLER_PID=$!
+"$MCR" client --fleet "$VIC,$SURV" --timeout-ms 500 \
+    --replay crates/serve/tests/data/golden_requests.jsonl \
+    > "$FLEET_TMP/resp.jsonl" 2> "$FLEET_TMP/client.err"
+wait "$KILLER_PID"
+wait "$VICTIM_PID" 2>/dev/null || true
+grep -q "settled=12" "$FLEET_TMP/client.err" || {
+    echo "FAIL: fleet client did not settle all 12 requests:"
+    cat "$FLEET_TMP/client.err"
+    exit 1
+}
+for want in '"status":"ok" 10' '"status":"cancelled" 1' \
+            '"status":"budget-exhausted" 1'; do
+    pat=${want% *}
+    n=${want#* }
+    got=$(grep -c "$pat" "$FLEET_TMP/resp.jsonl" || true)
+    if [ "$got" != "$n" ]; then
+        echo "FAIL: fleet replay expected $n responses with $pat, got $got:"
+        cat "$FLEET_TMP/client.err"
+        exit 1
+    fi
+done
+# Zero duplicate solves: the victim journal must hold no settled
+# outcome, and the survivor exactly one done per id.
+victim_dones=$(grep -c '"kind":"done"' "$FLEET_TMP/victim/journal.jsonl" \
+    2>/dev/null || true)
+if [ "$victim_dones" != 0 ]; then
+    echo "FAIL: the zero-worker victim journaled $victim_dones solves"
+    exit 1
+fi
+unique_dones=$(grep '"kind":"done"' "$FLEET_TMP/survivor/journal.jsonl" \
+    | sed -n 's/.*"id":\([0-9]*\).*/\1/p' | sort -n | uniq | wc -l | tr -d ' ')
+total_dones=$(grep -c '"kind":"done"' "$FLEET_TMP/survivor/journal.jsonl" || true)
+if [ "$unique_dones" != 12 ] || [ "$total_dones" != 12 ]; then
+    echo "FAIL: survivor journal has $total_dones dones over $unique_dones" \
+         "unique ids, expected exactly one done per id (12/12)"
+    exit 1
+fi
+"$MCR" client --addr "$SURV" --op shutdown > /dev/null
+wait "$SURVIVOR_PID" || {
+    echo "FAIL: surviving shard exited non-zero after a clean shutdown"
+    exit 1
+}
+rm -rf "$FLEET_TMP"
 
 # --- Optional deep-checking walls -------------------------------------
 # These three tools need components the offline build box may not have
