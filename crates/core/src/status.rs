@@ -99,11 +99,16 @@ impl SolveStatus {
     /// without the caller changing anything about the input itself.
     /// Drives the `retryable` field of `mcr-resp v1`, so load-shedding
     /// clients know which failures are worth re-queueing.
+    /// Exhaustive by design (no `_` arm): adding a variant without
+    /// deciding its retryability is a compile error here and a lint
+    /// error (MCRL013) if hidden behind a wildcard.
     pub fn is_retryable(self) -> bool {
-        matches!(
-            self,
-            SolveStatus::BudgetExhausted | SolveStatus::Cancelled | SolveStatus::Overloaded
-        )
+        match self {
+            SolveStatus::BudgetExhausted | SolveStatus::Cancelled | SolveStatus::Overloaded => {
+                true
+            }
+            SolveStatus::Ok | SolveStatus::InputError | SolveStatus::CertifyFailed => false,
+        }
     }
 
     /// Maps a typed solver failure onto the taxonomy — the single

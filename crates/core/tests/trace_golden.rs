@@ -147,3 +147,93 @@ fn schema_version_bump_requires_regenerating_goldens() {
         );
     }
 }
+
+/// The top-level object keys of one JSONL line: a string that starts
+/// right after `{` or a depth-1 `,` and is followed by `:`. Tracks
+/// string/escape state, so quotes inside values (error messages) and
+/// nested structures cannot confuse it.
+fn top_level_keys(line: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut escaped = false;
+    let mut key_start: Option<usize> = None;
+    let mut expecting_key = false;
+    for (i, c) in line.char_indices() {
+        if in_str {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_str = false;
+                if let Some(s) = key_start.take() {
+                    keys.push(line[s..i].to_string());
+                }
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_str = true;
+                if depth == 1 && expecting_key {
+                    key_start = Some(i + 1);
+                    expecting_key = false;
+                }
+            }
+            '{' | '[' => {
+                depth += 1;
+                expecting_key = c == '{' && depth == 1;
+            }
+            '}' | ']' => depth -= 1,
+            ',' if depth == 1 => expecting_key = true,
+            _ => {}
+        }
+    }
+    keys
+}
+
+/// The committed `schemas/<name>` manifest's field set (workspace root
+/// is two levels above this crate).
+fn manifest_fields(name: &str) -> std::collections::BTreeSet<String> {
+    let path = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("schemas")
+        .join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect()
+}
+
+#[test]
+fn golden_jsonl_keys_are_declared_in_the_schema_manifests() {
+    // The goldens and the schemas/ manifests describe the same wire
+    // formats; mcr-lint (MCRL011) ties the manifests to the writer
+    // code, and this test ties them to the actual emitted bytes. A key
+    // in a golden line that the manifest does not declare means one of
+    // the two is stale.
+    for (golden, manifest) in [
+        ("trace_two_solves.jsonl", "mcr-trace-v1.txt"),
+        ("metrics_two_solves.jsonl", "mcr-metrics-v1.txt"),
+    ] {
+        let declared = manifest_fields(manifest);
+        let text = std::fs::read_to_string(golden_path(golden)).expect("read golden");
+        for (n, line) in text.lines().enumerate() {
+            let keys = top_level_keys(line);
+            assert!(!keys.is_empty(), "{golden}:{} has no keys", n + 1);
+            for key in keys {
+                assert!(
+                    declared.contains(&key),
+                    "{golden}:{} key `{key}` is not declared in schemas/{manifest}",
+                    n + 1
+                );
+            }
+        }
+    }
+}

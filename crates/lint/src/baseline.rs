@@ -1,0 +1,145 @@
+//! Accepted-debt baselines.
+//!
+//! A baseline file lists findings the team has reviewed and accepted,
+//! one per line:
+//!
+//! ```text
+//! MCRL010 crates/serve/src/server.rs:146 # dedup log order is re-sorted at render
+//! ```
+//!
+//! The `# reason` is mandatory — a baseline without a recorded
+//! justification is indistinguishable from a silenced rule. Entries
+//! that no longer match any finding are *errors*, not dead weight: a
+//! stale baseline line means either the debt was paid (delete the
+//! line) or the code moved (re-review it).
+
+use crate::Report;
+
+/// One parsed baseline entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BaselineEntry {
+    pub rule: String,
+    pub file: String,
+    pub line: u32,
+    pub reason: String,
+    /// 1-based line in the baseline file, for error messages.
+    pub at: u32,
+}
+
+/// Parses a baseline file's text. Blank lines and `#`-first lines are
+/// comments.
+pub fn parse(text: &str) -> Result<Vec<BaselineEntry>, String> {
+    let mut entries = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let at = idx as u32 + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, reason) = match line.split_once('#') {
+            Some((h, r)) if !r.trim().is_empty() => (h.trim(), r.trim().to_string()),
+            _ => {
+                return Err(format!(
+                    "baseline line {at}: missing `# reason` — every accepted finding \
+                     must record why ({line})"
+                ))
+            }
+        };
+        let mut parts = head.split_whitespace();
+        let (Some(rule), Some(loc), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!(
+                "baseline line {at}: expected `RULE file:line # reason`, got `{line}`"
+            ));
+        };
+        let Some((file, lineno)) = loc.rsplit_once(':') else {
+            return Err(format!(
+                "baseline line {at}: location `{loc}` is missing its `:line` suffix"
+            ));
+        };
+        let lineno: u32 = lineno
+            .parse()
+            .map_err(|_| format!("baseline line {at}: `{lineno}` is not a line number"))?;
+        entries.push(BaselineEntry {
+            rule: rule.to_string(),
+            file: file.to_string(),
+            line: lineno,
+            reason,
+            at,
+        });
+    }
+    Ok(entries)
+}
+
+/// Applies a baseline to a report: matching findings move from
+/// violations to suppressions. A stale entry (matching nothing) is an
+/// error.
+pub fn apply(report: &mut Report, entries: &[BaselineEntry]) -> Result<(), String> {
+    for e in entries {
+        let matched = report
+            .diagnostics
+            .iter()
+            .any(|d| d.rule == e.rule && d.file == e.file && d.line == e.line && !d.allowed);
+        if !matched {
+            return Err(format!(
+                "baseline line {}: `{} {}:{}` matches no current finding — \
+                 delete the stale entry or re-review the moved code",
+                e.at, e.rule, e.file, e.line
+            ));
+        }
+        report
+            .baselined
+            .push((e.rule.clone(), e.file.clone(), e.line));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Diagnostic;
+
+    fn report_with(rule: &'static str, file: &str, line: u32) -> Report {
+        Report {
+            diagnostics: vec![Diagnostic {
+                rule,
+                file: file.to_string(),
+                line,
+                message: "m".to_string(),
+                allowed: false,
+            }],
+            files_scanned: 1,
+            baselined: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn entries_parse_and_suppress() {
+        let entries =
+            parse("# header comment\nMCRL010 crates/a.rs:7 # reviewed 2026-08\n").expect("parse");
+        assert_eq!(entries.len(), 1);
+        assert_eq!(
+            (entries[0].rule.as_str(), entries[0].line, entries[0].reason.as_str()),
+            ("MCRL010", 7, "reviewed 2026-08")
+        );
+        let mut r = report_with("MCRL010", "crates/a.rs", 7);
+        apply(&mut r, &entries).expect("apply");
+        assert_eq!(r.violation_count(), 0);
+        assert_eq!(r.suppressed_count(), 1);
+    }
+
+    #[test]
+    fn missing_reason_is_rejected() {
+        let err = parse("MCRL010 crates/a.rs:7\n").expect_err("must fail");
+        assert!(err.contains("missing `# reason`"), "{err}");
+        let err = parse("MCRL010 crates/a.rs:7 #   \n").expect_err("must fail");
+        assert!(err.contains("missing `# reason`"), "{err}");
+    }
+
+    #[test]
+    fn stale_entries_are_errors() {
+        let entries = parse("MCRL010 crates/a.rs:9 # gone\n").expect("parse");
+        let mut r = report_with("MCRL010", "crates/a.rs", 7);
+        let err = apply(&mut r, &entries).expect_err("must fail");
+        assert!(err.contains("matches no current finding"), "{err}");
+    }
+}

@@ -1,0 +1,461 @@
+//! A lossless Rust lexer: the bottom layer of the analysis engine.
+//!
+//! Every byte of the input ends up in exactly one token, in order, so
+//! concatenating `text` over the token stream reproduces the source
+//! bit-for-bit (pinned by the workspace round-trip test in
+//! `tests/roundtrip.rs`). Losslessness is what lets the higher layers
+//! — the [`crate::scan`] compatibility view, the brace tree, the
+//! symbol index — trust their line numbers and literal values without
+//! a second pass over the text.
+//!
+//! The lexer understands the full literal surface the workspace uses:
+//! raw strings (`r"…"`, `r#"…"#`, `br#"…"#`), byte strings, nested
+//! block comments, char literals vs lifetimes, hex/float/suffixed
+//! numbers. It does **not** attempt macro expansion or type-aware
+//! tokenization — those belong to the tree/index layers.
+
+/// One lossless token. `text` is the exact source slice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LexToken {
+    pub kind: LexKind,
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LexKind {
+    Ident,
+    /// `'static`, `'_`, `'a` — kept distinct so the scan layer can
+    /// re-encode them the way the rules expect.
+    Lifetime,
+    Int,
+    Float,
+    /// Any string literal (plain, byte, raw). `value` is the text
+    /// between the delimiters, escapes unprocessed — the same view the
+    /// chaos-site and wire-schema rules match manifests against.
+    Str { value: String },
+    /// A char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` to end of line (newline not included).
+    LineComment,
+    /// `/* … */`, nesting honored; may span lines.
+    BlockComment,
+    /// Spaces, tabs, newlines, carriage returns — one run per token.
+    Whitespace,
+    /// Everything else. Multi-char operators arrive as one token
+    /// (`==`, `!=`, `<=`, `>=`, `&&`, `||`, `->`, `=>`, `::`, `..`,
+    /// `..=`, and the compound assignments `+=` `-=` `*=` `/=`).
+    Punct,
+}
+
+/// The multi-char operators merged into one `Punct` token. The set is
+/// deliberately the one the original token scanner used, so the
+/// compatibility view in [`crate::scan`] reproduces its stream exactly.
+const TWO_CHAR: [&str; 14] = [
+    "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=", "*=", "/=",
+];
+
+fn is_ident_char(c: u8) -> bool {
+    c.is_ascii_alphanumeric() || c == b'_'
+}
+
+fn is_ident_start(c: u8) -> bool {
+    c.is_ascii_alphabetic() || c == b'_'
+}
+
+/// How many bytes the UTF-8 character starting at `b` occupies
+/// (defensive: malformed leading bytes count as one so the lexer always
+/// advances).
+fn utf8_len(b: u8) -> usize {
+    match b {
+        0xF0..=0xF7 => 4,
+        0xE0..=0xEF => 3,
+        0xC0..=0xDF => 2,
+        _ => 1,
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    b: &'a [u8],
+    i: usize,
+    line: u32,
+    out: Vec<LexToken>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src,
+            b: src.as_bytes(),
+            i: 0,
+            line: 1,
+            out: Vec::new(),
+        }
+    }
+
+    /// Emits `[start, self.i)` as one token, counting the newlines it
+    /// contains so `self.line` stays the line of the *next* token.
+    fn emit(&mut self, kind: LexKind, start: usize) {
+        let text = &self.src[start..self.i];
+        let line = self.line;
+        self.line += text.bytes().filter(|&c| c == b'\n').count() as u32;
+        self.out.push(LexToken {
+            kind,
+            text: text.to_string(),
+            line,
+        });
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.b.get(self.i + ahead).copied()
+    }
+
+    /// True when position `i` starts a raw string, looking through the
+    /// optional `b` prefix and `#` run: `r"`, `r#"`, `br##"`, …
+    fn raw_string_at(&self, i: usize) -> bool {
+        let mut j = i;
+        if self.b.get(j) == Some(&b'b') {
+            j += 1;
+        }
+        if self.b.get(j) != Some(&b'r') {
+            return false;
+        }
+        j += 1;
+        while self.b.get(j) == Some(&b'#') {
+            j += 1;
+        }
+        self.b.get(j) == Some(&b'"')
+    }
+
+    fn lex_whitespace(&mut self) {
+        let start = self.i;
+        while self
+            .peek(0)
+            .is_some_and(|c| c.is_ascii_whitespace())
+        {
+            self.i += 1;
+        }
+        self.emit(LexKind::Whitespace, start);
+    }
+
+    fn lex_line_comment(&mut self) {
+        let start = self.i;
+        while self.peek(0).is_some_and(|c| c != b'\n') {
+            self.i += 1;
+        }
+        self.emit(LexKind::LineComment, start);
+    }
+
+    fn lex_block_comment(&mut self) {
+        let start = self.i;
+        self.i += 2;
+        let mut depth = 1usize;
+        while self.i < self.b.len() && depth > 0 {
+            if self.peek(0) == Some(b'/') && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.i += 2;
+            } else if self.peek(0) == Some(b'*') && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.i += 2;
+            } else {
+                self.i += utf8_len(self.b[self.i]);
+            }
+        }
+        self.emit(LexKind::BlockComment, start);
+    }
+
+    /// Plain or byte string: the opening `"` (past any `b`) is at
+    /// `self.i + quote_off`.
+    fn lex_string(&mut self, quote_off: usize) {
+        let start = self.i;
+        self.i += quote_off + 1;
+        let inner_start = self.i;
+        while self.i < self.b.len() {
+            match self.b[self.i] {
+                b'\\' => {
+                    // Skip the escape and whatever it escapes (possibly
+                    // a newline for line-continuation escapes).
+                    self.i += 1;
+                    if self.i < self.b.len() {
+                        self.i += utf8_len(self.b[self.i]);
+                    }
+                }
+                b'"' => break,
+                c => self.i += utf8_len(c),
+            }
+        }
+        let value = self.src[inner_start..self.i.min(self.b.len())].to_string();
+        if self.i < self.b.len() {
+            self.i += 1; // closing quote
+        }
+        self.emit(LexKind::Str { value }, start);
+    }
+
+    /// Raw (optionally byte) string starting at `self.i`.
+    fn lex_raw_string(&mut self) {
+        let start = self.i;
+        if self.peek(0) == Some(b'b') {
+            self.i += 1;
+        }
+        self.i += 1; // 'r'
+        let mut hashes = 0usize;
+        while self.peek(0) == Some(b'#') {
+            hashes += 1;
+            self.i += 1;
+        }
+        self.i += 1; // opening quote
+        let inner_start = self.i;
+        let mut closer = Vec::with_capacity(hashes + 1);
+        closer.push(b'"');
+        closer.extend(std::iter::repeat_n(b'#', hashes));
+        while self.i < self.b.len() && !self.b[self.i..].starts_with(&closer) {
+            self.i += utf8_len(self.b[self.i]);
+        }
+        let value = self.src[inner_start..self.i.min(self.b.len())].to_string();
+        self.i = (self.i + closer.len()).min(self.b.len());
+        self.emit(LexKind::Str { value }, start);
+    }
+
+    /// Char literal vs lifetime, with the optional `b` prefix for byte
+    /// chars. Called with `self.i` at the `'` (or the `b`).
+    fn lex_quote(&mut self) {
+        let start = self.i;
+        let q = if self.peek(0) == Some(b'b') { 1 } else { 0 };
+        // After the quote: an escape is always a char literal.
+        if self.peek(q + 1) == Some(b'\\') {
+            self.i += q + 2; // past quote and backslash
+            if self.i < self.b.len() {
+                self.i += utf8_len(self.b[self.i]); // the escaped char
+            }
+            // Hex/unicode escapes run to the closing quote.
+            while self.i < self.b.len() && self.b[self.i] != b'\'' {
+                self.i += utf8_len(self.b[self.i]);
+            }
+            if self.i < self.b.len() {
+                self.i += 1;
+            }
+            self.emit(LexKind::Char, start);
+            return;
+        }
+        // `'X'` (one char, possibly multi-byte) is a char literal;
+        // anything else after `'` is a lifetime.
+        let after = q + 1;
+        if let Some(c) = self.peek(after) {
+            let clen = utf8_len(c);
+            if self.peek(after + clen) == Some(b'\'') && c != b'\'' {
+                self.i += after + clen + 1;
+                self.emit(LexKind::Char, start);
+                return;
+            }
+        }
+        // Lifetime: `'` + ident run (may be empty for a stray quote).
+        self.i += q + 1;
+        while self.peek(0).is_some_and(is_ident_char) {
+            self.i += 1;
+        }
+        self.emit(LexKind::Lifetime, start);
+    }
+
+    fn lex_number(&mut self) {
+        let start = self.i;
+        let mut is_float = false;
+        if self.peek(0) == Some(b'0') && self.peek(1).is_some_and(|c| c | 0x20 == b'x') {
+            self.i += 2;
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_hexdigit() || c == b'_')
+            {
+                self.i += 1;
+            }
+        } else {
+            while self
+                .peek(0)
+                .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+            {
+                self.i += 1;
+            }
+            // Fraction: a '.' followed by a digit, so `0..n` and
+            // `1.max(2)` stay integers.
+            if self.peek(0) == Some(b'.') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
+                is_float = true;
+                self.i += 1;
+                while self
+                    .peek(0)
+                    .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                {
+                    self.i += 1;
+                }
+            }
+            // Exponent.
+            if self.peek(0).is_some_and(|c| c | 0x20 == b'e') {
+                let mut j = 1usize;
+                if matches!(self.peek(j), Some(b'+') | Some(b'-')) {
+                    j += 1;
+                }
+                if self.peek(j).is_some_and(|c| c.is_ascii_digit()) {
+                    is_float = true;
+                    self.i += j;
+                    while self
+                        .peek(0)
+                        .is_some_and(|c| c.is_ascii_digit() || c == b'_')
+                    {
+                        self.i += 1;
+                    }
+                }
+            }
+        }
+        // Type suffix (u32, i64, f64, usize, …).
+        let suffix_start = self.i;
+        while self.peek(0).is_some_and(is_ident_char) {
+            self.i += 1;
+        }
+        if self.src[suffix_start..self.i].starts_with('f') {
+            is_float = true;
+        }
+        let kind = if is_float { LexKind::Float } else { LexKind::Int };
+        self.emit(kind, start);
+    }
+
+    fn lex_punct(&mut self) {
+        let start = self.i;
+        let two = self
+            .src
+            .get(self.i..self.i + 2)
+            .filter(|t| TWO_CHAR.contains(t));
+        if let Some(two) = two {
+            if two == ".." && self.peek(2) == Some(b'=') {
+                self.i += 3;
+            } else {
+                self.i += 2;
+            }
+        } else {
+            self.i += utf8_len(self.b[self.i]);
+        }
+        self.emit(LexKind::Punct, start);
+    }
+
+    fn run(mut self) -> Vec<LexToken> {
+        while self.i < self.b.len() {
+            let c = self.b[self.i];
+            if c.is_ascii_whitespace() {
+                self.lex_whitespace();
+            } else if c == b'/' && self.peek(1) == Some(b'/') {
+                self.lex_line_comment();
+            } else if c == b'/' && self.peek(1) == Some(b'*') {
+                self.lex_block_comment();
+            } else if self.raw_string_at(self.i) {
+                self.lex_raw_string();
+            } else if c == b'"' {
+                self.lex_string(0);
+            } else if c == b'b' && self.peek(1) == Some(b'"') {
+                self.lex_string(1);
+            } else if c == b'b' && self.peek(1) == Some(b'\'') {
+                self.lex_quote();
+            } else if c == b'\'' {
+                self.lex_quote();
+            } else if is_ident_start(c) {
+                let start = self.i;
+                while self.peek(0).is_some_and(is_ident_char) {
+                    self.i += 1;
+                }
+                self.emit(LexKind::Ident, start);
+            } else if c.is_ascii_digit() {
+                self.lex_number();
+            } else {
+                self.lex_punct();
+            }
+        }
+        self.out
+    }
+}
+
+/// Lexes `src` into the lossless token stream.
+pub fn lex(src: &str) -> Vec<LexToken> {
+    Lexer::new(src).run()
+}
+
+/// Reassembles the exact source from a token stream (the inverse of
+/// [`lex`]; used by the round-trip self-check).
+pub fn reassemble(tokens: &[LexToken]) -> String {
+    let mut out = String::new();
+    for t in tokens {
+        out.push_str(&t.text);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(src: &str) {
+        assert_eq!(reassemble(&lex(src)), src, "lossless round-trip");
+    }
+
+    #[test]
+    fn roundtrips_the_literal_zoo() {
+        roundtrip("fn f() { let s = \"a\\\"b\"; let r = r#\"x \" y\"#; }\n");
+        roundtrip("let b = b\"bytes\"; let br = br##\"raw # bytes\"##;\n");
+        roundtrip("let c = 'x'; let e = '\\n'; let u = '\\u{1F600}'; let bt = b'\\xff';\n");
+        roundtrip("fn g<'a>(x: &'a str) -> &'static str { x }\n");
+        roundtrip("/* outer /* nested */ still comment */ let x = 1; // tail\n");
+        roundtrip("let f = 1.5e-9f64; let h = 0xff_u32; let r = 0..n; let m = 1.max(2);\n");
+        roundtrip("let s = \"λ = 7/2\"; // λ in comments préserved\n");
+        roundtrip("");
+        roundtrip("unterminated: \"never closed");
+    }
+
+    #[test]
+    fn kinds_and_lines_are_right() {
+        let toks = lex("let x = 1;\n// c\nlet y = \"s\";\n");
+        let idents: Vec<(&str, u32)> = toks
+            .iter()
+            .filter(|t| t.kind == LexKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, [("let", 1), ("x", 1), ("let", 3), ("y", 3)]);
+        let s = toks
+            .iter()
+            .find(|t| matches!(t.kind, LexKind::Str { .. }))
+            .expect("string token");
+        assert_eq!(s.line, 3);
+        match &s.kind {
+            LexKind::Str { value } => assert_eq!(value, "s"),
+            _ => unreachable!(),
+        }
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let toks = lex("'a 'x' '_ b'z'");
+        let kinds: Vec<&LexKind> = toks
+            .iter()
+            .filter(|t| t.kind != LexKind::Whitespace)
+            .map(|t| &t.kind)
+            .collect();
+        assert!(matches!(kinds[0], LexKind::Lifetime));
+        assert!(matches!(kinds[1], LexKind::Char));
+        assert!(matches!(kinds[2], LexKind::Lifetime));
+        assert!(matches!(kinds[3], LexKind::Char));
+    }
+
+    #[test]
+    fn multiline_tokens_advance_lines() {
+        let toks = lex("/* a\nb */ x\n\"s1\ns2\" y");
+        let x = toks.iter().find(|t| t.text == "x").expect("x");
+        assert_eq!(x.line, 2);
+        let y = toks.iter().find(|t| t.text == "y").expect("y");
+        assert_eq!(y.line, 4);
+    }
+
+    #[test]
+    fn raw_string_value_excludes_delimiters() {
+        let toks = lex("r##\"has \"# inside\"##");
+        match &toks[0].kind {
+            LexKind::Str { value } => assert_eq!(value, "has \"# inside"),
+            k => unreachable!("{k:?}"),
+        }
+    }
+}

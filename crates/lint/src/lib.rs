@@ -33,9 +33,34 @@
 //! * **MCRL008** (serve request containment): `crates/serve/src/` —
 //!   every `fn handle_*` must install the per-request `RequestGuard`,
 //!   and `guard.rs` must keep tying `BudgetScope` to `MAX_FRAME_LEN`.
+//! * **MCRL010** (determinism): order-unstable containers and
+//!   thread-id reads in the ordering-sensitive scope, wall-clock reads
+//!   in the reproducible-output scope (see `rules_sym`).
+//! * **MCRL011** (wire schema): JSON field literals of the versioned
+//!   wire formats must match the committed `schemas/` manifests, both
+//!   directions.
+//! * **MCRL012** (phase purity): `crates/core/src/` minus the sweep
+//!   engine — `fill_candidates` closures must not mutate captured
+//!   state.
+//! * **MCRL013** (status map): `crates/core/src/status.rs` — every
+//!   `SolveStatus` variant in every status table.
+//! * **MCRL014** (lock order): `crates/serve/src/` — nested lock
+//!   acquisitions follow [`rules_sym::LOCK_ORDER`].
+//!
+//! The walk covers `crates/*/src` **and** `crates/*/tests` (the lint
+//! crate itself excluded, so its rule fixtures are not scanned); test
+//! trees only participate in the universally-scoped rules (MCRL000,
+//! chaos-site collection) because every other scope table is keyed on
+//! `src/` paths.
 
+pub mod baseline;
+pub mod index;
+pub mod lexer;
 pub mod rules;
+pub mod rules_sym;
+pub mod sarif;
 pub mod scan;
+pub mod tree;
 
 use rules::{ChaosUse, Diagnostic};
 use std::fs;
@@ -82,12 +107,24 @@ pub struct Report {
     /// ones suppressed by an inline allowlist comment.
     pub diagnostics: Vec<Diagnostic>,
     pub files_scanned: usize,
+    /// (rule, file, line) triples suppressed by an accepted-debt
+    /// baseline file (see [`baseline`]); empty when no baseline is
+    /// applied.
+    pub baselined: Vec<(String, String, u32)>,
 }
 
 impl Report {
+    fn is_baselined(&self, d: &Diagnostic) -> bool {
+        self.baselined
+            .iter()
+            .any(|(r, f, l)| r == d.rule && *f == d.file && *l == d.line)
+    }
+
     /// Findings that fail the gate.
     pub fn violations(&self) -> impl Iterator<Item = &Diagnostic> {
-        self.diagnostics.iter().filter(|d| !d.allowed)
+        self.diagnostics
+            .iter()
+            .filter(|d| !d.allowed && !self.is_baselined(d))
     }
 
     pub fn violation_count(&self) -> usize {
@@ -100,50 +137,69 @@ impl Report {
 }
 
 /// Runs every rule over the workspace rooted at `root`.
+///
+/// Pass 1 builds the full symbol index (every file scanned and
+/// brace-parsed); pass 2 runs the per-file rules; the cross-file rules
+/// (chaos manifest, status map, lock order, wire manifests) run over
+/// the finished [`index::Workspace`].
 pub fn run_workspace(root: &Path) -> Result<Report, String> {
     let files = walk_sources(root)?;
-    let mut diagnostics = Vec::new();
-    let mut uses: Vec<ChaosUse> = Vec::new();
+    let mut models = Vec::with_capacity(files.len());
     for path in &files {
         let rel = relative(root, path);
         let src = fs::read_to_string(path)
             .map_err(|e| format!("failed to read {}: {e}", path.display()))?;
-        let scanned = scan::scan(&src);
-        rules::check_allow_syntax(&rel, &scanned, &mut diagnostics);
+        models.push(index::FileModel::new(rel, &src));
+    }
+    let ws = index::Workspace { files: models };
+    let manifests = rules_sym::load_manifests(root)?;
+    let mut diagnostics = Vec::new();
+    let mut uses: Vec<ChaosUse> = Vec::new();
+    for model in &ws.files {
+        let rel = model.rel.as_str();
+        let scanned = &model.scanned;
+        rules::check_allow_syntax(rel, scanned, &mut diagnostics);
+        rules::collect_chaos_uses(rel, scanned, &mut uses);
+        rules_sym::check_nondet(rel, scanned, &mut diagnostics);
+        rules_sym::check_wire_fields(rel, scanned, &manifests, &mut diagnostics);
         if rel.starts_with("crates/core/src/algorithms/") {
-            rules::check_budget_coverage(&rel, &scanned, &mut diagnostics);
-            rules::check_obs_coverage(&rel, &scanned, &mut diagnostics);
+            rules::check_budget_coverage(rel, scanned, &mut diagnostics);
+            rules::check_obs_coverage(rel, scanned, &mut diagnostics);
         }
-        rules::collect_chaos_uses(&rel, &scanned, &mut uses);
         if rel.starts_with("crates/core/src/") && rel != "crates/core/src/sweep.rs" {
-            rules::check_sweep_coverage(&rel, &scanned, &mut diagnostics);
+            rules::check_sweep_coverage(rel, scanned, &mut diagnostics);
+            rules_sym::check_phase_purity(rel, scanned, &mut diagnostics);
         }
         if rel.starts_with("crates/core/src/") {
-            rules::check_float_eq(&rel, &scanned, &mut diagnostics);
+            rules::check_float_eq(rel, scanned, &mut diagnostics);
         }
         if rel.starts_with("crates/core/src/") || rel.starts_with("crates/graph/src/") {
-            rules::check_narrowing_casts(&rel, &scanned, &mut diagnostics);
+            rules::check_narrowing_casts(rel, scanned, &mut diagnostics);
         }
         if rel.starts_with("crates/serve/src/") {
-            rules::check_serve_handlers(&rel, &scanned, &mut diagnostics);
+            rules::check_serve_handlers(rel, scanned, &mut diagnostics);
         }
         if rel.starts_with("crates/serve/src/") || rel.starts_with("crates/cli/src/") {
-            rules::check_network_retry(&rel, &scanned, &mut diagnostics);
+            rules::check_network_retry(rel, scanned, &mut diagnostics);
         }
-        if PANIC_SCOPE.contains(&rel.as_str()) {
-            rules::check_panic_free(&rel, &scanned, &mut diagnostics);
+        if PANIC_SCOPE.contains(&rel) {
+            rules::check_panic_free(rel, scanned, &mut diagnostics);
         }
-        if INDEX_SCOPE.contains(&rel.as_str()) {
-            rules::check_no_indexing(&rel, &scanned, &mut diagnostics);
+        if INDEX_SCOPE.contains(&rel) {
+            rules::check_no_indexing(rel, scanned, &mut diagnostics);
         }
     }
     check_chaos_manifest(root, &uses, &mut diagnostics)?;
+    rules_sym::check_status_map(&ws, &mut diagnostics);
+    rules_sym::check_lock_order(&ws, &mut diagnostics);
+    rules_sym::check_wire_manifests(&ws, &manifests, &mut diagnostics);
     diagnostics.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });
     Ok(Report {
         diagnostics,
-        files_scanned: files.len(),
+        files_scanned: ws.files.len(),
+        baselined: Vec::new(),
     })
 }
 
@@ -207,8 +263,8 @@ fn check_chaos_manifest(
     Ok(())
 }
 
-/// Every `.rs` file under `crates/*/src`, lint crate excluded, in a
-/// deterministic order.
+/// Every `.rs` file under `crates/*/src` and `crates/*/tests`, lint
+/// crate excluded, in a deterministic order.
 fn walk_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)
@@ -219,9 +275,11 @@ fn walk_sources(root: &Path) -> Result<Vec<PathBuf>, String> {
     crate_dirs.sort();
     let mut files = Vec::new();
     for dir in crate_dirs {
-        let src = dir.join("src");
-        if src.is_dir() {
-            collect_rs(&src, &mut files)?;
+        for sub in ["src", "tests"] {
+            let tree = dir.join(sub);
+            if tree.is_dir() {
+                collect_rs(&tree, &mut files)?;
+            }
         }
     }
     files.sort();
@@ -267,6 +325,30 @@ pub fn to_json(report: &Report) -> String {
             json_escape(&d.message)
         ));
     }
+    // Every suppressed finding with its provenance — a bare count hides
+    // *what* is being waved through and makes suppression drift
+    // unreviewable.
+    s.push_str("],\"suppressions\":[");
+    let mut first = true;
+    for d in &report.diagnostics {
+        let source = if d.allowed {
+            "allow"
+        } else if report.is_baselined(d) {
+            "baseline"
+        } else {
+            continue;
+        };
+        if !first {
+            s.push(',');
+        }
+        first = false;
+        s.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"source\":\"{source}\"}}",
+            d.rule,
+            json_escape(&d.file),
+            d.line
+        ));
+    }
     s.push_str(&format!(
         "],\"files_scanned\":{},\"violations\":{},\"suppressed\":{}}}",
         report.files_scanned,
@@ -276,7 +358,7 @@ pub fn to_json(report: &Report) -> String {
     s
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

@@ -1,10 +1,21 @@
 //! CLI for the workspace contract checker.
 //!
 //! ```text
-//! cargo run -p mcr-lint            # human-readable diagnostics
-//! cargo run -p mcr-lint -- --json  # machine-readable, for CI
+//! cargo run -p mcr-lint                       # human-readable diagnostics
+//! cargo run -p mcr-lint -- --format json      # machine-readable, for CI
+//! cargo run -p mcr-lint -- --format sarif     # SARIF 2.1.0, for code scanning
+//! cargo run -p mcr-lint -- --baseline lint-baseline.txt
+//! cargo run -p mcr-lint -- --changed-only HEAD~1
 //! cargo run -p mcr-lint -- --root /path/to/workspace
 //! ```
+//!
+//! `--json` is kept as an alias of `--format json`. `--baseline` loads
+//! an accepted-debt file (`RULE file:line # reason`, reason mandatory;
+//! stale entries are errors). `--changed-only [REF]` restricts the
+//! *reported* per-file findings to files `git diff --name-only REF`
+//! touched (default `HEAD`) — the whole workspace is still analyzed, so
+//! cross-file rules stay sound; findings in unchanged files are simply
+//! filtered from the report.
 //!
 //! Exit codes: 0 = clean (allowlisted findings are reported but do not
 //! fail the gate), 1 = at least one non-allowlisted violation,
@@ -13,13 +24,49 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root: Option<PathBuf> = None;
-    let mut args = std::env::args().skip(1);
+    let mut baseline: Option<PathBuf> = None;
+    let mut changed_only: Option<String> = None;
+    let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                other => {
+                    eprintln!(
+                        "error: --format requires text|json|sarif, got {:?}",
+                        other.unwrap_or("")
+                    );
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("error: --baseline requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--changed-only" => {
+                // Optional REF operand; default HEAD. A following token
+                // starting with `-` is the next flag, not a ref.
+                let rev = match args.peek() {
+                    Some(next) if !next.starts_with('-') => args.next(),
+                    _ => None,
+                };
+                changed_only = Some(rev.unwrap_or_else(|| "HEAD".to_string()));
+            }
             "--root" => match args.next() {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => {
@@ -28,7 +75,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                eprintln!("usage: mcr-lint [--json] [--root <workspace>]");
+                eprintln!(
+                    "usage: mcr-lint [--format text|json|sarif] [--json] \
+                     [--baseline <file>] [--changed-only [REF]] [--root <workspace>]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -39,7 +89,7 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(default_root);
 
-    let report = match mcr_lint::run_workspace(&root) {
+    let mut report = match mcr_lint::run_workspace(&root) {
         Ok(r) => r,
         Err(e) => {
             eprintln!("error: {e}");
@@ -47,19 +97,65 @@ fn main() -> ExitCode {
         }
     };
 
-    if json {
-        println!("{}", mcr_lint::to_json(&report));
-    } else {
-        for d in &report.diagnostics {
-            let status = if d.allowed { " (allowed)" } else { "" };
-            println!("{}:{}: {}{} {}", d.file, d.line, d.rule, status, d.message);
+    if let Some(rev) = &changed_only {
+        let changed = match changed_files(&root, rev) {
+            Ok(c) => c,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        report
+            .diagnostics
+            .retain(|d| changed.iter().any(|c| c == &d.file));
+    }
+
+    if let Some(path) = &baseline {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: failed to read {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let entries = match mcr_lint::baseline::parse(&text) {
+            Ok(e) => e,
+            Err(e) => {
+                eprintln!("error: {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        if let Err(e) = mcr_lint::baseline::apply(&mut report, &entries) {
+            eprintln!("error: {}: {e}", path.display());
+            return ExitCode::from(2);
         }
-        println!(
-            "mcr-lint: {} files scanned, {} violations, {} allowlisted",
-            report.files_scanned,
-            report.violation_count(),
-            report.suppressed_count()
-        );
+    }
+
+    match format {
+        Format::Json => println!("{}", mcr_lint::to_json(&report)),
+        Format::Sarif => println!("{}", mcr_lint::sarif::to_sarif(&report)),
+        Format::Text => {
+            let baselined: Vec<_> = report.baselined.clone();
+            for d in &report.diagnostics {
+                let status = if d.allowed {
+                    " (allowed)"
+                } else if baselined
+                    .iter()
+                    .any(|(r, f, l)| r == d.rule && *f == d.file && *l == d.line)
+                {
+                    " (baselined)"
+                } else {
+                    ""
+                };
+                println!("{}:{}: {}{} {}", d.file, d.line, d.rule, status, d.message);
+            }
+            println!(
+                "mcr-lint: {} files scanned, {} violations, {} allowlisted",
+                report.files_scanned,
+                report.violation_count(),
+                report.suppressed_count()
+            );
+        }
     }
 
     if report.violation_count() > 0 {
@@ -67,6 +163,28 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Workspace-relative paths `git diff --name-only <rev>` reports under
+/// `root`, normalized to `/` separators.
+fn changed_files(root: &std::path::Path, rev: &str) -> Result<Vec<String>, String> {
+    let out = std::process::Command::new("git")
+        .arg("-C")
+        .arg(root)
+        .args(["diff", "--name-only", rev, "--"])
+        .output()
+        .map_err(|e| format!("failed to run git diff: {e}"))?;
+    if !out.status.success() {
+        return Err(format!(
+            "git diff --name-only {rev} failed: {}",
+            String::from_utf8_lossy(&out.stderr).trim()
+        ));
+    }
+    Ok(String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| l.trim().replace('\\', "/"))
+        .filter(|l| !l.is_empty())
+        .collect())
 }
 
 /// The workspace root: the current directory if it has a `crates/`

@@ -18,7 +18,7 @@
 use crate::scan::{Scanned, TokKind, Token};
 
 /// Rule tags accepted inside `// lint: allow(<tag>) reason=...`.
-pub const KNOWN_ALLOW_TAGS: [&str; 9] = [
+pub const KNOWN_ALLOW_TAGS: [&str; 14] = [
     "budget",
     "chaos",
     "float-eq",
@@ -28,6 +28,11 @@ pub const KNOWN_ALLOW_TAGS: [&str; 9] = [
     "sweep",
     "serve",
     "retry",
+    "nondet",
+    "wire-schema",
+    "phase-purity",
+    "status-map",
+    "lock-order",
 ];
 
 /// One finding, position included.

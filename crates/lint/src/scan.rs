@@ -1,21 +1,20 @@
-//! A minimal Rust source scanner: the token-level model the contract
-//! rules are written against.
+//! The rule-facing token model, built as a view over the lossless
+//! lexer in [`crate::lexer`].
 //!
-//! This is deliberately **not** a full parser. The offline build
-//! environment has no `syn` (see the workspace manifest's vendoring
-//! note), and the five workspace contracts only need:
-//!
-//! * source text with comments and literals blanked out (so rules never
-//!   match inside a comment, doc example, or string),
-//! * a token stream that distinguishes identifiers, integer literals,
-//!   **float literals**, string literals, and (multi-char) punctuation,
-//! * the line spans of `#[cfg(test)]` items (test code is exempt from
-//!   the production contracts),
-//! * the `// lint: allow(<rule>) reason=...` comment table.
+//! The contract rules (MCRL000–009) were written against a
+//! line-oriented token stream with comments and literal contents
+//! elided; the newer symbol-graph rules (MCRL010–014) need the brace
+//! tree and symbol index layered on the same stream. This module keeps
+//! the original `Scanned` surface — same token kinds, same blanking
+//! behavior, same allowlist and `#[cfg(test)]` tables — so every
+//! existing rule and fixture expectation holds byte-for-byte, while the
+//! underlying lexer is shared with the deeper analysis layers.
 //!
 //! Everything here is line-oriented: a diagnostic's position is the
 //! 1-based line of the offending token, which is what CI and editors
 //! consume.
+
+use crate::lexer::{self, LexKind};
 
 /// One lexical token of the cleaned source.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -31,15 +30,16 @@ pub enum TokKind {
     Ident,
     Int,
     Float,
-    /// A string literal (contents elided during cleaning).
+    /// A string literal (contents elided; the value lives in
+    /// [`Scanned::strings`] at the same ordinal).
     Str,
     /// Punctuation; multi-char operators arrive as one token (`==`,
     /// `!=`, `<=`, `>=`, `&&`, `||`, `->`, `=>`, `::`, `..`, `..=`).
     Punct,
 }
 
-/// A string literal with its contents preserved (the cleaned text
-/// blanks it; chaos-site checking needs the value).
+/// A string literal with its contents preserved (the token stream
+/// blanks it; chaos-site and wire-schema checking need the value).
 #[derive(Clone, Debug)]
 pub struct StrLit {
     pub value: String,
@@ -91,8 +91,79 @@ impl Scanned {
 
 /// Scans `src`, producing the token stream and side tables.
 pub fn scan(src: &str) -> Scanned {
-    let (clean, strings, comments) = clean(src);
-    let tokens = tokenize(&clean);
+    let lexed = lexer::lex(src);
+    let mut tokens = Vec::with_capacity(lexed.len());
+    let mut strings = Vec::new();
+    let mut comments: Vec<(u32, String)> = Vec::new();
+    for t in lexed {
+        match t.kind {
+            LexKind::Ident => tokens.push(Token {
+                kind: TokKind::Ident,
+                text: t.text,
+                line: t.line,
+            }),
+            LexKind::Int => tokens.push(Token {
+                kind: TokKind::Int,
+                text: t.text,
+                line: t.line,
+            }),
+            LexKind::Float => tokens.push(Token {
+                kind: TokKind::Float,
+                text: t.text,
+                line: t.line,
+            }),
+            LexKind::Str { value } => {
+                // One `Str` token per recorded literal, contents elided;
+                // chaos-site matching correlates the n-th `Str` token
+                // with the n-th `strings` entry.
+                tokens.push(Token {
+                    kind: TokKind::Str,
+                    text: String::new(),
+                    line: t.line,
+                });
+                strings.push(StrLit {
+                    value,
+                    line: t.line,
+                });
+            }
+            LexKind::Lifetime => {
+                // The rules predate lifetime tokens and expect the
+                // historical encoding: a lone `'` punct followed by the
+                // name as an identifier.
+                tokens.push(Token {
+                    kind: TokKind::Punct,
+                    text: "'".to_string(),
+                    line: t.line,
+                });
+                let name = t.text.trim_start_matches('\'');
+                if !name.is_empty() {
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: name.to_string(),
+                        line: t.line,
+                    });
+                }
+            }
+            LexKind::Char => {
+                // Char literals are invisible to the rules. A byte-char
+                // `b'x'` historically surfaced its prefix as an ident.
+                if t.text.starts_with('b') {
+                    tokens.push(Token {
+                        kind: TokKind::Ident,
+                        text: "b".to_string(),
+                        line: t.line,
+                    });
+                }
+            }
+            LexKind::LineComment => comments.push((t.line, t.text)),
+            LexKind::BlockComment | LexKind::Whitespace => {}
+            LexKind::Punct => tokens.push(Token {
+                kind: TokKind::Punct,
+                text: t.text,
+                line: t.line,
+            }),
+        }
+    }
     let (allows, malformed_allows) = parse_allows(&comments);
     let test_spans = find_test_spans(&tokens);
     Scanned {
@@ -104,317 +175,7 @@ pub fn scan(src: &str) -> Scanned {
     }
 }
 
-/// Pass 1: blank comments and literal contents (newlines preserved, so
-/// line numbers survive), collecting string literal values and comment
-/// texts on the way out.
-#[allow(clippy::type_complexity)]
-fn clean(src: &str) -> (String, Vec<StrLit>, Vec<(u32, String)>) {
-    let b = src.as_bytes();
-    let mut out = Vec::with_capacity(b.len());
-    let mut strings = Vec::new();
-    let mut comments: Vec<(u32, String)> = Vec::new();
-    let mut line: u32 = 1;
-    let mut i = 0;
-    let push_blank = |out: &mut Vec<u8>, c: u8| {
-        out.push(if c == b'\n' { b'\n' } else { b' ' });
-    };
-    while i < b.len() {
-        let c = b[i];
-        if c == b'\n' {
-            line += 1;
-            out.push(c);
-            i += 1;
-        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
-            // Line comment (incl. doc comments).
-            let start = i;
-            while i < b.len() && b[i] != b'\n' {
-                out.push(b' ');
-                i += 1;
-            }
-            comments.push((line, String::from_utf8_lossy(&b[start..i]).into_owned()));
-        } else if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-            // Block comment, nested.
-            let mut depth = 1;
-            out.extend_from_slice(b"  ");
-            i += 2;
-            while i < b.len() && depth > 0 {
-                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
-                    depth += 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
-                    depth -= 1;
-                    out.extend_from_slice(b"  ");
-                    i += 2;
-                } else {
-                    if b[i] == b'\n' {
-                        line += 1;
-                    }
-                    push_blank(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-        } else if c == b'"' || (c == b'b' && i + 1 < b.len() && b[i + 1] == b'"') {
-            // Plain (or byte) string literal.
-            let lit_line = line;
-            if c == b'b' {
-                out.push(b' ');
-                i += 1;
-            }
-            out.push(b'"');
-            i += 1;
-            let start = i;
-            while i < b.len() {
-                if b[i] == b'\\' && i + 1 < b.len() {
-                    if b[i + 1] == b'\n' {
-                        line += 1;
-                    }
-                    push_blank(&mut out, b[i]);
-                    push_blank(&mut out, b[i + 1]);
-                    i += 2;
-                } else if b[i] == b'"' {
-                    break;
-                } else {
-                    if b[i] == b'\n' {
-                        line += 1;
-                    }
-                    push_blank(&mut out, b[i]);
-                    i += 1;
-                }
-            }
-            strings.push(StrLit {
-                value: String::from_utf8_lossy(&b[start..i.min(b.len())]).into_owned(),
-                line: lit_line,
-            });
-            if i < b.len() {
-                out.push(b'"');
-                i += 1;
-            }
-        } else if is_raw_string_start(b, i) {
-            // r"..."  r#"..."#  br#"..."# — blank to the matching close.
-            let lit_line = line;
-            let mut j = i;
-            if b[j] == b'b' {
-                j += 1;
-            }
-            j += 1; // past 'r'
-            let mut hashes = 0;
-            while j < b.len() && b[j] == b'#' {
-                hashes += 1;
-                j += 1;
-            }
-            // j is at the opening quote, which is kept so the
-            // tokenizer still sees one `Str` token per recorded literal.
-            for &byte in &b[i..j] {
-                push_blank(&mut out, byte);
-            }
-            out.push(b'"');
-            let start = j + 1;
-            let mut k = start;
-            let closer = {
-                let mut v = vec![b'"'];
-                v.extend(std::iter::repeat_n(b'#', hashes));
-                v
-            };
-            while k < b.len() && !b[k..].starts_with(&closer) {
-                if b[k] == b'\n' {
-                    line += 1;
-                }
-                k += 1;
-            }
-            strings.push(StrLit {
-                value: String::from_utf8_lossy(&b[start..k.min(b.len())]).into_owned(),
-                line: lit_line,
-            });
-            for &byte in &b[start..k.min(b.len())] {
-                push_blank(&mut out, byte);
-            }
-            if k < b.len() {
-                out.push(b'"');
-                for &byte in &b[(k + 1)..(k + closer.len()).min(b.len())] {
-                    push_blank(&mut out, byte);
-                }
-            }
-            i = (k + closer.len()).min(b.len());
-        } else if c == b'\'' {
-            // Char literal vs lifetime.
-            if i + 1 < b.len() && b[i + 1] == b'\\' {
-                // Escaped char literal: blank to the closing quote.
-                out.push(b' ');
-                i += 1;
-                while i < b.len() && b[i] != b'\'' {
-                    push_blank(&mut out, b[i]);
-                    i += 1;
-                }
-                if i < b.len() {
-                    out.push(b' ');
-                    i += 1;
-                }
-            } else if i + 2 < b.len() && b[i + 2] == b'\'' {
-                // 'x' char literal.
-                out.extend_from_slice(b"   ");
-                i += 3;
-            } else {
-                // Lifetime: keep as-is (harmless to the rules).
-                out.push(c);
-                i += 1;
-            }
-        } else {
-            out.push(c);
-            i += 1;
-        }
-    }
-    (
-        String::from_utf8_lossy(&out).into_owned(),
-        strings,
-        comments,
-    )
-}
-
-fn is_raw_string_start(b: &[u8], i: usize) -> bool {
-    let j = if b[i] == b'b' { i + 1 } else { i };
-    if j >= b.len() || b[j] != b'r' {
-        return false;
-    }
-    // Not part of an identifier like `for` / `br`-prefixed names.
-    if i > 0 && (b[i - 1].is_ascii_alphanumeric() || b[i - 1] == b'_') {
-        return false;
-    }
-    let mut k = j + 1;
-    while k < b.len() && b[k] == b'#' {
-        k += 1;
-    }
-    k < b.len() && b[k] == b'"'
-}
-
-fn is_ident_char(c: u8) -> bool {
-    c.is_ascii_alphanumeric() || c == b'_'
-}
-
-/// Pass 2: tokenize the cleaned text.
-fn tokenize(clean: &str) -> Vec<Token> {
-    const TWO_CHAR: [&str; 14] = [
-        "==", "!=", "<=", ">=", "&&", "||", "->", "=>", "::", "..", "+=", "-=", "*=", "/=",
-    ];
-    let b = clean.as_bytes();
-    let mut toks = Vec::new();
-    let mut line: u32 = 1;
-    let mut i = 0;
-    while i < b.len() {
-        let c = b[i];
-        if c == b'\n' {
-            line += 1;
-            i += 1;
-        } else if c.is_ascii_whitespace() {
-            i += 1;
-        } else if c == b'"' {
-            // Blanked string literal: emit a Str token, skip to close.
-            let mut j = i + 1;
-            while j < b.len() && b[j] != b'"' {
-                if b[j] == b'\n' {
-                    line += 1;
-                }
-                j += 1;
-            }
-            toks.push(Token {
-                kind: TokKind::Str,
-                text: String::new(),
-                line,
-            });
-            i = (j + 1).min(b.len());
-        } else if is_ident_char(c) && !c.is_ascii_digit() {
-            let start = i;
-            while i < b.len() && is_ident_char(b[i]) {
-                i += 1;
-            }
-            toks.push(Token {
-                kind: TokKind::Ident,
-                text: clean[start..i].to_string(),
-                line,
-            });
-        } else if c.is_ascii_digit() {
-            let start = i;
-            let mut is_float = false;
-            if c == b'0' && i + 1 < b.len() && (b[i + 1] | 0x20) == b'x' {
-                i += 2;
-                while i < b.len() && (b[i].is_ascii_hexdigit() || b[i] == b'_') {
-                    i += 1;
-                }
-            } else {
-                while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
-                    i += 1;
-                }
-                // Fractional part: a '.' followed by a digit (so `0..n`
-                // and `1.max(2)` stay integers).
-                if i + 1 < b.len() && b[i] == b'.' && b[i + 1].is_ascii_digit() {
-                    is_float = true;
-                    i += 1;
-                    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
-                        i += 1;
-                    }
-                }
-                // Exponent.
-                if i < b.len() && (b[i] | 0x20) == b'e' {
-                    let mut j = i + 1;
-                    if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
-                        j += 1;
-                    }
-                    if j < b.len() && b[j].is_ascii_digit() {
-                        is_float = true;
-                        i = j;
-                        while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
-                            i += 1;
-                        }
-                    }
-                }
-            }
-            // Type suffix (u32, i64, f64, usize, ...).
-            let suffix_start = i;
-            while i < b.len() && is_ident_char(b[i]) {
-                i += 1;
-            }
-            let suffix = &clean[suffix_start..i];
-            if suffix.starts_with('f') {
-                is_float = true;
-            }
-            toks.push(Token {
-                kind: if is_float { TokKind::Float } else { TokKind::Int },
-                text: clean[start..i].to_string(),
-                line,
-            });
-        } else {
-            let two = if i + 1 < b.len() { &clean[i..i + 2] } else { "" };
-            if TWO_CHAR.contains(&two) {
-                // `..=` extends `..`.
-                if two == ".." && i + 2 < b.len() && b[i + 2] == b'=' {
-                    toks.push(Token {
-                        kind: TokKind::Punct,
-                        text: "..=".to_string(),
-                        line,
-                    });
-                    i += 3;
-                } else {
-                    toks.push(Token {
-                        kind: TokKind::Punct,
-                        text: two.to_string(),
-                        line,
-                    });
-                    i += 2;
-                }
-            } else {
-                toks.push(Token {
-                    kind: TokKind::Punct,
-                    text: clean[i..i + 1].to_string(),
-                    line,
-                });
-                i += 1;
-            }
-        }
-    }
-    toks
-}
-
-/// Pass 3: the allowlist table from line comments.
+/// The allowlist table from line comments.
 fn parse_allows(comments: &[(u32, String)]) -> (Vec<Allow>, Vec<MalformedAllow>) {
     let mut allows = Vec::new();
     let mut malformed = Vec::new();
@@ -465,8 +226,8 @@ fn parse_allows(comments: &[(u32, String)]) -> (Vec<Allow>, Vec<MalformedAllow>)
     (allows, malformed)
 }
 
-/// Pass 4: line spans of `#[cfg(test)]` items (`mod` bodies and `fn`
-/// bodies; other item kinds are skipped to the end of their line).
+/// Line spans of `#[cfg(test)]` items (`mod` bodies and `fn` bodies;
+/// other item kinds are skipped to the end of their line).
 fn find_test_spans(toks: &[Token]) -> Vec<(u32, u32)> {
     let mut spans = Vec::new();
     let mut i = 0;
@@ -634,5 +395,13 @@ mod tests {
         let s = scan("let p = r#\"== 1.0\"#; let c = '='; let lt: &'static str = \"y\";");
         assert!(s.tokens.iter().all(|t| t.text != "=="));
         assert_eq!(s.strings[0].value, "== 1.0");
+    }
+
+    #[test]
+    fn lifetimes_keep_the_historical_encoding() {
+        let s = scan("fn f<'a>(x: &'a str) {}");
+        let texts: Vec<&str> = s.tokens.iter().map(|t| t.text.as_str()).collect();
+        let quote = texts.iter().position(|&t| t == "'").expect("quote punct");
+        assert_eq!(texts[quote + 1], "a");
     }
 }

@@ -1,0 +1,322 @@
+//! The brace-tree item parser: the middle layer of the analysis
+//! engine.
+//!
+//! Works over the rule-facing token stream from [`crate::scan`] and
+//! recovers the item structure the symbol-graph rules need — every
+//! `fn` (including nested ones and `impl` methods) with its parameter
+//! list and body as token ranges, and every `enum` with its variant
+//! names. It is not a grammar-complete parser: it balances the three
+//! bracket kinds plus generics and leaves everything else to the
+//! token level, which is exactly enough for a workspace whose style is
+//! pinned by rustfmt and the other lint rules.
+
+use crate::scan::{Scanned, TokKind, Token};
+
+/// A `fn` item. Ranges are inclusive token indexes into the scanned
+/// stream.
+#[derive(Clone, Debug)]
+pub struct FnItem {
+    pub name: String,
+    /// Line of the `fn` keyword.
+    pub line: u32,
+    /// `(` .. `)` of the parameter list.
+    pub params: (usize, usize),
+    /// `{` .. `}` of the body; `None` for bodiless trait methods.
+    pub body: Option<(usize, usize)>,
+    /// Whether the `fn` keyword sits inside a `#[cfg(test)]` span.
+    pub is_test: bool,
+    /// The `impl` block's self type (`impl Journal` → `Journal`,
+    /// `impl Display for Journal` → `Journal`); `None` for free fns.
+    pub owner: Option<String>,
+}
+
+/// An `enum` item with its variant names in declaration order.
+#[derive(Clone, Debug)]
+pub struct EnumItem {
+    pub name: String,
+    pub line: u32,
+    pub variants: Vec<String>,
+    /// `{` .. `}` of the variant block.
+    pub body: (usize, usize),
+}
+
+/// The item tree of one file (flattened: nested fns appear after their
+/// parents in token order).
+#[derive(Clone, Debug, Default)]
+pub struct Tree {
+    pub fns: Vec<FnItem>,
+    pub enums: Vec<EnumItem>,
+}
+
+/// Index of the token matching the opener at `at` (same nesting level),
+/// e.g. the `}` closing a `{`.
+pub fn matching(toks: &[Token], at: usize, open: &str, close: &str) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(at) {
+        if t.text == open {
+            depth += 1;
+        } else if t.text == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(k);
+            }
+        }
+    }
+    None
+}
+
+/// Skips a generics block starting at `<`, returning the index just
+/// past the matching `>`. `->` and `=>` arrive as single tokens, so
+/// plain `<`/`>` counting is sound inside a type position.
+fn skip_generics(toks: &[Token], at: usize) -> usize {
+    let mut depth = 0usize;
+    let mut k = at;
+    while k < toks.len() {
+        match toks[k].text.as_str() {
+            "<" => depth += 1,
+            ">" => {
+                depth -= 1;
+                if depth == 0 {
+                    return k + 1;
+                }
+            }
+            _ => {}
+        }
+        k += 1;
+    }
+    k
+}
+
+/// Parses the item tree of a scanned file.
+pub fn parse(s: &Scanned) -> Tree {
+    let toks = &s.tokens;
+    let mut tree = Tree::default();
+    // (owner, brace range) of every `impl` block, for fn ownership.
+    let mut impls: Vec<(String, usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            i += 1;
+            continue;
+        }
+        match t.text.as_str() {
+            "impl" => {
+                let Some(bopen) = (i + 1..toks.len()).find(|&p| toks[p].text == "{") else {
+                    break;
+                };
+                let Some(bclose) = matching(toks, bopen, "{", "}") else {
+                    break;
+                };
+                if let Some(owner) = impl_owner(toks, i + 1, bopen) {
+                    impls.push((owner, bopen, bclose));
+                }
+                // Descend: the block's fns are parsed by this loop.
+                i = bopen + 1;
+            }
+            // `fn name` — `fn(..)` pointer types have no name ident.
+            "fn" => {
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let mut k = i + 2;
+                if toks.get(k).is_some_and(|g| g.text == "<") {
+                    k = skip_generics(toks, k);
+                }
+                let Some(popen) = (k..toks.len()).find(|&p| toks[p].text == "(") else {
+                    break;
+                };
+                let Some(pclose) = matching(toks, popen, "(", ")") else {
+                    break;
+                };
+                // Return type / where clause run to the body `{` or a
+                // trait declaration's `;`.
+                let after =
+                    (pclose + 1..toks.len()).find(|&p| toks[p].text == "{" || toks[p].text == ";");
+                let body = match after {
+                    Some(p) if toks[p].text == "{" => matching(toks, p, "{", "}").map(|c| (p, c)),
+                    _ => None,
+                };
+                // Innermost enclosing impl block, if any.
+                let owner = impls
+                    .iter()
+                    .rev()
+                    .find(|(_, bo, bc)| *bo < i && i < *bc)
+                    .map(|(o, _, _)| o.clone());
+                tree.fns.push(FnItem {
+                    name: name.text.clone(),
+                    line: t.line,
+                    params: (popen, pclose),
+                    body,
+                    is_test: s.is_test_line(t.line),
+                    owner,
+                });
+                // Continue *inside* the signature/body so nested fns
+                // and methods are collected too.
+                i += 2;
+            }
+            "enum" => {
+                let Some(name) = toks.get(i + 1).filter(|n| n.kind == TokKind::Ident) else {
+                    i += 1;
+                    continue;
+                };
+                let Some(bopen) = (i + 2..toks.len()).find(|&p| toks[p].text == "{") else {
+                    break;
+                };
+                let Some(bclose) = matching(toks, bopen, "{", "}") else {
+                    break;
+                };
+                tree.enums.push(EnumItem {
+                    name: name.text.clone(),
+                    line: t.line,
+                    variants: parse_variants(toks, bopen, bclose),
+                    body: (bopen, bclose),
+                });
+                i = bopen + 1;
+            }
+            _ => i += 1,
+        }
+    }
+    tree
+}
+
+/// The self type of an `impl` header (tokens between `impl` and the
+/// opening `{`): the first type ident after `for` when present
+/// (`impl Display for Journal`), else the first type ident after the
+/// optional generics (`impl<T> Ring<T>` → `Ring`).
+fn impl_owner(toks: &[Token], start: usize, bopen: usize) -> Option<String> {
+    let mut k = start;
+    if toks.get(k).is_some_and(|t| t.text == "<") {
+        k = skip_generics(toks, k);
+    }
+    if let Some(f) = (k..bopen).find(|&p| toks[p].kind == TokKind::Ident && toks[p].text == "for") {
+        k = f + 1;
+    }
+    toks[k..bopen]
+        .iter()
+        .find(|t| t.kind == TokKind::Ident && !matches!(t.text.as_str(), "mut" | "dyn"))
+        .map(|t| t.text.clone())
+}
+
+/// Variant names: at depth 1 inside the enum braces, the first
+/// identifier after `{` or a depth-1 `,`, attributes skipped.
+fn parse_variants(toks: &[Token], bopen: usize, bclose: usize) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut depth = 0usize;
+    let mut expect_name = false;
+    let mut k = bopen;
+    while k <= bclose {
+        let text = toks[k].text.as_str();
+        match text {
+            "{" | "(" | "[" => {
+                depth += 1;
+                if depth == 1 && text == "{" {
+                    expect_name = true;
+                }
+            }
+            "}" | ")" | "]" => depth -= 1,
+            "," if depth == 1 => expect_name = true,
+            "#" if depth == 1 && expect_name => {
+                // Variant attribute: skip the `[...]` group.
+                if toks.get(k + 1).is_some_and(|t| t.text == "[") {
+                    if let Some(close) = matching(toks, k + 1, "[", "]") {
+                        k = close;
+                    }
+                }
+            }
+            _ => {
+                if expect_name && depth == 1 && toks[k].kind == TokKind::Ident {
+                    variants.push(toks[k].text.clone());
+                    expect_name = false;
+                }
+            }
+        }
+        k += 1;
+    }
+    variants
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    #[test]
+    fn fns_with_generics_and_nesting() {
+        let src = "fn outer<T: Fn(usize) -> bool>(x: T) -> usize {\n\
+                   fn inner(y: u32) -> u32 { y }\n\
+                   inner(1) as usize\n}\n";
+        let s = scan(src);
+        let tree = parse(&s);
+        let names: Vec<&str> = tree.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["outer", "inner"]);
+        assert_eq!(tree.fns[0].line, 1);
+        assert_eq!(tree.fns[1].line, 2);
+        // outer's params are `(x: T)`, not the `(usize)` in the bound.
+        let (po, pc) = tree.fns[0].params;
+        let texts: Vec<&str> = s.tokens[po..=pc].iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(texts, ["(", "x", ":", "T", ")"]);
+        // outer's body encloses inner's.
+        let (bo, bc) = tree.fns[0].body.expect("outer body");
+        let (io, ic) = tree.fns[1].body.expect("inner body");
+        assert!(bo < io && ic < bc);
+    }
+
+    #[test]
+    fn trait_methods_without_bodies() {
+        let s = scan("trait T { fn a(&self) -> u32; fn b(&self) { } }");
+        let tree = parse(&s);
+        assert_eq!(tree.fns.len(), 2);
+        assert!(tree.fns[0].body.is_none());
+        assert!(tree.fns[1].body.is_some());
+    }
+
+    #[test]
+    fn enum_variants_with_payloads_and_attrs() {
+        let src = "pub enum E {\n\
+                   A,\n\
+                   #[allow(dead_code)]\n\
+                   B(u32, String),\n\
+                   C { x: f64 },\n\
+                   D = 4,\n}\n";
+        let s = scan(src);
+        let tree = parse(&s);
+        assert_eq!(tree.enums.len(), 1);
+        assert_eq!(tree.enums[0].name, "E");
+        assert_eq!(tree.enums[0].variants, ["A", "B", "C", "D"]);
+    }
+
+    #[test]
+    fn impl_owners_are_attached() {
+        let src = "fn free() {}\n\
+                   impl Journal { fn append(&self) {} }\n\
+                   impl<T> Ring<T> { fn push(&mut self, t: T) {} }\n\
+                   impl fmt::Display for SolveStatus { fn fmt(&self) {} }\n";
+        let s = scan(src);
+        let tree = parse(&s);
+        let owners: Vec<(&str, Option<&str>)> = tree
+            .fns
+            .iter()
+            .map(|f| (f.name.as_str(), f.owner.as_deref()))
+            .collect();
+        assert_eq!(
+            owners,
+            [
+                ("free", None),
+                ("append", Some("Journal")),
+                ("push", Some("Ring")),
+                ("fmt", Some("SolveStatus")),
+            ]
+        );
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let src = "fn prod() {}\n#[cfg(test)]\nmod t {\n fn helper() {}\n}\n";
+        let s = scan(src);
+        let tree = parse(&s);
+        assert!(!tree.fns[0].is_test);
+        assert!(tree.fns[1].is_test);
+    }
+}

@@ -12,7 +12,7 @@ fn fixture_root() -> PathBuf {
 
 /// (rule, file, line, allowed) — the full expected report, in the
 /// report's own sort order (file, line, rule).
-const EXPECTED: [(&str, &str, u32, bool); 20] = [
+const EXPECTED: [(&str, &str, u32, bool); 30] = [
     ("MCRL002", "crates/chaos/sites.txt", 3, false), // declared but never used
     ("MCRL001", "crates/core/src/algorithms/l1_bad.rs", 1, false), // no ticks
     ("MCRL006", "crates/core/src/algorithms/l1_bad.rs", 9, false), // ticks, no loop_metrics
@@ -24,15 +24,25 @@ const EXPECTED: [(&str, &str, u32, bool); 20] = [
     ("MCRL003", "crates/core/src/float_bad.rs", 8, true),  // allowlisted
     ("MCRL004", "crates/core/src/float_bad.rs", 10, true), // allowlisted
     ("MCRL000", "crates/core/src/float_bad.rs", 12, false), // allow without reason
+    ("MCRL012", "crates/core/src/kernel_bad.rs", 11, false), // closure mutates captured counters
+    ("MCRL012", "crates/core/src/kernel_bad.rs", 13, true), // allowlisted
     ("MCRL005", "crates/core/src/ratio.rs", 2, false), // .unwrap()
     ("MCRL005", "crates/core/src/ratio.rs", 3, false), // v[0]
     ("MCRL005", "crates/core/src/ratio.rs", 5, true),  // v[1], allowlisted
     ("MCRL002", "crates/core/src/ratio.rs", 7, false), // undeclared site use
+    ("MCRL013", "crates/core/src/status.rs", 17, false), // wire_name hides Failed behind `_`
+    ("MCRL010", "crates/obs/src/emit_bad.rs", 2, false), // Instant::now in obs
     ("MCRL008", "crates/serve/src/guard.rs", 1, false), // guard module lost MAX_FRAME_LEN
     ("MCRL008", "crates/serve/src/handlers_bad.rs", 1, false), // unguarded handler
     ("MCRL008", "crates/serve/src/handlers_bad.rs", 6, true), // allowlisted
+    ("MCRL014", "crates/serve/src/locks_bad.rs", 3, false), // queue taken under inflight
+    ("MCRL014", "crates/serve/src/locks_bad.rs", 9, true), // allowlisted
+    ("MCRL010", "crates/serve/src/nondet_bad.rs", 1, false), // HashMap import in serve
+    ("MCRL010", "crates/serve/src/nondet_bad.rs", 4, true), // allowlisted
+    ("MCRL011", "crates/serve/src/protocol.rs", 11, false), // undeclared bogus_field
     ("MCRL009", "crates/serve/src/retry_bad.rs", 1, false), // unbounded connect loop
     ("MCRL009", "crates/serve/src/retry_bad.rs", 10, true), // allowlisted
+    ("MCRL011", "schemas/mcr-resp-v1.txt", 5, false), // stale manifest entry
 ];
 
 #[test]
@@ -62,9 +72,9 @@ fn fixture_workspace_produces_the_exact_diagnostic_set() {
 #[test]
 fn fixture_counts_and_gate_semantics() {
     let report = mcr_lint::run_workspace(&fixture_root()).expect("fixture run");
-    assert_eq!(report.files_scanned, 6);
-    assert_eq!(report.violation_count(), 13);
-    assert_eq!(report.suppressed_count(), 7);
+    assert_eq!(report.files_scanned, 12);
+    assert_eq!(report.violation_count(), 20);
+    assert_eq!(report.suppressed_count(), 10);
     // Allowlisted findings never appear in the gating iterator.
     assert!(report.violations().all(|d| !d.allowed));
 }
@@ -85,9 +95,9 @@ fn json_report_round_trips_the_key_fields() {
     let report = mcr_lint::run_workspace(&fixture_root()).expect("fixture run");
     let json = mcr_lint::to_json(&report);
     assert!(json.starts_with('{') && json.ends_with('}'));
-    assert!(json.contains("\"files_scanned\":6"));
-    assert!(json.contains("\"violations\":13"));
-    assert!(json.contains("\"suppressed\":7"));
+    assert!(json.contains("\"files_scanned\":12"));
+    assert!(json.contains("\"violations\":20"));
+    assert!(json.contains("\"suppressed\":10"));
     for (rule, file, line, allowed) in EXPECTED {
         assert!(
             json.contains(&format!(

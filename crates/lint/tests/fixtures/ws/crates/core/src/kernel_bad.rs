@@ -1,0 +1,15 @@
+pub fn sweep_kernel(cand: &mut [usize], counters: &mut Counters, scope: &mut BudgetScope) {
+    scope.loop_metrics("core.fixture.kernel");
+    chaos_check("fixture.kernel");
+    let mut committed = 0;
+    fill_candidates(cand, 8, 2, &|start, out: &mut [usize]| {
+        let mut best = 0;
+        for (j, c) in out.iter_mut().enumerate() {
+            best += j;
+            *c = start + best;
+        }
+        counters.relaxations += 1;
+        // lint: allow(phase-purity) reason=fixture proves the phase-purity tag suppresses
+        committed += 1;
+    });
+}

@@ -1,0 +1,30 @@
+pub enum SolveStatus { Ok, Failed }
+
+impl SolveStatus {
+    pub const ALL: [SolveStatus; 2] = [SolveStatus::Ok, SolveStatus::Failed];
+
+    pub fn code(self) -> u8 {
+        match self {
+            SolveStatus::Ok => 0,
+            SolveStatus::Failed => 1,
+        }
+    }
+
+    pub fn from_code(code: u8) -> Option<SolveStatus> {
+        SolveStatus::ALL.into_iter().find(|s| s.code() == code)
+    }
+
+    pub fn wire_name(self) -> &'static str {
+        match self {
+            SolveStatus::Ok => "ok",
+            _ => "failed",
+        }
+    }
+
+    pub fn is_retryable(self) -> bool {
+        match self {
+            SolveStatus::Ok => false,
+            SolveStatus::Failed => true,
+        }
+    }
+}

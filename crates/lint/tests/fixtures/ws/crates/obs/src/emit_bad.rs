@@ -1,0 +1,3 @@
+pub fn stamp_now() -> Instant {
+    Instant::now()
+}

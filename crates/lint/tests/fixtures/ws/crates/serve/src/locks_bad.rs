@@ -1,0 +1,10 @@
+fn locks_inverted(shared: &Shared) {
+    let mut inflight = lock(&shared.inflight);
+    lock(&shared.queue).push_back(1);
+}
+
+fn locks_waived(shared: &Shared) {
+    let mut cache = lock(&shared.cache);
+    // lint: allow(lock-order) reason=fixture proves the lock-order tag suppresses
+    lock(&shared.settled).insert(1);
+}

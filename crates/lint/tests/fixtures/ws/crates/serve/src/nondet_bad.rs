@@ -1,0 +1,4 @@
+use std::collections::HashMap;
+
+// lint: allow(nondet) reason=fixture proves the nondet tag suppresses
+pub fn scratch_table() -> HashMap<u64, u64> { HashMap::new() }

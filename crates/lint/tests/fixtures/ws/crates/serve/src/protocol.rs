@@ -1,0 +1,12 @@
+pub fn write_req(o: &mut ObjWriter, id: u64) {
+    o.str("schema", "mcr-req-v1");
+    o.u64("id", id);
+    o.str("op", "solve");
+}
+
+pub fn write_resp(o: &mut ObjWriter, id: u64) {
+    o.str("schema", "mcr-resp-v1");
+    o.u64("id", id);
+    o.u64("status", 0);
+    o.u64("bogus_field", 9);
+}

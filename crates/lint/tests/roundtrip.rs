@@ -1,0 +1,54 @@
+//! Losslessness guard: the lexer's token stream must reassemble to the
+//! original source byte-for-byte, for every `.rs` file in the real
+//! workspace (including this crate's own sources and the fixture
+//! workspace). Everything the higher engine layers report — line
+//! numbers, allow-comment anchoring, string side tables — rests on the
+//! lexer never dropping or reshaping a byte.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint has a workspace root two levels up")
+        .to_path_buf()
+}
+
+fn rust_files_under(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    for p in paths {
+        if p.is_dir() {
+            rust_files_under(&p, out);
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            out.push(p);
+        }
+    }
+}
+
+#[test]
+fn every_workspace_source_file_round_trips_byte_for_byte() {
+    let mut files = Vec::new();
+    rust_files_under(&workspace_root().join("crates"), &mut files);
+    assert!(
+        files.len() > 20,
+        "workspace walk looks broken: only {} .rs files found",
+        files.len()
+    );
+    for path in files {
+        let src = fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+        let rebuilt = mcr_lint::lexer::reassemble(&mcr_lint::lexer::lex(&src));
+        assert_eq!(
+            rebuilt,
+            src,
+            "lexer round-trip is lossy for {}",
+            path.display()
+        );
+    }
+}

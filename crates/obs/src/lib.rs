@@ -213,6 +213,7 @@ struct State {
 impl State {
     fn new() -> Self {
         State {
+            // lint: allow(nondet) reason=wall anchor only; every emitted t_ns is relative to it and Timestamps::Normalized zeroes them for goldens
             started: Instant::now(),
             current_solve: 0,
             solves_started: 0,

@@ -32,7 +32,7 @@ use crate::protocol;
 use crate::retry::{CircuitBreaker, RetryPolicy};
 use crate::shard::ShardMap;
 use mcr_core::SolveStatus;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::io::{BufReader, Write};
 use std::net::TcpStream;
 use std::time::{Duration, Instant};
@@ -61,6 +61,17 @@ fn transport<E: std::fmt::Display>(stage: &str) -> impl FnOnce(E) -> String + '_
 /// The request line's `id`, when it has a parseable one.
 fn request_id(line: &str) -> Option<u64> {
     json::parse(line).ok()?.get("id").and_then(Value::as_u64)
+}
+
+/// The premature-close diagnostic suffix. `pending` is a BTreeMap, so
+/// the listed ids are in ascending order — the error text for a given
+/// failure is identical on every run, at any hasher seed.
+fn unanswered_suffix(pending: &BTreeMap<u64, (&str, u32)>) -> String {
+    if pending.is_empty() {
+        return String::new();
+    }
+    let ids: Vec<String> = pending.keys().map(u64::to_string).collect();
+    format!(" (unanswered ids: {})", ids.join(", "))
 }
 
 /// [`replay_with`] under the default timeout and retry policy.
@@ -106,7 +117,9 @@ pub fn replay_with(
     let mut writer = stream.try_clone().map_err(transport("clone stream"))?;
     let mut report = ClientReport::default();
     // id → (request line, sends so far), for the overloaded-retry path.
-    let mut pending: HashMap<u64, (&str, u32)> = HashMap::new();
+    // BTreeMap so the ids listed by the premature-close error below are
+    // in one stable order at any hasher seed (lint MCRL010).
+    let mut pending: BTreeMap<u64, (&str, u32)> = BTreeMap::new();
     let mut outstanding = 0usize;
     for line in lines {
         let line = line.trim();
@@ -136,8 +149,10 @@ pub fn replay_with(
             .map_err(transport("read response"))?
             .ok_or_else(|| {
                 format!(
-                    "daemon closed the connection after {} of {} responses",
-                    report.received, report.sent
+                    "daemon closed the connection after {} of {} responses{}",
+                    report.received,
+                    report.sent,
+                    unanswered_suffix(&pending)
                 )
             })?;
         let text = String::from_utf8(payload).map_err(transport("decode response"))?;
@@ -516,5 +531,16 @@ mod tests {
         assert_eq!(request_id("{\"id\":42,\"op\":\"ping\"}"), Some(42));
         assert_eq!(request_id("{\"op\":\"ping\"}"), None);
         assert_eq!(request_id("garbage"), None);
+    }
+
+    #[test]
+    fn unanswered_ids_are_listed_in_ascending_order() {
+        let mut pending: BTreeMap<u64, (&str, u32)> = BTreeMap::new();
+        for id in [27, 3, 9] {
+            pending.insert(id, ("line", 1));
+        }
+        assert_eq!(unanswered_suffix(&pending), " (unanswered ids: 3, 9, 27)");
+        pending.clear();
+        assert_eq!(unanswered_suffix(&pending), "");
     }
 }

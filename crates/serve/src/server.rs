@@ -74,7 +74,7 @@ use mcr_core::{
 };
 use mcr_graph::io::read_dimacs;
 use mcr_graph::Graph;
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::{self, BufReader};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -143,7 +143,10 @@ struct QueuedJob {
 /// oldest-first, which only weakens dedup for ids settled more than
 /// `SETTLED_CAP` completions ago.
 struct SettledLog {
-    by_id: HashMap<u64, (SolveStatus, Option<String>)>,
+    // BTreeMap, not HashMap: anything that ever iterates the log (a
+    // future dump/debug endpoint) must see one order regardless of
+    // hasher seed — the determinism contract (lint MCRL010).
+    by_id: BTreeMap<u64, (SolveStatus, Option<String>)>,
     order: VecDeque<u64>,
 }
 
@@ -153,7 +156,7 @@ const SETTLED_CAP: usize = 16 * 1024;
 impl SettledLog {
     fn new() -> SettledLog {
         SettledLog {
-            by_id: HashMap::new(),
+            by_id: BTreeMap::new(),
             order: VecDeque::new(),
         }
     }
@@ -174,6 +177,15 @@ impl SettledLog {
     }
 }
 
+/// Declared lock order (lint MCRL014): nested acquisitions must move
+/// strictly rightward in
+///
+/// > `queue` → `file` (journal) → `settled` → `inflight` → `cache` → reply
+///
+/// so no two paths can ever wait on each other's lock. The real
+/// nestings today: admission holds `queue` across the journal append
+/// (`file`), and the dedup/shed paths hold `settled`/`inflight` across
+/// the reply write.
 struct Shared {
     cfg: ServeConfig,
     metrics: Metrics,
@@ -187,8 +199,10 @@ struct Shared {
     journal: Option<Journal>,
     /// Settled outcomes for duplicate suppression.
     settled: Mutex<SettledLog>,
-    /// Ids admitted (or recovered) but not yet settled.
-    inflight: Mutex<HashSet<u64>>,
+    /// Ids admitted (or recovered) but not yet settled. BTreeSet so any
+    /// future iteration (drain reporting, debug dumps) is
+    /// hasher-independent (lint MCRL010).
+    inflight: Mutex<BTreeSet<u64>>,
 }
 
 /// A poison-tolerant lock: a worker that panicked (only possible via
@@ -267,7 +281,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         cache: Mutex::new(GraphCache::new(cfg.cache_capacity)),
         journal,
         settled: Mutex::new(SettledLog::new()),
-        inflight: Mutex::new(HashSet::new()),
+        inflight: Mutex::new(BTreeSet::new()),
         cfg,
     });
     // Replay the journal's settled outcomes so a re-send of an id the
@@ -904,4 +918,50 @@ fn solve_one(
     }
     journal.clear_checkpoint(id);
     solve_spec(g, spec, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settled_log_iterates_in_id_order_regardless_of_insertion() {
+        // Pins the BTreeMap choice (lint MCRL010): the dedup log's
+        // iteration order is ascending-by-id at any hasher seed, so
+        // anything that ever walks it (drain reports, debug dumps)
+        // is reproducible.
+        let mut log = SettledLog::new();
+        for id in [9, 2, 27, 4] {
+            log.insert(id, SolveStatus::Ok, None);
+        }
+        let ids: Vec<u64> = log.by_id.keys().copied().collect();
+        assert_eq!(ids, [2, 4, 9, 27]);
+        assert!(log.get(27).is_some());
+        assert!(log.get(5).is_none());
+    }
+
+    #[test]
+    fn settled_log_evicts_oldest_first_at_cap() {
+        let mut log = SettledLog::new();
+        for id in 0..(SETTLED_CAP as u64 + 3) {
+            log.insert(id, SolveStatus::Ok, None);
+        }
+        assert_eq!(log.by_id.len(), SETTLED_CAP);
+        assert!(log.get(2).is_none());
+        assert!(log.get(3).is_some());
+        // Re-inserting an already-settled id must not grow the order
+        // log (dedup of the dedup log).
+        log.insert(5000, SolveStatus::Ok, None);
+        assert_eq!(log.by_id.len(), SETTLED_CAP);
+    }
+
+    #[test]
+    fn inflight_set_iterates_in_ascending_id_order() {
+        let inflight: Mutex<BTreeSet<u64>> = Mutex::new(BTreeSet::new());
+        for id in [8, 1, 5] {
+            lock(&inflight).insert(id);
+        }
+        let ids: Vec<u64> = lock(&inflight).iter().copied().collect();
+        assert_eq!(ids, [1, 5, 8]);
+    }
 }

@@ -333,8 +333,34 @@ fn golden_request_log_is_what_the_generator_emits() {
         golden, generated,
         "regenerate with: cargo run -p mcr-cli -- gen requests 12 --seed 42"
     );
-    for line in golden.lines() {
+    // Every request key must be declared in the committed mcr-req v1
+    // schema manifest — the same file mcr-lint (MCRL011) checks the
+    // protocol parser against, so goldens, parser, and manifest cannot
+    // drift apart independently.
+    let manifest = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root")
+        .join("schemas/mcr-req-v1.txt");
+    let declared: std::collections::BTreeSet<String> = std::fs::read_to_string(&manifest)
+        .unwrap_or_else(|e| panic!("read {}: {e}", manifest.display()))
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(String::from)
+        .collect();
+    for (n, line) in golden.lines().enumerate() {
         protocol::parse_request(line.as_bytes()).expect("golden line parses");
+        let Value::Obj(obj) = json::parse(line).expect("golden line is JSON") else {
+            panic!("golden line {} is not an object", n + 1);
+        };
+        for key in obj.keys() {
+            assert!(
+                declared.contains(key),
+                "golden_requests.jsonl:{} key `{key}` is not declared in schemas/mcr-req-v1.txt",
+                n + 1
+            );
+        }
     }
 }
 

@@ -24,9 +24,28 @@ echo "=== mcr-lint (workspace contract checker) ==="
 # the panic-free layers (MCRL005), obs metrics coverage of budgeted
 # loops (MCRL006), loop-metrics + chaos coverage of chunked-sweep
 # kernels (MCRL007), RequestGuard containment of every serve-layer
-# request handler (MCRL008), and bounded RetryPolicy caps on network
-# connect/send loops (MCRL009). See DESIGN.md and crates/lint.
+# request handler (MCRL008), bounded RetryPolicy caps on network
+# connect/send loops (MCRL009), order-unstable containers and wall
+# clocks in determinism scopes (MCRL010), wire-format schema manifest
+# drift (MCRL011), phase-A kernel purity (MCRL012), total SolveStatus
+# maps (MCRL013), and the declared serve lock order (MCRL014). See
+# DESIGN.md and crates/lint.
+# SARIF 2.1.0 report for code-scanning upload (the workflow's lint job
+# publishes it). Emitted before the gating run so a red lint still
+# leaves lint.sarif on disk for triage — hence the || true here and the
+# separate gating invocation below.
+cargo run -q -p mcr-lint -- --format sarif > lint.sarif || true
 cargo run -q -p mcr-lint
+# --changed-only smoke: the incremental path must analyze the whole
+# workspace but report only findings in files HEAD~1 touched. On a
+# clean tree this exits 0 whatever the diff, proving flag parsing and
+# the git plumbing work; a shallow or single-commit clone has no
+# HEAD~1, so fall back to HEAD (empty diff) in that case.
+if git rev-parse -q --verify HEAD~1 >/dev/null 2>&1; then
+    cargo run -q -p mcr-lint -- --changed-only HEAD~1 >/dev/null
+else
+    cargo run -q -p mcr-lint -- --changed-only HEAD >/dev/null
+fi
 
 echo "=== cargo test (workspace) ==="
 cargo test -q --workspace
