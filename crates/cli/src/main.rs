@@ -48,6 +48,17 @@
 //! solver bug, never silent), 4 cancelled (the `--timeout` deadline
 //! passed before the solve finished; no partial answer is printed).
 //!
+//! mcr dynamic --edits FILE  replay an `mcr-edits v1` edit script with
+//!                       the incremental [`mcr_core::DynamicSolver`]:
+//!                       one trajectory line per batch (λ as an exact
+//!                       fraction, plus whether the batch was answered
+//!                       incrementally or by a full re-solve), then the
+//!                       final solution. `-` reads the script from
+//!                       stdin. Accepts --algorithm, --ratio, --max,
+//!                       --epsilon, --threads, --critical, --counters
+//!                       with the same meanings as `mcr solve`; every
+//!                       batch's answer is re-certified before printing
+//!
 //! mcr gen sprand N M [--seed S] [--wmin A] [--wmax B] [--tmin A --tmax B]
 //! mcr gen circuit N   [--seed S]
 //!                       emit a DIMACS-style instance on stdout
@@ -55,6 +66,10 @@
 //!                       emit a replayable `mcr-req v1` JSONL request
 //!                       log for the mcrd daemon (deterministic per
 //!                       seed; feed it to `mcr client --replay`)
+//! mcr gen edits N     [--seed S] [--nodes V --arcs E]
+//!                       emit a deterministic `mcr-edits v1` edit
+//!                       script with N batches over a SPRAND base
+//!                       instance (feed it to `mcr dynamic --edits`)
 //!
 //! mcr client --addr HOST:PORT (--replay FILE|- [--no-wait] | --op OP)
 //!                       batch client for a running mcrd daemon.
@@ -84,8 +99,8 @@
 use mcr_core::critical::critical_subgraph;
 use mcr_core::spec::{parse_budget_spec, parse_duration_spec, parse_fallback_spec, solve_spec, SpecError};
 use mcr_core::{
-    certify, Algorithm, Guarantee, Objective, Solution, SolveError, SolveOptions, SolveSpec,
-    SolveStatus, SweepMode,
+    certify, parse_edit_script, Algorithm, DynamicOutcome, DynamicSolver, Guarantee, Objective,
+    Solution, SolveError, SolveOptions, SolveSpec, SolveStatus, SweepMode,
 };
 use mcr_gen::circuit::{circuit_graph, CircuitConfig};
 use mcr_gen::sprand::{sprand, SprandConfig};
@@ -418,6 +433,110 @@ fn cmd_solve(args: &Args) -> Result<(), CliError> {
     }
 }
 
+/// One trajectory line per batch: exact λ (or acyclic) plus whether
+/// the incremental solver answered from its component cache. The line
+/// is thread-count-independent — λ by the bit-identity contract, the
+/// hit/miss split because component fingerprints do not depend on the
+/// driver schedule — which is what lets CI byte-compare 1-thread and
+/// 4-thread replays.
+fn describe_batch(i: usize, outcome: &DynamicOutcome) {
+    let provenance = format!(
+        "[{}; {} cached, {} solved]",
+        outcome.mode.name(),
+        outcome.cache_hits,
+        outcome.cache_misses
+    );
+    match &outcome.solution {
+        Some(sol) => println!(
+            "batch {i}: lambda = {} (~ {:.6}) {provenance}",
+            sol.lambda,
+            sol.lambda.to_f64()
+        ),
+        None => println!("batch {i}: acyclic {provenance}"),
+    }
+}
+
+/// `mcr dynamic --edits FILE`: replay an `mcr-edits v1` script with the
+/// persistent incremental solver, printing the λ trajectory.
+fn cmd_dynamic(args: &Args) -> Result<(), CliError> {
+    let source = args
+        .value("edits")
+        .ok_or("usage: mcr dynamic --edits FILE [solve flags] (see crate docs)")?;
+    let mut text = String::new();
+    match source {
+        "-" => {
+            std::io::stdin()
+                .read_to_string(&mut text)
+                .map_err(|e| format!("reading stdin: {e}"))?;
+        }
+        p => {
+            text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        }
+    }
+    let script = parse_edit_script(&text).map_err(|e| format!("edit script: {e}"))?;
+    let g = script.base_graph();
+    let alg_name = args.value("algorithm").unwrap_or("howard-exact");
+    let alg = Algorithm::by_name(alg_name)
+        .ok_or_else(|| format!("unknown algorithm `{alg_name}` (see --help)"))?;
+    let maximize = args.flag("max");
+    let ratio_mode = args.flag("ratio");
+    let epsilon = args.value_parsed("epsilon", Algorithm::default_epsilon(&g))?;
+    if epsilon <= 0.0 {
+        return Err("epsilon must be positive".into());
+    }
+    let opts = solve_options(args, epsilon)?;
+    let spec = SolveSpec {
+        algorithm: alg,
+        objective: if ratio_mode {
+            Objective::Ratio
+        } else {
+            Objective::Mean
+        },
+        maximize,
+    };
+    println!(
+        "dynamic {} {} via {}: {} nodes, {} base arcs, {} batches (seed {})",
+        if maximize { "maximum" } else { "minimum" },
+        if ratio_mode { "cycle ratio" } else { "cycle mean" },
+        alg.name(),
+        script.nodes,
+        script.base_arcs.len(),
+        script.batches.len(),
+        script.seed
+    );
+    let mut solver = DynamicSolver::new(&g, spec, opts);
+    // Batch 0 is the initial full solve that warms the component cache;
+    // a failed batch aborts the replay with its typed exit code (the
+    // solver state still reflects every committed edit at that point).
+    let mut last = solver.solve()?;
+    describe_batch(0, &last);
+    for (i, batch) in script.batches.iter().enumerate() {
+        last = solver.apply(batch)?;
+        describe_batch(i + 1, &last);
+    }
+    match last.solution {
+        None => {
+            println!("final graph is acyclic: no cycle mean/ratio");
+            Ok(())
+        }
+        Some(sol) => {
+            let final_graph = solver.current_graph();
+            print_solution(&final_graph, &sol, maximize, args);
+            // The solver re-certified every batch internally; repeat
+            // the independent re-walk here so the printed certificate
+            // line means the same thing it does on the one-shot path.
+            certify(&sol, &final_graph).map_err(|e| {
+                CliError::new(
+                    SolveStatus::CertifyFailed,
+                    format!("certification failed: {e}"),
+                )
+            })?;
+            println!("certificate: witness cycle reproduces lambda exactly");
+            Ok(())
+        }
+    }
+}
+
 fn cmd_gen(args: &Args) -> Result<(), String> {
     let family = args
         .positional
@@ -437,6 +556,20 @@ fn cmd_gen(args: &Args) -> Result<(), String> {
                 &mcr_gen::requests::RequestLogConfig::new(count).seed(seed)
             )
         );
+        return Ok(());
+    }
+    if family == "edits" {
+        let batches: usize = args
+            .positional
+            .get(2)
+            .ok_or("usage: mcr gen edits N [--seed S] [--nodes V --arcs E]")?
+            .parse()
+            .map_err(|_| "invalid N")?;
+        let mut cfg = mcr_gen::edits::EditScriptConfig::new(batches).seed(seed);
+        let nodes: usize = args.value_parsed("nodes", cfg.nodes)?;
+        let arcs: usize = args.value_parsed("arcs", cfg.arcs)?;
+        cfg = cfg.size(nodes, arcs);
+        print!("{}", mcr_gen::edits::edit_script(&cfg));
         return Ok(());
     }
     let g = match family.as_str() {
@@ -627,7 +760,8 @@ fn cmd_bench(args: &Args) -> Result<(), CliError> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mcr <solve|gen|client|dot|bench> ...  (see crate docs for flags)";
+const USAGE: &str =
+    "usage: mcr <solve|dynamic|gen|client|dot|bench> ...  (see crate docs for flags)";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -635,6 +769,7 @@ fn main() -> ExitCode {
     let obs_req = ObsRequest::from_args(&args);
     let result = match args.positional.first().map(|s| s.as_str()) {
         Some("solve") => with_obs(&obs_req, || cmd_solve(&args)),
+        Some("dynamic") => with_obs(&obs_req, || cmd_dynamic(&args)),
         Some("gen") => cmd_gen(&args).map_err(CliError::from),
         Some("client") => cmd_client(&args).map_err(CliError::from),
         Some("dot") => cmd_dot(&args).map_err(CliError::from),

@@ -102,7 +102,7 @@ fn solve_scc_resumable(
 /// returned and the workspace is left freshly reset — never poisoned —
 /// so no half-updated scratch state can leak into a later job.
 #[allow(clippy::too_many_arguments)]
-fn run_fallback_chain(
+pub(crate) fn run_fallback_chain(
     job: usize,
     chain: &[Algorithm],
     sub: &Graph,

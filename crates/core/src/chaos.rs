@@ -17,6 +17,9 @@
 //! | `core.driver.job`           | per-SCC job dispatch (unit site)       |
 //! | `core.fallback.attempt`     | each fallback-chain attempt            |
 //! | `core.workspace.reset`      | workspace poison-recovery (unit site)  |
+//! | `core.dynamic.apply`        | incremental edit-batch application     |
+//! | `core.dynamic.rebuild`      | incremental CSR rebuild (unit site)    |
+//! | `core.dynamic.certify`      | incremental witness re-certification   |
 //!
 //! Algorithm loop sites: `core.burns.phase`, `core.burns.exact.phase`,
 //! `core.ko-yto.pivot`, `core.howard.fig1.improve`,
@@ -65,3 +68,33 @@ pub(crate) fn pulse(site: &'static str) {
 #[cfg(not(feature = "chaos"))]
 #[inline(always)]
 pub(crate) fn pulse(_site: &'static str) {}
+
+/// Boolean failpoint: `true` when a fault fires at `site`, for code
+/// with its own degradation path rather than a typed error (the
+/// incremental solver falls back to a full solve). Any scheduled fault
+/// kind trips it; the fault is reported like [`pulse`] does.
+#[cfg(feature = "chaos")]
+#[inline]
+pub(crate) fn fail_hit(site: &'static str) -> bool {
+    if let Some(kind) = mcr_chaos::hit(site) {
+        crate::obs::fault_injected(
+            site,
+            match kind {
+                mcr_chaos::FaultKind::Delay { .. } => "delay",
+                mcr_chaos::FaultKind::BudgetExhaust => "budget-exhaust",
+                mcr_chaos::FaultKind::Overflow => "overflow",
+                mcr_chaos::FaultKind::NumericRange => "numeric-range",
+                mcr_chaos::FaultKind::Transient => "transient",
+            },
+        );
+        return true;
+    }
+    false
+}
+
+/// Compiled-out boolean failpoint: never fires.
+#[cfg(not(feature = "chaos"))]
+#[inline(always)]
+pub(crate) fn fail_hit(_site: &'static str) -> bool {
+    false
+}

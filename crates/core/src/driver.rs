@@ -65,10 +65,14 @@ pub(crate) struct SccOutcome {
 
 /// One unit of work: a cyclic component's subgraph plus the map from its
 /// local arc ids back to the host graph.
+///
+/// `pub(crate)` so [`crate::dynamic::DynamicSolver`] can re-enter the
+/// driver pipeline at the reduction stage with a mix of cached and
+/// freshly solved component outcomes.
 #[derive(Debug)]
-struct Job {
-    sub: Graph,
-    arc_map: Vec<ArcId>,
+pub(crate) struct Job {
+    pub(crate) sub: Graph,
+    pub(crate) arc_map: Vec<ArcId>,
 }
 
 /// A pre-computed, shareable SCC decomposition of one specific graph:
@@ -144,7 +148,7 @@ fn plan_or_extract(g: &Graph, opts: &SolveOptions) -> Arc<Vec<Job>> {
 /// Extracts every cyclic component of `g` as a standalone job, in
 /// component (reverse topological) order, reusing one translation table
 /// across extractions.
-fn extract_jobs(g: &Graph) -> Vec<Job> {
+pub(crate) fn extract_jobs(g: &Graph) -> Vec<Job> {
     let scc = SccDecomposition::new(g);
     let mut ex = SubgraphExtractor::new(g.num_nodes());
     let mut jobs = Vec::new();
@@ -316,11 +320,23 @@ pub(crate) fn solve_per_scc_opts(
     let threads = opts.effective_threads().min(jobs.len()).max(1);
     let sweep = opts.resolved_sweep(jobs.len());
     let (results, counters) = run_jobs(jobs, threads, sweep, solve_scc);
+    reduce_outcomes(jobs, &results, counters)
+}
 
-    // Reduce in job (= component) order with a strict `<`: on equal λ
-    // the lowest component index wins, as in the sequential loop.
-    // Errors propagate the same way — the failure of the lowest
-    // component index is reported, regardless of which worker hit it.
+/// The driver's reduction stage, split out so it can be re-entered with
+/// per-component results that did not all come from [`run_jobs`] (the
+/// incremental [`crate::dynamic::DynamicSolver`] feeds it a mix of
+/// cached and freshly solved outcomes).
+///
+/// Walks the slots in job (= component) order with a strict `<`: on
+/// equal λ the lowest component index wins, as in the sequential loop.
+/// Errors propagate the same way — the failure of the lowest component
+/// index is reported, regardless of which worker hit it.
+pub(crate) fn reduce_outcomes(
+    jobs: &[Job],
+    results: &[Result<SccOutcome, SolveError>],
+    counters: Counters,
+) -> Result<Solution, SolveError> {
     let mut best: Option<(&Job, &SccOutcome)> = None;
     for (job, result) in jobs.iter().zip(results.iter()) {
         let outcome = match result {
@@ -337,7 +353,8 @@ pub(crate) fn solve_per_scc_opts(
     }
     let (job, outcome) = match best {
         Some(b) => b,
-        // Unreachable: every job either erred (returned above) or won.
+        // Unreachable when jobs is non-empty: every job either erred
+        // (returned above) or won. An empty job list is acyclic.
         None => return Err(SolveError::Acyclic),
     };
     let mapped: Vec<ArcId> = outcome

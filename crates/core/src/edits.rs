@@ -1,0 +1,392 @@
+//! The `mcr-edits v1` edit-script wire format.
+//!
+//! A versioned JSONL format describing a base graph plus a sequence of
+//! edit batches for the incremental [`crate::DynamicSolver`] — what
+//! `mcr dynamic --edits FILE` consumes and `mcr gen edits` emits. Every
+//! line is one flat JSON object (scalar fields only, no nesting), in
+//! this order:
+//!
+//! ```text
+//! {"schema":"mcr-edits v1","kind":"header","nodes":4,"arcs":2,"batches":1,"seed":7}
+//! {"kind":"arc","src":0,"dst":1,"weight":5,"transit":1}
+//! {"kind":"arc","src":1,"dst":0,"weight":3,"transit":1}
+//! {"kind":"edit","batch":1,"op":"reweight","arc":0,"weight":-2}
+//! ```
+//!
+//! * the **header** line declares the node count, the number of base
+//!   `arc` lines that follow, the number of edit batches, and the
+//!   generator seed (informational);
+//! * one **arc** line per base arc, in arc-id (insertion) order;
+//! * **edit** lines carry a 1-based `batch` number (batch boundaries
+//!   are where the replayer re-solves) and an `op` of `insert`
+//!   (`src`/`dst`/`weight`/`transit`), `delete` (`arc`), `reweight`
+//!   (`arc`/`weight`), or `retime` (`arc`/`transit`). Batch numbers
+//!   must be nondecreasing; a batch with no lines is an empty batch
+//!   (re-solve without edits).
+//!
+//! The field list is pinned by `schemas/mcr-edits-v1.txt` and checked
+//! by `mcr-lint` rule MCRL011; `crates/core/tests/data/golden_edits.jsonl`
+//! is the committed golden script guarding the byte format.
+
+use crate::dynamic::{ArcSpec, Edit};
+use mcr_graph::{Graph, GraphBuilder, NodeId};
+use std::collections::BTreeMap;
+
+/// The schema tag every `mcr-edits v1` header carries.
+pub const EDITS_SCHEMA: &str = "mcr-edits v1";
+
+/// A parsed edit script: the base graph plus the edit batches to replay
+/// against it.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct EditScript {
+    /// Node count of the base graph (fixed across the whole script).
+    pub nodes: usize,
+    /// Base arcs in arc-id order.
+    pub base_arcs: Vec<ArcSpec>,
+    /// Edit batches, in replay order. `batches[i]` is wire batch `i+1`.
+    pub batches: Vec<Vec<Edit>>,
+    /// The generator seed recorded in the header (informational).
+    pub seed: u64,
+}
+
+impl EditScript {
+    /// Materializes the base graph (before any batch), arcs in arc-id
+    /// order — the instance a [`crate::DynamicSolver`] replaying this
+    /// script starts from.
+    pub fn base_graph(&self) -> Graph {
+        let mut b = GraphBuilder::new();
+        b.add_nodes(self.nodes);
+        for a in &self.base_arcs {
+            b.add_arc_with_transit(NodeId::new(a.src), NodeId::new(a.dst), a.weight, a.transit);
+        }
+        b.build()
+    }
+}
+
+/// One scalar JSON value of a flat object line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Scalar {
+    Str(String),
+    Num(i128),
+}
+
+/// Parses one flat JSON object (`{"key":value,...}`, string or integer
+/// values, no nesting / escapes / duplicates).
+fn parse_flat_object(line: &str) -> Result<BTreeMap<String, Scalar>, String> {
+    let inner = line
+        .trim()
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| format!("line is not a JSON object: {line}"))?;
+    let mut fields = BTreeMap::new();
+    let mut chars = inner.chars().peekable();
+    loop {
+        while matches!(chars.peek(), Some(c) if c.is_whitespace() || *c == ',') {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(fields);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("expected a quoted key in: {line}"));
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '"' {
+                break;
+            }
+            if c == '\\' {
+                return Err(format!("escapes are not part of mcr-edits v1: {line}"));
+            }
+            key.push(c);
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        if chars.next() != Some(':') {
+            return Err(format!("missing `:` after key `{key}` in: {line}"));
+        }
+        while matches!(chars.peek(), Some(c) if c.is_whitespace()) {
+            chars.next();
+        }
+        let value = match chars.peek() {
+            Some('"') => {
+                chars.next();
+                let mut s = String::new();
+                for c in chars.by_ref() {
+                    if c == '"' {
+                        break;
+                    }
+                    if c == '\\' {
+                        return Err(format!("escapes are not part of mcr-edits v1: {line}"));
+                    }
+                    s.push(c);
+                }
+                Scalar::Str(s)
+            }
+            Some(c) if *c == '-' || c.is_ascii_digit() => {
+                let mut num = String::new();
+                while matches!(chars.peek(), Some(c) if *c == '-' || c.is_ascii_digit()) {
+                    num.push(chars.next().unwrap_or('0'));
+                }
+                Scalar::Num(
+                    num.parse::<i128>()
+                        .map_err(|_| format!("invalid number `{num}` in: {line}"))?,
+                )
+            }
+            _ => return Err(format!("unsupported value for key `{key}` in: {line}")),
+        };
+        if fields.insert(key.clone(), value).is_some() {
+            return Err(format!("duplicate key `{key}` in: {line}"));
+        }
+    }
+}
+
+fn get_num(
+    fields: &BTreeMap<String, Scalar>,
+    key: &str,
+    line: &str,
+) -> Result<i128, String> {
+    match fields.get(key) {
+        Some(Scalar::Num(n)) => Ok(*n),
+        Some(Scalar::Str(_)) => Err(format!("field `{key}` must be a number in: {line}")),
+        None => Err(format!("missing field `{key}` in: {line}")),
+    }
+}
+
+fn get_usize(
+    fields: &BTreeMap<String, Scalar>,
+    key: &str,
+    line: &str,
+) -> Result<usize, String> {
+    usize::try_from(get_num(fields, key, line)?)
+        .map_err(|_| format!("field `{key}` is out of range in: {line}"))
+}
+
+fn get_i64(fields: &BTreeMap<String, Scalar>, key: &str, line: &str) -> Result<i64, String> {
+    i64::try_from(get_num(fields, key, line)?)
+        .map_err(|_| format!("field `{key}` is out of range in: {line}"))
+}
+
+fn get_str<'a>(
+    fields: &'a BTreeMap<String, Scalar>,
+    key: &str,
+    line: &str,
+) -> Result<&'a str, String> {
+    match fields.get(key) {
+        Some(Scalar::Str(s)) => Ok(s),
+        Some(Scalar::Num(_)) => Err(format!("field `{key}` must be a string in: {line}")),
+        None => Err(format!("missing field `{key}` in: {line}")),
+    }
+}
+
+/// Parses a whole `mcr-edits v1` script. Blank lines are ignored.
+pub fn parse_edit_script(text: &str) -> Result<EditScript, String> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header_line = lines.next().ok_or("empty edit script")?;
+    let header = parse_flat_object(header_line)?;
+    let schema = get_str(&header, "schema", header_line)?;
+    if schema != EDITS_SCHEMA {
+        return Err(format!("unsupported schema `{schema}` (want `{EDITS_SCHEMA}`)"));
+    }
+    if get_str(&header, "kind", header_line)? != "header" {
+        return Err(format!("first line must be the header: {header_line}"));
+    }
+    let nodes = get_usize(&header, "nodes", header_line)?;
+    let arcs = get_usize(&header, "arcs", header_line)?;
+    let batches = get_usize(&header, "batches", header_line)?;
+    let seed = u64::try_from(get_num(&header, "seed", header_line)?)
+        .map_err(|_| format!("field `seed` is out of range in: {header_line}"))?;
+
+    let mut script = EditScript {
+        nodes,
+        base_arcs: Vec::with_capacity(arcs),
+        batches: vec![Vec::new(); batches],
+        seed,
+    };
+    let mut last_batch = 0usize;
+    for line in lines {
+        let fields = parse_flat_object(line)?;
+        match get_str(&fields, "kind", line)? {
+            "arc" => {
+                if !script.batches.iter().all(Vec::is_empty) || last_batch != 0 {
+                    return Err(format!("arc line after the first edit line: {line}"));
+                }
+                script.base_arcs.push(ArcSpec {
+                    src: get_usize(&fields, "src", line)?,
+                    dst: get_usize(&fields, "dst", line)?,
+                    weight: get_i64(&fields, "weight", line)?,
+                    transit: get_i64(&fields, "transit", line)?,
+                });
+            }
+            "edit" => {
+                let batch = get_usize(&fields, "batch", line)?;
+                if batch == 0 || batch > batches {
+                    return Err(format!(
+                        "batch {batch} is outside 1..={batches}: {line}"
+                    ));
+                }
+                if batch < last_batch {
+                    return Err(format!("batch numbers must be nondecreasing: {line}"));
+                }
+                last_batch = batch;
+                let edit = match get_str(&fields, "op", line)? {
+                    "insert" => Edit::InsertArc {
+                        src: get_usize(&fields, "src", line)?,
+                        dst: get_usize(&fields, "dst", line)?,
+                        weight: get_i64(&fields, "weight", line)?,
+                        transit: get_i64(&fields, "transit", line)?,
+                    },
+                    "delete" => Edit::DeleteArc {
+                        arc: get_usize(&fields, "arc", line)?,
+                    },
+                    "reweight" => Edit::Reweight {
+                        arc: get_usize(&fields, "arc", line)?,
+                        weight: get_i64(&fields, "weight", line)?,
+                    },
+                    "retime" => Edit::Retime {
+                        arc: get_usize(&fields, "arc", line)?,
+                        transit: get_i64(&fields, "transit", line)?,
+                    },
+                    other => return Err(format!("unknown op `{other}`: {line}")),
+                };
+                // lint: allow(panic) reason=batch is validated to lie in 1..=batches just above
+                script.batches[batch - 1].push(edit);
+            }
+            other => return Err(format!("unknown kind `{other}`: {line}")),
+        }
+    }
+    if script.base_arcs.len() != arcs {
+        return Err(format!(
+            "header declared {arcs} base arcs but {} followed",
+            script.base_arcs.len()
+        ));
+    }
+    Ok(script)
+}
+
+/// Renders a script back to `mcr-edits v1` text (the inverse of
+/// [`parse_edit_script`]; `parse(render(s)) == s`).
+pub fn render_edit_script(script: &EditScript) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"schema\":\"{EDITS_SCHEMA}\",\"kind\":\"header\",\"nodes\":{},\"arcs\":{},\"batches\":{},\"seed\":{}}}\n",
+        script.nodes,
+        script.base_arcs.len(),
+        script.batches.len(),
+        script.seed
+    ));
+    for a in &script.base_arcs {
+        out.push_str(&format!(
+            "{{\"kind\":\"arc\",\"src\":{},\"dst\":{},\"weight\":{},\"transit\":{}}}\n",
+            a.src, a.dst, a.weight, a.transit
+        ));
+    }
+    for (i, batch) in script.batches.iter().enumerate() {
+        let b = i + 1;
+        for edit in batch {
+            let line = match *edit {
+                Edit::InsertArc {
+                    src,
+                    dst,
+                    weight,
+                    transit,
+                } => format!(
+                    "{{\"kind\":\"edit\",\"batch\":{b},\"op\":\"insert\",\"src\":{src},\"dst\":{dst},\"weight\":{weight},\"transit\":{transit}}}\n"
+                ),
+                Edit::DeleteArc { arc } => {
+                    format!("{{\"kind\":\"edit\",\"batch\":{b},\"op\":\"delete\",\"arc\":{arc}}}\n")
+                }
+                Edit::Reweight { arc, weight } => format!(
+                    "{{\"kind\":\"edit\",\"batch\":{b},\"op\":\"reweight\",\"arc\":{arc},\"weight\":{weight}}}\n"
+                ),
+                Edit::Retime { arc, transit } => format!(
+                    "{{\"kind\":\"edit\",\"batch\":{b},\"op\":\"retime\",\"arc\":{arc},\"transit\":{transit}}}\n"
+                ),
+            };
+            out.push_str(&line);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> EditScript {
+        EditScript {
+            nodes: 3,
+            base_arcs: vec![
+                ArcSpec {
+                    src: 0,
+                    dst: 1,
+                    weight: 5,
+                    transit: 1,
+                },
+                ArcSpec {
+                    src: 1,
+                    dst: 0,
+                    weight: -3,
+                    transit: 2,
+                },
+            ],
+            batches: vec![
+                vec![
+                    Edit::Reweight { arc: 0, weight: 7 },
+                    Edit::InsertArc {
+                        src: 2,
+                        dst: 2,
+                        weight: 1,
+                        transit: 1,
+                    },
+                ],
+                vec![],
+                vec![Edit::DeleteArc { arc: 1 }, Edit::Retime { arc: 0, transit: 3 }],
+            ],
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn round_trips() {
+        let script = sample();
+        let text = render_edit_script(&script);
+        assert_eq!(parse_edit_script(&text).expect("parses"), script);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        let good = render_edit_script(&sample());
+        for bad in [
+            "",
+            "{\"schema\":\"mcr-edits v9\",\"kind\":\"header\",\"nodes\":1,\"arcs\":0,\"batches\":0,\"seed\":0}\n",
+            "{\"kind\":\"header\",\"nodes\":1,\"arcs\":0,\"batches\":0,\"seed\":0}\n",
+            &good.replace("\"op\":\"delete\"", "\"op\":\"explode\""),
+            &good.replace("\"kind\":\"arc\"", "\"kind\":\"blob\""),
+            &good.replace("\"batch\":3", "\"batch\":9"),
+            &good.replace("\"arcs\":2", "\"arcs\":5"),
+        ] {
+            assert!(parse_edit_script(bad).is_err(), "accepted: {bad:?}");
+        }
+    }
+
+    #[test]
+    fn batch_order_is_enforced() {
+        let mut script = render_edit_script(&sample());
+        // Swap the batch-1 and batch-3 groups textually: the decreasing
+        // batch number must be rejected.
+        script = script.replace("\"batch\":1", "\"batch\":9");
+        script = script.replace("\"batch\":3", "\"batch\":1");
+        script = script.replace("\"batch\":9", "\"batch\":3");
+        assert!(parse_edit_script(&script).is_err());
+    }
+
+    #[test]
+    fn empty_batches_survive() {
+        let script = sample();
+        let parsed = parse_edit_script(&render_edit_script(&script)).expect("parses");
+        assert_eq!(parsed.batches.len(), 3);
+        assert!(parsed.batches[1].is_empty());
+    }
+}

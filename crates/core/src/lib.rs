@@ -62,6 +62,8 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod critical;
 mod driver;
+pub mod dynamic;
+pub mod edits;
 pub mod error;
 pub mod instrument;
 pub mod maximum;
@@ -83,6 +85,8 @@ pub use cancel::CancelToken;
 pub use certify::{certify, CertifyError};
 pub use checkpoint::{Checkpoint, CheckpointError, CheckpointStore, JobProgress};
 pub use driver::SccPlan;
+pub use dynamic::{ArcSpec, DynamicOutcome, DynamicSolver, Edit, SolveMode};
+pub use edits::{parse_edit_script, render_edit_script, EditScript, EDITS_SCHEMA};
 pub use error::{BudgetResource, SolveError};
 pub use instrument::Counters;
 pub use options::{FallbackChain, SolveOptions};

@@ -312,3 +312,30 @@ pub(crate) fn sweep_span<R>(site: &'static str, chunks: u64, f: impl FnOnce() ->
 pub(crate) fn sweep_span<R>(_site: &'static str, _chunks: u64, f: impl FnOnce() -> R) -> R {
     f()
 }
+
+/// Records one incremental-solver batch: how many edits it applied and
+/// whether the solve was answered incrementally (component-cache hits
+/// covered part of the work) or by a full from-scratch solve. Emits the
+/// `dynamic.solve.incremental` / `dynamic.solve.full` counter pair plus
+/// `dynamic.edits.applied`, and a `dynamic.solve` trace event carrying
+/// the per-batch hit/miss split.
+#[cfg(feature = "obs")]
+pub(crate) fn dynamic_solve(mode: &'static str, edits: u64, hits: u64, misses: u64) {
+    if !mcr_obs::active() {
+        return;
+    }
+    mcr_obs::counter_add(&format!("dynamic.solve.{mode}"), 1);
+    mcr_obs::counter_add("dynamic.edits.applied", edits);
+    mcr_obs::global_event(
+        "dynamic.solve",
+        vec![
+            ("mode", mode.into()),
+            ("hits", hits.into()),
+            ("misses", misses.into()),
+        ],
+    );
+}
+
+#[cfg(not(feature = "obs"))]
+#[inline(always)]
+pub(crate) fn dynamic_solve(_mode: &'static str, _edits: u64, _hits: u64, _misses: u64) {}

@@ -181,7 +181,7 @@ pub fn lawler_ratio_exact_opts(g: &Graph, opts: &SolveOptions) -> Result<Solutio
 
 /// Every bisection step charges an iteration and a λ-refinement, like
 /// the mean-problem Lawler it mirrors.
-fn ratio_bisection(
+pub(crate) fn ratio_bisection(
     g: &Graph,
     counters: &mut crate::instrument::Counters,
     epsilon: Option<f64>,

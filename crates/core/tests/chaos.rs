@@ -384,3 +384,119 @@ fn unit_sites_count_hits_without_failing() {
     );
     assert!(mcr_core::chaos::hits("graph.scc.root") > 0);
 }
+
+// ---- incremental (dynamic) solver sites ---------------------------
+
+/// A deterministic edit sequence for the dynamic-solver chaos tests:
+/// touch one component, grow another, then shrink the arc list.
+fn dynamic_edits() -> Vec<Vec<mcr_core::Edit>> {
+    use mcr_core::Edit;
+    vec![
+        vec![Edit::Reweight { arc: 3, weight: -11 }],
+        vec![
+            Edit::InsertArc { src: 17, dst: 20, weight: -5, transit: 1 },
+            Edit::Retime { arc: 40, transit: 2 },
+        ],
+        vec![Edit::DeleteArc { arc: 12 }],
+    ]
+}
+
+fn dynamic_spec() -> mcr_core::spec::SolveSpec {
+    mcr_core::spec::SolveSpec::mean(Algorithm::HowardExact)
+}
+
+#[test]
+fn dynamic_apply_fault_falls_back_to_a_full_solve_with_the_answer_unchanged() {
+    let _serial = serial();
+    let g = multi_scc_graph();
+    // Unfaulted replay first: the reference trajectory, incremental.
+    let mut clean = mcr_core::DynamicSolver::new(&g, dynamic_spec(), SolveOptions::new());
+    clean.solve().expect("reference initial solve");
+    let reference: Vec<_> = dynamic_edits()
+        .iter()
+        .map(|batch| clean.apply(batch).expect("reference batch"))
+        .collect();
+    for seed in seeds() {
+        let mut faulted =
+            mcr_core::DynamicSolver::new(&g, dynamic_spec(), SolveOptions::new());
+        faulted.solve().expect("initial solve");
+        let _guard = FaultSchedule::new(seed)
+            .inject_always("core.dynamic.apply", FaultKind::Transient)
+            .install();
+        for (i, batch) in dynamic_edits().iter().enumerate() {
+            let out = faulted.apply(batch).expect("faulted batch still answers");
+            // The fault drops the component cache, so every batch is
+            // answered by the full path — with identical content.
+            assert_eq!(
+                out.mode,
+                mcr_core::SolveMode::Full,
+                "seed={seed} batch={i}: apply fault must force the full path"
+            );
+            let exp = reference[i].solution.as_ref().expect("cyclic");
+            let got = out.solution.as_ref().expect("cyclic");
+            assert_eq!(got.lambda, exp.lambda, "seed={seed} batch={i}");
+            assert_eq!(got.cycle, exp.cycle, "seed={seed} batch={i}");
+            assert_eq!(got.counters, exp.counters, "seed={seed} batch={i}");
+            let current = faulted.current_graph();
+            certify(got, &current)
+                .unwrap_or_else(|e| panic!("seed={seed} batch={i}: certify: {e}"));
+        }
+        assert!(
+            mcr_core::chaos::hits("core.dynamic.apply") > 0,
+            "seed={seed}: the apply site must register its hits"
+        );
+    }
+}
+
+#[test]
+fn dynamic_certify_fault_rejects_the_incremental_answer_and_resolves() {
+    let _serial = serial();
+    let g = multi_scc_graph();
+    let mut clean = mcr_core::DynamicSolver::new(&g, dynamic_spec(), SolveOptions::new());
+    clean.solve().expect("reference initial solve");
+    let reference: Vec<_> = dynamic_edits()
+        .iter()
+        .map(|batch| clean.apply(batch).expect("reference batch"))
+        .collect();
+    for seed in seeds() {
+        let mut faulted =
+            mcr_core::DynamicSolver::new(&g, dynamic_spec(), SolveOptions::new());
+        faulted.solve().expect("initial solve");
+        let _guard = FaultSchedule::new(seed)
+            .inject_always("core.dynamic.certify", FaultKind::Transient)
+            .install();
+        for (i, batch) in dynamic_edits().iter().enumerate() {
+            // The certification gate rejects the incremental answer;
+            // the solver must re-answer from scratch, identically.
+            let out = faulted.apply(batch).expect("rejected answers are re-solved");
+            let exp = reference[i].solution.as_ref().expect("cyclic");
+            let got = out.solution.as_ref().expect("cyclic");
+            assert_eq!(got.lambda, exp.lambda, "seed={seed} batch={i}");
+            assert_eq!(got.cycle, exp.cycle, "seed={seed} batch={i}");
+            assert_eq!(got.counters, exp.counters, "seed={seed} batch={i}");
+        }
+        assert!(
+            mcr_core::chaos::hits("core.dynamic.certify") > 0,
+            "seed={seed}: the certify gate must register its hits"
+        );
+    }
+}
+
+#[test]
+fn dynamic_rebuild_site_pulses_on_every_batch() {
+    let _serial = serial();
+    let g = multi_scc_graph();
+    let _guard = FaultSchedule::new(0).install();
+    let before = mcr_core::chaos::hits("core.dynamic.rebuild");
+    let mut solver = mcr_core::DynamicSolver::new(&g, dynamic_spec(), SolveOptions::new());
+    solver.solve().expect("initial solve");
+    for batch in dynamic_edits() {
+        solver.apply(&batch).expect("batch");
+    }
+    // One rebuild per solve: the initial one plus one per batch.
+    assert_eq!(
+        mcr_core::chaos::hits("core.dynamic.rebuild") - before,
+        1 + dynamic_edits().len() as u64,
+        "every dynamic solve must pulse the rebuild site"
+    );
+}

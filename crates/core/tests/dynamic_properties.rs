@@ -1,0 +1,217 @@
+//! Property-based laws of the incremental [`DynamicSolver`], in the
+//! style of `differential_properties.rs`:
+//!
+//! 1. **Inverse cancellation** — applying an edit and then its inverse
+//!    (reweight back, retime back, delete the inserted arc) restores
+//!    the original λ*, witness and counters exactly.
+//! 2. **Within-batch order invariance** — a batch of reweights/retimes
+//!    on *distinct* arcs answers identically under any permutation.
+//! 3. **Replay equivalence** — feeding a script batch-by-batch through
+//!    a warm solver ends at the same answer as one batch with all the
+//!    edits, and as a cold solver built directly on the final arcs.
+//!
+//! These are the algebraic guarantees the component cache must not
+//! break; the differential harness (`dynamic_differential.rs`) covers
+//! the bit-identity against from-scratch solves.
+
+use mcr_core::spec::{solve_spec, SolveSpec};
+use mcr_core::{Algorithm, ArcSpec, DynamicSolver, Edit, SolveOptions};
+use mcr_graph::{Graph, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn build(nodes: usize, arcs: &[ArcSpec]) -> Graph {
+    let mut b = GraphBuilder::new();
+    b.add_nodes(nodes);
+    for a in arcs {
+        b.add_arc_with_transit(NodeId::new(a.src), NodeId::new(a.dst), a.weight, a.transit);
+    }
+    b.build()
+}
+
+/// Small arbitrary instances: 2–7 nodes, 1–14 arcs, positive transits
+/// (so the ratio objective is always well-posed on every subgraph).
+fn arbitrary_instance() -> impl Strategy<Value = (usize, Vec<ArcSpec>)> {
+    (2usize..8).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n, -20i64..=20, 1i64..=3), 1..14).prop_map(
+            move |arcs| {
+                let arcs = arcs
+                    .into_iter()
+                    .map(|(src, dst, weight, transit)| ArcSpec {
+                        src,
+                        dst,
+                        weight,
+                        transit,
+                    })
+                    .collect();
+                (n, arcs)
+            },
+        )
+    })
+}
+
+fn spec_for(selector: u8) -> SolveSpec {
+    match selector % 4 {
+        0 => SolveSpec::mean(Algorithm::HowardExact),
+        1 => SolveSpec::mean(Algorithm::Karp),
+        2 => SolveSpec::mean(Algorithm::HowardExact).maximize(),
+        _ => SolveSpec::ratio(Algorithm::HowardExact),
+    }
+}
+
+/// `(lambda?, cycle, counters)` of an outcome, or `Err(text)` — a
+/// comparable snapshot ([`mcr_core::Solution`] has no `PartialEq`).
+type Snapshot = Result<Option<(String, Vec<mcr_graph::ArcId>, String)>, String>;
+
+fn snapshot(r: Result<mcr_core::DynamicOutcome, mcr_core::spec::SpecError>) -> Snapshot {
+    match r {
+        Ok(out) => Ok(out
+            .solution
+            .map(|s| (s.lambda.to_string(), s.cycle, format!("{:?}", s.counters)))),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// An in-range edit with its exact inverse.
+fn inverse_pair(arcs: &[ArcSpec], raw: (u8, usize, i64, i64)) -> (Edit, Edit) {
+    let (kind, idx, a, b) = raw;
+    let n = arcs.len();
+    match kind % 3 {
+        0 => {
+            let arc = idx % n;
+            (
+                Edit::Reweight { arc, weight: a },
+                Edit::Reweight {
+                    arc,
+                    weight: arcs[arc].weight,
+                },
+            )
+        }
+        1 => {
+            let arc = idx % n;
+            (
+                Edit::Retime {
+                    arc,
+                    transit: 1 + b.rem_euclid(3),
+                },
+                Edit::Retime {
+                    arc,
+                    transit: arcs[arc].transit,
+                },
+            )
+        }
+        _ => {
+            let src = arcs[idx % n].src;
+            let dst = arcs[(idx / 2) % n].dst;
+            (
+                Edit::InsertArc {
+                    src,
+                    dst,
+                    weight: a,
+                    transit: 1 + b.rem_euclid(3),
+                },
+                // The inserted arc lands at index n.
+                Edit::DeleteArc { arc: n },
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn an_edit_and_its_inverse_restore_the_answer(
+        inst in arbitrary_instance(),
+        raw in (0u8..=255, 0usize..=1_000_000, -20i64..=20, 0i64..=2),
+        selector in 0u8..=255,
+    ) {
+        let (nodes, arcs) = inst;
+        let spec = spec_for(selector);
+        let mut solver = DynamicSolver::new(&build(nodes, &arcs), spec, SolveOptions::new());
+        let before = snapshot(solver.solve());
+        let (edit, inverse) = inverse_pair(&arcs, raw);
+        // Every generated edit is structurally valid (positive transits,
+        // in-range indices), so the batch always commits.
+        prop_assert!(solver.apply(&[edit]).is_ok());
+        let after = snapshot(solver.apply(&[inverse]));
+        prop_assert_eq!(before, after, "edit {:?} + inverse did not cancel", edit);
+    }
+
+    #[test]
+    fn reweights_of_distinct_arcs_commute_within_a_batch(
+        inst in arbitrary_instance(),
+        picks in proptest::collection::vec((0usize..=1_000_000, -20i64..=20, 1i64..=3, 0u8..=1), 1..5),
+        selector in 0u8..=255,
+    ) {
+        let (nodes, arcs) = inst;
+        let spec = spec_for(selector);
+        // One edit per distinct arc index, so order cannot matter.
+        let mut batch = Vec::new();
+        let mut used = std::collections::BTreeSet::new();
+        for (idx, weight, transit, retime) in picks {
+            let retime = retime == 1;
+            let arc = idx % arcs.len();
+            if !used.insert(arc) {
+                continue;
+            }
+            batch.push(if retime {
+                Edit::Retime { arc, transit }
+            } else {
+                Edit::Reweight { arc, weight }
+            });
+        }
+        let mut forward = DynamicSolver::new(&build(nodes, &arcs), spec, SolveOptions::new());
+        let _ = forward.solve();
+        let a = snapshot(forward.apply(&batch));
+        let mut reversed_batch = batch.clone();
+        reversed_batch.reverse();
+        let mut backward = DynamicSolver::new(&build(nodes, &arcs), spec, SolveOptions::new());
+        let _ = backward.solve();
+        let b = snapshot(backward.apply(&reversed_batch));
+        prop_assert_eq!(a, b, "batch {:?} is order-sensitive", batch);
+    }
+
+    #[test]
+    fn batched_replay_equals_one_shot_and_cold_rebuild(
+        inst in arbitrary_instance(),
+        raws in proptest::collection::vec((0u8..=255, 0usize..=1_000_000, -20i64..=20, 0i64..=2), 1..6),
+        selector in 0u8..=255,
+    ) {
+        let (nodes, arcs) = inst;
+        let spec = spec_for(selector);
+        // Replay one edit per batch on a warm solver...
+        let mut incremental =
+            DynamicSolver::new(&build(nodes, &arcs), spec, SolveOptions::new());
+        let _ = incremental.solve();
+        let mut all: Vec<Edit> = Vec::new();
+        let mut last = None;
+        for raw in raws {
+            // Derive each edit from the solver's *current* arcs so it
+            // stays in range after deletes/inserts.
+            let (edit, _) = inverse_pair(incremental.arcs(), raw);
+            all.push(edit);
+            last = Some(snapshot(incremental.apply(&[edit])));
+        }
+        let batched = last.expect("at least one edit");
+        // ...equals one batch holding every edit...
+        let mut one_shot = DynamicSolver::new(&build(nodes, &arcs), spec, SolveOptions::new());
+        let _ = one_shot.solve();
+        let o = snapshot(one_shot.apply(&all));
+        prop_assert_eq!(&batched, &o, "one-shot batch diverged: {:?}", all);
+        // ...and a cold solver built straight on the final arc list.
+        let mut cold = DynamicSolver::new(
+            &build(nodes, incremental.arcs()),
+            spec,
+            SolveOptions::new(),
+        );
+        let c = snapshot(cold.solve());
+        prop_assert_eq!(&batched, &c, "cold rebuild diverged: {:?}", all);
+        // And all three agree with solve_spec on the final graph.
+        let g = build(nodes, incremental.arcs());
+        let fresh = match solve_spec(&g, &spec, &SolveOptions::new()) {
+            Ok(sol) => Ok(sol.map(|s| (s.lambda.to_string(), s.cycle, format!("{:?}", s.counters)))),
+            Err(e) => Err(e.to_string()),
+        };
+        prop_assert_eq!(&batched, &fresh, "from-scratch solve diverged: {:?}", all);
+    }
+}

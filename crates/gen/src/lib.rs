@@ -30,6 +30,7 @@
 //! ```
 
 pub mod circuit;
+pub mod edits;
 pub mod requests;
 pub mod sprand;
 pub mod structured;

@@ -152,20 +152,24 @@ pub fn check_nondet(file: &str, s: &Scanned, out: &mut Vec<Diagnostic>) {
 // MCRL011: wire-format schema manifests.
 // ---------------------------------------------------------------------
 
-/// The five versioned wire formats. A manifest file in `schemas/` that
+/// The six versioned wire formats. A manifest file in `schemas/` that
 /// names anything else is itself a violation.
-pub const KNOWN_FORMATS: [&str; 5] = [
+pub const KNOWN_FORMATS: [&str; 6] = [
     "mcr-req-v1",
     "mcr-resp-v1",
     "mcr-trace-v1",
     "mcr-metrics-v1",
     "mcr-checkpoint-v1",
+    "mcr-edits-v1",
 ];
 
 /// Which formats a file writes/parses: every JSON field-name literal in
 /// the file must belong to one of its formats' manifests.
 const WIRE_FIELD_SCOPE: &[(&str, &[&str])] = &[
-    ("crates/serve/src/protocol.rs", &["mcr-req-v1", "mcr-resp-v1"]),
+    (
+        "crates/serve/src/protocol.rs",
+        &["mcr-req-v1", "mcr-resp-v1", "mcr-edits-v1"],
+    ),
     (
         "crates/serve/src/client.rs",
         &["mcr-req-v1", "mcr-resp-v1", "mcr-metrics-v1"],
@@ -190,6 +194,14 @@ const WIRE_PRESENCE: &[(&str, &[&str])] = &[
         &["crates/serve/src/metrics.rs", "crates/obs/src/lib.rs"],
     ),
     ("mcr-checkpoint-v1", &["crates/core/src/checkpoint.rs"]),
+    (
+        "mcr-edits-v1",
+        &[
+            "crates/core/src/edits.rs",
+            "crates/gen/src/edits.rs",
+            "crates/serve/src/protocol.rs",
+        ],
+    ),
 ];
 
 /// The writer/parser methods whose first string-literal argument is a

@@ -15,8 +15,18 @@
 //! [`mcr_core::spec::solve_spec`]'s plan-orientation contract), so the
 //! two orientations can never share a plan.
 
+//!
+//! The `edit` op mutates a cached instance *in place*: the hash then
+//! names the evolving graph, not a digest of its original text.
+//! [`GraphCache::commit_edit`] is the single mutation point, and it
+//! drops both orientation plans along with the graph swap — a plan's
+//! frozen jobs carry the arc ids and weights of the graph they were
+//! extracted from, so a surviving plan after a `DeleteArc` would hand
+//! the solver stale subgraphs (the `serve.plan.build` counter jumping
+//! after an edit is the pinned evidence that this invalidation runs).
+
 use crate::chaos;
-use mcr_core::SccPlan;
+use mcr_core::{DynamicSolver, SccPlan};
 use mcr_graph::Graph;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -39,6 +49,11 @@ struct Entry {
     /// Plan for the maximize orientation (prepared from
     /// `graph.negated()`).
     negated_plan: Option<SccPlan>,
+    /// The instance's persistent incremental solver, keyed by the
+    /// question it answers (spec + epsilon + threads) so a later edit
+    /// under a different question rebuilds instead of reusing a solver
+    /// configured for another algorithm.
+    dynamic: Option<(String, DynamicSolver)>,
 }
 
 /// What a lookup hands to the worker: the instance in the caller's
@@ -128,6 +143,51 @@ impl GraphCache {
         })
     }
 
+    /// The cached instance itself, without building a plan (the `edit`
+    /// path builds no plan — its solver re-extracts components after
+    /// every batch). A hit refreshes recency; the `serve.cache.lookup`
+    /// failpoint degrades it into a miss like [`GraphCache::get`].
+    pub fn peek_graph(&mut self, hash: u64) -> Option<Arc<Graph>> {
+        if !self.entries.contains_key(&hash) {
+            return None;
+        }
+        if chaos::fail_hit("serve.cache.lookup") {
+            return None;
+        }
+        self.touch(hash);
+        self.entries.get(&hash).map(|e| Arc::clone(&e.graph))
+    }
+
+    /// Takes the instance's persistent [`DynamicSolver`] when one
+    /// exists *for the same question* (`key` encodes spec + epsilon +
+    /// threads). Ownership moves to the caller so the solve runs
+    /// outside the cache lock; [`GraphCache::commit_edit`] returns it.
+    pub fn take_dynamic(&mut self, hash: u64, key: &str) -> Option<DynamicSolver> {
+        let entry = self.entries.get_mut(&hash)?;
+        match entry.dynamic.take() {
+            Some((k, solver)) if k == key => Some(solver),
+            // A solver for a different question is useless here; drop
+            // it rather than answer the wrong spec from its cache.
+            _ => None,
+        }
+    }
+
+    /// Commits an edited instance: swaps in the mutated graph, stores
+    /// the solver for the next batch, and — the part a `DeleteArc`
+    /// makes load-bearing — invalidates both orientation plans, whose
+    /// frozen jobs still describe the pre-edit graph. No-op when the
+    /// hash is not cached (capacity 0, or evicted mid-edit).
+    pub fn commit_edit(&mut self, hash: u64, key: &str, graph: Arc<Graph>, solver: DynamicSolver) {
+        let Some(entry) = self.entries.get_mut(&hash) else {
+            return;
+        };
+        entry.graph = graph;
+        entry.plan = None;
+        entry.negated_plan = None;
+        entry.dynamic = Some((key.to_string(), solver));
+        self.touch(hash);
+    }
+
     /// Inserts a freshly parsed instance, evicting the least recently
     /// used entries beyond capacity. No-op when capacity is 0.
     pub fn insert(&mut self, hash: u64, graph: Arc<Graph>) {
@@ -140,6 +200,7 @@ impl GraphCache {
                 graph,
                 plan: None,
                 negated_plan: None,
+                dynamic: None,
             },
         );
         self.touch(hash);
@@ -216,6 +277,33 @@ mod tests {
         assert!(c.get(hashes[1], false).is_none(), "victim evicted");
         assert!(c.get(hashes[0], false).is_some());
         assert!(c.get(hashes[2], false).is_some());
+    }
+
+    #[test]
+    fn commit_edit_invalidates_both_orientation_plans() {
+        use mcr_core::{SolveOptions, SolveSpec};
+        let mut c = GraphCache::new(4);
+        let h = fnv1a(TRIANGLE);
+        c.insert(h, graph(TRIANGLE));
+        // Build both orientation plans, then edit: the next lookups
+        // must rebuild rather than reuse pre-edit jobs.
+        assert!(c.get(h, false).expect("hit").plan_built);
+        assert!(c.get(h, true).expect("hit").plan_built);
+        let g = c.peek_graph(h).expect("cached");
+        let solver = DynamicSolver::new(
+            &g,
+            SolveSpec::mean(mcr_core::Algorithm::HowardExact),
+            SolveOptions::new(),
+        );
+        let mutated = graph("p mcr 3 2\na 1 2 1\na 2 3 2\n");
+        c.commit_edit(h, "key", Arc::clone(&mutated), solver);
+        let min = c.get(h, false).expect("hit");
+        assert!(min.plan_built, "minimize plan was invalidated");
+        assert_eq!(min.graph.num_arcs(), 2, "lookup sees the mutated graph");
+        assert!(c.get(h, true).expect("hit").plan_built);
+        // The solver round-trips only under the same question key.
+        assert!(c.take_dynamic(h, "other").is_none());
+        assert!(c.take_dynamic(h, "key").is_none(), "mismatch dropped it");
     }
 
     #[test]

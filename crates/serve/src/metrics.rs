@@ -106,6 +106,9 @@ metrics_struct! {
     dedup_inflight => "serve.dedup.inflight",
     /// Requests shed because the daemon is draining for shutdown.
     drained => "serve.requests.drained",
+    /// Edit batches applied to cached instances (the `edit` op settled
+    /// `ok`; each one also invalidated the instance's cached plans).
+    edit_applied => "serve.edit.applied",
 }
 
 impl Metrics {

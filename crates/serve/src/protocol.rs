@@ -10,12 +10,28 @@
 //!  "fallback":"karp,burns-exact","threads":1}
 //! ```
 //!
-//! `op` is one of `solve`, `ping`, `metrics`, `shutdown`. A solve
-//! request names its graph either inline (`graph`, DIMACS text) or by
-//! content hash (`graph_hash`, 16 lowercase hex digits of the FNV-1a
-//! hash of the exact DIMACS text) to hit the daemon's cache without
-//! re-sending the instance. Unknown keys are ignored (forward
+//! `op` is one of `solve`, `edit`, `ping`, `metrics`, `shutdown`. A
+//! solve request names its graph either inline (`graph`, DIMACS text)
+//! or by content hash (`graph_hash`, 16 lowercase hex digits of the
+//! FNV-1a hash of the exact DIMACS text) to hit the daemon's cache
+//! without re-sending the instance. Unknown keys are ignored (forward
 //! compatibility); unknown values of known keys are typed input errors.
+//!
+//! An `edit` request mutates a cached instance in place and re-answers
+//! incrementally from the daemon's [`mcr_core::DynamicSolver`] — no
+//! re-parse, no re-send. Its `edits` array carries `mcr-edits v1` edit
+//! objects (`op` one of `insert`/`delete`/`reweight`/`retime` plus the
+//! op's scalar fields; see `schemas/mcr-edits-v1.txt`):
+//!
+//! ```json
+//! {"schema":"mcr-req v1","id":2,"op":"edit",
+//!  "graph_hash":"1234567890abcdef","algorithm":"howard-exact",
+//!  "edits":[{"op":"reweight","arc":0,"weight":9},
+//!           {"op":"insert","src":1,"dst":0,"weight":3,"transit":1}]}
+//! ```
+//!
+//! After an `edit` settles, the hash names the *mutated* instance: it
+//! is a handle to an evolving graph, not a digest of its current text.
 //!
 //! Responses echo the request `id` — the daemon may interleave
 //! responses from concurrent workers in any order, so clients MUST
@@ -40,7 +56,8 @@
 use crate::json::{self, ObjWriter, Value};
 use mcr_core::spec::{parse_budget_spec, parse_fallback_spec};
 use mcr_core::{
-    Algorithm, Budget, FallbackChain, Guarantee, Objective, Solution, SolveSpec, SolveStatus,
+    Algorithm, Budget, DynamicOutcome, Edit, FallbackChain, Guarantee, Objective, Solution,
+    SolveSpec, SolveStatus,
 };
 
 /// Schema tag every request must carry.
@@ -66,6 +83,8 @@ pub struct Request {
 pub enum Op {
     /// Solve a cycle mean / cycle ratio instance.
     Solve(Box<SolveJob>),
+    /// Mutate a cached instance and re-answer incrementally.
+    Edit(Box<EditJob>),
     /// Liveness probe.
     Ping,
     /// Dump the daemon's `mcr-metrics v1` counters.
@@ -99,6 +118,25 @@ pub struct SolveJob {
     /// the daemon to suppress a duplicate solve by answering from the
     /// journal when this id already settled.
     pub dedup: bool,
+}
+
+/// A fully validated `edit` request: an edit batch against a cached
+/// (or inline-seeded) instance, answered by the daemon's persistent
+/// [`mcr_core::DynamicSolver`] for that instance.
+#[derive(Debug, Clone)]
+pub struct EditJob {
+    /// Algorithm, objective, orientation the incremental answer is for.
+    pub spec: SolveSpec,
+    /// Inline DIMACS text, to seed the cache when the instance is new.
+    pub graph_text: Option<String>,
+    /// Content hash naming the instance to mutate.
+    pub graph_hash: Option<u64>,
+    /// Precision override for the approximate algorithms.
+    pub epsilon: Option<f64>,
+    /// Intra-solve threads, clamped to `1..=`[`MAX_REQUEST_THREADS`].
+    pub threads: usize,
+    /// The edit batch, applied atomically (all or none).
+    pub edits: Vec<Edit>,
 }
 
 /// Why a request was rejected at parse time. Carries whatever `id`
@@ -139,6 +177,7 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
     }
     let op = match obj.get("op").and_then(Value::as_str) {
         Some("solve") => Op::Solve(Box::new(parse_solve(id, obj)?)),
+        Some("edit") => Op::Edit(Box::new(parse_edit(id, obj)?)),
         Some("ping") => Op::Ping,
         Some("metrics") => Op::Metrics,
         Some("shutdown") => Op::Shutdown,
@@ -148,7 +187,9 @@ pub fn parse_request(payload: &[u8]) -> Result<Request, RequestError> {
     Ok(Request { id, op })
 }
 
-fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
+/// Parses the `algorithm`/`objective`/`maximize` triple shared by the
+/// `solve` and `edit` ops.
+fn parse_spec(id: u64, obj: &Value) -> Result<SolveSpec, RequestError> {
     let algorithm = match obj.get("algorithm").and_then(Value::as_str) {
         None => Algorithm::HowardExact,
         Some(name) => Algorithm::by_name(name)
@@ -167,6 +208,15 @@ fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
     if maximize {
         spec = spec.maximize();
     }
+    Ok(spec)
+}
+
+/// Parses the `graph`/`graph_hash` pair shared by `solve` and `edit`.
+fn parse_instance(
+    id: u64,
+    obj: &Value,
+    what: &str,
+) -> Result<(Option<String>, Option<u64>), RequestError> {
     let graph_text = obj
         .get("graph")
         .and_then(Value::as_str)
@@ -178,8 +228,14 @@ fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
         ),
     };
     if graph_text.is_none() && graph_hash.is_none() {
-        return Err(fail(id, "solve request needs graph or graph_hash"));
+        return Err(fail(id, format!("{what} request needs graph or graph_hash")));
     }
+    Ok((graph_text, graph_hash))
+}
+
+fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
+    let spec = parse_spec(id, obj)?;
+    let (graph_text, graph_hash) = parse_instance(id, obj, "solve")?;
     let epsilon = obj.get("epsilon").and_then(Value::as_f64);
     let deadline_ms = obj.get("deadline_ms").and_then(Value::as_u64);
     let budget = match obj.get("budget").and_then(Value::as_str) {
@@ -210,6 +266,77 @@ fn parse_solve(id: u64, obj: &Value) -> Result<SolveJob, RequestError> {
         fallback,
         threads,
         dedup,
+    })
+}
+
+/// JSON integers arrive as [`Value::Num`]; accept exactly those that
+/// are whole and fit `i64` (weights may be negative on the wire).
+fn as_i64(v: &Value) -> Option<i64> {
+    match v.as_f64() {
+        Some(n) if n.fract() == 0.0 && (i64::MIN as f64..=i64::MAX as f64).contains(&n) => {
+            Some(n as i64)
+        }
+        _ => None,
+    }
+}
+
+fn parse_one_edit(id: u64, idx: usize, v: &Value) -> Result<Edit, RequestError> {
+    let num = |key: &'static str| {
+        v.get(key)
+            .and_then(as_i64)
+            .ok_or_else(|| fail(id, format!("edit {idx}: missing or non-integer {key:?}")))
+    };
+    let index = |key: &'static str| {
+        num(key).and_then(|n| {
+            usize::try_from(n).map_err(|_| fail(id, format!("edit {idx}: negative {key:?}")))
+        })
+    };
+    match v.get("op").and_then(Value::as_str) {
+        Some("insert") => Ok(Edit::InsertArc {
+            src: index("src")?,
+            dst: index("dst")?,
+            weight: num("weight")?,
+            transit: num("transit")?,
+        }),
+        Some("delete") => Ok(Edit::DeleteArc { arc: index("arc")? }),
+        Some("reweight") => Ok(Edit::Reweight {
+            arc: index("arc")?,
+            weight: num("weight")?,
+        }),
+        Some("retime") => Ok(Edit::Retime {
+            arc: index("arc")?,
+            transit: num("transit")?,
+        }),
+        Some(other) => Err(fail(id, format!("edit {idx}: unknown op {other:?}"))),
+        None => Err(fail(id, format!("edit {idx}: missing op"))),
+    }
+}
+
+fn parse_edit(id: u64, obj: &Value) -> Result<EditJob, RequestError> {
+    let spec = parse_spec(id, obj)?;
+    let (graph_text, graph_hash) = parse_instance(id, obj, "edit")?;
+    let epsilon = obj.get("epsilon").and_then(Value::as_f64);
+    let threads = obj
+        .get("threads")
+        .and_then(Value::as_u64)
+        .map(|t| (t as usize).clamp(1, MAX_REQUEST_THREADS))
+        .unwrap_or(1);
+    let edits = match obj.get("edits") {
+        None => Vec::new(),
+        Some(Value::Arr(items)) => items
+            .iter()
+            .enumerate()
+            .map(|(idx, v)| parse_one_edit(id, idx, v))
+            .collect::<Result<Vec<Edit>, RequestError>>()?,
+        Some(_) => return Err(fail(id, "edits must be an array of edit objects")),
+    };
+    Ok(EditJob {
+        spec,
+        graph_text,
+        graph_hash,
+        epsilon,
+        threads,
+        edits,
     })
 }
 
@@ -252,6 +379,35 @@ pub fn resp_solution(id: u64, graph_hash: Option<u64>, sol: &Solution) -> String
     w.str("solved_by", sol.solved_by.name())
         .raw("cycle", &format!("[{}]", cycle.join(",")))
         .finish()
+}
+
+/// Success response for an `edit` op: the incremental answer for the
+/// mutated instance, plus `mode` (`"incremental"`/`"full"`) reporting
+/// whether the daemon's [`mcr_core::DynamicSolver`] answered from its
+/// component cache or fell back to a from-scratch solve.
+pub fn resp_edit(id: u64, graph_hash: Option<u64>, outcome: &DynamicOutcome) -> String {
+    let mut w = resp_base(id, SolveStatus::Ok);
+    if let Some(h) = graph_hash {
+        w = w.str("graph_hash", &format_hash(h));
+    }
+    w = w.str("mode", outcome.mode.name());
+    match &outcome.solution {
+        None => w.bool("acyclic", true).finish(),
+        Some(sol) => {
+            w = w
+                .bool("acyclic", false)
+                .str("lambda", &sol.lambda.to_string())
+                .f64("lambda_f64", sol.lambda.to_f64());
+            w = match sol.guarantee {
+                Guarantee::Exact => w.str("guarantee", "exact"),
+                Guarantee::Epsilon(e) => w.str("guarantee", "epsilon").f64("epsilon", e),
+            };
+            let cycle: Vec<String> = sol.cycle.iter().map(|a| a.index().to_string()).collect();
+            w.str("solved_by", sol.solved_by.name())
+                .raw("cycle", &format!("[{}]", cycle.join(",")))
+                .finish()
+        }
+    }
 }
 
 /// Success response for an acyclic instance (no cycle mean exists).
@@ -436,6 +592,74 @@ mod tests {
         let v = json::parse(&text).expect("valid JSON");
         assert_eq!(v.get("status").and_then(Value::as_str), Some("cancelled"));
         assert!(v.get("lambda").is_none());
+    }
+
+    #[test]
+    fn edit_requests_parse_all_four_ops() {
+        let graph = quoted(TRIANGLE);
+        let r = req(&format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":5,\"op\":\"edit\",\"graph\":{graph},\
+             \"algorithm\":\"karp\",\"edits\":[\
+             {{\"op\":\"reweight\",\"arc\":0,\"weight\":-9}},\
+             {{\"op\":\"insert\",\"src\":1,\"dst\":0,\"weight\":3,\"transit\":2}},\
+             {{\"op\":\"retime\",\"arc\":1,\"transit\":4}},\
+             {{\"op\":\"delete\",\"arc\":2}}]}}"
+        ))
+        .expect("parse");
+        let Op::Edit(job) = r.op else {
+            panic!("expected edit")
+        };
+        assert_eq!(job.spec.algorithm, Algorithm::Karp);
+        assert_eq!(
+            job.edits,
+            vec![
+                Edit::Reweight { arc: 0, weight: -9 },
+                Edit::InsertArc {
+                    src: 1,
+                    dst: 0,
+                    weight: 3,
+                    transit: 2
+                },
+                Edit::Retime { arc: 1, transit: 4 },
+                Edit::DeleteArc { arc: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn edit_requests_reject_malformed_edits() {
+        let graph = quoted(TRIANGLE);
+        let e = req(&format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":5,\"op\":\"edit\",\"graph\":{graph},\
+             \"edits\":[{{\"op\":\"grow\"}}]}}"
+        ))
+        .expect_err("unknown edit op");
+        assert!(e.message.contains("unknown op"), "{}", e.message);
+        let e = req(&format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":5,\"op\":\"edit\",\"graph\":{graph},\
+             \"edits\":[{{\"op\":\"delete\",\"arc\":-1}}]}}"
+        ))
+        .expect_err("negative index");
+        assert!(e.message.contains("negative"), "{}", e.message);
+        let e = req("{\"schema\":\"mcr-req v1\",\"id\":5,\"op\":\"edit\",\"edits\":[]}")
+            .expect_err("no instance");
+        assert!(e.message.contains("graph"), "{}", e.message);
+    }
+
+    #[test]
+    fn edit_responses_carry_the_mode() {
+        use mcr_core::{DynamicOutcome, SolveMode};
+        let outcome = DynamicOutcome {
+            solution: None,
+            mode: SolveMode::Incremental,
+            cache_hits: 1,
+            cache_misses: 0,
+        };
+        let text = resp_edit(8, Some(0xabc), &outcome);
+        let v = json::parse(&text).expect("valid JSON");
+        assert_eq!(v.get("mode").and_then(Value::as_str), Some("incremental"));
+        assert_eq!(v.get("acyclic").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("status").and_then(Value::as_str), Some("ok"));
     }
 
     #[test]

@@ -65,12 +65,12 @@ use crate::frame;
 use crate::guard::RequestGuard;
 use crate::journal::Journal;
 use crate::metrics::Metrics;
-use crate::protocol::{self, Op, Request, SolveJob};
+use crate::protocol::{self, EditJob, Op, Request, SolveJob};
 use mcr_core::error::BudgetResource;
 use mcr_core::spec::solve_spec;
 use mcr_core::{
-    certify, Algorithm, Budget, CheckpointStore, FallbackChain, Objective, SccPlan, SolveError,
-    SolveOptions, SolveStatus, SpecError,
+    certify, Algorithm, Budget, CheckpointStore, DynamicSolver, FallbackChain, Objective, SccPlan,
+    SolveError, SolveOptions, SolveStatus, SpecError,
 };
 use mcr_graph::io::read_dimacs;
 use mcr_graph::Graph;
@@ -427,6 +427,7 @@ fn dispatch(shared: &Arc<Shared>, reply: &ReplyHandle, payload: Vec<u8>) -> Flow
             Op::Ping => handle_ping(shared, reply, id, payload.len()),
             Op::Metrics => handle_metrics(shared, reply, id, payload.len()),
             Op::Shutdown => handle_shutdown(shared, reply, id, payload.len()),
+            Op::Edit(edit) => handle_edit(shared, reply, id, &edit, payload.len()),
             Op::Solve(solve) => handle_admit(shared, reply, id, solve, payload),
         },
     }
@@ -496,6 +497,134 @@ fn handle_shutdown(shared: &Shared, reply: &ReplyHandle, id: u64, frame_len: usi
     }
     shared.cond.notify_all();
     Flow::Close
+}
+
+/// The `edit` op: mutate a cached instance in place and re-answer from
+/// its persistent [`DynamicSolver`] — no re-parse, and (when the batch
+/// leaves enough components intact) no from-scratch solve either.
+///
+/// Edits run inline on the connection's reader thread rather than
+/// through the admission queue: an edit is a cache mutation plus an
+/// incremental solve, and interleaving it with queued solves against
+/// the same hash would make "which graph did that solve see" depend on
+/// worker scheduling. They are not journaled — a crash loses the edit,
+/// and the client re-seeds by sending the graph inline again.
+fn handle_edit(
+    shared: &Shared,
+    reply: &ReplyHandle,
+    id: u64,
+    job: &EditJob,
+    frame_len: usize,
+) -> Flow {
+    let _guard = match RequestGuard::install(
+        &Budget::UNLIMITED,
+        None,
+        Instant::now(),
+        job.spec.algorithm,
+        frame_len,
+    ) {
+        Ok(g) => g,
+        Err(msg) => {
+            Metrics::bump(&shared.metrics.failed);
+            send(
+                shared,
+                reply,
+                &protocol::resp_error(id, SolveStatus::InputError, &msg, None),
+            );
+            return Flow::Continue;
+        }
+    };
+    let input_err = |message: String| {
+        Metrics::bump(&shared.metrics.failed);
+        send(
+            shared,
+            reply,
+            &protocol::resp_error(id, SolveStatus::InputError, &message, None),
+        );
+        Flow::Continue
+    };
+    let hash = match (&job.graph_text, job.graph_hash) {
+        (Some(text), Some(claimed)) => {
+            let actual = cache::fnv1a(text);
+            if actual != claimed {
+                return input_err(format!(
+                    "graph_hash {} does not match the inline graph (actual {})",
+                    protocol::format_hash(claimed),
+                    protocol::format_hash(actual)
+                ));
+            }
+            actual
+        }
+        (Some(text), None) => cache::fnv1a(text),
+        (None, Some(claimed)) => claimed,
+        (None, None) => return input_err("edit request lost its graph".to_string()),
+    };
+    // Prefer the cached instance: after earlier edits it is the evolving
+    // graph the hash names, and any inline text is only a cold-start
+    // seed for a hash the daemon does not know yet.
+    //
+    // Drop the peek guard before the miss arm re-locks to insert — a
+    // `match lock(..).peek(..)` scrutinee keeps its guard alive for the
+    // whole match and would self-deadlock on the cold-start path.
+    let mut cache = lock(&shared.cache);
+    let cached = cache.peek_graph(hash);
+    drop(cache);
+    let graph = match cached {
+        Some(g) => {
+            Metrics::bump(&shared.metrics.cache_hit);
+            g
+        }
+        None => {
+            Metrics::bump(&shared.metrics.cache_miss);
+            let Some(text) = &job.graph_text else {
+                return input_err(format!(
+                    "unknown graph hash {} (send the graph inline once to cache it)",
+                    protocol::format_hash(hash)
+                ));
+            };
+            Metrics::bump(&shared.metrics.graph_parse);
+            let graph = match read_dimacs(&mut text.as_bytes()) {
+                Ok(g) => Arc::new(g),
+                Err(e) => return input_err(format!("graph parse error: {e}")),
+            };
+            lock(&shared.cache).insert(hash, Arc::clone(&graph));
+            graph
+        }
+    };
+    let mut opts = SolveOptions::new().threads(job.threads);
+    opts.epsilon = job.epsilon;
+    // The solver answers one fixed question; reuse it only for the
+    // exact same one (see GraphCache::take_dynamic).
+    let key = format!("{:?}|{:?}|{}", job.spec, job.epsilon, job.threads);
+    let mut cache = lock(&shared.cache);
+    let reused = cache.take_dynamic(hash, &key);
+    drop(cache);
+    let mut solver = match reused {
+        Some(s) => s,
+        None => DynamicSolver::new(&graph, job.spec, opts),
+    };
+    let result = solver.apply(&job.edits);
+    // Commit whatever state the solver ended in: a rejected batch left
+    // the graph untouched, a failed solve still committed its edits.
+    let mutated = Arc::new(solver.current_graph());
+    lock(&shared.cache).commit_edit(hash, &key, mutated, solver);
+    match result {
+        Ok(outcome) => {
+            Metrics::bump(&shared.metrics.edit_applied);
+            Metrics::bump(&shared.metrics.completed);
+            send(shared, reply, &protocol::resp_edit(id, Some(hash), &outcome));
+        }
+        Err(e) => {
+            let status = e.status();
+            count_status(shared, status);
+            send(
+                shared,
+                reply,
+                &protocol::resp_error(id, status, &e.to_string(), None),
+            );
+        }
+    }
+    Flow::Continue
 }
 
 /// Admission: guard, load-shed, journal, enqueue — in that order.

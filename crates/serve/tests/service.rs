@@ -198,6 +198,150 @@ fn cache_hits_skip_parse_and_scc_extraction() {
 }
 
 #[test]
+fn edit_op_mutates_the_cached_instance_and_invalidates_its_plans() {
+    use mcr_core::{DynamicSolver, Edit};
+    // The latent-stale-plan pin: a solve caches an SccPlan whose frozen
+    // jobs carry pre-edit arc ids and weights. After an edit containing
+    // a DeleteArc, a by-hash solve MUST rebuild the plan (plan_build
+    // jumps) and answer for the mutated graph — and must not re-parse
+    // (graph_parse stays put; the hash is a handle, not a digest).
+    let text = graph_text(10, 17);
+    let g = mcr_graph::io::read_dimacs(&mut text.as_bytes()).expect("parse");
+    let hash = protocol::format_hash(mcr_serve::cache::fnv1a(&text));
+    let edits = [
+        Edit::Reweight { arc: 0, weight: 1 },
+        Edit::DeleteArc { arc: 5 },
+    ];
+    let handle = start(serial());
+    // Step 1: seed the cache and build the minimize plan.
+    let resp = roundtrip(&handle, &[solve_req(1, &text, "")]);
+    assert_eq!(status_of(&resp[&1]), ("ok", 0));
+    assert_eq!(handle.metric("serve.plan.build"), Some(1));
+    // Step 2: edit by hash alone — answered from the DynamicSolver.
+    let edit_req = format!(
+        "{{\"schema\":\"mcr-req v1\",\"id\":2,\"op\":\"edit\",\"graph_hash\":\"{hash}\",\
+         \"edits\":[{{\"op\":\"reweight\",\"arc\":0,\"weight\":1}},\
+         {{\"op\":\"delete\",\"arc\":5}}]}}"
+    );
+    let resp = roundtrip(&handle, &[edit_req]);
+    assert_eq!(status_of(&resp[&2]), ("ok", 0));
+    let mode = resp[&2].get("mode").and_then(Value::as_str).expect("mode");
+    assert!(mode == "incremental" || mode == "full", "{mode}");
+    // The same edits applied locally give the reference instance.
+    let mut reference = DynamicSolver::new(
+        &g,
+        SolveSpec::mean(mcr_core::Algorithm::HowardExact),
+        SolveOptions::new(),
+    );
+    reference.apply(&edits).expect("reference edit applies");
+    let mutated = reference.current_graph();
+    let direct = solve_spec(
+        &mutated,
+        &SolveSpec::mean(mcr_core::Algorithm::HowardExact),
+        &SolveOptions::new(),
+    )
+    .expect("solves")
+    .expect("still cyclic");
+    assert_eq!(
+        resp[&2].get("lambda").and_then(Value::as_str),
+        Some(direct.lambda.to_string().as_str()),
+        "edit answer must be bit-identical to a from-scratch solve of the mutated graph"
+    );
+    // Step 3: solve by hash — cache hit, NO re-parse, but the plan must
+    // be rebuilt for the mutated graph (the stale-plan fix).
+    let resp = roundtrip(
+        &handle,
+        &[format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":3,\"op\":\"solve\",\"graph_hash\":\"{hash}\"}}"
+        )],
+    );
+    assert_eq!(status_of(&resp[&3]), ("ok", 0));
+    assert_eq!(
+        resp[&3].get("lambda").and_then(Value::as_str),
+        Some(direct.lambda.to_string().as_str()),
+        "by-hash solve must see the mutated graph, not the pre-edit one"
+    );
+    // Step 4: a second batch reuses the persistent solver.
+    let resp = roundtrip(
+        &handle,
+        &[format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":4,\"op\":\"edit\",\"graph_hash\":\"{hash}\",\
+             \"edits\":[{{\"op\":\"reweight\",\"arc\":1,\"weight\":50}}]}}"
+        )],
+    );
+    assert_eq!(status_of(&resp[&4]), ("ok", 0));
+    assert_eq!(handle.metric("serve.graph.parse"), Some(1), "never re-parsed");
+    assert_eq!(
+        handle.metric("serve.plan.build"),
+        Some(2),
+        "the post-edit solve rebuilt the plan instead of reusing a stale one"
+    );
+    assert_eq!(handle.metric("serve.edit.applied"), Some(2));
+    assert_eq!(handle.metric("serve.cache.hit"), Some(3));
+    assert_eq!(handle.metric("serve.cache.miss"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
+fn cold_start_edit_with_inline_graph_seeds_the_cache_and_answers() {
+    use mcr_core::{DynamicSolver, Edit};
+    // Regression pin for a self-deadlock: on the cold-start edit path
+    // (unknown hash, graph sent inline) the handler re-locked the cache
+    // to insert the parsed graph while the `match` scrutinee still held
+    // the peek guard. No prior solve here — the daemon's very first
+    // request is an edit carrying the graph inline.
+    let text = graph_text(8, 41);
+    let g = mcr_graph::io::read_dimacs(&mut text.as_bytes()).expect("parse");
+    let handle = start(serial());
+    let req = format!(
+        "{{\"schema\":\"mcr-req v1\",\"id\":1,\"op\":\"edit\",\"graph\":\"{}\",\
+         \"edits\":[{{\"op\":\"reweight\",\"arc\":0,\"weight\":7}}]}}",
+        json::escape(&text)
+    );
+    let resp = roundtrip(&handle, &[req]);
+    assert_eq!(status_of(&resp[&1]), ("ok", 0));
+    let mut reference = DynamicSolver::new(
+        &g,
+        SolveSpec::mean(mcr_core::Algorithm::HowardExact),
+        SolveOptions::new(),
+    );
+    reference
+        .apply(&[Edit::Reweight { arc: 0, weight: 7 }])
+        .expect("reference edit applies");
+    let direct = solve_spec(
+        &reference.current_graph(),
+        &SolveSpec::mean(mcr_core::Algorithm::HowardExact),
+        &SolveOptions::new(),
+    )
+    .expect("solves")
+    .expect("cyclic");
+    assert_eq!(
+        resp[&1].get("lambda").and_then(Value::as_str),
+        Some(direct.lambda.to_string().as_str()),
+        "cold-start edit answer must match a from-scratch solve of the edited graph"
+    );
+    // The inline graph was parsed once and now seeds the cache: a
+    // by-hash solve hits without re-parsing.
+    let hash = protocol::format_hash(mcr_serve::cache::fnv1a(&text));
+    let resp = roundtrip(
+        &handle,
+        &[format!(
+            "{{\"schema\":\"mcr-req v1\",\"id\":2,\"op\":\"solve\",\"graph_hash\":\"{hash}\"}}"
+        )],
+    );
+    assert_eq!(status_of(&resp[&2]), ("ok", 0));
+    assert_eq!(
+        resp[&2].get("lambda").and_then(Value::as_str),
+        Some(direct.lambda.to_string().as_str()),
+        "by-hash solve must see the graph the cold-start edit committed"
+    );
+    assert_eq!(handle.metric("serve.graph.parse"), Some(1), "parsed once");
+    assert_eq!(handle.metric("serve.cache.miss"), Some(1));
+    assert_eq!(handle.metric("serve.cache.hit"), Some(1));
+    handle.shutdown();
+}
+
+#[test]
 fn maximize_reuses_a_separate_negated_plan() {
     // Two maximize solves of a cached instance: the second must hit
     // the cache's negated-orientation plan, and both must agree with

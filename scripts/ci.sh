@@ -124,6 +124,37 @@ rm -f /tmp/mcr_ci_seq.out /tmp/mcr_ci_chunked.out
 # 4-sweep-thread rows genuinely running the multi-chunk schedule.
 MCR_BENCH_QUICK=1 cargo bench -q -p mcr-bench --bench intra_scc >/dev/null
 
+echo "=== dynamic solver: quick differential tier + golden-edits smoke ==="
+# Quick tier of the incremental-solver differential harness (the full
+# 200-script sweep runs with the workspace tests above; this re-runs
+# the trimmed sweep under the env knob so the knob itself stays
+# exercised).
+MCR_DYNAMIC_QUICK=1 cargo test -q -p mcr-core --test dynamic_differential
+# CLI smoke: replaying the committed golden edit script must print the
+# pinned λ* trajectory, byte-identical at 1 and 4 driver threads (the
+# per-batch hit/miss split is fingerprint-based, so it is
+# thread-count-independent too).
+"$MCR" dynamic --edits crates/core/tests/data/golden_edits.jsonl \
+    --threads 1 > /tmp/mcr_ci_dyn1.out
+"$MCR" dynamic --edits crates/core/tests/data/golden_edits.jsonl \
+    --threads 4 > /tmp/mcr_ci_dyn4.out
+cmp /tmp/mcr_ci_dyn1.out /tmp/mcr_ci_dyn4.out || {
+    echo "FAIL: mcr dynamic output differs between 1 and 4 threads"
+    exit 1
+}
+grep '^batch' /tmp/mcr_ci_dyn1.out | sed 's/.*lambda = \([^ ]*\) .*/\1/' \
+    > /tmp/mcr_ci_dyn_traj.txt
+grep -v '^#' crates/core/tests/data/golden_edits_expected.txt \
+    | diff - /tmp/mcr_ci_dyn_traj.txt || {
+    echo "FAIL: mcr dynamic trajectory drifted from golden_edits_expected.txt"
+    exit 1
+}
+grep -q "incremental;" /tmp/mcr_ci_dyn1.out || {
+    echo "FAIL: the golden replay never took the incremental path"
+    exit 1
+}
+rm -f /tmp/mcr_ci_dyn1.out /tmp/mcr_ci_dyn4.out /tmp/mcr_ci_dyn_traj.txt
+
 echo "=== chaos suite (--features chaos, 3 fixed seeds) ==="
 # The chaos tests prove the fault-injection contract: under injected
 # faults the fallback chain engages and the answer certifies, or the
